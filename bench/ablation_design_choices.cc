@@ -1,0 +1,140 @@
+// Ablation of WineFS's design decisions (§3.2/§4): alignment-aware allocation
+// on/off, per-CPU journals vs one journal, hybrid data atomicity vs
+// CoW-everything. Measured on the experiments each decision targets:
+//  - aged mmap write bandwidth (alignment-aware allocation)
+//  - 16-thread metadata scalability (per-CPU journals)
+//  - aligned-file overwrite throughput + hugepage retention (hybrid atomicity)
+#include "bench/bench_util.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/wload/sim_runner.h"
+
+using benchutil::Fmt;
+using benchutil::Row;
+using common::ExecContext;
+using common::kBlockSize;
+using common::kMiB;
+
+namespace {
+
+std::unique_ptr<winefs::WineFs> MakeVariant(pmem::PmemDevice* dev, bool alignment_aware,
+                                            bool per_cpu_journals, bool hybrid) {
+  winefs::WineFsOptions options;
+  options.base.num_cpus = 16;
+  options.alignment_aware = alignment_aware;
+  options.per_cpu_journals = per_cpu_journals;
+  options.hybrid_atomicity = hybrid;
+  auto fs = std::make_unique<winefs::WineFs>(dev, options);
+  ExecContext ctx;
+  if (!fs->Mkfs(ctx).ok()) {
+    std::exit(1);
+  }
+  return fs;
+}
+
+struct VariantResult {
+  double aged_mmap_gbps = 0;
+  double scal_kops = 0;
+  double overwrite_mbps = 0;
+  double huge_after_overwrites = 0;
+};
+
+VariantResult Measure(bool alignment_aware, bool per_cpu_journals, bool hybrid) {
+  VariantResult out;
+  // (1) aged mmap bandwidth.
+  {
+    pmem::PmemDevice dev(1024 * kMiB);
+    auto fs = MakeVariant(&dev, alignment_aware, per_cpu_journals, hybrid);
+    vmem::MmapEngine engine(&dev, vmem::MmuParams{}, 16);
+    ExecContext ctx;
+    aging::AgingConfig config;
+    config.target_utilization = 0.7;
+    config.write_multiplier = 2.0;
+    aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(42), config);
+    if (!geriatrix.Run(ctx).ok()) {
+      std::exit(1);
+    }
+    auto fd = fs->Open(ctx, "/bench", vfs::OpenFlags::Create());
+    (void)fs->Fallocate(ctx, *fd, 0, 64 * kMiB);
+    auto ino = fs->InodeOf(ctx, *fd);
+    auto map = engine.Mmap(fs.get(), *ino, 64 * kMiB, true);
+    std::vector<uint8_t> buf(kMiB, 1);
+    const uint64_t t0 = ctx.clock.NowNs();
+    for (uint64_t off = 0; off < 64 * kMiB; off += kMiB) {
+      (void)map->Write(ctx, off, buf.data(), buf.size());
+    }
+    out.aged_mmap_gbps = 64.0 * kMiB /
+                         (static_cast<double>(ctx.clock.NowNs() - t0) / 1e9) / 1e9;
+  }
+  // (2) 16-thread create/append/fsync/unlink scalability.
+  {
+    pmem::PmemDevice dev(512 * kMiB);
+    auto fs = MakeVariant(&dev, alignment_aware, per_cpu_journals, hybrid);
+    ExecContext setup;
+    for (int t = 0; t < 16; t++) {
+      (void)fs->Mkdir(setup, "/t" + std::to_string(t));
+    }
+    std::vector<uint8_t> buf(4096, 2);
+    wload::SimRunner runner(16, 16, setup.clock.NowNs());
+    auto result = runner.Run(200, [&](uint32_t tid, uint64_t i, ExecContext& ctx) {
+      const std::string path = "/t" + std::to_string(tid) + "/f" + std::to_string(i);
+      auto fd = fs->Open(ctx, path, vfs::OpenFlags::Create());
+      if (!fd.ok()) {
+        return false;
+      }
+      (void)fs->Append(ctx, *fd, buf.data(), buf.size());
+      (void)fs->Fsync(ctx, *fd);
+      (void)fs->Close(ctx, *fd);
+      return fs->Unlink(ctx, path).ok();
+    });
+    out.scal_kops = result.OpsPerSecond() / 1000.0;
+  }
+  // (3) overwrite throughput + hugepage retention on an aligned file.
+  {
+    pmem::PmemDevice dev(512 * kMiB);
+    auto fs = MakeVariant(&dev, alignment_aware, per_cpu_journals, hybrid);
+    vmem::MmapEngine engine(&dev, vmem::MmuParams{}, 16);
+    ExecContext ctx;
+    auto fd = fs->Open(ctx, "/target", vfs::OpenFlags::Create());
+    (void)fs->Fallocate(ctx, *fd, 0, 32 * kMiB);
+    std::vector<uint8_t> buf(kBlockSize, 3);
+    common::Rng rng(4);
+    const uint64_t ops = 4000;
+    const uint64_t t0 = ctx.clock.NowNs();
+    for (uint64_t i = 0; i < ops; i++) {
+      (void)fs->Pwrite(ctx, *fd, buf.data(), buf.size(),
+                       rng.NextBelow(32 * kMiB / kBlockSize) * kBlockSize);
+    }
+    out.overwrite_mbps = static_cast<double>(ops * kBlockSize) /
+                         (static_cast<double>(ctx.clock.NowNs() - t0) / 1e9) / (1024 * 1024);
+    auto ino = fs->InodeOf(ctx, *fd);
+    auto map = engine.Mmap(fs.get(), *ino, 32 * kMiB, true);
+    (void)map->Prefault(ctx, true);
+    out.huge_after_overwrites = map->HugeMappedFraction() * 100;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("ablation_design_choices: WineFS design decisions in isolation",
+                    "§3.2 design choices / §4 discussion");
+  Row({"variant", "agedmmapGBps", "scal_Kops", "ow_MB/s", "huge_after_ow%"}, 16);
+  struct Variant {
+    const char* name;
+    bool align, per_cpu, hybrid;
+  };
+  for (const Variant& v : {Variant{"full winefs", true, true, true},
+                           Variant{"no align-aware", false, true, true},
+                           Variant{"single journal", true, false, true},
+                           Variant{"no hybrid (CoW)", true, true, false}}) {
+    const VariantResult r = Measure(v.align, v.per_cpu, v.hybrid);
+    Row({v.name, Fmt(r.aged_mmap_gbps, 2), Fmt(r.scal_kops, 0), Fmt(r.overwrite_mbps, 0),
+         Fmt(r.huge_after_overwrites, 0)},
+        16);
+  }
+  std::printf("\nexpected: dropping alignment-awareness kills aged mmap bandwidth; a single\n"
+              "journal caps 16-thread scalability; CoW-everything loses hugepages after\n"
+              "random overwrites of an aligned file (hybrid keeps them via data journaling).\n");
+  return 0;
+}

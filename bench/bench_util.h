@@ -1,0 +1,84 @@
+// Shared bench scaffolding: test beds (device + filesystem + MMU), aging
+// helpers, and table formatting. Every figure/table binary uses these so all
+// experiments run on identical substrates.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/aging/geriatrix.h"
+#include "src/aging/profiles.h"
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+#include "src/vmem/mmap_engine.h"
+
+namespace benchutil {
+
+struct TestBed {
+  std::unique_ptr<pmem::PmemDevice> dev;
+  std::unique_ptr<vfs::FileSystem> fs;
+  std::unique_ptr<vmem::MmapEngine> engine;
+  std::string fs_name;
+};
+
+inline TestBed MakeBed(const std::string& fs_name, uint64_t device_bytes,
+                       uint32_t num_cpus = 8, uint32_t numa_nodes = 1) {
+  TestBed bed;
+  bed.fs_name = fs_name;
+  bed.dev = std::make_unique<pmem::PmemDevice>(device_bytes, pmem::CostModel{}, numa_nodes);
+  bed.fs = fsreg::Create(fs_name, bed.dev.get(), num_cpus);
+  bed.engine = std::make_unique<vmem::MmapEngine>(bed.dev.get(), vmem::MmuParams{}, num_cpus);
+  common::ExecContext ctx;
+  if (!bed.fs->Mkfs(ctx).ok()) {
+    std::fprintf(stderr, "mkfs failed for %s\n", fs_name.c_str());
+    std::exit(1);
+  }
+  return bed;
+}
+
+// Ages the bed's filesystem Geriatrix-style. Returns false on failure.
+inline bool AgeBed(TestBed& bed, double utilization, double write_multiplier,
+                   uint64_t seed = 42) {
+  common::ExecContext ctx;
+  aging::AgingConfig config;
+  config.target_utilization = utilization;
+  config.write_multiplier = write_multiplier;
+  config.seed = seed;
+  aging::Geriatrix geriatrix(bed.fs.get(), aging::Profile::Agrawal(seed), config);
+  return geriatrix.Run(ctx).ok();
+}
+
+// ---- table printing ---------------------------------------------------------
+
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+inline std::string FmtU(uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace benchutil
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// §4 "Thoughts on adding hugepage-friendliness to existing file systems":
+// the authors modified ext4-DAX's multi-block allocator to hunt for aligned
+// extents. It reliably got hugepages on a CLEAN filesystem, but "the
+// allocator spent a significant amount of time searching for available
+// aligned extents, degrading performance when aged". This bench compares
+// stock ext4-DAX, the aligned-hunting variant, and WineFS on both clean and
+// aged filesystems: hugepage fraction achieved and time spent allocating.
+#include "bench/bench_util.h"
+#include "src/fs/ext4dax/ext4dax.h"
+
+using benchutil::Fmt;
+using benchutil::Row;
+using common::ExecContext;
+using common::kMiB;
+
+namespace {
+
+struct Outcome {
+  double huge_fraction = 0;
+  double alloc_ms = 0;  // simulated time inside 64 x 1 MiB fallocate calls
+};
+
+Outcome Measure(const std::string& kind, bool aged) {
+  pmem::PmemDevice dev(1024 * kMiB);
+  std::unique_ptr<vfs::FileSystem> fs;
+  if (kind == "ext4-hugepage") {
+    ext4dax::Ext4Options options;
+    options.policy = ext4dax::AllocPolicy::kAlignedHunting;
+    fs = std::make_unique<ext4dax::Ext4Dax>(&dev, options);
+  } else {
+    fs = fsreg::Create(kind, &dev);
+  }
+  vmem::MmapEngine engine(&dev, vmem::MmuParams{}, 8);
+  ExecContext ctx;
+  if (!fs->Mkfs(ctx).ok()) {
+    std::exit(1);
+  }
+  if (aged) {
+    aging::AgingConfig config;
+    config.target_utilization = 0.70;
+    config.write_multiplier = 2.5;
+    aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(42), config);
+    if (!geriatrix.Run(ctx).ok()) {
+      std::exit(1);
+    }
+  }
+  // Allocate a 64 MiB pool in 2 MiB fallocate steps (an application growing
+  // its mapped file hugepage by hugepage), timing the allocation syscalls.
+  // Note: zero-at-alloc filesystems (WineFS) include the pool zeroing here;
+  // ext4 variants defer it to fault time, so compare alloc_ms across the
+  // ext4 variants and huge%% across all three.
+  auto fd = fs->Open(ctx, "/pool", vfs::OpenFlags::Create());
+  const uint64_t t0 = ctx.clock.NowNs();
+  for (uint64_t off = 0; off < 64 * kMiB; off += 2 * kMiB) {
+    if (!fs->Fallocate(ctx, *fd, off, 2 * kMiB).ok()) {
+      break;
+    }
+  }
+  Outcome out;
+  out.alloc_ms = static_cast<double>(ctx.clock.NowNs() - t0) / 1e6;
+  auto ino = fs->InodeOf(ctx, *fd);
+  auto map = engine.Mmap(fs.get(), *ino, 64 * kMiB, true);
+  (void)map->Prefault(ctx, true);
+  out.huge_fraction = map->HugeMappedFraction();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("disc_hugepage_ext4: retrofitting hugepage-awareness onto ext4-DAX",
+                    "§4 'Thoughts on adding hugepage-friendliness to existing file systems'");
+  Row({"variant", "state", "hugepage%", "alloc_ms"}, 16);
+  for (const std::string kind : {"ext4-dax", "ext4-hugepage", "winefs"}) {
+    for (const bool aged : {false, true}) {
+      const Outcome out = Measure(kind, aged);
+      Row({kind, aged ? "aged-70%" : "clean", Fmt(out.huge_fraction * 100, 1),
+           Fmt(out.alloc_ms, 2)},
+          16);
+    }
+  }
+  std::printf("\nexpected shape: the hunting variant matches WineFS's hugepage%% when\n"
+              "clean, but when aged its allocator burns time scanning a fragmented\n"
+              "free map and still cannot keep up — WineFS's constant-time aligned\n"
+              "pool gets the same result without the search (the paper's argument\n"
+              "for designing hugepage-awareness in, not bolting it on).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 9: applications using POSIX system calls on clean (un-aged)
+// filesystems: filebench varmail/fileserver/webserver/webproxy, a
+// PostgreSQL pgbench-style read-write OLTP mix, and WiredTiger
+// FillRandom/ReadRandom — for both guarantee lineups. Paper: WineFS matches
+// or beats the best filesystem; ext4/xfs suffer on fsync-heavy varmail; PMFS
+// suffers on metadata-heavy workloads; NOVA pays for unaligned appends.
+#include "bench/bench_util.h"
+#include "src/wload/filebench.h"
+#include "src/wload/oltp.h"
+#include "src/wload/wtiger.h"
+
+using benchutil::Fmt;
+using benchutil::MakeBed;
+using benchutil::Row;
+using common::ExecContext;
+using common::kMiB;
+
+namespace {
+
+constexpr uint64_t kDeviceBytes = 1536 * kMiB;
+
+void FilebenchRows(const std::vector<std::string>& lineup) {
+  Row({"fs", "varmail", "fileserver", "webserver", "webproxy"});
+  for (const std::string fs_name : lineup) {
+    std::vector<std::string> cells{fs_name};
+    for (auto personality :
+         {wload::FilebenchPersonality::kVarmail, wload::FilebenchPersonality::kFileserver,
+          wload::FilebenchPersonality::kWebserver, wload::FilebenchPersonality::kWebproxy}) {
+      auto bed = MakeBed(fs_name, kDeviceBytes);
+      wload::FilebenchConfig config = wload::PaperConfig(personality);
+      config.ops_per_thread = 300;
+      wload::Filebench bench(bed.fs.get(), personality, config);
+      auto result = bench.Run();
+      cells.push_back(result.ok() ? Fmt(result->KopsPerSecond(), 1) : "FAIL");
+    }
+    Row(cells);
+  }
+}
+
+void OltpRows(const std::vector<std::string>& lineup) {
+  Row({"fs", "KTPS"});
+  for (const std::string fs_name : lineup) {
+    auto bed = MakeBed(fs_name, kDeviceBytes);
+    ExecContext ctx;
+    wload::OltpConfig config;
+    config.accounts = 200000;
+    config.transactions_per_thread = 400;
+    wload::OltpEngine oltp(bed.fs.get(), config);
+    if (!oltp.Setup(ctx).ok()) {
+      Row({fs_name, "SETUP-FAIL"});
+      continue;
+    }
+    oltp.set_start_time_ns(ctx.clock.NowNs());
+    auto result = oltp.RunReadWrite();
+    Row({fs_name, result.ok() ? Fmt(result->OpsPerSecond() / 1000.0, 1) : "FAIL"});
+  }
+}
+
+void WtigerRows(const std::vector<std::string>& lineup) {
+  Row({"fs", "Fill-Kops", "Read-Kops"});
+  for (const std::string fs_name : lineup) {
+    auto bed = MakeBed(fs_name, kDeviceBytes);
+    ExecContext ctx;
+    wload::WtigerConfig config;
+    config.num_keys = 24000;
+    wload::Wtiger wt(bed.fs.get(), config);
+    if (!wt.Setup(ctx).ok()) {
+      Row({fs_name, "SETUP-FAIL", "-"});
+      continue;
+    }
+    wt.set_start_time_ns(ctx.clock.NowNs());
+    auto fill = wt.FillRandom();
+    auto read = wt.ReadRandom();
+    Row({fs_name, fill.ok() ? Fmt(fill->OpsPerSecond() / 1000.0, 1) : "FAIL",
+         read.ok() ? Fmt(read->OpsPerSecond() / 1000.0, 1) : "FAIL"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("fig09_syscall_apps: POSIX applications on clean filesystems",
+                    "Figure 9 (a-f): filebench, PostgreSQL pgbench-rw, WiredTiger");
+
+  const std::vector<std::string> relaxed = fsreg::RelaxedLineup();
+  const std::vector<std::string> strict{"nova", "winefs"};
+
+  std::printf("\n--- (a) filebench, Kops/s, relaxed (metadata consistency) ---\n");
+  FilebenchRows(relaxed);
+  std::printf("\n--- (d) filebench, Kops/s, strict (data+metadata consistency) ---\n");
+  FilebenchRows(strict);
+
+  std::printf("\n--- (b) PostgreSQL pgbench read-write (TPC-B-like), relaxed ---\n");
+  OltpRows(relaxed);
+  std::printf("\n--- (e) same, strict ---\n");
+  OltpRows(strict);
+
+  std::printf("\n--- (c) WiredTiger FillRandom/ReadRandom, relaxed ---\n");
+  WtigerRows(relaxed);
+  std::printf("\n--- (f) same, strict ---\n");
+  WtigerRows(strict);
+
+  std::printf("\nexpected shape: WineFS >= best everywhere; ext4/xfs/splitfs penalized on\n"
+              "fsync-heavy varmail (JBD2); PMFS slow on metadata-heavy varmail/webproxy\n"
+              "(linear scans); strict NOVA loses ~60%% on WiredTiger FillRandom (partial-\n"
+              "block CoW), reads equal across filesystems.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks for the hot simulator primitives: the
+// alignment-aware allocator, the per-CPU undo journal, TLB lookup, LLC
+// access, and page-table walks. These measure the HOST cost of the simulator
+// itself (not modeled PM time) — regressions here slow every experiment.
+#include <benchmark/benchmark.h>
+
+#include "src/common/units.h"
+#include "src/fs/fscore/free_space_map.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/vmem/llc_cache.h"
+#include "src/vmem/page_table.h"
+#include "src/vmem/tlb.h"
+
+namespace {
+
+void BM_FreeSpaceMapAllocRelease(benchmark::State& state) {
+  fscore::FreeSpaceMap map;
+  map.Release(0, 1 << 20);
+  for (auto _ : state) {
+    auto ext = map.AllocFirstFit(8, 0);
+    benchmark::DoNotOptimize(ext);
+    map.Release(ext->phys_block, ext->num_blocks);
+  }
+}
+BENCHMARK(BM_FreeSpaceMapAllocRelease);
+
+void BM_FreeSpaceMapAlignedAlloc(benchmark::State& state) {
+  fscore::FreeSpaceMap map;
+  map.Release(0, 1 << 20);
+  for (auto _ : state) {
+    auto ext = map.AllocAligned(512);
+    benchmark::DoNotOptimize(ext);
+    map.Release(ext->phys_block, ext->num_blocks);
+  }
+}
+BENCHMARK(BM_FreeSpaceMapAlignedAlloc);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  vmem::Tlb tlb(vmem::MmuParams{});
+  tlb.Insert(0x1000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.Lookup(0x1000, false));
+  }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_TlbLookupMissAndInsert(benchmark::State& state) {
+  vmem::Tlb tlb(vmem::MmuParams{});
+  uint64_t page = 0;
+  for (auto _ : state) {
+    const uint64_t vaddr = (page++ % 100000) * common::kBlockSize;
+    if (tlb.Lookup(vaddr, false) == vmem::TlbResult::kMiss) {
+      tlb.Insert(vaddr, false);
+    }
+  }
+}
+BENCHMARK(BM_TlbLookupMissAndInsert);
+
+void BM_LlcAccess(benchmark::State& state) {
+  vmem::LlcCache llc(vmem::MmuParams{});
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.Access((addr += 8192) % (1ull << 30)));
+  }
+}
+BENCHMARK(BM_LlcAccess);
+
+void BM_PageTableWalk(benchmark::State& state) {
+  vmem::PageTable pt(1ull << 40);
+  for (uint64_t p = 0; p < 4096; p++) {
+    pt.Map(0x7f0000000000 + p * common::kBlockSize, p * common::kBlockSize, false, true);
+  }
+  uint64_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.Walk(0x7f0000000000 + (p++ % 4096) * common::kBlockSize));
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_WineFsCreateUnlink(benchmark::State& state) {
+  pmem::PmemDevice dev(256 * common::kMiB);
+  winefs::WineFs fs(&dev, winefs::WineFsOptions{});
+  common::ExecContext ctx;
+  if (!fs.Mkfs(ctx).ok()) {
+    state.SkipWithError("mkfs failed");
+    return;
+  }
+  uint64_t i = 0;
+  std::vector<uint8_t> buf(4096, 1);
+  for (auto _ : state) {
+    const std::string path = "/f" + std::to_string(i++);
+    auto fd = fs.Open(ctx, path, vfs::OpenFlags::Create());
+    (void)fs.Append(ctx, *fd, buf.data(), buf.size());
+    (void)fs.Close(ctx, *fd);
+    (void)fs.Unlink(ctx, path);
+  }
+}
+BENCHMARK(BM_WineFsCreateUnlink);
+
+}  // namespace
+
+BENCHMARK_MAIN();

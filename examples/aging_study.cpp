@@ -1,0 +1,75 @@
+// Aging study: the paper's headline phenomenon in ~80 lines. Ages WineFS and
+// ext4-DAX side by side with the Geriatrix-style framework, then shows how
+// hugepage-capable free space and memory-mapped write bandwidth diverge.
+//
+//   ./build/examples/aging_study [utilization=0.7] [churn_multiplier=3]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/aging/geriatrix.h"
+#include "src/aging/profiles.h"
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+#include "src/vmem/mmap_engine.h"
+
+using common::kMiB;
+
+namespace {
+
+void StudyOne(const std::string& fs_name, double utilization, double churn) {
+  pmem::PmemDevice device(1024 * kMiB);
+  auto fs = fsreg::Create(fs_name, &device);
+  vmem::MmapEngine engine(&device, vmem::MmuParams{}, 8);
+  common::ExecContext ctx;
+  (void)fs->Mkfs(ctx);
+
+  aging::AgingConfig config;
+  config.target_utilization = utilization;
+  config.write_multiplier = churn;
+  aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(7), config);
+  auto stats = geriatrix.Run(ctx);
+  if (!stats.ok()) {
+    std::printf("%-10s aging failed: %s\n", fs_name.c_str(),
+                std::string(stats.status().message()).c_str());
+    return;
+  }
+
+  const auto info = fs->GetFreeSpaceInfo();
+
+  // Bandwidth probe: mmap a fresh 32 MiB file and stream writes into it.
+  auto fd = fs->Open(ctx, "/probe", vfs::OpenFlags::Create());
+  (void)fs->Fallocate(ctx, *fd, 0, 32 * kMiB);
+  auto ino = fs->InodeOf(ctx, *fd);
+  auto map = engine.Mmap(fs.get(), *ino, 32 * kMiB, true);
+  std::vector<uint8_t> buf(1 * kMiB, 1);
+  const uint64_t t0 = ctx.clock.NowNs();
+  for (uint64_t off = 0; off < 32 * kMiB; off += buf.size()) {
+    (void)map->Write(ctx, off, buf.data(), buf.size());
+  }
+  const double gbps =
+      32.0 * kMiB / (static_cast<double>(ctx.clock.NowNs() - t0) / 1e9) / 1e9;
+
+  std::printf("%-10s util=%4.0f%%  churn=%5.1f GiB  files=%6llu  "
+              "aligned-free=%5.1f%%  mmap-write=%4.2f GB/s  huge=%3.0f%%\n",
+              fs_name.c_str(), info.utilization() * 100,
+              static_cast<double>(stats->bytes_allocated) / (1024.0 * kMiB),
+              static_cast<unsigned long long>(stats->live_files),
+              info.AlignedFreeFraction() * 100, gbps, map->HugeMappedFraction() * 100);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double utilization = argc > 1 ? std::atof(argv[1]) : 0.7;
+  const double churn = argc > 2 ? std::atof(argv[2]) : 3.0;
+  std::printf("aging to %.0f%% utilization with %.1fx capacity churn (Agrawal profile)\n\n",
+              utilization * 100, churn);
+  for (const std::string& fs_name : {"winefs", "ext4-dax", "nova", "xfs-dax"}) {
+    StudyOne(fs_name, utilization, churn);
+  }
+  std::printf("\nWineFS keeps its free space hugepage-capable as it ages; the others\n"
+              "fragment and fall back to 4 KiB mappings (Figure 1 / Figure 3).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Crash-recovery walkthrough: run an operation, materialize a mid-operation
+// crash state from the device's in-flight cachelines, reboot a fresh WineFS
+// on the damaged image, and watch the per-CPU undo journals roll the
+// filesystem back to a consistent point (§5.2).
+//
+//   ./build/examples/crash_recovery_demo
+#include <cstdio>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/crashmk/oracle.h"
+#include "src/fs/winefs/winefs.h"
+
+using common::kMiB;
+
+namespace {
+
+std::unique_ptr<winefs::WineFs> FreshFs(pmem::PmemDevice* device) {
+  winefs::WineFsOptions options;
+  options.base.max_inodes = 1024;
+  options.base.journal_blocks = 256;
+  options.base.num_cpus = 2;
+  return std::make_unique<winefs::WineFs>(device, options);
+}
+
+}  // namespace
+
+int main() {
+  pmem::PmemDevice device(32 * kMiB);
+  auto fs = FreshFs(&device);
+  common::ExecContext ctx;
+  (void)fs->Mkfs(ctx);
+
+  // A file with known contents.
+  auto fd = fs->Open(ctx, "/ledger", vfs::OpenFlags::Create());
+  std::vector<uint8_t> row(512, 0xaa);
+  (void)fs->Pwrite(ctx, *fd, row.data(), row.size(), 0);
+  (void)fs->Close(ctx, *fd);
+
+  device.EnableCrashTracking();
+  auto pre = crashmk::Oracle::Capture(ctx, *fs);
+  std::printf("before rename: %zu entries visible\n", pre.entries().size());
+
+  // Crash in the middle of an atomic rename: snapshot the persistent image
+  // first, record the persist epochs, then build an image where only the
+  // FIRST fence's lines reached PM.
+  std::vector<uint8_t> crash_image = device.PersistentImage();
+  device.BeginEpochRecording();
+  (void)fs->Rename(ctx, "/ledger", "/ledger.v2");
+  auto epochs = device.TakeEpochLog();
+  std::printf("rename generated %zu persist epochs\n", epochs.size());
+  // Re-apply only epoch 0 (the transaction's START + first undo records).
+  for (const auto& line : epochs.front().persisted) {
+    std::copy(line.data, line.data + common::kCacheline,
+              crash_image.begin() + static_cast<long>(line.line_offset));
+  }
+
+  // "Reboot": fresh device contents, fresh filesystem object, Mount runs the
+  // journal scan + rollback + inode-table rebuild.
+  pmem::PmemDevice crash_device(32 * kMiB);
+  crash_device.RestoreImage(crash_image);
+  auto recovered_fs = FreshFs(&crash_device);
+  common::ExecContext rctx;
+  if (!recovered_fs->Mount(rctx).ok()) {
+    std::printf("RECOVERY FAILED\n");
+    return 1;
+  }
+  auto post = crashmk::Oracle::Capture(rctx, *recovered_fs);
+  std::printf("after crash+recovery: %zu entries visible\n", post.entries().size());
+  if (post == pre) {
+    std::printf("state == pre-rename state: the interrupted rename rolled back cleanly\n");
+  } else {
+    std::printf("state:\n%s", post.DiffAgainst(pre).c_str());
+  }
+
+  // The file is intact either way.
+  auto st = recovered_fs->Stat(rctx, "/ledger");
+  auto st2 = recovered_fs->Stat(rctx, "/ledger.v2");
+  std::printf("/ledger %s, /ledger.v2 %s\n", st.ok() ? "exists" : "absent",
+              st2.ok() ? "exists" : "absent");
+  std::printf("recovery took %.2f ms of simulated time\n",
+              static_cast<double>(recovered_fs->last_mount_ns()) / 1e6);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Build a PM-native application the way the paper's workloads do: a small
+// key-value store that keeps its values in memory-mapped pool files and runs
+// YCSB against it, comparing WineFS with NOVA on an aged filesystem.
+//
+//   ./build/examples/kvstore_on_winefs
+#include <cstdio>
+#include <string>
+
+#include "src/aging/geriatrix.h"
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+#include "src/vmem/mmap_engine.h"
+#include "src/wload/mmap_lsm.h"
+#include "src/wload/ycsb.h"
+
+using common::kMiB;
+
+namespace {
+
+void RunOn(const std::string& fs_name) {
+  pmem::PmemDevice device(1024 * kMiB);
+  auto fs = fsreg::Create(fs_name, &device);
+  vmem::MmapEngine engine(&device, vmem::MmuParams{}, 4);
+  common::ExecContext ctx;
+  (void)fs->Mkfs(ctx);
+
+  // Age it first — this is where filesystems differ (Figure 7).
+  aging::AgingConfig aging_config;
+  aging_config.target_utilization = 0.65;
+  aging_config.write_multiplier = 2.0;
+  aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(21), aging_config);
+  if (!geriatrix.Run(ctx).ok()) {
+    std::printf("%s: aging failed\n", fs_name.c_str());
+    return;
+  }
+
+  // The app: values live in mmap'd 32 MiB segment files.
+  wload::MmapLsm store(fs.get(), &engine,
+                       wload::MmapLsmConfig{.segment_bytes = 32 * kMiB});
+  if (!store.Open(ctx).ok()) {
+    std::printf("%s: store open failed\n", fs_name.c_str());
+    return;
+  }
+
+  wload::YcsbConfig config;
+  config.record_count = 30000;
+  config.operation_count = 30000;
+  config.value_bytes = 1024;
+  config.num_threads = 4;
+  config.start_time_ns = ctx.clock.NowNs();
+  wload::YcsbDriver driver(&store, config);
+
+  std::printf("%-12s", fs_name.c_str());
+  for (auto workload : {wload::YcsbWorkload::kLoad, wload::YcsbWorkload::kA,
+                        wload::YcsbWorkload::kC}) {
+    auto result = driver.Run(workload);
+    std::printf("  %s=%6.0f Kops/s (faults %llu)", wload::YcsbName(workload).c_str(),
+                result.run.OpsPerSecond() / 1000.0,
+                static_cast<unsigned long long>(result.run.counters.total_page_faults()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("YCSB on a mmap-backed KV store, aged filesystems (cf. Figure 7a)\n\n");
+  RunOn("winefs");
+  RunOn("nova");
+  RunOn("ext4-dax");
+  std::printf("\nFewer page faults on WineFS: its allocator kept 2 MiB-aligned extents\n"
+              "available, so every segment maps with hugepages even after aging.\n");
+  return 0;
+}

@@ -1,0 +1,272 @@
+// winefs_shell: an interactive REPL over the simulated filesystems. Useful
+// for poking at allocator behaviour, aging, fragmentation, and recovery by
+// hand. Reads commands from stdin (or a here-doc for scripting).
+//
+//   ./build/examples/winefs_shell [fs-name]        # default: winefs
+//
+// Commands:
+//   help                         this text
+//   mkdir <path>                 create a directory
+//   write <path> <bytes>         create/overwrite a file with <bytes> of data
+//   append <path> <bytes>        append <bytes>
+//   falloc <path> <bytes>        fallocate a file
+//   cat <path>                   show size + first bytes
+//   ls <path>                    list a directory
+//   rm <path> | rmdir | mv a b   namespace ops
+//   stat <path>                  inode details incl. extent layout
+//   df                           free space + hugepage-capable fraction
+//   age <util%> <churn_x>        run Geriatrix aging
+//   mmapbw <path>                mmap the file and measure write bandwidth
+//   rewrite <path>               WineFS reactive rewrite (if fragmented)
+//   fsck                         offline consistency check
+//   remount                      unmount + mount (recovery path)
+//   crash                        simulate power loss + recovery mount
+//   time                         simulated clock + counters
+//   quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/aging/geriatrix.h"
+#include "src/common/units.h"
+#include "src/fs/fscore/fsck.h"
+#include "src/fs/registry.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/vmem/mmap_engine.h"
+
+using common::kMiB;
+
+namespace {
+
+class Shell {
+ public:
+  explicit Shell(const std::string& fs_name)
+      : dev_(1024 * kMiB), fs_(fsreg::Create(fs_name, &dev_)), engine_(&dev_, {}, 8) {
+    if (!fs_) {
+      std::fprintf(stderr, "unknown filesystem '%s'\n", fs_name.c_str());
+      std::exit(1);
+    }
+    if (!fs_->Mkfs(ctx_).ok()) {
+      std::fprintf(stderr, "mkfs failed\n");
+      std::exit(1);
+    }
+    std::printf("%s mounted on a 1 GiB simulated PM device. 'help' for commands.\n",
+                std::string(fs_->Name()).c_str());
+  }
+
+  int Loop() {
+    std::string line;
+    while (std::printf("pm> "), std::fflush(stdout), std::getline(std::cin, line)) {
+      std::istringstream in(line);
+      std::string cmd;
+      in >> cmd;
+      if (cmd.empty()) {
+        continue;
+      }
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      }
+      Dispatch(cmd, in);
+    }
+    return 0;
+  }
+
+ private:
+  void Dispatch(const std::string& cmd, std::istringstream& in) {
+    std::string a;
+    std::string b;
+    uint64_t n = 0;
+    auto need_path = [&]() { return static_cast<bool>(in >> a); };
+    if (cmd == "help") {
+      std::printf("mkdir write append falloc cat ls rm rmdir mv stat df age mmapbw "
+                  "rewrite fsck remount crash time quit\n");
+    } else if (cmd == "mkdir" && need_path()) {
+      Report(fs_->Mkdir(ctx_, a));
+    } else if ((cmd == "write" || cmd == "append" || cmd == "falloc") && (in >> a >> n)) {
+      auto fd = fs_->Open(ctx_, a, vfs::OpenFlags::Create());
+      if (!fd.ok()) {
+        Report(fd.status());
+        return;
+      }
+      std::vector<uint8_t> buf(std::min<uint64_t>(n, 4 * kMiB), 0x61);
+      common::Status status;
+      if (cmd == "falloc") {
+        status = fs_->Fallocate(ctx_, *fd, 0, n);
+      } else {
+        uint64_t done = 0;
+        while (done < n && status.ok()) {
+          const uint64_t chunk = std::min<uint64_t>(buf.size(), n - done);
+          auto w = cmd == "append" ? fs_->Append(ctx_, *fd, buf.data(), chunk)
+                                   : fs_->Pwrite(ctx_, *fd, buf.data(), chunk, done);
+          status = w.ok() ? common::OkStatus() : w.status();
+          done += chunk;
+        }
+      }
+      (void)fs_->Close(ctx_, *fd);
+      Report(status);
+    } else if (cmd == "cat" && need_path()) {
+      auto fd = fs_->Open(ctx_, a, vfs::OpenFlags::ReadOnly());
+      if (!fd.ok()) {
+        Report(fd.status());
+        return;
+      }
+      char buf[33] = {};
+      auto got = fs_->Pread(ctx_, *fd, buf, 32, 0);
+      auto size = fs_->SizeOf(ctx_, *fd);
+      std::printf("%llu bytes; head: %.32s\n",
+                  static_cast<unsigned long long>(size.ok() ? *size : 0),
+                  got.ok() ? buf : "?");
+      (void)fs_->Close(ctx_, *fd);
+    } else if (cmd == "ls" && need_path()) {
+      auto entries = fs_->ReadDir(ctx_, a);
+      if (!entries.ok()) {
+        Report(entries.status());
+        return;
+      }
+      for (const auto& entry : *entries) {
+        std::printf("%c %s\n", entry.is_dir ? 'd' : '-', entry.name.c_str());
+      }
+      std::printf("(%zu entries)\n", entries->size());
+    } else if (cmd == "rm" && need_path()) {
+      Report(fs_->Unlink(ctx_, a));
+    } else if (cmd == "rmdir" && need_path()) {
+      Report(fs_->Rmdir(ctx_, a));
+    } else if (cmd == "mv" && (in >> a >> b)) {
+      Report(fs_->Rename(ctx_, a, b));
+    } else if (cmd == "stat" && need_path()) {
+      StatCmd(a);
+    } else if (cmd == "df") {
+      const auto info = fs_->GetFreeSpaceInfo();
+      std::printf("util %.1f%%  free %llu MiB  hugepage-capable free %.1f%%  "
+                  "free 2MiB extents %llu\n",
+                  info.utilization() * 100,
+                  static_cast<unsigned long long>(info.free_blocks * 4096 / kMiB),
+                  info.AlignedFreeFraction() * 100,
+                  static_cast<unsigned long long>(info.free_aligned_extents));
+    } else if (cmd == "age") {
+      double util = 0.7;
+      double churn = 2.0;
+      in >> util >> churn;
+      if (util > 1.0) {
+        util /= 100.0;
+      }
+      aging::AgingConfig config;
+      config.target_utilization = util;
+      config.write_multiplier = churn;
+      aging::Geriatrix geriatrix(fs_.get(), aging::Profile::Agrawal(42), config);
+      auto stats = geriatrix.Run(ctx_);
+      if (stats.ok()) {
+        std::printf("aged: %llu creates, %llu deletes, %llu updates, util %.1f%%\n",
+                    static_cast<unsigned long long>(stats->files_created),
+                    static_cast<unsigned long long>(stats->files_deleted),
+                    static_cast<unsigned long long>(stats->files_updated),
+                    stats->final_utilization * 100);
+      } else {
+        Report(stats.status());
+      }
+    } else if (cmd == "mmapbw" && need_path()) {
+      MmapBwCmd(a);
+    } else if (cmd == "rewrite" && need_path()) {
+      auto* wfs = dynamic_cast<winefs::WineFs*>(fs_.get());
+      if (wfs == nullptr) {
+        std::printf("rewrite is a WineFS feature\n");
+        return;
+      }
+      std::printf("fragmented before: %s\n", wfs->NeedsRewrite(a) ? "yes" : "no");
+      Report(wfs->ReactiveRewrite(ctx_, a));
+      std::printf("fragmented after: %s\n", wfs->NeedsRewrite(a) ? "yes" : "no");
+    } else if (cmd == "fsck") {
+      std::printf("%s\n", fscore::CheckImage(dev_).Summary().c_str());
+    } else if (cmd == "remount") {
+      Report(fs_->Unmount(ctx_));
+      Report(fs_->Mount(ctx_));
+    } else if (cmd == "crash") {
+      // Power loss: a fresh filesystem instance mounts the same device and
+      // runs recovery (the old instance's DRAM state is simply dropped).
+      fs_ = fsreg::Create(std::string(fs_->Name()), &dev_);
+      Report(fs_->Mount(ctx_));
+    } else if (cmd == "time") {
+      std::printf("simulated %.3f ms | faults %llu huge + %llu base | "
+                  "PM written %.1f MiB | journal %.1f KiB\n",
+                  static_cast<double>(ctx_.clock.NowNs()) / 1e6,
+                  static_cast<unsigned long long>(ctx_.counters.page_faults_2m),
+                  static_cast<unsigned long long>(ctx_.counters.page_faults_4k),
+                  static_cast<double>(ctx_.counters.pm_write_bytes) / kMiB,
+                  static_cast<double>(ctx_.counters.journal_bytes) / 1024.0);
+    } else {
+      std::printf("? (try 'help')\n");
+    }
+  }
+
+  void StatCmd(const std::string& path) {
+    auto st = fs_->Stat(ctx_, path);
+    if (!st.ok()) {
+      Report(st.status());
+      return;
+    }
+    std::printf("ino %llu  %s  size %llu  blocks %llu  nlink %u\n",
+                static_cast<unsigned long long>(st->ino), st->is_dir ? "dir" : "file",
+                static_cast<unsigned long long>(st->size),
+                static_cast<unsigned long long>(st->blocks), st->nlink);
+    auto* generic = dynamic_cast<fscore::GenericFs*>(fs_.get());
+    const fscore::Inode* inode = generic->FindInode(st->ino);
+    if (inode != nullptr) {
+      const auto entries = inode->extents.Entries();
+      std::printf("extents: %zu", entries.size());
+      size_t shown = 0;
+      for (const auto& [logical, ext] : entries) {
+        if (shown++ >= 6) {
+          std::printf(" ...");
+          break;
+        }
+        std::printf("  [%llu -> %llu +%llu%s]", static_cast<unsigned long long>(logical),
+                    static_cast<unsigned long long>(ext.phys_block),
+                    static_cast<unsigned long long>(ext.num_blocks),
+                    ext.IsAligned() ? " 2M" : "");
+      }
+      std::printf("\n");
+    }
+  }
+
+  void MmapBwCmd(const std::string& path) {
+    auto fd = fs_->Open(ctx_, path, vfs::OpenFlags{});
+    if (!fd.ok()) {
+      Report(fd.status());
+      return;
+    }
+    auto size = fs_->SizeOf(ctx_, *fd);
+    auto ino = fs_->InodeOf(ctx_, *fd);
+    if (!size.ok() || *size == 0) {
+      std::printf("empty file\n");
+      return;
+    }
+    auto map = engine_.Mmap(fs_.get(), *ino, *size, true);
+    std::vector<uint8_t> buf(std::min<uint64_t>(*size, kMiB), 0x33);
+    const uint64_t t0 = ctx_.clock.NowNs();
+    for (uint64_t off = 0; off + buf.size() <= *size; off += buf.size()) {
+      (void)map->Write(ctx_, off, buf.data(), buf.size());
+    }
+    const double secs = static_cast<double>(ctx_.clock.NowNs() - t0) / 1e9;
+    std::printf("%.2f GB/s, hugepage-mapped %.0f%%\n",
+                static_cast<double>(*size) / secs / 1e9, map->HugeMappedFraction() * 100);
+    (void)fs_->Close(ctx_, *fd);
+  }
+
+  void Report(const common::Status& status) {
+    std::printf("%s\n", status.ok() ? "ok" : std::string(status.message()).c_str());
+  }
+
+  pmem::PmemDevice dev_;
+  std::unique_ptr<vfs::FileSystem> fs_;
+  vmem::MmapEngine engine_;
+  common::ExecContext ctx_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell(argc > 1 ? argv[1] : "winefs");
+  return shell.Loop();
+}

@@ -1,0 +1,152 @@
+#include "src/aging/geriatrix.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace aging {
+
+using common::ExecContext;
+using common::Result;
+using common::Status;
+
+Geriatrix::Geriatrix(vfs::FileSystem* fs, Profile profile, AgingConfig config)
+    : fs_(fs), profile_(std::move(profile)), config_(config), rng_(config.seed) {}
+
+double Geriatrix::Utilization() { return fs_->GetFreeSpaceInfo().utilization(); }
+
+Status Geriatrix::CreateOneFile(ExecContext& ctx, uint64_t size) {
+  // Spread allocation pressure across logical CPUs so per-CPU pools age
+  // uniformly (real aging comes from many processes on many cores).
+  ctx.cpu = static_cast<uint32_t>(rng_.NextBelow(config_.rotate_cpus));
+  if (!dirs_created_) {
+    for (uint32_t d = 0; d < config_.num_dirs; d++) {
+      RETURN_IF_ERROR(fs_->Mkdir(ctx, "/age" + std::to_string(d)));
+    }
+    dirs_created_ = true;
+  }
+  const uint32_t dir = static_cast<uint32_t>(rng_.NextBelow(config_.num_dirs));
+  const std::string path =
+      "/age" + std::to_string(dir) + "/f" + std::to_string(next_file_id_++);
+  auto fd = fs_->Open(ctx, path, vfs::OpenFlags::CreateExcl());
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  Status status;
+  if (config_.use_fallocate) {
+    status = fs_->Fallocate(ctx, *fd, 0, size);
+  } else {
+    std::vector<uint8_t> buf(std::min<uint64_t>(size, 256 * common::kKiB), 0xab);
+    uint64_t written = 0;
+    while (written < size && status.ok()) {
+      const uint64_t chunk = std::min<uint64_t>(buf.size(), size - written);
+      auto n = fs_->Pwrite(ctx, *fd, buf.data(), chunk, written);
+      status = n.ok() ? common::OkStatus() : n.status();
+      written += chunk;
+    }
+  }
+  (void)fs_->Close(ctx, *fd);
+  if (!status.ok()) {
+    (void)fs_->Unlink(ctx, path);
+    return status;
+  }
+  live_files_.emplace_back(path, size);
+  stats_.files_created++;
+  stats_.bytes_allocated += size;
+  return common::OkStatus();
+}
+
+Status Geriatrix::DeleteRandomFile(ExecContext& ctx) {
+  ctx.cpu = static_cast<uint32_t>(rng_.NextBelow(config_.rotate_cpus));
+  if (live_files_.empty()) {
+    return Status(common::ErrCode::kNotFound);
+  }
+  const size_t idx = rng_.NextBelow(live_files_.size());
+  std::swap(live_files_[idx], live_files_.back());
+  const std::string path = live_files_.back().first;
+  live_files_.pop_back();
+  stats_.files_deleted++;
+  return fs_->Unlink(ctx, path);
+}
+
+Status Geriatrix::UpdateRandomFile(ExecContext& ctx) {
+  if (live_files_.empty()) {
+    return common::OkStatus();
+  }
+  ctx.cpu = static_cast<uint32_t>(rng_.NextBelow(config_.rotate_cpus));
+  const auto& [path, size] = live_files_[rng_.NextBelow(live_files_.size())];
+  if (size == 0) {
+    return common::OkStatus();
+  }
+  auto fd = fs_->Open(ctx, path, vfs::OpenFlags{});
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  const uint64_t len = std::min<uint64_t>(size, 64 * common::kKiB +
+                                                    rng_.NextBelow(192 * common::kKiB));
+  const uint64_t offset = size > len ? rng_.NextBelow(size - len) : 0;
+  static thread_local std::vector<uint8_t> buf(256 * common::kKiB, 0x5e);
+  auto n = fs_->Pwrite(ctx, *fd, buf.data(), len, offset);
+  (void)fs_->Close(ctx, *fd);
+  if (!n.ok()) {
+    return n.status();
+  }
+  stats_.files_updated++;
+  stats_.bytes_allocated += len;
+  return common::OkStatus();
+}
+
+Result<AgingStats> Geriatrix::AgeToUtilization(ExecContext& ctx, double utilization,
+                                               double churn_multiplier) {
+  const auto info = fs_->GetFreeSpaceInfo();
+  const uint64_t capacity_bytes = info.total_blocks * common::kBlockSize;
+
+  // Phase 1: fill.
+  int enospc_strikes = 0;
+  while (Utilization() < utilization) {
+    const uint64_t size = profile_.SampleFileSize();
+    const Status status = CreateOneFile(ctx, size);
+    if (!status.ok()) {
+      if (status.code() == common::ErrCode::kNoSpace && ++enospc_strikes < 16) {
+        RETURN_IF_ERROR(DeleteRandomFile(ctx));
+        continue;
+      }
+      return status;
+    }
+    enospc_strikes = 0;
+  }
+
+  // Phase 2: churn at this utilization.
+  const uint64_t churn_target =
+      stats_.bytes_allocated +
+      static_cast<uint64_t>(churn_multiplier * static_cast<double>(capacity_bytes));
+  while (stats_.bytes_allocated < churn_target) {
+    if (rng_.NextBool(config_.update_fraction)) {
+      RETURN_IF_ERROR(UpdateRandomFile(ctx));
+      continue;
+    }
+    if (Utilization() >= utilization && !live_files_.empty()) {
+      RETURN_IF_ERROR(DeleteRandomFile(ctx));
+      continue;
+    }
+    const uint64_t size = profile_.SampleFileSize();
+    const Status status = CreateOneFile(ctx, size);
+    if (!status.ok()) {
+      if (status.code() == common::ErrCode::kNoSpace) {
+        RETURN_IF_ERROR(DeleteRandomFile(ctx));
+        continue;
+      }
+      return status;
+    }
+  }
+
+  stats_.live_files = live_files_.size();
+  stats_.final_utilization = Utilization();
+  return stats_;
+}
+
+Result<AgingStats> Geriatrix::Run(ExecContext& ctx) {
+  return AgeToUtilization(ctx, config_.target_utilization, config_.write_multiplier);
+}
+
+}  // namespace aging

@@ -1,0 +1,78 @@
+// Geriatrix-style aging driver [26]: drives a filesystem to a target
+// utilization, then churns (delete-one/create-one) until a configured
+// multiple of the partition size has been written, reproducing the free-space
+// fragmentation that years of use build up (§5.1: 165 TB over 500 GB ≈ 330x;
+// scaled runs use smaller multipliers recorded in EXPERIMENTS.md).
+#ifndef SRC_AGING_GERIATRIX_H_
+#define SRC_AGING_GERIATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/aging/profiles.h"
+#include "src/common/exec_context.h"
+#include "src/common/rng.h"
+#include "src/vfs/file_system.h"
+
+namespace aging {
+
+struct AgingConfig {
+  double target_utilization = 0.75;
+  // Churn until this multiple of the partition capacity has been allocated.
+  double write_multiplier = 8.0;
+  uint64_t seed = 42;
+  uint32_t num_dirs = 32;
+  bool use_fallocate = true;  // allocate without copying payloads (fast aging)
+  // Aging ops rotate over this many logical CPUs so per-CPU pools age evenly.
+  uint32_t rotate_cpus = 8;
+  // Fraction of churn operations that overwrite a range of an existing file
+  // (§2.3 ages with "creations, deletions and updates"; updates are what make
+  // copy-on-write/log-structured filesystems relocate data).
+  double update_fraction = 0.25;
+};
+
+struct AgingStats {
+  uint64_t files_created = 0;
+  uint64_t files_deleted = 0;
+  uint64_t files_updated = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t live_files = 0;
+  double final_utilization = 0;
+};
+
+class Geriatrix {
+ public:
+  Geriatrix(vfs::FileSystem* fs, Profile profile, AgingConfig config);
+
+  // Fill to target utilization, then churn. Returns aggregate stats.
+  common::Result<AgingStats> Run(common::ExecContext& ctx);
+
+  // Incremental API for utilization sweeps: fills/churns until `utilization`,
+  // keeping state so callers can step 10% -> 20% -> ... (Fig 1, Fig 3).
+  common::Result<AgingStats> AgeToUtilization(common::ExecContext& ctx, double utilization,
+                                              double churn_multiplier);
+
+  const std::vector<std::pair<std::string, uint64_t>>& live_files() const {
+    return live_files_;
+  }
+
+ private:
+  common::Status CreateOneFile(common::ExecContext& ctx, uint64_t size);
+  common::Status DeleteRandomFile(common::ExecContext& ctx);
+  common::Status UpdateRandomFile(common::ExecContext& ctx);
+  double Utilization();
+
+  vfs::FileSystem* fs_;
+  Profile profile_;
+  AgingConfig config_;
+  common::Rng rng_;
+  uint64_t next_file_id_ = 0;
+  bool dirs_created_ = false;
+  std::vector<std::pair<std::string, uint64_t>> live_files_;  // path, size
+  AgingStats stats_;
+};
+
+}  // namespace aging
+
+#endif  // SRC_AGING_GERIATRIX_H_

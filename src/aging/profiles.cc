@@ -1,0 +1,80 @@
+#include "src/aging/profiles.h"
+
+#include "src/common/units.h"
+
+namespace aging {
+
+using common::kKiB;
+using common::kMiB;
+
+namespace {
+std::vector<double> Weights(const std::vector<SizeBucket>& buckets) {
+  std::vector<double> weights;
+  weights.reserve(buckets.size());
+  for (const SizeBucket& bucket : buckets) {
+    weights.push_back(bucket.weight);
+  }
+  return weights;
+}
+}  // namespace
+
+Profile::Profile(std::string name, std::vector<SizeBucket> buckets, uint64_t seed)
+    : name_(std::move(name)),
+      buckets_(std::move(buckets)),
+      sampler_(Weights(buckets_), seed),
+      jitter_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+uint64_t Profile::SampleFileSize() {
+  const SizeBucket& bucket = buckets_[sampler_.Next()];
+  // Jitter within the bucket (0.75x .. 1.5x) so sizes are not quantized.
+  const double factor = 0.75 + jitter_.NextDouble() * 0.75;
+  uint64_t size = static_cast<uint64_t>(static_cast<double>(bucket.bytes) * factor);
+  return size < 256 ? 256 : size;
+}
+
+double Profile::LargeFileCapacityShare() const {
+  double large = 0;
+  double total = 0;
+  for (const SizeBucket& bucket : buckets_) {
+    const double capacity = bucket.weight * static_cast<double>(bucket.bytes);
+    total += capacity;
+    if (bucket.bytes >= 2 * kMiB) {
+      large += capacity;
+    }
+  }
+  return total == 0 ? 0 : large / total;
+}
+
+Profile Profile::Agrawal(uint64_t seed) {
+  // Frequencies skew heavily small; byte-weighted, >= 2 MiB files carry ~56%
+  // of capacity (paper §5.1).
+  return Profile("agrawal",
+                 {
+                     {1 * kKiB, 260},
+                     {4 * kKiB, 300},
+                     {16 * kKiB, 220},
+                     {64 * kKiB, 120},
+                     {256 * kKiB, 55},
+                     {1 * kMiB, 22},
+                     {3 * kMiB, 7.0},
+                     {8 * kMiB, 3.2},
+                     {24 * kMiB, 1.1},
+                 },
+                 seed);
+}
+
+Profile Profile::WangHpc(uint64_t seed) {
+  // HPC checkpoint-style: medium/large files dominate both count and bytes.
+  return Profile("wang-hpc",
+                 {
+                     {64 * kKiB, 80},
+                     {512 * kKiB, 140},
+                     {1536 * kKiB, 180},
+                     {4 * kMiB, 90},
+                     {16 * kMiB, 28},
+                     {64 * kMiB, 6},
+                 },
+                 seed);
+}
+
+}  // namespace aging

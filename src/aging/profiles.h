@@ -1,0 +1,46 @@
+// File-size profiles used to age filesystems (§5.1, §4).
+//
+// Agrawal et al. [7]: a mix of small (< 2 MiB) and large (>= 2 MiB) files
+// where large files hold ~56% of used capacity. Wang et al. [47] ("HPC"):
+// fewer, larger files with a heavier large-file tail; the paper notes this
+// profile fragments ext4-DAX far worse (§4 "Using different aging profiles").
+#ifndef SRC_AGING_PROFILES_H_
+#define SRC_AGING_PROFILES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace aging {
+
+struct SizeBucket {
+  uint64_t bytes = 0;
+  double weight = 0;  // relative frequency of files in this bucket
+};
+
+class Profile {
+ public:
+  Profile(std::string name, std::vector<SizeBucket> buckets, uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  uint64_t SampleFileSize();
+
+  // Fraction of capacity a large population would put into >= 2 MiB files.
+  double LargeFileCapacityShare() const;
+
+  static Profile Agrawal(uint64_t seed);
+  static Profile WangHpc(uint64_t seed);
+
+ private:
+  std::string name_;
+  std::vector<SizeBucket> buckets_;
+  common::DiscreteSampler sampler_;
+  common::Rng jitter_;
+};
+
+}  // namespace aging
+
+#endif  // SRC_AGING_PROFILES_H_

@@ -1,0 +1,33 @@
+// Per-thread execution context threaded through every simulated operation.
+// Carries the logical CPU the thread runs on (filesystems key per-CPU
+// structures off it), the simulated clock, and event counters.
+#ifndef SRC_COMMON_EXEC_CONTEXT_H_
+#define SRC_COMMON_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/common/perf_counters.h"
+#include "src/common/sim_clock.h"
+
+namespace common {
+
+struct ExecContext {
+  explicit ExecContext(uint32_t cpu_id = 0, uint32_t numa_id = 0)
+      : cpu(cpu_id), numa_node(numa_id) {}
+
+  uint32_t cpu = 0;
+  uint32_t numa_node = 0;
+  // Process identifier; the NUMA policy in WineFS assigns a home node per process.
+  uint32_t pid = 0;
+  SimClock clock;
+  PerfCounters counters;
+
+  void Reset() {
+    clock.Reset();
+    counters.Reset();
+  }
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_EXEC_CONTEXT_H_

@@ -1,0 +1,99 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace common {
+
+namespace {
+// Geometric bucket growth; bucket i covers [Base^i, Base^(i+1)).
+constexpr double kBase = 1.04;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketFor(uint64_t nanos) {
+  if (nanos <= 1) {
+    return 0;
+  }
+  const size_t bucket =
+      static_cast<size_t>(std::log(static_cast<double>(nanos)) / std::log(kBase));
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
+  return static_cast<uint64_t>(std::pow(kBase, static_cast<double>(bucket + 1)));
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  buckets_[BucketFor(nanos)]++;
+  count_++;
+  sum_ += static_cast<double>(nanos);
+  if (count_ == 1) {
+    min_ = max_ = nanos;
+  } else {
+    min_ = std::min(min_, nanos);
+    max_ = std::max(max_, nanos);
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::MeanNanos() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t running = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    running += buckets_[i];
+    if (running >= target) {
+      return BucketUpperBound(i);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::CdfRows() const {
+  std::ostringstream out;
+  uint64_t running = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    running += buckets_[i];
+    out << BucketUpperBound(i) << " "
+        << static_cast<double>(running) / static_cast<double>(count_) << "\n";
+  }
+  return out.str();
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+}  // namespace common

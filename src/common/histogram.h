@@ -1,0 +1,44 @@
+// Log-bucketed latency histogram for CDF figures (Fig 4, Fig 8) and summaries.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace common {
+
+// Records nanosecond samples in power-of-~1.04 buckets; supports percentile
+// queries and CDF dumps without retaining every sample.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t nanos);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double MeanNanos() const;
+  uint64_t Percentile(double p) const;  // p in (0, 100]
+  uint64_t MedianNanos() const { return Percentile(50.0); }
+
+  // Emits "latency_ns cumulative_fraction" rows, one per non-empty bucket.
+  std::string CdfRows() const;
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(uint64_t nanos);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  static constexpr size_t kNumBuckets = 512;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,67 @@
+// Event counters accumulated by the simulators; the paper reports several of
+// these directly (page faults in Table 2, TLB and LLC misses in §5.4).
+#ifndef SRC_COMMON_PERF_COUNTERS_H_
+#define SRC_COMMON_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace common {
+
+struct PerfCounters {
+  // Virtual memory.
+  uint64_t page_faults_4k = 0;
+  uint64_t page_faults_2m = 0;
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_l1_misses = 0;
+  uint64_t tlb_l2_misses = 0;  // full walks
+  uint64_t llc_hits = 0;
+  uint64_t llc_misses = 0;
+
+  // Persistent memory traffic.
+  uint64_t pm_read_bytes = 0;
+  uint64_t pm_write_bytes = 0;
+  uint64_t clwb_count = 0;
+  uint64_t fence_count = 0;
+
+  // Filesystem-level accounting.
+  uint64_t syscall_count = 0;
+  uint64_t fsync_count = 0;
+  uint64_t journal_bytes = 0;   // metadata (and data-journal) bytes written twice
+  uint64_t cow_bytes = 0;       // bytes relocated by copy-on-write / log-structuring
+  uint64_t alloc_requests = 0;
+  uint64_t aligned_allocs = 0;  // requests satisfied by 2MB-aligned extents
+
+  // Time breakdown (ns) for Fig 2-style decomposition.
+  uint64_t fault_handling_ns = 0;
+  uint64_t data_copy_ns = 0;
+
+  uint64_t total_page_faults() const { return page_faults_4k + page_faults_2m; }
+
+  void Add(const PerfCounters& o) {
+    page_faults_4k += o.page_faults_4k;
+    page_faults_2m += o.page_faults_2m;
+    tlb_hits += o.tlb_hits;
+    tlb_l1_misses += o.tlb_l1_misses;
+    tlb_l2_misses += o.tlb_l2_misses;
+    llc_hits += o.llc_hits;
+    llc_misses += o.llc_misses;
+    pm_read_bytes += o.pm_read_bytes;
+    pm_write_bytes += o.pm_write_bytes;
+    clwb_count += o.clwb_count;
+    fence_count += o.fence_count;
+    syscall_count += o.syscall_count;
+    fsync_count += o.fsync_count;
+    journal_bytes += o.journal_bytes;
+    cow_bytes += o.cow_bytes;
+    alloc_requests += o.alloc_requests;
+    aligned_allocs += o.aligned_allocs;
+    fault_handling_ns += o.fault_handling_ns;
+    data_copy_ns += o.data_copy_ns;
+  }
+
+  void Reset() { *this = PerfCounters{}; }
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_PERF_COUNTERS_H_

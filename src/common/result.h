@@ -1,0 +1,56 @@
+// Result<T>: Status or a value. Lightweight fit::result-style type.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace common {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}                       // NOLINT
+  Result(Status status) : status_(status) { assert(!status.ok()); }   // NOLINT
+  Result(ErrCode code) : status_(code) { assert(code != ErrCode::kOk); }  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  Status status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define ASSIGN_OR_RETURN(lhs, expr)          \
+  auto COMMON_CONCAT_(result_, __LINE__) = (expr);     \
+  if (!COMMON_CONCAT_(result_, __LINE__).ok()) {       \
+    return COMMON_CONCAT_(result_, __LINE__).status(); \
+  }                                          \
+  lhs = std::move(COMMON_CONCAT_(result_, __LINE__).value())
+
+#define COMMON_CONCAT_INNER_(a, b) a##b
+#define COMMON_CONCAT_(a, b) COMMON_CONCAT_INNER_(a, b)
+
+}  // namespace common
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,128 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// Fowler–Noll–Vo style scramble used by YCSB to spread hot keys.
+uint64_t FnvHash64(uint64_t value) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  return Next() % bound;
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  assert(n > 0);
+  zetan_ = Zeta(n_);
+  zeta2theta_ = Zeta(2);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t count) const {
+  double sum = 0;
+  for (uint64_t i = 1; i <= count; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double value =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(value);
+  return result >= n_ ? n_ - 1 : result;
+}
+
+uint64_t ZipfGenerator::ScrambledNext() { return FnvHash64(Next()) % n_; }
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights, uint64_t seed)
+    : rng_(seed) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    total += w;
+  }
+  double running = 0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    running += w / total;
+    cumulative_.push_back(running);
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t DiscreteSampler::Next() {
+  const double u = rng_.NextDouble();
+  for (size_t i = 0; i < cumulative_.size(); i++) {
+    if (u < cumulative_[i]) {
+      return i;
+    }
+  }
+  return cumulative_.size() - 1;
+}
+
+}  // namespace common

@@ -1,0 +1,71 @@
+// Deterministic random number generation for workloads and aging.
+// xoshiro256** core plus uniform/Zipf helpers. Not thread-safe; use one per thread.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace common {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipfian distribution over [0, n) with parameter theta (YCSB-style, with
+// scrambling available through ScrambledNext for hot keys spread over the space).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+  uint64_t ScrambledNext();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t count) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Rng rng_;
+};
+
+// Samples indexes into a discrete weight table; used by aging profiles.
+class DiscreteSampler {
+ public:
+  DiscreteSampler(std::vector<double> weights, uint64_t seed);
+
+  size_t Next();
+
+ private:
+  std::vector<double> cumulative_;
+  Rng rng_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_RNG_H_

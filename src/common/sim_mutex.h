@@ -1,0 +1,90 @@
+// SimMutex: a mutex whose contention is modeled in simulated time.
+//
+// Real std::mutex serializes the host threads (data-race safety). For
+// simulated time, the mutex keeps a ledger of recent busy intervals
+// [lock_time, unlock_time) on the holders' simulated clocks. A simulated
+// thread acquiring the lock is delayed only if its own clock falls inside a
+// recorded busy interval — then it advances to that interval's end (chaining
+// through back-to-back intervals). Threads whose simulated "now" misses every
+// busy window proceed untouched, so lightly-held locks do not serialize
+// timelines, while long holds (a stop-the-world journal commit) stall every
+// concurrent timeline that lands in them.
+#ifndef SRC_COMMON_SIM_MUTEX_H_
+#define SRC_COMMON_SIM_MUTEX_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/exec_context.h"
+
+namespace common {
+
+class SimMutex {
+ public:
+  SimMutex() = default;
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  void Lock(ExecContext& ctx) {
+    mu_.lock();
+    const uint64_t arrived = ctx.clock.NowNs();
+    uint64_t now = arrived;
+    // Chase the busy intervals: waiting inside one may land us in the next.
+    bool moved = true;
+    int guard = 0;
+    while (moved && guard++ < 2 * kRingSize) {
+      moved = false;
+      for (const Interval& interval : ring_) {
+        if (now >= interval.start && now < interval.end) {
+          now = interval.end;
+          moved = true;
+        }
+      }
+    }
+    wait_ns_ += now - arrived;
+    ctx.clock.AdvanceTo(now);
+    cs_enter_ns_ = ctx.clock.NowNs();
+  }
+
+  void Unlock(ExecContext& ctx) {
+    const uint64_t end = ctx.clock.NowNs();
+    if (end > cs_enter_ns_) {
+      ring_[head_] = Interval{cs_enter_ns_, end};
+      head_ = (head_ + 1) % kRingSize;
+    }
+    mu_.unlock();
+  }
+
+  uint64_t total_wait_ns() const { return wait_ns_; }
+
+  class Guard {
+   public:
+    Guard(SimMutex& mutex, ExecContext& ctx) : mutex_(mutex), ctx_(ctx) { mutex_.Lock(ctx_); }
+    ~Guard() { mutex_.Unlock(ctx_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    SimMutex& mutex_;
+    ExecContext& ctx_;
+  };
+
+ private:
+  struct Interval {
+    uint64_t start = 0;
+    uint64_t end = 0;
+  };
+  static constexpr int kRingSize = 64;
+
+  std::mutex mu_;
+  // All fields below are guarded by mu_.
+  std::array<Interval, kRingSize> ring_{};
+  size_t head_ = 0;
+  uint64_t cs_enter_ns_ = 0;
+  uint64_t wait_ns_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_SIM_MUTEX_H_

@@ -1,0 +1,41 @@
+#include "src/common/status.h"
+
+namespace common {
+
+std::string_view Status::message() const {
+  switch (code_) {
+    case ErrCode::kOk:
+      return "ok";
+    case ErrCode::kNotFound:
+      return "not found";
+    case ErrCode::kExists:
+      return "already exists";
+    case ErrCode::kNoSpace:
+      return "no space left on device";
+    case ErrCode::kInvalidArgument:
+      return "invalid argument";
+    case ErrCode::kNotDir:
+      return "not a directory";
+    case ErrCode::kIsDir:
+      return "is a directory";
+    case ErrCode::kNotEmpty:
+      return "directory not empty";
+    case ErrCode::kBadFd:
+      return "bad file descriptor";
+    case ErrCode::kIoError:
+      return "I/O error";
+    case ErrCode::kNoData:
+      return "no data available";
+    case ErrCode::kBusy:
+      return "resource busy";
+    case ErrCode::kNotSupported:
+      return "operation not supported";
+    case ErrCode::kCorrupt:
+      return "on-PM structure corrupt";
+    case ErrCode::kInternal:
+      return "internal invariant violation";
+  }
+  return "unknown";
+}
+
+}  // namespace common

@@ -1,0 +1,62 @@
+// Error-code based status type used on all filesystem and simulator paths.
+// Modeled after errno/zx_status: cheap to pass by value, no exceptions.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace common {
+
+enum class ErrCode : int32_t {
+  kOk = 0,
+  kNotFound,        // ENOENT
+  kExists,          // EEXIST
+  kNoSpace,         // ENOSPC
+  kInvalidArgument, // EINVAL
+  kNotDir,          // ENOTDIR
+  kIsDir,           // EISDIR
+  kNotEmpty,        // ENOTEMPTY
+  kBadFd,           // EBADF
+  kIoError,         // EIO
+  kNoData,          // ENODATA (xattr)
+  kBusy,            // EBUSY
+  kNotSupported,    // EOPNOTSUPP
+  kCorrupt,         // on-PM structure failed validation
+  kInternal,        // invariant violation inside the simulator
+};
+
+// Value-type status. kOk is success; everything else carries a code.
+class Status {
+ public:
+  constexpr Status() : code_(ErrCode::kOk) {}
+  constexpr explicit Status(ErrCode code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == ErrCode::kOk; }
+  constexpr ErrCode code() const { return code_; }
+
+  std::string_view message() const;
+
+  constexpr bool operator==(const Status& other) const = default;
+
+ private:
+  ErrCode code_;
+};
+
+constexpr Status OkStatus() { return Status::Ok(); }
+constexpr Status ErrorStatus(ErrCode code) { return Status(code); }
+
+// Propagates a non-ok Status out of the current function.
+#define RETURN_IF_ERROR(expr)            \
+  do {                                   \
+    ::common::Status status_ = (expr);   \
+    if (!status_.ok()) {                 \
+      return status_;                    \
+    }                                    \
+  } while (0)
+
+}  // namespace common
+
+#endif  // SRC_COMMON_STATUS_H_

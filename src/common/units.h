@@ -1,0 +1,39 @@
+// Size and layout constants shared by the PM device, MMU simulator, and filesystems.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace common {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Filesystem block: 4 KiB base page.
+inline constexpr uint64_t kBlockSize = 4 * kKiB;
+// Hugepage: 2 MiB, i.e. 512 blocks.
+inline constexpr uint64_t kHugepageSize = 2 * kMiB;
+inline constexpr uint64_t kBlocksPerHugepage = kHugepageSize / kBlockSize;
+// Cacheline granularity of PM accesses and journal entries.
+inline constexpr uint64_t kCacheline = 64;
+
+inline constexpr uint64_t BytesToBlocks(uint64_t bytes) {
+  return (bytes + kBlockSize - 1) / kBlockSize;
+}
+
+inline constexpr uint64_t RoundUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+inline constexpr uint64_t RoundDown(uint64_t value, uint64_t align) {
+  return value / align * align;
+}
+
+inline constexpr bool IsAligned(uint64_t value, uint64_t align) {
+  return value % align == 0;
+}
+
+}  // namespace common
+
+#endif  // SRC_COMMON_UNITS_H_

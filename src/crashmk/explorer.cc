@@ -1,0 +1,249 @@
+#include "src/crashmk/explorer.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace crashmk {
+
+using common::ExecContext;
+using common::Status;
+
+std::string CrashOp::Describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kCreate:
+      out << "create " << path;
+      break;
+    case Kind::kAppend:
+      out << "append " << path << " len=" << len;
+      break;
+    case Kind::kPwrite:
+      out << "pwrite " << path << " off=" << offset << " len=" << len;
+      break;
+    case Kind::kUnlink:
+      out << "unlink " << path;
+      break;
+    case Kind::kMkdir:
+      out << "mkdir " << path;
+      break;
+    case Kind::kRmdir:
+      out << "rmdir " << path;
+      break;
+    case Kind::kRename:
+      out << "rename " << path << " -> " << path2;
+      break;
+    case Kind::kTruncate:
+      out << "truncate " << path << " size=" << len;
+      break;
+    case Kind::kFallocate:
+      out << "fallocate " << path << " off=" << offset << " len=" << len;
+      break;
+  }
+  return out.str();
+}
+
+Status Explorer::ApplyOp(ExecContext& ctx, vfs::FileSystem& fs, const CrashOp& op) {
+  std::vector<uint8_t> payload(op.len, 0xc7);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<uint8_t>(0x40 + (i % 61));
+  }
+  switch (op.kind) {
+    case CrashOp::Kind::kCreate: {
+      ASSIGN_OR_RETURN(const int fd, fs.Open(ctx, op.path, vfs::OpenFlags::CreateExcl()));
+      return fs.Close(ctx, fd);
+    }
+    case CrashOp::Kind::kAppend: {
+      ASSIGN_OR_RETURN(const int fd, fs.Open(ctx, op.path, vfs::OpenFlags{}));
+      auto n = fs.Append(ctx, fd, payload.data(), payload.size());
+      (void)fs.Close(ctx, fd);
+      return n.ok() ? common::OkStatus() : n.status();
+    }
+    case CrashOp::Kind::kPwrite: {
+      ASSIGN_OR_RETURN(const int fd, fs.Open(ctx, op.path, vfs::OpenFlags{}));
+      auto n = fs.Pwrite(ctx, fd, payload.data(), payload.size(), op.offset);
+      (void)fs.Close(ctx, fd);
+      return n.ok() ? common::OkStatus() : n.status();
+    }
+    case CrashOp::Kind::kUnlink:
+      return fs.Unlink(ctx, op.path);
+    case CrashOp::Kind::kMkdir:
+      return fs.Mkdir(ctx, op.path);
+    case CrashOp::Kind::kRmdir:
+      return fs.Rmdir(ctx, op.path);
+    case CrashOp::Kind::kRename:
+      return fs.Rename(ctx, op.path, op.path2);
+    case CrashOp::Kind::kTruncate: {
+      ASSIGN_OR_RETURN(const int fd, fs.Open(ctx, op.path, vfs::OpenFlags{}));
+      const Status status = fs.Ftruncate(ctx, fd, op.len);
+      (void)fs.Close(ctx, fd);
+      return status;
+    }
+    case CrashOp::Kind::kFallocate: {
+      ASSIGN_OR_RETURN(const int fd, fs.Open(ctx, op.path, vfs::OpenFlags{}));
+      const Status status = fs.Fallocate(ctx, fd, op.offset, op.len);
+      (void)fs.Close(ctx, fd);
+      return status;
+    }
+  }
+  return common::OkStatus();
+}
+
+ExploreResult Explorer::RunWorkload(const Workload& workload) {
+  ExploreResult result;
+
+  pmem::PmemDevice device(config_.device_bytes);
+  auto fs = factory_(&device);
+  ExecContext ctx;
+  if (!fs->Mkfs(ctx).ok()) {
+    result.mount_failures++;
+    result.first_failure = "mkfs failed";
+    return result;
+  }
+
+  // Standard ACE fixture.
+  auto seed_file = [&](const std::string& path, uint64_t size) {
+    auto fd = fs->Open(ctx, path, vfs::OpenFlags::Create());
+    std::vector<uint8_t> data(size, 0x11);
+    if (size > 0) {
+      (void)fs->Pwrite(ctx, *fd, data.data(), data.size(), 0);
+    }
+    (void)fs->Close(ctx, *fd);
+  };
+  seed_file("/A", 9000);
+  seed_file("/B", 3000);
+  (void)fs->Mkdir(ctx, "/D");
+  seed_file("/D/C", 500);
+
+  device.EnableCrashTracking();
+
+  for (const CrashOp& op : workload) {
+    const Oracle pre = Oracle::Capture(ctx, *fs);
+    const std::vector<uint8_t> image_at_op_start = device.PersistentImage();
+
+    device.BeginEpochRecording();
+    const Status op_status = ApplyOp(ctx, *fs, op);
+    auto epochs = device.TakeEpochLog();
+    if (!op_status.ok()) {
+      result.first_failure = "op failed live: " + op.Describe();
+      result.oracle_failures++;
+      return result;
+    }
+    const Oracle post = Oracle::Capture(ctx, *fs);
+    result.ops_executed++;
+
+    // Enumerate crash states.
+    std::vector<uint8_t> base = image_at_op_start;
+    auto apply_lines = [](std::vector<uint8_t>& img, const std::vector<pmem::PendingLine>& lines,
+                          uint64_t subset_mask) {
+      for (size_t i = 0; i < lines.size(); i++) {
+        if (subset_mask & (1ull << i)) {
+          std::memcpy(img.data() + lines[i].line_offset, lines[i].data, common::kCacheline);
+        }
+      }
+    };
+
+    pmem::PmemDevice crash_dev(config_.device_bytes);
+    auto check_state = [&](const std::vector<uint8_t>& img) {
+      result.crash_states++;
+      crash_dev.RestoreImage(img);
+      auto crash_fs = factory_(&crash_dev);
+      ExecContext rctx;
+      if (!crash_fs->Mount(rctx).ok()) {
+        result.mount_failures++;
+        if (result.first_failure.empty()) {
+          result.first_failure = "mount failed after crash in: " + op.Describe();
+        }
+        return;
+      }
+      const Oracle recovered = Oracle::Capture(rctx, *crash_fs);
+      if (!(recovered == pre) && !(recovered == post)) {
+        result.oracle_failures++;
+        if (result.first_failure.empty()) {
+          result.first_failure = "inconsistent state after crash in: " + op.Describe() +
+                                 "\n--- vs pre ---\n" + recovered.DiffAgainst(pre) +
+                                 "--- vs post ---\n" + recovered.DiffAgainst(post);
+        }
+      }
+    };
+
+    for (const auto& epoch : epochs) {
+      // Crash before this fence completed: any subset of the lines that were
+      // eligible to persist here (the fenced batch plus the unflushed ones).
+      std::vector<pmem::PendingLine> eligible = epoch.persisted;
+      eligible.insert(eligible.end(), epoch.in_flight_after.begin(),
+                      epoch.in_flight_after.end());
+      if (eligible.size() <= config_.max_subset_bits) {
+        const uint64_t combos = 1ull << eligible.size();
+        for (uint64_t mask = 0; mask < combos; mask++) {
+          std::vector<uint8_t> img = base;
+          apply_lines(img, eligible, mask);
+          check_state(img);
+        }
+      } else {
+        // Too many in-flight lines for exhaustive subsets (bulk zeroing or
+        // data-journal blobs): check the boundary state plus an even sample
+        // of single-line and prefix states.
+        check_state(base);
+        constexpr size_t kMaxSampled = 96;
+        const size_t stride = std::max<size_t>(1, eligible.size() / kMaxSampled);
+        for (size_t i = 0; i < eligible.size(); i += stride) {
+          std::vector<uint8_t> img = base;
+          apply_lines(img, eligible, 1ull << (i % 64));
+          // Also a prefix state: everything up to line i persisted.
+          for (size_t p = 0; p <= i; p++) {
+            std::memcpy(img.data() + eligible[p].line_offset, eligible[p].data,
+                        common::kCacheline);
+          }
+          check_state(img);
+        }
+      }
+      // Advance the base image past this fence: everything it persisted.
+      for (const pmem::PendingLine& line : epoch.persisted) {
+        std::memcpy(base.data() + line.line_offset, line.data, common::kCacheline);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Workload> Explorer::GenerateAceWorkloads(bool include_data_ops) {
+  using K = CrashOp::Kind;
+  std::vector<Workload> out;
+  auto add = [&](std::initializer_list<CrashOp> ops) { out.push_back(Workload(ops)); };
+
+  // seq-1: every metadata operation on the fixture.
+  add({{K::kCreate, "/new", "", 0, 0}});
+  add({{K::kCreate, "/D/new", "", 0, 0}});
+  add({{K::kMkdir, "/E", "", 0, 0}});
+  add({{K::kMkdir, "/D/sub", "", 0, 0}});
+  add({{K::kUnlink, "/A", "", 0, 0}});
+  add({{K::kUnlink, "/D/C", "", 0, 0}});
+  add({{K::kRename, "/A", "/A2", 0, 0}});
+  add({{K::kRename, "/A", "/B", 0, 0}});      // overwrite
+  add({{K::kRename, "/D/C", "/C2", 0, 0}});   // cross-directory
+  add({{K::kTruncate, "/A", "", 0, 100}});    // shrink
+  add({{K::kTruncate, "/A", "", 0, 50000}});  // sparse grow
+  add({{K::kFallocate, "/B", "", 0, 65536}});
+
+  // seq-2: dependent chains.
+  add({{K::kCreate, "/new", "", 0, 0}, {K::kRename, "/new", "/new2", 0, 0}});
+  add({{K::kCreate, "/new", "", 0, 0}, {K::kUnlink, "/new", "", 0, 0}});
+  add({{K::kMkdir, "/E", "", 0, 0}, {K::kCreate, "/E/f", "", 0, 0}});
+  add({{K::kUnlink, "/D/C", "", 0, 0}, {K::kRmdir, "/D", "", 0, 0}});
+  add({{K::kRename, "/A", "/A2", 0, 0}, {K::kCreate, "/A", "", 0, 0}});
+
+  if (include_data_ops) {
+    add({{K::kAppend, "/A", "", 0, 100}});
+    add({{K::kAppend, "/A", "", 0, 4096}});
+    add({{K::kAppend, "/A", "", 0, 20000}});
+    add({{K::kPwrite, "/A", "", 0, 64}});
+    add({{K::kPwrite, "/A", "", 4000, 8192}});  // straddles blocks
+    add({{K::kCreate, "/new", "", 0, 0}, {K::kAppend, "/new", "", 0, 3000}});
+    add({{K::kAppend, "/A", "", 0, 1000}, {K::kTruncate, "/A", "", 0, 500}});
+  }
+  return out;
+}
+
+}  // namespace crashmk

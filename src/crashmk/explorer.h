@@ -1,0 +1,87 @@
+// CrashMonkey/ACE-style crash-consistency explorer (§5.2).
+//
+// For every operation of a workload it records the persist epochs the
+// filesystem generated, enumerates crash states (each fence boundary, plus
+// every subset of the lines that were in flight there), reboots a fresh
+// filesystem instance on each crash image, runs recovery, and checks that the
+// recovered logical state equals either the pre-op or the post-op oracle.
+#ifndef SRC_CRASHMK_EXPLORER_H_
+#define SRC_CRASHMK_EXPLORER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/crashmk/oracle.h"
+#include "src/pmem/device.h"
+#include "src/vfs/file_system.h"
+
+namespace crashmk {
+
+struct CrashOp {
+  enum class Kind {
+    kCreate,
+    kAppend,
+    kPwrite,
+    kUnlink,
+    kMkdir,
+    kRmdir,
+    kRename,
+    kTruncate,
+    kFallocate,
+  };
+  Kind kind;
+  std::string path;
+  std::string path2;  // rename target
+  uint64_t offset = 0;
+  uint64_t len = 0;
+
+  // Data-path ops are only atomic under strict guarantees; metadata ops must
+  // be atomic in every mode.
+  bool IsDataOp() const { return kind == Kind::kAppend || kind == Kind::kPwrite; }
+  std::string Describe() const;
+};
+
+using Workload = std::vector<CrashOp>;
+
+struct ExploreResult {
+  uint64_t ops_executed = 0;
+  uint64_t crash_states = 0;
+  uint64_t mount_failures = 0;
+  uint64_t oracle_failures = 0;
+  std::string first_failure;
+
+  bool ok() const { return mount_failures == 0 && oracle_failures == 0; }
+};
+
+class Explorer {
+ public:
+  using FsFactory = std::function<std::unique_ptr<vfs::FileSystem>(pmem::PmemDevice*)>;
+
+  struct Config {
+    uint64_t device_bytes = 16ull * 1024 * 1024;
+    // Cap on exhaustive subset enumeration per fence boundary (2^bits states).
+    uint32_t max_subset_bits = 6;
+  };
+
+  Explorer(FsFactory factory, Config config) : factory_(std::move(factory)), config_(config) {}
+
+  // Runs one workload against a fresh filesystem with the standard fixture
+  // (/A, /B with contents, directory /D with /D/C) pre-created.
+  ExploreResult RunWorkload(const Workload& workload);
+
+  // ACE-style generated workloads: every single op, plus two-op sequences
+  // that chain dependent metadata updates.
+  static std::vector<Workload> GenerateAceWorkloads(bool include_data_ops);
+
+ private:
+  common::Status ApplyOp(common::ExecContext& ctx, vfs::FileSystem& fs, const CrashOp& op);
+
+  FsFactory factory_;
+  Config config_;
+};
+
+}  // namespace crashmk
+
+#endif  // SRC_CRASHMK_EXPLORER_H_

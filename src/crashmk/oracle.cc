@@ -1,0 +1,85 @@
+#include "src/crashmk/oracle.h"
+
+#include <sstream>
+#include <vector>
+
+namespace crashmk {
+
+namespace {
+
+uint64_t Fnv1a(const uint8_t* data, size_t len, uint64_t hash) {
+  for (size_t i = 0; i < len; i++) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void Walk(common::ExecContext& ctx, vfs::FileSystem& fs, const std::string& dir,
+          std::map<std::string, OracleEntry>& out) {
+  auto entries = fs.ReadDir(ctx, dir.empty() ? "/" : dir);
+  if (!entries.ok()) {
+    return;
+  }
+  for (const auto& entry : *entries) {
+    const std::string path = dir + "/" + entry.name;
+    OracleEntry oe;
+    oe.is_dir = entry.is_dir;
+    if (entry.is_dir) {
+      out[path] = oe;
+      Walk(ctx, fs, path, out);
+      continue;
+    }
+    auto st = fs.Stat(ctx, path);
+    if (!st.ok()) {
+      continue;
+    }
+    oe.size = st->size;
+    auto fd = fs.Open(ctx, path, vfs::OpenFlags::ReadOnly());
+    if (fd.ok()) {
+      uint64_t hash = 0xcbf29ce484222325ULL;
+      std::vector<uint8_t> buf(64 * 1024);
+      uint64_t off = 0;
+      while (off < st->size) {
+        auto n = fs.Pread(ctx, *fd, buf.data(), buf.size(), off);
+        if (!n.ok() || *n == 0) {
+          break;
+        }
+        hash = Fnv1a(buf.data(), *n, hash);
+        off += *n;
+      }
+      oe.content_hash = hash;
+      (void)fs.Close(ctx, *fd);
+    }
+    out[path] = oe;
+  }
+}
+
+}  // namespace
+
+Oracle Oracle::Capture(common::ExecContext& ctx, vfs::FileSystem& fs) {
+  Oracle oracle;
+  Walk(ctx, fs, "", oracle.entries_);
+  return oracle;
+}
+
+std::string Oracle::DiffAgainst(const Oracle& other) const {
+  std::ostringstream out;
+  for (const auto& [path, entry] : entries_) {
+    auto it = other.entries_.find(path);
+    if (it == other.entries_.end()) {
+      out << "only-left: " << path << " size=" << entry.size << "\n";
+    } else if (!(it->second == entry)) {
+      out << "differs: " << path << " size " << entry.size << " vs " << it->second.size
+          << " hash " << entry.content_hash << " vs " << it->second.content_hash << "\n";
+    }
+  }
+  for (const auto& [path, entry] : other.entries_) {
+    if (entries_.find(path) == entries_.end()) {
+      out << "only-right: " << path << " size=" << entry.size << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace crashmk

@@ -1,0 +1,43 @@
+// Oracle: a logical snapshot of a filesystem's user-visible state (paths,
+// sizes, content hashes). CrashMonkey-style checking compares a recovered
+// filesystem against the pre-op and post-op oracles: an atomic, synchronous
+// filesystem must recover to exactly one of the two.
+#ifndef SRC_CRASHMK_ORACLE_H_
+#define SRC_CRASHMK_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/exec_context.h"
+#include "src/vfs/file_system.h"
+
+namespace crashmk {
+
+struct OracleEntry {
+  bool is_dir = false;
+  uint64_t size = 0;
+  uint64_t content_hash = 0;
+
+  bool operator==(const OracleEntry&) const = default;
+};
+
+class Oracle {
+ public:
+  // Captures the full logical state reachable from "/".
+  static Oracle Capture(common::ExecContext& ctx, vfs::FileSystem& fs);
+
+  bool operator==(const Oracle&) const = default;
+
+  // Human-readable diff for failure messages (empty if equal).
+  std::string DiffAgainst(const Oracle& other) const;
+
+  const std::map<std::string, OracleEntry>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, OracleEntry> entries_;
+};
+
+}  // namespace crashmk
+
+#endif  // SRC_CRASHMK_ORACLE_H_

@@ -1,0 +1,79 @@
+// ext4-DAX model: a mature extent filesystem whose allocator optimizes for
+// contiguity and locality (per-inode goal, first-fit) with no preference for
+// 2 MiB-aligned extents, and whose crash consistency is a JBD2-style global
+// journal committed stop-the-world on fsync (§2.6, §5.6).
+//
+// Metadata consistency only (relaxed guarantees). Pages are zeroed in the
+// page-fault handler, not at allocation (§5.4: ext4-DAX's faults are more
+// expensive than NOVA's for PmemKV).
+#ifndef SRC_FS_EXT4DAX_EXT4DAX_H_
+#define SRC_FS_EXT4DAX_EXT4DAX_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "src/fs/fscore/generic_fs.h"
+
+namespace ext4dax {
+
+enum class AllocPolicy {
+  kGoalFirstFit,    // ext4 mballoc-style: locality goal, first fit
+  kBySizeBestFit,   // xfs-style: by-size best fit, alignment-oblivious
+  // §4 "Thoughts on adding hugepage-friendliness to existing file systems":
+  // the authors' modified ext4-DAX that hunts for aligned extents. Gets
+  // hugepages on a clean FS but spends allocator time searching when aged.
+  kAlignedHunting,
+};
+
+struct Ext4Options {
+  fscore::FsOptions base{
+      .journal_blocks = 2048,
+      .num_cpus = 1,
+      .mode = vfs::GuaranteeMode::kRelaxed,
+  };
+  AllocPolicy policy = AllocPolicy::kGoalFirstFit;
+};
+
+class Ext4Dax : public fscore::GenericFs {
+ public:
+  Ext4Dax(pmem::PmemDevice* device, Ext4Options options);
+
+  std::string_view Name() const override { return "ext4-dax"; }
+  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+
+ protected:
+  common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
+                                                          fscore::Inode& inode,
+                                                          uint64_t nblocks,
+                                                          fscore::AllocIntent intent) override;
+  void FreeBlocks(common::ExecContext& ctx,
+                  const std::vector<fscore::Extent>& extents) override;
+
+  // Metadata updates are buffered (in DRAM page cache in the real system;
+  // here written in place uncharged) and journaled as whole blocks at the
+  // next JBD2 commit.
+  void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                   const void* data, uint64_t len) override;
+
+  // JBD2 commit: global lock, whole dirty blocks copied into the journal.
+  common::Status FsyncImpl(common::ExecContext& ctx, fscore::Inode& inode) override;
+
+  bool ZeroOnFault() const override { return true; }
+
+  void InitAllocator(uint64_t data_start, uint64_t nblocks) override;
+  void RebuildAllocator(common::ExecContext& ctx, fscore::FreeSpaceMap&& free_map) override;
+
+  // Commits the running JBD2 transaction (shared with subclasses).
+  void Jbd2Commit(common::ExecContext& ctx);
+
+  Ext4Options eopts_;
+  fscore::FreeSpaceMap free_;
+  std::unordered_map<vfs::InodeNum, uint64_t> goals_;  // per-inode allocation goal
+  std::set<uint64_t> dirty_meta_blocks_;
+  common::SimMutex jbd2_lock_;
+  uint64_t journal_cursor_ = 0;  // ring position, blocks
+};
+
+}  // namespace ext4dax
+
+#endif  // SRC_FS_EXT4DAX_EXT4DAX_H_

@@ -1,0 +1,96 @@
+#include "src/fs/fscore/extent.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fscore {
+
+void ExtentMap::Insert(uint64_t logical_block, uint64_t phys_block, uint64_t len) {
+  assert(len > 0);
+  // Merge with predecessor if logically and physically contiguous.
+  auto it = map_.lower_bound(logical_block);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.len == logical_block &&
+        prev->second.phys + prev->second.len == phys_block) {
+      prev->second.len += len;
+      // Try merging with the successor too.
+      if (it != map_.end() && prev->first + prev->second.len == it->first &&
+          prev->second.phys + prev->second.len == it->second.phys) {
+        prev->second.len += it->second.len;
+        map_.erase(it);
+      }
+      return;
+    }
+  }
+  if (it != map_.end() && logical_block + len == it->first &&
+      phys_block + len == it->second.phys) {
+    const Run merged{phys_block, len + it->second.len};
+    map_.erase(it);
+    map_[logical_block] = merged;
+    return;
+  }
+  map_[logical_block] = Run{phys_block, len};
+}
+
+std::vector<Extent> ExtentMap::Remove(uint64_t logical_block, uint64_t len) {
+  std::vector<Extent> freed;
+  const uint64_t range_end = logical_block + len;
+  auto it = map_.lower_bound(logical_block);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.len > logical_block) {
+      it = prev;
+    }
+  }
+  while (it != map_.end() && it->first < range_end) {
+    const uint64_t run_start = it->first;
+    const uint64_t run_end = run_start + it->second.len;
+    const uint64_t phys = it->second.phys;
+    const uint64_t cut_start = std::max(run_start, logical_block);
+    const uint64_t cut_end = std::min(run_end, range_end);
+    freed.push_back(Extent{phys + (cut_start - run_start), cut_end - cut_start});
+    it = map_.erase(it);
+    if (run_start < cut_start) {
+      map_[run_start] = Run{phys, cut_start - run_start};
+    }
+    if (cut_end < run_end) {
+      map_[cut_end] = Run{phys + (cut_end - run_start), run_end - cut_end};
+      break;
+    }
+  }
+  return freed;
+}
+
+std::optional<ExtentMap::Mapping> ExtentMap::Lookup(uint64_t logical_block) const {
+  auto it = map_.upper_bound(logical_block);
+  if (it == map_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const uint64_t run_start = it->first;
+  if (logical_block >= run_start + it->second.len) {
+    return std::nullopt;
+  }
+  const uint64_t delta = logical_block - run_start;
+  return Mapping{it->second.phys + delta, it->second.len - delta};
+}
+
+std::vector<std::pair<uint64_t, Extent>> ExtentMap::Entries() const {
+  std::vector<std::pair<uint64_t, Extent>> out;
+  out.reserve(map_.size());
+  for (const auto& [logical, run] : map_) {
+    out.emplace_back(logical, Extent{run.phys, run.len});
+  }
+  return out;
+}
+
+uint64_t ExtentMap::MappedBlocks() const {
+  uint64_t total = 0;
+  for (const auto& [logical, run] : map_) {
+    total += run.len;
+  }
+  return total;
+}
+
+}  // namespace fscore

@@ -1,0 +1,68 @@
+// Extents and per-file logical->physical extent maps.
+#ifndef SRC_FS_FSCORE_EXTENT_H_
+#define SRC_FS_FSCORE_EXTENT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace fscore {
+
+// A run of physically contiguous 4 KiB blocks.
+struct Extent {
+  uint64_t phys_block = 0;
+  uint64_t num_blocks = 0;
+
+  uint64_t end() const { return phys_block + num_blocks; }
+  bool operator==(const Extent&) const = default;
+
+  // Hugepage-capable: 2 MiB-aligned start and at least 2 MiB long.
+  bool IsAligned() const {
+    return common::IsAligned(phys_block, common::kBlocksPerHugepage) &&
+           num_blocks >= common::kBlocksPerHugepage;
+  }
+};
+
+// Maps a file's logical blocks to physical extents. DRAM-side mirror of the
+// on-PM extent list; kept sorted and merged.
+class ExtentMap {
+ public:
+  struct Mapping {
+    uint64_t phys_block = 0;
+    uint64_t contiguous_blocks = 0;  // run length starting at the queried block
+  };
+
+  // Inserts [logical, logical+len) -> phys run. Overlapping ranges must be
+  // removed first (callers punch before remap on CoW).
+  void Insert(uint64_t logical_block, uint64_t phys_block, uint64_t len);
+
+  // Removes the mapping for [logical, logical+len); returns the physical
+  // extents that were covered (for freeing).
+  std::vector<Extent> Remove(uint64_t logical_block, uint64_t len);
+
+  // Physical location of `logical_block`, if mapped.
+  std::optional<Mapping> Lookup(uint64_t logical_block) const;
+
+  // All extents in logical order, as (logical, extent) pairs.
+  std::vector<std::pair<uint64_t, Extent>> Entries() const;
+
+  uint64_t MappedBlocks() const;
+  size_t FragmentCount() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.clear(); }
+
+ private:
+  struct Run {
+    uint64_t phys = 0;
+    uint64_t len = 0;
+  };
+  // keyed by logical start block
+  std::map<uint64_t, Run> map_;
+};
+
+}  // namespace fscore
+
+#endif  // SRC_FS_FSCORE_EXTENT_H_

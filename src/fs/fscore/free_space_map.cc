@@ -1,0 +1,181 @@
+#include "src/fs/fscore/free_space_map.h"
+
+#include <cassert>
+
+#include "src/common/units.h"
+
+namespace fscore {
+
+using common::kBlocksPerHugepage;
+
+void FreeSpaceMap::Release(uint64_t start_block, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  free_blocks_ += len;
+  auto next = free_.lower_bound(start_block);
+  // Merge with predecessor.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->first + prev->second <= start_block && "double free");
+    if (prev->first + prev->second == start_block) {
+      prev->second += len;
+      if (next != free_.end() && prev->first + prev->second == next->first) {
+        prev->second += next->second;
+        free_.erase(next);
+      }
+      return;
+    }
+  }
+  // Merge with successor.
+  if (next != free_.end()) {
+    assert(start_block + len <= next->first && "double free");
+    if (start_block + len == next->first) {
+      const uint64_t merged_len = len + next->second;
+      free_.erase(next);
+      free_[start_block] = merged_len;
+      return;
+    }
+  }
+  free_[start_block] = len;
+}
+
+void FreeSpaceMap::Take(std::map<uint64_t, uint64_t>::iterator it, uint64_t offset_in_run,
+                        uint64_t len) {
+  const uint64_t run_start = it->first;
+  const uint64_t run_len = it->second;
+  assert(offset_in_run + len <= run_len);
+  free_.erase(it);
+  if (offset_in_run > 0) {
+    free_[run_start] = offset_in_run;
+  }
+  const uint64_t tail = run_len - offset_in_run - len;
+  if (tail > 0) {
+    free_[run_start + offset_in_run + len] = tail;
+  }
+  free_blocks_ -= len;
+}
+
+void FreeSpaceMap::ReserveRange(uint64_t start_block, uint64_t len) {
+  auto it = free_.upper_bound(start_block);
+  assert(it != free_.begin());
+  --it;
+  assert(start_block >= it->first && start_block + len <= it->first + it->second &&
+         "range not free");
+  Take(it, start_block - it->first, len);
+}
+
+std::optional<Extent> FreeSpaceMap::AllocFirstFit(uint64_t len, uint64_t goal) {
+  // Search from the goal forward, then wrap.
+  for (int pass = 0; pass < 2; pass++) {
+    auto it = pass == 0 ? free_.lower_bound(goal) : free_.begin();
+    auto end = pass == 0 ? free_.end() : free_.lower_bound(goal);
+    for (; it != end; ++it) {
+      if (it->second >= len) {
+        const Extent ext{it->first, len};
+        Take(it, 0, len);
+        return ext;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Extent> FreeSpaceMap::AllocFirstFitPreferAligned(uint64_t len, uint64_t goal) {
+  for (int pass = 0; pass < 2; pass++) {
+    auto it = pass == 0 ? free_.lower_bound(goal) : free_.begin();
+    auto end = pass == 0 ? free_.end() : free_.lower_bound(goal);
+    for (; it != end; ++it) {
+      if (it->second < len) {
+        continue;
+      }
+      const uint64_t run_start = it->first;
+      const uint64_t aligned = common::RoundUp(run_start, kBlocksPerHugepage);
+      if (aligned + len <= run_start + it->second) {
+        const Extent ext{aligned, len};
+        Take(it, aligned - run_start, len);
+        return ext;
+      }
+      const Extent ext{run_start, len};
+      Take(it, 0, len);
+      return ext;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Extent> FreeSpaceMap::AllocBestFit(uint64_t len) {
+  auto best = free_.end();
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= len && (best == free_.end() || it->second < best->second)) {
+      best = it;
+      if (best->second == len) {
+        break;
+      }
+    }
+  }
+  if (best == free_.end()) {
+    return std::nullopt;
+  }
+  const Extent ext{best->first, len};
+  Take(best, 0, len);
+  return ext;
+}
+
+std::optional<Extent> FreeSpaceMap::AllocAligned(uint64_t len) {
+  assert(len <= kBlocksPerHugepage);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const uint64_t aligned = common::RoundUp(it->first, kBlocksPerHugepage);
+    if (aligned + len <= it->first + it->second) {
+      const Extent ext{aligned, len};
+      Take(it, aligned - it->first, len);
+      return ext;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Extent> FreeSpaceMap::AllocAny(uint64_t len) {
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  // Prefer an exact-ish small run to avoid breaking big ones.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= len && it->second < kBlocksPerHugepage) {
+      const Extent ext{it->first, len};
+      Take(it, 0, len);
+      return ext;
+    }
+  }
+  return AllocFirstFit(len, 0);
+}
+
+bool FreeSpaceMap::ContainsRange(uint64_t start_block, uint64_t len) const {
+  auto it = free_.upper_bound(start_block);
+  if (it == free_.begin()) {
+    return false;
+  }
+  --it;
+  return start_block >= it->first && start_block + len <= it->first + it->second;
+}
+
+uint64_t FreeSpaceMap::CountAlignedFreeRegions() const {
+  uint64_t count = 0;
+  for (const auto& [start, len] : free_) {
+    const uint64_t aligned = common::RoundUp(start, kBlocksPerHugepage);
+    if (aligned + kBlocksPerHugepage <= start + len) {
+      count += (start + len - aligned) / kBlocksPerHugepage;
+    }
+  }
+  return count;
+}
+
+uint64_t FreeSpaceMap::LargestRun() const {
+  uint64_t largest = 0;
+  for (const auto& [start, len] : free_) {
+    largest = std::max(largest, len);
+  }
+  return largest;
+}
+
+}  // namespace fscore

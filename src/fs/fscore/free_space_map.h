@@ -1,0 +1,63 @@
+// Free-space tracking: an address-ordered map of free extents with merging on
+// release, plus the allocation disciplines the different filesystems use
+// (first-fit from a goal, best-fit by size, aligned carve-out).
+#ifndef SRC_FS_FSCORE_FREE_SPACE_MAP_H_
+#define SRC_FS_FSCORE_FREE_SPACE_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/fs/fscore/extent.h"
+#include "src/vfs/file_system.h"
+
+namespace fscore {
+
+class FreeSpaceMap {
+ public:
+  FreeSpaceMap() = default;
+
+  // Adds [start, start+len) to the free pool, merging with neighbours.
+  void Release(uint64_t start_block, uint64_t len);
+
+  // Removes a specific range (must be entirely free). Used when rebuilding
+  // from the on-PM inode scan and when carving reserved regions.
+  void ReserveRange(uint64_t start_block, uint64_t len);
+
+  // First free run of >= len blocks at or after `goal`, wrapping around.
+  // Allocates from the head of the run (ext4-style locality).
+  std::optional<Extent> AllocFirstFit(uint64_t len, uint64_t goal = 0);
+
+  // First-fit, but if the chosen run can host a 2 MiB-aligned start for the
+  // whole request, round up to it (mballoc-style normalization: alignment is
+  // taken when it is free within the locality target, never hunted for).
+  std::optional<Extent> AllocFirstFitPreferAligned(uint64_t len, uint64_t goal = 0);
+
+  // Smallest free run that fits (xfs-style by-size policy, ignores alignment).
+  std::optional<Extent> AllocBestFit(uint64_t len);
+
+  // A 2 MiB-aligned run of exactly `len` blocks (len <= 512); returns the
+  // aligned head of a hugepage-capable region if one exists.
+  std::optional<Extent> AllocAligned(uint64_t len);
+
+  // Take at most `len` blocks from any run (used for log pages / holes).
+  std::optional<Extent> AllocAny(uint64_t len);
+
+  bool ContainsRange(uint64_t start_block, uint64_t len) const;
+
+  uint64_t free_blocks() const { return free_blocks_; }
+  uint64_t CountAlignedFreeRegions() const;
+  uint64_t LargestRun() const;
+
+  const std::map<uint64_t, uint64_t>& runs() const { return free_; }
+
+ private:
+  void Take(std::map<uint64_t, uint64_t>::iterator it, uint64_t offset_in_run, uint64_t len);
+
+  std::map<uint64_t, uint64_t> free_;  // start -> len, disjoint, merged
+  uint64_t free_blocks_ = 0;
+};
+
+}  // namespace fscore
+
+#endif  // SRC_FS_FSCORE_FREE_SPACE_MAP_H_

@@ -1,0 +1,185 @@
+#include "src/fs/fscore/fsck.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/exec_context.h"
+#include "src/common/units.h"
+#include "src/fs/fscore/pm_format.h"
+
+namespace fscore {
+
+using common::kBlockSize;
+
+namespace {
+
+struct ScannedInode {
+  PmInode pm;
+  std::vector<PmExtent> extents;       // live records only
+  std::vector<uint64_t> chain_blocks;  // indirect blocks
+};
+
+void Append(FsckReport& report, const std::string& message) {
+  if (report.errors.size() < 100) {
+    report.errors.push_back(message);
+  }
+}
+
+}  // namespace
+
+std::string FsckReport::Summary() const {
+  std::ostringstream out;
+  out << "fsck: " << inodes_checked << " inodes, " << extents_checked << " extents, "
+      << dirents_checked << " dirents, " << errors.size() << " errors";
+  for (const std::string& error : errors) {
+    out << "\n  " << error;
+  }
+  return out.str();
+}
+
+FsckReport CheckImage(pmem::PmemDevice& device) {
+  FsckReport report;
+  common::ExecContext ctx;  // scratch; fsck cost is not part of any experiment
+
+  const PmSuperblock sb = device.LoadStruct<PmSuperblock>(ctx, 0);
+  if (sb.magic != kSuperMagic) {
+    Append(report, "superblock magic invalid");
+    return report;
+  }
+  if (sb.data_start_block >= sb.total_blocks ||
+      sb.inode_table_block >= sb.data_start_block ||
+      sb.total_blocks * kBlockSize > device.size()) {
+    Append(report, "superblock geometry out of range");
+    return report;
+  }
+
+  // Pass 1: inodes and their extent records.
+  std::map<uint64_t, ScannedInode> inodes;
+  for (uint64_t ino = 1; ino < sb.max_inodes; ino++) {
+    const uint64_t off = sb.inode_table_block * kBlockSize + ino * sizeof(PmInode);
+    PmInode pm = device.LoadStruct<PmInode>(ctx, off);
+    if (pm.magic == 0) {
+      continue;
+    }
+    if (pm.magic != kInodeMagic) {
+      Append(report, "inode " + std::to_string(ino) + ": bad magic");
+      continue;
+    }
+    report.inodes_checked++;
+    ScannedInode scanned;
+    scanned.pm = pm;
+    if (pm.ino != ino) {
+      Append(report, "inode " + std::to_string(ino) + ": self-number mismatch");
+    }
+    uint32_t slot = 0;
+    auto take = [&](const PmExtent& ext) {
+      if (ext.packed != 0) {
+        scanned.extents.push_back(ext);
+        report.extents_checked++;
+        if (ext.phys_block() < sb.data_start_block ||
+            ext.phys_block() + ext.len() > sb.total_blocks) {
+          Append(report, "inode " + std::to_string(ino) + ": extent out of data area");
+        }
+        if (ext.len() == 0) {
+          Append(report, "inode " + std::to_string(ino) + ": zero-length extent");
+        }
+      }
+      slot++;
+    };
+    for (uint32_t i = 0; i < kInlineExtents && slot < pm.extent_count; i++) {
+      take(pm.inline_extents[i]);
+    }
+    uint64_t indirect = pm.indirect_block;
+    std::set<uint64_t> chain_seen;
+    while (indirect != 0) {
+      if (indirect < sb.data_start_block || indirect >= sb.total_blocks) {
+        Append(report, "inode " + std::to_string(ino) + ": indirect block out of range");
+        break;
+      }
+      if (!chain_seen.insert(indirect).second) {
+        Append(report, "inode " + std::to_string(ino) + ": indirect chain cycle");
+        break;
+      }
+      scanned.chain_blocks.push_back(indirect);
+      PmIndirectBlock blk;
+      device.Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+      for (uint32_t i = 0; i < kExtentsPerIndirect && slot < pm.extent_count; i++) {
+        take(blk.extents[i]);
+      }
+      indirect = blk.next_block;
+    }
+    inodes[ino] = std::move(scanned);
+  }
+  if (inodes.find(1) == inodes.end()) {
+    Append(report, "root inode missing");
+    return report;
+  }
+  if (inodes[1].pm.is_dir == 0) {
+    Append(report, "root inode is not a directory");
+  }
+
+  // Pass 2: no extent (or chain block) may be claimed twice.
+  std::vector<std::pair<uint64_t, std::pair<uint64_t, uint64_t>>> claims;  // start,(len,ino)
+  for (const auto& [ino, scanned] : inodes) {
+    for (const PmExtent& ext : scanned.extents) {
+      claims.push_back({ext.phys_block(), {ext.len(), ino}});
+    }
+    for (uint64_t block : scanned.chain_blocks) {
+      claims.push_back({block, {1, ino}});
+    }
+  }
+  std::sort(claims.begin(), claims.end());
+  for (size_t i = 1; i < claims.size(); i++) {
+    if (claims[i].first < claims[i - 1].first + claims[i - 1].second.first) {
+      Append(report,
+             "blocks claimed twice: inode " + std::to_string(claims[i - 1].second.second) +
+                 " and inode " + std::to_string(claims[i].second.second) + " at block " +
+                 std::to_string(claims[i].first));
+    }
+  }
+
+  // Pass 3: directory entries reference live inodes of the right kind.
+  std::map<uint64_t, uint32_t> found_links;
+  for (const auto& [ino, scanned] : inodes) {
+    if (scanned.pm.is_dir == 0) {
+      continue;
+    }
+    for (const PmExtent& ext : scanned.extents) {
+      for (uint64_t b = 0; b < ext.len(); b++) {
+        const uint64_t block_off = (ext.phys_block() + b) * kBlockSize;
+        for (uint64_t d = 0; d < kDirentsPerBlock; d++) {
+          PmDirent de = device.LoadStruct<PmDirent>(ctx, block_off + d * sizeof(PmDirent));
+          if (de.in_use == 0) {
+            continue;
+          }
+          report.dirents_checked++;
+          auto it = inodes.find(de.ino);
+          if (it == inodes.end()) {
+            Append(report, "dirent '" + std::string(de.name, de.name_len) +
+                               "' references free inode " + std::to_string(de.ino));
+            continue;
+          }
+          if ((it->second.pm.is_dir != 0) != (de.is_dir != 0)) {
+            Append(report, "dirent '" + std::string(de.name, de.name_len) +
+                               "': type disagrees with inode " + std::to_string(de.ino));
+          }
+          found_links[de.ino]++;
+        }
+      }
+    }
+  }
+  // Pass 4: every non-root inode must be reachable by at least one dirent.
+  for (const auto& [ino, scanned] : inodes) {
+    if (ino == 1) {
+      continue;
+    }
+    if (found_links.find(ino) == found_links.end()) {
+      Append(report, "inode " + std::to_string(ino) + " is orphaned (no dirent)");
+    }
+  }
+  return report;
+}
+
+}  // namespace fscore

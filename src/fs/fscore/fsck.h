@@ -1,0 +1,31 @@
+// Offline consistency checker: validates the on-PM metadata of any
+// GenericFs-format filesystem directly from the device image — superblock
+// sanity, inode-table magics, extent-record bounds, cross-inode extent
+// overlaps, directory-entry referential integrity, and link counts.
+#ifndef SRC_FS_FSCORE_FSCK_H_
+#define SRC_FS_FSCORE_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pmem/device.h"
+
+namespace fscore {
+
+struct FsckReport {
+  uint64_t inodes_checked = 0;
+  uint64_t extents_checked = 0;
+  uint64_t dirents_checked = 0;
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  std::string Summary() const;
+};
+
+// Reads the filesystem image from `device` (no FileSystem object needed) and
+// verifies its structural invariants.
+FsckReport CheckImage(pmem::PmemDevice& device);
+
+}  // namespace fscore
+
+#endif  // SRC_FS_FSCORE_FSCK_H_

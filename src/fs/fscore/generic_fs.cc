@@ -1,0 +1,1224 @@
+#include "src/fs/fscore/generic_fs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace fscore {
+
+using common::ErrCode;
+using common::ExecContext;
+using common::kBlockSize;
+using common::kBlocksPerHugepage;
+using common::Result;
+using common::Status;
+using vfs::InodeNum;
+using vfs::kRootIno;
+
+namespace {
+
+// Splits "/a/b/c" into components; rejects empty names and over-long names.
+Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return ErrCode::kInvalidArgument;
+  }
+  std::vector<std::string> parts;
+  size_t start = 1;
+  while (start < path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) {
+      end = path.size();
+    }
+    if (end > start) {
+      const std::string part = path.substr(start, end - start);
+      if (part.size() > kMaxNameLen) {
+        return ErrCode::kInvalidArgument;
+      }
+      parts.push_back(part);
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+
+uint64_t Log2Ceil(uint64_t value) {
+  uint64_t bits = 0;
+  while ((1ull << bits) < value) {
+    bits++;
+  }
+  return bits;
+}
+
+}  // namespace
+
+GenericFs::GenericFs(pmem::PmemDevice* device, FsOptions options)
+    : device_(device), options_(options) {
+  fds_.resize(4096);
+}
+
+GenericFs::~GenericFs() = default;
+
+void GenericFs::ChargeSyscall(ExecContext& ctx) {
+  ctx.clock.Advance(device_->cost().syscall_trap_ns);
+  ctx.counters.syscall_count++;
+  vfs_shared_.Charge(ctx);
+}
+
+void GenericFs::ChargeDirLookup(ExecContext& ctx, const Inode& dir) {
+  // DRAM red-black-tree / hash index: O(log n) pointer chases.
+  ctx.clock.Advance(30 * (1 + Log2Ceil(dir.dirents.size() + 2)));
+}
+
+uint64_t GenericFs::InodePmOffset(InodeNum ino) const {
+  return inode_table_block_ * kBlockSize + ino * sizeof(PmInode);
+}
+
+Inode* GenericFs::GetInode(InodeNum ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+Inode* GenericFs::GetInodeByFd(int fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
+    return nullptr;
+  }
+  return GetInode(fds_[fd].ino);
+}
+
+FreeSpaceMap GenericFs::FullDataArea() const {
+  FreeSpaceMap map;
+  map.Release(data_start_block_, data_blocks_);
+  return map;
+}
+
+// --- Lifecycle --------------------------------------------------------------
+
+Status GenericFs::Mkfs(ExecContext& ctx) {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  total_blocks_ = device_->size() / kBlockSize;
+  journal_start_block_ = 1;
+  const uint64_t inode_blocks =
+      (options_.max_inodes * sizeof(PmInode) + kBlockSize - 1) / kBlockSize;
+  inode_table_block_ = journal_start_block_ + options_.journal_blocks;
+  const uint64_t raw_data_start = inode_table_block_ + inode_blocks;
+  data_start_block_ =
+      common::RoundUp(raw_data_start, kBlocksPerHugepage) + options_.data_phase_blocks;
+  if (data_start_block_ >= total_blocks_) {
+    return Status(ErrCode::kNoSpace);
+  }
+  data_blocks_ = total_blocks_ - data_start_block_;
+
+  PmSuperblock sb;
+  sb.magic = kSuperMagic;
+  sb.total_blocks = total_blocks_;
+  sb.data_start_block = data_start_block_;
+  sb.inode_table_block = inode_table_block_;
+  sb.max_inodes = options_.max_inodes;
+  sb.journal_start_block = journal_start_block_;
+  sb.journal_blocks = options_.journal_blocks;
+  sb.num_cpus = options_.num_cpus;
+  sb.clean_unmount = 0;
+  device_->PersistStruct(ctx, 0, sb);
+
+  // Zero the inode table so stale magics never resurface.
+  device_->Zero(ctx, inode_table_block_ * kBlockSize, inode_blocks * kBlockSize);
+  device_->Fence(ctx);
+
+  inodes_.clear();
+  free_inos_.clear();
+  for (InodeNum ino = options_.max_inodes - 1; ino > kRootIno; ino--) {
+    free_inos_.push_back(ino);
+  }
+
+  InitAllocator(data_start_block_, data_blocks_);
+
+  // Root directory.
+  auto root = std::make_unique<Inode>();
+  root->ino = kRootIno;
+  root->is_dir = true;
+  root->nlink = 2;
+  inodes_[kRootIno] = std::move(root);
+  TxBegin(ctx);
+  PersistInode(ctx, *inodes_[kRootIno]);
+  TxCommit(ctx);
+  OnInodeCreated(ctx, *inodes_[kRootIno]);
+
+  mounted_ = true;
+  return common::OkStatus();
+}
+
+Status GenericFs::Mount(ExecContext& ctx) {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  const uint64_t t0 = ctx.clock.NowNs();
+  const PmSuperblock sb = device_->LoadStruct<PmSuperblock>(ctx, 0);
+  if (sb.magic != kSuperMagic) {
+    return Status(ErrCode::kCorrupt);
+  }
+  total_blocks_ = sb.total_blocks;
+  data_start_block_ = sb.data_start_block;
+  data_blocks_ = total_blocks_ - data_start_block_;
+  inode_table_block_ = sb.inode_table_block;
+  journal_start_block_ = sb.journal_start_block;
+  options_.max_inodes = sb.max_inodes;
+  options_.journal_blocks = sb.journal_blocks;
+  options_.num_cpus = sb.num_cpus;
+
+  RETURN_IF_ERROR(RecoverJournal(ctx));
+  RETURN_IF_ERROR(RebuildFromPm(ctx));
+
+  // Mark the filesystem dirty while mounted.
+  PmSuperblock dirty = sb;
+  dirty.clean_unmount = 0;
+  device_->PersistStruct(ctx, 0, dirty);
+
+  const uint64_t elapsed = ctx.clock.NowNs() - t0;
+  const uint32_t par = std::max<uint32_t>(1, RecoveryParallelism());
+  last_mount_ns_ = elapsed / par;
+  ctx.clock.SetNs(t0 + last_mount_ns_);
+  mounted_ = true;
+  return common::OkStatus();
+}
+
+Status GenericFs::Unmount(ExecContext& ctx) {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  if (!mounted_) {
+    return Status(ErrCode::kInvalidArgument);
+  }
+  device_->Fence(ctx);
+  PmSuperblock sb = device_->LoadStruct<PmSuperblock>(ctx, 0);
+  sb.clean_unmount = 1;
+  device_->PersistStruct(ctx, 0, sb);
+  // Serializing the DRAM free lists is modeled as a streaming write
+  // proportional to their footprint (§3.6 "written to PM on unmount").
+  ctx.clock.Advance(device_->cost().SeqWriteBytes(DramIndexBytes() / 16));
+  mounted_ = false;
+  inodes_.clear();
+  free_inos_.clear();
+  for (auto& fd : fds_) {
+    fd = FdEntry{};
+  }
+  return common::OkStatus();
+}
+
+// --- Mount-time rebuild ------------------------------------------------------
+
+void GenericFs::LoadInodeFromPm(ExecContext& ctx, const PmInode& pm, Inode& inode) {
+  inode.ino = pm.ino;
+  inode.is_dir = pm.is_dir != 0;
+  inode.aligned_hint = pm.aligned_hint != 0;
+  inode.size = pm.size;
+  inode.nlink = pm.nlink;
+  if (pm.xattr_len > 0) {
+    inode.xattr.assign(pm.xattr, std::min<size_t>(pm.xattr_len, kInodeXattrBytes));
+  }
+  // Extent records are slotted: read every slot up to the highwater mark;
+  // packed==0 slots are free (tombstones).
+  inode.pm_slot_highwater = pm.extent_count;
+  uint32_t slot = 0;
+  auto take_record = [&](const PmExtent& ext) {
+    if (ext.packed != 0) {
+      inode.extents.Insert(ext.logical_block, ext.phys_block(), ext.len());
+      inode.pm_slots[ext.logical_block] = {slot, ext.packed};
+    } else {
+      inode.pm_free_slots.push_back(slot);
+    }
+    slot++;
+  };
+  for (uint32_t i = 0; i < kInlineExtents && slot < pm.extent_count; i++) {
+    take_record(pm.inline_extents[i]);
+  }
+  uint64_t indirect = pm.indirect_block;
+  while (indirect != 0) {
+    inode.pm_chain.push_back(indirect);
+    PmIndirectBlock blk;
+    device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+    for (uint32_t i = 0; i < kExtentsPerIndirect && slot < pm.extent_count; i++) {
+      take_record(blk.extents[i]);
+    }
+    indirect = blk.next_block;
+  }
+}
+
+Status GenericFs::RebuildFromPm(ExecContext& ctx) {
+  inodes_.clear();
+  free_inos_.clear();
+  std::vector<Extent> used;
+
+  for (InodeNum ino = options_.max_inodes - 1; ino > 0; ino--) {
+    PmInode pm = device_->LoadStruct<PmInode>(ctx, InodePmOffset(ino));
+    if (pm.magic != kInodeMagic) {
+      if (ino != kRootIno) {
+        free_inos_.push_back(ino);
+      }
+      continue;
+    }
+    auto inode = std::make_unique<Inode>();
+    LoadInodeFromPm(ctx, pm, *inode);
+    // Indirect chain blocks are used space too.
+    uint64_t indirect = pm.indirect_block;
+    while (indirect != 0) {
+      used.push_back(Extent{indirect, 1});
+      PmIndirectBlock blk;
+      device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+      indirect = blk.next_block;
+    }
+    for (const auto& [logical, ext] : inode->extents.Entries()) {
+      used.push_back(ext);
+    }
+    inodes_[ino] = std::move(inode);
+  }
+  if (inodes_.find(kRootIno) == inodes_.end()) {
+    return Status(ErrCode::kCorrupt);
+  }
+
+  // Second pass: directory entries.
+  for (auto& [ino, inode] : inodes_) {
+    if (!inode->is_dir) {
+      continue;
+    }
+    inode->dirent_capacity = inode->extents.MappedBlocks() * kDirentsPerBlock;
+    for (const auto& [logical, ext] : inode->extents.Entries()) {
+      for (uint64_t b = 0; b < ext.num_blocks; b++) {
+        const uint64_t pm_off = (ext.phys_block + b) * kBlockSize;
+        for (uint64_t d = 0; d < kDirentsPerBlock; d++) {
+          PmDirent de = device_->LoadStruct<PmDirent>(ctx, pm_off + d * sizeof(PmDirent));
+          const uint64_t slot = (logical + b) * kDirentsPerBlock + d;
+          if (de.in_use != 0) {
+            inode->dirents[std::string(de.name, de.name_len)] =
+                Inode::DirentRef{de.ino, de.is_dir != 0, slot};
+          } else {
+            inode->free_dirent_slots.push_back(slot);
+          }
+        }
+      }
+    }
+  }
+
+  CollectExtraUsed(ctx, used);
+
+  FreeSpaceMap free_map = FullDataArea();
+  for (const Extent& ext : used) {
+    free_map.ReserveRange(ext.phys_block, ext.num_blocks);
+  }
+  RebuildAllocator(ctx, std::move(free_map));
+  return common::OkStatus();
+}
+
+// --- Inode persistence --------------------------------------------------------
+
+namespace {
+std::vector<PmExtent> SerializeExtents(const Inode& inode) {
+  std::vector<PmExtent> all;
+  for (const auto& [logical, ext] : inode.extents.Entries()) {
+    uint64_t done = 0;
+    while (done < ext.num_blocks) {
+      const uint64_t chunk = std::min(ext.num_blocks - done, kMaxExtentLen);
+      all.push_back(PmExtent{logical + done, PmExtent::Pack(ext.phys_block + done, chunk)});
+      done += chunk;
+    }
+  }
+  return all;
+}
+}  // namespace
+
+// PM offset of extent record `k`, growing the indirect chain when needed.
+// Returns 0 on allocation failure (record dropped; recoverable via rebuild).
+uint64_t GenericFs::ExtentRecordOffset(ExecContext& ctx, Inode& inode, size_t k) {
+  if (k < kInlineExtents) {
+    return InodePmOffset(inode.ino) + offsetof(PmInode, inline_extents) +
+           k * sizeof(PmExtent);
+  }
+  const size_t idx = k - kInlineExtents;
+  const size_t block_i = idx / kExtentsPerIndirect;
+  const size_t slot = idx % kExtentsPerIndirect;
+  while (inode.pm_chain.size() <= block_i) {
+    auto alloc = AllocBlocks(ctx, inode, 1, AllocIntent::kMeta);
+    if (!alloc.ok() || alloc->empty()) {
+      return 0;
+    }
+    const uint64_t fresh = (*alloc)[0].phys_block;
+    device_->Zero(ctx, fresh * kBlockSize, kBlockSize);
+    if (!inode.pm_chain.empty()) {
+      // Link from the previous block's next_block field.
+      const uint64_t prev = inode.pm_chain.back();
+      TxMetaWrite(ctx, inode.ino, prev * kBlockSize, &fresh, sizeof(fresh));
+    }
+    inode.pm_chain.push_back(fresh);
+  }
+  return inode.pm_chain[block_i] * kBlockSize + offsetof(PmIndirectBlock, extents) +
+         slot * sizeof(PmExtent);
+}
+
+void GenericFs::PersistInode(ExecContext& ctx, Inode& inode) {
+  const std::vector<PmExtent> all = SerializeExtents(inode);
+
+  auto write_slot = [&](uint32_t slot, const PmExtent& record) {
+    const uint64_t off = ExtentRecordOffset(ctx, inode, slot);
+    if (off == 0) {
+      return false;  // ENOSPC growing the chain; rebuild recovers the tail
+    }
+    TxMetaWrite(ctx, inode.ino, off, &record, sizeof(PmExtent));
+    return true;
+  };
+
+  // Diff the live extent list against the slotted PM records by logical key.
+  std::unordered_map<uint64_t, uint64_t> fresh;
+  fresh.reserve(all.size());
+  for (const PmExtent& ext : all) {
+    fresh[ext.logical_block] = ext.packed;
+  }
+  // Tombstone records whose logical start disappeared.
+  for (auto it = inode.pm_slots.begin(); it != inode.pm_slots.end();) {
+    if (fresh.find(it->first) == fresh.end()) {
+      const PmExtent dead{0, 0};
+      if (write_slot(it->second.first, dead)) {
+        inode.pm_free_slots.push_back(it->second.first);
+      }
+      it = inode.pm_slots.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Write new and changed records.
+  for (const PmExtent& ext : all) {
+    auto it = inode.pm_slots.find(ext.logical_block);
+    if (it != inode.pm_slots.end()) {
+      if (it->second.second != ext.packed) {
+        if (write_slot(it->second.first, ext)) {
+          it->second.second = ext.packed;
+        }
+      }
+      continue;
+    }
+    uint32_t slot;
+    if (!inode.pm_free_slots.empty()) {
+      slot = inode.pm_free_slots.back();
+      inode.pm_free_slots.pop_back();
+    } else {
+      slot = inode.pm_slot_highwater;
+    }
+    if (!write_slot(slot, ext)) {
+      continue;
+    }
+    if (slot == inode.pm_slot_highwater) {
+      inode.pm_slot_highwater++;
+      // Keep the owning indirect block's population header current.
+      if (slot >= kInlineExtents) {
+        const size_t idx = slot - kInlineExtents;
+        const size_t block_i = idx / kExtentsPerIndirect;
+        uint64_t header[2];
+        header[0] = block_i + 1 < inode.pm_chain.size() ? inode.pm_chain[block_i + 1] : 0;
+        header[1] = idx % kExtentsPerIndirect + 1;  // count (low 32 bits)
+        TxMetaWrite(ctx, inode.ino, inode.pm_chain[block_i] * kBlockSize, header,
+                    sizeof(header));
+      }
+    }
+    inode.pm_slots[ext.logical_block] = {slot, ext.packed};
+  }
+
+  // Inode header; xattr area only when present.
+  PmInode pm;
+  pm.magic = kInodeMagic;
+  pm.is_dir = inode.is_dir ? 1 : 0;
+  pm.aligned_hint = inode.aligned_hint ? 1 : 0;
+  pm.ino = inode.ino;
+  pm.size = inode.size;
+  pm.nlink = inode.nlink;
+  pm.extent_count = inode.pm_slot_highwater;
+  pm.indirect_block = inode.pm_chain.empty() ? 0 : inode.pm_chain.front();
+  pm.xattr_len = static_cast<uint16_t>(std::min<size_t>(inode.xattr.size(), kInodeXattrBytes));
+  std::memcpy(pm.xattr, inode.xattr.data(), pm.xattr_len);
+  TxMetaWrite(ctx, inode.ino, InodePmOffset(inode.ino), &pm, offsetof(PmInode, inline_extents));
+  if (pm.xattr_len > 0) {
+    TxMetaWrite(ctx, inode.ino, InodePmOffset(inode.ino) + offsetof(PmInode, xattr), pm.xattr,
+                kInodeXattrBytes);
+  }
+}
+
+void GenericFs::CommitInodeUpdate(ExecContext& ctx, Inode& inode) {
+  TxBegin(ctx);
+  PersistInode(ctx, inode);
+  TxCommit(ctx);
+}
+
+// --- Path resolution ----------------------------------------------------------
+
+Result<GenericFs::ResolveResult> GenericFs::Resolve(ExecContext& ctx, const std::string& path,
+                                                    bool want_parent) {
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  ctx.clock.Advance(device_->cost().vfs_path_component_ns * (parts.size() + 1));
+
+  ResolveResult out;
+  Inode* current = GetInode(kRootIno);
+  if (parts.empty()) {
+    if (want_parent) {
+      return ErrCode::kInvalidArgument;  // cannot take parent of root
+    }
+    out.node = current;
+    return out;
+  }
+  for (size_t i = 0; i + 1 < parts.size(); i++) {
+    ChargeDirLookup(ctx, *current);
+    auto it = current->dirents.find(parts[i]);
+    if (it == current->dirents.end()) {
+      return ErrCode::kNotFound;
+    }
+    if (!it->second.is_dir) {
+      return ErrCode::kNotDir;
+    }
+    current = GetInode(it->second.ino);
+    if (current == nullptr) {
+      return ErrCode::kCorrupt;
+    }
+  }
+  out.parent = current;
+  out.leaf = parts.back();
+  ChargeDirLookup(ctx, *current);
+  auto it = current->dirents.find(out.leaf);
+  if (it != current->dirents.end()) {
+    out.node = GetInode(it->second.ino);
+  }
+  return out;
+}
+
+// --- Dirent management ---------------------------------------------------------
+
+uint64_t GenericFs::DirentPmOffset(Inode& dir, uint64_t slot) const {
+  const uint64_t logical_block = slot / kDirentsPerBlock;
+  auto mapping = dir.extents.Lookup(logical_block);
+  assert(mapping.has_value());
+  return mapping->phys_block * kBlockSize + (slot % kDirentsPerBlock) * sizeof(PmDirent);
+}
+
+Status GenericFs::AddDirent(ExecContext& ctx, Inode& dir, const std::string& name,
+                            InodeNum ino, bool is_dir) {
+  if (dir.free_dirent_slots.empty()) {
+    // Grow the directory by one block: a small, metadata-like allocation —
+    // this is one of the fragmentation sources aging exposes.
+    const uint64_t logical_block = dir.dirent_capacity / kDirentsPerBlock;
+    auto alloc = AllocBlocks(ctx, dir, 1, AllocIntent::kDirData);
+    if (!alloc.ok()) {
+      return alloc.status();
+    }
+    assert(alloc->size() == 1 && (*alloc)[0].num_blocks == 1);
+    dir.extents.Insert(logical_block, (*alloc)[0].phys_block, 1);
+    device_->Zero(ctx, (*alloc)[0].phys_block * kBlockSize, kBlockSize);
+    for (uint64_t s = 0; s < kDirentsPerBlock; s++) {
+      dir.free_dirent_slots.push_back(dir.dirent_capacity + s);
+    }
+    dir.dirent_capacity += kDirentsPerBlock;
+    PersistInode(ctx, dir);
+  }
+  const uint64_t slot = dir.free_dirent_slots.back();
+  dir.free_dirent_slots.pop_back();
+
+  PmDirent de;
+  de.ino = ino;
+  de.in_use = 1;
+  de.is_dir = is_dir ? 1 : 0;
+  de.SetName(name.data(), name.size());
+  TxMetaWrite(ctx, dir.ino, DirentPmOffset(dir, slot), &de, sizeof(de));
+  dir.dirents[name] = Inode::DirentRef{ino, is_dir, slot};
+  return common::OkStatus();
+}
+
+Status GenericFs::RemoveDirent(ExecContext& ctx, Inode& dir, const std::string& name) {
+  auto it = dir.dirents.find(name);
+  if (it == dir.dirents.end()) {
+    return Status(ErrCode::kNotFound);
+  }
+  const uint64_t slot = it->second.slot;
+  PmDirent empty;
+  TxMetaWrite(ctx, dir.ino, DirentPmOffset(dir, slot), &empty, sizeof(empty));
+  dir.free_dirent_slots.push_back(slot);
+  dir.dirents.erase(it);
+  return common::OkStatus();
+}
+
+// --- Inode numbers -------------------------------------------------------------
+
+Result<InodeNum> GenericFs::AllocInodeNum(ExecContext& ctx) {
+  (void)ctx;
+  if (free_inos_.empty()) {
+    return ErrCode::kNoSpace;
+  }
+  const InodeNum ino = free_inos_.back();
+  free_inos_.pop_back();
+  return ino;
+}
+
+void GenericFs::FreeInodeNum(InodeNum ino) { free_inos_.push_back(ino); }
+
+// --- Node creation/removal ------------------------------------------------------
+
+Result<Inode*> GenericFs::CreateNode(ExecContext& ctx, Inode& parent, const std::string& name,
+                                     bool is_dir) {
+  ASSIGN_OR_RETURN(const InodeNum ino, AllocInodeNum(ctx));
+  auto inode = std::make_unique<Inode>();
+  inode->ino = ino;
+  inode->is_dir = is_dir;
+  inode->nlink = is_dir ? 2 : 1;
+  // Inherit the directory-level alignment hint (§3.6).
+  if (parent.aligned_hint && !is_dir) {
+    inode->aligned_hint = true;
+  }
+  Inode* raw = inode.get();
+  inodes_[ino] = std::move(inode);
+
+  TxBegin(ctx);
+  PersistInode(ctx, *raw);
+  const Status add = AddDirent(ctx, parent, name, ino, is_dir);
+  if (!add.ok()) {
+    TxCommit(ctx);
+    inodes_.erase(ino);
+    FreeInodeNum(ino);
+    return add;
+  }
+  if (is_dir) {
+    parent.nlink++;
+    PersistInode(ctx, parent);
+  }
+  TxCommit(ctx);
+  OnInodeCreated(ctx, *raw);
+  return raw;
+}
+
+void GenericFs::FreeFileBlocks(ExecContext& ctx, Inode& inode, uint64_t from_block) {
+  std::vector<Extent> freed = inode.extents.Remove(
+      from_block, std::numeric_limits<uint64_t>::max() / 2 - from_block);
+  if (!freed.empty()) {
+    FreeBlocks(ctx, freed);
+  }
+}
+
+Status GenericFs::RemoveNode(ExecContext& ctx, Inode& parent, const std::string& name,
+                             bool expect_dir) {
+  auto it = parent.dirents.find(name);
+  if (it == parent.dirents.end()) {
+    return Status(ErrCode::kNotFound);
+  }
+  if (expect_dir && !it->second.is_dir) {
+    return Status(ErrCode::kNotDir);
+  }
+  if (!expect_dir && it->second.is_dir) {
+    return Status(ErrCode::kIsDir);
+  }
+  Inode* node = GetInode(it->second.ino);
+  if (node == nullptr) {
+    return Status(ErrCode::kCorrupt);
+  }
+  if (expect_dir && !node->dirents.empty()) {
+    return Status(ErrCode::kNotEmpty);
+  }
+
+  TxBegin(ctx);
+  RETURN_IF_ERROR(RemoveDirent(ctx, parent, name));
+  node->nlink -= expect_dir ? 2 : 1;
+  if (expect_dir) {
+    parent.nlink--;
+    PersistInode(ctx, parent);
+  }
+  if (node->nlink == 0 || expect_dir) {
+    OnInodeDeleted(ctx, *node);
+    FreeFileBlocks(ctx, *node, 0);
+    // Release the indirect chain.
+    PmInode pm = device_->LoadStruct<PmInode>(ctx, InodePmOffset(node->ino));
+    uint64_t indirect = pm.indirect_block;
+    std::vector<Extent> chain;
+    while (indirect != 0) {
+      chain.push_back(Extent{indirect, 1});
+      PmIndirectBlock blk;
+      device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+      indirect = blk.next_block;
+    }
+    if (!chain.empty()) {
+      FreeBlocks(ctx, chain);
+    }
+    PmInode dead;
+    TxMetaWrite(ctx, node->ino, InodePmOffset(node->ino), &dead, sizeof(dead));
+    const InodeNum ino = node->ino;
+    inodes_.erase(ino);
+    FreeInodeNum(ino);
+    inode_locks_.Drop(ino);
+  } else {
+    PersistInode(ctx, *node);
+  }
+  TxCommit(ctx);
+  return common::OkStatus();
+}
+
+// --- Namespace syscalls -----------------------------------------------------------
+
+Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::OpenFlags flags) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
+  Inode* node = res.node;
+  if (node == nullptr) {
+    if (!flags.create) {
+      return ErrCode::kNotFound;
+    }
+    common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
+    ASSIGN_OR_RETURN(node, CreateNode(ctx, *res.parent, res.leaf, /*is_dir=*/false));
+  } else {
+    if (flags.create && flags.exclusive) {
+      return ErrCode::kExists;
+    }
+    if (node->is_dir) {
+      return ErrCode::kIsDir;
+    }
+    if (flags.truncate) {
+      common::SimMutex::Guard file_guard(inode_locks_.LockFor(node->ino), ctx);
+      TxBegin(ctx);
+      FreeFileBlocks(ctx, *node, 0);
+      node->size = 0;
+      PersistInode(ctx, *node);
+      TxCommit(ctx);
+    }
+  }
+  for (size_t fd = 0; fd < fds_.size(); fd++) {
+    if (!fds_[fd].in_use) {
+      fds_[fd] = FdEntry{node->ino, flags.write, true};
+      return static_cast<int>(fd);
+    }
+  }
+  return ErrCode::kNoSpace;
+}
+
+Status GenericFs::Close(ExecContext& ctx, int fd) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
+    return Status(ErrCode::kBadFd);
+  }
+  fds_[fd] = FdEntry{};
+  return common::OkStatus();
+}
+
+Status GenericFs::Mkdir(ExecContext& ctx, const std::string& path) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
+  if (res.node != nullptr) {
+    return Status(ErrCode::kExists);
+  }
+  common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
+  auto created = CreateNode(ctx, *res.parent, res.leaf, /*is_dir=*/true);
+  return created.ok() ? common::OkStatus() : created.status();
+}
+
+Status GenericFs::Rmdir(ExecContext& ctx, const std::string& path) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
+  if (res.node == nullptr) {
+    return Status(ErrCode::kNotFound);
+  }
+  common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
+  return RemoveNode(ctx, *res.parent, res.leaf, /*expect_dir=*/true);
+}
+
+Status GenericFs::Unlink(ExecContext& ctx, const std::string& path) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
+  if (res.node == nullptr) {
+    return Status(ErrCode::kNotFound);
+  }
+  common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
+  return RemoveNode(ctx, *res.parent, res.leaf, /*expect_dir=*/false);
+}
+
+Status GenericFs::Rename(ExecContext& ctx, const std::string& from, const std::string& to) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult src, Resolve(ctx, from, /*want_parent=*/true));
+  if (src.node == nullptr) {
+    return Status(ErrCode::kNotFound);
+  }
+  ASSIGN_OR_RETURN(ResolveResult dst, Resolve(ctx, to, /*want_parent=*/true));
+
+  common::SimMutex::Guard src_guard(inode_locks_.LockFor(src.parent->ino), ctx);
+  if (dst.node != nullptr) {
+    // Overwrite: target must be a file (or an empty dir when moving a dir).
+    if (dst.node->is_dir != src.node->is_dir) {
+      return Status(dst.node->is_dir ? ErrCode::kIsDir : ErrCode::kNotDir);
+    }
+    if (dst.node->is_dir && !dst.node->dirents.empty()) {
+      return Status(ErrCode::kNotEmpty);
+    }
+  }
+  // One transaction covers the whole rename, including removing the
+  // overwritten target — a crash must never expose the target missing
+  // without the source having moved (POSIX rename atomicity).
+  TxBegin(ctx);
+  if (dst.node != nullptr) {
+    const Status removed = RemoveNode(ctx, *dst.parent, dst.leaf, dst.node->is_dir);
+    if (!removed.ok()) {
+      TxCommit(ctx);
+      return removed;
+    }
+  }
+  const bool is_dir = src.node->is_dir;
+  const InodeNum moved = src.node->ino;
+  Status step = RemoveDirent(ctx, *src.parent, src.leaf);
+  if (step.ok()) {
+    step = AddDirent(ctx, *dst.parent, dst.leaf, moved, is_dir);
+  }
+  if (!step.ok()) {
+    TxCommit(ctx);
+    return step;
+  }
+  if (is_dir && src.parent != dst.parent) {
+    src.parent->nlink--;
+    dst.parent->nlink++;
+    PersistInode(ctx, *src.parent);
+    PersistInode(ctx, *dst.parent);
+  }
+  TxCommit(ctx);
+  return common::OkStatus();
+}
+
+Result<vfs::StatInfo> GenericFs::Stat(ExecContext& ctx, const std::string& path) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  auto res = path == "/" ? Resolve(ctx, path, false) : Resolve(ctx, path, true);
+  if (!res.ok()) {
+    return res.status();
+  }
+  if (res->node == nullptr) {
+    return ErrCode::kNotFound;
+  }
+  vfs::StatInfo info;
+  info.ino = res->node->ino;
+  info.size = res->node->size;
+  info.blocks = res->node->extents.MappedBlocks();
+  info.nlink = res->node->nlink;
+  info.is_dir = res->node->is_dir;
+  return info;
+}
+
+Result<std::vector<vfs::DirEntry>> GenericFs::ReadDir(ExecContext& ctx,
+                                                      const std::string& path) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  auto res = path == "/" ? Resolve(ctx, path, false) : Resolve(ctx, path, true);
+  if (!res.ok()) {
+    return res.status();
+  }
+  if (res->node == nullptr) {
+    return ErrCode::kNotFound;
+  }
+  if (!res->node->is_dir) {
+    return ErrCode::kNotDir;
+  }
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(res->node->dirents.size());
+  for (const auto& [name, ref] : res->node->dirents) {
+    entries.push_back(vfs::DirEntry{name, ref.ino, ref.is_dir});
+    // Reading each entry touches one PM dirent line.
+    ctx.clock.Advance(device_->cost().pm_load_seq_ns);
+  }
+  return entries;
+}
+
+// --- Data path --------------------------------------------------------------------
+
+Result<uint64_t> GenericFs::EnsureBlocks(ExecContext& ctx, Inode& inode, uint64_t offset,
+                                         uint64_t len, AllocIntent intent,
+                                         bool persist_inode) {
+  if (len == 0) {
+    return uint64_t{0};
+  }
+  uint64_t first_block = offset / kBlockSize;
+  uint64_t last_block = (offset + len - 1) / kBlockSize;
+  // Files carrying the alignment xattr hint get whole aligned chunks even for
+  // small writes (§3.6: rsync-style small-allocation copies keep alignment).
+  if (inode.aligned_hint && intent == AllocIntent::kFileData) {
+    first_block = common::RoundDown(first_block, kBlocksPerHugepage);
+    last_block = common::RoundDown(last_block, kBlocksPerHugepage) + kBlocksPerHugepage - 1;
+  }
+
+  uint64_t newly_allocated = 0;
+  uint64_t block = first_block;
+  bool meta_dirty = false;
+  while (block <= last_block) {
+    auto mapping = inode.extents.Lookup(block);
+    if (mapping.has_value()) {
+      block += mapping->contiguous_blocks;
+      continue;
+    }
+    // Find the end of this hole.
+    uint64_t hole_end = block + 1;
+    while (hole_end <= last_block && !inode.extents.Lookup(hole_end).has_value()) {
+      hole_end++;
+    }
+    const uint64_t need = hole_end - block;
+    auto alloc = AllocBlocks(ctx, inode, need, intent);
+    if (!alloc.ok()) {
+      return alloc.status();
+    }
+    uint64_t logical = block;
+    for (const Extent& ext : *alloc) {
+      inode.extents.Insert(logical, ext.phys_block, ext.num_blocks);
+      if (!ZeroOnFault()) {
+        // Zero-at-allocation filesystems (NOVA) pay the cost here.
+        device_->Zero(ctx, ext.phys_block * kBlockSize, ext.num_blocks * kBlockSize);
+      }
+      logical += ext.num_blocks;
+      newly_allocated += ext.num_blocks;
+    }
+    meta_dirty = true;
+    block = hole_end;
+  }
+  if (meta_dirty && persist_inode) {
+    TxBegin(ctx);
+    PersistInode(ctx, inode);
+    TxCommit(ctx);
+  }
+  return newly_allocated;
+}
+
+Result<uint64_t> GenericFs::WriteDataInPlace(ExecContext& ctx, Inode& inode, const void* src,
+                                             uint64_t len, uint64_t offset, bool persist_data) {
+  auto ensured = EnsureBlocks(ctx, inode, offset, len, AllocIntent::kFileData,
+                              /*persist_inode=*/false);
+  if (!ensured.ok()) {
+    return ensured.status();
+  }
+  const uint8_t* cursor = static_cast<const uint8_t*>(src);
+  uint64_t remaining = len;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    const uint64_t block = pos / kBlockSize;
+    auto mapping = inode.extents.Lookup(block);
+    assert(mapping.has_value());
+    const uint64_t in_block = pos % kBlockSize;
+    const uint64_t run_bytes = mapping->contiguous_blocks * kBlockSize - in_block;
+    const uint64_t chunk = std::min(remaining, run_bytes);
+    device_->NtStore(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk);
+    cursor += chunk;
+    pos += chunk;
+    remaining -= chunk;
+  }
+  if (persist_data) {
+    device_->Fence(ctx);
+  }
+  const bool grew = offset + len > inode.size;
+  if (grew) {
+    inode.size = offset + len;
+  }
+  if (grew || *ensured > 0) {
+    // One journal transaction covers the size update and any extent growth.
+    CommitInodeUpdate(ctx, inode);
+  }
+  return len;
+}
+
+Result<uint64_t> GenericFs::WriteDataAtomic(ExecContext& ctx, Inode& inode, const void* src,
+                                            uint64_t len, uint64_t offset) {
+  // Default: in-place, durable but not atomic (used by relaxed-mode FSs that
+  // are asked for a durable write; strict FSs override).
+  return WriteDataInPlace(ctx, inode, src, len, offset, /*persist_data=*/true);
+}
+
+Result<uint64_t> GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
+                                   uint64_t offset) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return ErrCode::kBadFd;
+  }
+  if (!fds_[fd].write) {
+    return ErrCode::kInvalidArgument;
+  }
+  common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
+  if (options_.mode == vfs::GuaranteeMode::kStrict) {
+    return WriteDataAtomic(ctx, *inode, src, len, offset);
+  }
+  return WriteDataInPlace(ctx, *inode, src, len, offset, /*persist_data=*/false);
+}
+
+Result<uint64_t> GenericFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return ErrCode::kBadFd;
+  }
+  common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
+  const uint64_t offset = inode->size;
+  if (options_.mode == vfs::GuaranteeMode::kStrict) {
+    auto written = WriteDataAtomic(ctx, *inode, src, len, offset);
+    if (!written.ok()) {
+      return written.status();
+    }
+    return offset;
+  }
+  auto written = WriteDataInPlace(ctx, *inode, src, len, offset, /*persist_data=*/false);
+  if (!written.ok()) {
+    return written.status();
+  }
+  return offset;
+}
+
+Result<uint64_t> GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t len,
+                                  uint64_t offset) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return ErrCode::kBadFd;
+  }
+  if (offset >= inode->size) {
+    return uint64_t{0};
+  }
+  len = std::min(len, inode->size - offset);
+  uint8_t* cursor = static_cast<uint8_t*>(dst);
+  uint64_t remaining = len;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    const uint64_t block = pos / kBlockSize;
+    const uint64_t in_block = pos % kBlockSize;
+    auto mapping = inode->extents.Lookup(block);
+    uint64_t chunk;
+    if (mapping.has_value()) {
+      const uint64_t run_bytes = mapping->contiguous_blocks * kBlockSize - in_block;
+      chunk = std::min(remaining, run_bytes);
+      device_->Load(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk);
+    } else {
+      chunk = std::min(remaining, kBlockSize - in_block);
+      std::memset(cursor, 0, chunk);  // hole reads as zeros
+    }
+    cursor += chunk;
+    pos += chunk;
+    remaining -= chunk;
+  }
+  return len;
+}
+
+Status GenericFs::Fsync(ExecContext& ctx, int fd) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return Status(ErrCode::kBadFd);
+  }
+  ctx.counters.fsync_count++;
+  common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
+  RETURN_IF_ERROR(FsyncImpl(ctx, *inode));
+  device_->Fence(ctx);
+  return common::OkStatus();
+}
+
+Status GenericFs::Fallocate(ExecContext& ctx, int fd, uint64_t offset, uint64_t len) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return Status(ErrCode::kBadFd);
+  }
+  common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
+  auto ensured = EnsureBlocks(ctx, *inode, offset, len, AllocIntent::kFileData,
+                              /*persist_inode=*/false);
+  if (!ensured.ok()) {
+    return ensured.status();
+  }
+  if (offset + len > inode->size) {
+    inode->size = offset + len;
+  }
+  if (*ensured > 0 || offset + len >= inode->size) {
+    CommitInodeUpdate(ctx, *inode);
+  }
+  return common::OkStatus();
+}
+
+Status GenericFs::Ftruncate(ExecContext& ctx, int fd, uint64_t size) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return Status(ErrCode::kBadFd);
+  }
+  common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
+  if (size < inode->size) {
+    TxBegin(ctx);
+    FreeFileBlocks(ctx, *inode, common::BytesToBlocks(size));
+    inode->size = size;
+    PersistInode(ctx, *inode);
+    TxCommit(ctx);
+  } else if (size > inode->size) {
+    // Sparse grow: no allocation (LMDB's on-demand style).
+    inode->size = size;
+    CommitInodeUpdate(ctx, *inode);
+  }
+  return common::OkStatus();
+}
+
+// --- xattr -------------------------------------------------------------------------
+
+Status GenericFs::SetXattr(ExecContext& ctx, const std::string& path, const std::string& name,
+                           const std::string& value) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
+  if (res.node == nullptr) {
+    return Status(ErrCode::kNotFound);
+  }
+  const std::string serialized = name + "=" + value;
+  if (serialized.size() > kInodeXattrBytes) {
+    return Status(ErrCode::kInvalidArgument);
+  }
+  res.node->xattr = serialized;
+  if (name == "user.winefs.aligned") {
+    res.node->aligned_hint = (value == "1");
+  }
+  CommitInodeUpdate(ctx, *res.node);
+  return common::OkStatus();
+}
+
+Result<std::string> GenericFs::GetXattr(ExecContext& ctx, const std::string& path,
+                                        const std::string& name) {
+  ChargeSyscall(ctx);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
+  if (res.node == nullptr) {
+    return ErrCode::kNotFound;
+  }
+  const size_t eq = res.node->xattr.find('=');
+  if (eq == std::string::npos || res.node->xattr.substr(0, eq) != name) {
+    return ErrCode::kNoData;
+  }
+  return res.node->xattr.substr(eq + 1);
+}
+
+// --- mmap --------------------------------------------------------------------------
+
+Result<InodeNum> GenericFs::InodeOf(ExecContext& ctx, int fd) {
+  (void)ctx;
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return ErrCode::kBadFd;
+  }
+  return inode->ino;
+}
+
+Result<uint64_t> GenericFs::SizeOf(ExecContext& ctx, int fd) {
+  (void)ctx;
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInodeByFd(fd);
+  if (inode == nullptr) {
+    return ErrCode::kBadFd;
+  }
+  return inode->size;
+}
+
+Result<vmem::FaultHandler::FaultMapping> GenericFs::HandleFault(ExecContext& ctx, uint64_t ino,
+                                                                uint64_t page_offset,
+                                                                bool write) {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr) {
+    return ErrCode::kNotFound;
+  }
+  const uint64_t chunk_offset = common::RoundDown(page_offset, common::kHugepageSize);
+  const uint64_t chunk_block = chunk_offset / kBlockSize;
+
+  // Hugepage mapping requires the whole 2 MiB chunk inside i_size.
+  if (chunk_offset + common::kHugepageSize <= common::RoundUp(inode->size, kBlockSize)) {
+    auto mapping = inode->extents.Lookup(chunk_block);
+    if (mapping.has_value() && mapping->contiguous_blocks >= kBlocksPerHugepage &&
+        common::IsAligned(mapping->phys_block, kBlocksPerHugepage)) {
+      if (ZeroOnFault() && inode->zeroed_chunks.insert(chunk_block).second) {
+        // Zero-on-fault filesystems (ext4-DAX) zero fallocate's unwritten
+        // extents in the fault handler — the whole 2 MiB on a PMD fault.
+        // Cost-only: the bytes may already hold syscall-written data that a
+        // real FS would know is not "unwritten".
+        ctx.clock.Advance(device_->cost().SeqWriteBytes(common::kHugepageSize));
+        ctx.counters.pm_write_bytes += common::kHugepageSize;
+      }
+      return FaultMapping{mapping->phys_block * kBlockSize, /*huge=*/true};
+    }
+    if (!mapping.has_value() && write && AllocatesHugeOnFault()) {
+      // Hugepage-allocating fault (WineFS): ask for the whole chunk at once.
+      auto alloc = AllocBlocks(ctx, *inode, kBlocksPerHugepage, AllocIntent::kFileData);
+      if (alloc.ok() && alloc->size() == 1 && (*alloc)[0].IsAligned()) {
+        const Extent ext = (*alloc)[0];
+        inode->extents.Insert(chunk_block, ext.phys_block, ext.num_blocks);
+        device_->Zero(ctx, ext.phys_block * kBlockSize, common::kHugepageSize);
+        CommitInodeUpdate(ctx, *inode);
+        return FaultMapping{ext.phys_block * kBlockSize, /*huge=*/true};
+      }
+      if (alloc.ok()) {
+        // Could not get an aligned chunk; keep the blocks for base mappings.
+        uint64_t logical = chunk_block;
+        for (const Extent& ext : *alloc) {
+          inode->extents.Insert(logical, ext.phys_block, ext.num_blocks);
+          device_->Zero(ctx, ext.phys_block * kBlockSize, ext.num_blocks * kBlockSize);
+          logical += ext.num_blocks;
+        }
+        CommitInodeUpdate(ctx, *inode);
+      }
+    }
+  }
+
+  // Base page path.
+  const uint64_t page_block = page_offset / kBlockSize;
+  auto mapping = inode->extents.Lookup(page_block);
+  bool fresh = false;
+  if (!mapping.has_value()) {
+    if (page_offset >= common::RoundUp(inode->size, kBlockSize)) {
+      return ErrCode::kInvalidArgument;  // beyond EOF: SIGBUS
+    }
+    auto alloc = AllocBlocks(ctx, *inode, 1, AllocIntent::kFileData);
+    if (!alloc.ok()) {
+      return alloc.status();
+    }
+    inode->extents.Insert(page_block, (*alloc)[0].phys_block, 1);
+    if (!ZeroOnFault()) {
+      device_->Zero(ctx, (*alloc)[0].phys_block * kBlockSize, kBlockSize);
+    }
+    CommitInodeUpdate(ctx, *inode);
+    mapping = inode->extents.Lookup(page_block);
+    fresh = true;
+  }
+  if (ZeroOnFault()) {
+    // ext4-DAX-style: zeroing happens in the fault handler, for fresh blocks
+    // and for fallocate's unwritten extents alike (paper §5.4: this is what
+    // makes ext4-DAX page faults more expensive than NOVA's). Real zeroing
+    // only for fresh blocks; unwritten-extent zeroing is cost-only.
+    if (fresh) {
+      device_->Zero(ctx, mapping->phys_block * kBlockSize, kBlockSize);
+    } else {
+      ctx.clock.Advance(device_->cost().zero_4k_ns);
+      ctx.counters.pm_write_bytes += kBlockSize;
+    }
+  }
+  (void)write;
+  return FaultMapping{mapping->phys_block * kBlockSize, /*huge=*/false};
+}
+
+// --- Introspection --------------------------------------------------------------------
+
+uint64_t GenericFs::DramIndexBytes() const {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  uint64_t bytes = 0;
+  for (const auto& [ino, inode] : inodes_) {
+    bytes += 128;  // base inode object
+    bytes += inode->dirents.size() * 64;
+    bytes += inode->extents.FragmentCount() * 48;
+  }
+  bytes += free_inos_.size() * 8;
+  return bytes;
+}
+
+const Inode* GenericFs::FindInode(InodeNum ino) const {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace fscore

@@ -1,0 +1,315 @@
+// GenericFs: the shared filesystem chassis.
+//
+// Implements the POSIX surface (namespace, fds, data path, mmap faults,
+// mount/recovery scan) once, with virtual hooks for the decisions the paper
+// contrasts across filesystems:
+//   - block allocation policy (alignment-aware vs contiguity-first vs ...)
+//   - metadata consistency (per-CPU undo journal, JBD2, per-inode log, ...)
+//   - data atomicity (in-place, CoW, data journal, hybrid)
+//   - fault policy (hugepage-allocating faults, zero-on-fault vs zero-on-alloc)
+//   - directory access cost (DRAM index vs linear PM scan)
+//
+// All metadata lives on PM in the formats of pm_format.h and is rebuilt by a
+// mount-time scan, so recovery and crash tests operate on real bytes.
+#ifndef SRC_FS_FSCORE_GENERIC_FS_H_
+#define SRC_FS_FSCORE_GENERIC_FS_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/fs/fscore/extent.h"
+#include "src/fs/fscore/free_space_map.h"
+#include "src/fs/fscore/pm_format.h"
+#include "src/pmem/device.h"
+#include "src/vfs/file_system.h"
+#include "src/vfs/vfs_locks.h"
+
+namespace fscore {
+
+struct FsOptions {
+  uint64_t max_inodes = 64 * 1024;
+  uint64_t journal_blocks = 512;  // total; per-CPU filesystems subdivide
+  uint32_t num_cpus = 4;
+  vfs::GuaranteeMode mode = vfs::GuaranteeMode::kRelaxed;
+  // First data block offset within the data area; non-zero values emulate
+  // allocators whose bookkeeping headers shift all data off 2 MiB alignment
+  // (xfs-DAX / PMFS, paper footnote 1).
+  uint64_t data_phase_blocks = 0;
+};
+
+// Why a block allocation is happening; policies treat these differently.
+enum class AllocIntent {
+  kFileData,   // regular file contents
+  kDirData,    // directory entry blocks (small, metadata-like)
+  kMeta,       // indirect extent blocks and similar
+  kLogPage,    // per-inode log pages (NOVA)
+};
+
+// DRAM inode. PM truth is the PmInode + indirect chain; this mirror is
+// rebuilt on mount.
+struct Inode {
+  vfs::InodeNum ino = 0;
+  bool is_dir = false;
+  bool aligned_hint = false;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  ExtentMap extents;
+  std::string xattr;
+
+  // Directory state.
+  struct DirentRef {
+    vfs::InodeNum ino = 0;
+    bool is_dir = false;
+    uint64_t slot = 0;  // index into the dir's dirent array
+  };
+  std::unordered_map<std::string, DirentRef> dirents;
+  std::vector<uint64_t> free_dirent_slots;
+  uint64_t dirent_capacity = 0;  // total slots backed by allocated blocks
+
+  // Per-inode log bookkeeping (NOVA-style filesystems).
+  std::vector<Extent> log_pages;
+  uint32_t log_entries_in_tail = 0;
+
+  // Mirror of the on-PM extent records. Records are SLOTTED: each one is
+  // independent ({logical, packed}; packed==0 marks a free slot), so any
+  // single extent change — append, split, CoW replacement — costs O(changed
+  // records), like a real extent B-tree, instead of rewriting a positional
+  // array. pm_slots maps logical start -> (slot index, packed value);
+  // pm_chain holds the indirect-block chain addresses.
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint64_t>> pm_slots;
+  std::vector<uint32_t> pm_free_slots;
+  uint32_t pm_slot_highwater = 0;  // slots ever used; extent_count on PM
+  std::vector<uint64_t> pm_chain;
+
+  // Chunks whose fault-time zeroing cost has been charged (ext4-style
+  // zero-on-fault of unwritten extents; cost accounting only).
+  std::unordered_set<uint64_t> zeroed_chunks;
+};
+
+class GenericFs : public vfs::FileSystem {
+ public:
+  GenericFs(pmem::PmemDevice* device, FsOptions options);
+  ~GenericFs() override;
+
+  // --- vfs::FileSystem ----------------------------------------------------
+  vfs::GuaranteeMode guarantee_mode() const override { return options_.mode; }
+  common::Status Mkfs(common::ExecContext& ctx) override;
+  common::Status Mount(common::ExecContext& ctx) override;
+  common::Status Unmount(common::ExecContext& ctx) override;
+
+  common::Result<int> Open(common::ExecContext& ctx, const std::string& path,
+                           vfs::OpenFlags flags) override;
+  common::Status Close(common::ExecContext& ctx, int fd) override;
+  common::Status Mkdir(common::ExecContext& ctx, const std::string& path) override;
+  common::Status Rmdir(common::ExecContext& ctx, const std::string& path) override;
+  common::Status Unlink(common::ExecContext& ctx, const std::string& path) override;
+  common::Status Rename(common::ExecContext& ctx, const std::string& from,
+                        const std::string& to) override;
+  common::Result<vfs::StatInfo> Stat(common::ExecContext& ctx,
+                                     const std::string& path) override;
+  common::Result<std::vector<vfs::DirEntry>> ReadDir(common::ExecContext& ctx,
+                                                     const std::string& path) override;
+
+  common::Result<uint64_t> Pread(common::ExecContext& ctx, int fd, void* dst, uint64_t len,
+                                 uint64_t offset) override;
+  common::Result<uint64_t> Pwrite(common::ExecContext& ctx, int fd, const void* src,
+                                  uint64_t len, uint64_t offset) override;
+  common::Result<uint64_t> Append(common::ExecContext& ctx, int fd, const void* src,
+                                  uint64_t len) override;
+  common::Status Fsync(common::ExecContext& ctx, int fd) override;
+  common::Status Fallocate(common::ExecContext& ctx, int fd, uint64_t offset,
+                           uint64_t len) override;
+  common::Status Ftruncate(common::ExecContext& ctx, int fd, uint64_t size) override;
+
+  common::Status SetXattr(common::ExecContext& ctx, const std::string& path,
+                          const std::string& name, const std::string& value) override;
+  common::Result<std::string> GetXattr(common::ExecContext& ctx, const std::string& path,
+                                       const std::string& name) override;
+
+  common::Result<vfs::InodeNum> InodeOf(common::ExecContext& ctx, int fd) override;
+  common::Result<uint64_t> SizeOf(common::ExecContext& ctx, int fd) override;
+
+  common::Result<FaultMapping> HandleFault(common::ExecContext& ctx, uint64_t ino,
+                                           uint64_t page_offset, bool write) override;
+
+  // GetFreeSpaceInfo() stays abstract: the allocator policy owns free space.
+
+  // --- Introspection used by benches/tests --------------------------------
+  uint64_t data_start_block() const { return data_start_block_; }
+  uint64_t data_blocks() const { return data_blocks_; }
+  pmem::PmemDevice& device() { return *device_; }
+  const FsOptions& options() const { return options_; }
+  // DRAM consumed by directory indexes + extent mirrors (§5.7), approximate.
+  uint64_t DramIndexBytes() const;
+  // Simulated duration of the last Mount() call (recovery time, §5.2).
+  uint64_t last_mount_ns() const { return last_mount_ns_; }
+  // Looks up an inode's extent map (tests).
+  const Inode* FindInode(vfs::InodeNum ino) const;
+
+ protected:
+  // ==== Policy hooks =======================================================
+
+  // Allocates `nblocks` for `inode` (may return multiple extents). The
+  // policy charges its own search cost to ctx.clock.
+  virtual common::Result<std::vector<Extent>> AllocBlocks(common::ExecContext& ctx,
+                                                          Inode& inode, uint64_t nblocks,
+                                                          AllocIntent intent) = 0;
+  virtual void FreeBlocks(common::ExecContext& ctx, const std::vector<Extent>& extents) = 0;
+
+  // Consistency engine. TxBegin/TxCommit bracket one atomic metadata
+  // operation; TxMetaWrite persists `len` bytes at `pm_offset` according to
+  // the filesystem's journaling discipline. `owner` is the inode the update
+  // belongs to (per-inode-log filesystems need it).
+  virtual void TxBegin(common::ExecContext& ctx) { (void)ctx; }
+  virtual void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                           const void* data, uint64_t len) = 0;
+  virtual void TxCommit(common::ExecContext& ctx) { (void)ctx; }
+  // Journal recovery during Mount() on an unclean filesystem.
+  virtual common::Status RecoverJournal(common::ExecContext& ctx) {
+    (void)ctx;
+    return common::OkStatus();
+  }
+
+  // Strict-mode data path: must make [offset, offset+len) atomic+durable.
+  // Default implementation is the relaxed in-place path (used when
+  // options_.mode == kRelaxed); strict filesystems override.
+  virtual common::Result<uint64_t> WriteDataAtomic(common::ExecContext& ctx, Inode& inode,
+                                                   const void* src, uint64_t len,
+                                                   uint64_t offset);
+
+  // fsync semantics (JBD2 commit, log flush, or no-op for always-durable FSs).
+  virtual common::Status FsyncImpl(common::ExecContext& ctx, Inode& inode) = 0;
+
+  // Fault policy.
+  virtual bool AllocatesHugeOnFault() const { return false; }
+  virtual bool ZeroOnFault() const { return true; }  // else zero at allocation
+
+  // Directory access cost (PMFS overrides with a linear PM scan).
+  virtual void ChargeDirLookup(common::ExecContext& ctx, const Inode& dir);
+
+  // Notifications for per-inode-log bookkeeping.
+  virtual void OnInodeCreated(common::ExecContext& ctx, Inode& inode) {
+    (void)ctx;
+    (void)inode;
+  }
+  virtual void OnInodeDeleted(common::ExecContext& ctx, Inode& inode) {
+    (void)ctx;
+    (void)inode;
+  }
+
+  // Allocator lifecycle: initial hand-over at mkfs, and rebuild after a
+  // mount-time scan (free = data area minus `used`).
+  virtual void InitAllocator(uint64_t data_start, uint64_t nblocks) = 0;
+  virtual void RebuildAllocator(common::ExecContext& ctx, FreeSpaceMap&& free_map) = 0;
+
+  // Extra used extents outside inode extent lists (per-inode log pages).
+  virtual void CollectExtraUsed(common::ExecContext& ctx, std::vector<Extent>& used) {
+    (void)ctx;
+    (void)used;
+  }
+
+  // Mount-time scan parallelism (WineFS scans per-CPU inode tables in
+  // parallel, §5.2); the measured scan time is divided by this factor.
+  virtual uint32_t RecoveryParallelism() const { return 1; }
+
+  // ==== Services provided to subclasses ====================================
+
+  // In-place relaxed write (allocates holes, streams data). Shared by
+  // relaxed mode and by strict implementations for freshly allocated blocks.
+  common::Result<uint64_t> WriteDataInPlace(common::ExecContext& ctx, Inode& inode,
+                                            const void* src, uint64_t len, uint64_t offset,
+                                            bool persist_data);
+
+  // Allocates any unmapped blocks in [offset, offset+len) and persists the
+  // extent-list growth. Returns the number of newly allocated blocks.
+  common::Result<uint64_t> EnsureBlocks(common::ExecContext& ctx, Inode& inode,
+                                        uint64_t offset, uint64_t len, AllocIntent intent,
+                                        bool persist_inode = true);
+
+  // Serializes inode metadata (and its extent list) to PM via TxMetaWrite,
+  // writing only the extent records that changed since the last persist.
+  void PersistInode(common::ExecContext& ctx, Inode& inode);
+
+  // PM offset of the inode's k-th extent record, growing the indirect chain
+  // on demand; 0 on ENOSPC.
+  uint64_t ExtentRecordOffset(common::ExecContext& ctx, Inode& inode, size_t k);
+
+  // Updates inode size + extents after a data operation, inside a Tx.
+  void CommitInodeUpdate(common::ExecContext& ctx, Inode& inode);
+
+  uint64_t InodePmOffset(vfs::InodeNum ino) const;
+
+  Inode* GetInode(vfs::InodeNum ino);
+  Inode* GetInodeByFd(int fd);
+
+  // Charges the syscall entry cost (trap + shared VFS path).
+  void ChargeSyscall(common::ExecContext& ctx);
+
+  // Builds a FreeSpaceMap of the whole data area (helper for rebuilds).
+  FreeSpaceMap FullDataArea() const;
+
+  pmem::PmemDevice* device_;
+  FsOptions options_;
+  vfs::InodeLockTable inode_locks_;
+  vfs::VfsSharedPath vfs_shared_;
+
+  // Region layout (blocks).
+  uint64_t total_blocks_ = 0;
+  uint64_t journal_start_block_ = 0;
+  uint64_t inode_table_block_ = 0;
+  uint64_t data_start_block_ = 0;
+  uint64_t data_blocks_ = 0;
+
+  // Coarse real-time lock for DRAM structures. Simulated-time contention is
+  // modeled separately (SimMutex / ResourceClock); this mutex only provides
+  // host-thread safety.
+  mutable std::recursive_mutex dram_mu_;
+
+ private:
+  struct FdEntry {
+    vfs::InodeNum ino = 0;
+    bool write = false;
+    bool in_use = false;
+  };
+
+  struct ResolveResult {
+    Inode* parent = nullptr;
+    Inode* node = nullptr;  // nullptr if final component missing
+    std::string leaf;
+  };
+
+  common::Result<ResolveResult> Resolve(common::ExecContext& ctx, const std::string& path,
+                                        bool want_parent);
+
+  common::Result<Inode*> CreateNode(common::ExecContext& ctx, Inode& parent,
+                                    const std::string& name, bool is_dir);
+  common::Status RemoveNode(common::ExecContext& ctx, Inode& parent, const std::string& name,
+                            bool expect_dir);
+  common::Status AddDirent(common::ExecContext& ctx, Inode& dir, const std::string& name,
+                           vfs::InodeNum ino, bool is_dir);
+  common::Status RemoveDirent(common::ExecContext& ctx, Inode& dir, const std::string& name);
+  uint64_t DirentPmOffset(Inode& dir, uint64_t slot) const;
+
+  common::Result<vfs::InodeNum> AllocInodeNum(common::ExecContext& ctx);
+  void FreeInodeNum(vfs::InodeNum ino);
+
+  void FreeFileBlocks(common::ExecContext& ctx, Inode& inode, uint64_t from_block);
+
+  common::Status RebuildFromPm(common::ExecContext& ctx);
+  void LoadInodeFromPm(common::ExecContext& ctx, const PmInode& pm, Inode& inode);
+
+  std::unordered_map<vfs::InodeNum, std::unique_ptr<Inode>> inodes_;
+  std::vector<vfs::InodeNum> free_inos_;
+  std::vector<FdEntry> fds_;
+  bool mounted_ = false;
+  uint64_t last_mount_ns_ = 0;
+};
+
+}  // namespace fscore
+
+#endif  // SRC_FS_FSCORE_GENERIC_FS_H_

@@ -1,0 +1,107 @@
+// On-PM metadata structures shared by the filesystem implementations. All are
+// PODs written through PmemDevice so that mount-time recovery and the
+// CrashMonkey-style harness operate on real bytes.
+#ifndef SRC_FS_FSCORE_PM_FORMAT_H_
+#define SRC_FS_FSCORE_PM_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "src/common/units.h"
+
+namespace fscore {
+
+inline constexpr uint32_t kSuperMagic = 0x57494e46;  // "WINF"
+inline constexpr uint32_t kInodeMagic = 0x494e4f44;  // "INOD"
+
+// Superblock, one per filesystem instance, at device block 0.
+struct PmSuperblock {
+  uint32_t magic = 0;
+  uint32_t version = 1;
+  uint64_t total_blocks = 0;
+  uint64_t data_start_block = 0;   // first block of the data area
+  uint64_t inode_table_block = 0;  // start of the inode region
+  uint64_t max_inodes = 0;
+  uint64_t journal_start_block = 0;
+  uint64_t journal_blocks = 0;
+  uint32_t num_cpus = 0;           // per-CPU partitioning (WineFS, NOVA)
+  uint32_t clean_unmount = 0;      // 1 = DRAM structures were serialized
+  uint64_t serialized_state_block = 0;  // where the unmount snapshot lives
+  uint64_t serialized_state_bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<PmSuperblock>);
+static_assert(sizeof(PmSuperblock) <= common::kBlockSize);
+
+// Packed extent: 48-bit physical block, 16-bit length (max 65535 blocks =
+// 256 MiB per extent; longer allocations are split).
+struct PmExtent {
+  uint64_t logical_block = 0;
+  uint64_t packed = 0;
+
+  static uint64_t Pack(uint64_t phys_block, uint64_t len) {
+    return (phys_block & 0xffffffffffffull) | (len << 48);
+  }
+  uint64_t phys_block() const { return packed & 0xffffffffffffull; }
+  uint64_t len() const { return packed >> 48; }
+  bool empty() const { return packed == 0; }
+};
+static_assert(sizeof(PmExtent) == 16);
+inline constexpr uint64_t kMaxExtentLen = 0xffff;
+
+// On-PM inode, 256 bytes. Fixed-size array entries in the inode region.
+inline constexpr uint32_t kInlineExtents = 7;
+inline constexpr uint32_t kInodeXattrBytes = 48;
+
+struct PmInode {
+  uint32_t magic = 0;  // kInodeMagic when in use, 0 when free
+  uint8_t is_dir = 0;
+  uint8_t aligned_hint = 0;  // WineFS xattr-backed alignment hint
+  uint16_t xattr_len = 0;
+  uint64_t ino = 0;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint32_t extent_count = 0;
+  uint64_t indirect_block = 0;  // phys block of PmIndirectBlock chain, 0 if none
+  PmExtent inline_extents[kInlineExtents] = {};
+  char xattr[kInodeXattrBytes] = {};  // "key=value" alignment attribute
+  uint8_t pad[256 - 4 - 1 - 1 - 2 - 8 - 8 - 4 - 4 - 8 - 16 * kInlineExtents -
+              kInodeXattrBytes] = {};
+};
+static_assert(sizeof(PmInode) == 256);
+static_assert(std::is_trivially_copyable_v<PmInode>);
+inline constexpr uint64_t kInodesPerBlock = common::kBlockSize / sizeof(PmInode);
+
+// Indirect extent block: continues an inode's extent list.
+inline constexpr uint32_t kExtentsPerIndirect =
+    (common::kBlockSize - 16) / sizeof(PmExtent);
+
+struct PmIndirectBlock {
+  uint64_t next_block = 0;  // phys block of next indirect block, 0 = end
+  uint32_t count = 0;
+  uint32_t pad = 0;
+  PmExtent extents[kExtentsPerIndirect] = {};
+};
+static_assert(sizeof(PmIndirectBlock) <= common::kBlockSize);
+
+// Directory entry, 64 bytes, stored in a directory's data blocks.
+inline constexpr uint32_t kMaxNameLen = 53;
+
+struct PmDirent {
+  uint64_t ino = 0;
+  uint8_t in_use = 0;
+  uint8_t is_dir = 0;
+  uint8_t name_len = 0;
+  char name[kMaxNameLen] = {};
+
+  void SetName(const char* str, size_t len) {
+    name_len = static_cast<uint8_t>(len);
+    std::memcpy(name, str, len);
+  }
+};
+static_assert(sizeof(PmDirent) == 64);
+inline constexpr uint64_t kDirentsPerBlock = common::kBlockSize / sizeof(PmDirent);
+
+}  // namespace fscore
+
+#endif  // SRC_FS_FSCORE_PM_FORMAT_H_

@@ -1,0 +1,87 @@
+// NOVA model: log-structured PM filesystem (§2.6, §3.4).
+//  * Per-CPU free lists; attempts 2 MiB-aligned extents only for allocation
+//    requests that are exact multiples of 2 MiB (paper §6).
+//  * A per-inode log of 64 B entries living in 4 KiB log pages allocated from
+//    the shared data area — the free-space fragmenter the paper identifies.
+//  * Strict mode uses 4 KiB-granularity copy-on-write for data; unaligned
+//    appends relocate the partial tail block (§5.5 WiredTiger discussion).
+//  * Pages are zeroed at allocation (fallocate), so faults are cheap (§5.4).
+#ifndef SRC_FS_NOVA_NOVA_H_
+#define SRC_FS_NOVA_NOVA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/fs/fscore/generic_fs.h"
+
+namespace nova {
+
+struct NovaOptions {
+  fscore::FsOptions base{
+      .journal_blocks = 64,  // NOVA has no central journal; tiny region kept for layout
+      .num_cpus = 4,
+      .mode = vfs::GuaranteeMode::kStrict,
+  };
+  // Log pages per inode before garbage collection compacts the log.
+  uint32_t gc_log_pages = 16;
+};
+
+class Nova : public fscore::GenericFs {
+ public:
+  Nova(pmem::PmemDevice* device, NovaOptions options);
+
+  std::string_view Name() const override {
+    return options_.mode == vfs::GuaranteeMode::kStrict ? "nova" : "nova-relaxed";
+  }
+  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+
+  uint64_t gc_runs() const { return gc_runs_; }
+
+ protected:
+  common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
+                                                          fscore::Inode& inode,
+                                                          uint64_t nblocks,
+                                                          fscore::AllocIntent intent) override;
+  void FreeBlocks(common::ExecContext& ctx,
+                  const std::vector<fscore::Extent>& extents) override;
+
+  // Metadata change = append one 64 B entry to the owner's per-inode log.
+  void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                   const void* data, uint64_t len) override;
+
+  common::Result<uint64_t> WriteDataAtomic(common::ExecContext& ctx, fscore::Inode& inode,
+                                           const void* src, uint64_t len,
+                                           uint64_t offset) override;
+
+  common::Status FsyncImpl(common::ExecContext& ctx, fscore::Inode& inode) override;
+
+  bool ZeroOnFault() const override { return false; }
+
+  void OnInodeCreated(common::ExecContext& ctx, fscore::Inode& inode) override;
+  void OnInodeDeleted(common::ExecContext& ctx, fscore::Inode& inode) override;
+
+  void InitAllocator(uint64_t data_start, uint64_t nblocks) override;
+  void RebuildAllocator(common::ExecContext& ctx, fscore::FreeSpaceMap&& free_map) override;
+  uint32_t RecoveryParallelism() const override { return options_.num_cpus; }
+
+ private:
+  struct CpuFree {
+    uint64_t start_block = 0;
+    uint64_t num_blocks = 0;
+    fscore::FreeSpaceMap map;
+    common::SimMutex lock;
+  };
+
+  void AppendLogEntry(common::ExecContext& ctx, fscore::Inode& inode);
+  void AllocLogPage(common::ExecContext& ctx, fscore::Inode& inode);
+  void MaybeGarbageCollect(common::ExecContext& ctx, fscore::Inode& inode);
+  size_t CpuOfBlock(uint64_t block) const;
+
+  NovaOptions nopts_;
+  std::vector<std::unique_ptr<CpuFree>> cpu_free_;
+  uint64_t gc_runs_ = 0;
+};
+
+}  // namespace nova
+
+#endif  // SRC_FS_NOVA_NOVA_H_

@@ -1,0 +1,116 @@
+#include "src/fs/pmfs/pmfs.h"
+
+#include "src/common/units.h"
+
+namespace pmfs {
+
+using common::ExecContext;
+using common::kBlockSize;
+using common::Result;
+using common::Status;
+using fscore::AllocIntent;
+using fscore::Extent;
+using fscore::Inode;
+
+Pmfs::Pmfs(pmem::PmemDevice* device, PmfsOptions options)
+    : GenericFs(device, options.base) {}
+
+void Pmfs::InitAllocator(uint64_t data_start, uint64_t nblocks) {
+  free_ = fscore::FreeSpaceMap();
+  free_.Release(data_start, nblocks);
+  journal_cursor_entries_ = 0;
+}
+
+void Pmfs::RebuildAllocator(ExecContext& ctx, fscore::FreeSpaceMap&& free_map) {
+  (void)ctx;
+  free_ = std::move(free_map);
+  journal_cursor_entries_ = 0;
+}
+
+Result<std::vector<Extent>> Pmfs::AllocBlocks(ExecContext& ctx, Inode& inode, uint64_t nblocks,
+                                              AllocIntent intent) {
+  (void)inode;
+  (void)intent;
+  ctx.counters.alloc_requests++;
+  // PMFS scans free lists on PM; charge a modest sequential probe.
+  ctx.clock.Advance(120);
+  std::vector<Extent> result;
+  uint64_t remaining = nblocks;
+  while (remaining > 0) {
+    auto ext = free_.AllocFirstFit(remaining, 0);
+    if (!ext.has_value()) {
+      const uint64_t largest = free_.LargestRun();
+      if (largest == 0) {
+        FreeBlocks(ctx, result);
+        return common::ErrCode::kNoSpace;
+      }
+      ext = free_.AllocFirstFit(largest, 0);
+    }
+    result.push_back(*ext);
+    remaining -= ext->num_blocks;
+    if (ext->IsAligned()) {
+      ctx.counters.aligned_allocs++;
+    }
+  }
+  return result;
+}
+
+void Pmfs::FreeBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
+  ctx.clock.Advance(60);
+  for (const Extent& ext : extents) {
+    free_.Release(ext.phys_block, ext.num_blocks);
+  }
+}
+
+void Pmfs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                       const void* data, uint64_t len) {
+  (void)owner;
+  // Fine-grained undo journaling through ONE journal: short critical section,
+  // but every thread in the system funnels through it.
+  {
+    common::SimMutex::Guard guard(journal_lock_, ctx);
+    const uint64_t entries = (len + 31) / 32;  // 64 B entry carries 32 B of undo
+    for (uint64_t e = 0; e < entries; e++) {
+      const uint64_t slot =
+          journal_cursor_entries_ % (options_.journal_blocks * kBlockSize / 64);
+      uint8_t entry[64] = {};
+      device_->Load(ctx, pm_offset + e * 32, entry,
+                    std::min<uint64_t>(32, len - e * 32));
+      device_->Store(ctx, journal_start_block_ * kBlockSize + slot * 64, entry, 64);
+      device_->Clwb(ctx, journal_start_block_ * kBlockSize + slot * 64, 64);
+      journal_cursor_entries_++;
+      ctx.counters.journal_bytes += 64;
+    }
+    device_->Fence(ctx);
+  }
+  device_->Store(ctx, pm_offset, data, len);
+  device_->Clwb(ctx, pm_offset, len);
+  device_->Fence(ctx);
+}
+
+Status Pmfs::FsyncImpl(ExecContext& ctx, Inode& inode) {
+  // Metadata is synchronous; fsync only drains (done by the caller).
+  (void)ctx;
+  (void)inode;
+  return common::OkStatus();
+}
+
+void Pmfs::ChargeDirLookup(ExecContext& ctx, const Inode& dir) {
+  // Sequential scan of on-PM dirents (64 B each); this is what makes PMFS
+  // slow on metadata-heavy workloads like varmail (§5.5).
+  const uint64_t lines = dir.dirents.size() + dir.free_dirent_slots.size();
+  ctx.clock.Advance((lines / 2 + 1) * device_->cost().pm_load_seq_ns);
+  ctx.counters.pm_read_bytes += (lines / 2 + 1) * 64;
+}
+
+vfs::FreeSpaceInfo Pmfs::GetFreeSpaceInfo() {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  vfs::FreeSpaceInfo info;
+  info.total_blocks = data_blocks_;
+  info.free_blocks = free_.free_blocks();
+  info.free_aligned_extents = free_.CountAlignedFreeRegions();
+  info.largest_free_extent_blocks = free_.LargestRun();
+  return info;
+}
+
+}  // namespace pmfs

@@ -1,0 +1,58 @@
+// PMFS model: fine-grained single undo journal (64 B entries), metadata kept
+// entirely on PM with linear directory scans (no DRAM indexes, §3.5/§5.5),
+// allocator with no alignment awareness. Data layout is phase-shifted so no
+// hugepages appear even on a clean filesystem (§5.4: "PMFS does not get
+// hugepages even in a clean file system setup"). Relaxed guarantees.
+#ifndef SRC_FS_PMFS_PMFS_H_
+#define SRC_FS_PMFS_PMFS_H_
+
+#include "src/fs/fscore/generic_fs.h"
+
+namespace pmfs {
+
+struct PmfsOptions {
+  fscore::FsOptions base{
+      .journal_blocks = 1024,
+      .num_cpus = 1,
+      .mode = vfs::GuaranteeMode::kRelaxed,
+      .data_phase_blocks = 1,
+  };
+};
+
+class Pmfs : public fscore::GenericFs {
+ public:
+  Pmfs(pmem::PmemDevice* device, PmfsOptions options = {});
+
+  std::string_view Name() const override { return "pmfs"; }
+  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+
+ protected:
+  common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
+                                                          fscore::Inode& inode,
+                                                          uint64_t nblocks,
+                                                          fscore::AllocIntent intent) override;
+  void FreeBlocks(common::ExecContext& ctx,
+                  const std::vector<fscore::Extent>& extents) override;
+
+  void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                   const void* data, uint64_t len) override;
+
+  common::Status FsyncImpl(common::ExecContext& ctx, fscore::Inode& inode) override;
+
+  // No DRAM indexes: directory lookups scan PM dirent lines sequentially.
+  void ChargeDirLookup(common::ExecContext& ctx, const fscore::Inode& dir) override;
+
+  bool ZeroOnFault() const override { return false; }
+
+  void InitAllocator(uint64_t data_start, uint64_t nblocks) override;
+  void RebuildAllocator(common::ExecContext& ctx, fscore::FreeSpaceMap&& free_map) override;
+
+ private:
+  fscore::FreeSpaceMap free_;
+  common::SimMutex journal_lock_;  // single journal: the multi-thread bottleneck
+  uint64_t journal_cursor_entries_ = 0;
+};
+
+}  // namespace pmfs
+
+#endif  // SRC_FS_PMFS_PMFS_H_

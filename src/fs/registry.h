@@ -1,0 +1,75 @@
+// Factory: create any modeled filesystem by its paper name. Used by tests,
+// benches, and examples so every experiment iterates the same lineup.
+#ifndef SRC_FS_REGISTRY_H_
+#define SRC_FS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/ext4dax/ext4dax.h"
+#include "src/fs/nova/nova.h"
+#include "src/fs/pmfs/pmfs.h"
+#include "src/fs/splitfs/splitfs.h"
+#include "src/fs/strata/strata.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/fs/xfsdax/xfsdax.h"
+
+namespace fsreg {
+
+inline std::unique_ptr<vfs::FileSystem> Create(const std::string& name,
+                                               pmem::PmemDevice* device,
+                                               uint32_t num_cpus = 4) {
+  if (name == "winefs") {
+    winefs::WineFsOptions options;
+    options.base.num_cpus = num_cpus;
+    return std::make_unique<winefs::WineFs>(device, options);
+  }
+  if (name == "winefs-relaxed") {
+    winefs::WineFsOptions options;
+    options.base.num_cpus = num_cpus;
+    options.base.mode = vfs::GuaranteeMode::kRelaxed;
+    return std::make_unique<winefs::WineFs>(device, options);
+  }
+  if (name == "ext4-dax") {
+    return std::make_unique<ext4dax::Ext4Dax>(device, ext4dax::Ext4Options{});
+  }
+  if (name == "xfs-dax") {
+    return std::make_unique<xfsdax::XfsDax>(device);
+  }
+  if (name == "pmfs") {
+    return std::make_unique<pmfs::Pmfs>(device);
+  }
+  if (name == "nova") {
+    nova::NovaOptions options;
+    options.base.num_cpus = num_cpus;
+    return std::make_unique<nova::Nova>(device, options);
+  }
+  if (name == "nova-relaxed") {
+    nova::NovaOptions options;
+    options.base.num_cpus = num_cpus;
+    options.base.mode = vfs::GuaranteeMode::kRelaxed;
+    return std::make_unique<nova::Nova>(device, options);
+  }
+  if (name == "splitfs") {
+    return std::make_unique<splitfs::SplitFs>(device);
+  }
+  if (name == "strata") {
+    nova::NovaOptions options;
+    options.base.num_cpus = num_cpus;
+    return std::make_unique<strata::Strata>(device, options);
+  }
+  return nullptr;
+}
+
+// The relaxed-guarantee lineup (metadata consistency), Fig 7(a-c)/Fig 9(a-c).
+inline std::vector<std::string> RelaxedLineup() {
+  return {"ext4-dax", "xfs-dax", "pmfs", "nova-relaxed", "splitfs", "winefs-relaxed"};
+}
+
+// The strict-guarantee lineup (data + metadata consistency), Fig 7(d-f)/Fig 9(d-f).
+inline std::vector<std::string> StrictLineup() { return {"nova", "strata", "winefs"}; }
+
+}  // namespace fsreg
+
+#endif  // SRC_FS_REGISTRY_H_

@@ -1,0 +1,41 @@
+// SplitFS model: a user-space data path stapled onto ext4-DAX (§5.5, §5.6).
+// Appends and overwrites bypass the kernel (no trap cost) and stage into
+// pre-allocated blocks; fsync "relinks" the staged data with a tiny
+// user-level journal instead of a full JBD2 commit — unless namespace
+// metadata is dirty, in which case it inherits ext4's JBD2 (its scalability
+// ceiling for creates and deletes).
+#ifndef SRC_FS_SPLITFS_SPLITFS_H_
+#define SRC_FS_SPLITFS_SPLITFS_H_
+
+#include "src/fs/ext4dax/ext4dax.h"
+
+namespace splitfs {
+
+class SplitFs : public ext4dax::Ext4Dax {
+ public:
+  SplitFs(pmem::PmemDevice* device, ext4dax::Ext4Options options = {})
+      : Ext4Dax(device, std::move(options)) {}
+
+  std::string_view Name() const override { return "splitfs"; }
+
+  // User-level data path: no syscall trap, staged writes.
+  common::Result<uint64_t> Append(common::ExecContext& ctx, int fd, const void* src,
+                                  uint64_t len) override;
+  common::Result<uint64_t> Pwrite(common::ExecContext& ctx, int fd, const void* src,
+                                  uint64_t len, uint64_t offset) override;
+
+ protected:
+  void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                   const void* data, uint64_t len) override;
+  common::Status FsyncImpl(common::ExecContext& ctx, fscore::Inode& inode) override;
+
+ private:
+  // When true, metadata writes go through the cheap user-level relink journal
+  // instead of JBD2.
+  bool relink_mode_ = false;
+  bool relink_pending_ = false;
+};
+
+}  // namespace splitfs
+
+#endif  // SRC_FS_SPLITFS_SPLITFS_H_

@@ -1,0 +1,36 @@
+// Strata model: log-structured like NOVA, plus the digest step — data written
+// to a per-process log must later be copied into the shared PM region to
+// become visible to other processes (§5.3: "Strata has to perform expensive
+// data copies from its per-process logs to the shared PM region").
+#ifndef SRC_FS_STRATA_STRATA_H_
+#define SRC_FS_STRATA_STRATA_H_
+
+#include "src/fs/nova/nova.h"
+
+namespace strata {
+
+class Strata : public nova::Nova {
+ public:
+  Strata(pmem::PmemDevice* device, nova::NovaOptions options = {})
+      : Nova(device, std::move(options)) {}
+
+  std::string_view Name() const override { return "strata"; }
+
+ protected:
+  common::Result<uint64_t> WriteDataAtomic(common::ExecContext& ctx, fscore::Inode& inode,
+                                           const void* src, uint64_t len,
+                                           uint64_t offset) override {
+    auto written = Nova::WriteDataAtomic(ctx, inode, src, len, offset);
+    if (written.ok()) {
+      // Digest: read from the private log, write into the shared region.
+      ctx.clock.Advance(device_->cost().SeqReadBytes(len) +
+                        device_->cost().SeqWriteBytes(len));
+      ctx.counters.cow_bytes += len;
+    }
+    return written;
+  }
+};
+
+}  // namespace strata
+
+#endif  // SRC_FS_STRATA_STRATA_H_

@@ -1,0 +1,31 @@
+// xfs-DAX model: extent allocator chooses by size and completely disregards
+// 2 MiB alignment (paper footnote 1: xfs-DAX cannot get hugepages even on a
+// clean filesystem). The data area is phase-shifted by the allocation-group
+// header blocks, so even perfectly contiguous large extents start misaligned.
+#ifndef SRC_FS_XFSDAX_XFSDAX_H_
+#define SRC_FS_XFSDAX_XFSDAX_H_
+
+#include "src/fs/ext4dax/ext4dax.h"
+
+namespace xfsdax {
+
+class XfsDax : public ext4dax::Ext4Dax {
+ public:
+  XfsDax(pmem::PmemDevice* device, ext4dax::Ext4Options options = {})
+      : Ext4Dax(device, Configure(std::move(options))) {}
+
+  std::string_view Name() const override { return "xfs-dax"; }
+
+ private:
+  static ext4dax::Ext4Options Configure(ext4dax::Ext4Options options) {
+    options.policy = ext4dax::AllocPolicy::kBySizeBestFit;
+    // AG headers occupy the first blocks of each allocation group; all data
+    // shifts off hugepage alignment.
+    options.base.data_phase_blocks = 3;
+    return options;
+  }
+};
+
+}  // namespace xfsdax
+
+#endif  // SRC_FS_XFSDAX_XFSDAX_H_

@@ -1,0 +1,230 @@
+#include "src/pmem/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmem {
+
+using common::kCacheline;
+
+PmemDevice::PmemDevice(uint64_t size_bytes, CostModel model, uint32_t numa_nodes)
+    : data_(size_bytes, 0), model_(model), numa_nodes_(numa_nodes == 0 ? 1 : numa_nodes) {}
+
+uint32_t PmemDevice::NumaNodeOf(uint64_t offset) const {
+  const uint64_t region = data_.size() / numa_nodes_;
+  if (region == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>(std::min<uint64_t>(offset / region, numa_nodes_ - 1));
+}
+
+void PmemDevice::RecordStore(uint64_t offset, uint64_t len, bool flushed) {
+  if (!crash_tracking_) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  const uint64_t first = common::RoundDown(offset, kCacheline);
+  const uint64_t last = common::RoundDown(offset + len - 1, kCacheline);
+  for (uint64_t line = first; line <= last; line += kCacheline) {
+    auto it = pending_index_.find(line);
+    size_t idx;
+    if (it == pending_index_.end()) {
+      idx = pending_.size();
+      pending_.push_back(PendingLine{});
+      pending_index_[line] = idx;
+    } else {
+      idx = it->second;
+    }
+    PendingLine& pl = pending_[idx];
+    pl.line_offset = line;
+    pl.flushed = flushed;
+    pl.seq = next_seq_++;
+    std::memcpy(pl.data, data_.data() + line, kCacheline);
+  }
+}
+
+void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* src,
+                       uint64_t len) {
+  assert(offset + len <= data_.size());
+  std::memcpy(data_.data() + offset, src, len);
+  const uint64_t lines = (len + kCacheline - 1) / kCacheline;
+  ctx.clock.Advance(lines * model_.pm_store_ns);
+  ctx.counters.pm_write_bytes += len;
+  RecordStore(offset, len, /*flushed=*/false);
+}
+
+void PmemDevice::NtStore(common::ExecContext& ctx, uint64_t offset, const void* src,
+                         uint64_t len) {
+  assert(offset + len <= data_.size());
+  std::memcpy(data_.data() + offset, src, len);
+  const uint64_t lines = (len + kCacheline - 1) / kCacheline;
+  ctx.clock.Advance(lines * model_.pm_store_seq_ns);
+  ctx.counters.pm_write_bytes += len;
+  RecordStore(offset, len, /*flushed=*/true);
+}
+
+void PmemDevice::Load(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len,
+                      bool sequential) {
+  assert(offset + len <= data_.size());
+  std::memcpy(dst, data_.data() + offset, len);
+  const uint64_t lines = (len + kCacheline - 1) / kCacheline;
+  ctx.clock.Advance(lines * (sequential ? model_.pm_load_seq_ns : model_.pm_load_random_ns));
+  ctx.counters.pm_read_bytes += len;
+}
+
+void PmemDevice::Clwb(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
+  const uint64_t first = common::RoundDown(offset, kCacheline);
+  const uint64_t last = common::RoundDown(offset + len - 1, kCacheline);
+  const uint64_t lines = (last - first) / kCacheline + 1;
+  ctx.clock.Advance(lines * model_.clwb_ns);
+  ctx.counters.clwb_count += lines;
+  if (!crash_tracking_) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  for (uint64_t line = first; line <= last; line += kCacheline) {
+    auto it = pending_index_.find(line);
+    if (it != pending_index_.end()) {
+      pending_[it->second].flushed = true;
+    }
+  }
+}
+
+void PmemDevice::Fence(common::ExecContext& ctx) {
+  ctx.clock.Advance(model_.sfence_ns);
+  ctx.counters.fence_count++;
+  if (!crash_tracking_) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  // Flushed lines are now guaranteed persistent: fold them into the image.
+  std::vector<PendingLine> still_pending;
+  std::vector<PendingLine> persisted_now;
+  for (PendingLine& pl : pending_) {
+    if (pl.flushed) {
+      std::memcpy(persistent_.data() + pl.line_offset, pl.data, kCacheline);
+      if (epoch_recording_) {
+        persisted_now.push_back(pl);
+      }
+    } else {
+      still_pending.push_back(pl);
+    }
+  }
+  pending_ = std::move(still_pending);
+  pending_index_.clear();
+  for (size_t i = 0; i < pending_.size(); i++) {
+    pending_index_[pending_[i].line_offset] = i;
+  }
+  if (epoch_recording_ && (!persisted_now.empty() || !pending_.empty())) {
+    PersistEpoch epoch;
+    epoch.persisted = std::move(persisted_now);
+    epoch.in_flight_after = pending_;
+    epoch_log_.push_back(std::move(epoch));
+  }
+}
+
+void PmemDevice::BeginEpochRecording() {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  epoch_recording_ = true;
+  epoch_log_.clear();
+}
+
+std::vector<PmemDevice::PersistEpoch> PmemDevice::TakeEpochLog() {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  epoch_recording_ = false;
+  return std::move(epoch_log_);
+}
+
+void PmemDevice::PersistStore(common::ExecContext& ctx, uint64_t offset, const void* src,
+                              uint64_t len) {
+  Store(ctx, offset, src, len);
+  Clwb(ctx, offset, len);
+  Fence(ctx);
+}
+
+void PmemDevice::Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
+  assert(offset + len <= data_.size());
+  std::memset(data_.data() + offset, 0, len);
+  ctx.clock.Advance(model_.SeqWriteBytes(len));
+  ctx.counters.pm_write_bytes += len;
+  RecordStore(offset, len, /*flushed=*/true);
+}
+
+void PmemDevice::StoreUncharged(uint64_t offset, const void* src, uint64_t len) {
+  assert(offset + len <= data_.size());
+  std::memcpy(data_.data() + offset, src, len);
+  if (crash_tracking_) {
+    std::lock_guard<std::mutex> guard(crash_mu_);
+    std::memcpy(persistent_.data() + offset, src, len);
+  }
+}
+
+void PmemDevice::EnableCrashTracking() {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  crash_tracking_ = true;
+  persistent_ = data_;
+  pending_.clear();
+  pending_index_.clear();
+  next_seq_ = 0;
+}
+
+void PmemDevice::DisableCrashTracking() {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  crash_tracking_ = false;
+  persistent_.clear();
+  persistent_.shrink_to_fit();
+  pending_.clear();
+  pending_index_.clear();
+}
+
+std::vector<PendingLine> PmemDevice::PendingLines() const {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  std::vector<PendingLine> lines = pending_;
+  std::sort(lines.begin(), lines.end(),
+            [](const PendingLine& a, const PendingLine& b) { return a.seq < b.seq; });
+  return lines;
+}
+
+std::vector<uint8_t> PmemDevice::PersistentImage() const {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  return persistent_;
+}
+
+std::vector<uint8_t> PmemDevice::CrashImage(const std::vector<size_t>& pending_subset) const {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  std::vector<uint8_t> image = persistent_;
+  const std::vector<PendingLine> ordered = [&] {
+    std::vector<PendingLine> lines = pending_;
+    std::sort(lines.begin(), lines.end(),
+              [](const PendingLine& a, const PendingLine& b) { return a.seq < b.seq; });
+    return lines;
+  }();
+  for (size_t idx : pending_subset) {
+    assert(idx < ordered.size());
+    const PendingLine& pl = ordered[idx];
+    std::memcpy(image.data() + pl.line_offset, pl.data, kCacheline);
+  }
+  return image;
+}
+
+void PmemDevice::RestoreImage(const std::vector<uint8_t>& image) {
+  assert(image.size() == data_.size());
+  data_ = image;
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  if (crash_tracking_) {
+    persistent_ = data_;
+    pending_.clear();
+    pending_index_.clear();
+  }
+}
+
+void PmemDevice::MarkAllPersistent() {
+  std::lock_guard<std::mutex> guard(crash_mu_);
+  if (crash_tracking_) {
+    persistent_ = data_;
+    pending_.clear();
+    pending_index_.clear();
+  }
+}
+
+}  // namespace pmem

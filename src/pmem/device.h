@@ -1,0 +1,152 @@
+// Simulated byte-addressable persistent-memory device.
+//
+// All filesystem metadata and data live in this device's address space, so
+// mount/recovery/crash tests operate on real bytes. Stores are volatile until
+// flushed (Clwb/NtStore) and fenced (Fence), mirroring the x86 persistence
+// model. When crash tracking is enabled the device additionally maintains the
+// last guaranteed-persistent image plus the set of in-flight cachelines, from
+// which the CrashMonkey-style harness enumerates crash states.
+#ifndef SRC_PMEM_DEVICE_H_
+#define SRC_PMEM_DEVICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/units.h"
+#include "src/pmem/cost_model.h"
+
+namespace pmem {
+
+// One not-yet-guaranteed-persistent cacheline: its device offset and payload.
+struct PendingLine {
+  uint64_t line_offset = 0;  // cacheline-aligned device offset
+  bool flushed = false;      // clwb'd but not yet fenced
+  uint64_t seq = 0;          // global store order, for ordered crash exploration
+  uint8_t data[common::kCacheline] = {};
+};
+
+class PmemDevice {
+ public:
+  // `numa_nodes` splits the device into equal interleave regions for the
+  // NUMA-awareness experiments; 1 disables the distinction.
+  explicit PmemDevice(uint64_t size_bytes, CostModel model = CostModel{},
+                      uint32_t numa_nodes = 1);
+
+  uint64_t size() const { return data_.size(); }
+  const CostModel& cost() const { return model_; }
+  uint32_t numa_nodes() const { return numa_nodes_; }
+  uint32_t NumaNodeOf(uint64_t offset) const;
+
+  // Raw access to the current (volatile) image. Used by readers and by
+  // memory-mapped access paths; cost accounting happens in the caller
+  // (MmapEngine) or via the charge helpers below.
+  uint8_t* raw() { return data_.data(); }
+  const uint8_t* raw() const { return data_.data(); }
+
+  // --- Store/load API used by filesystems (syscall paths) ---------------
+
+  // Regular (cached) store: data is volatile until Clwb+Fence.
+  void Store(common::ExecContext& ctx, uint64_t offset, const void* src, uint64_t len);
+  // Non-temporal store: bypasses cache; persistent after the next Fence.
+  void NtStore(common::ExecContext& ctx, uint64_t offset, const void* src, uint64_t len);
+  void Load(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len,
+            bool sequential = true);
+  // Flush the cachelines covering [offset, offset+len).
+  void Clwb(common::ExecContext& ctx, uint64_t offset, uint64_t len);
+  // Store fence / drain: all previously flushed lines become persistent.
+  void Fence(common::ExecContext& ctx);
+
+  // Convenience: store + clwb + fence (persist immediately).
+  void PersistStore(common::ExecContext& ctx, uint64_t offset, const void* src, uint64_t len);
+  // Store a trivially-copyable struct.
+  template <typename T>
+  void StoreStruct(common::ExecContext& ctx, uint64_t offset, const T& value) {
+    Store(ctx, offset, &value, sizeof(T));
+  }
+  template <typename T>
+  void PersistStruct(common::ExecContext& ctx, uint64_t offset, const T& value) {
+    PersistStore(ctx, offset, &value, sizeof(T));
+  }
+  template <typename T>
+  T LoadStruct(common::ExecContext& ctx, uint64_t offset) {
+    T value;
+    Load(ctx, offset, &value, sizeof(T));
+    return value;
+  }
+
+  // Zero-fill (modeled as streaming stores).
+  void Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len);
+
+  // Bookkeeping write: real bytes, no time/counter charge, treated as
+  // immediately persistent. Used only where the modeled filesystem's real
+  // counterpart would NOT issue this write at this point (e.g. NOVA keeps
+  // this state in DRAM indexes; we shadow it on PM so mount-time rebuild
+  // stays uniform). Every call site documents why. Not crash-realistic:
+  // crash-consistency tests only target filesystems that avoid this path.
+  void StoreUncharged(uint64_t offset, const void* src, uint64_t len);
+
+  // --- Crash tracking ----------------------------------------------------
+
+  void EnableCrashTracking();
+  void DisableCrashTracking();
+  bool crash_tracking_enabled() const { return crash_tracking_; }
+
+  // Snapshot of in-flight (not guaranteed persistent) cachelines, in store order.
+  std::vector<PendingLine> PendingLines() const;
+
+  // The image with every in-flight line discarded (what survives a crash if
+  // nothing extra made it out of the caches).
+  std::vector<uint8_t> PersistentImage() const;
+
+  // Persistent image plus the chosen subset of pending lines applied — one
+  // possible post-crash device state.
+  std::vector<uint8_t> CrashImage(const std::vector<size_t>& pending_subset) const;
+
+  // Replaces the device contents (used to "reboot" into a crash state).
+  void RestoreImage(const std::vector<uint8_t>& image);
+
+  // Marks everything persistent (e.g. after mkfs, before the tracked workload).
+  void MarkAllPersistent();
+
+  // --- Persist-epoch recording (CrashMonkey-style exploration) ----------
+
+  // One fence boundary: the lines that became persistent at this fence and
+  // the still-in-flight lines right after it (crash candidates).
+  struct PersistEpoch {
+    std::vector<PendingLine> persisted;
+    std::vector<PendingLine> in_flight_after;
+  };
+
+  // Starts recording one operation's persist epochs (crash tracking must be
+  // enabled). Subsequent Fence() calls append epochs.
+  void BeginEpochRecording();
+  // Stops recording and returns the epochs observed since Begin.
+  std::vector<PersistEpoch> TakeEpochLog();
+
+ private:
+  void RecordStore(uint64_t offset, uint64_t len, bool flushed);
+
+  std::vector<uint8_t> data_;
+  CostModel model_;
+  uint32_t numa_nodes_;
+
+  bool crash_tracking_ = false;
+  mutable std::mutex crash_mu_;
+  std::vector<uint8_t> persistent_;
+  // line offset -> index into pending_ (a line overwritten twice keeps one entry
+  // with the latest payload but its original sequence slot is refreshed).
+  std::unordered_map<uint64_t, size_t> pending_index_;
+  std::vector<PendingLine> pending_;
+  uint64_t next_seq_ = 0;
+
+  bool epoch_recording_ = false;
+  std::vector<PersistEpoch> epoch_log_;
+};
+
+}  // namespace pmem
+
+#endif  // SRC_PMEM_DEVICE_H_

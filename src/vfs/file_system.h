@@ -1,0 +1,133 @@
+// The filesystem interface every implementation (WineFS and the baselines)
+// exposes, plus the POSIX-flavored types shared across them. Path-based and
+// fd-based operations mirror the system calls the paper's workloads issue.
+#ifndef SRC_VFS_FILE_SYSTEM_H_
+#define SRC_VFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/vmem/mmap_engine.h"
+
+namespace vfs {
+
+using InodeNum = uint64_t;
+inline constexpr InodeNum kRootIno = 1;
+
+struct OpenFlags {
+  bool create = false;
+  bool exclusive = false;
+  bool truncate = false;
+  bool write = true;
+
+  static OpenFlags ReadOnly() { return OpenFlags{.write = false}; }
+  static OpenFlags Create() { return OpenFlags{.create = true}; }
+  static OpenFlags CreateExcl() { return OpenFlags{.create = true, .exclusive = true}; }
+};
+
+struct StatInfo {
+  InodeNum ino = 0;
+  uint64_t size = 0;
+  uint64_t blocks = 0;       // allocated 4 KiB blocks
+  uint32_t nlink = 0;
+  bool is_dir = false;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeNum ino = 0;
+  bool is_dir = false;
+};
+
+// Free-space introspection for the fragmentation experiments (Fig 3).
+struct FreeSpaceInfo {
+  uint64_t total_blocks = 0;
+  uint64_t free_blocks = 0;
+  // Number of free regions that are 2 MiB-aligned and >= 2 MiB contiguous,
+  // i.e. hugepage-capable allocations still available.
+  uint64_t free_aligned_extents = 0;
+  uint64_t largest_free_extent_blocks = 0;
+
+  double utilization() const {
+    return total_blocks == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(free_blocks) / static_cast<double>(total_blocks);
+  }
+  // Fraction of free space sitting in hugepage-capable regions.
+  double AlignedFreeFraction() const {
+    if (free_blocks == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(free_aligned_extents * 512) / static_cast<double>(free_blocks);
+  }
+};
+
+// Consistency guarantees, per §3.3.
+enum class GuaranteeMode {
+  kRelaxed,  // atomic+synchronous metadata only (ext4-DAX/xfs-DAX/PMFS class)
+  kStrict,   // atomic+synchronous data AND metadata (NOVA/Strata/WineFS default)
+};
+
+class FileSystem : public vmem::FaultHandler {
+ public:
+  ~FileSystem() override = default;
+
+  virtual std::string_view Name() const = 0;
+  virtual GuaranteeMode guarantee_mode() const = 0;
+
+  // --- Lifecycle ---------------------------------------------------------
+  virtual common::Status Mkfs(common::ExecContext& ctx) = 0;
+  // Mounts, running crash recovery if the superblock is dirty.
+  virtual common::Status Mount(common::ExecContext& ctx) = 0;
+  // Clean unmount: persists DRAM indexes/free lists.
+  virtual common::Status Unmount(common::ExecContext& ctx) = 0;
+
+  // --- Namespace ---------------------------------------------------------
+  virtual common::Result<int> Open(common::ExecContext& ctx, const std::string& path,
+                                   OpenFlags flags) = 0;
+  virtual common::Status Close(common::ExecContext& ctx, int fd) = 0;
+  virtual common::Status Mkdir(common::ExecContext& ctx, const std::string& path) = 0;
+  virtual common::Status Rmdir(common::ExecContext& ctx, const std::string& path) = 0;
+  virtual common::Status Unlink(common::ExecContext& ctx, const std::string& path) = 0;
+  virtual common::Status Rename(common::ExecContext& ctx, const std::string& from,
+                                const std::string& to) = 0;
+  virtual common::Result<StatInfo> Stat(common::ExecContext& ctx, const std::string& path) = 0;
+  virtual common::Result<std::vector<DirEntry>> ReadDir(common::ExecContext& ctx,
+                                                        const std::string& path) = 0;
+
+  // --- Data --------------------------------------------------------------
+  virtual common::Result<uint64_t> Pread(common::ExecContext& ctx, int fd, void* dst,
+                                         uint64_t len, uint64_t offset) = 0;
+  virtual common::Result<uint64_t> Pwrite(common::ExecContext& ctx, int fd, const void* src,
+                                          uint64_t len, uint64_t offset) = 0;
+  // Append at EOF; returns the offset written.
+  virtual common::Result<uint64_t> Append(common::ExecContext& ctx, int fd, const void* src,
+                                          uint64_t len) = 0;
+  virtual common::Status Fsync(common::ExecContext& ctx, int fd) = 0;
+  virtual common::Status Fallocate(common::ExecContext& ctx, int fd, uint64_t offset,
+                                   uint64_t len) = 0;
+  virtual common::Status Ftruncate(common::ExecContext& ctx, int fd, uint64_t size) = 0;
+
+  // --- Extended attributes (WineFS alignment hints, §3.6) ----------------
+  virtual common::Status SetXattr(common::ExecContext& ctx, const std::string& path,
+                                  const std::string& name, const std::string& value) = 0;
+  virtual common::Result<std::string> GetXattr(common::ExecContext& ctx,
+                                               const std::string& path,
+                                               const std::string& name) = 0;
+
+  // --- mmap support ------------------------------------------------------
+  virtual common::Result<InodeNum> InodeOf(common::ExecContext& ctx, int fd) = 0;
+  virtual common::Result<uint64_t> SizeOf(common::ExecContext& ctx, int fd) = 0;
+
+  // --- Introspection ------------------------------------------------------
+  virtual FreeSpaceInfo GetFreeSpaceInfo() = 0;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_FILE_SYSTEM_H_

@@ -1,0 +1,49 @@
+#include "src/vmem/llc_cache.h"
+
+#include "src/common/units.h"
+
+namespace vmem {
+
+LlcCache::LlcCache(const MmuParams& params) : ways_(params.llc_ways) {
+  const uint64_t lines = params.llc_bytes / common::kCacheline;
+  num_sets_ = lines / ways_;
+  if (num_sets_ == 0) {
+    num_sets_ = 1;
+  }
+  table_.assign(num_sets_ * ways_, Way{});
+}
+
+bool LlcCache::Access(uint64_t paddr) {
+  const uint64_t line = paddr / common::kCacheline;
+  const uint64_t set = line % num_sets_;
+  const uint64_t tag = line / num_sets_;
+  Way* base = &table_[set * ways_];
+  tick_++;
+
+  Way* victim = base;
+  for (uint32_t w = 0; w < ways_; w++) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void LlcCache::Flush() {
+  for (Way& way : table_) {
+    way.valid = false;
+  }
+  tick_ = 0;
+}
+
+}  // namespace vmem

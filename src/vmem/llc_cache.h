@@ -1,0 +1,42 @@
+// Set-associative last-level cache simulator, physically indexed on 64 B
+// lines. Application data lines and page-table lines share capacity — the
+// mechanism behind Fig 4/Fig 8: with base pages, page-walk traffic evicts the
+// application's hot set.
+#ifndef SRC_VMEM_LLC_CACHE_H_
+#define SRC_VMEM_LLC_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/vmem/mmu_params.h"
+
+namespace vmem {
+
+class LlcCache {
+ public:
+  explicit LlcCache(const MmuParams& params);
+
+  // Touches the line containing `paddr`; returns true on hit. Misses fill the
+  // line (evicting LRU in the set).
+  bool Access(uint64_t paddr);
+
+  void Flush();
+
+  uint64_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t lru = 0;  // larger = more recent
+    bool valid = false;
+  };
+
+  uint32_t ways_;
+  uint64_t num_sets_;
+  uint64_t tick_ = 0;
+  std::vector<Way> table_;  // num_sets_ x ways_
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_LLC_CACHE_H_

@@ -1,0 +1,300 @@
+#include "src/vmem/mmap_engine.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/common/units.h"
+
+namespace vmem {
+
+using common::ErrCode;
+using common::ExecContext;
+using common::kBlockSize;
+using common::kCacheline;
+using common::kHugepageSize;
+using common::Result;
+using common::Status;
+
+namespace {
+// Virtual addresses start high and 2 MB-aligned, like mmap with MAP_HUGETLB hints.
+constexpr uint64_t kVaStart = 0x7f0000000000ull;
+// Cost of an L2 TLB hit (STLB latency).
+constexpr uint64_t kStlbHitNs = 5;
+}  // namespace
+
+MmapEngine::MmapEngine(pmem::PmemDevice* device, MmuParams params, uint32_t num_cpus)
+    : device_(device),
+      params_(params),
+      // Page-table nodes live in synthetic DRAM far above the PM device range.
+      page_table_(device->size() + (1ull << 40)),
+      next_va_(kVaStart) {
+  if (num_cpus == 0) {
+    num_cpus = 1;
+  }
+  cpus_.reserve(num_cpus);
+  for (uint32_t i = 0; i < num_cpus; i++) {
+    cpus_.push_back(std::make_unique<CpuState>(params_));
+  }
+}
+
+std::unique_ptr<MappedFile> MmapEngine::Mmap(FaultHandler* handler, uint64_t ino,
+                                             uint64_t length, bool writable) {
+  std::lock_guard<std::mutex> guard(va_mu_);
+  const uint64_t va = next_va_;
+  // Leave a guard gap and keep 2 MB alignment for the next mapping.
+  next_va_ += common::RoundUp(length, kHugepageSize) + kHugepageSize;
+  return std::unique_ptr<MappedFile>(
+      new MappedFile(this, handler, ino, va, length, writable));
+}
+
+uint64_t MmapEngine::ChargeWalk(ExecContext& ctx, const WalkResult& walk) {
+  uint64_t ns = 0;
+  CpuState& state = cpu(ctx);
+  for (uint64_t line : walk.pte_lines) {
+    if (state.llc.Access(line)) {
+      ns += device_->cost().llc_hit_ns;
+      ctx.counters.llc_hits++;
+    } else {
+      ns += device_->cost().dram_load_ns;
+      ctx.counters.llc_misses++;
+    }
+  }
+  ctx.clock.Advance(ns);
+  return ns;
+}
+
+uint64_t MmapEngine::ChargeDataLine(ExecContext& ctx, uint64_t paddr) {
+  CpuState& state = cpu(ctx);
+  uint64_t ns;
+  if (state.llc.Access(paddr)) {
+    ns = device_->cost().llc_hit_ns;
+    ctx.counters.llc_hits++;
+  } else {
+    // Below the device size it is a PM line; above, DRAM.
+    ns = paddr < device_->size() ? device_->cost().pm_load_random_ns
+                                 : device_->cost().dram_load_ns;
+    ctx.counters.llc_misses++;
+  }
+  ctx.clock.Advance(ns);
+  return ns;
+}
+
+MappedFile::MappedFile(MmapEngine* engine, FaultHandler* handler, uint64_t ino,
+                       uint64_t va_base, uint64_t length, bool writable)
+    : engine_(engine),
+      handler_(handler),
+      ino_(ino),
+      va_base_(va_base),
+      length_(length),
+      writable_(writable) {
+  chunks_.resize((length + kHugepageSize - 1) / kHugepageSize);
+}
+
+Result<uint64_t> MappedFile::TranslateByte(ExecContext& ctx, uint64_t offset, bool write,
+                                           uint64_t* walk_ns_out) {
+  if (offset >= length_) {
+    return ErrCode::kInvalidArgument;  // SIGBUS territory
+  }
+  if (write && !writable_) {
+    return ErrCode::kInvalidArgument;
+  }
+  uint64_t walk_ns = 0;
+  const uint64_t vaddr = va_base_ + offset;
+  const size_t chunk_idx = offset / kHugepageSize;
+  Chunk& chunk = chunks_[chunk_idx];
+  Tlb& tlb = engine_->cpu(ctx).tlb;
+
+  auto finish = [&](uint64_t phys) -> Result<uint64_t> {
+    if (walk_ns_out != nullptr) {
+      *walk_ns_out = walk_ns;
+    }
+    return phys;
+  };
+
+  // Fast path: translation installed and in the TLB.
+  if (chunk.state == ChunkState::kHuge) {
+    const TlbResult hit = tlb.Lookup(vaddr, /*huge=*/true);
+    if (hit == TlbResult::kL1Hit) {
+      ctx.counters.tlb_hits++;
+      return finish(chunk.huge_phys + offset % kHugepageSize);
+    }
+    if (hit == TlbResult::kL2Hit) {
+      ctx.counters.tlb_l1_misses++;
+      ctx.clock.Advance(kStlbHitNs);
+      walk_ns += kStlbHitNs;
+      return finish(chunk.huge_phys + offset % kHugepageSize);
+    }
+  } else if (chunk.state == ChunkState::kBase) {
+    const size_t page_in_chunk = (offset % kHugepageSize) / kBlockSize;
+    if (!chunk.page_phys.empty() && chunk.page_phys[page_in_chunk] != 0) {
+      const TlbResult hit = tlb.Lookup(vaddr, /*huge=*/false);
+      if (hit == TlbResult::kL1Hit) {
+        ctx.counters.tlb_hits++;
+        return finish(chunk.page_phys[page_in_chunk] + offset % kBlockSize);
+      }
+      if (hit == TlbResult::kL2Hit) {
+        ctx.counters.tlb_l1_misses++;
+        ctx.clock.Advance(kStlbHitNs);
+        walk_ns += kStlbHitNs;
+        return finish(chunk.page_phys[page_in_chunk] + offset % kBlockSize);
+      }
+    }
+  }
+
+  // TLB miss: walk the page table (PTE lines go through the LLC).
+  const WalkResult walk = engine_->page_table().Walk(vaddr);
+  walk_ns += engine_->ChargeWalk(ctx, walk);
+  if (walk.pte.present) {
+    ctx.counters.tlb_l2_misses++;
+    tlb.Insert(vaddr, walk.pte.huge);
+    const uint64_t in_page = walk.pte.huge ? offset % kHugepageSize : offset % kBlockSize;
+    return finish(walk.pte.phys + in_page);
+  }
+
+  // Page fault.
+  const uint64_t fault_start = ctx.clock.NowNs();
+  const uint64_t page_offset = common::RoundDown(offset, kBlockSize);
+  auto fault = handler_->HandleFault(ctx, ino_, page_offset, write);
+  if (!fault.ok()) {
+    return fault.status();
+  }
+  const pmem::CostModel& cost = engine_->device().cost();
+  if (fault->huge) {
+    assert(common::IsAligned(fault->phys, kHugepageSize));
+    const uint64_t chunk_vaddr = va_base_ + chunk_idx * kHugepageSize;
+    engine_->page_table().Map(chunk_vaddr, fault->phys, /*huge=*/true, writable_);
+    chunk.state = ChunkState::kHuge;
+    chunk.huge_phys = fault->phys;
+    ctx.clock.Advance(cost.fault_base_ns + cost.fault_huge_extra_ns);
+    ctx.counters.page_faults_2m++;
+    tlb.Insert(vaddr, /*huge=*/true);
+    ctx.counters.fault_handling_ns += ctx.clock.NowNs() - fault_start;
+    return finish(fault->phys + offset % kHugepageSize);
+  }
+  const uint64_t page_vaddr = va_base_ + page_offset;
+  engine_->page_table().Map(page_vaddr, fault->phys, /*huge=*/false, writable_);
+  chunk.state = ChunkState::kBase;
+  if (chunk.page_phys.empty()) {
+    chunk.page_phys.assign(common::kBlocksPerHugepage, 0);
+  }
+  chunk.page_phys[(offset % kHugepageSize) / kBlockSize] = fault->phys;
+  ctx.clock.Advance(cost.fault_base_ns);
+  ctx.counters.page_faults_4k++;
+  tlb.Insert(vaddr, /*huge=*/false);
+  ctx.counters.fault_handling_ns += ctx.clock.NowNs() - fault_start;
+  return finish(fault->phys + offset % kBlockSize);
+}
+
+Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uint64_t len) {
+  if (offset + len > length_) {
+    return Status(ErrCode::kInvalidArgument);
+  }
+  const uint8_t* cursor = static_cast<const uint8_t*>(src);
+  const pmem::CostModel& cost = engine_->device().cost();
+  while (len > 0) {
+    const uint64_t page_end = common::RoundDown(offset, kBlockSize) + kBlockSize;
+    const uint64_t span = std::min<uint64_t>(len, page_end - offset);
+    ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
+    std::memcpy(engine_->device().raw() + phys, cursor, span);
+    const uint64_t copy_ns = cost.SeqWriteBytes(span);
+    ctx.clock.Advance(copy_ns);
+    ctx.counters.data_copy_ns += copy_ns;
+    ctx.counters.pm_write_bytes += span;
+    offset += span;
+    cursor += span;
+    len -= span;
+  }
+  return common::OkStatus();
+}
+
+Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t len) {
+  if (offset + len > length_) {
+    return Status(ErrCode::kInvalidArgument);
+  }
+  uint8_t* cursor = static_cast<uint8_t*>(dst);
+  const pmem::CostModel& cost = engine_->device().cost();
+  while (len > 0) {
+    const uint64_t page_end = common::RoundDown(offset, kBlockSize) + kBlockSize;
+    const uint64_t span = std::min<uint64_t>(len, page_end - offset);
+    ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
+    std::memcpy(cursor, engine_->device().raw() + phys, span);
+    const uint64_t copy_ns = cost.SeqReadBytes(span);
+    ctx.clock.Advance(copy_ns);
+    ctx.counters.data_copy_ns += copy_ns;
+    ctx.counters.pm_read_bytes += span;
+    offset += span;
+    cursor += span;
+    len -= span;
+  }
+  return common::OkStatus();
+}
+
+Result<uint64_t> MappedFile::LoadLine(ExecContext& ctx, uint64_t offset, void* dst64) {
+  const uint64_t start = ctx.clock.NowNs();
+  ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
+  engine_->ChargeDataLine(ctx, common::RoundDown(phys, kCacheline));
+  if (dst64 != nullptr) {
+    std::memcpy(dst64, engine_->device().raw() + phys, 8);
+  }
+  ctx.counters.pm_read_bytes += kCacheline;
+  return ctx.clock.NowNs() - start;
+}
+
+Result<uint64_t> MappedFile::StoreLine(ExecContext& ctx, uint64_t offset, const void* src64) {
+  const uint64_t start = ctx.clock.NowNs();
+  ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
+  engine_->ChargeDataLine(ctx, common::RoundDown(phys, kCacheline));
+  if (src64 != nullptr) {
+    std::memcpy(engine_->device().raw() + phys, src64, 8);
+  }
+  ctx.counters.pm_write_bytes += kCacheline;
+  return ctx.clock.NowNs() - start;
+}
+
+Status MappedFile::Prefault(ExecContext& ctx, bool write) {
+  for (uint64_t offset = 0; offset < length_; offset += kBlockSize) {
+    auto phys = TranslateByte(ctx, offset, write, nullptr);
+    if (!phys.ok()) {
+      return phys.status();
+    }
+  }
+  return common::OkStatus();
+}
+
+double MappedFile::HugeMappedFraction() const {
+  if (length_ == 0) {
+    return 0.0;
+  }
+  uint64_t huge_bytes = 0;
+  for (size_t i = 0; i < chunks_.size(); i++) {
+    if (chunks_[i].state == ChunkState::kHuge) {
+      const uint64_t chunk_start = i * kHugepageSize;
+      huge_bytes += std::min(kHugepageSize, length_ - chunk_start);
+    }
+  }
+  return static_cast<double>(huge_bytes) / static_cast<double>(length_);
+}
+
+void MappedFile::UnmapAll(ExecContext& ctx) {
+  (void)ctx;
+  for (size_t i = 0; i < chunks_.size(); i++) {
+    Chunk& chunk = chunks_[i];
+    const uint64_t chunk_vaddr = va_base_ + i * kHugepageSize;
+    if (chunk.state == ChunkState::kHuge) {
+      engine_->page_table().Unmap(chunk_vaddr, /*huge=*/true);
+    } else if (chunk.state == ChunkState::kBase) {
+      for (size_t p = 0; p < chunk.page_phys.size(); p++) {
+        if (chunk.page_phys[p] != 0) {
+          engine_->page_table().Unmap(chunk_vaddr + p * kBlockSize, /*huge=*/false);
+        }
+      }
+    }
+    chunk = Chunk{};
+  }
+  // TLB shootdown on every CPU.
+  for (auto& state : engine_->cpus_) {
+    state->tlb.Flush();
+  }
+}
+
+}  // namespace vmem

@@ -1,0 +1,150 @@
+// Memory-map simulation: address-space management, translation (TLB + page
+// walk through the LLC), page-fault dispatch into the owning filesystem, and
+// cost accounting for mapped access.
+//
+// Hugepage rule (paper §2.2): a 2 MB chunk of a mapping is served by one PMD
+// entry iff the filesystem can hand back a physical extent that covers the
+// whole 2 MB-aligned file chunk and is itself 2 MB-aligned. Otherwise every
+// 4 KB page faults separately and occupies its own TLB entry.
+#ifndef SRC_VMEM_MMAP_ENGINE_H_
+#define SRC_VMEM_MMAP_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/result.h"
+#include "src/pmem/device.h"
+#include "src/vmem/llc_cache.h"
+#include "src/vmem/mmu_params.h"
+#include "src/vmem/page_table.h"
+#include "src/vmem/tlb.h"
+
+namespace vmem {
+
+// Implemented by filesystems: resolve a page fault on a DAX mapping.
+class FaultHandler {
+ public:
+  struct FaultMapping {
+    // Device offset of the start of the mapped unit (2 MB chunk if huge,
+    // 4 KB page otherwise).
+    uint64_t phys = 0;
+    bool huge = false;
+  };
+
+  virtual ~FaultHandler() = default;
+
+  // `page_offset` is the 4 KB-aligned file offset that faulted; `write` tells
+  // the FS whether this is an allocating (write) fault. The FS charges any
+  // fault-path work (allocation, zeroing) to ctx.clock itself.
+  virtual common::Result<FaultMapping> HandleFault(common::ExecContext& ctx, uint64_t ino,
+                                                   uint64_t page_offset, bool write) = 0;
+};
+
+class MmapEngine;
+
+// One mmap'd file region. All accesses go through the cost-accounted APIs.
+class MappedFile {
+ public:
+  uint64_t length() const { return length_; }
+  uint64_t va_base() const { return va_base_; }
+  uint64_t ino() const { return ino_; }
+
+  // Bulk sequential access (memcpy-style): translation checked per page,
+  // data charged at streaming rates, bytes actually copied to/from the device.
+  common::Status Write(common::ExecContext& ctx, uint64_t offset, const void* src,
+                       uint64_t len);
+  common::Status Read(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len);
+
+  // Single-cacheline access with full TLB + LLC modeling; for pointer-chasing
+  // and random-read workloads (Fig 4, Fig 8). Returns the modeled latency in
+  // nanoseconds (also charged to ctx.clock).
+  common::Result<uint64_t> LoadLine(common::ExecContext& ctx, uint64_t offset, void* dst64);
+  common::Result<uint64_t> StoreLine(common::ExecContext& ctx, uint64_t offset,
+                                     const void* src64);
+
+  // Faults in every page of the mapping (MAP_POPULATE-style).
+  common::Status Prefault(common::ExecContext& ctx, bool write);
+
+  // Fraction of the file currently mapped with hugepages (by bytes).
+  double HugeMappedFraction() const;
+
+  // Drops all translations (used by remap after reactive rewriting).
+  void UnmapAll(common::ExecContext& ctx);
+
+ private:
+  friend class MmapEngine;
+
+  enum class ChunkState : uint8_t { kUnmapped = 0, kBase, kHuge };
+
+  struct Chunk {
+    ChunkState state = ChunkState::kUnmapped;
+    uint64_t huge_phys = 0;
+    // For base-mapped chunks: per-4KB-page device offsets (0 = unmapped; the
+    // device never maps page 0 to user data because the superblock lives there).
+    std::vector<uint64_t> page_phys;
+  };
+
+  MappedFile(MmapEngine* engine, FaultHandler* handler, uint64_t ino, uint64_t va_base,
+             uint64_t length, bool writable);
+
+  // Returns the device offset of `offset`'s byte, faulting if needed.
+  common::Result<uint64_t> TranslateByte(common::ExecContext& ctx, uint64_t offset, bool write,
+                                         uint64_t* walk_ns_out);
+
+  MmapEngine* engine_;
+  FaultHandler* handler_;
+  uint64_t ino_;
+  uint64_t va_base_;
+  uint64_t length_;
+  bool writable_;
+  std::vector<Chunk> chunks_;
+};
+
+class MmapEngine {
+ public:
+  MmapEngine(pmem::PmemDevice* device, MmuParams params, uint32_t num_cpus = 1);
+
+  // Establishes a mapping of the file's first `length` bytes.
+  std::unique_ptr<MappedFile> Mmap(FaultHandler* handler, uint64_t ino, uint64_t length,
+                                   bool writable);
+
+  pmem::PmemDevice& device() { return *device_; }
+  const MmuParams& params() const { return params_; }
+  PageTable& page_table() { return page_table_; }
+
+  // DRAM footprint of page tables, for §5.7.
+  uint64_t PageTableBytes() const { return page_table_.MemoryBytes(); }
+
+ private:
+  friend class MappedFile;
+
+  struct CpuState {
+    explicit CpuState(const MmuParams& params) : tlb(params), llc(params) {}
+    Tlb tlb;
+    LlcCache llc;
+  };
+
+  CpuState& cpu(common::ExecContext& ctx) {
+    return *cpus_[ctx.cpu % cpus_.size()];
+  }
+
+  // Charges a page walk (PTE reads through the LLC) and returns its cost.
+  uint64_t ChargeWalk(common::ExecContext& ctx, const WalkResult& walk);
+
+  // Charges one data-line access through the LLC; returns its cost.
+  uint64_t ChargeDataLine(common::ExecContext& ctx, uint64_t paddr);
+
+  pmem::PmemDevice* device_;
+  MmuParams params_;
+  PageTable page_table_;
+  std::vector<std::unique_ptr<CpuState>> cpus_;
+  std::mutex va_mu_;
+  uint64_t next_va_;
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_MMAP_ENGINE_H_

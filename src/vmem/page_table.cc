@@ -1,0 +1,95 @@
+#include "src/vmem/page_table.h"
+
+#include <cassert>
+
+#include "src/common/units.h"
+
+namespace vmem {
+
+namespace {
+// x86-64 4-level paging: PGD bits 47-39, PUD 38-30, PMD 29-21, PT 20-12.
+constexpr int kLevels = 4;
+constexpr int kShift[kLevels] = {39, 30, 21, 12};
+constexpr int kPmdLevel = 2;  // huge-page leaf level
+}  // namespace
+
+struct PageTable::Node {
+  uint64_t phys_base = 0;
+  std::array<Pte, 512> entries{};
+  std::array<std::unique_ptr<Node>, 512> children{};
+};
+
+PageTable::PageTable(uint64_t dram_base) : next_node_phys_(dram_base) {
+  root_ = std::make_unique<Node>();
+  root_->phys_base = next_node_phys_;
+  next_node_phys_ += common::kBlockSize;
+  node_count_ = 1;
+}
+
+PageTable::~PageTable() = default;
+
+uint32_t PageTable::IndexAt(uint64_t vaddr, int level) {
+  return static_cast<uint32_t>((vaddr >> kShift[level]) & 0x1ff);
+}
+
+PageTable::Node* PageTable::EnsureChild(Node* node, uint32_t index) {
+  if (!node->children[index]) {
+    node->children[index] = std::make_unique<Node>();
+    node->children[index]->phys_base = next_node_phys_;
+    next_node_phys_ += common::kBlockSize;
+    node_count_++;
+  }
+  return node->children[index].get();
+}
+
+void PageTable::Map(uint64_t vaddr, uint64_t phys, bool huge, bool writable) {
+  if (huge) {
+    assert(common::IsAligned(vaddr, common::kHugepageSize));
+    assert(common::IsAligned(phys, common::kHugepageSize));
+  }
+  Node* node = root_.get();
+  const int leaf_level = huge ? kPmdLevel : kLevels - 1;
+  for (int level = 0; level < leaf_level; level++) {
+    node = EnsureChild(node, IndexAt(vaddr, level));
+  }
+  Pte& pte = node->entries[IndexAt(vaddr, leaf_level)];
+  pte.phys = phys;
+  pte.present = true;
+  pte.huge = huge;
+  pte.writable = writable;
+}
+
+void PageTable::Unmap(uint64_t vaddr, bool huge) {
+  Node* node = root_.get();
+  const int leaf_level = huge ? kPmdLevel : kLevels - 1;
+  for (int level = 0; level < leaf_level; level++) {
+    const uint32_t idx = IndexAt(vaddr, level);
+    if (!node->children[idx]) {
+      return;
+    }
+    node = node->children[idx].get();
+  }
+  node->entries[IndexAt(vaddr, leaf_level)] = Pte{};
+}
+
+WalkResult PageTable::Walk(uint64_t vaddr) const {
+  WalkResult result;
+  const Node* node = root_.get();
+  for (int level = 0; level < kLevels; level++) {
+    const uint32_t idx = IndexAt(vaddr, level);
+    // The walk reads the 8-byte entry; record its cacheline address.
+    result.pte_lines.push_back(node->phys_base + common::RoundDown(idx * 8, common::kCacheline));
+    const Pte& pte = node->entries[idx];
+    if (pte.present) {
+      result.pte = pte;
+      return result;
+    }
+    if (!node->children[idx]) {
+      return result;  // not mapped
+    }
+    node = node->children[idx].get();
+  }
+  return result;
+}
+
+}  // namespace vmem

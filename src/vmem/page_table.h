@@ -1,0 +1,65 @@
+// Four-level x86-64-style radix page table. Nodes are assigned synthetic DRAM
+// physical addresses so that page-walk reads can be fed through the LLC
+// simulator (the pollution effect the paper measures).
+#ifndef SRC_VMEM_PAGE_TABLE_H_
+#define SRC_VMEM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace vmem {
+
+struct Pte {
+  uint64_t phys = 0;
+  bool present = false;
+  bool huge = false;      // leaf at PMD level (2 MB)
+  bool writable = false;
+};
+
+struct WalkResult {
+  Pte pte;
+  // DRAM line addresses of the page-table entries read, root to leaf.
+  std::vector<uint64_t> pte_lines;
+};
+
+class PageTable {
+ public:
+  // Page-table nodes get synthetic physical addresses starting at dram_base;
+  // pick a base that cannot collide with PM device offsets.
+  explicit PageTable(uint64_t dram_base);
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Installs a 4 KB mapping (huge=false) or a 2 MB mapping (huge=true,
+  // vaddr/phys must be 2 MB aligned).
+  void Map(uint64_t vaddr, uint64_t phys, bool huge, bool writable);
+
+  // Removes the mapping covering vaddr at the given size, if present.
+  void Unmap(uint64_t vaddr, bool huge);
+
+  // Translates vaddr, reporting every PTE line touched on the way.
+  WalkResult Walk(uint64_t vaddr) const;
+
+  uint64_t node_count() const { return node_count_; }
+  // DRAM consumed by page-table nodes (4 KB each).
+  uint64_t MemoryBytes() const { return node_count_ * 4096; }
+
+ private:
+  struct Node;
+
+  Node* EnsureChild(Node* node, uint32_t index);
+
+  static uint32_t IndexAt(uint64_t vaddr, int level);
+
+  std::unique_ptr<Node> root_;
+  uint64_t next_node_phys_;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_PAGE_TABLE_H_

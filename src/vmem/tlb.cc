@@ -1,0 +1,86 @@
+#include "src/vmem/tlb.h"
+
+#include "src/common/units.h"
+
+namespace vmem {
+
+bool Tlb::LruSet::Touch(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+void Tlb::LruSet::Insert(uint64_t key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (order_.size() >= capacity_) {
+    index_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  index_[key] = order_.begin();
+}
+
+void Tlb::LruSet::Erase(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return;
+  }
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+void Tlb::LruSet::Clear() {
+  order_.clear();
+  index_.clear();
+}
+
+Tlb::Tlb(const MmuParams& params)
+    : l1_4k_(params.l1_tlb_4k_entries),
+      l1_2m_(params.l1_tlb_2m_entries),
+      l2_(params.l2_tlb_entries) {}
+
+uint64_t Tlb::PageNumber(uint64_t vaddr, bool huge) {
+  // Tag with the size bit so 4 KB and 2 MB entries never alias in L2.
+  const uint64_t page = huge ? vaddr / common::kHugepageSize : vaddr / common::kBlockSize;
+  return (page << 1) | (huge ? 1 : 0);
+}
+
+TlbResult Tlb::Lookup(uint64_t vaddr, bool huge) {
+  const uint64_t key = PageNumber(vaddr, huge);
+  LruSet& l1 = huge ? l1_2m_ : l1_4k_;
+  if (l1.Touch(key)) {
+    return TlbResult::kL1Hit;
+  }
+  if (l2_.Touch(key)) {
+    l1.Insert(key);
+    return TlbResult::kL2Hit;
+  }
+  return TlbResult::kMiss;
+}
+
+void Tlb::Insert(uint64_t vaddr, bool huge) {
+  const uint64_t key = PageNumber(vaddr, huge);
+  (huge ? l1_2m_ : l1_4k_).Insert(key);
+  l2_.Insert(key);
+}
+
+void Tlb::InvalidatePage(uint64_t vaddr, bool huge) {
+  const uint64_t key = PageNumber(vaddr, huge);
+  (huge ? l1_2m_ : l1_4k_).Erase(key);
+  l2_.Erase(key);
+}
+
+void Tlb::Flush() {
+  l1_4k_.Clear();
+  l1_2m_.Clear();
+  l2_.Clear();
+}
+
+}  // namespace vmem

@@ -1,0 +1,62 @@
+// Two-level TLB simulator with split 4 KB / 2 MB first-level arrays.
+// Hugepages matter here twice over: one 2 MB entry covers 512 base pages, and
+// the 2 MB array is large enough relative to typical hot sets that mapped-huge
+// working sets rarely miss.
+#ifndef SRC_VMEM_TLB_H_
+#define SRC_VMEM_TLB_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/vmem/mmu_params.h"
+
+namespace vmem {
+
+enum class TlbResult {
+  kL1Hit,
+  kL2Hit,
+  kMiss,  // full page walk required
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const MmuParams& params);
+
+  // Looks up the page covering `vaddr`. `huge` selects the translation size
+  // the page was mapped with. A hit refreshes LRU position; on kL2Hit the
+  // entry is promoted into L1; on kMiss the caller must Walk and then Insert.
+  TlbResult Lookup(uint64_t vaddr, bool huge);
+
+  void Insert(uint64_t vaddr, bool huge);
+
+  // Removes translations covering the page (TLB shootdown on munmap/remap).
+  void InvalidatePage(uint64_t vaddr, bool huge);
+  void Flush();
+
+ private:
+  // LRU set of page numbers with bounded capacity.
+  class LruSet {
+   public:
+    explicit LruSet(uint32_t capacity) : capacity_(capacity) {}
+    bool Touch(uint64_t key);  // true if present (and refreshed)
+    void Insert(uint64_t key);
+    void Erase(uint64_t key);
+    void Clear();
+
+   private:
+    uint32_t capacity_;
+    std::list<uint64_t> order_;  // front = most recent
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  };
+
+  static uint64_t PageNumber(uint64_t vaddr, bool huge);
+
+  LruSet l1_4k_;
+  LruSet l1_2m_;
+  LruSet l2_;  // unified; keys tagged with the size bit
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_TLB_H_

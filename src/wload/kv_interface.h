@@ -1,0 +1,41 @@
+// Common surface for the paper's key-value application stand-ins
+// (RocksDB-like mmap LSM, LMDB-like mmap B+tree, PmemKV-like pool store).
+#ifndef SRC_WLOAD_KV_INTERFACE_H_
+#define SRC_WLOAD_KV_INTERFACE_H_
+
+#include <cstdint>
+
+#include "src/common/exec_context.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace wload {
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual common::Status Open(common::ExecContext& ctx) = 0;
+
+  virtual common::Status Put(common::ExecContext& ctx, uint64_t key, const void* value,
+                             uint32_t len) = 0;
+
+  // Reads the value into `out` (size >= max value size); returns value length
+  // or kNotFound.
+  virtual common::Result<uint32_t> Get(common::ExecContext& ctx, uint64_t key, void* out) = 0;
+
+  // Reads up to `count` keys starting at `key` in key order; returns how many
+  // were found. Stores that cannot scan return kNotSupported.
+  virtual common::Result<uint32_t> Scan(common::ExecContext& ctx, uint64_t key,
+                                        uint32_t count, void* out) {
+    (void)ctx;
+    (void)key;
+    (void)count;
+    (void)out;
+    return common::ErrCode::kNotSupported;
+  }
+};
+
+}  // namespace wload
+
+#endif  // SRC_WLOAD_KV_INTERFACE_H_

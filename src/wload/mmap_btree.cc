@@ -1,0 +1,139 @@
+#include "src/wload/mmap_btree.h"
+
+#include <cstring>
+
+#include "src/common/units.h"
+
+namespace wload {
+
+using common::ErrCode;
+using common::ExecContext;
+using common::Result;
+using common::Status;
+
+Status MmapBtree::Open(ExecContext& ctx) {
+  ASSIGN_OR_RETURN(const int fd, fs_->Open(ctx, config_.path, vfs::OpenFlags::Create()));
+  // Sparse map: size set with ftruncate, pages materialize on write faults.
+  RETURN_IF_ERROR(fs_->Ftruncate(ctx, fd, config_.map_bytes));
+  ASSIGN_OR_RETURN(const vfs::InodeNum ino, fs_->InodeOf(ctx, fd));
+  RETURN_IF_ERROR(fs_->Close(ctx, fd));
+  map_ = engine_->Mmap(fs_, ino, config_.map_bytes, /*writable=*/true);
+  // Meta page.
+  uint64_t magic = 0xB1BDB;
+  return map_->Write(ctx, 0, &magic, sizeof(magic));
+}
+
+uint64_t MmapBtree::AllocPage() { return next_page_++; }
+
+Status MmapBtree::WriteLeaf(ExecContext& ctx, uint64_t page, uint64_t first_key,
+                            const std::vector<std::pair<uint64_t, std::vector<uint8_t>>>& kvs) {
+  (void)first_key;
+  // Page header + packed cells, written through the mapping.
+  uint32_t cursor = 16;
+  uint64_t count = kvs.size();
+  RETURN_IF_ERROR(map_->Write(ctx, PageOffset(page), &count, sizeof(count)));
+  for (const auto& [key, value] : kvs) {
+    uint8_t cell[16];
+    std::memcpy(cell, &key, 8);
+    const uint32_t len = static_cast<uint32_t>(value.size());
+    std::memcpy(cell + 8, &len, 4);
+    RETURN_IF_ERROR(map_->Write(ctx, PageOffset(page) + cursor, cell, sizeof(cell)));
+    cursor += 16;
+    RETURN_IF_ERROR(map_->Write(ctx, PageOffset(page) + cursor, value.data(), value.size()));
+    index_[key] = Entry{page, cursor, len};
+    cursor += len;
+  }
+  return common::OkStatus();
+}
+
+Status MmapBtree::CommitBatch(ExecContext& ctx) {
+  if (pending_.empty()) {
+    return common::OkStatus();
+  }
+  // Copy-on-write commit: the batch's entries are packed into fresh leaf
+  // pages; the touched branch path is rewritten to new pages too (modeled as
+  // one extra page per ~kBranchFanout leaves, like LMDB's page churn).
+  const uint32_t kMaxCell = 16 + 1024 + 64;
+  const uint32_t per_leaf = std::max<uint32_t>(1, (kPageBytes - 16) / kMaxCell);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> leaf;
+  uint64_t leaves_written = 0;
+  for (auto& kv : pending_) {
+    leaf.push_back(std::move(kv));
+    if (leaf.size() == per_leaf) {
+      RETURN_IF_ERROR(WriteLeaf(ctx, AllocPage(), leaf.front().first, leaf));
+      leaf.clear();
+      leaves_written++;
+    }
+  }
+  if (!leaf.empty()) {
+    RETURN_IF_ERROR(WriteLeaf(ctx, AllocPage(), leaf.front().first, leaf));
+    leaves_written++;
+  }
+  // Branch rewrite (CoW path to the root) + meta page flip.
+  const uint64_t branch_pages = 1 + leaves_written / kBranchFanout;
+  for (uint64_t b = 0; b < branch_pages; b++) {
+    const uint64_t page = AllocPage();
+    std::vector<uint8_t> branch(kPageBytes, 0xbb);
+    RETURN_IF_ERROR(map_->Write(ctx, PageOffset(page), branch.data(), branch.size()));
+  }
+  uint64_t meta[2] = {0xB1BDB, next_page_};
+  RETURN_IF_ERROR(map_->Write(ctx, 0, meta, sizeof(meta)));
+  pending_.clear();
+  return common::OkStatus();
+}
+
+Status MmapBtree::Put(ExecContext& ctx, uint64_t key, const void* value, uint32_t len) {
+  if ((next_page_ + 4) * kPageBytes >= config_.map_bytes) {
+    return Status(ErrCode::kNoSpace);  // map_size exhausted, like MDB_MAP_FULL
+  }
+  std::vector<uint8_t> copy(len);
+  std::memcpy(copy.data(), value, len);
+  pending_.emplace_back(key, std::move(copy));
+  if (pending_.size() >= config_.batch_size) {
+    return CommitBatch(ctx);
+  }
+  return common::OkStatus();
+}
+
+Result<uint32_t> MmapBtree::Get(ExecContext& ctx, uint64_t key, void* out) {
+  // Check the open txn first.
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    if (it->first == key) {
+      std::memcpy(out, it->second.data(), it->second.size());
+      return static_cast<uint32_t>(it->second.size());
+    }
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return ErrCode::kNotFound;
+  }
+  // Walk the branch path (root + one level) then read the cell: two small
+  // mapped reads + the value read.
+  uint64_t probe;
+  auto l1 = map_->LoadLine(ctx, 0, &probe);
+  if (!l1.ok()) {
+    return l1.status();
+  }
+  auto l2 = map_->LoadLine(ctx, PageOffset(it->second.page), &probe);
+  if (!l2.ok()) {
+    return l2.status();
+  }
+  RETURN_IF_ERROR(
+      map_->Read(ctx, PageOffset(it->second.page) + it->second.slot_offset, out,
+                 it->second.len));
+  return it->second.len;
+}
+
+Result<uint32_t> MmapBtree::Scan(ExecContext& ctx, uint64_t key, uint32_t count, void* out) {
+  auto it = index_.lower_bound(key);
+  uint32_t found = 0;
+  while (it != index_.end() && found < count) {
+    RETURN_IF_ERROR(map_->Read(ctx, PageOffset(it->second.page) + it->second.slot_offset, out,
+                               it->second.len));
+    ++it;
+    found++;
+  }
+  return found;
+}
+
+}  // namespace wload

@@ -1,0 +1,78 @@
+#include "src/wload/mmap_lsm.h"
+
+#include <cstring>
+
+#include "src/common/units.h"
+
+namespace wload {
+
+using common::ErrCode;
+using common::ExecContext;
+using common::Result;
+using common::Status;
+
+Status MmapLsm::Open(ExecContext& ctx) {
+  RETURN_IF_ERROR(fs_->Mkdir(ctx, config_.root));
+  return NewSegment(ctx);
+}
+
+Status MmapLsm::NewSegment(ExecContext& ctx) {
+  const std::string path = config_.root + "/seg" + std::to_string(segments_.size());
+  ASSIGN_OR_RETURN(const int fd, fs_->Open(ctx, path, vfs::OpenFlags::Create()));
+  if (config_.fallocate_segments) {
+    RETURN_IF_ERROR(fs_->Fallocate(ctx, fd, 0, config_.segment_bytes));
+  } else {
+    RETURN_IF_ERROR(fs_->Ftruncate(ctx, fd, config_.segment_bytes));
+  }
+  ASSIGN_OR_RETURN(const vfs::InodeNum ino, fs_->InodeOf(ctx, fd));
+  RETURN_IF_ERROR(fs_->Close(ctx, fd));
+  Segment segment;
+  segment.map = engine_->Mmap(fs_, ino, config_.segment_bytes, /*writable=*/true);
+  segments_.push_back(std::move(segment));
+  return common::OkStatus();
+}
+
+Status MmapLsm::Put(ExecContext& ctx, uint64_t key, const void* value, uint32_t len) {
+  // Record framing: key(8) + len(4) + payload.
+  const uint64_t need = 12 + len;
+  Segment* active = &segments_.back();
+  if (active->used + need > config_.segment_bytes) {
+    RETURN_IF_ERROR(NewSegment(ctx));
+    active = &segments_.back();
+  }
+  const uint64_t offset = active->used;
+  uint8_t header[12];
+  std::memcpy(header, &key, 8);
+  std::memcpy(header + 8, &len, 4);
+  RETURN_IF_ERROR(active->map->Write(ctx, offset, header, sizeof(header)));
+  RETURN_IF_ERROR(active->map->Write(ctx, offset + 12, value, len));
+  active->used += need;
+  index_[key] =
+      Location{static_cast<uint32_t>(segments_.size() - 1), offset + 12, len};
+  return common::OkStatus();
+}
+
+Result<uint32_t> MmapLsm::Get(ExecContext& ctx, uint64_t key, void* out) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return ErrCode::kNotFound;
+  }
+  const Location& loc = it->second;
+  RETURN_IF_ERROR(segments_[loc.segment].map->Read(ctx, loc.offset, out, loc.len));
+  return loc.len;
+}
+
+Result<uint32_t> MmapLsm::Scan(ExecContext& ctx, uint64_t key, uint32_t count, void* out) {
+  auto it = index_.lower_bound(key);
+  uint32_t found = 0;
+  uint8_t* cursor = static_cast<uint8_t*>(out);
+  while (it != index_.end() && found < count) {
+    const Location& loc = it->second;
+    RETURN_IF_ERROR(segments_[loc.segment].map->Read(ctx, loc.offset, cursor, loc.len));
+    ++it;
+    found++;
+  }
+  return found;
+}
+
+}  // namespace wload

@@ -1,0 +1,62 @@
+// RocksDB stand-in ("MMAP reads and writes", Fig 7a): a log-structured KV
+// store whose value segments are regular files accessed exclusively through
+// memory mappings. Puts append into the active mmapped segment; gets read
+// values through the mapping. Preserves the paper-relevant behaviour: large
+// fallocate-backed segment files, mmap write/read traffic, page-fault
+// sensitivity to the underlying filesystem's extent layout.
+#ifndef SRC_WLOAD_MMAP_LSM_H_
+#define SRC_WLOAD_MMAP_LSM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+#include "src/vmem/mmap_engine.h"
+#include "src/wload/kv_interface.h"
+
+namespace wload {
+
+struct MmapLsmConfig {
+  std::string root = "/rocksdb";
+  uint64_t segment_bytes = 64ull * 1024 * 1024;
+  // Whether segments are pre-sized with fallocate (RocksDB) before mapping.
+  bool fallocate_segments = true;
+};
+
+class MmapLsm : public KvStore {
+ public:
+  MmapLsm(vfs::FileSystem* fs, vmem::MmapEngine* engine, MmapLsmConfig config)
+      : fs_(fs), engine_(engine), config_(config) {}
+
+  common::Status Open(common::ExecContext& ctx) override;
+  common::Status Put(common::ExecContext& ctx, uint64_t key, const void* value,
+                     uint32_t len) override;
+  common::Result<uint32_t> Get(common::ExecContext& ctx, uint64_t key, void* out) override;
+  common::Result<uint32_t> Scan(common::ExecContext& ctx, uint64_t key, uint32_t count,
+                                void* out) override;
+
+ private:
+  struct Segment {
+    std::unique_ptr<vmem::MappedFile> map;
+    uint64_t used = 0;
+  };
+  struct Location {
+    uint32_t segment = 0;
+    uint64_t offset = 0;
+    uint32_t len = 0;
+  };
+
+  common::Status NewSegment(common::ExecContext& ctx);
+
+  vfs::FileSystem* fs_;
+  vmem::MmapEngine* engine_;
+  MmapLsmConfig config_;
+  std::vector<Segment> segments_;
+  std::map<uint64_t, Location> index_;  // ordered: supports YCSB-E scans
+};
+
+}  // namespace wload
+
+#endif  // SRC_WLOAD_MMAP_LSM_H_

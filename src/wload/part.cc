@@ -1,0 +1,296 @@
+#include "src/wload/part.h"
+
+#include <cstring>
+
+#include "src/common/units.h"
+
+namespace wload {
+
+using common::ErrCode;
+using common::ExecContext;
+using common::Result;
+using common::Status;
+
+namespace {
+// Node layouts (offsets within a node):
+//   header: type(1) num(1) pad(6)                      -> 8 bytes
+//   Node4:   keys[4] pad[4] @8, children[4]*8  @16     -> 48 B   (round 64)
+//   Node16:  keys[16]       @8, children[16]*8 @24     -> 152 B  (round 192)
+//   Node48:  index[256]     @8, children[48]*8 @264    -> 648 B  (round 704)
+//   Node256: children[256]*8 @8                        -> 2056 B (round 2112)
+// Child slots hold pool offsets; odd value = leaf (offset of {key,value}|1).
+uint8_t KeyByte(uint64_t key, int depth, int key_bytes) {
+  return static_cast<uint8_t>(key >> (8 * (key_bytes - 1 - depth)));
+}
+}  // namespace
+
+uint32_t PArt::NodeBytes(uint8_t type) {
+  switch (type) {
+    case kNode4:
+      return 64;
+    case kNode16:
+      return 192;
+    case kNode48:
+      return 704;
+    case kNode256:
+      return 2112;
+    default:
+      return 64;
+  }
+}
+
+Status PArt::Open(ExecContext& ctx) {
+  ASSIGN_OR_RETURN(const int fd, fs_->Open(ctx, config_.path, vfs::OpenFlags::Create()));
+  RETURN_IF_ERROR(fs_->Fallocate(ctx, fd, 0, config_.pool_bytes));
+  ASSIGN_OR_RETURN(const vfs::InodeNum ino, fs_->InodeOf(ctx, fd));
+  RETURN_IF_ERROR(fs_->Close(ctx, fd));
+  map_ = engine_->Mmap(fs_, ino, config_.pool_bytes, /*writable=*/true);
+  if (config_.prefault) {
+    RETURN_IF_ERROR(map_->Prefault(ctx, /*write=*/true));
+  }
+  root_ = AllocNode(ctx, kNode4);
+  return common::OkStatus();
+}
+
+uint64_t PArt::AllocNode(ExecContext& ctx, uint8_t type) {
+  const uint32_t bytes = NodeBytes(type);
+  const uint64_t offset = bump_;
+  bump_ += bytes;
+  // Zero-initialize the node region through the mapping, set the header.
+  std::vector<uint8_t> zero(bytes, 0);
+  zero[0] = type;
+  zero[1] = 0;
+  (void)map_->Write(ctx, offset, zero.data(), bytes);
+  return offset;
+}
+
+uint64_t PArt::Load8(ExecContext& ctx, uint64_t offset) {
+  uint64_t value = 0;
+  auto latency = map_->LoadLine(ctx, offset, &value);
+  (void)latency;
+  return value;
+}
+
+void PArt::Store8(ExecContext& ctx, uint64_t offset, uint64_t value) {
+  (void)map_->StoreLine(ctx, offset, &value);
+}
+
+Result<uint64_t> PArt::FindChild(ExecContext& ctx, uint64_t node, uint8_t byte,
+                                 uint64_t* slot_out) {
+  if (slot_out != nullptr) {
+    *slot_out = 0;
+  }
+  // Header read: one cacheline.
+  uint64_t header = Load8(ctx, node);
+  const uint8_t type = static_cast<uint8_t>(header);
+  const uint8_t num = static_cast<uint8_t>(header >> 8);
+  auto found = [&](uint64_t slot_off) -> Result<uint64_t> {
+    if (slot_out != nullptr) {
+      *slot_out = slot_off;
+    }
+    return Load8(ctx, slot_off);
+  };
+  switch (type) {
+    case kNode4: {
+      uint64_t keys = Load8(ctx, node + 8);
+      for (uint8_t i = 0; i < num && i < 4; i++) {
+        if (static_cast<uint8_t>(keys >> (8 * i)) == byte) {
+          return found(node + 16 + i * 8);
+        }
+      }
+      return ErrCode::kNotFound;
+    }
+    case kNode16: {
+      uint64_t key_lo = Load8(ctx, node + 8);
+      uint64_t key_hi = Load8(ctx, node + 16);
+      for (uint8_t i = 0; i < num && i < 16; i++) {
+        const uint8_t k = i < 8 ? static_cast<uint8_t>(key_lo >> (8 * i))
+                                : static_cast<uint8_t>(key_hi >> (8 * (i - 8)));
+        if (k == byte) {
+          return found(node + 24 + i * 8);
+        }
+      }
+      return ErrCode::kNotFound;
+    }
+    case kNode48: {
+      // index array at +8: read the line containing index[byte].
+      uint64_t line = Load8(ctx, node + 8 + (byte & ~7u));
+      const uint8_t slot = static_cast<uint8_t>(line >> (8 * (byte & 7u)));
+      if (slot == 0) {
+        return ErrCode::kNotFound;
+      }
+      return found(node + 264 + (slot - 1) * 8);
+    }
+    case kNode256: {
+      const uint64_t child = Load8(ctx, node + 8 + byte * 8ull);
+      if (child == 0) {
+        return ErrCode::kNotFound;
+      }
+      if (slot_out != nullptr) {
+        *slot_out = node + 8 + byte * 8ull;
+      }
+      return child;
+    }
+    default:
+      return ErrCode::kCorrupt;
+  }
+}
+
+uint64_t PArt::GrowNode(ExecContext& ctx, uint64_t node) {
+  const uint64_t header = Load8(ctx, node);
+  const uint8_t type = static_cast<uint8_t>(header);
+  const uint8_t num = static_cast<uint8_t>(header >> 8);
+  const uint8_t new_type = type + 1;
+  const uint64_t fresh = AllocNode(ctx, new_type);
+  (void)num;
+  // Re-insert every existing child into the bigger node.
+  for (uint32_t b = 0; b < 256; b++) {
+    auto child = FindChild(ctx, node, static_cast<uint8_t>(b));
+    if (!child.ok()) {
+      continue;
+    }
+    uint64_t no_slot = 0;
+    (void)AddChild(ctx, no_slot, fresh, static_cast<uint8_t>(b), *child);
+  }
+  return fresh;
+}
+
+Status PArt::AddChild(ExecContext& ctx, uint64_t& node_ref_slot, uint64_t node, uint8_t byte,
+                      uint64_t child) {
+  uint64_t header = Load8(ctx, node);
+  const uint8_t type = static_cast<uint8_t>(header);
+  uint8_t num = static_cast<uint8_t>(header >> 8);
+  const auto capacity = [&]() -> uint8_t {
+    switch (type) {
+      case kNode4:
+        return 4;
+      case kNode16:
+        return 16;
+      case kNode48:
+        return 48;
+      default:
+        return 255;
+    }
+  }();
+  if (type != kNode256 && num >= capacity) {
+    const uint64_t bigger = GrowNode(ctx, node);
+    if (node_ref_slot != 0) {
+      Store8(ctx, node_ref_slot, bigger);
+    } else {
+      root_ = bigger;
+    }
+    uint64_t no_slot = 0;
+    return AddChild(ctx, no_slot, bigger, byte, child);
+  }
+  switch (type) {
+    case kNode4: {
+      uint64_t keys = Load8(ctx, node + 8);
+      keys |= static_cast<uint64_t>(byte) << (8 * num);
+      Store8(ctx, node + 8, keys);
+      Store8(ctx, node + 16 + num * 8, child);
+      break;
+    }
+    case kNode16: {
+      const uint64_t key_off = num < 8 ? node + 8 : node + 16;
+      const uint32_t shift = 8 * (num % 8);
+      uint64_t keys = Load8(ctx, key_off);
+      keys |= static_cast<uint64_t>(byte) << shift;
+      Store8(ctx, key_off, keys);
+      Store8(ctx, node + 24 + num * 8, child);
+      break;
+    }
+    case kNode48: {
+      const uint64_t idx_off = node + 8 + (byte & ~7u);
+      uint64_t line = Load8(ctx, idx_off);
+      line |= static_cast<uint64_t>(num + 1) << (8 * (byte & 7u));
+      Store8(ctx, idx_off, line);
+      Store8(ctx, node + 264 + num * 8, child);
+      break;
+    }
+    case kNode256:
+      Store8(ctx, node + 8 + byte * 8ull, child);
+      break;
+    default:
+      return Status(ErrCode::kCorrupt);
+  }
+  header = (header & ~0xff00ull) | (static_cast<uint64_t>(num + 1) << 8);
+  Store8(ctx, node, header);
+  return common::OkStatus();
+}
+
+Status PArt::Insert(ExecContext& ctx, uint64_t key, uint64_t value) {
+  if (bump_ + 4096 >= config_.pool_bytes) {
+    return Status(ErrCode::kNoSpace);
+  }
+  uint64_t node = root_;
+  uint64_t parent_slot = 0;  // pool offset of the slot pointing at `node`
+  for (int depth = 0; depth < config_.key_bytes - 1; depth++) {
+    const uint8_t byte = KeyByte(key, depth, config_.key_bytes);
+    uint64_t slot = 0;
+    auto child = FindChild(ctx, node, byte, &slot);
+    if (!child.ok()) {
+      // Create the chain of inner nodes for levels depth+1..7; the level-7
+      // node holds the tagged leaf pointer.
+      uint64_t leaf = bump_;
+      bump_ += 16;
+      uint64_t kv[2] = {key, value};
+      (void)map_->Write(ctx, leaf, kv, sizeof(kv));
+      uint64_t below = leaf | 1;
+      for (int d = config_.key_bytes - 1; d > depth; d--) {
+        const uint64_t inner = AllocNode(ctx, kNode4);
+        uint64_t no_slot = 0;
+        RETURN_IF_ERROR(AddChild(ctx, no_slot, inner, KeyByte(key, d, config_.key_bytes), below));
+        below = inner;
+      }
+      RETURN_IF_ERROR(AddChild(ctx, parent_slot, node, byte, below));
+      return common::OkStatus();
+    }
+    if ((*child & 1) != 0) {
+      // Leaf occupying an inner position: same key -> update; else split.
+      const uint64_t leaf_off = *child & ~1ull;
+      const uint64_t existing_key = Load8(ctx, leaf_off);
+      if (existing_key == key) {
+        Store8(ctx, leaf_off + 8, value);
+        return common::OkStatus();
+      }
+      return Status(ErrCode::kInternal);  // fixed-depth tree: cannot happen
+    }
+    parent_slot = slot;
+    node = *child;
+  }
+  // Last level: attach/update the leaf.
+  const uint8_t byte = KeyByte(key, config_.key_bytes - 1, config_.key_bytes);
+  auto child = FindChild(ctx, node, byte);
+  if (child.ok() && (*child & 1) != 0) {
+    const uint64_t leaf_off = *child & ~1ull;
+    Store8(ctx, leaf_off + 8, value);
+    return common::OkStatus();
+  }
+  uint64_t leaf = bump_;
+  bump_ += 16;
+  uint64_t kv[2] = {key, value};
+  (void)map_->Write(ctx, leaf, kv, sizeof(kv));
+  // parent_slot still points at `node`, so a grow here redirects the right
+  // parent entry instead of clobbering the root.
+  return AddChild(ctx, parent_slot, node, byte, leaf | 1);
+}
+
+Result<uint64_t> PArt::Lookup(ExecContext& ctx, uint64_t key) {
+  uint64_t node = root_;
+  for (int depth = 0; depth < config_.key_bytes; depth++) {
+    ASSIGN_OR_RETURN(const uint64_t child,
+                     FindChild(ctx, node, KeyByte(key, depth, config_.key_bytes)));
+    if ((child & 1) != 0) {
+      const uint64_t leaf_off = child & ~1ull;
+      const uint64_t stored_key = Load8(ctx, leaf_off);
+      if (stored_key != key) {
+        return ErrCode::kNotFound;
+      }
+      return Load8(ctx, leaf_off + 8);
+    }
+    node = child;
+  }
+  return ErrCode::kNotFound;
+}
+
+}  // namespace wload

@@ -1,0 +1,68 @@
+// P-ART stand-in (Fig 8): a persistent Adaptive Radix Tree (Node4/16/48/256)
+// living entirely inside a memory-mapped PM pool created vmmalloc-style
+// (fallocate + mmap + prefault). Lookups are pure pointer chasing through the
+// mapping — every node hop is a cacheline load whose latency depends on the
+// TLB and LLC state, which is exactly what the paper's latency CDF measures.
+#ifndef SRC_WLOAD_PART_H_
+#define SRC_WLOAD_PART_H_
+
+#include <memory>
+#include <string>
+
+#include "src/vfs/file_system.h"
+#include "src/vmem/mmap_engine.h"
+
+namespace wload {
+
+struct PArtConfig {
+  std::string path = "/part.pool";
+  uint64_t pool_bytes = 512ull * 1024 * 1024;
+  bool prefault = true;
+  // Radix depth in key bytes. Dense integer keys with path compression walk
+  // ~4 levels in the real P-ART; 4 matches that for 32-bit key spaces.
+  int key_bytes = 4;
+};
+
+class PArt {
+ public:
+  PArt(vfs::FileSystem* fs, vmem::MmapEngine* engine, PArtConfig config)
+      : fs_(fs), engine_(engine), config_(config) {}
+
+  common::Status Open(common::ExecContext& ctx);
+
+  common::Status Insert(common::ExecContext& ctx, uint64_t key, uint64_t value);
+
+  // Returns the stored value; the caller measures latency via ctx.clock.
+  common::Result<uint64_t> Lookup(common::ExecContext& ctx, uint64_t key);
+
+  uint64_t pool_used() const { return bump_; }
+
+ private:
+  // Node kinds, laid out in the pool. Child slots hold pool offsets; odd
+  // offsets tag leaves.
+  enum : uint8_t { kNode4 = 1, kNode16 = 2, kNode48 = 3, kNode256 = 4 };
+
+  uint64_t AllocNode(common::ExecContext& ctx, uint8_t type);
+  static uint32_t NodeBytes(uint8_t type);
+
+  // Raw field helpers over the mapping (8-byte, cost-modeled loads/stores).
+  uint64_t Load8(common::ExecContext& ctx, uint64_t offset);
+  void Store8(common::ExecContext& ctx, uint64_t offset, uint64_t value);
+
+  common::Result<uint64_t> FindChild(common::ExecContext& ctx, uint64_t node, uint8_t byte,
+                                     uint64_t* slot_out = nullptr);
+  common::Status AddChild(common::ExecContext& ctx, uint64_t& node_ref_slot, uint64_t node,
+                          uint8_t byte, uint64_t child);
+  uint64_t GrowNode(common::ExecContext& ctx, uint64_t node);
+
+  vfs::FileSystem* fs_;
+  vmem::MmapEngine* engine_;
+  PArtConfig config_;
+  std::unique_ptr<vmem::MappedFile> map_;
+  uint64_t root_ = 0;
+  uint64_t bump_ = 64;  // offset 0..63 reserved (null + meta)
+};
+
+}  // namespace wload
+
+#endif  // SRC_WLOAD_PART_H_

@@ -1,0 +1,72 @@
+#include "src/wload/pool_kv.h"
+
+#include <cstring>
+
+namespace wload {
+
+using common::ErrCode;
+using common::ExecContext;
+using common::Result;
+using common::Status;
+
+namespace {
+// cmap bucket array at the head of pool 0.
+constexpr uint64_t kBucketRegionBytes = 16ull * 1024 * 1024;
+}  // namespace
+
+Status PoolKv::Open(ExecContext& ctx) {
+  RETURN_IF_ERROR(fs_->Mkdir(ctx, config_.root));
+  return ExtendPool(ctx);
+}
+
+Status PoolKv::ExtendPool(ExecContext& ctx) {
+  const std::string path = config_.root + "/pool" + std::to_string(pools_.size());
+  ASSIGN_OR_RETURN(const int fd, fs_->Open(ctx, path, vfs::OpenFlags::Create()));
+  // PmemKV allocates pool space eagerly with fallocate (§5.4: NOVA zeroes
+  // here, making its later faults cheap; ext4-DAX zeroes at fault instead).
+  RETURN_IF_ERROR(fs_->Fallocate(ctx, fd, 0, config_.pool_bytes));
+  ASSIGN_OR_RETURN(const vfs::InodeNum ino, fs_->InodeOf(ctx, fd));
+  RETURN_IF_ERROR(fs_->Close(ctx, fd));
+  pools_.push_back(engine_->Mmap(fs_, ino, config_.pool_bytes, /*writable=*/true));
+  // Pool 0 reserves its head for the cmap bucket array; values follow.
+  active_used_ = pools_.size() == 1 ? kBucketRegionBytes : 0;
+  return common::OkStatus();
+}
+
+Status PoolKv::Put(ExecContext& ctx, uint64_t key, const void* value, uint32_t len) {
+  const uint64_t need = 16 + len;
+  if (active_used_ + need > config_.pool_bytes) {
+    RETURN_IF_ERROR(ExtendPool(ctx));
+  }
+  vmem::MappedFile& pool = *pools_.back();
+  const uint64_t offset = active_used_;
+  uint64_t header[2] = {key, len};
+  RETURN_IF_ERROR(pool.Write(ctx, offset, header, sizeof(header)));
+  RETURN_IF_ERROR(pool.Write(ctx, offset + 16, value, len));
+  active_used_ += need;
+  index_[key] = Location{static_cast<uint32_t>(pools_.size() - 1), offset + 16, len};
+  // cmap bucket update: one hashed cacheline store in pool 0.
+  const uint64_t bucket = (key * 0x9e3779b97f4a7c15ull) % (kBucketRegionBytes / 64) * 64;
+  uint64_t tag = key;
+  auto stored = pools_.front()->StoreLine(ctx, bucket, &tag);
+  return stored.ok() ? common::OkStatus() : stored.status();
+}
+
+Result<uint32_t> PoolKv::Get(ExecContext& ctx, uint64_t key, void* out) {
+  // cmap bucket probe first.
+  const uint64_t bucket = (key * 0x9e3779b97f4a7c15ull) % (kBucketRegionBytes / 64) * 64;
+  uint64_t tag;
+  auto probed = pools_.front()->LoadLine(ctx, bucket, &tag);
+  if (!probed.ok()) {
+    return probed.status();
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return ErrCode::kNotFound;
+  }
+  const Location& loc = it->second;
+  RETURN_IF_ERROR(pools_[loc.pool]->Read(ctx, loc.offset, out, loc.len));
+  return loc.len;
+}
+
+}  // namespace wload

@@ -1,0 +1,56 @@
+// PmemKV stand-in (Fig 7c "fillseq"): Intel's cmap-style concurrent hash map
+// over a pool of memory-mapped files. The store creates its pool with
+// fallocate() and keeps extending it by creating more 128 MiB pool files,
+// each allocated with fallocate and then mapped (§5.4). Values are 4 KiB.
+#ifndef SRC_WLOAD_POOL_KV_H_
+#define SRC_WLOAD_POOL_KV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+#include "src/vmem/mmap_engine.h"
+#include "src/wload/kv_interface.h"
+
+namespace wload {
+
+struct PoolKvConfig {
+  std::string root = "/pmemkv";
+  uint64_t pool_bytes = 128ull * 1024 * 1024;
+};
+
+class PoolKv : public KvStore {
+ public:
+  PoolKv(vfs::FileSystem* fs, vmem::MmapEngine* engine, PoolKvConfig config)
+      : fs_(fs), engine_(engine), config_(config) {}
+
+  common::Status Open(common::ExecContext& ctx) override;
+  common::Status Put(common::ExecContext& ctx, uint64_t key, const void* value,
+                     uint32_t len) override;
+  common::Result<uint32_t> Get(common::ExecContext& ctx, uint64_t key, void* out) override;
+
+  size_t pool_count() const { return pools_.size(); }
+
+ private:
+  struct Location {
+    uint32_t pool = 0;
+    uint64_t offset = 0;
+    uint32_t len = 0;
+  };
+
+  common::Status ExtendPool(common::ExecContext& ctx);
+
+  vfs::FileSystem* fs_;
+  vmem::MmapEngine* engine_;
+  PoolKvConfig config_;
+  std::vector<std::unique_ptr<vmem::MappedFile>> pools_;
+  uint64_t active_used_ = 0;
+  std::unordered_map<uint64_t, Location> index_;  // cmap: hash index in DRAM
+};
+
+}  // namespace wload
+
+#endif  // SRC_WLOAD_POOL_KV_H_

@@ -1,0 +1,116 @@
+// Aging-framework tests plus the headline fragmentation property (§2.3,
+// Fig 3): after Geriatrix-style aging, WineFS retains hugepage-capable free
+// space while ext4-DAX and NOVA lose it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/aging/geriatrix.h"
+#include "src/aging/profiles.h"
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kMiB;
+
+TEST(ProfileTest, AgrawalCapacityShareMatchesPaper) {
+  auto profile = aging::Profile::Agrawal(1);
+  // §5.1: 56% of capacity in large (>= 2 MiB) files.
+  EXPECT_NEAR(profile.LargeFileCapacityShare(), 0.56, 0.08);
+}
+
+TEST(ProfileTest, WangHpcIsLargeFileHeavy) {
+  auto profile = aging::Profile::WangHpc(1);
+  EXPECT_GT(profile.LargeFileCapacityShare(), 0.5);
+}
+
+TEST(ProfileTest, SamplesSpanBuckets) {
+  auto profile = aging::Profile::Agrawal(2);
+  uint64_t small = 0;
+  uint64_t large = 0;
+  for (int i = 0; i < 5000; i++) {
+    const uint64_t size = profile.SampleFileSize();
+    EXPECT_GE(size, 256u);
+    (size >= 2 * kMiB ? large : small)++;
+  }
+  EXPECT_GT(small, large);  // small files dominate by count
+  EXPECT_GT(large, 0u);
+}
+
+class AgingFsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AgingFsTest, AgesToTargetUtilization) {
+  pmem::PmemDevice dev(512 * kMiB);
+  auto fs = fsreg::Create(GetParam(), &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  aging::AgingConfig config;
+  config.target_utilization = 0.6;
+  config.write_multiplier = 2.0;
+  aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(11), config);
+  auto stats = geriatrix.Run(ctx);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_NEAR(stats->final_utilization, 0.6, 0.1);
+  EXPECT_GT(stats->files_created, stats->files_deleted);
+  EXPECT_GT(stats->files_deleted, 0u);
+  EXPECT_GT(stats->bytes_allocated, 2 * 512ull * kMiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(Filesystems, AgingFsTest,
+                         ::testing::Values("winefs", "ext4-dax", "nova"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(AgingPropertyTest, WineFsKeepsAlignedFreeSpaceOthersLoseIt) {
+  // The Fig 3 property at reduced scale: at 70% utilization after churn,
+  // WineFS's free space stays overwhelmingly hugepage-capable; NOVA's is
+  // mostly gone; ext4-DAX sits in between but well below WineFS.
+  auto aligned_fraction = [](const std::string& name) {
+    pmem::PmemDevice dev(512 * kMiB);
+    auto fs = fsreg::Create(name, &dev);
+    ExecContext ctx;
+    EXPECT_TRUE(fs->Mkfs(ctx).ok());
+    aging::AgingConfig config;
+    config.target_utilization = 0.7;
+    config.write_multiplier = 3.0;
+    config.seed = 5;
+    aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(5), config);
+    EXPECT_TRUE(geriatrix.Run(ctx).ok());
+    return fs->GetFreeSpaceInfo().AlignedFreeFraction();
+  };
+
+  const double winefs = aligned_fraction("winefs");
+  const double ext4 = aligned_fraction("ext4-dax");
+  const double nova = aligned_fraction("nova");
+  EXPECT_GT(winefs, 0.80);
+  EXPECT_LT(nova, winefs);
+  EXPECT_LT(ext4, winefs);
+  EXPECT_LT(nova, 0.5);
+}
+
+TEST(AgingPropertyTest, IncrementalSweepIsMonotoneInUtilization) {
+  pmem::PmemDevice dev(256 * kMiB);
+  auto fs = fsreg::Create("ext4-dax", &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  aging::AgingConfig config;
+  aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(3), config);
+  double last_util = 0;
+  for (double target : {0.3, 0.5, 0.7}) {
+    auto stats = geriatrix.AgeToUtilization(ctx, target, 0.5);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GT(stats->final_utilization, last_util);
+    last_util = stats->final_utilization;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Unit tests for the crash-consistency tooling itself: the oracle's equality
+// and diff semantics, workload descriptions, and explorer behaviour on a
+// filesystem that is intentionally NOT crash-consistent.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/crashmk/explorer.h"
+#include "src/crashmk/oracle.h"
+#include "src/fs/registry.h"
+#include "src/fs/winefs/winefs.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kMiB;
+
+TEST(OracleTest, CapturesTreeAndContents) {
+  pmem::PmemDevice dev(64 * kMiB);
+  auto fs = fsreg::Create("winefs", &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  ASSERT_TRUE(fs->Mkdir(ctx, "/d").ok());
+  auto fd = fs->Open(ctx, "/d/f", vfs::OpenFlags::Create());
+  std::vector<uint8_t> data(1000, 0x8a);
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, data.data(), data.size(), 0).ok());
+
+  auto oracle = crashmk::Oracle::Capture(ctx, *fs);
+  ASSERT_EQ(oracle.entries().size(), 2u);
+  EXPECT_TRUE(oracle.entries().at("/d").is_dir);
+  EXPECT_EQ(oracle.entries().at("/d/f").size, 1000u);
+  EXPECT_NE(oracle.entries().at("/d/f").content_hash, 0u);
+}
+
+TEST(OracleTest, EqualityIsContentSensitive) {
+  pmem::PmemDevice dev(64 * kMiB);
+  auto fs = fsreg::Create("winefs", &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  auto fd = fs->Open(ctx, "/f", vfs::OpenFlags::Create());
+  std::vector<uint8_t> data(100, 1);
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, data.data(), data.size(), 0).ok());
+  auto before = crashmk::Oracle::Capture(ctx, *fs);
+
+  // Same size, different bytes: oracles must differ.
+  data[50] = 2;
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, data.data(), data.size(), 0).ok());
+  auto after = crashmk::Oracle::Capture(ctx, *fs);
+  EXPECT_FALSE(before == after);
+  EXPECT_NE(before.DiffAgainst(after), "");
+  EXPECT_TRUE(after == crashmk::Oracle::Capture(ctx, *fs));
+  EXPECT_EQ(after.DiffAgainst(after), "");
+}
+
+TEST(CrashOpTest, DescriptionsAreReadable) {
+  using K = crashmk::CrashOp::Kind;
+  EXPECT_EQ((crashmk::CrashOp{K::kRename, "/a", "/b", 0, 0}).Describe(), "rename /a -> /b");
+  EXPECT_EQ((crashmk::CrashOp{K::kAppend, "/x", "", 0, 42}).Describe(), "append /x len=42");
+  EXPECT_TRUE((crashmk::CrashOp{K::kPwrite, "/x", "", 1, 2}).IsDataOp());
+  EXPECT_FALSE((crashmk::CrashOp{K::kMkdir, "/x", "", 0, 0}).IsDataOp());
+}
+
+TEST(ExplorerTest, GeneratedWorkloadsCoverEveryMetadataOpKind) {
+  const auto workloads = crashmk::Explorer::GenerateAceWorkloads(true);
+  std::set<crashmk::CrashOp::Kind> kinds;
+  for (const auto& workload : workloads) {
+    for (const auto& op : workload) {
+      kinds.insert(op.kind);
+    }
+  }
+  EXPECT_EQ(kinds.size(), 9u);  // every CrashOp::Kind appears somewhere
+}
+
+// A WineFS with its undo journaling ripped out: metadata lands in place with
+// no rollback information. The explorer must catch the torn states.
+class NoJournalWineFs : public winefs::WineFs {
+ public:
+  using winefs::WineFs::WineFs;
+
+ protected:
+  void TxBegin(common::ExecContext& ctx) override { (void)ctx; }
+  void TxCommit(common::ExecContext& ctx) override { (void)ctx; }
+  void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
+                   const void* data, uint64_t len) override {
+    (void)owner;
+    device_->Store(ctx, pm_offset, data, len);
+    device_->Clwb(ctx, pm_offset, len);
+    device_->Fence(ctx);
+  }
+};
+
+TEST(ExplorerTest, DetectsNonAtomicFilesystem) {
+  // This is a test of the DETECTOR: a filesystem without crash-exact
+  // journaling must fail the oracle check somewhere.
+  crashmk::Explorer explorer(
+      [](pmem::PmemDevice* device) -> std::unique_ptr<vfs::FileSystem> {
+        winefs::WineFsOptions options;
+        options.base.max_inodes = 1024;
+        options.base.journal_blocks = 256;
+        options.base.num_cpus = 2;
+        return std::make_unique<NoJournalWineFs>(device, options);
+      },
+      crashmk::Explorer::Config{});
+  using K = crashmk::CrashOp::Kind;
+  uint64_t failures = 0;
+  for (const crashmk::Workload& workload :
+       {crashmk::Workload{{K::kRename, "/A", "/B", 0, 0}},
+        crashmk::Workload{{K::kRename, "/A", "/A2", 0, 0}},
+        crashmk::Workload{{K::kUnlink, "/A", "", 0, 0}}}) {
+    const auto result = explorer.RunWorkload(workload);
+    failures += result.oracle_failures + result.mount_failures;
+  }
+  EXPECT_GT(failures, 0u) << "explorer failed to flag a non-crash-consistent filesystem";
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Unit tests for fscore building blocks: ExtentMap and FreeSpaceMap.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/fs/fscore/extent.h"
+#include "src/fs/fscore/free_space_map.h"
+#include "src/fs/fscore/pm_format.h"
+
+namespace {
+
+using fscore::Extent;
+using fscore::ExtentMap;
+using fscore::FreeSpaceMap;
+
+TEST(ExtentMapTest, InsertLookup) {
+  ExtentMap map;
+  map.Insert(0, 100, 10);
+  auto m = map.Lookup(5);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->phys_block, 105u);
+  EXPECT_EQ(m->contiguous_blocks, 5u);
+  EXPECT_FALSE(map.Lookup(10).has_value());
+}
+
+TEST(ExtentMapTest, MergesAdjacentRuns) {
+  ExtentMap map;
+  map.Insert(0, 100, 4);
+  map.Insert(4, 104, 4);  // logically and physically contiguous
+  EXPECT_EQ(map.FragmentCount(), 1u);
+  auto m = map.Lookup(0);
+  EXPECT_EQ(m->contiguous_blocks, 8u);
+}
+
+TEST(ExtentMapTest, NoMergeWhenPhysicallyDiscontiguous) {
+  ExtentMap map;
+  map.Insert(0, 100, 4);
+  map.Insert(4, 300, 4);
+  EXPECT_EQ(map.FragmentCount(), 2u);
+}
+
+TEST(ExtentMapTest, MergeWithSuccessor) {
+  ExtentMap map;
+  map.Insert(4, 104, 4);
+  map.Insert(0, 100, 4);
+  EXPECT_EQ(map.FragmentCount(), 1u);
+}
+
+TEST(ExtentMapTest, RemoveMiddleSplitsRun) {
+  ExtentMap map;
+  map.Insert(0, 100, 10);
+  auto freed = map.Remove(3, 4);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0].phys_block, 103u);
+  EXPECT_EQ(freed[0].num_blocks, 4u);
+  EXPECT_EQ(map.Lookup(0)->contiguous_blocks, 3u);
+  EXPECT_FALSE(map.Lookup(3).has_value());
+  EXPECT_EQ(map.Lookup(7)->phys_block, 107u);
+  EXPECT_EQ(map.MappedBlocks(), 6u);
+}
+
+TEST(ExtentMapTest, RemoveAcrossMultipleRuns) {
+  ExtentMap map;
+  map.Insert(0, 100, 4);
+  map.Insert(4, 300, 4);
+  auto freed = map.Remove(2, 4);
+  EXPECT_EQ(freed.size(), 2u);
+  EXPECT_EQ(map.MappedBlocks(), 4u);
+}
+
+TEST(ExtentMapTest, EntriesSorted) {
+  ExtentMap map;
+  map.Insert(8, 500, 2);
+  map.Insert(0, 100, 2);
+  auto entries = map.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 0u);
+  EXPECT_EQ(entries[1].first, 8u);
+}
+
+TEST(FreeSpaceMapTest, ReleaseMerges) {
+  FreeSpaceMap map;
+  map.Release(0, 10);
+  map.Release(20, 10);
+  map.Release(10, 10);  // bridges the two runs
+  EXPECT_EQ(map.free_blocks(), 30u);
+  EXPECT_EQ(map.runs().size(), 1u);
+  EXPECT_EQ(map.LargestRun(), 30u);
+}
+
+TEST(FreeSpaceMapTest, FirstFitFromGoalWraps) {
+  FreeSpaceMap map;
+  map.Release(0, 10);
+  map.Release(100, 10);
+  auto ext = map.AllocFirstFit(5, 50);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->phys_block, 100u);  // first run at/after the goal
+  ext = map.AllocFirstFit(8, 200);   // wraps to the start
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->phys_block, 0u);
+}
+
+TEST(FreeSpaceMapTest, BestFitPrefersSnugRun) {
+  FreeSpaceMap map;
+  map.Release(0, 100);
+  map.Release(200, 6);
+  auto ext = map.AllocBestFit(5);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->phys_block, 200u);
+}
+
+TEST(FreeSpaceMapTest, AllocAlignedReturnsAlignedStart) {
+  FreeSpaceMap map;
+  map.Release(100, 2000);
+  auto ext = map.AllocAligned(512);
+  ASSERT_TRUE(ext.has_value());
+  EXPECT_EQ(ext->phys_block % 512, 0u);
+  EXPECT_EQ(ext->phys_block, 512u);
+}
+
+TEST(FreeSpaceMapTest, AllocAlignedFailsWhenNoAlignedRun) {
+  FreeSpaceMap map;
+  map.Release(100, 300);  // contains no aligned 512-run
+  EXPECT_FALSE(map.AllocAligned(512).has_value());
+}
+
+TEST(FreeSpaceMapTest, ReserveRangeCutsMiddle) {
+  FreeSpaceMap map;
+  map.Release(0, 100);
+  map.ReserveRange(40, 20);
+  EXPECT_EQ(map.free_blocks(), 80u);
+  EXPECT_EQ(map.runs().size(), 2u);
+  EXPECT_FALSE(map.ContainsRange(45, 1));
+  EXPECT_TRUE(map.ContainsRange(0, 40));
+  EXPECT_TRUE(map.ContainsRange(60, 40));
+}
+
+TEST(FreeSpaceMapTest, CountAlignedFreeRegions) {
+  FreeSpaceMap map;
+  map.Release(0, 512 * 3);  // three aligned chunks
+  EXPECT_EQ(map.CountAlignedFreeRegions(), 3u);
+  map.ReserveRange(512, 1);  // puncture the middle chunk
+  EXPECT_EQ(map.CountAlignedFreeRegions(), 2u);
+}
+
+TEST(PmFormatTest, StructSizes) {
+  EXPECT_EQ(sizeof(fscore::PmInode), 256u);
+  EXPECT_EQ(sizeof(fscore::PmDirent), 64u);
+  EXPECT_LE(sizeof(fscore::PmIndirectBlock), common::kBlockSize);
+  EXPECT_LE(sizeof(fscore::PmSuperblock), common::kBlockSize);
+}
+
+TEST(PmFormatTest, ExtentPacking) {
+  const uint64_t packed = fscore::PmExtent::Pack(0x123456789abull, 0x1234);
+  fscore::PmExtent ext{7, packed};
+  EXPECT_EQ(ext.phys_block(), 0x123456789abull);
+  EXPECT_EQ(ext.len(), 0x1234u);
+}
+
+}  // namespace

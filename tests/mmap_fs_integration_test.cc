@@ -1,0 +1,156 @@
+// Integration tests for the hugepage-eligibility rule across real
+// filesystems: when exactly a 2 MiB chunk of a mapping gets a PMD entry.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/vmem/mmap_engine.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kBlockSize;
+using common::kHugepageSize;
+using common::kMiB;
+
+class MmapFsTest : public ::testing::Test {
+ protected:
+  void Make(const std::string& fs_name) {
+    dev_ = std::make_unique<pmem::PmemDevice>(512 * kMiB);
+    fs_ = fsreg::Create(fs_name, dev_.get());
+    ASSERT_TRUE(fs_->Mkfs(ctx_).ok());
+    engine_ = std::make_unique<vmem::MmapEngine>(dev_.get(), vmem::MmuParams{}, 4);
+  }
+
+  std::unique_ptr<vmem::MappedFile> MapFile(const std::string& path, uint64_t size,
+                                            bool fallocate) {
+    auto fd = fs_->Open(ctx_, path, vfs::OpenFlags::Create());
+    EXPECT_TRUE(fd.ok());
+    if (fallocate) {
+      EXPECT_TRUE(fs_->Fallocate(ctx_, *fd, 0, size).ok());
+    } else {
+      EXPECT_TRUE(fs_->Ftruncate(ctx_, *fd, size).ok());
+    }
+    auto ino = fs_->InodeOf(ctx_, *fd);
+    EXPECT_TRUE(fs_->Close(ctx_, *fd).ok());
+    return engine_->Mmap(fs_.get(), *ino, size, /*writable=*/true);
+  }
+
+  ExecContext ctx_;
+  std::unique_ptr<pmem::PmemDevice> dev_;
+  std::unique_ptr<vfs::FileSystem> fs_;
+  std::unique_ptr<vmem::MmapEngine> engine_;
+};
+
+TEST_F(MmapFsTest, TailChunkOfUnevenFileUsesBasePages) {
+  Make("winefs");
+  // 3 MiB file: chunk 0 can be huge, the 1 MiB tail cannot (not a full chunk).
+  auto map = MapFile("/uneven", 3 * kMiB, /*fallocate=*/true);
+  ASSERT_TRUE(map->Prefault(ctx_, true).ok());
+  EXPECT_EQ(ctx_.counters.page_faults_2m, 1u);
+  EXPECT_EQ(ctx_.counters.page_faults_4k, 256u);  // 1 MiB of base pages
+  EXPECT_NEAR(map->HugeMappedFraction(), 2.0 / 3.0, 0.01);
+}
+
+TEST_F(MmapFsTest, MisalignedPhysicalExtentNeverHuge) {
+  Make("xfs-dax");  // data area phase-shifted: extents contiguous but unaligned
+  auto map = MapFile("/big", 4 * kMiB, /*fallocate=*/true);
+  ASSERT_TRUE(map->Prefault(ctx_, true).ok());
+  EXPECT_EQ(ctx_.counters.page_faults_2m, 0u);
+  EXPECT_EQ(ctx_.counters.page_faults_4k, 1024u);
+}
+
+TEST_F(MmapFsTest, SparseFileReadThenWriteFaults) {
+  Make("winefs");
+  auto map = MapFile("/sparse", 4 * kMiB, /*fallocate=*/false);
+  // Read fault of a hole allocates and maps (base page for a read).
+  uint64_t out = 1;
+  ASSERT_TRUE(map->LoadLine(ctx_, 100, &out).ok());
+  EXPECT_EQ(out, 0u);  // holes read as zeros after allocation+zeroing
+  // A write fault in a different chunk gets the hugepage-allocating path.
+  std::vector<uint8_t> buf(kBlockSize, 0x9a);
+  ASSERT_TRUE(map->Write(ctx_, 2 * kMiB, buf.data(), buf.size()).ok());
+  EXPECT_GE(ctx_.counters.page_faults_2m, 1u);
+}
+
+TEST_F(MmapFsTest, RewriteThenRemapRegainsHugepages) {
+  Make("winefs");
+  auto* wfs = dynamic_cast<winefs::WineFs*>(fs_.get());
+  // Fragment a file with interleaved small appends across two files.
+  auto fa = fs_->Open(ctx_, "/frag", vfs::OpenFlags::Create());
+  auto fb = fs_->Open(ctx_, "/other", vfs::OpenFlags::Create());
+  std::vector<uint8_t> chunk(32 * 1024, 0x5b);
+  for (int i = 0; i < 128; i++) {
+    ASSERT_TRUE(fs_->Append(ctx_, *fa, chunk.data(), chunk.size()).ok());
+    ASSERT_TRUE(fs_->Append(ctx_, *fb, chunk.data(), chunk.size()).ok());
+  }
+  auto ino = fs_->InodeOf(ctx_, *fa);
+  {
+    auto map = engine_->Mmap(fs_.get(), *ino, 4 * kMiB, true);
+    ASSERT_TRUE(map->Prefault(ctx_, false).ok());
+    EXPECT_LT(map->HugeMappedFraction(), 0.5);
+    map->UnmapAll(ctx_);
+  }
+  // Background rewrite, then a fresh mapping: all huge.
+  ASSERT_TRUE(wfs->ReactiveRewrite(ctx_, "/frag").ok());
+  auto map = engine_->Mmap(fs_.get(), *ino, 4 * kMiB, true);
+  ASSERT_TRUE(map->Prefault(ctx_, false).ok());
+  EXPECT_DOUBLE_EQ(map->HugeMappedFraction(), 1.0);
+  // Contents intact through the rewrite.
+  std::vector<uint8_t> out(chunk.size());
+  ASSERT_TRUE(map->Read(ctx_, 100 * chunk.size(), out.data(), out.size()).ok());
+  EXPECT_EQ(out, chunk);
+}
+
+TEST_F(MmapFsTest, MmapWritesVisibleThroughSyscalls) {
+  Make("winefs");
+  auto map = MapFile("/shared", 2 * kMiB, /*fallocate=*/true);
+  std::vector<uint8_t> data(5000);
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(map->Write(ctx_, 12345, data.data(), data.size()).ok());
+  auto fd = fs_->Open(ctx_, "/shared", vfs::OpenFlags::ReadOnly());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(fs_->Pread(ctx_, *fd, out.data(), out.size(), 12345).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(MmapFsTest, SyscallWritesVisibleThroughMmap) {
+  Make("nova");
+  auto fd = fs_->Open(ctx_, "/nova_file", vfs::OpenFlags::Create());
+  std::vector<uint8_t> data(4 * kBlockSize, 0x3f);
+  ASSERT_TRUE(fs_->Pwrite(ctx_, *fd, data.data(), data.size(), 0).ok());
+  auto ino = fs_->InodeOf(ctx_, *fd);
+  auto map = engine_->Mmap(fs_.get(), *ino, data.size(), false);
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(map->Read(ctx_, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(MmapFsTest, FaultBeyondEofFails) {
+  Make("winefs");
+  auto map = MapFile("/short", 1 * kMiB, /*fallocate=*/false);
+  // The mapping is 1 MiB; accessing past it is invalid.
+  uint64_t out;
+  EXPECT_FALSE(map->LoadLine(ctx_, 1 * kMiB + 64, &out).ok());
+}
+
+TEST_F(MmapFsTest, HugeFractionSurvivesRemount) {
+  Make("winefs");
+  {
+    auto map = MapFile("/persist", 4 * kMiB, /*fallocate=*/true);
+    ASSERT_TRUE(map->Prefault(ctx_, true).ok());
+    EXPECT_DOUBLE_EQ(map->HugeMappedFraction(), 1.0);
+  }
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  ASSERT_TRUE(fs_->Mount(ctx_).ok());
+  auto fd = fs_->Open(ctx_, "/persist", vfs::OpenFlags::ReadOnly());
+  auto ino = fs_->InodeOf(ctx_, *fd);
+  auto map = engine_->Mmap(fs_.get(), *ino, 4 * kMiB, false);
+  ASSERT_TRUE(map->Prefault(ctx_, false).ok());
+  EXPECT_DOUBLE_EQ(map->HugeMappedFraction(), 1.0);  // layout persisted
+}
+
+}  // namespace

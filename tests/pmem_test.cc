@@ -1,0 +1,184 @@
+// Unit tests for the PM device: persistence semantics, cost accounting, and
+// crash-state capture.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/exec_context.h"
+#include "src/common/units.h"
+#include "src/pmem/device.h"
+
+namespace {
+
+using common::ExecContext;
+using pmem::PmemDevice;
+
+TEST(PmemDeviceTest, StoreLoadRoundTrip) {
+  PmemDevice dev(1 * common::kMiB);
+  ExecContext ctx;
+  const char msg[] = "hello persistent world";
+  dev.Store(ctx, 4096, msg, sizeof(msg));
+  char out[sizeof(msg)] = {};
+  dev.Load(ctx, 4096, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(PmemDeviceTest, CostsAccrue) {
+  PmemDevice dev(1 * common::kMiB);
+  ExecContext ctx;
+  const uint64_t t0 = ctx.clock.NowNs();
+  uint8_t buf[256] = {};
+  dev.Store(ctx, 0, buf, sizeof(buf));
+  EXPECT_GT(ctx.clock.NowNs(), t0);
+  EXPECT_EQ(ctx.counters.pm_write_bytes, 256u);
+  dev.Load(ctx, 0, buf, sizeof(buf));
+  EXPECT_EQ(ctx.counters.pm_read_bytes, 256u);
+  dev.Clwb(ctx, 0, 256);
+  EXPECT_EQ(ctx.counters.clwb_count, 4u);
+  dev.Fence(ctx);
+  EXPECT_EQ(ctx.counters.fence_count, 1u);
+}
+
+TEST(PmemDeviceTest, SequentialCheaperThanRandom) {
+  PmemDevice dev(1 * common::kMiB);
+  ExecContext seq;
+  ExecContext rnd;
+  uint8_t buf[64];
+  dev.Load(seq, 0, buf, 64, /*sequential=*/true);
+  dev.Load(rnd, 0, buf, 64, /*sequential=*/false);
+  EXPECT_LT(seq.clock.NowNs(), rnd.clock.NowNs());
+}
+
+TEST(PmemDeviceTest, NumaNodeOfSplitsRange) {
+  PmemDevice dev(4 * common::kMiB, pmem::CostModel{}, 2);
+  EXPECT_EQ(dev.NumaNodeOf(0), 0u);
+  EXPECT_EQ(dev.NumaNodeOf(3 * common::kMiB), 1u);
+}
+
+TEST(PmemCrashTest, UnflushedStoreNotInPersistentImage) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t value = 0xdeadbeef;
+  dev.Store(ctx, 128, &value, sizeof(value));
+  // Not flushed, not fenced: persistent image still has zeros.
+  auto image = dev.PersistentImage();
+  uint64_t persisted;
+  std::memcpy(&persisted, image.data() + 128, sizeof(persisted));
+  EXPECT_EQ(persisted, 0u);
+  EXPECT_EQ(dev.PendingLines().size(), 1u);
+}
+
+TEST(PmemCrashTest, FlushedAndFencedBecomesPersistent) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t value = 0x12345678;
+  dev.Store(ctx, 128, &value, sizeof(value));
+  dev.Clwb(ctx, 128, sizeof(value));
+  dev.Fence(ctx);
+  auto image = dev.PersistentImage();
+  uint64_t persisted;
+  std::memcpy(&persisted, image.data() + 128, sizeof(persisted));
+  EXPECT_EQ(persisted, value);
+  EXPECT_TRUE(dev.PendingLines().empty());
+}
+
+TEST(PmemCrashTest, FlushWithoutFenceStaysPending) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t value = 0x77;
+  dev.Store(ctx, 0, &value, sizeof(value));
+  dev.Clwb(ctx, 0, sizeof(value));
+  EXPECT_EQ(dev.PendingLines().size(), 1u);
+  EXPECT_TRUE(dev.PendingLines()[0].flushed);
+}
+
+TEST(PmemCrashTest, CrashImageAppliesChosenSubset) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t a = 0xaaaa;
+  const uint64_t b = 0xbbbb;
+  dev.Store(ctx, 0, &a, sizeof(a));
+  dev.Store(ctx, 4096, &b, sizeof(b));
+  ASSERT_EQ(dev.PendingLines().size(), 2u);
+
+  // Apply only the second store: models cacheline eviction reordering.
+  auto image = dev.CrashImage({1});
+  uint64_t va;
+  uint64_t vb;
+  std::memcpy(&va, image.data() + 0, 8);
+  std::memcpy(&vb, image.data() + 4096, 8);
+  EXPECT_EQ(va, 0u);
+  EXPECT_EQ(vb, b);
+}
+
+TEST(PmemCrashTest, NtStorePersistsAtFence) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t value = 0xfeed;
+  dev.NtStore(ctx, 64, &value, sizeof(value));
+  EXPECT_EQ(dev.PendingLines().size(), 1u);
+  EXPECT_TRUE(dev.PendingLines()[0].flushed);
+  dev.Fence(ctx);
+  EXPECT_TRUE(dev.PendingLines().empty());
+}
+
+TEST(PmemCrashTest, RestoreImageReplacesContents) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t value = 0xabc;
+  dev.PersistStore(ctx, 0, &value, sizeof(value));
+  auto snapshot = dev.PersistentImage();
+
+  const uint64_t other = 0xdef;
+  dev.PersistStore(ctx, 0, &other, sizeof(other));
+  dev.RestoreImage(snapshot);
+  uint64_t out;
+  dev.Load(ctx, 0, &out, sizeof(out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(PmemCrashTest, OverwriteSameLineKeepsLatestPayload) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  dev.EnableCrashTracking();
+  const uint64_t first = 1;
+  const uint64_t second = 2;
+  dev.Store(ctx, 0, &first, sizeof(first));
+  dev.Store(ctx, 0, &second, sizeof(second));
+  ASSERT_EQ(dev.PendingLines().size(), 1u);
+  auto image = dev.CrashImage({0});
+  uint64_t out;
+  std::memcpy(&out, image.data(), 8);
+  EXPECT_EQ(out, second);
+}
+
+TEST(PmemDeviceTest, ZeroFills) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  const uint64_t junk = ~0ull;
+  dev.Store(ctx, 0, &junk, sizeof(junk));
+  dev.Zero(ctx, 0, 4096);
+  uint64_t out = 1;
+  dev.Load(ctx, 0, &out, sizeof(out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(PmemDeviceTest, StoreUnchargedWritesWithoutCost) {
+  PmemDevice dev(256 * common::kKiB);
+  ExecContext ctx;
+  const uint64_t value = 42;
+  dev.StoreUncharged(0, &value, sizeof(value));
+  EXPECT_EQ(ctx.clock.NowNs(), 0u);
+  EXPECT_EQ(ctx.counters.pm_write_bytes, 0u);
+  uint64_t out;
+  dev.Load(ctx, 0, &out, sizeof(out));
+  EXPECT_EQ(out, value);
+}
+
+}  // namespace

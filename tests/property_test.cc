@@ -1,0 +1,283 @@
+// Property-based tests: randomized operation sequences checked against
+// reference models and structural invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/sim_clock.h"
+#include "src/common/units.h"
+#include "src/fs/fscore/extent.h"
+#include "src/fs/fscore/free_space_map.h"
+#include "src/fs/registry.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/wload/part.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kMiB;
+using common::Rng;
+
+// --- FreeSpaceMap vs a reference block set -----------------------------------
+
+class FreeSpaceMapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FreeSpaceMapProperty, MatchesReferenceModel) {
+  constexpr uint64_t kBlocks = 8192;
+  fscore::FreeSpaceMap map;
+  map.Release(0, kBlocks);
+  std::set<uint64_t> free_ref;
+  for (uint64_t b = 0; b < kBlocks; b++) {
+    free_ref.insert(b);
+  }
+  Rng rng(GetParam());
+  std::vector<fscore::Extent> allocated;
+
+  for (int step = 0; step < 3000; step++) {
+    const bool do_alloc = allocated.empty() || rng.NextBool(0.6);
+    if (do_alloc) {
+      const uint64_t want = 1 + rng.NextBelow(600);
+      std::optional<fscore::Extent> got;
+      switch (rng.NextBelow(4)) {
+        case 0:
+          got = map.AllocFirstFit(want, rng.NextBelow(kBlocks));
+          break;
+        case 1:
+          got = map.AllocBestFit(want);
+          break;
+        case 2:
+          got = map.AllocFirstFitPreferAligned(want, rng.NextBelow(kBlocks));
+          break;
+        default:
+          got = want <= 512 ? map.AllocAligned(want) : std::nullopt;
+          break;
+      }
+      if (got.has_value()) {
+        ASSERT_EQ(got->num_blocks, want);
+        for (uint64_t b = got->phys_block; b < got->end(); b++) {
+          ASSERT_EQ(free_ref.erase(b), 1u) << "allocated a non-free block " << b;
+        }
+        allocated.push_back(*got);
+      }
+    } else {
+      const size_t idx = rng.NextBelow(allocated.size());
+      std::swap(allocated[idx], allocated.back());
+      const fscore::Extent ext = allocated.back();
+      allocated.pop_back();
+      map.Release(ext.phys_block, ext.num_blocks);
+      for (uint64_t b = ext.phys_block; b < ext.end(); b++) {
+        ASSERT_TRUE(free_ref.insert(b).second) << "double free of block " << b;
+      }
+    }
+    ASSERT_EQ(map.free_blocks(), free_ref.size());
+  }
+  // Runs must be maximal (merged): no two adjacent runs.
+  uint64_t prev_end = ~0ull;
+  for (const auto& [start, len] : map.runs()) {
+    ASSERT_NE(start, prev_end) << "unmerged adjacent free runs";
+    prev_end = start + len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreeSpaceMapProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- ExtentMap vs a reference block map ---------------------------------------
+
+class ExtentMapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtentMapProperty, MatchesReferenceModel) {
+  fscore::ExtentMap map;
+  std::map<uint64_t, uint64_t> ref;  // logical block -> phys block
+  Rng rng(GetParam() * 77);
+  uint64_t next_phys = 1000;
+
+  for (int step = 0; step < 2000; step++) {
+    const uint64_t logical = rng.NextBelow(2000);
+    const uint64_t len = 1 + rng.NextBelow(32);
+    if (rng.NextBool(0.65)) {
+      // Punch then insert (the pattern CoW uses).
+      map.Remove(logical, len);
+      map.Insert(logical, next_phys, len);
+      for (uint64_t i = 0; i < len; i++) {
+        ref[logical + i] = next_phys + i;
+      }
+      next_phys += len + rng.NextBelow(3);
+    } else {
+      map.Remove(logical, len);
+      for (uint64_t i = 0; i < len; i++) {
+        ref.erase(logical + i);
+      }
+    }
+  }
+  for (uint64_t block = 0; block < 2100; block++) {
+    auto got = map.Lookup(block);
+    auto it = ref.find(block);
+    if (it == ref.end()) {
+      EXPECT_FALSE(got.has_value()) << "block " << block;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "block " << block;
+      EXPECT_EQ(got->phys_block, it->second) << "block " << block;
+    }
+  }
+  EXPECT_EQ(map.MappedBlocks(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentMapProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Filesystem-level invariants under random workloads ------------------------
+
+class FsChurnProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(FsChurnProperty, NoExtentOverlapAndSpaceConserved) {
+  const auto& [fs_name, seed] = GetParam();
+  pmem::PmemDevice dev(256 * kMiB);
+  auto fs = fsreg::Create(fs_name, &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  auto* generic = dynamic_cast<fscore::GenericFs*>(fs.get());
+
+  Rng rng(seed);
+  std::vector<std::string> files;
+  std::vector<uint8_t> buf(64 * 1024, 0x9d);
+  uint64_t created = 0;
+  for (int step = 0; step < 400; step++) {
+    ctx.cpu = static_cast<uint32_t>(rng.NextBelow(4));
+    const double p = rng.NextDouble();
+    if (p < 0.45 || files.empty()) {
+      const std::string path = "/p" + std::to_string(created++);
+      auto fd = fs->Open(ctx, path, vfs::OpenFlags::Create());
+      ASSERT_TRUE(fd.ok());
+      const uint64_t size = 1 + rng.NextBelow(buf.size());
+      auto n = fs->Pwrite(ctx, *fd, buf.data(), size, 0);
+      if (n.ok()) {
+        files.push_back(path);
+      }
+      ASSERT_TRUE(fs->Close(ctx, *fd).ok());
+    } else if (p < 0.75) {
+      const std::string& path = files[rng.NextBelow(files.size())];
+      auto fd = fs->Open(ctx, path, vfs::OpenFlags{});
+      ASSERT_TRUE(fd.ok());
+      auto st = fs->SizeOf(ctx, *fd);
+      const uint64_t size = 1 + rng.NextBelow(16 * 1024);
+      const uint64_t off = st.ok() && *st > 0 ? rng.NextBelow(*st) : 0;
+      (void)fs->Pwrite(ctx, *fd, buf.data(), size, off);
+      ASSERT_TRUE(fs->Close(ctx, *fd).ok());
+    } else {
+      const size_t idx = rng.NextBelow(files.size());
+      std::swap(files[idx], files.back());
+      ASSERT_TRUE(fs->Unlink(ctx, files.back()).ok());
+      files.pop_back();
+    }
+  }
+
+  // Invariant 1: no two files' extents overlap, and none land outside the
+  // data area. Verified through a remount-scan (reads the on-PM truth).
+  ASSERT_TRUE(fs->Unmount(ctx).ok());
+  ASSERT_TRUE(fs->Mount(ctx).ok());
+  std::vector<std::pair<uint64_t, uint64_t>> used;
+  auto entries = fs->ReadDir(ctx, "/");
+  ASSERT_TRUE(entries.ok());
+  for (const auto& entry : *entries) {
+    auto st = fs->Stat(ctx, "/" + entry.name);
+    ASSERT_TRUE(st.ok());
+    const fscore::Inode* inode = generic->FindInode(st->ino);
+    ASSERT_NE(inode, nullptr);
+    for (const auto& [logical, ext] : inode->extents.Entries()) {
+      used.emplace_back(ext.phys_block, ext.num_blocks);
+      EXPECT_GE(ext.phys_block, generic->data_start_block());
+      EXPECT_LE(ext.end(), generic->data_start_block() + generic->data_blocks());
+    }
+  }
+  std::sort(used.begin(), used.end());
+  for (size_t i = 1; i < used.size(); i++) {
+    EXPECT_GE(used[i].first, used[i - 1].first + used[i - 1].second)
+        << "overlapping extents after churn";
+  }
+
+  // Invariant 2: deleting everything returns the filesystem to (almost)
+  // empty free space — nothing leaks.
+  for (const std::string& path : files) {
+    ASSERT_TRUE(fs->Unlink(ctx, path).ok());
+  }
+  const auto info = fs->GetFreeSpaceInfo();
+  // Bounded residue is fine: the root directory's dirent blocks stay at their
+  // high-water size, and NOVA's root inode keeps up to gc_log_pages live log
+  // pages. Anything beyond that bound is a leak.
+  EXPECT_GE(info.free_blocks + 128, info.total_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, FsChurnProperty,
+    ::testing::Combine(::testing::Values("winefs", "ext4-dax", "nova", "pmfs"),
+                       ::testing::Values(11ull, 22ull)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint64_t>>& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name + "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// --- P-ART vs std::map ----------------------------------------------------------
+
+TEST(PArtProperty, MatchesReferenceMap) {
+  pmem::PmemDevice dev(512 * kMiB);
+  auto fs = fsreg::Create("winefs", &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  vmem::MmapEngine engine(&dev, vmem::MmuParams{}, 4);
+  wload::PArt part(fs.get(), &engine,
+                   wload::PArtConfig{.pool_bytes = 128 * kMiB, .prefault = false});
+  ASSERT_TRUE(part.Open(ctx).ok());
+
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(99);
+  for (int step = 0; step < 20000; step++) {
+    const uint64_t key = rng.NextBelow(1u << 22);
+    const uint64_t value = rng.Next() | 1;
+    ASSERT_TRUE(part.Insert(ctx, key, value).ok());
+    ref[key] = value;
+  }
+  for (const auto& [key, value] : ref) {
+    auto got = part.Lookup(ctx, key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+  // Absent keys miss.
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t key = (1ull << 23) + rng.NextBelow(1u << 20);
+    if (ref.find(key) == ref.end()) {
+      EXPECT_FALSE(part.Lookup(ctx, key).ok());
+    }
+  }
+}
+
+// --- SharedResource capacity invariant -------------------------------------------
+
+TEST(SharedResourceProperty, WorkNeverExceedsElapsedCapacity) {
+  common::SharedResource resource("cap");
+  Rng rng(5);
+  std::vector<common::SimClock> clocks(8);
+  uint64_t total_work = 0;
+  for (int step = 0; step < 5000; step++) {
+    auto& clock = clocks[rng.NextBelow(clocks.size())];
+    const uint64_t hold = 1 + rng.NextBelow(3000);
+    resource.Acquire(clock, hold);
+    total_work += hold;
+    clock.Advance(rng.NextBelow(2000));  // thread-local work between acquires
+  }
+  uint64_t max_end = 0;
+  for (const auto& clock : clocks) {
+    max_end = std::max(max_end, clock.NowNs());
+  }
+  // Capacity 1: the aggregate admitted work cannot exceed the elapsed wall
+  // time (plus one accounting window of slack).
+  EXPECT_LE(total_work, max_end + 20000);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// SplitFS-specific behaviour: user-level staged appends bypass the kernel
+// trap, relink happens at fsync, and namespace operations still ride ext4's
+// JBD2.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/fs/splitfs/splitfs.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kMiB;
+
+class SplitFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<pmem::PmemDevice>(128 * kMiB);
+    fs_ = std::make_unique<splitfs::SplitFs>(dev_.get());
+    ASSERT_TRUE(fs_->Mkfs(ctx_).ok());
+  }
+
+  ExecContext ctx_;
+  std::unique_ptr<pmem::PmemDevice> dev_;
+  std::unique_ptr<splitfs::SplitFs> fs_;
+};
+
+TEST_F(SplitFsTest, AppendsCheaperThanStockSyscallPath) {
+  // The user-level append must not pay the syscall trap: compare the modeled
+  // cost of a SplitFS append against an equivalent ext4-DAX append.
+  pmem::PmemDevice dev2(128 * kMiB);
+  ext4dax::Ext4Dax stock(&dev2, ext4dax::Ext4Options{});
+  ExecContext stock_ctx;
+  ASSERT_TRUE(stock.Mkfs(stock_ctx).ok());
+
+  std::vector<uint8_t> buf(4096, 1);
+  auto fd = fs_->Open(ctx_, "/log", vfs::OpenFlags::Create());
+  auto fd2 = stock.Open(stock_ctx, "/log", vfs::OpenFlags::Create());
+
+  const uint64_t t0 = ctx_.clock.NowNs();
+  const uint64_t s0 = stock_ctx.clock.NowNs();
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(fs_->Append(ctx_, *fd, buf.data(), buf.size()).ok());
+    ASSERT_TRUE(stock.Append(stock_ctx, *fd2, buf.data(), buf.size()).ok());
+  }
+  EXPECT_LT(ctx_.clock.NowNs() - t0, stock_ctx.clock.NowNs() - s0);
+}
+
+TEST_F(SplitFsTest, StagedAppendsReadableBeforeAndAfterFsync) {
+  auto fd = fs_->Open(ctx_, "/staged", vfs::OpenFlags::Create());
+  std::vector<uint8_t> chunk(1000);
+  for (size_t i = 0; i < chunk.size(); i++) {
+    chunk[i] = static_cast<uint8_t>(i);
+  }
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(fs_->Append(ctx_, *fd, chunk.data(), chunk.size()).ok());
+  }
+  // Visible pre-relink.
+  std::vector<uint8_t> out(chunk.size());
+  ASSERT_TRUE(fs_->Pread(ctx_, *fd, out.data(), out.size(), 9 * chunk.size()).ok());
+  EXPECT_EQ(out, chunk);
+  // Relink at fsync; still visible, including across a remount.
+  ASSERT_TRUE(fs_->Fsync(ctx_, *fd).ok());
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  ASSERT_TRUE(fs_->Mount(ctx_).ok());
+  auto fd2 = fs_->Open(ctx_, "/staged", vfs::OpenFlags::ReadOnly());
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(fs_->Pread(ctx_, *fd2, out.data(), out.size(), 4 * chunk.size()).ok());
+  EXPECT_EQ(out, chunk);
+  auto st = fs_->Stat(ctx_, "/staged");
+  EXPECT_EQ(st->size, 10 * chunk.size());
+}
+
+TEST_F(SplitFsTest, NamespaceOpsStillUseJbd2) {
+  // Creates + fsync inherit the JBD2 commit: the journal-byte counter moves
+  // in 4 KiB block units (whole-block journaling), unlike the staged path.
+  auto before = ctx_.counters.journal_bytes;
+  auto fd = fs_->Open(ctx_, "/newfile", vfs::OpenFlags::Create());
+  ASSERT_TRUE(fs_->Fsync(ctx_, *fd).ok());
+  EXPECT_GE(ctx_.counters.journal_bytes - before, 4096u);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Unit tests for the virtual-memory simulator: TLB, LLC, page table, and the
+// mmap engine's fault/translation paths with a scripted fault handler.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/pmem/device.h"
+#include "src/vmem/llc_cache.h"
+#include "src/vmem/mmap_engine.h"
+#include "src/vmem/page_table.h"
+#include "src/vmem/tlb.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kBlockSize;
+using common::kHugepageSize;
+using vmem::MmuParams;
+using vmem::Tlb;
+using vmem::TlbResult;
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb(MmuParams{});
+  EXPECT_EQ(tlb.Lookup(0x1000, false), TlbResult::kMiss);
+  tlb.Insert(0x1000, false);
+  EXPECT_EQ(tlb.Lookup(0x1000, false), TlbResult::kL1Hit);
+}
+
+TEST(TlbTest, CapacityEvictsToL2) {
+  MmuParams params;
+  params.l1_tlb_4k_entries = 4;
+  params.l2_tlb_entries = 64;
+  Tlb tlb(params);
+  for (uint64_t p = 0; p < 8; p++) {
+    tlb.Insert(p * kBlockSize, false);
+  }
+  // The oldest entries fell out of L1 but remain in L2.
+  EXPECT_EQ(tlb.Lookup(0, false), TlbResult::kL2Hit);
+  // And an L2 hit promotes back into L1.
+  EXPECT_EQ(tlb.Lookup(0, false), TlbResult::kL1Hit);
+}
+
+TEST(TlbTest, HugeAndBaseDoNotAlias) {
+  Tlb tlb(MmuParams{});
+  tlb.Insert(0, true);
+  EXPECT_EQ(tlb.Lookup(0, false), TlbResult::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, true), TlbResult::kL1Hit);
+}
+
+TEST(TlbTest, OneHugeEntryCovers512Pages) {
+  Tlb tlb(MmuParams{});
+  tlb.Insert(0, true);
+  for (uint64_t off = 0; off < kHugepageSize; off += kBlockSize) {
+    EXPECT_EQ(tlb.Lookup(off, true), TlbResult::kL1Hit);
+  }
+}
+
+TEST(TlbTest, InvalidateAndFlush) {
+  Tlb tlb(MmuParams{});
+  tlb.Insert(0x2000, false);
+  tlb.InvalidatePage(0x2000, false);
+  EXPECT_EQ(tlb.Lookup(0x2000, false), TlbResult::kMiss);
+  tlb.Insert(0x3000, false);
+  tlb.Flush();
+  EXPECT_EQ(tlb.Lookup(0x3000, false), TlbResult::kMiss);
+}
+
+TEST(LlcTest, HitAfterFill) {
+  MmuParams params;
+  vmem::LlcCache llc(params);
+  EXPECT_FALSE(llc.Access(0x1000));
+  EXPECT_TRUE(llc.Access(0x1000));
+}
+
+TEST(LlcTest, CapacityEviction) {
+  MmuParams params;
+  params.llc_bytes = 64 * 16;  // one set, 16 ways
+  params.llc_ways = 16;
+  vmem::LlcCache llc(params);
+  for (uint64_t i = 0; i < 17; i++) {
+    llc.Access(i * 64);
+  }
+  EXPECT_FALSE(llc.Access(0));  // LRU victim was line 0
+}
+
+TEST(PageTableTest, MapWalk4k) {
+  vmem::PageTable pt(1ull << 40);
+  pt.Map(0x7f0000001000, 0x5000, /*huge=*/false, /*writable=*/true);
+  auto walk = pt.Walk(0x7f0000001234);
+  ASSERT_TRUE(walk.pte.present);
+  EXPECT_FALSE(walk.pte.huge);
+  EXPECT_EQ(walk.pte.phys, 0x5000u);
+  EXPECT_EQ(walk.pte_lines.size(), 4u);  // 4-level walk
+}
+
+TEST(PageTableTest, MapWalkHugeStopsAtPmd) {
+  vmem::PageTable pt(1ull << 40);
+  pt.Map(0x7f0000000000, 2 * common::kMiB, /*huge=*/true, /*writable=*/true);
+  auto walk = pt.Walk(0x7f0000000000 + 12345);
+  ASSERT_TRUE(walk.pte.present);
+  EXPECT_TRUE(walk.pte.huge);
+  EXPECT_EQ(walk.pte_lines.size(), 3u);  // PGD, PUD, PMD
+}
+
+TEST(PageTableTest, UnmapRemoves) {
+  vmem::PageTable pt(1ull << 40);
+  pt.Map(0x1000, 0x2000, false, true);
+  pt.Unmap(0x1000, false);
+  EXPECT_FALSE(pt.Walk(0x1000).pte.present);
+}
+
+TEST(PageTableTest, NodeCountGrowsWithSparseMappings) {
+  vmem::PageTable pt(1ull << 40);
+  const uint64_t before = pt.node_count();
+  pt.Map(0x7f0000000000, 0x1000, false, true);
+  pt.Map(0x7e0000000000, 0x2000, false, true);  // different PGD entry subtree
+  EXPECT_GT(pt.node_count(), before + 3);
+}
+
+// Scripted fault handler: maps file offsets 1:1 onto a device region,
+// optionally with hugepages.
+class FakeHandler : public vmem::FaultHandler {
+ public:
+  FakeHandler(uint64_t phys_base, bool huge) : phys_base_(phys_base), huge_(huge) {}
+
+  common::Result<FaultMapping> HandleFault(ExecContext& ctx, uint64_t ino,
+                                           uint64_t page_offset, bool write) override {
+    (void)ctx;
+    (void)ino;
+    (void)write;
+    faults_++;
+    if (huge_) {
+      const uint64_t chunk = common::RoundDown(page_offset, kHugepageSize);
+      return FaultMapping{phys_base_ + chunk, true};
+    }
+    return FaultMapping{phys_base_ + page_offset, false};
+  }
+
+  int faults_ = 0;
+
+ private:
+  uint64_t phys_base_;
+  bool huge_;
+};
+
+class MmapEngineTest : public ::testing::Test {
+ protected:
+  MmapEngineTest() : dev_(64 * common::kMiB), engine_(&dev_, MmuParams{}, 2) {}
+
+  pmem::PmemDevice dev_;
+  vmem::MmapEngine engine_;
+};
+
+TEST_F(MmapEngineTest, HugeMappingFaultsOncePer2MiB) {
+  FakeHandler handler(4 * common::kMiB, /*huge=*/true);
+  auto map = engine_.Mmap(&handler, 1, 4 * common::kMiB, true);
+  ExecContext ctx;
+  std::vector<uint8_t> buf(4 * common::kMiB, 0x5a);
+  ASSERT_TRUE(map->Write(ctx, 0, buf.data(), buf.size()).ok());
+  EXPECT_EQ(ctx.counters.page_faults_2m, 2u);
+  EXPECT_EQ(ctx.counters.page_faults_4k, 0u);
+  EXPECT_EQ(handler.faults_, 2);
+  EXPECT_DOUBLE_EQ(map->HugeMappedFraction(), 1.0);
+}
+
+TEST_F(MmapEngineTest, BaseMappingFaults512xMore) {
+  FakeHandler handler(4 * common::kMiB, /*huge=*/false);
+  auto map = engine_.Mmap(&handler, 1, 2 * common::kMiB, true);
+  ExecContext ctx;
+  std::vector<uint8_t> buf(2 * common::kMiB, 0x5a);
+  ASSERT_TRUE(map->Write(ctx, 0, buf.data(), buf.size()).ok());
+  EXPECT_EQ(ctx.counters.page_faults_4k, 512u);
+  EXPECT_EQ(ctx.counters.page_faults_2m, 0u);
+  EXPECT_DOUBLE_EQ(map->HugeMappedFraction(), 0.0);
+}
+
+TEST_F(MmapEngineTest, HugeFaultsAreCheaperInTotal) {
+  FakeHandler huge_handler(4 * common::kMiB, true);
+  FakeHandler base_handler(8 * common::kMiB, false);
+  auto huge_map = engine_.Mmap(&huge_handler, 1, 2 * common::kMiB, true);
+  auto base_map = engine_.Mmap(&base_handler, 2, 2 * common::kMiB, true);
+  std::vector<uint8_t> buf(2 * common::kMiB, 1);
+  ExecContext huge_ctx(0);
+  ExecContext base_ctx(1);
+  ASSERT_TRUE(huge_map->Write(huge_ctx, 0, buf.data(), buf.size()).ok());
+  ASSERT_TRUE(base_map->Write(base_ctx, 0, buf.data(), buf.size()).ok());
+  // Fig 2: with hugepages the 2 MiB write is ~2x faster end to end.
+  EXPECT_LT(huge_ctx.clock.NowNs() * 3 / 2, base_ctx.clock.NowNs());
+  EXPECT_GT(base_ctx.counters.fault_handling_ns, huge_ctx.counters.fault_handling_ns * 10);
+}
+
+TEST_F(MmapEngineTest, ReadBackMatchesWrite) {
+  FakeHandler handler(4 * common::kMiB, true);
+  auto map = engine_.Mmap(&handler, 1, 2 * common::kMiB, true);
+  ExecContext ctx;
+  std::vector<uint8_t> out(1024, 0);
+  std::vector<uint8_t> in(1024);
+  for (size_t i = 0; i < in.size(); i++) {
+    in[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(map->Write(ctx, 12345, in.data(), in.size()).ok());
+  ASSERT_TRUE(map->Read(ctx, 12345, out.data(), out.size()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(MmapEngineTest, LoadLineChargesTlbAndCache) {
+  FakeHandler handler(4 * common::kMiB, false);
+  auto map = engine_.Mmap(&handler, 1, 16 * common::kMiB, true);
+  ExecContext ctx;
+  ASSERT_TRUE(map->Prefault(ctx, true).ok());
+  const auto faults = ctx.counters.total_page_faults();
+  ctx.counters.Reset();
+
+  uint64_t out;
+  // Touch many distinct pages: TLB misses accumulate, no new faults.
+  for (uint64_t off = 0; off < 16 * common::kMiB; off += kBlockSize) {
+    ASSERT_TRUE(map->LoadLine(ctx, off, &out).ok());
+  }
+  EXPECT_EQ(ctx.counters.total_page_faults(), 0u);
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(ctx.counters.tlb_l2_misses, 0u);
+}
+
+TEST_F(MmapEngineTest, OutOfBoundsAccessFails) {
+  FakeHandler handler(4 * common::kMiB, true);
+  auto map = engine_.Mmap(&handler, 1, 1 * common::kMiB, true);
+  ExecContext ctx;
+  uint8_t b = 0;
+  EXPECT_FALSE(map->Write(ctx, 2 * common::kMiB, &b, 1).ok());
+  EXPECT_FALSE(map->LoadLine(ctx, 1 * common::kMiB + 1, &b).ok());
+}
+
+TEST_F(MmapEngineTest, ReadOnlyMappingRejectsWrites) {
+  FakeHandler handler(4 * common::kMiB, true);
+  auto map = engine_.Mmap(&handler, 1, 1 * common::kMiB, false);
+  ExecContext ctx;
+  uint8_t b = 1;
+  EXPECT_FALSE(map->Write(ctx, 0, &b, 1).ok());
+}
+
+TEST_F(MmapEngineTest, UnmapAllDropsTranslations) {
+  FakeHandler handler(4 * common::kMiB, true);
+  auto map = engine_.Mmap(&handler, 1, 2 * common::kMiB, true);
+  ExecContext ctx;
+  uint8_t b = 1;
+  ASSERT_TRUE(map->Write(ctx, 0, &b, 1).ok());
+  EXPECT_EQ(handler.faults_, 1);
+  map->UnmapAll(ctx);
+  ASSERT_TRUE(map->Write(ctx, 0, &b, 1).ok());
+  EXPECT_EQ(handler.faults_, 2);  // refaulted
+}
+
+TEST_F(MmapEngineTest, PageTableBytesGrow) {
+  FakeHandler handler(4 * common::kMiB, false);
+  auto map = engine_.Mmap(&handler, 1, 8 * common::kMiB, true);
+  const uint64_t before = engine_.PageTableBytes();
+  ExecContext ctx;
+  ASSERT_TRUE(map->Prefault(ctx, true).ok());
+  EXPECT_GT(engine_.PageTableBytes(), before);
+}
+
+}  // namespace

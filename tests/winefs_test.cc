@@ -1,0 +1,292 @@
+// WineFS-specific behaviour: alignment-aware allocation, hugepage-allocating
+// faults, hybrid data atomicity, xattr alignment hints, reactive rewriting,
+// journal recovery, and the NUMA write policy.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/vmem/mmap_engine.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kBlockSize;
+using common::kHugepageSize;
+using common::kMiB;
+
+class WineFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Recreate(winefs::WineFsOptions{}); }
+
+  void Recreate(winefs::WineFsOptions options) {
+    dev_ = std::make_unique<pmem::PmemDevice>(512 * kMiB);
+    fs_ = std::make_unique<winefs::WineFs>(dev_.get(), options);
+    ASSERT_TRUE(fs_->Mkfs(ctx_).ok());
+  }
+
+  int CreateFile(const std::string& path) {
+    auto fd = fs_->Open(ctx_, path, vfs::OpenFlags::Create());
+    EXPECT_TRUE(fd.ok());
+    return *fd;
+  }
+
+  ExecContext ctx_;
+  std::unique_ptr<pmem::PmemDevice> dev_;
+  std::unique_ptr<winefs::WineFs> fs_;
+};
+
+TEST_F(WineFsTest, LargeAllocationsGetAlignedExtents) {
+  const int fd = CreateFile("/big");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 8 * kMiB).ok());
+  auto ino = fs_->InodeOf(ctx_, fd);
+  const fscore::Inode* inode = fs_->FindInode(*ino);
+  ASSERT_NE(inode, nullptr);
+  // Every 2 MiB file chunk must sit on an aligned physical extent.
+  for (uint64_t chunk = 0; chunk < 4; chunk++) {
+    auto m = inode->extents.Lookup(chunk * common::kBlocksPerHugepage);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(common::IsAligned(m->phys_block, common::kBlocksPerHugepage));
+    EXPECT_GE(m->contiguous_blocks, common::kBlocksPerHugepage);
+  }
+  EXPECT_GE(ctx_.counters.aligned_allocs, 4u);
+}
+
+TEST_F(WineFsTest, SmallAllocationsComeFromHoles) {
+  const uint64_t aligned_before = fs_->FreeAlignedExtents();
+  for (int i = 0; i < 50; i++) {
+    const int fd = CreateFile("/small" + std::to_string(i));
+    ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 16 * kBlockSize).ok());
+  }
+  // 50 small files must not consume aligned extents.
+  EXPECT_EQ(fs_->FreeAlignedExtents(), aligned_before);
+}
+
+TEST_F(WineFsTest, SmallAllocationsBreakAlignedExtentOnlyWhenHolesDry) {
+  // Exhaust holes with small allocations; the allocator must then break an
+  // aligned extent rather than fail.
+  const uint64_t aligned_before = fs_->FreeAlignedExtents();
+  uint64_t total_small = 0;
+  int i = 0;
+  while (fs_->FreeAlignedExtents() == aligned_before && i < 100000) {
+    const int fd = CreateFile("/s" + std::to_string(i++));
+    ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 64 * kBlockSize).ok());
+    total_small += 64;
+  }
+  EXPECT_LT(fs_->FreeAlignedExtents(), aligned_before);
+  EXPECT_GT(total_small, 0u);
+}
+
+TEST_F(WineFsTest, FreeingMergesBackIntoAlignedPool) {
+  const uint64_t aligned_before = fs_->FreeAlignedExtents();
+  std::vector<std::string> paths;
+  // Consume holes until aligned extents start breaking.
+  int i = 0;
+  while (fs_->FreeAlignedExtents() + 2 > aligned_before && i < 100000) {
+    const std::string path = "/m" + std::to_string(i++);
+    const int fd = CreateFile(path);
+    ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 128 * kBlockSize).ok());
+    paths.push_back(path);
+  }
+  ASSERT_LT(fs_->FreeAlignedExtents(), aligned_before);
+  // Delete everything: the broken extents merge and convert back (§3.4).
+  for (const std::string& path : paths) {
+    ASSERT_TRUE(fs_->Unlink(ctx_, path).ok());
+  }
+  EXPECT_EQ(fs_->FreeAlignedExtents(), aligned_before);
+}
+
+TEST_F(WineFsTest, HugeFaultAllocatesAlignedChunk) {
+  // LMDB-style: sparse file (ftruncate), write faults through mmap.
+  const int fd = CreateFile("/sparse");
+  ASSERT_TRUE(fs_->Ftruncate(ctx_, fd, 16 * kMiB).ok());
+  vmem::MmapEngine engine(dev_.get(), vmem::MmuParams{});
+  auto ino = fs_->InodeOf(ctx_, fd);
+  auto map = engine.Mmap(fs_.get(), *ino, 16 * kMiB, true);
+  std::vector<uint8_t> buf(4 * kMiB, 0x3c);
+  ASSERT_TRUE(map->Write(ctx_, 0, buf.data(), buf.size()).ok());
+  EXPECT_EQ(ctx_.counters.page_faults_2m, 2u);
+  EXPECT_EQ(ctx_.counters.page_faults_4k, 0u);
+  EXPECT_DOUBLE_EQ(map->HugeMappedFraction(), 4.0 / 16.0);
+}
+
+TEST_F(WineFsTest, HybridAtomicityJournalsAlignedAndCowsHoles) {
+  // Aligned region: overwrite journals in place (layout preserved).
+  const int fa = CreateFile("/aligned");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fa, 0, 2 * kMiB).ok());
+  auto ino_a = fs_->InodeOf(ctx_, fa);
+  const auto before_a = fs_->FindInode(*ino_a)->extents.Lookup(0)->phys_block;
+  std::vector<uint8_t> buf(64 * 1024, 0x7e);
+  ctx_.counters.Reset();
+  ASSERT_TRUE(fs_->Pwrite(ctx_, fa, buf.data(), buf.size(), 4096).ok());
+  EXPECT_EQ(fs_->FindInode(*ino_a)->extents.Lookup(0)->phys_block, before_a);
+  EXPECT_GT(ctx_.counters.journal_bytes, buf.size());  // data journaled
+  EXPECT_EQ(ctx_.counters.cow_bytes, 0u);
+
+  // Hole region: overwrite relocates (CoW).
+  const int fh = CreateFile("/holey");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fh, 0, 16 * kBlockSize).ok());
+  auto ino_h = fs_->InodeOf(ctx_, fh);
+  const auto before_h = fs_->FindInode(*ino_h)->extents.Lookup(0)->phys_block;
+  ctx_.counters.Reset();
+  ASSERT_TRUE(fs_->Pwrite(ctx_, fh, buf.data(), 8 * kBlockSize, 0).ok());
+  EXPECT_NE(fs_->FindInode(*ino_h)->extents.Lookup(0)->phys_block, before_h);
+}
+
+TEST_F(WineFsTest, HybridOffMeansCowEverywhere) {
+  winefs::WineFsOptions options;
+  options.hybrid_atomicity = false;
+  Recreate(options);
+  const int fd = CreateFile("/aligned");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 2 * kMiB).ok());
+  auto ino = fs_->InodeOf(ctx_, fd);
+  const auto before = fs_->FindInode(*ino)->extents.Lookup(0)->phys_block;
+  std::vector<uint8_t> buf(16 * kBlockSize, 1);
+  ASSERT_TRUE(fs_->Pwrite(ctx_, fd, buf.data(), buf.size(), 0).ok());
+  EXPECT_NE(fs_->FindInode(*ino)->extents.Lookup(0)->phys_block, before);
+}
+
+TEST_F(WineFsTest, XattrHintUpgradesSmallWrites) {
+  // §3.6: rsync-style copies (small appends) keep alignment when the xattr
+  // alignment hint is set.
+  const int fd = CreateFile("/rsynced");
+  ASSERT_TRUE(fs_->SetXattr(ctx_, "/rsynced", "user.winefs.aligned", "1").ok());
+  std::vector<uint8_t> buf(64 * 1024, 2);
+  for (int i = 0; i < 64; i++) {  // 4 MiB in 64 KiB appends
+    ASSERT_TRUE(fs_->Append(ctx_, fd, buf.data(), buf.size()).ok());
+  }
+  auto ino = fs_->InodeOf(ctx_, fd);
+  const fscore::Inode* inode = fs_->FindInode(*ino);
+  for (uint64_t chunk = 0; chunk < 2; chunk++) {
+    auto m = inode->extents.Lookup(chunk * common::kBlocksPerHugepage);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(common::IsAligned(m->phys_block, common::kBlocksPerHugepage));
+    EXPECT_GE(m->contiguous_blocks, common::kBlocksPerHugepage);
+  }
+}
+
+TEST_F(WineFsTest, DirectoryXattrInheritedByNewFiles) {
+  ASSERT_TRUE(fs_->Mkdir(ctx_, "/aligned_dir").ok());
+  ASSERT_TRUE(fs_->SetXattr(ctx_, "/aligned_dir", "user.winefs.aligned", "1").ok());
+  const int fd = CreateFile("/aligned_dir/child");
+  std::vector<uint8_t> buf(4096, 3);
+  ASSERT_TRUE(fs_->Append(ctx_, fd, buf.data(), buf.size()).ok());
+  auto ino = fs_->InodeOf(ctx_, fd);
+  const fscore::Inode* inode = fs_->FindInode(*ino);
+  EXPECT_TRUE(inode->aligned_hint);
+  auto m = inode->extents.Lookup(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(common::IsAligned(m->phys_block, common::kBlocksPerHugepage));
+}
+
+TEST_F(WineFsTest, ReactiveRewriteRestoresHugepages) {
+  // Build a fragmented 4 MiB file via tiny appends (no hint).
+  const int fd = CreateFile("/frag");
+  std::vector<uint8_t> buf(32 * 1024);
+  for (size_t i = 0; i < buf.size(); i++) {
+    buf[i] = static_cast<uint8_t>(i);
+  }
+  for (int i = 0; i < 128; i++) {
+    ASSERT_TRUE(fs_->Append(ctx_, fd, buf.data(), buf.size()).ok());
+  }
+  EXPECT_TRUE(fs_->NeedsRewrite("/frag"));
+  ASSERT_TRUE(fs_->ReactiveRewrite(ctx_, "/frag").ok());
+  EXPECT_FALSE(fs_->NeedsRewrite("/frag"));
+  // Contents intact.
+  std::vector<uint8_t> out(buf.size());
+  ASSERT_TRUE(fs_->Pread(ctx_, fd, out.data(), out.size(), 127 * buf.size()).ok());
+  EXPECT_EQ(out, buf);
+  // And the layout is hugepage-capable now.
+  auto ino = fs_->InodeOf(ctx_, fd);
+  auto m = fs_->FindInode(*ino)->extents.Lookup(0);
+  EXPECT_TRUE(common::IsAligned(m->phys_block, common::kBlocksPerHugepage));
+}
+
+TEST_F(WineFsTest, RewriteSkipsHealthyFiles) {
+  const int fd = CreateFile("/healthy");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 4 * kMiB).ok());
+  EXPECT_FALSE(fs_->NeedsRewrite("/healthy"));
+  EXPECT_TRUE(fs_->ReactiveRewrite(ctx_, "/healthy").ok());
+}
+
+TEST_F(WineFsTest, AblationNonAlignedAllocatorLosesHugepages) {
+  winefs::WineFsOptions options;
+  options.alignment_aware = false;
+  Recreate(options);
+  const int fd = CreateFile("/big");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 8 * kMiB).ok());
+  EXPECT_EQ(fs_->FreeAlignedExtents(), 0u);  // no aligned pool at all
+}
+
+TEST_F(WineFsTest, RecoveryAfterCleanUnmountPreservesState) {
+  const int fd = CreateFile("/data");
+  std::vector<uint8_t> buf(300000, 0x42);
+  ASSERT_TRUE(fs_->Pwrite(ctx_, fd, buf.data(), buf.size(), 0).ok());
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  ASSERT_TRUE(fs_->Mount(ctx_).ok());
+  EXPECT_GT(fs_->last_mount_ns(), 0u);
+  auto fd2 = fs_->Open(ctx_, "/data", vfs::OpenFlags::ReadOnly());
+  std::vector<uint8_t> out(buf.size());
+  ASSERT_TRUE(fs_->Pread(ctx_, *fd2, out.data(), out.size(), 0).ok());
+  EXPECT_EQ(out, buf);
+}
+
+TEST_F(WineFsTest, RecoveryTimeScalesWithFileCountNotData) {
+  // §5.2: "recovery time depends on the number of files, not the total
+  // amount of data".
+  const int fd = CreateFile("/huge");
+  ASSERT_TRUE(fs_->Fallocate(ctx_, fd, 0, 200 * kMiB).ok());
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  ASSERT_TRUE(fs_->Mount(ctx_).ok());
+  const uint64_t one_big_file_ns = fs_->last_mount_ns();
+
+  Recreate(winefs::WineFsOptions{});
+  for (int i = 0; i < 2000; i++) {
+    const int f = CreateFile("/f" + std::to_string(i));
+    ASSERT_TRUE(fs_->Fallocate(ctx_, f, 0, 4096).ok());
+    ASSERT_TRUE(fs_->Close(ctx_, f).ok());
+  }
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  ASSERT_TRUE(fs_->Mount(ctx_).ok());
+  EXPECT_GT(fs_->last_mount_ns(), one_big_file_ns);
+}
+
+TEST_F(WineFsTest, NumaHomeNodePolicyKeepsWritesLocal) {
+  winefs::WineFsOptions options;
+  options.numa_aware = true;
+  options.base.num_cpus = 4;
+  dev_ = std::make_unique<pmem::PmemDevice>(512 * kMiB, pmem::CostModel{}, /*numa_nodes=*/2);
+  fs_ = std::make_unique<winefs::WineFs>(dev_.get(), options);
+  ASSERT_TRUE(fs_->Mkfs(ctx_).ok());
+
+  ExecContext proc(0);
+  proc.pid = 7;
+  std::vector<uint8_t> buf(1 * kMiB, 1);
+  for (int i = 0; i < 8; i++) {
+    auto fd = fs_->Open(proc, "/n" + std::to_string(i), vfs::OpenFlags::Create());
+    ASSERT_TRUE(fd.ok());
+    // Rotate the CPU the thread runs on: writes must still route to the
+    // process's home node.
+    proc.cpu = i % 4;
+    ASSERT_TRUE(fs_->Pwrite(proc, *fd, buf.data(), buf.size(), 0).ok());
+  }
+  EXPECT_GT(fs_->numa_local_allocs(), 0u);
+  EXPECT_EQ(fs_->numa_remote_allocs(), 0u);
+}
+
+TEST_F(WineFsTest, PerCpuJournalsOffStillCorrect) {
+  winefs::WineFsOptions options;
+  options.per_cpu_journals = false;
+  Recreate(options);
+  const int fd = CreateFile("/x");
+  std::vector<uint8_t> buf(100000, 5);
+  ASSERT_TRUE(fs_->Pwrite(ctx_, fd, buf.data(), buf.size(), 0).ok());
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  ASSERT_TRUE(fs_->Mount(ctx_).ok());
+  auto st = fs_->Stat(ctx_, "/x");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, buf.size());
+}
+
+}  // namespace
