@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_defrag_interference.dir/disc_defrag_interference.cc.o"
+  "CMakeFiles/disc_defrag_interference.dir/disc_defrag_interference.cc.o.d"
+  "disc_defrag_interference"
+  "disc_defrag_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_defrag_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

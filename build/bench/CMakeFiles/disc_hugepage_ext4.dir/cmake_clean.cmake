@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_hugepage_ext4.dir/disc_hugepage_ext4.cc.o"
+  "CMakeFiles/disc_hugepage_ext4.dir/disc_hugepage_ext4.cc.o.d"
+  "disc_hugepage_ext4"
+  "disc_hugepage_ext4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_hugepage_ext4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

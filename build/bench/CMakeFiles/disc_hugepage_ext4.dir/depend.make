@@ -1,0 +1,2 @@
+# Empty dependencies file for disc_hugepage_ext4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_aging_bandwidth.dir/fig01_aging_bandwidth.cc.o"
+  "CMakeFiles/fig01_aging_bandwidth.dir/fig01_aging_bandwidth.cc.o.d"
+  "fig01_aging_bandwidth"
+  "fig01_aging_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_aging_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

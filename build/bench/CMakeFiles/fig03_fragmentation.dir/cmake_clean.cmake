@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fragmentation.dir/fig03_fragmentation.cc.o"
+  "CMakeFiles/fig03_fragmentation.dir/fig03_fragmentation.cc.o.d"
+  "fig03_fragmentation"
+  "fig03_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tlb_cdf.dir/fig04_tlb_cdf.cc.o"
+  "CMakeFiles/fig04_tlb_cdf.dir/fig04_tlb_cdf.cc.o.d"
+  "fig04_tlb_cdf"
+  "fig04_tlb_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tlb_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

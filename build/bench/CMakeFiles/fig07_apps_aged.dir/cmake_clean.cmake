@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_apps_aged.dir/fig07_apps_aged.cc.o"
+  "CMakeFiles/fig07_apps_aged.dir/fig07_apps_aged.cc.o.d"
+  "fig07_apps_aged"
+  "fig07_apps_aged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_apps_aged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_part_cdf.dir/fig08_part_cdf.cc.o"
+  "CMakeFiles/fig08_part_cdf.dir/fig08_part_cdf.cc.o.d"
+  "fig08_part_cdf"
+  "fig08_part_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_part_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_syscall_apps.dir/fig09_syscall_apps.cc.o"
+  "CMakeFiles/fig09_syscall_apps.dir/fig09_syscall_apps.cc.o.d"
+  "fig09_syscall_apps"
+  "fig09_syscall_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_syscall_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_policy.dir/numa_policy.cc.o"
+  "CMakeFiles/numa_policy.dir/numa_policy.cc.o.d"
+  "numa_policy"
+  "numa_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

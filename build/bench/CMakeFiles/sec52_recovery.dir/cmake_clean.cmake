@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_recovery.dir/sec52_recovery.cc.o"
+  "CMakeFiles/sec52_recovery.dir/sec52_recovery.cc.o.d"
+  "sec52_recovery"
+  "sec52_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

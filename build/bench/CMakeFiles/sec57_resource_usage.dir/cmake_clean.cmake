@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec57_resource_usage.dir/sec57_resource_usage.cc.o"
+  "CMakeFiles/sec57_resource_usage.dir/sec57_resource_usage.cc.o.d"
+  "sec57_resource_usage"
+  "sec57_resource_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec57_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

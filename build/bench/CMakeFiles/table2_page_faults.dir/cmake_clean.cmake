@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_page_faults.dir/table2_page_faults.cc.o"
+  "CMakeFiles/table2_page_faults.dir/table2_page_faults.cc.o.d"
+  "table2_page_faults"
+  "table2_page_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_page_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

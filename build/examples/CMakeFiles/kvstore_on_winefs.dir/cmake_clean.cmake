@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_on_winefs.dir/kvstore_on_winefs.cpp.o"
+  "CMakeFiles/kvstore_on_winefs.dir/kvstore_on_winefs.cpp.o.d"
+  "kvstore_on_winefs"
+  "kvstore_on_winefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_on_winefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winefs_shell.dir/winefs_shell.cpp.o"
+  "CMakeFiles/winefs_shell.dir/winefs_shell.cpp.o.d"
+  "winefs_shell"
+  "winefs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winefs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

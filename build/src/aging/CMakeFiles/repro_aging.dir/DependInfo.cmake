@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aging/geriatrix.cc" "src/aging/CMakeFiles/repro_aging.dir/geriatrix.cc.o" "gcc" "src/aging/CMakeFiles/repro_aging.dir/geriatrix.cc.o.d"
+  "/root/repo/src/aging/profiles.cc" "src/aging/CMakeFiles/repro_aging.dir/profiles.cc.o" "gcc" "src/aging/CMakeFiles/repro_aging.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/repro_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_aging.dir/geriatrix.cc.o"
+  "CMakeFiles/repro_aging.dir/geriatrix.cc.o.d"
+  "CMakeFiles/repro_aging.dir/profiles.cc.o"
+  "CMakeFiles/repro_aging.dir/profiles.cc.o.d"
+  "librepro_aging.a"
+  "librepro_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_common.dir/histogram.cc.o"
+  "CMakeFiles/repro_common.dir/histogram.cc.o.d"
+  "CMakeFiles/repro_common.dir/rng.cc.o"
+  "CMakeFiles/repro_common.dir/rng.cc.o.d"
+  "CMakeFiles/repro_common.dir/status.cc.o"
+  "CMakeFiles/repro_common.dir/status.cc.o.d"
+  "librepro_common.a"
+  "librepro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_crashmk.dir/explorer.cc.o"
+  "CMakeFiles/repro_crashmk.dir/explorer.cc.o.d"
+  "CMakeFiles/repro_crashmk.dir/oracle.cc.o"
+  "CMakeFiles/repro_crashmk.dir/oracle.cc.o.d"
+  "librepro_crashmk.a"
+  "librepro_crashmk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_crashmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ext4dax.dir/ext4dax/ext4dax.cc.o"
+  "CMakeFiles/repro_ext4dax.dir/ext4dax/ext4dax.cc.o.d"
+  "librepro_ext4dax.a"
+  "librepro_ext4dax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ext4dax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fscore/extent.cc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/extent.cc.o" "gcc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/extent.cc.o.d"
+  "/root/repo/src/fs/fscore/free_space_map.cc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/free_space_map.cc.o" "gcc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/free_space_map.cc.o.d"
+  "/root/repo/src/fs/fscore/fsck.cc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/fsck.cc.o" "gcc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/fsck.cc.o.d"
+  "/root/repo/src/fs/fscore/generic_fs.cc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/generic_fs.cc.o" "gcc" "src/fs/CMakeFiles/repro_fscore.dir/fscore/generic_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/repro_vmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

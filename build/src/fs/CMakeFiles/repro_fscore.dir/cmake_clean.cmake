@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fscore.dir/fscore/extent.cc.o"
+  "CMakeFiles/repro_fscore.dir/fscore/extent.cc.o.d"
+  "CMakeFiles/repro_fscore.dir/fscore/free_space_map.cc.o"
+  "CMakeFiles/repro_fscore.dir/fscore/free_space_map.cc.o.d"
+  "CMakeFiles/repro_fscore.dir/fscore/fsck.cc.o"
+  "CMakeFiles/repro_fscore.dir/fscore/fsck.cc.o.d"
+  "CMakeFiles/repro_fscore.dir/fscore/generic_fs.cc.o"
+  "CMakeFiles/repro_fscore.dir/fscore/generic_fs.cc.o.d"
+  "librepro_fscore.a"
+  "librepro_fscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nova.dir/nova/nova.cc.o"
+  "CMakeFiles/repro_nova.dir/nova/nova.cc.o.d"
+  "librepro_nova.a"
+  "librepro_nova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/pmfs/pmfs.cc" "src/fs/CMakeFiles/repro_pmfs.dir/pmfs/pmfs.cc.o" "gcc" "src/fs/CMakeFiles/repro_pmfs.dir/pmfs/pmfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/repro_fscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/repro_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pmfs.dir/pmfs/pmfs.cc.o"
+  "CMakeFiles/repro_pmfs.dir/pmfs/pmfs.cc.o.d"
+  "librepro_pmfs.a"
+  "librepro_pmfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pmfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

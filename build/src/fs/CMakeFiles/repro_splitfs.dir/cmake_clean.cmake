@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_splitfs.dir/splitfs/splitfs.cc.o"
+  "CMakeFiles/repro_splitfs.dir/splitfs/splitfs.cc.o.d"
+  "librepro_splitfs.a"
+  "librepro_splitfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_splitfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

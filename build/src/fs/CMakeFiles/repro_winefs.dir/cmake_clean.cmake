@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_winefs.dir/winefs/winefs.cc.o"
+  "CMakeFiles/repro_winefs.dir/winefs/winefs.cc.o.d"
+  "librepro_winefs.a"
+  "librepro_winefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_winefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pmem.dir/device.cc.o"
+  "CMakeFiles/repro_pmem.dir/device.cc.o.d"
+  "librepro_pmem.a"
+  "librepro_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmem/llc_cache.cc" "src/vmem/CMakeFiles/repro_vmem.dir/llc_cache.cc.o" "gcc" "src/vmem/CMakeFiles/repro_vmem.dir/llc_cache.cc.o.d"
+  "/root/repo/src/vmem/mmap_engine.cc" "src/vmem/CMakeFiles/repro_vmem.dir/mmap_engine.cc.o" "gcc" "src/vmem/CMakeFiles/repro_vmem.dir/mmap_engine.cc.o.d"
+  "/root/repo/src/vmem/page_table.cc" "src/vmem/CMakeFiles/repro_vmem.dir/page_table.cc.o" "gcc" "src/vmem/CMakeFiles/repro_vmem.dir/page_table.cc.o.d"
+  "/root/repo/src/vmem/tlb.cc" "src/vmem/CMakeFiles/repro_vmem.dir/tlb.cc.o" "gcc" "src/vmem/CMakeFiles/repro_vmem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

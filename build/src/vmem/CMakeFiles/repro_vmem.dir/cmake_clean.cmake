@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_vmem.dir/llc_cache.cc.o"
+  "CMakeFiles/repro_vmem.dir/llc_cache.cc.o.d"
+  "CMakeFiles/repro_vmem.dir/mmap_engine.cc.o"
+  "CMakeFiles/repro_vmem.dir/mmap_engine.cc.o.d"
+  "CMakeFiles/repro_vmem.dir/page_table.cc.o"
+  "CMakeFiles/repro_vmem.dir/page_table.cc.o.d"
+  "CMakeFiles/repro_vmem.dir/tlb.cc.o"
+  "CMakeFiles/repro_vmem.dir/tlb.cc.o.d"
+  "librepro_vmem.a"
+  "librepro_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

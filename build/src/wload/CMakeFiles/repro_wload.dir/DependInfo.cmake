@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wload/filebench.cc" "src/wload/CMakeFiles/repro_wload.dir/filebench.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/filebench.cc.o.d"
+  "/root/repo/src/wload/mmap_btree.cc" "src/wload/CMakeFiles/repro_wload.dir/mmap_btree.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/mmap_btree.cc.o.d"
+  "/root/repo/src/wload/mmap_lsm.cc" "src/wload/CMakeFiles/repro_wload.dir/mmap_lsm.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/mmap_lsm.cc.o.d"
+  "/root/repo/src/wload/oltp.cc" "src/wload/CMakeFiles/repro_wload.dir/oltp.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/oltp.cc.o.d"
+  "/root/repo/src/wload/part.cc" "src/wload/CMakeFiles/repro_wload.dir/part.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/part.cc.o.d"
+  "/root/repo/src/wload/pool_kv.cc" "src/wload/CMakeFiles/repro_wload.dir/pool_kv.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/pool_kv.cc.o.d"
+  "/root/repo/src/wload/wtiger.cc" "src/wload/CMakeFiles/repro_wload.dir/wtiger.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/wtiger.cc.o.d"
+  "/root/repo/src/wload/ycsb.cc" "src/wload/CMakeFiles/repro_wload.dir/ycsb.cc.o" "gcc" "src/wload/CMakeFiles/repro_wload.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/repro_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_wload.dir/filebench.cc.o"
+  "CMakeFiles/repro_wload.dir/filebench.cc.o.d"
+  "CMakeFiles/repro_wload.dir/mmap_btree.cc.o"
+  "CMakeFiles/repro_wload.dir/mmap_btree.cc.o.d"
+  "CMakeFiles/repro_wload.dir/mmap_lsm.cc.o"
+  "CMakeFiles/repro_wload.dir/mmap_lsm.cc.o.d"
+  "CMakeFiles/repro_wload.dir/oltp.cc.o"
+  "CMakeFiles/repro_wload.dir/oltp.cc.o.d"
+  "CMakeFiles/repro_wload.dir/part.cc.o"
+  "CMakeFiles/repro_wload.dir/part.cc.o.d"
+  "CMakeFiles/repro_wload.dir/pool_kv.cc.o"
+  "CMakeFiles/repro_wload.dir/pool_kv.cc.o.d"
+  "CMakeFiles/repro_wload.dir/wtiger.cc.o"
+  "CMakeFiles/repro_wload.dir/wtiger.cc.o.d"
+  "CMakeFiles/repro_wload.dir/ycsb.cc.o"
+  "CMakeFiles/repro_wload.dir/ycsb.cc.o.d"
+  "librepro_wload.a"
+  "librepro_wload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_wload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashmk_unit_test.dir/crashmk_unit_test.cc.o"
+  "CMakeFiles/crashmk_unit_test.dir/crashmk_unit_test.cc.o.d"
+  "crashmk_unit_test"
+  "crashmk_unit_test.pdb"
+  "crashmk_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashmk_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fscore_test.dir/fscore_test.cc.o"
+  "CMakeFiles/fscore_test.dir/fscore_test.cc.o.d"
+  "fscore_test"
+  "fscore_test.pdb"
+  "fscore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fscore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

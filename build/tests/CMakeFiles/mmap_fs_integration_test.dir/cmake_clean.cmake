@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_fs_integration_test.dir/mmap_fs_integration_test.cc.o"
+  "CMakeFiles/mmap_fs_integration_test.dir/mmap_fs_integration_test.cc.o.d"
+  "mmap_fs_integration_test"
+  "mmap_fs_integration_test.pdb"
+  "mmap_fs_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_fs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/splitfs_test.cc" "tests/CMakeFiles/splitfs_test.dir/splitfs_test.cc.o" "gcc" "tests/CMakeFiles/splitfs_test.dir/splitfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/repro_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/repro_fscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/repro_winefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/repro_ext4dax.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/repro_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/repro_nova.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/repro_splitfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/repro_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/wload/CMakeFiles/repro_wload.dir/DependInfo.cmake"
+  "/root/repo/build/src/crashmk/CMakeFiles/repro_crashmk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

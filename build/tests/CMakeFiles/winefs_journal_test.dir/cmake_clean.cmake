@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winefs_journal_test.dir/winefs_journal_test.cc.o"
+  "CMakeFiles/winefs_journal_test.dir/winefs_journal_test.cc.o.d"
+  "winefs_journal_test"
+  "winefs_journal_test.pdb"
+  "winefs_journal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winefs_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

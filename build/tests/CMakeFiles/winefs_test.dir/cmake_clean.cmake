@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winefs_test.dir/winefs_test.cc.o"
+  "CMakeFiles/winefs_test.dir/winefs_test.cc.o.d"
+  "winefs_test"
+  "winefs_test.pdb"
+  "winefs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

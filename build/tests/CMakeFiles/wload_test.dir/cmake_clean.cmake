@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wload_test.dir/wload_test.cc.o"
+  "CMakeFiles/wload_test.dir/wload_test.cc.o.d"
+  "wload_test"
+  "wload_test.pdb"
+  "wload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

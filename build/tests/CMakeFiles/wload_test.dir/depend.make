@@ -1,0 +1,2 @@
+# Empty dependencies file for wload_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_test[1]_include.cmake")
+include("/root/repo/build/tests/vmem_test[1]_include.cmake")
+include("/root/repo/build/tests/fscore_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_posix_test[1]_include.cmake")
+include("/root/repo/build/tests/winefs_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/wload_test[1]_include.cmake")
+include("/root/repo/build/tests/aging_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/mmap_fs_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/crashmk_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/splitfs_test[1]_include.cmake")
+include("/root/repo/build/tests/winefs_journal_test[1]_include.cmake")
