@@ -36,6 +36,7 @@ struct VariantResult {
   double scal_kops = 0;
   double overwrite_mbps = 0;
   double huge_after_overwrites = 0;
+  common::PerfCounters counters;
 };
 
 VariantResult Measure(bool alignment_aware, bool per_cpu_journals, bool hybrid) {
@@ -64,6 +65,7 @@ VariantResult Measure(bool alignment_aware, bool per_cpu_journals, bool hybrid) 
     }
     out.aged_mmap_gbps = 64.0 * kMiB /
                          (static_cast<double>(ctx.clock.NowNs() - t0) / 1e9) / 1e9;
+    out.counters.Add(ctx.counters);
   }
   // (2) 16-thread create/append/fsync/unlink scalability.
   {
@@ -87,6 +89,7 @@ VariantResult Measure(bool alignment_aware, bool per_cpu_journals, bool hybrid) 
       return fs->Unlink(ctx, path).ok();
     });
     out.scal_kops = result.OpsPerSecond() / 1000.0;
+    out.counters.Add(result.counters);
   }
   // (3) overwrite throughput + hugepage retention on an aligned file.
   {
@@ -110,6 +113,7 @@ VariantResult Measure(bool alignment_aware, bool per_cpu_journals, bool hybrid) 
     auto map = engine.Mmap(fs.get(), *ino, 32 * kMiB, true);
     (void)map->Prefault(ctx, true);
     out.huge_after_overwrites = map->HugeMappedFraction() * 100;
+    out.counters.Add(ctx.counters);
   }
   return out;
 }
@@ -120,21 +124,31 @@ int main() {
   benchutil::Banner("ablation_design_choices: WineFS design decisions in isolation",
                     "§3.2 design choices / §4 discussion");
   Row({"variant", "agedmmapGBps", "scal_Kops", "ow_MB/s", "huge_after_ow%"}, 16);
+  obs::BenchReport report("ablation_design_choices");
+  report.AddConfig("cpus", 16.0);
   struct Variant {
     const char* name;
+    const char* key;  // fs id in the JSON report
     bool align, per_cpu, hybrid;
   };
-  for (const Variant& v : {Variant{"full winefs", true, true, true},
-                           Variant{"no align-aware", false, true, true},
-                           Variant{"single journal", true, false, true},
-                           Variant{"no hybrid (CoW)", true, true, false}}) {
+  for (const Variant& v :
+       {Variant{"full winefs", "winefs-full", true, true, true},
+        Variant{"no align-aware", "winefs-no-align", false, true, true},
+        Variant{"single journal", "winefs-single-journal", true, false, true},
+        Variant{"no hybrid (CoW)", "winefs-cow-only", true, true, false}}) {
     const VariantResult r = Measure(v.align, v.per_cpu, v.hybrid);
     Row({v.name, Fmt(r.aged_mmap_gbps, 2), Fmt(r.scal_kops, 0), Fmt(r.overwrite_mbps, 0),
          Fmt(r.huge_after_overwrites, 0)},
         16);
+    report.AddMetric(v.key, "aged_mmap_gbps", r.aged_mmap_gbps);
+    report.AddMetric(v.key, "scal_kops", r.scal_kops);
+    report.AddMetric(v.key, "overwrite_mbps", r.overwrite_mbps);
+    report.AddMetric(v.key, "huge_after_overwrites_pct", r.huge_after_overwrites);
+    report.SetCounters(v.key, r.counters);
   }
   std::printf("\nexpected: dropping alignment-awareness kills aged mmap bandwidth; a single\n"
               "journal caps 16-thread scalability; CoW-everything loses hugepages after\n"
               "random overwrites of an aligned file (hybrid keeps them via data journaling).\n");
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -1,0 +1,75 @@
+// Standalone validator for BENCH_<name>.json files: reads the file named by
+// argv[1], checks it against bench schema v1, and (with --require-spans)
+// additionally requires every result row to carry nonzero fault_handling and
+// data_copy span totals — the trace-derived Figure 2 breakdown. The CTest
+// bench_json_schema target runs a real bench and then this binary, so schema
+// rot in the reporter fails the suite end-to-end.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/report.h"
+
+namespace {
+
+int Fail(const char* path, const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n", path, why.c_str());
+  return 1;
+}
+
+// Beyond the schema: every result row must have spans_ns with nonzero
+// fault_handling and data_copy totals (set for benches whose headline numbers
+// are trace-derived, like fig02).
+int CheckSpans(const char* path, const obs::JsonValue& root) {
+  const obs::JsonValue* results = root.Find("results");
+  for (const obs::JsonValue& row : results->array) {
+    const obs::JsonValue* fs = row.Find("fs");
+    const obs::JsonValue* spans = row.Find("spans_ns");
+    if (spans == nullptr || !spans->is_object()) {
+      return Fail(path, "result row '" + fs->string_value + "' lacks spans_ns");
+    }
+    for (const char* cat : {"fault_handling", "data_copy"}) {
+      const obs::JsonValue* ns = spans->Find(cat);
+      if (ns == nullptr || !ns->is_number() || ns->number_value <= 0) {
+        return Fail(path, "result row '" + fs->string_value + "' has no " +
+                              std::string(cat) + " span time");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json [--require-spans]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    return Fail(argv[1], "cannot open");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const common::Status status = obs::ValidateBenchReportJson(text);
+  if (!status.ok()) {
+    return Fail(argv[1], "schema violation: " + std::string(status.message()));
+  }
+  if (argc > 2 && std::strcmp(argv[2], "--require-spans") == 0) {
+    auto root = obs::JsonValue::Parse(text);
+    if (!root.ok()) {
+      return Fail(argv[1], "parse failed after validation");
+    }
+    if (int rc = CheckSpans(argv[1], *root); rc != 0) {
+      return rc;
+    }
+  }
+  std::printf("%s: ok\n", argv[1]);
+  return 0;
+}

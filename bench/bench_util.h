@@ -13,6 +13,9 @@
 #include "src/aging/profiles.h"
 #include "src/common/units.h"
 #include "src/fs/registry.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/vmem/mmap_engine.h"
 
 namespace benchutil {
@@ -77,6 +80,21 @@ inline std::string FmtU(uint64_t value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
   return buf;
+}
+
+// ---- structured results -----------------------------------------------------
+
+// Validates and writes BENCH_<name>.json into $BENCH_OUT_DIR (default: cwd).
+// Exits non-zero on a schema violation or write failure so the JSON-check
+// CTest target catches a rotted reporter.
+inline void EmitReport(const obs::BenchReport& report) {
+  auto written = report.WriteFile();
+  if (!written.ok()) {
+    std::fprintf(stderr, "BENCH_%s.json: emit failed: %s\n", report.name().c_str(),
+                 std::string(written.status().message()).c_str());
+    std::exit(1);
+  }
+  std::printf("\nresults: %s\n", written->c_str());
 }
 
 }  // namespace benchutil

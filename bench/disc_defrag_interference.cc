@@ -17,9 +17,14 @@ namespace {
 constexpr uint64_t kForegroundBytes = 64 * kMiB;
 constexpr uint64_t kFragFileBytes = 64 * kMiB;
 
+struct ForegroundResult {
+  double mbps = 0;
+  common::PerfCounters counters;
+};
+
 // Shared PM bandwidth: each MiB transferred holds the device for its modeled
 // duration, so concurrent streams queue behind each other.
-double RunForeground(bool with_defrag) {
+ForegroundResult RunForeground(bool with_defrag) {
   auto bed = MakeBed("winefs", 1024 * kMiB, 8);
   auto* wfs = dynamic_cast<winefs::WineFs*>(bed.fs.get());
   ExecContext setup;
@@ -66,7 +71,12 @@ double RunForeground(bool with_defrag) {
     pm_bandwidth.Acquire(fg.clock, cost.SeqReadBytes(kMiB));
   }
   const double secs = static_cast<double>(fg.clock.NowNs() - t0) / 1e9;
-  return static_cast<double>(kForegroundBytes) / secs / (1024 * 1024);
+  ForegroundResult out;
+  out.mbps = static_cast<double>(kForegroundBytes) / secs / (1024 * 1024);
+  out.counters.Add(setup.counters);
+  out.counters.Add(bg.counters);
+  out.counters.Add(fg.counters);
+  return out;
 }
 
 }  // namespace
@@ -74,12 +84,21 @@ double RunForeground(bool with_defrag) {
 int main() {
   benchutil::Banner("disc_defrag_interference: background rewrite vs foreground reads",
                     "§4 (reactive defragmentation costs 25-40% foreground slowdown)");
-  const double alone = RunForeground(false);
-  const double contended = RunForeground(true);
+  const ForegroundResult alone = RunForeground(false);
+  const ForegroundResult contended = RunForeground(true);
   Row({"scenario", "fg_MB/s"});
-  Row({"no defrag", Fmt(alone, 0)});
-  Row({"defrag running", Fmt(contended, 0)});
-  std::printf("\nforeground slowdown: %.0f%% (paper: 25-40%%)\n",
-              100.0 * (1.0 - contended / alone));
+  Row({"no defrag", Fmt(alone.mbps, 0)});
+  Row({"defrag running", Fmt(contended.mbps, 0)});
+  const double slowdown_pct = 100.0 * (1.0 - contended.mbps / alone.mbps);
+  std::printf("\nforeground slowdown: %.0f%% (paper: 25-40%%)\n", slowdown_pct);
+
+  obs::BenchReport report("disc_defrag_interference");
+  report.AddConfig("foreground_mib", static_cast<double>(kForegroundBytes / kMiB));
+  report.AddConfig("frag_file_mib", static_cast<double>(kFragFileBytes / kMiB));
+  report.AddMetric("winefs", "fg_mbps_alone", alone.mbps);
+  report.AddMetric("winefs", "fg_mbps_defrag_running", contended.mbps);
+  report.AddMetric("winefs", "fg_slowdown_pct", slowdown_pct);
+  report.SetCounters("winefs", contended.counters);
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -18,6 +18,7 @@ namespace {
 struct Outcome {
   double huge_fraction = 0;
   double alloc_ms = 0;  // simulated time inside 64 x 1 MiB fallocate calls
+  common::PerfCounters counters;
 };
 
 Outcome Measure(const std::string& kind, bool aged) {
@@ -62,6 +63,7 @@ Outcome Measure(const std::string& kind, bool aged) {
   auto map = engine.Mmap(fs.get(), *ino, 64 * kMiB, true);
   (void)map->Prefault(ctx, true);
   out.huge_fraction = map->HugeMappedFraction();
+  out.counters = ctx.counters;
   return out;
 }
 
@@ -71,12 +73,20 @@ int main() {
   benchutil::Banner("disc_hugepage_ext4: retrofitting hugepage-awareness onto ext4-DAX",
                     "§4 'Thoughts on adding hugepage-friendliness to existing file systems'");
   Row({"variant", "state", "hugepage%", "alloc_ms"}, 16);
+  obs::BenchReport report("disc_hugepage_ext4");
+  report.AddConfig("device_mib", 1024.0);
+  report.AddConfig("pool_mib", 64.0);
+  report.AddConfig("aged_utilization", 0.70);
   for (const std::string kind : {"ext4-dax", "ext4-hugepage", "winefs"}) {
     for (const bool aged : {false, true}) {
       const Outcome out = Measure(kind, aged);
       Row({kind, aged ? "aged-70%" : "clean", Fmt(out.huge_fraction * 100, 1),
            Fmt(out.alloc_ms, 2)},
           16);
+      const std::string prefix = aged ? "aged_" : "clean_";
+      report.AddMetric(kind, prefix + "huge_pct", out.huge_fraction * 100);
+      report.AddMetric(kind, prefix + "alloc_ms", out.alloc_ms);
+      report.SetCounters(kind, out.counters);
     }
   }
   std::printf("\nexpected shape: the hunting variant matches WineFS's hugepage%% when\n"
@@ -84,5 +94,6 @@ int main() {
               "free map and still cannot keep up — WineFS's constant-time aligned\n"
               "pool gets the same result without the search (the paper's argument\n"
               "for designing hugepage-awareness in, not bolting it on).\n");
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -61,7 +61,7 @@ Sample MeasureMmapWriteBandwidth(benchutil::TestBed& bed) {
   return sample;
 }
 
-void RunSweep(bool aged) {
+void RunSweep(bool aged, obs::BenchReport& report) {
   std::printf("\n--- %s file systems ---\n", aged ? "(b) aged" : "(a) new");
   Row({"fs", "util%", "GB/s", "hugepage%"});
   for (const std::string fs_name : {"ext4-dax", "nova", "winefs"}) {
@@ -81,7 +81,12 @@ void RunSweep(bool aged) {
       }
       const Sample sample = MeasureMmapWriteBandwidth(bed);
       Row({fs_name, Fmt(util * 100, 0), Fmt(sample.gbps), Fmt(sample.huge_fraction * 100, 1)});
+      const std::string key =
+          std::string(aged ? "aged" : "new") + "_util" + Fmt(util * 100, 0);
+      report.AddMetric(fs_name, key + "_gbps", sample.gbps);
+      report.AddMetric(fs_name, key + "_huge_pct", sample.huge_fraction * 100);
     }
+    report.SetCounters(fs_name, ctx.counters);
   }
 }
 
@@ -92,9 +97,14 @@ int main() {
                     "Figure 1 (a) new and (b) aged file systems");
   std::printf("device=%lu MiB, bench file=%lu MiB, sequential 1 MiB memcpy writes\n",
               kDeviceBytes / kMiB, kBenchFileBytes / kMiB);
-  RunSweep(/*aged=*/false);
-  RunSweep(/*aged=*/true);
+  obs::BenchReport report("fig01_aging_bandwidth");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("bench_file_mib", static_cast<double>(kBenchFileBytes / kMiB));
+  report.AddConfig("utilization_sweep", "0,30,60,90");
+  RunSweep(/*aged=*/false, report);
+  RunSweep(/*aged=*/true, report);
   std::printf("\nexpected shape: all ~equal when new; when aged, ext4-DAX and NOVA drop\n"
               "~2x by 60-90%% utilization while WineFS stays flat (hugepage%% ~100).\n");
+  benchutil::EmitReport(report);
   return 0;
 }

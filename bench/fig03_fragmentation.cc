@@ -13,7 +13,7 @@ using common::kMiB;
 
 namespace {
 
-void Sweep(const std::string& profile_name) {
+void Sweep(const std::string& profile_name, obs::BenchReport& report) {
   std::printf("\n--- aging profile: %s ---\n", profile_name.c_str());
   Row({"fs", "util%", "alignedfree%", "free_2MB_cnt", "largest_MB"});
   for (const std::string fs_name : {"ext4-dax", "nova", "xfs-dax", "winefs"}) {
@@ -30,11 +30,22 @@ void Sweep(const std::string& profile_name) {
         Row({fs_name, Fmt(util * 100, 0), "ENOSPC", "-", "-"});
         break;
       }
-      const auto info = bed.fs->GetFreeSpaceInfo();
+      auto statfs = bed.fs->StatFs(ctx);
+      if (!statfs.ok()) {
+        Row({fs_name, Fmt(util * 100, 0), "statfs failed", "-", "-"});
+        break;
+      }
+      const vfs::FreeSpaceInfo& info = *statfs;
       Row({fs_name, Fmt(info.utilization() * 100, 0),
            Fmt(info.AlignedFreeFraction() * 100, 1), benchutil::FmtU(info.free_aligned_extents),
            Fmt(static_cast<double>(info.largest_free_extent_blocks) * 4096 / kMiB, 1)});
+      const std::string key =
+          profile_name + "_util" + Fmt(util * 100, 0);
+      report.AddMetric(fs_name, key + "_aligned_free_pct", info.AlignedFreeFraction() * 100);
+      report.AddMetric(fs_name, key + "_free_2mib_extents",
+                       static_cast<double>(info.free_aligned_extents));
     }
+    report.SetCounters(fs_name, ctx.counters);
   }
 }
 
@@ -43,9 +54,14 @@ void Sweep(const std::string& profile_name) {
 int main() {
   benchutil::Banner("fig03_fragmentation: hugepage-capable free space vs utilization",
                     "Figure 3 + §4 'Using different aging profiles'");
-  Sweep("agrawal");
-  Sweep("wang-hpc");
+  obs::BenchReport report("fig03_fragmentation");
+  report.AddConfig("device_mib", 1024.0);
+  report.AddConfig("profiles", "agrawal,wang-hpc");
+  report.AddConfig("utilization_sweep", "10,30,50,70,90");
+  Sweep("agrawal", report);
+  Sweep("wang-hpc", report);
   std::printf("\nexpected shape: NOVA's aligned free space collapses by ~70%% utilization;\n"
               "ext4-DAX decays; xfs-DAX never has aligned space; WineFS stays >90%%.\n");
+  benchutil::EmitReport(report);
   return 0;
 }

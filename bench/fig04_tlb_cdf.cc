@@ -20,7 +20,12 @@ constexpr uint64_t kArrayBytes = 64 * kMiB;
 constexpr uint64_t kHotLines = 80000;
 constexpr uint64_t kReads = 400000;
 
-common::LatencyHistogram MeasureCdf(const std::string& fs_name) {
+struct CdfResult {
+  common::LatencyHistogram hist;
+  common::PerfCounters counters;
+};
+
+CdfResult MeasureCdf(const std::string& fs_name) {
   auto bed = MakeBed(fs_name, 256 * kMiB);
   ExecContext ctx;
   auto fd = bed.fs->Open(ctx, "/array", vfs::OpenFlags::Create());
@@ -35,14 +40,14 @@ common::LatencyHistogram MeasureCdf(const std::string& fs_name) {
   for (auto& line : hot) {
     line = common::RoundDown(rng.NextBelow(kArrayBytes - 64), 64);
   }
-  common::LatencyHistogram hist;
+  CdfResult out;
   uint64_t value;
   ctx.counters.Reset();
   for (uint64_t i = 0; i < kReads; i++) {
     const uint64_t offset = hot[rng.NextBelow(kHotLines)];
     auto latency = map->LoadLine(ctx, offset, &value);
     if (latency.ok() && i >= kHotLines) {  // warmup: first pass populates LLC
-      hist.Record(*latency);
+      out.hist.Record(*latency);
     }
   }
   std::printf("  [%s] faults during reads: %llu, TLB walks: %llu, LLC miss%%: %.1f\n",
@@ -51,7 +56,17 @@ common::LatencyHistogram MeasureCdf(const std::string& fs_name) {
               static_cast<unsigned long long>(ctx.counters.tlb_l2_misses),
               100.0 * static_cast<double>(ctx.counters.llc_misses) /
                   static_cast<double>(ctx.counters.llc_misses + ctx.counters.llc_hits));
-  return hist;
+  out.counters = ctx.counters;
+  return out;
+}
+
+void Report(obs::BenchReport& report, const std::string& fs, const CdfResult& r) {
+  report.AddMetric(fs, "median_ns", static_cast<double>(r.hist.MedianNanos()));
+  report.AddMetric(fs, "p90_ns", static_cast<double>(r.hist.Percentile(90)));
+  report.AddMetric(fs, "p99_ns", static_cast<double>(r.hist.Percentile(99)));
+  report.AddMetric(fs, "mean_ns", r.hist.MeanNanos());
+  report.ForFs(fs).latencies.push_back(obs::SummarizeHistogram("load_line", r.hist));
+  report.SetCounters(fs, r.counters);
 }
 
 }  // namespace
@@ -61,8 +76,8 @@ int main() {
                     "Figure 4 (TLB-miss-induced cache pollution)");
   std::printf("array=%lu MiB, hot set=%lu lines, reads=%lu\n\n", kArrayBytes / kMiB,
               static_cast<unsigned long>(kHotLines), static_cast<unsigned long>(kReads));
-  auto huge = MeasureCdf("winefs");   // aligned extents -> 2 MiB mappings
-  auto base = MeasureCdf("xfs-dax");  // never aligned -> 4 KiB mappings
+  auto [huge, huge_counters] = MeasureCdf("winefs");   // aligned extents -> 2 MiB mappings
+  auto [base, base_counters] = MeasureCdf("xfs-dax");  // never aligned -> 4 KiB mappings
 
   Row({"mapping", "median_ns", "p90_ns", "p99_ns", "mean_ns"});
   Row({"2MB-pages", benchutil::FmtU(huge.MedianNanos()), benchutil::FmtU(huge.Percentile(90)),
@@ -75,5 +90,13 @@ int main() {
   std::printf("\nCDF rows (latency_ns cumulative_fraction)\n-- 2MB pages --\n%s",
               huge.CdfRows().c_str());
   std::printf("-- 4KB pages --\n%s", base.CdfRows().c_str());
+
+  obs::BenchReport report("fig04_tlb_cdf");
+  report.AddConfig("array_mib", static_cast<double>(kArrayBytes / kMiB));
+  report.AddConfig("hot_lines", static_cast<double>(kHotLines));
+  report.AddConfig("reads", static_cast<double>(kReads));
+  Report(report, "winefs", CdfResult{huge, huge_counters});
+  Report(report, "xfs-dax", CdfResult{base, base_counters});
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -40,7 +40,7 @@ Bed4 AgedBed(const std::string& fs_name) {
 }
 
 // (a) mmap: memcpy at 4 KiB granularity over a fresh mmap'd file.
-void MmapRows(const std::string& fs_name) {
+void MmapRows(const std::string& fs_name, obs::BenchReport& report) {
   Bed4 b = AgedBed(fs_name);
   ExecContext& ctx = b.ctx;
   auto fd = b.bed.fs->Open(ctx, "/mmap_bench", vfs::OpenFlags::Create());
@@ -74,11 +74,17 @@ void MmapRows(const std::string& fs_name) {
   const double rr = measure(false, false);
   Row({fs_name, Fmt(sw, 0), Fmt(rw, 0), Fmt(sr, 0), Fmt(rr, 0),
        Fmt(map->HugeMappedFraction() * 100, 0) + "%"});
+  report.AddMetric(fs_name, "mmap_seq_wr_mbps", sw);
+  report.AddMetric(fs_name, "mmap_rand_wr_mbps", rw);
+  report.AddMetric(fs_name, "mmap_seq_rd_mbps", sr);
+  report.AddMetric(fs_name, "mmap_rand_rd_mbps", rr);
+  report.AddMetric(fs_name, "mmap_huge_pct", map->HugeMappedFraction() * 100);
+  report.SetCounters(fs_name, ctx.counters);
 }
 
 // (b)/(c) syscalls: 4 KiB appends to 50% of free space, then 4 KiB
 // reads/overwrites, fsync every 10 ops.
-void SyscallRows(const std::string& fs_name) {
+void SyscallRows(const std::string& fs_name, obs::BenchReport& report) {
   Bed4 b = AgedBed(fs_name);
   ExecContext& ctx = b.ctx;
   auto fd = b.bed.fs->Open(ctx, "/sys_bench", vfs::OpenFlags::Create());
@@ -114,6 +120,11 @@ void SyscallRows(const std::string& fs_name) {
                           rng.NextBelow(file_blocks) * kBlockSize);
   });
   Row({fs_name, Fmt(sw, 0), Fmt(rw, 0), Fmt(sr, 0), Fmt(rr, 0)});
+  report.AddMetric(fs_name, "posix_seq_wr_mbps", sw);
+  report.AddMetric(fs_name, "posix_rand_wr_mbps", rw);
+  report.AddMetric(fs_name, "posix_seq_rd_mbps", sr);
+  report.AddMetric(fs_name, "posix_rand_rd_mbps", rr);
+  report.SetCounters(fs_name, ctx.counters);
 }
 
 }  // namespace
@@ -122,26 +133,33 @@ int main() {
   benchutil::Banner("fig06_throughput: aged read/write throughput, mmap + POSIX",
                     "Figure 6 (a) MMAP, (b) POSIX weak, (c) POSIX strong");
   std::printf("aged to %.0f%% (Agrawal churn %.1fx); MB/s\n", kAgeUtil * 100, kAgeChurn);
+  obs::BenchReport report("fig06_throughput");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("aged_utilization", kAgeUtil);
+  report.AddConfig("age_churn", kAgeChurn);
+  report.AddConfig("mmap_file_mib", static_cast<double>(kMmapFileBytes / kMiB));
+  report.AddConfig("syscall_ops", static_cast<double>(kSyscallOps));
 
   std::printf("\n--- (a) MMAP (memcpy through mappings) ---\n");
   Row({"fs", "seq-wr", "rand-wr", "seq-rd", "rand-rd", "huge"});
   for (const std::string fs_name :
        {"winefs", "pmfs", "nova", "xfs-dax", "splitfs", "ext4-dax"}) {
-    MmapRows(fs_name);
+    MmapRows(fs_name, report);
   }
 
   std::printf("\n--- (b) POSIX, metadata consistency (weak) ---\n");
   Row({"fs", "seq-wr", "rand-wr", "seq-rd", "rand-rd"});
   for (const std::string fs_name : fsreg::RelaxedLineup()) {
-    SyscallRows(fs_name);
+    SyscallRows(fs_name, report);
   }
 
   std::printf("\n--- (c) POSIX, data + metadata consistency (strong) ---\n");
   Row({"fs", "seq-wr", "rand-wr", "seq-rd", "rand-rd"});
   for (const std::string fs_name : fsreg::StrictLineup()) {
-    SyscallRows(fs_name);
+    SyscallRows(fs_name, report);
   }
   std::printf("\nexpected shape: (a) WineFS ~2-3x NOVA and ext4-DAX (hugepages); (b)/(c)\n"
               "WineFS equal or better, ext4/xfs appends penalized by JBD2 fsync.\n");
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -41,7 +41,7 @@ AgedBed MakeAged(const std::string& fs_name) {
   return b;
 }
 
-void YcsbRocksDbRows(const std::vector<std::string>& lineup) {
+void YcsbRocksDbRows(const std::vector<std::string>& lineup, obs::BenchReport& report) {
   Row({"fs", "Load", "A", "B", "C", "D", "E", "F", "faults"});
   for (const std::string fs_name : lineup) {
     AgedBed b = MakeAged(fs_name);
@@ -60,17 +60,23 @@ void YcsbRocksDbRows(const std::vector<std::string>& lineup) {
     wload::YcsbDriver driver(&lsm, config);
     std::vector<std::string> cells{fs_name};
     uint64_t faults = 0;
+    common::PerfCounters total;
     for (auto workload : wload::AllYcsbWorkloads()) {
       auto result = driver.Run(workload);
       cells.push_back(Fmt(result.run.OpsPerSecond() / 1000.0, 0));
       faults += result.run.counters.total_page_faults();
+      total.Add(result.run.counters);
+      report.AddMetric(fs_name, "ycsb_" + wload::YcsbName(workload) + "_kops",
+                       result.run.OpsPerSecond() / 1000.0);
     }
     cells.push_back(benchutil::FmtU(faults));
+    report.AddMetric(fs_name, "ycsb_faults", static_cast<double>(faults));
+    report.SetCounters(fs_name, total);
     Row(cells, 10);
   }
 }
 
-void LmdbRows(const std::vector<std::string>& lineup) {
+void LmdbRows(const std::vector<std::string>& lineup, obs::BenchReport& report) {
   Row({"fs", "Kops/s", "faults", "huge-faults"});
   for (const std::string fs_name : lineup) {
     AgedBed b = MakeAged(fs_name);
@@ -97,10 +103,14 @@ void LmdbRows(const std::vector<std::string>& lineup) {
         b.ctx.counters.page_faults_2m - counters0.page_faults_2m;
     Row({fs_name, Fmt(static_cast<double>(keys) / secs / 1000.0, 1), benchutil::FmtU(faults),
          benchutil::FmtU(huge)});
+    report.AddMetric(fs_name, "lmdb_fillseqbatch_kops",
+                     static_cast<double>(keys) / secs / 1000.0);
+    report.AddMetric(fs_name, "lmdb_faults", static_cast<double>(faults));
+    report.AddMetric(fs_name, "lmdb_huge_faults", static_cast<double>(huge));
   }
 }
 
-void PmemKvRows(const std::vector<std::string>& lineup) {
+void PmemKvRows(const std::vector<std::string>& lineup, obs::BenchReport& report) {
   Row({"fs", "Kops/s", "faults", "huge-faults"});
   for (const std::string fs_name : lineup) {
     AgedBed b = MakeAged(fs_name);
@@ -126,6 +136,10 @@ void PmemKvRows(const std::vector<std::string>& lineup) {
     const uint64_t huge = b.ctx.counters.page_faults_2m - counters0.page_faults_2m;
     Row({fs_name, Fmt(static_cast<double>(keys) / secs / 1000.0, 1), benchutil::FmtU(faults),
          benchutil::FmtU(huge)});
+    report.AddMetric(fs_name, "pmemkv_fillseq_kops",
+                     static_cast<double>(keys) / secs / 1000.0);
+    report.AddMetric(fs_name, "pmemkv_faults", static_cast<double>(faults));
+    report.AddMetric(fs_name, "pmemkv_huge_faults", static_cast<double>(huge));
   }
 }
 
@@ -135,27 +149,32 @@ int main() {
   benchutil::Banner("fig07_apps_aged: application throughput on aged filesystems",
                     "Figure 7 (a-f) + Table 2 inputs");
   std::printf("aged to %.0f%% utilization, Agrawal churn %.1fx\n", kAgeUtil * 100, kAgeChurn);
+  obs::BenchReport report("fig07_apps_aged");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("aged_utilization", kAgeUtil);
+  report.AddConfig("age_churn", kAgeChurn);
 
   const std::vector<std::string> relaxed{"ext4-dax", "xfs-dax", "nova-relaxed", "splitfs",
                                          "winefs-relaxed"};
   const std::vector<std::string> strict{"nova", "strata", "winefs"};
 
   std::printf("\n--- (a) YCSB on RocksDB-like mmap LSM (Kops/s), relaxed lineup ---\n");
-  YcsbRocksDbRows(relaxed);
+  YcsbRocksDbRows(relaxed, report);
   std::printf("\n--- (d) same, strict lineup ---\n");
-  YcsbRocksDbRows(strict);
+  YcsbRocksDbRows(strict, report);
 
   std::printf("\n--- (b) LMDB fillseqbatch (Kops/s), relaxed lineup ---\n");
-  LmdbRows(relaxed);
+  LmdbRows(relaxed, report);
   std::printf("\n--- (e) same, strict lineup ---\n");
-  LmdbRows(strict);
+  LmdbRows(strict, report);
 
   std::printf("\n--- (c) PmemKV fillseq (Kops/s), relaxed lineup ---\n");
-  PmemKvRows(relaxed);
+  PmemKvRows(relaxed, report);
   std::printf("\n--- (f) same, strict lineup ---\n");
-  PmemKvRows(strict);
+  PmemKvRows(strict, report);
 
   std::printf("\nexpected shape: WineFS highest throughput and fewest faults; NOVA's\n"
               "cheap (pre-zeroed) faults beat ext4-DAX's zero-on-fault despite counts.\n");
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -25,6 +25,7 @@ struct CdfResult {
   common::LatencyHistogram hist;
   uint64_t tlb_walks = 0;
   uint64_t llc_misses = 0;
+  common::PerfCounters counters;
 };
 
 CdfResult Measure(const std::string& fs_name) {
@@ -68,6 +69,7 @@ CdfResult Measure(const std::string& fs_name) {
   }
   out.tlb_walks = ctx.counters.tlb_l2_misses - counters0.tlb_l2_misses;
   out.llc_misses = ctx.counters.llc_misses - counters0.llc_misses;
+  out.counters = ctx.counters;
   return out;
 }
 
@@ -80,12 +82,24 @@ int main() {
               static_cast<unsigned long>(kInserts), static_cast<unsigned long>(kHotKeys),
               static_cast<unsigned long>(kLookups));
   Row({"fs", "median_ns", "p90_ns", "p99_ns", "tlb_walks", "llc_miss"});
+  obs::BenchReport report("fig08_part_cdf");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("inserts", static_cast<double>(kInserts));
+  report.AddConfig("hot_keys", static_cast<double>(kHotKeys));
+  report.AddConfig("lookups", static_cast<double>(kLookups));
   std::map<std::string, CdfResult> results;
   for (const std::string fs_name : {"winefs", "ext4-dax", "xfs-dax", "splitfs", "nova"}) {
     CdfResult r = Measure(fs_name);
     Row({fs_name, benchutil::FmtU(r.hist.MedianNanos()), benchutil::FmtU(r.hist.Percentile(90)),
          benchutil::FmtU(r.hist.Percentile(99)), benchutil::FmtU(r.tlb_walks),
          benchutil::FmtU(r.llc_misses)});
+    report.AddMetric(fs_name, "median_ns", static_cast<double>(r.hist.MedianNanos()));
+    report.AddMetric(fs_name, "p90_ns", static_cast<double>(r.hist.Percentile(90)));
+    report.AddMetric(fs_name, "p99_ns", static_cast<double>(r.hist.Percentile(99)));
+    report.AddMetric(fs_name, "tlb_walks", static_cast<double>(r.tlb_walks));
+    report.AddMetric(fs_name, "llc_misses", static_cast<double>(r.llc_misses));
+    report.ForFs(fs_name).latencies.push_back(obs::SummarizeHistogram("part_lookup", r.hist));
+    report.SetCounters(fs_name, r.counters);
     results[fs_name] = std::move(r);
   }
   std::printf("\nWineFS median vs NOVA: %.0f%% lower (paper: 56%% lower)\n",
@@ -95,5 +109,6 @@ int main() {
   for (const std::string fs_name : {"winefs", "nova"}) {
     std::printf("-- %s --\n%s", fs_name.c_str(), results[fs_name].hist.CdfRows().c_str());
   }
+  benchutil::EmitReport(report);
   return 0;
 }

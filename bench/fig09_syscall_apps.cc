@@ -19,7 +19,18 @@ namespace {
 
 constexpr uint64_t kDeviceBytes = 1536 * kMiB;
 
-void FilebenchRows(const std::vector<std::string>& lineup) {
+const char* PersonalityName(wload::FilebenchPersonality p) {
+  switch (p) {
+    case wload::FilebenchPersonality::kVarmail: return "varmail";
+    case wload::FilebenchPersonality::kFileserver: return "fileserver";
+    case wload::FilebenchPersonality::kWebserver: return "webserver";
+    case wload::FilebenchPersonality::kWebproxy: return "webproxy";
+  }
+  return "unknown";
+}
+
+void FilebenchRows(const std::vector<std::string>& lineup, obs::BenchReport& report,
+                   const std::string& prefix) {
   Row({"fs", "varmail", "fileserver", "webserver", "webproxy"});
   for (const std::string fs_name : lineup) {
     std::vector<std::string> cells{fs_name};
@@ -32,12 +43,18 @@ void FilebenchRows(const std::vector<std::string>& lineup) {
       wload::Filebench bench(bed.fs.get(), personality, config);
       auto result = bench.Run();
       cells.push_back(result.ok() ? Fmt(result->KopsPerSecond(), 1) : "FAIL");
+      if (result.ok()) {
+        report.AddMetric(fs_name, prefix + "_" + PersonalityName(personality) + "_kops",
+                         result->KopsPerSecond());
+        report.SetCounters(fs_name, result->run.counters);
+      }
     }
     Row(cells);
   }
 }
 
-void OltpRows(const std::vector<std::string>& lineup) {
+void OltpRows(const std::vector<std::string>& lineup, obs::BenchReport& report,
+              const std::string& prefix) {
   Row({"fs", "KTPS"});
   for (const std::string fs_name : lineup) {
     auto bed = MakeBed(fs_name, kDeviceBytes);
@@ -53,10 +70,14 @@ void OltpRows(const std::vector<std::string>& lineup) {
     oltp.set_start_time_ns(ctx.clock.NowNs());
     auto result = oltp.RunReadWrite();
     Row({fs_name, result.ok() ? Fmt(result->OpsPerSecond() / 1000.0, 1) : "FAIL"});
+    if (result.ok()) {
+      report.AddMetric(fs_name, prefix + "_pgbench_rw_ktps", result->OpsPerSecond() / 1000.0);
+    }
   }
 }
 
-void WtigerRows(const std::vector<std::string>& lineup) {
+void WtigerRows(const std::vector<std::string>& lineup, obs::BenchReport& report,
+                const std::string& prefix) {
   Row({"fs", "Fill-Kops", "Read-Kops"});
   for (const std::string fs_name : lineup) {
     auto bed = MakeBed(fs_name, kDeviceBytes);
@@ -73,6 +94,12 @@ void WtigerRows(const std::vector<std::string>& lineup) {
     auto read = wt.ReadRandom();
     Row({fs_name, fill.ok() ? Fmt(fill->OpsPerSecond() / 1000.0, 1) : "FAIL",
          read.ok() ? Fmt(read->OpsPerSecond() / 1000.0, 1) : "FAIL"});
+    if (fill.ok()) {
+      report.AddMetric(fs_name, prefix + "_wtiger_fill_kops", fill->OpsPerSecond() / 1000.0);
+    }
+    if (read.ok()) {
+      report.AddMetric(fs_name, prefix + "_wtiger_read_kops", read->OpsPerSecond() / 1000.0);
+    }
   }
 }
 
@@ -84,25 +111,29 @@ int main() {
 
   const std::vector<std::string> relaxed = fsreg::RelaxedLineup();
   const std::vector<std::string> strict{"nova", "winefs"};
+  obs::BenchReport report("fig09_syscall_apps");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("lineups", "relaxed,strict");
 
   std::printf("\n--- (a) filebench, Kops/s, relaxed (metadata consistency) ---\n");
-  FilebenchRows(relaxed);
+  FilebenchRows(relaxed, report, "relaxed");
   std::printf("\n--- (d) filebench, Kops/s, strict (data+metadata consistency) ---\n");
-  FilebenchRows(strict);
+  FilebenchRows(strict, report, "strict");
 
   std::printf("\n--- (b) PostgreSQL pgbench read-write (TPC-B-like), relaxed ---\n");
-  OltpRows(relaxed);
+  OltpRows(relaxed, report, "relaxed");
   std::printf("\n--- (e) same, strict ---\n");
-  OltpRows(strict);
+  OltpRows(strict, report, "strict");
 
   std::printf("\n--- (c) WiredTiger FillRandom/ReadRandom, relaxed ---\n");
-  WtigerRows(relaxed);
+  WtigerRows(relaxed, report, "relaxed");
   std::printf("\n--- (f) same, strict ---\n");
-  WtigerRows(strict);
+  WtigerRows(strict, report, "strict");
 
   std::printf("\nexpected shape: WineFS >= best everywhere; ext4/xfs/splitfs penalized on\n"
               "fsync-heavy varmail (JBD2); PMFS slow on metadata-heavy varmail/webproxy\n"
               "(linear scans); strict NOVA loses ~60%% on WiredTiger FillRandom (partial-\n"
               "block CoW), reads equal across filesystems.\n");
+  benchutil::EmitReport(report);
   return 0;
 }

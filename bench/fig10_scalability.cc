@@ -19,12 +19,18 @@ constexpr uint64_t kDeviceBytes = 1024 * kMiB;
 constexpr uint32_t kCpus = 28;  // one socket of the paper's machine
 constexpr uint64_t kOpsPerThread = 300;
 
-double MeasureKops(const std::string& fs_name, uint32_t threads) {
+struct ScalePoint {
+  double kops = -1;
+  common::PerfCounters counters;
+};
+
+ScalePoint MeasureKops(const std::string& fs_name, uint32_t threads,
+                       obs::MetricsRegistry* registry) {
   auto bed = MakeBed(fs_name, kDeviceBytes, kCpus);
   ExecContext setup;
   for (uint32_t t = 0; t < threads; t++) {
     if (!bed.fs->Mkdir(setup, "/t" + std::to_string(t)).ok()) {
-      return -1;
+      return {};
     }
   }
   std::vector<uint8_t> buf(4096, 0x3d);
@@ -48,8 +54,9 @@ double MeasureKops(const std::string& fs_name, uint32_t threads) {
     return bed.fs->Unlink(ctx, path).ok();
   };
   wload::SimRunner runner(threads, kCpus, setup.clock.NowNs());
+  runner.SetObservers(nullptr, registry);
   auto result = runner.Run(kOpsPerThread, op);
-  return result.OpsPerSecond() / 1000.0;
+  return ScalePoint{result.OpsPerSecond() / 1000.0, result.counters};
 }
 
 }  // namespace
@@ -63,16 +70,32 @@ int main() {
     header.push_back(std::to_string(t) + "th");
   }
   Row(header, 10);
+  obs::BenchReport report("fig10_scalability");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("cpus", static_cast<double>(kCpus));
+  report.AddConfig("ops_per_thread", static_cast<double>(kOpsPerThread));
+  // Per-op latency percentiles are collected via a MetricsRegistry attached to
+  // the one-socket (28-thread) run of each filesystem.
+  obs::MetricsRegistry registry;
   for (const std::string fs_name :
        {"ext4-dax", "xfs-dax", "pmfs", "nova", "splitfs", "winefs"}) {
     std::vector<std::string> cells{fs_name};
     for (uint32_t t : threads) {
-      const double kops = MeasureKops(fs_name, t);
-      cells.push_back(kops < 0 ? "FAIL" : Fmt(kops, 0));
+      const ScalePoint point =
+          MeasureKops(fs_name, t, t == kCpus ? &registry : nullptr);
+      cells.push_back(point.kops < 0 ? "FAIL" : Fmt(point.kops, 0));
+      if (point.kops >= 0) {
+        report.AddMetric(fs_name, "threads" + std::to_string(t) + "_kops", point.kops);
+      }
+      if (t == kCpus) {
+        report.SetCounters(fs_name, point.counters);
+      }
     }
     Row(cells, 10);
   }
+  report.MergeRegistry(registry);
   std::printf("\nexpected shape: WineFS/NOVA/PMFS scale to ~16-28 threads then plateau\n"
               "(VFS); ext4-DAX/xfs-DAX/SplitFS flatten early (global JBD2 commit).\n");
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -4,6 +4,7 @@
 // itself (not modeled PM time) — regressions here slow every experiment.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/common/units.h"
 #include "src/fs/fscore/free_space_map.h"
 #include "src/fs/winefs/winefs.h"
@@ -97,6 +98,42 @@ void BM_WineFsCreateUnlink(benchmark::State& state) {
 }
 BENCHMARK(BM_WineFsCreateUnlink);
 
+// Captures every per-iteration result for the structured JSON report while
+// still printing the usual console table.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(obs::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      report_.AddMetric("simulator", run.benchmark_name() + "_cpu_ns",
+                        run.GetAdjustedCPUTime());
+      report_.AddMetric("simulator", run.benchmark_name() + "_real_ns",
+                        run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  obs::BenchReport report("micro_gbench");
+  report.AddConfig("time_source", "host_clock");
+  report.AddConfig("note", "host cost of simulator primitives, not simulated PM time");
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  benchutil::EmitReport(report);
+  return 0;
+}

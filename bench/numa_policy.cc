@@ -16,6 +16,7 @@ namespace {
 struct LocalityResult {
   uint64_t local = 0;
   uint64_t remote = 0;
+  common::PerfCounters counters;
   double LocalFraction() const {
     return local + remote == 0
                ? 0.0
@@ -37,6 +38,7 @@ LocalityResult Run(bool numa_aware) {
   // 4 processes x 64 writes, threads migrating over all 8 CPUs.
   common::Rng rng(3);
   std::vector<uint8_t> buf(256 * 1024, 0x21);
+  common::PerfCounters total;
   for (uint32_t pid = 1; pid <= 4; pid++) {
     ExecContext proc;
     proc.pid = pid;
@@ -47,8 +49,13 @@ LocalityResult Run(bool numa_aware) {
       (void)fs.Pwrite(proc, *fd, buf.data(), buf.size(), 0);
       (void)fs.Close(proc, *fd);
     }
+    total.Add(proc.counters);
   }
-  return LocalityResult{fs.numa_local_allocs(), fs.numa_remote_allocs()};
+  LocalityResult result;
+  result.local = fs.numa_local_allocs();
+  result.remote = fs.numa_remote_allocs();
+  result.counters = total;
+  return result;
 }
 
 }  // namespace
@@ -65,9 +72,21 @@ int main() {
   Row({"cpu-local (off)", "-", "-", "~50 (follows thread migration)"});
   Row({"home-node (on)", benchutil::FmtU(on.local), benchutil::FmtU(on.remote),
        Fmt(on.LocalFraction() * 100, 1)});
-  (void)off;
   std::printf("\nWith the home-node policy every write allocation lands on the\n"
               "process's home node regardless of which CPU the thread runs on;\n"
               "reads of recently-written data are then local too (§3.6).\n");
+
+  obs::BenchReport report("numa_policy");
+  report.AddConfig("processes", 4.0);
+  report.AddConfig("writes_per_process", 64.0);
+  report.AddConfig("num_cpus", 8.0);
+  report.AddConfig("numa_nodes", 2.0);
+  report.AddMetric("winefs", "local_allocs", static_cast<double>(on.local));
+  report.AddMetric("winefs", "remote_allocs", static_cast<double>(on.remote));
+  report.AddMetric("winefs", "local_fraction", on.LocalFraction());
+  report.AddMetric("winefs", "policy_off_local_allocs", static_cast<double>(off.local));
+  report.AddMetric("winefs", "policy_off_remote_allocs", static_cast<double>(off.remote));
+  report.SetCounters("winefs", on.counters);
+  benchutil::EmitReport(report);
   return 0;
 }

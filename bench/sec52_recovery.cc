@@ -15,7 +15,7 @@ using common::kMiB;
 
 namespace {
 
-void CrashMonkeySummary() {
+void CrashMonkeySummary(obs::BenchReport& report) {
   std::printf("\n--- CrashMonkey/ACE exploration (WineFS, data ops included) ---\n");
   crashmk::Explorer explorer(
       [](pmem::PmemDevice* device) -> std::unique_ptr<vfs::FileSystem> {
@@ -40,26 +40,31 @@ void CrashMonkeySummary() {
   Row({"workloads", "syscalls", "crash_states", "failures"});
   Row({benchutil::FmtU(workloads), benchutil::FmtU(ops), benchutil::FmtU(states),
        benchutil::FmtU(failures)});
+  report.AddMetric("winefs", "crashmk_workloads", static_cast<double>(workloads));
+  report.AddMetric("winefs", "crashmk_syscalls", static_cast<double>(ops));
+  report.AddMetric("winefs", "crashmk_crash_states", static_cast<double>(states));
+  report.AddMetric("winefs", "crashmk_failures", static_cast<double>(failures));
   std::printf("(paper: \"Currently, WineFS passes all the CrashMonkey tests.\")\n");
 }
 
-void RecoveryTime() {
+void RecoveryTime(obs::BenchReport& report) {
   std::printf("\n--- recovery time after unclean shutdown (WineFS) ---\n");
   Row({"files", "data_MiB", "recovery_ms"});
   struct Case {
     uint32_t files;
     uint64_t file_bytes;
   };
+  common::PerfCounters total;
   for (const Case& c : {Case{100, 2 * kMiB}, Case{100, 8 * kMiB}, Case{2000, 64 * 1024},
                         Case{8000, 64 * 1024}, Case{20000, 16 * 1024}}) {
     auto bed = MakeBed("winefs", 2048 * kMiB, 8);
     ExecContext ctx;
-    uint64_t total = 0;
+    uint64_t bytes = 0;
     for (uint32_t i = 0; i < c.files; i++) {
       auto fd = bed.fs->Open(ctx, "/f" + std::to_string(i), vfs::OpenFlags::Create());
       (void)bed.fs->Fallocate(ctx, *fd, 0, c.file_bytes);
       (void)bed.fs->Close(ctx, *fd);
-      total += c.file_bytes;
+      bytes += c.file_bytes;
     }
     // Crash: no unmount; re-mount a fresh instance over the same device
     // (journal scan + rollback + parallel inode-table scan).
@@ -70,9 +75,16 @@ void RecoveryTime() {
       Row({benchutil::FmtU(c.files), "-", "MOUNT-FAIL"});
       continue;
     }
-    Row({benchutil::FmtU(c.files), benchutil::FmtU(total / kMiB),
-         Fmt(static_cast<double>(generic->last_mount_ns()) / 1e6, 2)});
+    const double recovery_ms = static_cast<double>(generic->last_mount_ns()) / 1e6;
+    Row({benchutil::FmtU(c.files), benchutil::FmtU(bytes / kMiB), Fmt(recovery_ms, 2)});
+    const std::string key = "files" + std::to_string(c.files) + "_kb" +
+                            std::to_string(c.file_bytes / 1024);
+    report.AddMetric("winefs", key + "_recovery_ms", recovery_ms);
+    report.AddMetric("winefs", key + "_data_mib", static_cast<double>(bytes / kMiB));
+    total.Add(ctx.counters);
+    total.Add(rctx.counters);
   }
+  report.SetCounters("winefs", total);
   std::printf("(expected: recovery time tracks file count, not data volume)\n");
 }
 
@@ -80,7 +92,10 @@ void RecoveryTime() {
 
 int main() {
   benchutil::Banner("sec52_recovery: crash consistency + recovery time", "§5.2");
-  CrashMonkeySummary();
-  RecoveryTime();
+  obs::BenchReport report("sec52_recovery");
+  report.AddConfig("device_mib", 2048.0);
+  CrashMonkeySummary(report);
+  RecoveryTime(report);
+  benchutil::EmitReport(report);
   return 0;
 }

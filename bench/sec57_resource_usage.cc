@@ -33,7 +33,7 @@ int main() {
       (void)bed.fs->Close(ctx, *fd);
       files++;
     }
-    if (full || bed.fs->GetFreeSpaceInfo().utilization() > 0.95) {
+    if (full || bed.fs->StatFs(ctx).value().utilization() > 0.95) {
       break;
     }
   }
@@ -48,5 +48,16 @@ int main() {
   Row({"extrapolated 500GB", Fmt(scaled_500g, 2) + " GiB"});
   std::printf("\n(paper: filling a 500 GB partition with 4 KiB files needs < 10 GB DRAM;\n"
               " per-dirent cost < 64 B plus extent mirror + free lists)\n");
+
+  obs::BenchReport report("sec57_resource_usage");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("file_bytes", 4096.0);
+  report.AddMetric("winefs", "files_created", static_cast<double>(files));
+  report.AddMetric("winefs", "dram_index_mib", static_cast<double>(dram) / kMiB);
+  report.AddMetric("winefs", "dram_bytes_per_file",
+                   static_cast<double>(dram) / static_cast<double>(files));
+  report.AddMetric("winefs", "extrapolated_500gb_gib", scaled_500g);
+  report.SetCounters("winefs", ctx.counters);
+  benchutil::EmitReport(report);
   return 0;
 }

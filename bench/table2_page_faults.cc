@@ -25,6 +25,7 @@ struct FaultCounts {
   uint64_t ycsb_c = 0;
   uint64_t lmdb = 0;
   uint64_t pmemkv = 0;
+  common::PerfCounters counters;
 };
 
 FaultCounts MeasureFaults(const std::string& fs_name) {
@@ -56,9 +57,15 @@ FaultCounts MeasureFaults(const std::string& fs_name) {
     config.num_threads = 4;
     config.start_time_ns = ctx.clock.NowNs();
     wload::YcsbDriver driver(&lsm, config);
-    out.ycsb_load = driver.Run(wload::YcsbWorkload::kLoad).run.counters.total_page_faults();
-    out.ycsb_a = driver.Run(wload::YcsbWorkload::kA).run.counters.total_page_faults();
-    out.ycsb_c = driver.Run(wload::YcsbWorkload::kC).run.counters.total_page_faults();
+    const auto load = driver.Run(wload::YcsbWorkload::kLoad);
+    const auto a = driver.Run(wload::YcsbWorkload::kA);
+    const auto c = driver.Run(wload::YcsbWorkload::kC);
+    out.ycsb_load = load.run.counters.total_page_faults();
+    out.ycsb_a = a.run.counters.total_page_faults();
+    out.ycsb_c = c.run.counters.total_page_faults();
+    out.counters.Add(load.run.counters);
+    out.counters.Add(a.run.counters);
+    out.counters.Add(c.run.counters);
   }
   {
     auto [bed, now] = aged();
@@ -75,6 +82,7 @@ FaultCounts MeasureFaults(const std::string& fs_name) {
       }
     }
     out.lmdb = ctx.counters.total_page_faults() - before;
+    out.counters.Add(ctx.counters);
   }
   {
     auto [bed, now] = aged();
@@ -91,6 +99,7 @@ FaultCounts MeasureFaults(const std::string& fs_name) {
       }
     }
     out.pmemkv = ctx.counters.total_page_faults() - before;
+    out.counters.Add(ctx.counters);
   }
   return out;
 }
@@ -101,8 +110,18 @@ int main() {
   benchutil::Banner("table2_page_faults: page faults per application, aged filesystems",
                     "Table 2 (ratios normalized to WineFS)");
   std::map<std::string, FaultCounts> all;
+  obs::BenchReport report("table2_page_faults");
+  report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
+  report.AddConfig("aged_utilization", 0.70);
   for (const std::string fs_name : {"winefs", "ext4-dax", "xfs-dax", "splitfs", "nova"}) {
     all[fs_name] = MeasureFaults(fs_name);
+    const FaultCounts& fc = all[fs_name];
+    report.AddMetric(fs_name, "ycsb_load_faults", static_cast<double>(fc.ycsb_load));
+    report.AddMetric(fs_name, "ycsb_a_faults", static_cast<double>(fc.ycsb_a));
+    report.AddMetric(fs_name, "ycsb_c_faults", static_cast<double>(fc.ycsb_c));
+    report.AddMetric(fs_name, "lmdb_faults", static_cast<double>(fc.lmdb));
+    report.AddMetric(fs_name, "pmemkv_faults", static_cast<double>(fc.pmemkv));
+    report.SetCounters(fs_name, fc.counters);
   }
   const FaultCounts& wf = all["winefs"];
   Row({"fs", "YCSB-Load", "YCSB-A", "YCSB-C", "LMDB", "PmemKV"});
@@ -118,5 +137,6 @@ int main() {
          ratio(fc.ycsb_c, wf.ycsb_c), ratio(fc.lmdb, wf.lmdb), ratio(fc.pmemkv, wf.pmemkv)});
   }
   std::printf("\nexpected shape: WineFS rows lowest; others 5-450x more faults (Table 2).\n");
+  benchutil::EmitReport(report);
   return 0;
 }

@@ -36,7 +36,7 @@ void StudyOne(const std::string& fs_name, double utilization, double churn) {
     return;
   }
 
-  const auto info = fs->GetFreeSpaceInfo();
+  const auto info = fs->StatFs(ctx).value();
 
   // Bandwidth probe: mmap a fresh 32 MiB file and stream writes into it.
   auto fd = fs->Open(ctx, "/probe", vfs::OpenFlags::Create());

@@ -138,7 +138,7 @@ class Shell {
     } else if (cmd == "stat" && need_path()) {
       StatCmd(a);
     } else if (cmd == "df") {
-      const auto info = fs_->GetFreeSpaceInfo();
+      const auto info = fs_->StatFs(ctx_).value();
       std::printf("util %.1f%%  free %llu MiB  hugepage-capable free %.1f%%  "
                   "free 2MiB extents %llu\n",
                   info.utilization() * 100,

@@ -13,7 +13,10 @@ using common::Status;
 Geriatrix::Geriatrix(vfs::FileSystem* fs, Profile profile, AgingConfig config)
     : fs_(fs), profile_(std::move(profile)), config_(config), rng_(config.seed) {}
 
-double Geriatrix::Utilization() { return fs_->GetFreeSpaceInfo().utilization(); }
+double Geriatrix::Utilization(common::ExecContext& ctx) {
+  auto info = fs_->StatFs(ctx);
+  return info.ok() ? info->utilization() : 0.0;
+}
 
 Status Geriatrix::CreateOneFile(ExecContext& ctx, uint64_t size) {
   // Spread allocation pressure across logical CPUs so per-CPU pools age
@@ -59,7 +62,7 @@ Status Geriatrix::CreateOneFile(ExecContext& ctx, uint64_t size) {
 Status Geriatrix::DeleteRandomFile(ExecContext& ctx) {
   ctx.cpu = static_cast<uint32_t>(rng_.NextBelow(config_.rotate_cpus));
   if (live_files_.empty()) {
-    return Status(common::ErrCode::kNotFound);
+    return Status(common::ErrorCode::kNotFound);
   }
   const size_t idx = rng_.NextBelow(live_files_.size());
   std::swap(live_files_[idx], live_files_.back());
@@ -98,16 +101,16 @@ Status Geriatrix::UpdateRandomFile(ExecContext& ctx) {
 
 Result<AgingStats> Geriatrix::AgeToUtilization(ExecContext& ctx, double utilization,
                                                double churn_multiplier) {
-  const auto info = fs_->GetFreeSpaceInfo();
+  ASSIGN_OR_RETURN(const vfs::FreeSpaceInfo info, fs_->StatFs(ctx));
   const uint64_t capacity_bytes = info.total_blocks * common::kBlockSize;
 
   // Phase 1: fill.
   int enospc_strikes = 0;
-  while (Utilization() < utilization) {
+  while (Utilization(ctx) < utilization) {
     const uint64_t size = profile_.SampleFileSize();
     const Status status = CreateOneFile(ctx, size);
     if (!status.ok()) {
-      if (status.code() == common::ErrCode::kNoSpace && ++enospc_strikes < 16) {
+      if (status.code() == common::ErrorCode::kNoSpace && ++enospc_strikes < 16) {
         RETURN_IF_ERROR(DeleteRandomFile(ctx));
         continue;
       }
@@ -125,14 +128,14 @@ Result<AgingStats> Geriatrix::AgeToUtilization(ExecContext& ctx, double utilizat
       RETURN_IF_ERROR(UpdateRandomFile(ctx));
       continue;
     }
-    if (Utilization() >= utilization && !live_files_.empty()) {
+    if (Utilization(ctx) >= utilization && !live_files_.empty()) {
       RETURN_IF_ERROR(DeleteRandomFile(ctx));
       continue;
     }
     const uint64_t size = profile_.SampleFileSize();
     const Status status = CreateOneFile(ctx, size);
     if (!status.ok()) {
-      if (status.code() == common::ErrCode::kNoSpace) {
+      if (status.code() == common::ErrorCode::kNoSpace) {
         RETURN_IF_ERROR(DeleteRandomFile(ctx));
         continue;
       }
@@ -141,7 +144,7 @@ Result<AgingStats> Geriatrix::AgeToUtilization(ExecContext& ctx, double utilizat
   }
 
   stats_.live_files = live_files_.size();
-  stats_.final_utilization = Utilization();
+  stats_.final_utilization = Utilization(ctx);
   return stats_;
 }
 

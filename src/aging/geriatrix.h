@@ -61,7 +61,8 @@ class Geriatrix {
   common::Status CreateOneFile(common::ExecContext& ctx, uint64_t size);
   common::Status DeleteRandomFile(common::ExecContext& ctx);
   common::Status UpdateRandomFile(common::ExecContext& ctx);
-  double Utilization();
+  // Current utilization via StatFs; 0.0 if the probe fails.
+  double Utilization(common::ExecContext& ctx);
 
   vfs::FileSystem* fs_;
   Profile profile_;

@@ -1,6 +1,7 @@
 // Per-thread execution context threaded through every simulated operation.
 // Carries the logical CPU the thread runs on (filesystems key per-CPU
-// structures off it), the simulated clock, and event counters.
+// structures off it), the simulated clock, event counters, and optional
+// observability sinks (span traces + the metrics registry from src/obs).
 #ifndef SRC_COMMON_EXEC_CONTEXT_H_
 #define SRC_COMMON_EXEC_CONTEXT_H_
 
@@ -8,6 +9,14 @@
 
 #include "src/common/perf_counters.h"
 #include "src/common/sim_clock.h"
+
+// Observability sinks live in src/obs (which depends on src/common); the
+// context only carries non-owning pointers, so forward declarations keep the
+// dependency one-way.
+namespace obs {
+class TraceBuffer;
+class MetricsRegistry;
+}  // namespace obs
 
 namespace common {
 
@@ -21,6 +30,9 @@ struct ExecContext {
   uint32_t pid = 0;
   SimClock clock;
   PerfCounters counters;
+  // Optional sinks; null means "not collecting". Not owned.
+  obs::TraceBuffer* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
   void Reset() {
     clock.Reset();

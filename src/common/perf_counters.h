@@ -1,9 +1,19 @@
 // Event counters accumulated by the simulators; the paper reports several of
 // these directly (page faults in Table 2, TLB and LLC misses in §5.4).
+//
+// Counters are REGISTERED: every field must have an entry in kCounterFields,
+// which drives Add/Reset, the obs::MetricsRegistry merge, and the BENCH_*.json
+// counter dump generically. The static_assert below fails the build if a field
+// is added to the struct without registering it, so a new counter can never be
+// silently dropped from aggregation. Time breakdowns (the old fault_handling_ns
+// / data_copy_ns fields) are no longer counters — they come from span traces
+// (src/obs/trace.h).
 #ifndef SRC_COMMON_PERF_COUNTERS_H_
 #define SRC_COMMON_PERF_COUNTERS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 
 namespace common {
 
@@ -31,36 +41,50 @@ struct PerfCounters {
   uint64_t alloc_requests = 0;
   uint64_t aligned_allocs = 0;  // requests satisfied by 2MB-aligned extents
 
-  // Time breakdown (ns) for Fig 2-style decomposition.
-  uint64_t fault_handling_ns = 0;
-  uint64_t data_copy_ns = 0;
-
   uint64_t total_page_faults() const { return page_faults_4k + page_faults_2m; }
 
-  void Add(const PerfCounters& o) {
-    page_faults_4k += o.page_faults_4k;
-    page_faults_2m += o.page_faults_2m;
-    tlb_hits += o.tlb_hits;
-    tlb_l1_misses += o.tlb_l1_misses;
-    tlb_l2_misses += o.tlb_l2_misses;
-    llc_hits += o.llc_hits;
-    llc_misses += o.llc_misses;
-    pm_read_bytes += o.pm_read_bytes;
-    pm_write_bytes += o.pm_write_bytes;
-    clwb_count += o.clwb_count;
-    fence_count += o.fence_count;
-    syscall_count += o.syscall_count;
-    fsync_count += o.fsync_count;
-    journal_bytes += o.journal_bytes;
-    cow_bytes += o.cow_bytes;
-    alloc_requests += o.alloc_requests;
-    aligned_allocs += o.aligned_allocs;
-    fault_handling_ns += o.fault_handling_ns;
-    data_copy_ns += o.data_copy_ns;
-  }
-
+  inline void Add(const PerfCounters& o);
   void Reset() { *this = PerfCounters{}; }
 };
+
+// One registry entry: the counter's wire name and its struct member.
+struct CounterField {
+  const char* name;
+  uint64_t PerfCounters::*member;
+};
+
+inline constexpr CounterField kCounterFields[] = {
+    {"page_faults_4k", &PerfCounters::page_faults_4k},
+    {"page_faults_2m", &PerfCounters::page_faults_2m},
+    {"tlb_hits", &PerfCounters::tlb_hits},
+    {"tlb_l1_misses", &PerfCounters::tlb_l1_misses},
+    {"tlb_l2_misses", &PerfCounters::tlb_l2_misses},
+    {"llc_hits", &PerfCounters::llc_hits},
+    {"llc_misses", &PerfCounters::llc_misses},
+    {"pm_read_bytes", &PerfCounters::pm_read_bytes},
+    {"pm_write_bytes", &PerfCounters::pm_write_bytes},
+    {"clwb_count", &PerfCounters::clwb_count},
+    {"fence_count", &PerfCounters::fence_count},
+    {"syscall_count", &PerfCounters::syscall_count},
+    {"fsync_count", &PerfCounters::fsync_count},
+    {"journal_bytes", &PerfCounters::journal_bytes},
+    {"cow_bytes", &PerfCounters::cow_bytes},
+    {"alloc_requests", &PerfCounters::alloc_requests},
+    {"aligned_allocs", &PerfCounters::aligned_allocs},
+};
+
+inline constexpr size_t kNumCounterFields = std::size(kCounterFields);
+
+// PerfCounters must be exactly its registered fields — adding a field without
+// a kCounterFields entry (or vice versa) breaks this.
+static_assert(sizeof(PerfCounters) == kNumCounterFields * sizeof(uint64_t),
+              "every PerfCounters field must be registered in kCounterFields");
+
+inline void PerfCounters::Add(const PerfCounters& o) {
+  for (const CounterField& field : kCounterFields) {
+    this->*field.member += o.*field.member;
+  }
+}
 
 }  // namespace common
 

@@ -16,7 +16,7 @@ class Result {
   // Implicit conversions keep call sites terse: `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}                       // NOLINT
   Result(Status status) : status_(status) { assert(!status.ok()); }   // NOLINT
-  Result(ErrCode code) : status_(code) { assert(code != ErrCode::kOk); }  // NOLINT
+  Result(ErrorCode code) : status_(code) { assert(code != ErrorCode::kOk); }  // NOLINT
 
   bool ok() const { return status_.ok(); }
   Status status() const { return status_; }

@@ -1,41 +1,78 @@
 #include "src/common/status.h"
 
+#include <cerrno>
+
 namespace common {
 
 std::string_view Status::message() const {
   switch (code_) {
-    case ErrCode::kOk:
+    case ErrorCode::kOk:
       return "ok";
-    case ErrCode::kNotFound:
+    case ErrorCode::kNotFound:
       return "not found";
-    case ErrCode::kExists:
+    case ErrorCode::kExists:
       return "already exists";
-    case ErrCode::kNoSpace:
+    case ErrorCode::kNoSpace:
       return "no space left on device";
-    case ErrCode::kInvalidArgument:
+    case ErrorCode::kInvalidArgument:
       return "invalid argument";
-    case ErrCode::kNotDir:
+    case ErrorCode::kNotDir:
       return "not a directory";
-    case ErrCode::kIsDir:
+    case ErrorCode::kIsDir:
       return "is a directory";
-    case ErrCode::kNotEmpty:
+    case ErrorCode::kNotEmpty:
       return "directory not empty";
-    case ErrCode::kBadFd:
+    case ErrorCode::kBadFd:
       return "bad file descriptor";
-    case ErrCode::kIoError:
+    case ErrorCode::kIoError:
       return "I/O error";
-    case ErrCode::kNoData:
+    case ErrorCode::kNoData:
       return "no data available";
-    case ErrCode::kBusy:
+    case ErrorCode::kBusy:
       return "resource busy";
-    case ErrCode::kNotSupported:
+    case ErrorCode::kNotSupported:
       return "operation not supported";
-    case ErrCode::kCorrupt:
+    case ErrorCode::kCorrupt:
       return "on-PM structure corrupt";
-    case ErrCode::kInternal:
+    case ErrorCode::kInternal:
       return "internal invariant violation";
   }
   return "unknown";
+}
+
+int ErrnoOf(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return 0;
+    case ErrorCode::kNotFound:
+      return ENOENT;
+    case ErrorCode::kExists:
+      return EEXIST;
+    case ErrorCode::kNoSpace:
+      return ENOSPC;
+    case ErrorCode::kInvalidArgument:
+      return EINVAL;
+    case ErrorCode::kNotDir:
+      return ENOTDIR;
+    case ErrorCode::kIsDir:
+      return EISDIR;
+    case ErrorCode::kNotEmpty:
+      return ENOTEMPTY;
+    case ErrorCode::kBadFd:
+      return EBADF;
+    case ErrorCode::kIoError:
+      return EIO;
+    case ErrorCode::kNoData:
+      return ENODATA;
+    case ErrorCode::kBusy:
+      return EBUSY;
+    case ErrorCode::kNotSupported:
+      return EOPNOTSUPP;
+    case ErrorCode::kCorrupt:
+    case ErrorCode::kInternal:
+      return EIO;
+  }
+  return EIO;
 }
 
 }  // namespace common

@@ -8,7 +8,9 @@
 
 namespace common {
 
-enum class ErrCode : int32_t {
+// Typed error codes; each maps to a POSIX errno via ErrnoOf() so callers can
+// assert on codes instead of string-matching messages.
+enum class ErrorCode : int32_t {
   kOk = 0,
   kNotFound,        // ENOENT
   kExists,          // EEXIST
@@ -22,31 +24,36 @@ enum class ErrCode : int32_t {
   kNoData,          // ENODATA (xattr)
   kBusy,            // EBUSY
   kNotSupported,    // EOPNOTSUPP
-  kCorrupt,         // on-PM structure failed validation
-  kInternal,        // invariant violation inside the simulator
+  kCorrupt,         // on-PM structure failed validation (maps to EIO)
+  kInternal,        // invariant violation inside the simulator (maps to EIO)
 };
+
+// The POSIX errno a real kernel would surface for this code; 0 for kOk.
+int ErrnoOf(ErrorCode code);
 
 // Value-type status. kOk is success; everything else carries a code.
 class Status {
  public:
-  constexpr Status() : code_(ErrCode::kOk) {}
-  constexpr explicit Status(ErrCode code) : code_(code) {}
+  constexpr Status() : code_(ErrorCode::kOk) {}
+  constexpr explicit Status(ErrorCode code) : code_(code) {}
 
   static constexpr Status Ok() { return Status(); }
 
-  constexpr bool ok() const { return code_ == ErrCode::kOk; }
-  constexpr ErrCode code() const { return code_; }
+  constexpr bool ok() const { return code_ == ErrorCode::kOk; }
+  constexpr ErrorCode code() const { return code_; }
 
   std::string_view message() const;
+  // POSIX errno equivalent of code(); 0 when ok.
+  int errno_value() const { return ErrnoOf(code_); }
 
   constexpr bool operator==(const Status& other) const = default;
 
  private:
-  ErrCode code_;
+  ErrorCode code_;
 };
 
 constexpr Status OkStatus() { return Status::Ok(); }
-constexpr Status ErrorStatus(ErrCode code) { return Status(code); }
+constexpr Status ErrorStatus(ErrorCode code) { return Status(code); }
 
 // Propagates a non-ok Status out of the current function.
 #define RETURN_IF_ERROR(expr)            \

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/units.h"
+#include "src/obs/trace.h"
 
 namespace ext4dax {
 
@@ -86,7 +87,7 @@ Result<std::vector<Extent>> Ext4Dax::AllocBlocks(ExecContext& ctx, Inode& inode,
       const uint64_t largest = free_.LargestRun();
       if (largest == 0) {
         FreeBlocks(ctx, result);
-        return common::ErrCode::kNoSpace;
+        return common::ErrorCode::kNoSpace;
       }
       if (prefer_aligned && largest >= common::kBlocksPerHugepage) {
         ext = free_.AllocFirstFitPreferAligned(largest, goal);
@@ -133,6 +134,8 @@ void Ext4Dax::Jbd2Commit(ExecContext& ctx) {
   if (dirty_meta_blocks_.empty()) {
     return;
   }
+  obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit,
+                       dirty_meta_blocks_.size() * kBlockSize);
   // Stop-the-world: every concurrent fsync serializes on the journal.
   common::SimMutex::Guard guard(jbd2_lock_, ctx);
   ctx.clock.Advance(kJbd2CommitOverheadNs);
@@ -159,8 +162,7 @@ Status Ext4Dax::FsyncImpl(ExecContext& ctx, Inode& inode) {
   return common::OkStatus();
 }
 
-vfs::FreeSpaceInfo Ext4Dax::GetFreeSpaceInfo() {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+vfs::FreeSpaceInfo Ext4Dax::FreeSpace() {
   vfs::FreeSpaceInfo info;
   info.total_blocks = data_blocks_;
   info.free_blocks = free_.free_blocks();

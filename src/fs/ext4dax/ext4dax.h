@@ -39,7 +39,7 @@ class Ext4Dax : public fscore::GenericFs {
   Ext4Dax(pmem::PmemDevice* device, Ext4Options options);
 
   std::string_view Name() const override { return "ext4-dax"; }
-  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+  vfs::FreeSpaceInfo FreeSpace() override;
 
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,

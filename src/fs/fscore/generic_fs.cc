@@ -5,9 +5,12 @@
 #include <cstring>
 #include <limits>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace fscore {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::kBlockSize;
 using common::kBlocksPerHugepage;
@@ -21,7 +24,7 @@ namespace {
 // Splits "/a/b/c" into components; rejects empty names and over-long names.
 Result<std::vector<std::string>> SplitPath(const std::string& path) {
   if (path.empty() || path[0] != '/') {
-    return ErrCode::kInvalidArgument;
+    return ErrorCode::kInvalidArgument;
   }
   std::vector<std::string> parts;
   size_t start = 1;
@@ -33,7 +36,7 @@ Result<std::vector<std::string>> SplitPath(const std::string& path) {
     if (end > start) {
       const std::string part = path.substr(start, end - start);
       if (part.size() > kMaxNameLen) {
-        return ErrCode::kInvalidArgument;
+        return ErrorCode::kInvalidArgument;
       }
       parts.push_back(part);
     }
@@ -92,6 +95,23 @@ FreeSpaceMap GenericFs::FullDataArea() const {
   return map;
 }
 
+Result<std::vector<Extent>> GenericFs::AllocBlocksTraced(ExecContext& ctx, Inode& inode,
+                                                         uint64_t nblocks,
+                                                         AllocIntent intent) {
+  obs::ScopedSpan span(ctx, obs::SpanCat::kAllocation, nblocks);
+  return AllocBlocks(ctx, inode, nblocks, intent);
+}
+
+Result<vfs::FreeSpaceInfo> GenericFs::StatFs(ExecContext& ctx) {
+  ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "statfs");
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  if (!mounted_) {
+    return ErrorCode::kBadFd;
+  }
+  return FreeSpace();
+}
+
 // --- Lifecycle --------------------------------------------------------------
 
 Status GenericFs::Mkfs(ExecContext& ctx) {
@@ -105,7 +125,7 @@ Status GenericFs::Mkfs(ExecContext& ctx) {
   data_start_block_ =
       common::RoundUp(raw_data_start, kBlocksPerHugepage) + options_.data_phase_blocks;
   if (data_start_block_ >= total_blocks_) {
-    return Status(ErrCode::kNoSpace);
+    return Status(ErrorCode::kNoSpace);
   }
   data_blocks_ = total_blocks_ - data_start_block_;
 
@@ -153,7 +173,7 @@ Status GenericFs::Mount(ExecContext& ctx) {
   const uint64_t t0 = ctx.clock.NowNs();
   const PmSuperblock sb = device_->LoadStruct<PmSuperblock>(ctx, 0);
   if (sb.magic != kSuperMagic) {
-    return Status(ErrCode::kCorrupt);
+    return Status(ErrorCode::kCorrupt);
   }
   total_blocks_ = sb.total_blocks;
   data_start_block_ = sb.data_start_block;
@@ -176,6 +196,10 @@ Status GenericFs::Mount(ExecContext& ctx) {
   const uint32_t par = std::max<uint32_t>(1, RecoveryParallelism());
   last_mount_ns_ = elapsed / par;
   ctx.clock.SetNs(t0 + last_mount_ns_);
+  if (ctx.trace != nullptr) {
+    ctx.trace->Record(
+        obs::TraceEvent{obs::SpanCat::kRecovery, ctx.cpu, t0, ctx.clock.NowNs(), 0});
+  }
   mounted_ = true;
   return common::OkStatus();
 }
@@ -183,7 +207,7 @@ Status GenericFs::Mount(ExecContext& ctx) {
 Status GenericFs::Unmount(ExecContext& ctx) {
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   if (!mounted_) {
-    return Status(ErrCode::kInvalidArgument);
+    return Status(ErrorCode::kInvalidArgument);
   }
   device_->Fence(ctx);
   PmSuperblock sb = device_->LoadStruct<PmSuperblock>(ctx, 0);
@@ -269,7 +293,7 @@ Status GenericFs::RebuildFromPm(ExecContext& ctx) {
     inodes_[ino] = std::move(inode);
   }
   if (inodes_.find(kRootIno) == inodes_.end()) {
-    return Status(ErrCode::kCorrupt);
+    return Status(ErrorCode::kCorrupt);
   }
 
   // Second pass: directory entries.
@@ -333,7 +357,7 @@ uint64_t GenericFs::ExtentRecordOffset(ExecContext& ctx, Inode& inode, size_t k)
   const size_t block_i = idx / kExtentsPerIndirect;
   const size_t slot = idx % kExtentsPerIndirect;
   while (inode.pm_chain.size() <= block_i) {
-    auto alloc = AllocBlocks(ctx, inode, 1, AllocIntent::kMeta);
+    auto alloc = AllocBlocksTraced(ctx, inode, 1, AllocIntent::kMeta);
     if (!alloc.ok() || alloc->empty()) {
       return 0;
     }
@@ -453,7 +477,7 @@ Result<GenericFs::ResolveResult> GenericFs::Resolve(ExecContext& ctx, const std:
   Inode* current = GetInode(kRootIno);
   if (parts.empty()) {
     if (want_parent) {
-      return ErrCode::kInvalidArgument;  // cannot take parent of root
+      return ErrorCode::kInvalidArgument;  // cannot take parent of root
     }
     out.node = current;
     return out;
@@ -462,14 +486,14 @@ Result<GenericFs::ResolveResult> GenericFs::Resolve(ExecContext& ctx, const std:
     ChargeDirLookup(ctx, *current);
     auto it = current->dirents.find(parts[i]);
     if (it == current->dirents.end()) {
-      return ErrCode::kNotFound;
+      return ErrorCode::kNotFound;
     }
     if (!it->second.is_dir) {
-      return ErrCode::kNotDir;
+      return ErrorCode::kNotDir;
     }
     current = GetInode(it->second.ino);
     if (current == nullptr) {
-      return ErrCode::kCorrupt;
+      return ErrorCode::kCorrupt;
     }
   }
   out.parent = current;
@@ -497,7 +521,7 @@ Status GenericFs::AddDirent(ExecContext& ctx, Inode& dir, const std::string& nam
     // Grow the directory by one block: a small, metadata-like allocation —
     // this is one of the fragmentation sources aging exposes.
     const uint64_t logical_block = dir.dirent_capacity / kDirentsPerBlock;
-    auto alloc = AllocBlocks(ctx, dir, 1, AllocIntent::kDirData);
+    auto alloc = AllocBlocksTraced(ctx, dir, 1, AllocIntent::kDirData);
     if (!alloc.ok()) {
       return alloc.status();
     }
@@ -526,7 +550,7 @@ Status GenericFs::AddDirent(ExecContext& ctx, Inode& dir, const std::string& nam
 Status GenericFs::RemoveDirent(ExecContext& ctx, Inode& dir, const std::string& name) {
   auto it = dir.dirents.find(name);
   if (it == dir.dirents.end()) {
-    return Status(ErrCode::kNotFound);
+    return Status(ErrorCode::kNotFound);
   }
   const uint64_t slot = it->second.slot;
   PmDirent empty;
@@ -541,7 +565,7 @@ Status GenericFs::RemoveDirent(ExecContext& ctx, Inode& dir, const std::string& 
 Result<InodeNum> GenericFs::AllocInodeNum(ExecContext& ctx) {
   (void)ctx;
   if (free_inos_.empty()) {
-    return ErrCode::kNoSpace;
+    return ErrorCode::kNoSpace;
   }
   const InodeNum ino = free_inos_.back();
   free_inos_.pop_back();
@@ -596,20 +620,20 @@ Status GenericFs::RemoveNode(ExecContext& ctx, Inode& parent, const std::string&
                              bool expect_dir) {
   auto it = parent.dirents.find(name);
   if (it == parent.dirents.end()) {
-    return Status(ErrCode::kNotFound);
+    return Status(ErrorCode::kNotFound);
   }
   if (expect_dir && !it->second.is_dir) {
-    return Status(ErrCode::kNotDir);
+    return Status(ErrorCode::kNotDir);
   }
   if (!expect_dir && it->second.is_dir) {
-    return Status(ErrCode::kIsDir);
+    return Status(ErrorCode::kIsDir);
   }
   Inode* node = GetInode(it->second.ino);
   if (node == nullptr) {
-    return Status(ErrCode::kCorrupt);
+    return Status(ErrorCode::kCorrupt);
   }
   if (expect_dir && !node->dirents.empty()) {
-    return Status(ErrCode::kNotEmpty);
+    return Status(ErrorCode::kNotEmpty);
   }
 
   TxBegin(ctx);
@@ -652,21 +676,22 @@ Status GenericFs::RemoveNode(ExecContext& ctx, Inode& parent, const std::string&
 
 Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::OpenFlags flags) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "open");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   Inode* node = res.node;
   if (node == nullptr) {
     if (!flags.create) {
-      return ErrCode::kNotFound;
+      return ErrorCode::kNotFound;
     }
     common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
     ASSIGN_OR_RETURN(node, CreateNode(ctx, *res.parent, res.leaf, /*is_dir=*/false));
   } else {
     if (flags.create && flags.exclusive) {
-      return ErrCode::kExists;
+      return ErrorCode::kExists;
     }
     if (node->is_dir) {
-      return ErrCode::kIsDir;
+      return ErrorCode::kIsDir;
     }
     if (flags.truncate) {
       common::SimMutex::Guard file_guard(inode_locks_.LockFor(node->ino), ctx);
@@ -683,14 +708,15 @@ Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::Open
       return static_cast<int>(fd);
     }
   }
-  return ErrCode::kNoSpace;
+  return ErrorCode::kNoSpace;
 }
 
 Status GenericFs::Close(ExecContext& ctx, int fd) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "close");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
-    return Status(ErrCode::kBadFd);
+    return Status(ErrorCode::kBadFd);
   }
   fds_[fd] = FdEntry{};
   return common::OkStatus();
@@ -698,10 +724,11 @@ Status GenericFs::Close(ExecContext& ctx, int fd) {
 
 Status GenericFs::Mkdir(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "mkdir");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node != nullptr) {
-    return Status(ErrCode::kExists);
+    return Status(ErrorCode::kExists);
   }
   common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
   auto created = CreateNode(ctx, *res.parent, res.leaf, /*is_dir=*/true);
@@ -710,10 +737,11 @@ Status GenericFs::Mkdir(ExecContext& ctx, const std::string& path) {
 
 Status GenericFs::Rmdir(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "rmdir");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
-    return Status(ErrCode::kNotFound);
+    return Status(ErrorCode::kNotFound);
   }
   common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
   return RemoveNode(ctx, *res.parent, res.leaf, /*expect_dir=*/true);
@@ -721,10 +749,11 @@ Status GenericFs::Rmdir(ExecContext& ctx, const std::string& path) {
 
 Status GenericFs::Unlink(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "unlink");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
-    return Status(ErrCode::kNotFound);
+    return Status(ErrorCode::kNotFound);
   }
   common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
   return RemoveNode(ctx, *res.parent, res.leaf, /*expect_dir=*/false);
@@ -732,10 +761,11 @@ Status GenericFs::Unlink(ExecContext& ctx, const std::string& path) {
 
 Status GenericFs::Rename(ExecContext& ctx, const std::string& from, const std::string& to) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "rename");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult src, Resolve(ctx, from, /*want_parent=*/true));
   if (src.node == nullptr) {
-    return Status(ErrCode::kNotFound);
+    return Status(ErrorCode::kNotFound);
   }
   ASSIGN_OR_RETURN(ResolveResult dst, Resolve(ctx, to, /*want_parent=*/true));
 
@@ -743,10 +773,10 @@ Status GenericFs::Rename(ExecContext& ctx, const std::string& from, const std::s
   if (dst.node != nullptr) {
     // Overwrite: target must be a file (or an empty dir when moving a dir).
     if (dst.node->is_dir != src.node->is_dir) {
-      return Status(dst.node->is_dir ? ErrCode::kIsDir : ErrCode::kNotDir);
+      return Status(dst.node->is_dir ? ErrorCode::kIsDir : ErrorCode::kNotDir);
     }
     if (dst.node->is_dir && !dst.node->dirents.empty()) {
-      return Status(ErrCode::kNotEmpty);
+      return Status(ErrorCode::kNotEmpty);
     }
   }
   // One transaction covers the whole rename, including removing the
@@ -782,13 +812,14 @@ Status GenericFs::Rename(ExecContext& ctx, const std::string& from, const std::s
 
 Result<vfs::StatInfo> GenericFs::Stat(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "stat");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   auto res = path == "/" ? Resolve(ctx, path, false) : Resolve(ctx, path, true);
   if (!res.ok()) {
     return res.status();
   }
   if (res->node == nullptr) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   vfs::StatInfo info;
   info.ino = res->node->ino;
@@ -802,16 +833,17 @@ Result<vfs::StatInfo> GenericFs::Stat(ExecContext& ctx, const std::string& path)
 Result<std::vector<vfs::DirEntry>> GenericFs::ReadDir(ExecContext& ctx,
                                                       const std::string& path) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "stat");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   auto res = path == "/" ? Resolve(ctx, path, false) : Resolve(ctx, path, true);
   if (!res.ok()) {
     return res.status();
   }
   if (res->node == nullptr) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   if (!res->node->is_dir) {
-    return ErrCode::kNotDir;
+    return ErrorCode::kNotDir;
   }
   std::vector<vfs::DirEntry> entries;
   entries.reserve(res->node->dirents.size());
@@ -855,7 +887,7 @@ Result<uint64_t> GenericFs::EnsureBlocks(ExecContext& ctx, Inode& inode, uint64_
       hole_end++;
     }
     const uint64_t need = hole_end - block;
-    auto alloc = AllocBlocks(ctx, inode, need, intent);
+    auto alloc = AllocBlocksTraced(ctx, inode, need, intent);
     if (!alloc.ok()) {
       return alloc.status();
     }
@@ -926,13 +958,14 @@ Result<uint64_t> GenericFs::WriteDataAtomic(ExecContext& ctx, Inode& inode, cons
 Result<uint64_t> GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
                                    uint64_t offset) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "pwrite");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return ErrCode::kBadFd;
+    return ErrorCode::kBadFd;
   }
   if (!fds_[fd].write) {
-    return ErrCode::kInvalidArgument;
+    return ErrorCode::kInvalidArgument;
   }
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
   if (options_.mode == vfs::GuaranteeMode::kStrict) {
@@ -943,10 +976,11 @@ Result<uint64_t> GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, ui
 
 Result<uint64_t> GenericFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "append");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return ErrCode::kBadFd;
+    return ErrorCode::kBadFd;
   }
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
   const uint64_t offset = inode->size;
@@ -967,10 +1001,11 @@ Result<uint64_t> GenericFs::Append(ExecContext& ctx, int fd, const void* src, ui
 Result<uint64_t> GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t len,
                                   uint64_t offset) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "pread");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return ErrCode::kBadFd;
+    return ErrorCode::kBadFd;
   }
   if (offset >= inode->size) {
     return uint64_t{0};
@@ -1001,10 +1036,11 @@ Result<uint64_t> GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t 
 
 Status GenericFs::Fsync(ExecContext& ctx, int fd) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "fsync");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return Status(ErrCode::kBadFd);
+    return Status(ErrorCode::kBadFd);
   }
   ctx.counters.fsync_count++;
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
@@ -1015,10 +1051,11 @@ Status GenericFs::Fsync(ExecContext& ctx, int fd) {
 
 Status GenericFs::Fallocate(ExecContext& ctx, int fd, uint64_t offset, uint64_t len) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "fallocate");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return Status(ErrCode::kBadFd);
+    return Status(ErrorCode::kBadFd);
   }
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
   auto ensured = EnsureBlocks(ctx, *inode, offset, len, AllocIntent::kFileData,
@@ -1037,10 +1074,11 @@ Status GenericFs::Fallocate(ExecContext& ctx, int fd, uint64_t offset, uint64_t 
 
 Status GenericFs::Ftruncate(ExecContext& ctx, int fd, uint64_t size) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "ftruncate");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return Status(ErrCode::kBadFd);
+    return Status(ErrorCode::kBadFd);
   }
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
   if (size < inode->size) {
@@ -1062,14 +1100,15 @@ Status GenericFs::Ftruncate(ExecContext& ctx, int fd, uint64_t size) {
 Status GenericFs::SetXattr(ExecContext& ctx, const std::string& path, const std::string& name,
                            const std::string& value) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "setxattr");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
-    return Status(ErrCode::kNotFound);
+    return Status(ErrorCode::kNotFound);
   }
   const std::string serialized = name + "=" + value;
   if (serialized.size() > kInodeXattrBytes) {
-    return Status(ErrCode::kInvalidArgument);
+    return Status(ErrorCode::kInvalidArgument);
   }
   res.node->xattr = serialized;
   if (name == "user.winefs.aligned") {
@@ -1082,14 +1121,15 @@ Status GenericFs::SetXattr(ExecContext& ctx, const std::string& path, const std:
 Result<std::string> GenericFs::GetXattr(ExecContext& ctx, const std::string& path,
                                         const std::string& name) {
   ChargeSyscall(ctx);
+  obs::OpScope op_scope(ctx, Name(), "getxattr");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   const size_t eq = res.node->xattr.find('=');
   if (eq == std::string::npos || res.node->xattr.substr(0, eq) != name) {
-    return ErrCode::kNoData;
+    return ErrorCode::kNoData;
   }
   return res.node->xattr.substr(eq + 1);
 }
@@ -1101,7 +1141,7 @@ Result<InodeNum> GenericFs::InodeOf(ExecContext& ctx, int fd) {
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return ErrCode::kBadFd;
+    return ErrorCode::kBadFd;
   }
   return inode->ino;
 }
@@ -1111,7 +1151,7 @@ Result<uint64_t> GenericFs::SizeOf(ExecContext& ctx, int fd) {
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return ErrCode::kBadFd;
+    return ErrorCode::kBadFd;
   }
   return inode->size;
 }
@@ -1122,7 +1162,7 @@ Result<vmem::FaultHandler::FaultMapping> GenericFs::HandleFault(ExecContext& ctx
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInode(ino);
   if (inode == nullptr) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   const uint64_t chunk_offset = common::RoundDown(page_offset, common::kHugepageSize);
   const uint64_t chunk_block = chunk_offset / kBlockSize;
@@ -1144,7 +1184,7 @@ Result<vmem::FaultHandler::FaultMapping> GenericFs::HandleFault(ExecContext& ctx
     }
     if (!mapping.has_value() && write && AllocatesHugeOnFault()) {
       // Hugepage-allocating fault (WineFS): ask for the whole chunk at once.
-      auto alloc = AllocBlocks(ctx, *inode, kBlocksPerHugepage, AllocIntent::kFileData);
+      auto alloc = AllocBlocksTraced(ctx, *inode, kBlocksPerHugepage, AllocIntent::kFileData);
       if (alloc.ok() && alloc->size() == 1 && (*alloc)[0].IsAligned()) {
         const Extent ext = (*alloc)[0];
         inode->extents.Insert(chunk_block, ext.phys_block, ext.num_blocks);
@@ -1171,9 +1211,9 @@ Result<vmem::FaultHandler::FaultMapping> GenericFs::HandleFault(ExecContext& ctx
   bool fresh = false;
   if (!mapping.has_value()) {
     if (page_offset >= common::RoundUp(inode->size, kBlockSize)) {
-      return ErrCode::kInvalidArgument;  // beyond EOF: SIGBUS
+      return ErrorCode::kInvalidArgument;  // beyond EOF: SIGBUS
     }
-    auto alloc = AllocBlocks(ctx, *inode, 1, AllocIntent::kFileData);
+    auto alloc = AllocBlocksTraced(ctx, *inode, 1, AllocIntent::kFileData);
     if (!alloc.ok()) {
       return alloc.status();
     }

@@ -137,7 +137,10 @@ class GenericFs : public vfs::FileSystem {
   common::Result<FaultMapping> HandleFault(common::ExecContext& ctx, uint64_t ino,
                                            uint64_t page_offset, bool write) override;
 
-  // GetFreeSpaceInfo() stays abstract: the allocator policy owns free space.
+  // statfs(2) entry point: charges syscall + op metrics, fails on an
+  // unmounted filesystem, then delegates to the FreeSpace() policy hook —
+  // the allocator policy owns free space.
+  common::Result<vfs::FreeSpaceInfo> StatFs(common::ExecContext& ctx) override;
 
   // --- Introspection used by benches/tests --------------------------------
   uint64_t data_start_block() const { return data_start_block_; }
@@ -160,6 +163,9 @@ class GenericFs : public vfs::FileSystem {
                                                           Inode& inode, uint64_t nblocks,
                                                           AllocIntent intent) = 0;
   virtual void FreeBlocks(common::ExecContext& ctx, const std::vector<Extent>& extents) = 0;
+
+  // Free-space snapshot backing StatFs(); called with dram_mu_ held.
+  virtual vfs::FreeSpaceInfo FreeSpace() = 0;
 
   // Consistency engine. TxBegin/TxCommit bracket one atomic metadata
   // operation; TxMetaWrite persists `len` bytes at `pm_offset` according to
@@ -218,6 +224,12 @@ class GenericFs : public vfs::FileSystem {
   virtual uint32_t RecoveryParallelism() const { return 1; }
 
   // ==== Services provided to subclasses ====================================
+
+  // AllocBlocks policy call wrapped in an obs allocation span; every internal
+  // allocation goes through this.
+  common::Result<std::vector<Extent>> AllocBlocksTraced(common::ExecContext& ctx,
+                                                        Inode& inode, uint64_t nblocks,
+                                                        AllocIntent intent);
 
   // In-place relaxed write (allocates holes, streams data). Shared by
   // relaxed mode and by strict implementations for freshly allocated blocks.

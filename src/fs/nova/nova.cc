@@ -1,5 +1,7 @@
 #include "src/fs/nova/nova.h"
 
+#include "src/obs/trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -122,12 +124,12 @@ Result<std::vector<Extent>> Nova::AllocBlocks(ExecContext& ctx, Inode& inode, ui
       }
       if (best_free == 0) {
         FreeBlocks(ctx, result);
-        return common::ErrCode::kNoSpace;
+        return common::ErrorCode::kNoSpace;
       }
       ext = take(*cpu_free_[best], remaining);
       if (!ext.has_value()) {
         FreeBlocks(ctx, result);
-        return common::ErrCode::kNoSpace;
+        return common::ErrorCode::kNoSpace;
       }
     }
     if (ext->IsAligned()) {
@@ -168,6 +170,7 @@ void Nova::AllocLogPage(ExecContext& ctx, Inode& inode) {
 }
 
 void Nova::AppendLogEntry(ExecContext& ctx, Inode& inode) {
+  obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, kLogEntryBytes);
   if (inode.log_pages.empty() || inode.log_entries_in_tail >= kEntriesPerLogPage) {
     AllocLogPage(ctx, inode);
     if (inode.log_pages.empty()) {
@@ -298,8 +301,7 @@ void Nova::OnInodeDeleted(ExecContext& ctx, Inode& inode) {
   }
 }
 
-vfs::FreeSpaceInfo Nova::GetFreeSpaceInfo() {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+vfs::FreeSpaceInfo Nova::FreeSpace() {
   vfs::FreeSpaceInfo info;
   info.total_blocks = data_blocks_;
   for (const auto& f : cpu_free_) {

@@ -33,7 +33,7 @@ class Nova : public fscore::GenericFs {
   std::string_view Name() const override {
     return options_.mode == vfs::GuaranteeMode::kStrict ? "nova" : "nova-relaxed";
   }
-  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+  vfs::FreeSpaceInfo FreeSpace() override;
 
   uint64_t gc_runs() const { return gc_runs_; }
 

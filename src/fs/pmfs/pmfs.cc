@@ -1,5 +1,7 @@
 #include "src/fs/pmfs/pmfs.h"
 
+#include "src/obs/trace.h"
+
 #include "src/common/units.h"
 
 namespace pmfs {
@@ -42,7 +44,7 @@ Result<std::vector<Extent>> Pmfs::AllocBlocks(ExecContext& ctx, Inode& inode, ui
       const uint64_t largest = free_.LargestRun();
       if (largest == 0) {
         FreeBlocks(ctx, result);
-        return common::ErrCode::kNoSpace;
+        return common::ErrorCode::kNoSpace;
       }
       ext = free_.AllocFirstFit(largest, 0);
     }
@@ -68,6 +70,7 @@ void Pmfs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset
   // Fine-grained undo journaling through ONE journal: short critical section,
   // but every thread in the system funnels through it.
   {
+    obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, len);
     common::SimMutex::Guard guard(journal_lock_, ctx);
     const uint64_t entries = (len + 31) / 32;  // 64 B entry carries 32 B of undo
     for (uint64_t e = 0; e < entries; e++) {
@@ -103,8 +106,7 @@ void Pmfs::ChargeDirLookup(ExecContext& ctx, const Inode& dir) {
   ctx.counters.pm_read_bytes += (lines / 2 + 1) * 64;
 }
 
-vfs::FreeSpaceInfo Pmfs::GetFreeSpaceInfo() {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+vfs::FreeSpaceInfo Pmfs::FreeSpace() {
   vfs::FreeSpaceInfo info;
   info.total_blocks = data_blocks_;
   info.free_blocks = free_.free_blocks();

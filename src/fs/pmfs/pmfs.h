@@ -24,7 +24,7 @@ class Pmfs : public fscore::GenericFs {
   Pmfs(pmem::PmemDevice* device, PmfsOptions options = {});
 
   std::string_view Name() const override { return "pmfs"; }
-  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+  vfs::FreeSpaceInfo FreeSpace() override;
 
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,

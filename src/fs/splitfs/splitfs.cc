@@ -1,5 +1,7 @@
 #include "src/fs/splitfs/splitfs.h"
 
+#include "src/obs/trace.h"
+
 #include "src/common/units.h"
 
 namespace splitfs {
@@ -19,7 +21,7 @@ Result<uint64_t> SplitFs::Append(ExecContext& ctx, int fd, const void* src, uint
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return common::ErrCode::kBadFd;
+    return common::ErrorCode::kBadFd;
   }
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
   const uint64_t offset = inode->size;
@@ -41,7 +43,7 @@ Result<uint64_t> SplitFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
-    return common::ErrCode::kBadFd;
+    return common::ErrorCode::kBadFd;
   }
   common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
   relink_mode_ = true;
@@ -58,6 +60,7 @@ void SplitFs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_off
                           const void* data, uint64_t len) {
   if (relink_mode_) {
     // User-level relink journal: a couple of cacheline writes, no JBD2.
+    obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, len);
     device_->Store(ctx, pm_offset, data, len);
     device_->Clwb(ctx, pm_offset, len);
     device_->Fence(ctx);

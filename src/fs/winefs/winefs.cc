@@ -1,5 +1,7 @@
 #include "src/fs/winefs/winefs.h"
 
+#include "src/obs/trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -9,7 +11,7 @@
 
 namespace winefs {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::kBlockSize;
 using common::kBlocksPerHugepage;
@@ -283,7 +285,7 @@ Result<std::vector<Extent>> WineFs::AllocBlocks(ExecContext& ctx, Inode& inode,
     if (!ext.has_value()) {
       // Roll back partial allocation.
       FreeBlocks(ctx, result);
-      return ErrCode::kNoSpace;
+      return ErrorCode::kNoSpace;
     }
     result.push_back(*ext);
     remaining -= ext->num_blocks;
@@ -380,6 +382,7 @@ void WineFs::AppendRawSlots(ExecContext& ctx, CpuPool& pool, const uint8_t* data
 
 void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset,
                          uint64_t len) {
+  obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, len);
   if (len >= 1024) {
     // Data journaling of a large region: one blob header + the old image
     // packed into raw cachelines (the data is written twice, not four times).
@@ -453,6 +456,7 @@ void WineFs::TxCommit(ExecContext& ctx) {
   if (tx_depth_ > 0) {
     return;
   }
+  obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, sizeof(JournalEntry));
   JournalEntry entry;
   entry.txn_id = tx_id_;
   entry.type = JournalEntry::kCommit;
@@ -649,7 +653,7 @@ Result<uint64_t> WineFs::WriteDataAtomic(ExecContext& ctx, Inode& inode, const v
           if (!ext.has_value()) {
             FreeBlocks(ctx, fresh);
             TxCommit(ctx);
-            return ErrCode::kNoSpace;
+            return ErrorCode::kNoSpace;
           }
           fresh.push_back(*ext);
           need -= ext->num_blocks;
@@ -744,8 +748,7 @@ Status WineFs::FsyncImpl(ExecContext& ctx, Inode& inode) {
 
 // --- Introspection / reactive rewriting ---------------------------------------------
 
-vfs::FreeSpaceInfo WineFs::GetFreeSpaceInfo() {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+vfs::FreeSpaceInfo WineFs::FreeSpace() {
   vfs::FreeSpaceInfo info;
   info.total_blocks = data_blocks_;
   for (const auto& pool : pools_) {

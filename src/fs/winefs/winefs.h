@@ -72,7 +72,7 @@ class WineFs : public fscore::GenericFs {
   WineFs(pmem::PmemDevice* device, WineFsOptions options);
 
   std::string_view Name() const override { return "winefs"; }
-  vfs::FreeSpaceInfo GetFreeSpaceInfo() override;
+  vfs::FreeSpaceInfo FreeSpace() override;
 
   // Reactive rewriting (§3.6): if the file is fragmented, reads it and
   // rewrites it with big (aligned) allocations inside one journal

@@ -1,0 +1,358 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace obs {
+
+void JsonEscape(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) {
+      out_ += ',';
+    }
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) {
+      out_ += ',';
+    }
+    first_in_scope_.back() = false;
+  }
+  out_ += '"';
+  JsonEscape(key, &out_);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  JsonEscape(value, &out_);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) {
+    return Null();
+  }
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  common::Result<JsonValue> Parse() {
+    JsonValue value;
+    RETURN_IF_ERROR(ParseValue(&value, /*depth=*/0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return common::ErrorCode::kInvalidArgument;  // trailing garbage
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  common::Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out, depth);
+    }
+    if (c == '[') {
+      return ParseArray(out, depth);
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (ConsumeLiteral("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return common::OkStatus();
+    }
+    if (ConsumeLiteral("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return common::OkStatus();
+    }
+    if (ConsumeLiteral("null")) {
+      out->type = JsonValue::Type::kNull;
+      return common::OkStatus();
+    }
+    return ParseNumber(out);
+  }
+
+  common::Status ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    pos_++;  // '{'
+    SkipWs();
+    if (Consume('}')) {
+      return common::OkStatus();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) {
+        return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+      }
+      JsonValue value;
+      RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object[std::move(key)] = std::move(value);
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return common::OkStatus();
+      }
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+  }
+
+  common::Status ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    pos_++;  // '['
+    SkipWs();
+    if (Consume(']')) {
+      return common::OkStatus();
+    }
+    while (true) {
+      JsonValue value;
+      RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return common::OkStatus();
+      }
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+  }
+
+  common::Status ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+    pos_++;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return common::OkStatus();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+            }
+            // Control characters only in our emitter; keep the low byte.
+            const std::string hex(text_.substr(pos_, 4));
+            *out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16) & 0xff);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return common::ErrorStatus(common::ErrorCode::kInvalidArgument);  // unterminated
+  }
+
+  common::Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = value;
+    return common::OkStatus();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+}  // namespace obs

@@ -1,0 +1,77 @@
+// Minimal JSON support for the structured bench reporter: a streaming writer
+// used to emit BENCH_<name>.json, and a small recursive-descent parser used by
+// the schema validator (and tests) to read those files back. No external
+// dependencies.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace obs {
+
+// Streaming JSON writer with automatic comma/nesting management. Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("bench").String("fig06").Key("n").Number(3).EndObject();
+//   w.str();
+// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Number(int value) { return Number(static_cast<uint64_t>(value < 0 ? 0 : value)); }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true while it has no elements yet.
+  std::vector<bool> first_in_scope_;
+  bool after_key_ = false;
+};
+
+// Appends `text` JSON-escaped (no surrounding quotes) to `out`.
+void JsonEscape(std::string_view text, std::string* out);
+
+// Parsed JSON value (numbers are doubles; integers round-trip exactly up to
+// 2^53, far beyond any counter this simulator produces in one bench).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static common::Result<JsonValue> Parse(std::string_view text);
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; null if this is not an object or lacks the key.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,90 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace obs {
+
+void MetricsRegistry::RecordOp(std::string_view fs, std::string_view op,
+                               uint64_t latency_ns) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ops_[Key(std::string(fs), std::string(op))].Record(latency_ns);
+}
+
+void MetricsRegistry::AddCounter(std::string_view fs, std::string_view counter,
+                                 uint64_t delta) {
+  std::lock_guard<std::mutex> guard(mu_);
+  counters_[Key(std::string(fs), std::string(counter))] += delta;
+}
+
+void MetricsRegistry::MergeCounters(std::string_view fs,
+                                    const common::PerfCounters& counters) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const common::CounterField& field : common::kCounterFields) {
+    counters_[Key(std::string(fs), std::string(field.name))] +=
+        counters.*field.member;
+  }
+}
+
+std::vector<std::string> MetricsRegistry::FsNames() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> names;
+  for (const auto& [key, hist] : ops_) {
+    (void)hist;
+    names.push_back(key.first);
+  }
+  for (const auto& [key, value] : counters_) {
+    (void)value;
+    names.push_back(key.first);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::OpsFor(std::string_view fs) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> ops;
+  for (const auto& [key, hist] : ops_) {
+    (void)hist;
+    if (key.first == fs) {
+      ops.push_back(key.second);
+    }
+  }
+  return ops;  // map iteration order is already sorted
+}
+
+common::LatencyHistogram MetricsRegistry::OpHistogram(std::string_view fs,
+                                                      std::string_view op) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = ops_.find(Key(std::string(fs), std::string(op)));
+  if (it == ops_.end()) {
+    return common::LatencyHistogram();
+  }
+  return it->second;
+}
+
+uint64_t MetricsRegistry::Counter(std::string_view fs, std::string_view name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = counters_.find(Key(std::string(fs), std::string(name)));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CountersFor(
+    std::string_view fs) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [key, value] : counters_) {
+    if (key.first == fs) {
+      out.emplace_back(key.second, value);
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ops_.clear();
+  counters_.clear();
+}
+
+}  // namespace obs

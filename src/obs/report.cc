@@ -1,0 +1,261 @@
+#include "src/obs/report.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "src/obs/json.h"
+
+namespace obs {
+
+LatencySummary SummarizeHistogram(std::string op, const common::LatencyHistogram& hist) {
+  LatencySummary s;
+  s.op = std::move(op);
+  s.count = hist.count();
+  if (s.count > 0) {
+    s.mean_ns = hist.MeanNanos();
+    s.p50_ns = hist.Percentile(50.0);
+    s.p90_ns = hist.Percentile(90.0);
+    s.p99_ns = hist.Percentile(99.0);
+  }
+  return s;
+}
+
+BenchReport::BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+void BenchReport::AddConfig(std::string key, std::string value) {
+  ConfigEntry entry;
+  entry.key = std::move(key);
+  entry.str = std::move(value);
+  config_.push_back(std::move(entry));
+}
+
+void BenchReport::AddConfig(std::string key, double value) {
+  ConfigEntry entry;
+  entry.key = std::move(key);
+  entry.is_number = true;
+  entry.num = value;
+  config_.push_back(std::move(entry));
+}
+
+FsResult& BenchReport::ForFs(std::string_view fs) {
+  for (FsResult& row : results_) {
+    if (row.fs == fs) {
+      return row;
+    }
+  }
+  results_.emplace_back();
+  results_.back().fs = std::string(fs);
+  return results_.back();
+}
+
+void BenchReport::AddMetric(std::string_view fs, std::string key, double value) {
+  ForFs(fs).metrics.emplace_back(std::move(key), value);
+}
+
+void BenchReport::SetCounters(std::string_view fs, const common::PerfCounters& counters) {
+  ForFs(fs).counters = counters;
+}
+
+void BenchReport::MergeRegistry(const MetricsRegistry& registry) {
+  for (const std::string& fs : registry.FsNames()) {
+    FsResult& row = ForFs(fs);
+    for (const std::string& op : registry.OpsFor(fs)) {
+      row.latencies.push_back(SummarizeHistogram(op, registry.OpHistogram(fs, op)));
+    }
+    for (const auto& [name, value] : registry.CountersFor(fs)) {
+      bool registered = false;
+      for (const common::CounterField& field : common::kCounterFields) {
+        if (name == field.name) {
+          row.counters.*field.member += value;
+          registered = true;
+          break;
+        }
+      }
+      if (!registered) {
+        // Ad-hoc registry counters surface as metrics rather than vanishing.
+        row.metrics.emplace_back(name, static_cast<double>(value));
+      }
+    }
+  }
+}
+
+void BenchReport::AddSpans(std::string_view fs, const TraceBuffer& trace) {
+  FsResult& row = ForFs(fs);
+  for (size_t i = 0; i < kNumSpanCats; i++) {
+    const SpanCat cat = static_cast<SpanCat>(i);
+    row.span_ns.emplace_back(std::string(SpanCatName(cat)), trace.TotalNs(cat));
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Number(static_cast<uint64_t>(kBenchSchemaVersion));
+  w.Key("bench").String(name_);
+  w.Key("config").BeginObject();
+  for (const ConfigEntry& entry : config_) {
+    w.Key(entry.key);
+    if (entry.is_number) {
+      w.Number(entry.num);
+    } else {
+      w.String(entry.str);
+    }
+  }
+  w.EndObject();
+  w.Key("results").BeginArray();
+  for (const FsResult& row : results_) {
+    w.BeginObject();
+    w.Key("fs").String(row.fs);
+    w.Key("metrics").BeginObject();
+    for (const auto& [key, value] : row.metrics) {
+      w.Key(key).Number(value);
+    }
+    w.EndObject();
+    if (!row.latencies.empty()) {
+      w.Key("latency_ns").BeginObject();
+      for (const LatencySummary& lat : row.latencies) {
+        w.Key(lat.op).BeginObject();
+        w.Key("count").Number(lat.count);
+        w.Key("mean").Number(lat.mean_ns);
+        w.Key("p50").Number(lat.p50_ns);
+        w.Key("p90").Number(lat.p90_ns);
+        w.Key("p99").Number(lat.p99_ns);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+    if (!row.span_ns.empty()) {
+      w.Key("spans_ns").BeginObject();
+      for (const auto& [cat, ns] : row.span_ns) {
+        w.Key(cat).Number(ns);
+      }
+      w.EndObject();
+    }
+    w.Key("counters").BeginObject();
+    for (const common::CounterField& field : common::kCounterFields) {
+      w.Key(field.name).Number(row.counters.*field.member);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+common::Result<std::string> BenchReport::WriteFile() const {
+  const std::string json = ToJson();
+  RETURN_IF_ERROR(ValidateBenchReportJson(json));
+  const char* dir = std::getenv("BENCH_OUT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) : std::string(".");
+  if (path.back() != '/') {
+    path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return common::ErrorCode::kIoError;
+  }
+  out << json << "\n";
+  out.close();
+  if (!out) {
+    return common::ErrorCode::kIoError;
+  }
+  return path;
+}
+
+namespace {
+
+bool IsNumber(const JsonValue* value) {
+  return value != nullptr && value->is_number();
+}
+
+// All members of `parent[key]`'s object must be numbers.
+bool IsNumberObject(const JsonValue* value) {
+  if (value == nullptr || !value->is_object()) {
+    return false;
+  }
+  for (const auto& [key, member] : value->object) {
+    (void)key;
+    if (!member.is_number()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+common::Status ValidateBenchReportJson(std::string_view json_text) {
+  common::Result<JsonValue> parsed = JsonValue::Parse(json_text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& root = *parsed;
+  const auto invalid = common::ErrorStatus(common::ErrorCode::kInvalidArgument);
+  if (!root.is_object()) {
+    return invalid;
+  }
+  const JsonValue* version = root.Find("schema_version");
+  if (!IsNumber(version) || version->number_value != kBenchSchemaVersion) {
+    return invalid;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string_value.empty()) {
+    return invalid;
+  }
+  const JsonValue* config = root.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return invalid;
+  }
+  const JsonValue* results = root.Find("results");
+  if (results == nullptr || !results->is_array() || results->array.empty()) {
+    return invalid;
+  }
+  for (const JsonValue& row : results->array) {
+    if (!row.is_object()) {
+      return invalid;
+    }
+    const JsonValue* fs = row.Find("fs");
+    if (fs == nullptr || !fs->is_string() || fs->string_value.empty()) {
+      return invalid;
+    }
+    if (!IsNumberObject(row.Find("metrics"))) {
+      return invalid;
+    }
+    // Counter dump must cover every registered counter.
+    const JsonValue* counters = row.Find("counters");
+    if (!IsNumberObject(counters)) {
+      return invalid;
+    }
+    for (const common::CounterField& field : common::kCounterFields) {
+      if (counters->Find(field.name) == nullptr) {
+        return invalid;
+      }
+    }
+    const JsonValue* latency = row.Find("latency_ns");
+    if (latency != nullptr) {
+      if (!latency->is_object()) {
+        return invalid;
+      }
+      for (const auto& [op, summary] : latency->object) {
+        (void)op;
+        if (!summary.is_object()) {
+          return invalid;
+        }
+        for (const char* key : {"count", "mean", "p50", "p90", "p99"}) {
+          if (!IsNumber(summary.Find(key))) {
+            return invalid;
+          }
+        }
+      }
+    }
+    const JsonValue* spans = row.Find("spans_ns");
+    if (spans != nullptr && !IsNumberObject(spans)) {
+      return invalid;
+    }
+  }
+  return common::OkStatus();
+}
+
+}  // namespace obs

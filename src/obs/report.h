@@ -1,0 +1,100 @@
+// Structured bench results. Every bench target builds a BenchReport and calls
+// WriteFile(), which emits BENCH_<name>.json (schema v1: config, per-fs
+// metrics + latency percentiles + the full registered counter dump, optional
+// span totals) into $BENCH_OUT_DIR (default: current directory). The emitted
+// JSON is validated against the schema before it hits disk, so a bench that
+// produces malformed output fails loudly at runtime — and the bench_json_schema
+// CTest target re-validates a real emitted file end-to-end.
+#ifndef SRC_OBS_REPORT_H_
+#define SRC_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/perf_counters.h"
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct LatencySummary {
+  std::string op;
+  uint64_t count = 0;
+  double mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
+// One filesystem's results within a bench.
+struct FsResult {
+  std::string fs;
+  // Bench-specific numbers (throughput, fractions, ...), insertion order.
+  std::vector<std::pair<std::string, double>> metrics;
+  // Full registered counter dump (one JSON key per common::kCounterFields).
+  common::PerfCounters counters;
+  // Per-op latency summaries, usually from MetricsRegistry histograms.
+  std::vector<LatencySummary> latencies;
+  // Per-category span totals from a TraceBuffer, e.g. fault_handling -> ns.
+  std::vector<std::pair<std::string, uint64_t>> span_ns;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  void AddConfig(std::string key, std::string value);
+  void AddConfig(std::string key, double value);
+
+  // Returns (creating on first use) the result row for `fs`.
+  FsResult& ForFs(std::string_view fs);
+
+  void AddMetric(std::string_view fs, std::string key, double value);
+  void SetCounters(std::string_view fs, const common::PerfCounters& counters);
+
+  // Pulls per-op latency summaries and registry counters for every fs the
+  // registry has seen (registry counters land in FsResult::counters via the
+  // registered-field names).
+  void MergeRegistry(const MetricsRegistry& registry);
+
+  // Records the per-category simulated-time totals of `trace` for `fs`.
+  void AddSpans(std::string_view fs, const TraceBuffer& trace);
+
+  std::string ToJson() const;
+
+  // Validates ToJson() against the schema and writes it to
+  // $BENCH_OUT_DIR/BENCH_<name>.json (BENCH_OUT_DIR defaults to "."). Returns
+  // the path written.
+  common::Result<std::string> WriteFile() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<FsResult>& results() const { return results_; }
+
+ private:
+  struct ConfigEntry {
+    std::string key;
+    bool is_number = false;
+    std::string str;
+    double num = 0;
+  };
+
+  std::string name_;
+  std::vector<ConfigEntry> config_;
+  std::vector<FsResult> results_;
+};
+
+// Checks `json_text` against bench schema v1; kOk iff it validates.
+common::Status ValidateBenchReportJson(std::string_view json_text);
+
+// Builds a LatencySummary (count/mean/p50/p90/p99) from a histogram.
+LatencySummary SummarizeHistogram(std::string op, const common::LatencyHistogram& hist);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_REPORT_H_

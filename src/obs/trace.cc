@@ -1,0 +1,84 @@
+#include "src/obs/trace.h"
+
+namespace obs {
+
+std::string_view SpanCatName(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kFaultHandling:
+      return "fault_handling";
+    case SpanCat::kDataCopy:
+      return "data_copy";
+    case SpanCat::kJournalCommit:
+      return "journal_commit";
+    case SpanCat::kAllocation:
+      return "allocation";
+    case SpanCat::kRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_ % capacity_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  recorded_++;
+  const size_t cat = static_cast<size_t>(event.cat);
+  total_ns_[cat] += event.duration_ns();
+  count_[cat]++;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < capacity_; i++) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::TotalNs(SpanCat cat) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return total_ns_[static_cast<size_t>(cat)];
+}
+
+uint64_t TraceBuffer::Count(SpanCat cat) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_[static_cast<size_t>(cat)];
+}
+
+uint64_t TraceBuffer::recorded() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return recorded_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+  total_ns_.fill(0);
+  count_.fill(0);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (ctx_.trace != nullptr) {
+    ctx_.trace->Record(
+        TraceEvent{cat_, ctx_.cpu, start_ns_, ctx_.clock.NowNs(), arg_});
+  }
+}
+
+}  // namespace obs

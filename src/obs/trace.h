@@ -1,0 +1,97 @@
+// Span tracing on the simulated timeline.
+//
+// Scoped RAII spans mark how simulated time is spent (fault handling, journal
+// commits, allocation, data copies); a ring-buffer TraceBuffer attached to an
+// ExecContext collects them with running per-category totals. Fig 2-style
+// time decompositions are computed from these traces instead of hand-
+// maintained counter fields.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "src/common/exec_context.h"
+
+namespace obs {
+
+// What a span measures. Add new categories before kRecovery's trailing
+// counterpart and extend kNumSpanCats + SpanCatName together.
+enum class SpanCat : uint8_t {
+  kFaultHandling = 0,  // mmap fault dispatch through the owning filesystem
+  kDataCopy,           // bulk data movement to/from the PM device
+  kJournalCommit,      // consistency-engine commits (undo journal, JBD2, log)
+  kAllocation,         // block-allocator search + bookkeeping
+  kRecovery,           // mount-time journal replay/rollback + rebuild scan
+};
+inline constexpr size_t kNumSpanCats = 5;
+
+std::string_view SpanCatName(SpanCat cat);
+
+struct TraceEvent {
+  SpanCat cat = SpanCat::kFaultHandling;
+  uint32_t cpu = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t arg = 0;  // span-specific payload (bytes copied, inode, ...)
+
+  uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+// Fixed-capacity ring of spans plus running per-category aggregates. The
+// aggregates cover every span ever recorded; the ring keeps the most recent
+// `capacity` events for inspection. Thread-safe.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 1 << 16);
+
+  void Record(const TraceEvent& event);
+
+  // Most recent events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  uint64_t TotalNs(SpanCat cat) const;
+  uint64_t Count(SpanCat cat) const;
+  // Events recorded in total; events no longer in the ring = recorded - size.
+  uint64_t recorded() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+  std::array<uint64_t, kNumSpanCats> total_ns_{};
+  std::array<uint64_t, kNumSpanCats> count_{};
+};
+
+// RAII span over a stretch of the context's simulated clock. Cheap no-op when
+// the context has no TraceBuffer attached.
+class ScopedSpan {
+ public:
+  ScopedSpan(common::ExecContext& ctx, SpanCat cat, uint64_t arg = 0)
+      : ctx_(ctx),
+        cat_(cat),
+        arg_(arg),
+        start_ns_(ctx.trace != nullptr ? ctx.clock.NowNs() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_arg(uint64_t arg) { arg_ = arg; }
+
+  ~ScopedSpan();
+
+ private:
+  common::ExecContext& ctx_;
+  SpanCat cat_;
+  uint64_t arg_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -12,6 +12,7 @@
 #include "src/common/exec_context.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/common/units.h"
 #include "src/vmem/mmap_engine.h"
 
 namespace vfs {
@@ -63,7 +64,8 @@ struct FreeSpaceInfo {
     if (free_blocks == 0) {
       return 0.0;
     }
-    return static_cast<double>(free_aligned_extents * 512) / static_cast<double>(free_blocks);
+    return static_cast<double>(free_aligned_extents * common::kBlocksPerHugepage) /
+           static_cast<double>(free_blocks);
   }
 };
 
@@ -125,7 +127,9 @@ class FileSystem : public vmem::FaultHandler {
   virtual common::Result<uint64_t> SizeOf(common::ExecContext& ctx, int fd) = 0;
 
   // --- Introspection ------------------------------------------------------
-  virtual FreeSpaceInfo GetFreeSpaceInfo() = 0;
+  // statfs(2): charges simulated time like every other op and fails with
+  // kBadFd-style codes when the filesystem is not mounted.
+  virtual common::Result<FreeSpaceInfo> StatFs(common::ExecContext& ctx) = 0;
 };
 
 }  // namespace vfs

@@ -4,10 +4,11 @@
 #include <cstring>
 
 #include "src/common/units.h"
+#include "src/obs/trace.h"
 
 namespace vmem {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::kBlockSize;
 using common::kCacheline;
@@ -93,10 +94,10 @@ MappedFile::MappedFile(MmapEngine* engine, FaultHandler* handler, uint64_t ino,
 Result<uint64_t> MappedFile::TranslateByte(ExecContext& ctx, uint64_t offset, bool write,
                                            uint64_t* walk_ns_out) {
   if (offset >= length_) {
-    return ErrCode::kInvalidArgument;  // SIGBUS territory
+    return ErrorCode::kInvalidArgument;  // SIGBUS territory
   }
   if (write && !writable_) {
-    return ErrCode::kInvalidArgument;
+    return ErrorCode::kInvalidArgument;
   }
   uint64_t walk_ns = 0;
   const uint64_t vaddr = va_base_ + offset;
@@ -168,7 +169,10 @@ Result<uint64_t> MappedFile::TranslateByte(ExecContext& ctx, uint64_t offset, bo
     ctx.clock.Advance(cost.fault_base_ns + cost.fault_huge_extra_ns);
     ctx.counters.page_faults_2m++;
     tlb.Insert(vaddr, /*huge=*/true);
-    ctx.counters.fault_handling_ns += ctx.clock.NowNs() - fault_start;
+    if (ctx.trace != nullptr) {
+      ctx.trace->Record(obs::TraceEvent{obs::SpanCat::kFaultHandling, ctx.cpu, fault_start,
+                                        ctx.clock.NowNs(), kHugepageSize});
+    }
     return finish(fault->phys + offset % kHugepageSize);
   }
   const uint64_t page_vaddr = va_base_ + page_offset;
@@ -181,13 +185,16 @@ Result<uint64_t> MappedFile::TranslateByte(ExecContext& ctx, uint64_t offset, bo
   ctx.clock.Advance(cost.fault_base_ns);
   ctx.counters.page_faults_4k++;
   tlb.Insert(vaddr, /*huge=*/false);
-  ctx.counters.fault_handling_ns += ctx.clock.NowNs() - fault_start;
+  if (ctx.trace != nullptr) {
+    ctx.trace->Record(obs::TraceEvent{obs::SpanCat::kFaultHandling, ctx.cpu, fault_start,
+                                      ctx.clock.NowNs(), kBlockSize});
+  }
   return finish(fault->phys + offset % kBlockSize);
 }
 
 Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uint64_t len) {
   if (offset + len > length_) {
-    return Status(ErrCode::kInvalidArgument);
+    return Status(ErrorCode::kInvalidArgument);
   }
   const uint8_t* cursor = static_cast<const uint8_t*>(src);
   const pmem::CostModel& cost = engine_->device().cost();
@@ -197,8 +204,10 @@ Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uin
     ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
     std::memcpy(engine_->device().raw() + phys, cursor, span);
     const uint64_t copy_ns = cost.SeqWriteBytes(span);
-    ctx.clock.Advance(copy_ns);
-    ctx.counters.data_copy_ns += copy_ns;
+    {
+      obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, span);
+      ctx.clock.Advance(copy_ns);
+    }
     ctx.counters.pm_write_bytes += span;
     offset += span;
     cursor += span;
@@ -209,7 +218,7 @@ Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uin
 
 Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t len) {
   if (offset + len > length_) {
-    return Status(ErrCode::kInvalidArgument);
+    return Status(ErrorCode::kInvalidArgument);
   }
   uint8_t* cursor = static_cast<uint8_t*>(dst);
   const pmem::CostModel& cost = engine_->device().cost();
@@ -219,8 +228,10 @@ Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t l
     ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
     std::memcpy(cursor, engine_->device().raw() + phys, span);
     const uint64_t copy_ns = cost.SeqReadBytes(span);
-    ctx.clock.Advance(copy_ns);
-    ctx.counters.data_copy_ns += copy_ns;
+    {
+      obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, span);
+      ctx.clock.Advance(copy_ns);
+    }
     ctx.counters.pm_read_bytes += span;
     offset += span;
     cursor += span;

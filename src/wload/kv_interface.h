@@ -32,7 +32,7 @@ class KvStore {
     (void)key;
     (void)count;
     (void)out;
-    return common::ErrCode::kNotSupported;
+    return common::ErrorCode::kNotSupported;
   }
 };
 

@@ -6,7 +6,7 @@
 
 namespace wload {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::Result;
 using common::Status;
@@ -84,7 +84,7 @@ Status MmapBtree::CommitBatch(ExecContext& ctx) {
 
 Status MmapBtree::Put(ExecContext& ctx, uint64_t key, const void* value, uint32_t len) {
   if ((next_page_ + 4) * kPageBytes >= config_.map_bytes) {
-    return Status(ErrCode::kNoSpace);  // map_size exhausted, like MDB_MAP_FULL
+    return Status(ErrorCode::kNoSpace);  // map_size exhausted, like MDB_MAP_FULL
   }
   std::vector<uint8_t> copy(len);
   std::memcpy(copy.data(), value, len);
@@ -105,7 +105,7 @@ Result<uint32_t> MmapBtree::Get(ExecContext& ctx, uint64_t key, void* out) {
   }
   auto it = index_.find(key);
   if (it == index_.end()) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   // Walk the branch path (root + one level) then read the cell: two small
   // mapped reads + the value read.

@@ -6,7 +6,7 @@
 
 namespace wload {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::Result;
 using common::Status;
@@ -55,7 +55,7 @@ Status MmapLsm::Put(ExecContext& ctx, uint64_t key, const void* value, uint32_t 
 Result<uint32_t> MmapLsm::Get(ExecContext& ctx, uint64_t key, void* out) {
   auto it = index_.find(key);
   if (it == index_.end()) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   const Location& loc = it->second;
   RETURN_IF_ERROR(segments_[loc.segment].map->Read(ctx, loc.offset, out, loc.len));

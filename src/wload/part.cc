@@ -6,7 +6,7 @@
 
 namespace wload {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::Result;
 using common::Status;
@@ -98,7 +98,7 @@ Result<uint64_t> PArt::FindChild(ExecContext& ctx, uint64_t node, uint8_t byte,
           return found(node + 16 + i * 8);
         }
       }
-      return ErrCode::kNotFound;
+      return ErrorCode::kNotFound;
     }
     case kNode16: {
       uint64_t key_lo = Load8(ctx, node + 8);
@@ -110,21 +110,21 @@ Result<uint64_t> PArt::FindChild(ExecContext& ctx, uint64_t node, uint8_t byte,
           return found(node + 24 + i * 8);
         }
       }
-      return ErrCode::kNotFound;
+      return ErrorCode::kNotFound;
     }
     case kNode48: {
       // index array at +8: read the line containing index[byte].
       uint64_t line = Load8(ctx, node + 8 + (byte & ~7u));
       const uint8_t slot = static_cast<uint8_t>(line >> (8 * (byte & 7u)));
       if (slot == 0) {
-        return ErrCode::kNotFound;
+        return ErrorCode::kNotFound;
       }
       return found(node + 264 + (slot - 1) * 8);
     }
     case kNode256: {
       const uint64_t child = Load8(ctx, node + 8 + byte * 8ull);
       if (child == 0) {
-        return ErrCode::kNotFound;
+        return ErrorCode::kNotFound;
       }
       if (slot_out != nullptr) {
         *slot_out = node + 8 + byte * 8ull;
@@ -132,7 +132,7 @@ Result<uint64_t> PArt::FindChild(ExecContext& ctx, uint64_t node, uint8_t byte,
       return child;
     }
     default:
-      return ErrCode::kCorrupt;
+      return ErrorCode::kCorrupt;
   }
 }
 
@@ -211,7 +211,7 @@ Status PArt::AddChild(ExecContext& ctx, uint64_t& node_ref_slot, uint64_t node, 
       Store8(ctx, node + 8 + byte * 8ull, child);
       break;
     default:
-      return Status(ErrCode::kCorrupt);
+      return Status(ErrorCode::kCorrupt);
   }
   header = (header & ~0xff00ull) | (static_cast<uint64_t>(num + 1) << 8);
   Store8(ctx, node, header);
@@ -220,7 +220,7 @@ Status PArt::AddChild(ExecContext& ctx, uint64_t& node_ref_slot, uint64_t node, 
 
 Status PArt::Insert(ExecContext& ctx, uint64_t key, uint64_t value) {
   if (bump_ + 4096 >= config_.pool_bytes) {
-    return Status(ErrCode::kNoSpace);
+    return Status(ErrorCode::kNoSpace);
   }
   uint64_t node = root_;
   uint64_t parent_slot = 0;  // pool offset of the slot pointing at `node`
@@ -253,7 +253,7 @@ Status PArt::Insert(ExecContext& ctx, uint64_t key, uint64_t value) {
         Store8(ctx, leaf_off + 8, value);
         return common::OkStatus();
       }
-      return Status(ErrCode::kInternal);  // fixed-depth tree: cannot happen
+      return Status(ErrorCode::kInternal);  // fixed-depth tree: cannot happen
     }
     parent_slot = slot;
     node = *child;
@@ -284,13 +284,13 @@ Result<uint64_t> PArt::Lookup(ExecContext& ctx, uint64_t key) {
       const uint64_t leaf_off = child & ~1ull;
       const uint64_t stored_key = Load8(ctx, leaf_off);
       if (stored_key != key) {
-        return ErrCode::kNotFound;
+        return ErrorCode::kNotFound;
       }
       return Load8(ctx, leaf_off + 8);
     }
     node = child;
   }
-  return ErrCode::kNotFound;
+  return ErrorCode::kNotFound;
 }
 
 }  // namespace wload

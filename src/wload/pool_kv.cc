@@ -4,7 +4,7 @@
 
 namespace wload {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::Result;
 using common::Status;
@@ -62,7 +62,7 @@ Result<uint32_t> PoolKv::Get(ExecContext& ctx, uint64_t key, void* out) {
   }
   auto it = index_.find(key);
   if (it == index_.end()) {
-    return ErrCode::kNotFound;
+    return ErrorCode::kNotFound;
   }
   const Location& loc = it->second;
   RETURN_IF_ERROR(pools_[loc.pool]->Read(ctx, loc.offset, out, loc.len));

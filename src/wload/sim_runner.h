@@ -43,6 +43,14 @@ class SimRunner {
   SimRunner(uint32_t num_threads, uint32_t num_cpus, uint64_t base_ns = 0)
       : num_threads_(num_threads), num_cpus_(num_cpus), base_ns_(base_ns) {}
 
+  // Observability sinks propagated into every worker thread's ExecContext
+  // (null disables collection). Not owned; must outlive Run().
+  SimRunner& SetObservers(obs::TraceBuffer* trace, obs::MetricsRegistry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+    return *this;
+  }
+
   RunResult Run(uint64_t ops_per_thread, const OpFn& op, uint32_t batch = 1) const {
     struct ThreadState {
       common::ExecContext ctx;
@@ -55,6 +63,8 @@ class SimRunner {
       threads.push_back(ThreadState{common::ExecContext(t % num_cpus_, 0), 0, false});
       threads.back().ctx.pid = t;
       threads.back().ctx.clock.SetNs(base_ns_);
+      threads.back().ctx.trace = trace_;
+      threads.back().ctx.metrics = metrics_;
     }
 
     RunResult result;
@@ -95,6 +105,8 @@ class SimRunner {
   uint32_t num_threads_;
   uint32_t num_cpus_;
   uint64_t base_ns_;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace wload

@@ -110,7 +110,7 @@ YcsbResult YcsbDriver::Run(YcsbWorkload workload) {
       case YcsbWorkload::kE: {  // 95% scan / 5% insert
         if (p < 0.95) {
           auto n = store_->Scan(ctx, key, config_.scan_length, out.data());
-          ok = n.ok() || n.status().code() == common::ErrCode::kNotSupported;
+          ok = n.ok() || n.status().code() == common::ErrorCode::kNotSupported;
         } else {
           const uint64_t k = next_insert.fetch_add(1);
           ok = store_->Put(ctx, k, value.data(), value.size()).ok();
@@ -122,7 +122,7 @@ YcsbResult YcsbDriver::Run(YcsbWorkload workload) {
           ok = store_->Get(ctx, key, out.data()).ok();
         } else {
           auto got = store_->Get(ctx, key, out.data());
-          ok = got.ok() || got.status().code() == common::ErrCode::kNotFound;
+          ok = got.ok() || got.status().code() == common::ErrorCode::kNotFound;
           ok = ok && store_->Put(ctx, key, value.data(), value.size()).ok();
         }
         break;

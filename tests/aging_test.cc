@@ -85,7 +85,7 @@ TEST(AgingPropertyTest, WineFsKeepsAlignedFreeSpaceOthersLoseIt) {
     config.seed = 5;
     aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(5), config);
     EXPECT_TRUE(geriatrix.Run(ctx).ok());
-    return fs->GetFreeSpaceInfo().AlignedFreeFraction();
+    return fs->StatFs(ctx).value().AlignedFreeFraction();
   };
 
   const double winefs = aligned_fraction("winefs");

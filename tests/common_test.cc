@@ -1,6 +1,7 @@
 // Unit tests for src/common: Status/Result, RNG/Zipf, histogram, sim clocks.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <thread>
 #include <vector>
 
@@ -14,7 +15,7 @@
 
 namespace {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::LatencyHistogram;
 using common::Result;
 using common::Rng;
@@ -23,19 +24,34 @@ using common::ZipfGenerator;
 
 TEST(StatusTest, OkIsOk) {
   EXPECT_TRUE(common::OkStatus().ok());
-  EXPECT_EQ(common::OkStatus().code(), ErrCode::kOk);
+  EXPECT_EQ(common::OkStatus().code(), ErrorCode::kOk);
 }
 
-TEST(StatusTest, ErrorCarriesCodeAndMessage) {
-  const Status s(ErrCode::kNoSpace);
+TEST(StatusTest, ErrorCarriesCodeAndErrno) {
+  const Status s(ErrorCode::kNoSpace);
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), ErrCode::kNoSpace);
-  EXPECT_EQ(s.message(), "no space left on device");
+  EXPECT_EQ(s.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(s.errno_value(), ENOSPC);
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST(StatusTest, ErrnoMappingMatchesPosix) {
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kOk), 0);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kNotFound), ENOENT);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kExists), EEXIST);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kInvalidArgument), EINVAL);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kBadFd), EBADF);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kNotDir), ENOTDIR);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kIsDir), EISDIR);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kNotEmpty), ENOTEMPTY);
+  // Simulator-internal failures surface to applications as I/O errors.
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kCorrupt), EIO);
+  EXPECT_EQ(common::ErrnoOf(ErrorCode::kInternal), EIO);
 }
 
 TEST(StatusTest, EveryCodeHasAMessage) {
-  for (int c = 0; c <= static_cast<int>(ErrCode::kInternal); c++) {
-    const Status s(static_cast<ErrCode>(c));
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); c++) {
+    const Status s(static_cast<ErrorCode>(c));
     EXPECT_FALSE(s.message().empty());
     EXPECT_NE(s.message(), "unknown");
   }
@@ -48,9 +64,9 @@ TEST(ResultTest, HoldsValue) {
 }
 
 TEST(ResultTest, HoldsError) {
-  Result<int> r(ErrCode::kNotFound);
+  Result<int> r(ErrorCode::kNotFound);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), ErrCode::kNotFound);
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
 }
 
 Result<int> Doubler(Result<int> in) {
@@ -60,7 +76,7 @@ Result<int> Doubler(Result<int> in) {
 
 TEST(ResultTest, AssignOrReturnPropagates) {
   EXPECT_EQ(*Doubler(21), 42);
-  EXPECT_EQ(Doubler(ErrCode::kIoError).status().code(), ErrCode::kIoError);
+  EXPECT_EQ(Doubler(ErrorCode::kIoError).status().code(), ErrorCode::kIoError);
 }
 
 TEST(UnitsTest, Rounding) {

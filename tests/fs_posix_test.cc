@@ -12,7 +12,7 @@
 
 namespace {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::kBlockSize;
 using common::kMiB;
@@ -65,14 +65,14 @@ TEST_P(FsPosixTest, CreateWriteReadRoundTrip) {
 TEST_P(FsPosixTest, OpenMissingFails) {
   auto fd = fs_->Open(ctx_, "/missing", vfs::OpenFlags::ReadOnly());
   ASSERT_FALSE(fd.ok());
-  EXPECT_EQ(fd.status().code(), ErrCode::kNotFound);
+  EXPECT_EQ(fd.status().code(), ErrorCode::kNotFound);
 }
 
 TEST_P(FsPosixTest, ExclusiveCreateFailsOnExisting) {
   MustCreate("/dup", {});
   auto fd = fs_->Open(ctx_, "/dup", vfs::OpenFlags::CreateExcl());
   ASSERT_FALSE(fd.ok());
-  EXPECT_EQ(fd.status().code(), ErrCode::kExists);
+  EXPECT_EQ(fd.status().code(), ErrorCode::kExists);
 }
 
 TEST_P(FsPosixTest, TruncateOnOpenEmptiesFile) {
@@ -150,9 +150,9 @@ TEST_P(FsPosixTest, SparseFileReadsZeros) {
 
 TEST_P(FsPosixTest, FtruncateShrinkFreesBlocks) {
   const int fd = MustCreate("/shrink", Pattern(8 * kBlockSize));
-  const auto before = fs_->GetFreeSpaceInfo().free_blocks;
+  const auto before = fs_->StatFs(ctx_).value().free_blocks;
   ASSERT_TRUE(fs_->Ftruncate(ctx_, fd, kBlockSize).ok());
-  EXPECT_GT(fs_->GetFreeSpaceInfo().free_blocks, before);
+  EXPECT_GT(fs_->StatFs(ctx_).value().free_blocks, before);
   auto st = fs_->Stat(ctx_, "/shrink");
   EXPECT_EQ(st->size, kBlockSize);
 }
@@ -172,8 +172,8 @@ TEST_P(FsPosixTest, MkdirAndNesting) {
   auto st = fs_->Stat(ctx_, "/d1/d2/f");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(st->size, 10u);
-  EXPECT_EQ(fs_->Mkdir(ctx_, "/d1").code(), ErrCode::kExists);
-  EXPECT_EQ(fs_->Mkdir(ctx_, "/nope/d").code(), ErrCode::kNotFound);
+  EXPECT_EQ(fs_->Mkdir(ctx_, "/d1").code(), ErrorCode::kExists);
+  EXPECT_EQ(fs_->Mkdir(ctx_, "/nope/d").code(), ErrorCode::kNotFound);
 }
 
 TEST_P(FsPosixTest, ReadDirListsEntries) {
@@ -194,10 +194,10 @@ TEST_P(FsPosixTest, ReadDirListsEntries) {
 TEST_P(FsPosixTest, RmdirOnlyWhenEmpty) {
   ASSERT_TRUE(fs_->Mkdir(ctx_, "/rd").ok());
   MustCreate("/rd/f", {});
-  EXPECT_EQ(fs_->Rmdir(ctx_, "/rd").code(), ErrCode::kNotEmpty);
+  EXPECT_EQ(fs_->Rmdir(ctx_, "/rd").code(), ErrorCode::kNotEmpty);
   ASSERT_TRUE(fs_->Unlink(ctx_, "/rd/f").ok());
   EXPECT_TRUE(fs_->Rmdir(ctx_, "/rd").ok());
-  EXPECT_EQ(fs_->Stat(ctx_, "/rd").status().code(), ErrCode::kNotFound);
+  EXPECT_EQ(fs_->Stat(ctx_, "/rd").status().code(), ErrorCode::kNotFound);
 }
 
 TEST_P(FsPosixTest, UnlinkFreesSpace) {
@@ -205,28 +205,28 @@ TEST_P(FsPosixTest, UnlinkFreesSpace) {
   // before/after comparison only sees the file's own blocks.
   MustCreate("/warmup", {});
   ASSERT_TRUE(fs_->Unlink(ctx_, "/warmup").ok());
-  const auto before = fs_->GetFreeSpaceInfo().free_blocks;
+  const auto before = fs_->StatFs(ctx_).value().free_blocks;
   MustCreate("/big", Pattern(4 * kMiB));
-  EXPECT_LT(fs_->GetFreeSpaceInfo().free_blocks, before);
+  EXPECT_LT(fs_->StatFs(ctx_).value().free_blocks, before);
   ASSERT_TRUE(fs_->Unlink(ctx_, "/big").ok());
   // The parent directory's own metadata (e.g. a NOVA log page) may have grown
   // by a block or two during the churn; the file's 1024 blocks must be back.
-  EXPECT_GE(fs_->GetFreeSpaceInfo().free_blocks + 2, before);
-  EXPECT_LE(fs_->GetFreeSpaceInfo().free_blocks, before);
-  EXPECT_EQ(fs_->Stat(ctx_, "/big").status().code(), ErrCode::kNotFound);
+  EXPECT_GE(fs_->StatFs(ctx_).value().free_blocks + 2, before);
+  EXPECT_LE(fs_->StatFs(ctx_).value().free_blocks, before);
+  EXPECT_EQ(fs_->Stat(ctx_, "/big").status().code(), ErrorCode::kNotFound);
 }
 
 TEST_P(FsPosixTest, UnlinkDirectoryFails) {
   ASSERT_TRUE(fs_->Mkdir(ctx_, "/isdir").ok());
-  EXPECT_EQ(fs_->Unlink(ctx_, "/isdir").code(), ErrCode::kIsDir);
-  EXPECT_EQ(fs_->Rmdir(ctx_, "/isdir").code(), ErrCode::kOk);
+  EXPECT_EQ(fs_->Unlink(ctx_, "/isdir").code(), ErrorCode::kIsDir);
+  EXPECT_EQ(fs_->Rmdir(ctx_, "/isdir").code(), ErrorCode::kOk);
 }
 
 TEST_P(FsPosixTest, RenameMovesFile) {
   MustCreate("/old", Pattern(123));
   ASSERT_TRUE(fs_->Mkdir(ctx_, "/dst").ok());
   ASSERT_TRUE(fs_->Rename(ctx_, "/old", "/dst/new").ok());
-  EXPECT_EQ(fs_->Stat(ctx_, "/old").status().code(), ErrCode::kNotFound);
+  EXPECT_EQ(fs_->Stat(ctx_, "/old").status().code(), ErrorCode::kNotFound);
   auto st = fs_->Stat(ctx_, "/dst/new");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(st->size, 123u);
@@ -235,11 +235,11 @@ TEST_P(FsPosixTest, RenameMovesFile) {
 TEST_P(FsPosixTest, RenameOverwritesFile) {
   MustCreate("/src", Pattern(10));
   MustCreate("/tgt", Pattern(9999));
-  const auto before = fs_->GetFreeSpaceInfo().free_blocks;
+  const auto before = fs_->StatFs(ctx_).value().free_blocks;
   ASSERT_TRUE(fs_->Rename(ctx_, "/src", "/tgt").ok());
   auto st = fs_->Stat(ctx_, "/tgt");
   EXPECT_EQ(st->size, 10u);
-  EXPECT_GE(fs_->GetFreeSpaceInfo().free_blocks, before);  // old target freed
+  EXPECT_GE(fs_->StatFs(ctx_).value().free_blocks, before);  // old target freed
 }
 
 TEST_P(FsPosixTest, XattrRoundTrip) {
@@ -248,7 +248,7 @@ TEST_P(FsPosixTest, XattrRoundTrip) {
   auto v = fs_->GetXattr(ctx_, "/x", "user.winefs.aligned");
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "1");
-  EXPECT_EQ(fs_->GetXattr(ctx_, "/x", "user.other").status().code(), ErrCode::kNoData);
+  EXPECT_EQ(fs_->GetXattr(ctx_, "/x", "user.other").status().code(), ErrorCode::kNoData);
 }
 
 TEST_P(FsPosixTest, FsyncSucceedsAndCounts) {
@@ -260,9 +260,9 @@ TEST_P(FsPosixTest, FsyncSucceedsAndCounts) {
 
 TEST_P(FsPosixTest, BadFdRejected) {
   uint8_t b;
-  EXPECT_EQ(fs_->Pread(ctx_, 9999, &b, 1, 0).status().code(), ErrCode::kBadFd);
-  EXPECT_EQ(fs_->Fsync(ctx_, -1).code(), ErrCode::kBadFd);
-  EXPECT_EQ(fs_->Close(ctx_, 12345).code(), ErrCode::kBadFd);
+  EXPECT_EQ(fs_->Pread(ctx_, 9999, &b, 1, 0).status().code(), ErrorCode::kBadFd);
+  EXPECT_EQ(fs_->Fsync(ctx_, -1).code(), ErrorCode::kBadFd);
+  EXPECT_EQ(fs_->Close(ctx_, 12345).code(), ErrorCode::kBadFd);
 }
 
 TEST_P(FsPosixTest, ManySmallFiles) {
@@ -323,10 +323,10 @@ TEST_P(FsPosixTest, RemountPreservesEverything) {
 
 TEST_P(FsPosixTest, RemountPreservesFreeSpaceAccounting) {
   MustCreate("/f1", Pattern(1 * kMiB));
-  const auto before = fs_->GetFreeSpaceInfo();
+  const auto before = fs_->StatFs(ctx_).value();
   ASSERT_TRUE(fs_->Unmount(ctx_).ok());
   ASSERT_TRUE(fs_->Mount(ctx_).ok());
-  const auto after = fs_->GetFreeSpaceInfo();
+  const auto after = fs_->StatFs(ctx_).value();
   // Log-structured filesystems reclaim their forgotten per-inode log pages on
   // remount (see Nova::RebuildAllocator), so free space may grow slightly.
   EXPECT_GE(after.free_blocks, before.free_blocks);
@@ -363,7 +363,7 @@ TEST_P(FsPosixTest, EnospcSurfacedAndRecoverable) {
     ASSERT_TRUE(fs_->Close(ctx_, *fd).ok());
     i++;
   }
-  EXPECT_EQ(last.code(), ErrCode::kNoSpace);
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
   ASSERT_TRUE(fs_->Unlink(ctx_, "/fill0").ok());
   auto fd = fs_->Open(ctx_, "/retry", vfs::OpenFlags::Create());
   ASSERT_TRUE(fd.ok());

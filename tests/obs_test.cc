@@ -1,0 +1,298 @@
+// Tests for the observability layer (src/obs): trace buffer + spans, metrics
+// registry, JSON writer/parser, the bench-report schema validator, and the
+// counter-accounting invariants the registered-counter registry makes
+// checkable across every filesystem.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/fs/registry.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
+#include "src/pmem/device.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kMiB;
+
+// ---- trace buffer -----------------------------------------------------------
+
+TEST(TraceBufferTest, RecordsEventsAndAggregates) {
+  obs::TraceBuffer trace(/*capacity=*/8);
+  trace.Record(obs::TraceEvent{obs::SpanCat::kAllocation, 0, 100, 150, 4});
+  trace.Record(obs::TraceEvent{obs::SpanCat::kAllocation, 1, 200, 230, 2});
+  trace.Record(obs::TraceEvent{obs::SpanCat::kDataCopy, 0, 300, 400, 4096});
+
+  EXPECT_EQ(trace.recorded(), 3u);
+  EXPECT_EQ(trace.Count(obs::SpanCat::kAllocation), 2u);
+  EXPECT_EQ(trace.TotalNs(obs::SpanCat::kAllocation), 80u);
+  EXPECT_EQ(trace.TotalNs(obs::SpanCat::kDataCopy), 100u);
+  EXPECT_EQ(trace.TotalNs(obs::SpanCat::kJournalCommit), 0u);
+
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].start_ns, 100u);
+  EXPECT_EQ(events[2].cat, obs::SpanCat::kDataCopy);
+  EXPECT_EQ(events[2].duration_ns(), 100u);
+}
+
+TEST(TraceBufferTest, RingWrapKeepsAggregatesOverAllEvents) {
+  obs::TraceBuffer trace(/*capacity=*/4);
+  for (uint64_t i = 0; i < 10; i++) {
+    trace.Record(obs::TraceEvent{obs::SpanCat::kFaultHandling, 0, i * 10, i * 10 + 5, 0});
+  }
+  // The ring only retains the 4 newest events...
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().start_ns, 60u);  // oldest retained
+  EXPECT_EQ(events.back().start_ns, 90u);   // newest
+  // ...but the aggregates cover everything ever recorded.
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.Count(obs::SpanCat::kFaultHandling), 10u);
+  EXPECT_EQ(trace.TotalNs(obs::SpanCat::kFaultHandling), 50u);
+}
+
+TEST(ScopedSpanTest, NoOpWithoutSinkRecordsWithSink) {
+  ExecContext ctx;
+  {
+    obs::ScopedSpan span(ctx, obs::SpanCat::kAllocation, 1);
+    ctx.clock.Advance(500);
+  }  // no trace attached: nothing to record, nothing to crash on
+
+  obs::TraceBuffer trace;
+  ctx.trace = &trace;
+  {
+    obs::ScopedSpan span(ctx, obs::SpanCat::kAllocation, 7);
+    ctx.clock.Advance(250);
+  }
+  ctx.trace = nullptr;
+  ASSERT_EQ(trace.recorded(), 1u);
+  const auto events = trace.Events();
+  EXPECT_EQ(events[0].cat, obs::SpanCat::kAllocation);
+  EXPECT_EQ(events[0].duration_ns(), 250u);
+  EXPECT_EQ(events[0].arg, 7u);
+}
+
+TEST(SpanCatTest, EveryCategoryHasAName) {
+  for (int c = 0; c < obs::kNumSpanCats; c++) {
+    EXPECT_FALSE(std::string_view(obs::SpanCatName(static_cast<obs::SpanCat>(c))).empty());
+  }
+}
+
+// ---- metrics registry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, RecordsOpsAndCounters) {
+  obs::MetricsRegistry registry;
+  registry.RecordOp("winefs", "pwrite", 1000);
+  registry.RecordOp("winefs", "pwrite", 3000);
+  registry.RecordOp("winefs", "fsync", 500);
+  registry.AddCounter("winefs", "custom", 2);
+  registry.AddCounter("winefs", "custom", 3);
+
+  EXPECT_EQ(registry.FsNames(), std::vector<std::string>{"winefs"});
+  EXPECT_EQ(registry.OpsFor("winefs"), (std::vector<std::string>{"fsync", "pwrite"}));
+  EXPECT_EQ(registry.OpHistogram("winefs", "pwrite").count(), 2u);
+  EXPECT_EQ(registry.Counter("winefs", "custom"), 5u);
+  EXPECT_EQ(registry.Counter("winefs", "absent"), 0u);
+
+  registry.Clear();
+  EXPECT_TRUE(registry.FsNames().empty());
+}
+
+TEST(MetricsRegistryTest, MergeCountersUsesRegisteredNames) {
+  common::PerfCounters counters;
+  counters.alloc_requests = 10;
+  counters.aligned_allocs = 7;
+  obs::MetricsRegistry registry;
+  registry.MergeCounters("fsA", counters);
+  registry.MergeCounters("fsA", counters);
+
+  EXPECT_EQ(registry.Counter("fsA", "alloc_requests"), 20u);
+  EXPECT_EQ(registry.Counter("fsA", "aligned_allocs"), 14u);
+  // Every registered field shows up, even when zero.
+  EXPECT_EQ(registry.CountersFor("fsA").size(), common::kNumCounterFields);
+}
+
+TEST(OpScopeTest, FeedsRegistryThroughContext) {
+  ExecContext ctx;
+  obs::MetricsRegistry registry;
+  ctx.metrics = &registry;
+  {
+    obs::OpScope op(ctx, "testfs", "open");
+    ctx.clock.Advance(1234);
+  }
+  ctx.metrics = nullptr;
+  const auto hist = registry.OpHistogram("testfs", "open");
+  EXPECT_EQ(hist.count(), 1u);
+  // The histogram is log-bucketed (~4% wide buckets), so the median comes
+  // back as the sample's bucket upper bound.
+  EXPECT_GE(hist.MedianNanos(), 1234u);
+  EXPECT_LE(hist.MedianNanos(), 1234u * 106 / 100);
+}
+
+// ---- JSON writer/parser -----------------------------------------------------
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .String("fig\"02\"\n")
+      .Key("count")
+      .Number(uint64_t{18446744073709551615ull})
+      .Key("ratio")
+      .Number(2.5)
+      .Key("bad")
+      .Number(std::nan(""))
+      .Key("flag")
+      .Bool(true)
+      .Key("list")
+      .BeginArray()
+      .Number(1)
+      .Number(2)
+      .EndArray()
+      .EndObject();
+
+  auto parsed = obs::JsonValue::Parse(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->Find("name")->string_value, "fig\"02\"\n");
+  // 2^64-1 exceeds double precision; the writer prints it exactly, and the
+  // parser reads it to the nearest representable double.
+  EXPECT_NEAR(parsed->Find("count")->number_value, 1.8446744073709552e19, 1e5);
+  EXPECT_EQ(parsed->Find("ratio")->number_value, 2.5);
+  EXPECT_EQ(parsed->Find("bad")->type, obs::JsonValue::Type::kNull);
+  EXPECT_TRUE(parsed->Find("flag")->bool_value);
+  ASSERT_EQ(parsed->Find("list")->array.size(), 2u);
+  EXPECT_EQ(parsed->Find("list")->array[1].number_value, 2.0);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(obs::JsonValue::Parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("").ok());
+}
+
+// ---- bench report + schema validator ----------------------------------------
+
+obs::BenchReport MakeValidReport() {
+  obs::BenchReport report("unit_test");
+  report.AddConfig("device_mib", 64.0);
+  report.AddMetric("winefs", "throughput_mbps", 123.4);
+  common::PerfCounters counters;
+  counters.alloc_requests = 3;
+  report.SetCounters("winefs", counters);
+  return report;
+}
+
+TEST(BenchReportTest, EmittedJsonValidates) {
+  const obs::BenchReport report = MakeValidReport();
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(obs::ValidateBenchReportJson(json).ok())
+      << obs::ValidateBenchReportJson(json).message();
+
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("bench")->string_value, "unit_test");
+  const obs::JsonValue& row = parsed->Find("results")->array[0];
+  EXPECT_EQ(row.Find("fs")->string_value, "winefs");
+  EXPECT_EQ(row.Find("counters")->Find("alloc_requests")->number_value, 3.0);
+}
+
+TEST(BenchReportTest, ValidatorRejectsBrokenReports) {
+  EXPECT_FALSE(obs::ValidateBenchReportJson("not json").ok());
+  EXPECT_FALSE(obs::ValidateBenchReportJson("[]").ok());
+  // Wrong schema version.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+                   R"({"schema_version":2,"bench":"x","config":{},"results":[)"
+                   R"({"fs":"a","metrics":{},"counters":{}}]})")
+                   .ok());
+  // Empty results array.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+                   R"({"schema_version":1,"bench":"x","config":{},"results":[]})")
+                   .ok());
+  // Counters object missing registered fields.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+                   R"({"schema_version":1,"bench":"x","config":{},"results":[)"
+                   R"({"fs":"a","metrics":{},"counters":{}}]})")
+                   .ok());
+}
+
+TEST(BenchReportTest, SpanAndLatencySectionsValidate) {
+  obs::BenchReport report = MakeValidReport();
+  obs::TraceBuffer trace;
+  trace.Record(obs::TraceEvent{obs::SpanCat::kJournalCommit, 0, 0, 42, 0});
+  report.AddSpans("winefs", trace);
+  common::LatencyHistogram hist;
+  hist.Record(100);
+  hist.Record(300);
+  report.ForFs("winefs").latencies.push_back(obs::SummarizeHistogram("pwrite", hist));
+
+  const std::string json = report.ToJson();
+  ASSERT_TRUE(obs::ValidateBenchReportJson(json).ok())
+      << obs::ValidateBenchReportJson(json).message();
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue& row = parsed->Find("results")->array[0];
+  EXPECT_EQ(row.Find("spans_ns")->Find("journal_commit")->number_value, 42.0);
+  EXPECT_EQ(row.Find("latency_ns")->Find("pwrite")->Find("count")->number_value, 2.0);
+}
+
+// ---- counter-accounting invariants across all filesystems -------------------
+
+// Runs a small metadata + data workload and folds the counters into a
+// registry, as the benches do.
+void RunAccountingWorkload(const std::string& fs_name, obs::MetricsRegistry& registry) {
+  pmem::PmemDevice dev(64 * kMiB);
+  auto fs = fsreg::Create(fs_name, &dev, /*num_cpus=*/2);
+  ASSERT_NE(fs, nullptr) << fs_name;
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok()) << fs_name;
+
+  std::vector<uint8_t> buf(4096, 0x5c);
+  for (int i = 0; i < 8; i++) {
+    auto fd = fs->Open(ctx, "/f" + std::to_string(i), vfs::OpenFlags::Create());
+    ASSERT_TRUE(fd.ok()) << fs_name;
+    for (int b = 0; b < 8; b++) {
+      ASSERT_TRUE(fs->Pwrite(ctx, *fd, buf.data(), buf.size(), b * 4096).ok()) << fs_name;
+    }
+    // Partially overwrite an existing block: strict-mode filesystems must
+    // make this atomic (journal or CoW with old-byte copy-in), which is what
+    // the invariants below check.
+    ASSERT_TRUE(fs->Pwrite(ctx, *fd, buf.data(), 1000, 100).ok()) << fs_name;
+    ASSERT_TRUE(fs->Fsync(ctx, *fd).ok()) << fs_name;
+    ASSERT_TRUE(fs->Close(ctx, *fd).ok()) << fs_name;
+  }
+  registry.MergeCounters(fs_name, ctx.counters);
+}
+
+TEST(CounterAccountingTest, InvariantsHoldAcrossAllFilesystems) {
+  obs::MetricsRegistry registry;
+  std::vector<std::string> lineup = fsreg::RelaxedLineup();
+  for (const std::string& fs_name : fsreg::StrictLineup()) {
+    lineup.push_back(fs_name);
+  }
+  for (const std::string& fs_name : lineup) {
+    SCOPED_TRACE(fs_name);
+    RunAccountingWorkload(fs_name, registry);
+    // Aligned allocations are a subset of all allocation requests.
+    EXPECT_LE(registry.Counter(fs_name, "aligned_allocs"),
+              registry.Counter(fs_name, "alloc_requests"));
+    EXPECT_GT(registry.Counter(fs_name, "alloc_requests"), 0u);
+  }
+
+  // Strict WineFS journals metadata (and small data overwrites): the undo
+  // journal must have seen bytes.
+  EXPECT_GT(registry.Counter("winefs", "journal_bytes"), 0u);
+  // Strict NOVA is log-structured/CoW for data: overwrites relocate bytes.
+  EXPECT_GT(registry.Counter("nova", "cow_bytes"), 0u);
+}
+
+}  // namespace

@@ -202,7 +202,7 @@ TEST_P(FsChurnProperty, NoExtentOverlapAndSpaceConserved) {
   for (const std::string& path : files) {
     ASSERT_TRUE(fs->Unlink(ctx, path).ok());
   }
-  const auto info = fs->GetFreeSpaceInfo();
+  const auto info = fs->StatFs(ctx).value();
   // Bounded residue is fine: the root directory's dirent blocks stay at their
   // high-water size, and NOVA's root inode keeps up to gc_log_pages live log
   // pages. Anything beyond that bound is a leak.

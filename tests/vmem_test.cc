@@ -5,6 +5,7 @@
 #include "src/common/units.h"
 #include "src/pmem/device.h"
 #include "src/vmem/llc_cache.h"
+#include "src/obs/trace.h"
 #include "src/vmem/mmap_engine.h"
 #include "src/vmem/page_table.h"
 #include "src/vmem/tlb.h"
@@ -179,13 +180,18 @@ TEST_F(MmapEngineTest, HugeFaultsAreCheaperInTotal) {
   auto huge_map = engine_.Mmap(&huge_handler, 1, 2 * common::kMiB, true);
   auto base_map = engine_.Mmap(&base_handler, 2, 2 * common::kMiB, true);
   std::vector<uint8_t> buf(2 * common::kMiB, 1);
+  obs::TraceBuffer huge_trace;
+  obs::TraceBuffer base_trace;
   ExecContext huge_ctx(0);
+  huge_ctx.trace = &huge_trace;
   ExecContext base_ctx(1);
+  base_ctx.trace = &base_trace;
   ASSERT_TRUE(huge_map->Write(huge_ctx, 0, buf.data(), buf.size()).ok());
   ASSERT_TRUE(base_map->Write(base_ctx, 0, buf.data(), buf.size()).ok());
   // Fig 2: with hugepages the 2 MiB write is ~2x faster end to end.
   EXPECT_LT(huge_ctx.clock.NowNs() * 3 / 2, base_ctx.clock.NowNs());
-  EXPECT_GT(base_ctx.counters.fault_handling_ns, huge_ctx.counters.fault_handling_ns * 10);
+  EXPECT_GT(base_trace.TotalNs(obs::SpanCat::kFaultHandling),
+            huge_trace.TotalNs(obs::SpanCat::kFaultHandling) * 10);
 }
 
 TEST_F(MmapEngineTest, ReadBackMatchesWrite) {

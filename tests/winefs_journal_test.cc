@@ -12,7 +12,7 @@
 
 namespace {
 
-using common::ErrCode;
+using common::ErrorCode;
 using common::ExecContext;
 using common::kBlockSize;
 using common::kMiB;
@@ -105,7 +105,7 @@ TEST(WineFsJournalTest, RecoveryIsIdempotent) {
     auto st = fs2->Stat(rctx, "/f");
     ASSERT_TRUE(st.ok());
     EXPECT_EQ(st->size, buf.size());
-    const auto info = fs2->GetFreeSpaceInfo();
+    const auto info = fs2->StatFs(rctx).value();
     EXPECT_GT(info.free_blocks, 0u);
   }
 }
@@ -127,7 +127,7 @@ TEST(WineFsJournalTest, EnospcOnMmapFaultSurfacesCleanly) {
     status = fs->Fallocate(ctx, *filler, off, 2 * kMiB);
     off += 2 * kMiB;
   }
-  EXPECT_EQ(status.code(), ErrCode::kNoSpace);
+  EXPECT_EQ(status.code(), ErrorCode::kNoSpace);
 
   // A sparse mapping whose write faults cannot allocate must fail the access,
   // not crash, and the filesystem must stay usable.

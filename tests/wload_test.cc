@@ -73,7 +73,7 @@ TEST_F(WloadTest, MmapLsmRoundTrip) {
     EXPECT_EQ(out[0], static_cast<uint8_t>(k));
     EXPECT_EQ(out[500], value[500]);
   }
-  EXPECT_EQ(lsm.Get(ctx_, 99999, out.data()).status().code(), common::ErrCode::kNotFound);
+  EXPECT_EQ(lsm.Get(ctx_, 99999, out.data()).status().code(), common::ErrorCode::kNotFound);
 }
 
 TEST_F(WloadTest, MmapLsmRollsSegments) {
