@@ -1,12 +1,25 @@
-// Standalone validator for BENCH_<name>.json files: reads the file named by
-// argv[1], checks it against bench schema v1, and (with --require-spans)
-// additionally requires every result row to carry nonzero fault_handling and
-// data_copy span totals — the trace-derived Figure 2 breakdown. The CTest
-// bench_json_schema target runs a real bench and then this binary, so schema
-// rot in the reporter fails the suite end-to-end.
+// Standalone validator for bench artifacts. Modes:
+//   bench_json_check BENCH_<name>.json
+//       schema v2 validation of the report.
+//   bench_json_check BENCH_<name>.json --require-spans
+//       additionally requires every result row to carry nonzero
+//       fault_handling and data_copy span totals — the trace-derived Figure 2
+//       breakdown.
+//   bench_json_check BENCH_<name>.json --require-timeseries
+//       additionally requires every result row to carry a timeseries section
+//       with at least 10 samples each of aligned_free_fraction and
+//       free_blocks — the aging-observatory trajectories.
+//   bench_json_check --chrome-trace TRACE_<name>.json
+//       structural validation of a Chrome trace-event export: traceEvents
+//       array with complete ("X") events spanning at least 2 categories and
+//       at least 2 CPU tracks (tids).
+// The CTest bench_json_schema / bench_timeseries_schema / bench_chrome_trace
+// targets run a real bench and then this binary, so rot in the reporters
+// fails the suite end-to-end.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -42,32 +55,156 @@ int CheckSpans(const char* path, const obs::JsonValue& root) {
   return 0;
 }
 
+// Beyond the schema: every result row must carry the aging-observatory time
+// series with enough samples of the headline fragmentation gauges to plot a
+// trajectory.
+int CheckTimeSeries(const char* path, const obs::JsonValue& root) {
+  constexpr size_t kMinSamples = 10;
+  const obs::JsonValue* results = root.Find("results");
+  for (const obs::JsonValue& row : results->array) {
+    const obs::JsonValue* fs = row.Find("fs");
+    const obs::JsonValue* series = row.Find("timeseries");
+    if (series == nullptr || !series->is_object()) {
+      return Fail(path, "result row '" + fs->string_value + "' lacks timeseries");
+    }
+    for (const char* gauge : {"aligned_free_fraction", "free_blocks"}) {
+      const obs::JsonValue* points = series->Find(gauge);
+      if (points == nullptr || points->type != obs::JsonValue::Type::kArray) {
+        return Fail(path, "result row '" + fs->string_value + "' timeseries lacks " + gauge);
+      }
+      if (points->array.size() < kMinSamples) {
+        return Fail(path, "result row '" + fs->string_value + "' timeseries." + gauge +
+                              " has " + std::to_string(points->array.size()) +
+                              " samples, need >= " + std::to_string(kMinSamples));
+      }
+    }
+  }
+  return 0;
+}
+
+// Structural check of a Chrome trace-event JSON: an object with a traceEvents
+// array whose complete ("X") events cover >= 2 categories and >= 2 tids
+// (per-CPU tracks), each with name/ts/dur/pid.
+int CheckChromeTrace(const char* path, const std::string& text) {
+  auto root = obs::JsonValue::Parse(text);
+  if (!root.ok()) {
+    return Fail(path, "parse failed: " + std::string(root.status().message()));
+  }
+  if (!root->is_object()) {
+    return Fail(path, "top level is not an object");
+  }
+  const obs::JsonValue* events = root->Find("traceEvents");
+  if (events == nullptr || events->type != obs::JsonValue::Type::kArray) {
+    return Fail(path, "missing traceEvents array");
+  }
+  std::set<std::string> cats;
+  std::set<double> tids;
+  size_t complete_events = 0;
+  for (const obs::JsonValue& ev : events->array) {
+    if (!ev.is_object()) {
+      return Fail(path, "traceEvents entry is not an object");
+    }
+    const obs::JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || ph->type != obs::JsonValue::Type::kString) {
+      return Fail(path, "traceEvents entry lacks ph");
+    }
+    if (ph->string_value != "X") {
+      continue;  // metadata etc.
+    }
+    complete_events++;
+    for (const char* key : {"name", "cat"}) {
+      const obs::JsonValue* v = ev.Find(key);
+      if (v == nullptr || v->type != obs::JsonValue::Type::kString) {
+        return Fail(path, "X event lacks string " + std::string(key));
+      }
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      const obs::JsonValue* v = ev.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return Fail(path, "X event lacks numeric " + std::string(key));
+      }
+    }
+    cats.insert(ev.Find("cat")->string_value);
+    tids.insert(ev.Find("tid")->number_value);
+  }
+  if (complete_events == 0) {
+    return Fail(path, "no complete (ph=X) events");
+  }
+  if (cats.size() < 2) {
+    return Fail(path, "spans cover " + std::to_string(cats.size()) +
+                          " categories, need >= 2");
+  }
+  if (tids.size() < 2) {
+    return Fail(path, "spans cover " + std::to_string(tids.size()) +
+                          " CPU tracks, need >= 2");
+  }
+  std::printf("%s: ok (%zu X events, %zu categories, %zu cpu tracks)\n", path,
+              complete_events, cats.size(), tids.size());
+  return 0;
+}
+
+std::string ReadAll(const char* path, bool& ok) {
+  std::ifstream in(path);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_<name>.json [--require-spans]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s BENCH_<name>.json [--require-spans|--require-timeseries]\n"
+                 "       %s --chrome-trace TRACE_<name>.json\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
-  if (!in) {
+
+  if (std::strcmp(argv[1], "--chrome-trace") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --chrome-trace TRACE_<name>.json\n", argv[0]);
+      return 2;
+    }
+    bool ok = false;
+    const std::string text = ReadAll(argv[2], ok);
+    if (!ok) {
+      return Fail(argv[2], "cannot open");
+    }
+    return CheckChromeTrace(argv[2], text);
+  }
+
+  bool ok = false;
+  const std::string text = ReadAll(argv[1], ok);
+  if (!ok) {
     return Fail(argv[1], "cannot open");
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
 
   const common::Status status = obs::ValidateBenchReportJson(text);
   if (!status.ok()) {
     return Fail(argv[1], "schema violation: " + std::string(status.message()));
   }
-  if (argc > 2 && std::strcmp(argv[2], "--require-spans") == 0) {
+  if (argc > 2) {
     auto root = obs::JsonValue::Parse(text);
     if (!root.ok()) {
       return Fail(argv[1], "parse failed after validation");
     }
-    if (int rc = CheckSpans(argv[1], *root); rc != 0) {
-      return rc;
+    if (std::strcmp(argv[2], "--require-spans") == 0) {
+      if (int rc = CheckSpans(argv[1], *root); rc != 0) {
+        return rc;
+      }
+    } else if (std::strcmp(argv[2], "--require-timeseries") == 0) {
+      if (int rc = CheckTimeSeries(argv[1], *root); rc != 0) {
+        return rc;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[2]);
+      return 2;
     }
   }
   std::printf("%s: ok\n", argv[1]);

@@ -13,6 +13,8 @@
 #include "src/aging/profiles.h"
 #include "src/common/units.h"
 #include "src/fs/registry.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/gauges.h"
 #include "src/obs/metrics.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
@@ -42,16 +44,60 @@ inline TestBed MakeBed(const std::string& fs_name, uint64_t device_bytes,
   return bed;
 }
 
-// Ages the bed's filesystem Geriatrix-style. Returns false on failure.
-inline bool AgeBed(TestBed& bed, double utilization, double write_multiplier,
-                   uint64_t seed = 42) {
-  common::ExecContext ctx;
+// One filesystem's observability bundle for a bench run: span trace, op
+// metrics, and the periodic gauge sampler. Keep one FsObs per filesystem (or
+// ctx.Reset() between filesystems) so samples never bleed across rows.
+struct FsObs {
+  // 4096 retained events per filesystem keeps TRACE_<bench>.json exports a
+  // few MB; category aggregates still cover every span ever recorded.
+  static constexpr size_t kTraceCapacity = 4096;
+
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  obs::TimeSeriesSampler sampler;
+
+  // Benches whose single trace serves several instrumented threads (e.g. a
+  // background defragmenter plus a foreground reader) pass a larger
+  // `trace_capacity` so one chatty thread cannot evict the others' spans.
+  explicit FsObs(uint64_t sample_period_ns = obs::TimeSeriesSampler::kDefaultPeriodNs,
+                 size_t trace_capacity = kTraceCapacity)
+      : trace(trace_capacity), sampler(sample_period_ns) {}
+};
+
+// Attaches the bundle to a context and registers the bed's gauge providers
+// (the filesystem and its mmap engine) with the sampler.
+inline void AttachObs(common::ExecContext& ctx, TestBed& bed, FsObs& fs_obs) {
+  fs_obs.sampler.AddProvider(bed.fs.get());
+  fs_obs.sampler.AddProvider(bed.engine.get());
+  ctx.AttachTrace(&fs_obs.trace);
+  ctx.AttachMetrics(&fs_obs.metrics);
+  ctx.AttachSampler(&fs_obs.sampler);
+}
+
+inline void DetachObs(common::ExecContext& ctx) {
+  ctx.AttachTrace(nullptr);
+  ctx.AttachMetrics(nullptr);
+  ctx.AttachSampler(nullptr);
+}
+
+// Ages the bed's filesystem Geriatrix-style with the caller's context, so any
+// attached observability sinks (gauge sampler, trace) see the aging ops.
+// Returns false on failure.
+inline bool AgeBedWithContext(TestBed& bed, common::ExecContext& ctx, double utilization,
+                              double write_multiplier, uint64_t seed = 42) {
   aging::AgingConfig config;
   config.target_utilization = utilization;
   config.write_multiplier = write_multiplier;
   config.seed = seed;
   aging::Geriatrix geriatrix(bed.fs.get(), aging::Profile::Agrawal(seed), config);
   return geriatrix.Run(ctx).ok();
+}
+
+// Ages the bed's filesystem Geriatrix-style. Returns false on failure.
+inline bool AgeBed(TestBed& bed, double utilization, double write_multiplier,
+                   uint64_t seed = 42) {
+  common::ExecContext ctx;
+  return AgeBedWithContext(bed, ctx, utilization, write_multiplier, seed);
 }
 
 // ---- table printing ---------------------------------------------------------
@@ -95,6 +141,20 @@ inline void EmitReport(const obs::BenchReport& report) {
     std::exit(1);
   }
   std::printf("\nresults: %s\n", written->c_str());
+}
+
+// Writes TRACE_<bench>.json (Chrome trace-event format) next to the bench
+// report. Exits non-zero on failure so the trace-check CTest target catches a
+// rotted exporter.
+inline void EmitChromeTrace(const std::string& bench_name,
+                            const std::vector<obs::NamedTrace>& traces) {
+  auto written = obs::WriteChromeTrace(bench_name, traces);
+  if (!written.ok()) {
+    std::fprintf(stderr, "TRACE_%s.json: emit failed: %s\n", bench_name.c_str(),
+                 std::string(written.status().message()).c_str());
+    std::exit(1);
+  }
+  std::printf("trace:   %s\n", written->c_str());
 }
 
 }  // namespace benchutil

@@ -7,6 +7,7 @@
 #include "src/fs/winefs/winefs.h"
 
 using benchutil::Fmt;
+using benchutil::FsObs;
 using benchutil::MakeBed;
 using benchutil::Row;
 using common::ExecContext;
@@ -23,8 +24,11 @@ struct ForegroundResult {
 };
 
 // Shared PM bandwidth: each MiB transferred holds the device for its modeled
-// duration, so concurrent streams queue behind each other.
-ForegroundResult RunForeground(bool with_defrag) {
+// duration, so concurrent streams queue behind each other. When `fs_obs` is
+// non-null, both the background defrag thread (CPU 1) and the foreground
+// reader (CPU 2) are instrumented into it, so the Chrome trace shows the
+// interference on separate CPU tracks.
+ForegroundResult RunForeground(bool with_defrag, FsObs* fs_obs) {
   auto bed = MakeBed("winefs", 1024 * kMiB, 8);
   auto* wfs = dynamic_cast<winefs::WineFs*>(bed.fs.get());
   ExecContext setup;
@@ -50,8 +54,11 @@ ForegroundResult RunForeground(bool with_defrag) {
   // Background defragmentation: the rewrite reads + writes the whole file;
   // charge its bandwidth use in 1 MiB slices starting at the same time as
   // the foreground.
-  ExecContext bg;
+  ExecContext bg(/*cpu_id=*/1);
   bg.clock.SetNs(setup.clock.NowNs());
+  if (fs_obs != nullptr) {
+    benchutil::AttachObs(bg, bed, *fs_obs);
+  }
   if (with_defrag) {
     const uint64_t slices = 2 * kFragFileBytes / kMiB;  // read + write passes
     for (uint64_t s = 0; s < slices; s++) {
@@ -61,8 +68,11 @@ ForegroundResult RunForeground(bool with_defrag) {
   }
 
   // Foreground mmap reads, also claiming bandwidth per MiB.
-  ExecContext fg;
+  ExecContext fg(/*cpu_id=*/2);
   fg.clock.SetNs(setup.clock.NowNs());
+  if (fs_obs != nullptr) {
+    benchutil::AttachObs(fg, bed, *fs_obs);
+  }
   std::vector<uint8_t> buf(kMiB);
   const uint64_t t0 = fg.clock.NowNs();
   for (uint64_t off = 0; off < kForegroundBytes; off += kMiB) {
@@ -76,6 +86,11 @@ ForegroundResult RunForeground(bool with_defrag) {
   out.counters.Add(setup.counters);
   out.counters.Add(bg.counters);
   out.counters.Add(fg.counters);
+  if (fs_obs != nullptr) {
+    // The bed dies with this frame; drop the provider pointers so the
+    // sampler can never probe freed filesystem state.
+    fs_obs->sampler.ClearProviders();
+  }
   return out;
 }
 
@@ -84,8 +99,12 @@ ForegroundResult RunForeground(bool with_defrag) {
 int main() {
   benchutil::Banner("disc_defrag_interference: background rewrite vs foreground reads",
                     "§4 (reactive defragmentation costs 25-40% foreground slowdown)");
-  const ForegroundResult alone = RunForeground(false);
-  const ForegroundResult contended = RunForeground(true);
+  const ForegroundResult alone = RunForeground(false, nullptr);
+  // The foreground reader alone records ~4k data-copy spans; keep enough ring
+  // for the background rewrite's spans (CPU 1) to survive next to them.
+  FsObs contended_obs(obs::TimeSeriesSampler::kDefaultPeriodNs,
+                      /*trace_capacity=*/32768);
+  const ForegroundResult contended = RunForeground(true, &contended_obs);
   Row({"scenario", "fg_MB/s"});
   Row({"no defrag", Fmt(alone.mbps, 0)});
   Row({"defrag running", Fmt(contended.mbps, 0)});
@@ -99,6 +118,10 @@ int main() {
   report.AddMetric("winefs", "fg_mbps_defrag_running", contended.mbps);
   report.AddMetric("winefs", "fg_slowdown_pct", slowdown_pct);
   report.SetCounters("winefs", contended.counters);
+  report.AddTimeSeries("winefs", contended_obs.sampler.series());
+  report.AddSpans("winefs", contended_obs.trace);
   benchutil::EmitReport(report);
+  benchutil::EmitChromeTrace(report.name(),
+                             {obs::NamedTrace{"winefs", &contended_obs.trace}});
   return 0;
 }

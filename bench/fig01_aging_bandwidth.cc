@@ -3,9 +3,14 @@
 // and NOVA lose ~50% of bandwidth once aged past ~60% utilization; WineFS is
 // flat. Sequential memcpy() writes to a fresh mmap'd file (§5.1/§5.3 setup,
 // 100 GiB partition scaled to 1 GiB here).
+#include <deque>
+#include <tuple>
+#include <utility>
+
 #include "bench/bench_util.h"
 
 using benchutil::Fmt;
+using benchutil::FsObs;
 using benchutil::MakeBed;
 using benchutil::Row;
 using common::ExecContext;
@@ -61,12 +66,23 @@ Sample MeasureMmapWriteBandwidth(benchutil::TestBed& bed) {
   return sample;
 }
 
-void RunSweep(bool aged, obs::BenchReport& report) {
+// The aged sweep (the interesting aging timeline) is instrumented when
+// `obs_out` is non-null: the gauge sampler tracks fragmentation as churn
+// progresses, and the span trace feeds the Chrome-trace export in main.
+void RunSweep(bool aged, obs::BenchReport& report,
+              std::deque<std::pair<std::string, FsObs>>* obs_out) {
   std::printf("\n--- %s file systems ---\n", aged ? "(b) aged" : "(a) new");
   Row({"fs", "util%", "GB/s", "hugepage%"});
   for (const std::string fs_name : {"ext4-dax", "nova", "winefs"}) {
     auto bed = MakeBed(fs_name, kDeviceBytes);
     ExecContext ctx;
+    FsObs* fs_obs = nullptr;
+    if (obs_out != nullptr) {
+      obs_out->emplace_back(std::piecewise_construct, std::forward_as_tuple(fs_name),
+                            std::forward_as_tuple());
+      fs_obs = &obs_out->back().second;
+      benchutil::AttachObs(ctx, bed, *fs_obs);
+    }
     aging::AgingConfig config;
     config.seed = 42;
     aging::Geriatrix geriatrix(bed.fs.get(), aging::Profile::Agrawal(42), config);
@@ -87,6 +103,14 @@ void RunSweep(bool aged, obs::BenchReport& report) {
       report.AddMetric(fs_name, key + "_huge_pct", sample.huge_fraction * 100);
     }
     report.SetCounters(fs_name, ctx.counters);
+    if (fs_obs != nullptr) {
+      report.AddTimeSeries(fs_name, fs_obs->sampler.series());
+      report.AddSpans(fs_name, fs_obs->trace);
+      benchutil::DetachObs(ctx);
+      // The bed dies with this iteration; the retained bundle must not keep
+      // provider pointers into it.
+      fs_obs->sampler.ClearProviders();
+    }
   }
 }
 
@@ -101,10 +125,17 @@ int main() {
   report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
   report.AddConfig("bench_file_mib", static_cast<double>(kBenchFileBytes / kMiB));
   report.AddConfig("utilization_sweep", "0,30,60,90");
-  RunSweep(/*aged=*/false, report);
-  RunSweep(/*aged=*/true, report);
+  report.AddConfig("timeseries_sweep", "aged");
+  RunSweep(/*aged=*/false, report, nullptr);
+  std::deque<std::pair<std::string, FsObs>> sweep_obs;
+  RunSweep(/*aged=*/true, report, &sweep_obs);
   std::printf("\nexpected shape: all ~equal when new; when aged, ext4-DAX and NOVA drop\n"
               "~2x by 60-90%% utilization while WineFS stays flat (hugepage%% ~100).\n");
   benchutil::EmitReport(report);
+  std::vector<obs::NamedTrace> traces;
+  for (const auto& [fs_name, fs_obs] : sweep_obs) {
+    traces.push_back(obs::NamedTrace{fs_name, &fs_obs.trace});
+  }
+  benchutil::EmitChromeTrace(report.name(), traces);
   return 0;
 }

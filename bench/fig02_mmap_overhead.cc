@@ -37,9 +37,9 @@ Breakdown MmapAndWrite2MiB(const std::string& fs_name, obs::TraceBuffer& trace) 
   // the trace for the measured phase.
   const uint64_t t0 = ctx.clock.NowNs();
   ctx.counters.Reset();
-  ctx.trace = &trace;
+  ctx.AttachTrace(&trace);
   (void)map->Write(ctx, 0, buf.data(), buf.size());
-  ctx.trace = nullptr;
+  ctx.AttachTrace(nullptr);
 
   Breakdown out;
   out.total_us = static_cast<double>(ctx.clock.NowNs() - t0) / 1000.0;

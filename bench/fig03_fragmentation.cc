@@ -3,9 +3,14 @@
 // grows. Paper: NOVA hits ~zero aligned regions by 70% utilization; ext4-DAX
 // decays steadily. WineFS (added here) holds >90%. Also reproduces the §4
 // observation that the Wang HPC profile fragments ext4-DAX harder.
+#include <deque>
+#include <tuple>
+#include <utility>
+
 #include "bench/bench_util.h"
 
 using benchutil::Fmt;
+using benchutil::FsObs;
 using benchutil::MakeBed;
 using benchutil::Row;
 using common::ExecContext;
@@ -13,12 +18,27 @@ using common::kMiB;
 
 namespace {
 
-void Sweep(const std::string& profile_name, obs::BenchReport& report) {
+// When `obs_out` is non-null, each filesystem's aging run is instrumented:
+// the gauge sampler records fragmentation/journal/hugepage time series and
+// span traces accumulate per-CPU events. The bundles land in `obs_out` (a
+// deque for stable addresses) so main can export the Chrome trace after the
+// sweep. Only one sweep is instrumented so every gauge's series stays a
+// single monotone timeline per filesystem.
+void Sweep(const std::string& profile_name, obs::BenchReport& report,
+           std::deque<std::pair<std::string, FsObs>>* obs_out) {
   std::printf("\n--- aging profile: %s ---\n", profile_name.c_str());
   Row({"fs", "util%", "alignedfree%", "free_2MB_cnt", "largest_MB"});
   for (const std::string fs_name : {"ext4-dax", "nova", "xfs-dax", "winefs"}) {
     auto bed = MakeBed(fs_name, 1024 * kMiB);
     ExecContext ctx;
+    FsObs* fs_obs = nullptr;
+    if (obs_out != nullptr) {
+      // FsObs holds mutexes and is immovable; build it in place.
+      obs_out->emplace_back(std::piecewise_construct, std::forward_as_tuple(fs_name),
+                            std::forward_as_tuple());
+      fs_obs = &obs_out->back().second;
+      benchutil::AttachObs(ctx, bed, *fs_obs);
+    }
     aging::AgingConfig config;
     config.seed = 7;
     auto profile = profile_name == "agrawal" ? aging::Profile::Agrawal(7)
@@ -46,6 +66,14 @@ void Sweep(const std::string& profile_name, obs::BenchReport& report) {
                        static_cast<double>(info.free_aligned_extents));
     }
     report.SetCounters(fs_name, ctx.counters);
+    if (fs_obs != nullptr) {
+      report.AddTimeSeries(fs_name, fs_obs->sampler.series());
+      report.AddSpans(fs_name, fs_obs->trace);
+      benchutil::DetachObs(ctx);
+      // The bed dies with this iteration; the retained bundle must not keep
+      // provider pointers into it.
+      fs_obs->sampler.ClearProviders();
+    }
   }
 }
 
@@ -58,10 +86,17 @@ int main() {
   report.AddConfig("device_mib", 1024.0);
   report.AddConfig("profiles", "agrawal,wang-hpc");
   report.AddConfig("utilization_sweep", "10,30,50,70,90");
-  Sweep("agrawal", report);
-  Sweep("wang-hpc", report);
+  report.AddConfig("timeseries_profile", "agrawal");
+  std::deque<std::pair<std::string, FsObs>> sweep_obs;
+  Sweep("agrawal", report, &sweep_obs);
+  Sweep("wang-hpc", report, nullptr);
   std::printf("\nexpected shape: NOVA's aligned free space collapses by ~70%% utilization;\n"
               "ext4-DAX decays; xfs-DAX never has aligned space; WineFS stays >90%%.\n");
   benchutil::EmitReport(report);
+  std::vector<obs::NamedTrace> traces;
+  for (const auto& [fs_name, fs_obs] : sweep_obs) {
+    traces.push_back(obs::NamedTrace{fs_name, &fs_obs.trace});
+  }
+  benchutil::EmitChromeTrace(report.name(), traces);
   return 0;
 }

@@ -1,10 +1,13 @@
 // Per-thread execution context threaded through every simulated operation.
 // Carries the logical CPU the thread runs on (filesystems key per-CPU
 // structures off it), the simulated clock, event counters, and optional
-// observability sinks (span traces + the metrics registry from src/obs).
+// observability sinks (span traces, the metrics registry, and the gauge
+// time-series sampler from src/obs).
 #ifndef SRC_COMMON_EXEC_CONTEXT_H_
 #define SRC_COMMON_EXEC_CONTEXT_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/perf_counters.h"
@@ -16,9 +19,19 @@
 namespace obs {
 class TraceBuffer;
 class MetricsRegistry;
+class TimeSeriesSampler;
 }  // namespace obs
 
 namespace common {
+
+// Implemented by the src/obs sinks that can be attached to an ExecContext, so
+// Reset() can clear a context's attached sinks without common depending on
+// obs. ResetSamples() drops everything the sink has accumulated.
+class ObsSink {
+ public:
+  virtual ~ObsSink() = default;
+  virtual void ResetSamples() = 0;
+};
 
 struct ExecContext {
   explicit ExecContext(uint32_t cpu_id = 0, uint32_t numa_id = 0)
@@ -30,14 +43,59 @@ struct ExecContext {
   uint32_t pid = 0;
   SimClock clock;
   PerfCounters counters;
-  // Optional sinks; null means "not collecting". Not owned.
+  // Optional sinks; null means "not collecting". Not owned. Attach through
+  // the Attach* helpers below so Reset() can clear them; the fields stay
+  // public for the null-checked fast paths in OpScope/ScopedSpan.
   obs::TraceBuffer* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::TimeSeriesSampler* sampler = nullptr;
 
+  // Typed attach helpers that mirror the sink into the ObsSink slot Reset()
+  // clears through. Templates so the derived-to-ObsSink conversion happens at
+  // call sites, where the obs types are complete.
+  template <typename Trace>
+  void AttachTrace(Trace* sink) {
+    trace = sink;
+    sinks_[0] = sink;
+  }
+  void AttachTrace(std::nullptr_t) {
+    trace = nullptr;
+    sinks_[0] = nullptr;
+  }
+  template <typename Metrics>
+  void AttachMetrics(Metrics* sink) {
+    metrics = sink;
+    sinks_[1] = sink;
+  }
+  void AttachMetrics(std::nullptr_t) {
+    metrics = nullptr;
+    sinks_[1] = nullptr;
+  }
+  template <typename Sampler>
+  void AttachSampler(Sampler* sink) {
+    sampler = sink;
+    sinks_[2] = sink;
+  }
+  void AttachSampler(std::nullptr_t) {
+    sampler = nullptr;
+    sinks_[2] = nullptr;
+  }
+
+  // Full reset: clock, counters, AND every attached sink's accumulated
+  // samples — so a context reused across runs (one filesystem after another
+  // in a bench loop) can never bleed one run's samples into the next report.
   void Reset() {
     clock.Reset();
     counters.Reset();
+    for (ObsSink* sink : sinks_) {
+      if (sink != nullptr) {
+        sink->ResetSamples();
+      }
+    }
   }
+
+ private:
+  std::array<ObsSink*, 3> sinks_{};
 };
 
 }  // namespace common

@@ -21,6 +21,9 @@ class LatencyHistogram {
   double MeanNanos() const;
   uint64_t Percentile(double p) const;  // p in (0, 100]
   uint64_t MedianNanos() const { return Percentile(50.0); }
+  // Exact extremes of the recorded samples (no bucket rounding); 0 when empty.
+  uint64_t MinNanos() const { return min_; }
+  uint64_t MaxNanos() const { return max_; }
 
   // Emits "latency_ns cumulative_fraction" rows, one per non-empty bucket.
   std::string CdfRows() const;

@@ -171,4 +171,12 @@ vfs::FreeSpaceInfo Ext4Dax::FreeSpace() {
   return info;
 }
 
+void Ext4Dax::SampleGauges(obs::GaugeSample& out) {
+  GenericFs::SampleGauges(out);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  SetRunHistogramGauges(free_.RunHistogram(), out);
+  out.Set("journal_dirty_blocks", static_cast<double>(dirty_meta_blocks_.size()));
+  out.Set("journal_cursor_blocks", static_cast<double>(journal_cursor_));
+}
+
 }  // namespace ext4dax

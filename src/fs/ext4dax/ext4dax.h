@@ -41,6 +41,11 @@ class Ext4Dax : public fscore::GenericFs {
   std::string_view Name() const override { return "ext4-dax"; }
   vfs::FreeSpaceInfo FreeSpace() override;
 
+  // Adds the free-run-length histogram and JBD2 occupancy (dirty metadata
+  // blocks awaiting commit, ring cursor) to the base gauges. Inherited by
+  // xfs-DAX and SplitFS, whose allocator/journal state lives here too.
+  void SampleGauges(obs::GaugeSample& out) override;
+
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
                                                           fscore::Inode& inode,

@@ -178,4 +178,21 @@ uint64_t FreeSpaceMap::LargestRun() const {
   return largest;
 }
 
+FreeSpaceMap::RunLengthHistogram FreeSpaceMap::RunHistogram() const {
+  RunLengthHistogram hist;
+  for (const auto& [start, len] : free_) {
+    (void)start;
+    if (len < 16) {
+      hist.lt_16++;
+    } else if (len < 128) {
+      hist.lt_128++;
+    } else if (len < 512) {
+      hist.lt_512++;
+    } else {
+      hist.ge_512++;
+    }
+  }
+  return hist;
+}
+
 }  // namespace fscore

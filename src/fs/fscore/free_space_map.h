@@ -49,6 +49,25 @@ class FreeSpaceMap {
   uint64_t CountAlignedFreeRegions() const;
   uint64_t LargestRun() const;
 
+  // Coarse histogram of free-run lengths, the fragmentation fingerprint the
+  // gauge probes export: runs shorter than 16 blocks (64 KiB) are unusable
+  // for large allocations, 512+ blocks (2 MiB) are hugepage candidates.
+  struct RunLengthHistogram {
+    uint64_t lt_16 = 0;    // [1, 16) blocks
+    uint64_t lt_128 = 0;   // [16, 128)
+    uint64_t lt_512 = 0;   // [128, 512)
+    uint64_t ge_512 = 0;   // >= 512 (2 MiB+)
+
+    RunLengthHistogram& operator+=(const RunLengthHistogram& o) {
+      lt_16 += o.lt_16;
+      lt_128 += o.lt_128;
+      lt_512 += o.lt_512;
+      ge_512 += o.ge_512;
+      return *this;
+    }
+  };
+  RunLengthHistogram RunHistogram() const;
+
   const std::map<uint64_t, uint64_t>& runs() const { return free_; }
 
  private:

@@ -112,6 +112,28 @@ Result<vfs::FreeSpaceInfo> GenericFs::StatFs(ExecContext& ctx) {
   return FreeSpace();
 }
 
+void GenericFs::SampleGauges(obs::GaugeSample& out) {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  if (!mounted_) {
+    return;  // nothing meaningful before Mount/after Unmount
+  }
+  const vfs::FreeSpaceInfo info = FreeSpace();
+  out.Set("free_blocks", static_cast<double>(info.free_blocks));
+  out.Set("free_aligned_extents", static_cast<double>(info.free_aligned_extents));
+  out.Set("aligned_free_fraction", info.AlignedFreeFraction());
+  out.Set("largest_free_run_blocks", static_cast<double>(info.largest_free_extent_blocks));
+  out.Set("utilization", info.utilization());
+  out.Set("dram_index_bytes", static_cast<double>(DramIndexBytes()));
+}
+
+void GenericFs::SetRunHistogramGauges(const FreeSpaceMap::RunLengthHistogram& hist,
+                                      obs::GaugeSample& out) {
+  out.Set("free_runs_lt_64k", static_cast<double>(hist.lt_16));
+  out.Set("free_runs_64k_512k", static_cast<double>(hist.lt_128));
+  out.Set("free_runs_512k_2m", static_cast<double>(hist.lt_512));
+  out.Set("free_runs_ge_2m", static_cast<double>(hist.ge_512));
+}
+
 // --- Lifecycle --------------------------------------------------------------
 
 Status GenericFs::Mkfs(ExecContext& ctx) {

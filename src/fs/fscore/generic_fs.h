@@ -142,6 +142,11 @@ class GenericFs : public vfs::FileSystem {
   // the allocator policy owns free space.
   common::Result<vfs::FreeSpaceInfo> StatFs(common::ExecContext& ctx) override;
 
+  // Gauge probe shared by every filesystem: free-space fragmentation from the
+  // FreeSpace() policy hook plus DRAM index footprint. Subclasses extend with
+  // allocator/journal internals and call this base version first.
+  void SampleGauges(obs::GaugeSample& out) override;
+
   // --- Introspection used by benches/tests --------------------------------
   uint64_t data_start_block() const { return data_start_block_; }
   uint64_t data_blocks() const { return data_blocks_; }
@@ -264,6 +269,17 @@ class GenericFs : public vfs::FileSystem {
 
   // Builds a FreeSpaceMap of the whole data area (helper for rebuilds).
   FreeSpaceMap FullDataArea() const;
+
+  // Read-only view of the DRAM inode table for gauge probes (per-inode log
+  // occupancy and similar aggregates). Hold dram_mu_ while iterating.
+  const std::unordered_map<vfs::InodeNum, std::unique_ptr<Inode>>& inode_table() const {
+    return inodes_;
+  }
+
+  // Emits a FreeSpaceMap run-length histogram as the four standard
+  // free_runs_* gauges (shared by the per-filesystem SampleGauges overrides).
+  static void SetRunHistogramGauges(const FreeSpaceMap::RunLengthHistogram& hist,
+                                    obs::GaugeSample& out);
 
   pmem::PmemDevice* device_;
   FsOptions options_;

@@ -313,4 +313,30 @@ vfs::FreeSpaceInfo Nova::FreeSpace() {
   return info;
 }
 
+void Nova::SampleGauges(obs::GaugeSample& out) {
+  GenericFs::SampleGauges(out);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  fscore::FreeSpaceMap::RunLengthHistogram hist;
+  uint64_t min_free = UINT64_MAX;
+  uint64_t max_free = 0;
+  for (const auto& f : cpu_free_) {
+    hist += f->map.RunHistogram();
+    min_free = std::min(min_free, f->map.free_blocks());
+    max_free = std::max(max_free, f->map.free_blocks());
+  }
+  SetRunHistogramGauges(hist, out);
+  out.Set("cpu_free_min_blocks",
+          static_cast<double>(min_free == UINT64_MAX ? 0 : min_free));
+  out.Set("cpu_free_max_blocks", static_cast<double>(max_free));
+  uint64_t log_pages = 0;
+  for (const auto& [ino, inode] : inode_table()) {
+    (void)ino;
+    for (const Extent& ext : inode->log_pages) {
+      log_pages += ext.num_blocks;
+    }
+  }
+  out.Set("log_pages_live", static_cast<double>(log_pages));
+  out.Set("gc_runs", static_cast<double>(gc_runs_));
+}
+
 }  // namespace nova

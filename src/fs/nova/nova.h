@@ -35,6 +35,11 @@ class Nova : public fscore::GenericFs {
   }
   vfs::FreeSpaceInfo FreeSpace() override;
 
+  // Adds the summed per-CPU free-run histogram, per-CPU free-list balance
+  // (min/max free blocks across CPUs), live per-inode log pages, and GC runs
+  // to the base gauges.
+  void SampleGauges(obs::GaugeSample& out) override;
+
   uint64_t gc_runs() const { return gc_runs_; }
 
  protected:

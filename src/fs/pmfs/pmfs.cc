@@ -115,4 +115,16 @@ vfs::FreeSpaceInfo Pmfs::FreeSpace() {
   return info;
 }
 
+void Pmfs::SampleGauges(obs::GaugeSample& out) {
+  GenericFs::SampleGauges(out);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  SetRunHistogramGauges(free_.RunHistogram(), out);
+  const uint64_t capacity = options_.journal_blocks * kBlockSize / 64;
+  out.Set("journal_entries_written", static_cast<double>(journal_cursor_entries_));
+  out.Set("journal_ring_fill",
+          capacity == 0 ? 0.0
+                        : static_cast<double>(journal_cursor_entries_ % capacity) /
+                              static_cast<double>(capacity));
+}
+
 }  // namespace pmfs

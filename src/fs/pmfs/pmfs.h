@@ -26,6 +26,10 @@ class Pmfs : public fscore::GenericFs {
   std::string_view Name() const override { return "pmfs"; }
   vfs::FreeSpaceInfo FreeSpace() override;
 
+  // Adds the free-run-length histogram and single-journal ring occupancy
+  // (entries written, ring capacity) to the base gauges.
+  void SampleGauges(obs::GaugeSample& out) override;
+
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
                                                           fscore::Inode& inode,

@@ -770,6 +770,37 @@ uint64_t WineFs::FreeAlignedExtents() const {
   return count;
 }
 
+void WineFs::SampleGauges(obs::GaugeSample& out) {
+  GenericFs::SampleGauges(out);
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  fscore::FreeSpaceMap::RunLengthHistogram hist;
+  uint64_t aligned_min = UINT64_MAX;
+  uint64_t aligned_max = 0;
+  uint64_t free_min = UINT64_MAX;
+  uint64_t free_max = 0;
+  uint64_t journal_entries = 0;
+  uint64_t journal_wraps = 0;
+  for (const auto& pool : pools_) {
+    hist += pool->holes.RunHistogram();
+    const uint64_t aligned = pool->aligned.size();
+    aligned_min = std::min(aligned_min, aligned);
+    aligned_max = std::max(aligned_max, aligned);
+    const uint64_t free =
+        pool->holes.free_blocks() + aligned * kBlocksPerHugepage;
+    free_min = std::min(free_min, free);
+    free_max = std::max(free_max, free);
+    journal_entries += pool->wrap * pool->capacity_entries + pool->head;
+    journal_wraps += pool->wrap;
+  }
+  SetRunHistogramGauges(hist, out);
+  out.Set("pool_aligned_min", static_cast<double>(pools_.empty() ? 0 : aligned_min));
+  out.Set("pool_aligned_max", static_cast<double>(aligned_max));
+  out.Set("pool_free_min_blocks", static_cast<double>(pools_.empty() ? 0 : free_min));
+  out.Set("pool_free_max_blocks", static_cast<double>(free_max));
+  out.Set("journal_entries_written", static_cast<double>(journal_entries));
+  out.Set("journal_wraps", static_cast<double>(journal_wraps));
+}
+
 bool WineFs::NeedsRewrite(const std::string& path) {
   common::ExecContext probe;
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);

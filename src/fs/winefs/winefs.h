@@ -74,6 +74,11 @@ class WineFs : public fscore::GenericFs {
   std::string_view Name() const override { return "winefs"; }
   vfs::FreeSpaceInfo FreeSpace() override;
 
+  // Adds per-CPU pool balance (aligned extents and free blocks min/max across
+  // pools), the summed hole-run histogram, and per-CPU journal ring state
+  // (entries appended, wrap generations) to the base gauges.
+  void SampleGauges(obs::GaugeSample& out) override;
+
   // Reactive rewriting (§3.6): if the file is fragmented, reads it and
   // rewrites it with big (aligned) allocations inside one journal
   // transaction. In the kernel a background thread does this after mmap;

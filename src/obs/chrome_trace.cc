@@ -1,0 +1,88 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "src/obs/json.h"
+
+namespace obs {
+
+namespace {
+
+void MetadataEvent(JsonWriter& w, std::string_view what, uint64_t pid, uint64_t tid,
+                   std::string_view label, bool with_tid) {
+  w.BeginObject();
+  w.Key("name").String(what);
+  w.Key("ph").String("M");
+  w.Key("pid").Number(pid);
+  if (with_tid) {
+    w.Key("tid").Number(tid);
+  }
+  w.Key("args").BeginObject().Key("name").String(label).EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<NamedTrace>& traces) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  uint64_t pid = 0;
+  for (const NamedTrace& named : traces) {
+    pid++;
+    if (named.trace == nullptr) {
+      continue;
+    }
+    const std::vector<TraceEvent> events = named.trace->Events();
+    MetadataEvent(w, "process_name", pid, 0, named.name, /*with_tid=*/false);
+    std::set<uint32_t> cpus;
+    for (const TraceEvent& event : events) {
+      cpus.insert(event.cpu);
+    }
+    for (const uint32_t cpu : cpus) {
+      MetadataEvent(w, "thread_name", pid, cpu, "cpu " + std::to_string(cpu),
+                    /*with_tid=*/true);
+    }
+    for (const TraceEvent& event : events) {
+      w.BeginObject();
+      w.Key("name").String(SpanCatName(event.cat));
+      w.Key("cat").String(SpanCatName(event.cat));
+      w.Key("ph").String("X");
+      w.Key("pid").Number(pid);
+      w.Key("tid").Number(static_cast<uint64_t>(event.cpu));
+      // Trace-event timestamps are microseconds; keep ns precision as decimals.
+      w.Key("ts").Number(static_cast<double>(event.start_ns) / 1000.0);
+      w.Key("dur").Number(static_cast<double>(event.duration_ns()) / 1000.0);
+      w.Key("args").BeginObject().Key("arg").Number(event.arg).EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+common::Result<std::string> WriteChromeTrace(std::string_view bench_name,
+                                             const std::vector<NamedTrace>& traces) {
+  const char* dir = std::getenv("BENCH_OUT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) : std::string(".");
+  if (path.back() != '/') {
+    path += '/';
+  }
+  path += "TRACE_" + std::string(bench_name) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return common::ErrorCode::kIoError;
+  }
+  out << ChromeTraceJson(traces) << "\n";
+  out.close();
+  if (!out) {
+    return common::ErrorCode::kIoError;
+  }
+  return path;
+}
+
+}  // namespace obs

@@ -1,0 +1,38 @@
+// Chrome trace-event exporter: dumps TraceBuffer spans in the JSON Object
+// Format that chrome://tracing and Perfetto (ui.perfetto.dev) load natively.
+// Each filesystem becomes one "process" row and each simulated CPU one
+// "thread" track inside it, so per-CPU journals, allocator pools, and fault
+// handling visualize as parallel timelines. Benches emit TRACE_<name>.json
+// next to BENCH_<name>.json.
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/obs/trace.h"
+
+namespace obs {
+
+// One trace track group: the spans a filesystem recorded during a bench.
+struct NamedTrace {
+  std::string name;           // filesystem (process row label)
+  const TraceBuffer* trace;   // not owned
+};
+
+// Serializes the buffers' retained events as Chrome trace JSON:
+//   {"displayTimeUnit":"ms","traceEvents":[ ... ]}
+// with process_name/thread_name metadata and one complete ("X") event per
+// span (ts/dur in microseconds, args carrying the span payload).
+std::string ChromeTraceJson(const std::vector<NamedTrace>& traces);
+
+// Writes ChromeTraceJson() to $BENCH_OUT_DIR/TRACE_<bench_name>.json
+// (BENCH_OUT_DIR defaults to "."). Returns the path written.
+common::Result<std::string> WriteChromeTrace(std::string_view bench_name,
+                                             const std::vector<NamedTrace>& traces);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,114 @@
+#include "src/obs/gauges.h"
+
+#include <algorithm>
+
+namespace obs {
+
+std::vector<std::string> TimeSeries::GaugeNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, points] : series_) {
+    (void)points;
+    names.push_back(name);
+  }
+  return names;
+}
+
+const std::vector<TimeSeriesPoint>* TimeSeries::Points(std::string_view gauge) const {
+  const auto it = series_.find(gauge);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+size_t TimeSeries::MaxPoints() const {
+  size_t max_points = 0;
+  for (const auto& [name, points] : series_) {
+    (void)name;
+    max_points = std::max(max_points, points.size());
+  }
+  return max_points;
+}
+
+void TimeSeries::DropEveryOther() {
+  for (auto& [name, points] : series_) {
+    (void)name;
+    std::vector<TimeSeriesPoint> kept;
+    kept.reserve(points.size() / 2 + 1);
+    // Keep even indexes so the baseline sample at index 0 survives.
+    for (size_t i = 0; i < points.size(); i += 2) {
+      kept.push_back(points[i]);
+    }
+    points = std::move(kept);
+  }
+}
+
+TimeSeriesSampler::TimeSeriesSampler(uint64_t period_ns)
+    : base_period_ns_(period_ns == 0 ? 1 : period_ns),
+      period_ns_(base_period_ns_) {}
+
+void TimeSeriesSampler::AddProvider(GaugeProvider* provider) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Idempotent: several contexts may attach the same bundle (foreground +
+  // background threads of one bench); each provider reports once per sample.
+  if (provider != nullptr &&
+      std::find(providers_.begin(), providers_.end(), provider) == providers_.end()) {
+    providers_.push_back(provider);
+  }
+}
+
+void TimeSeriesSampler::ClearProviders() {
+  std::lock_guard<std::mutex> guard(mu_);
+  providers_.clear();
+}
+
+void TimeSeriesSampler::MaybeSample(common::ExecContext& ctx) {
+  const uint64_t now = ctx.clock.NowNs();
+  if (now < next_sample_ns_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  if (now < next_sample_ns_.load(std::memory_order_relaxed)) {
+    return;  // another thread crossed the boundary first
+  }
+  TakeSampleLocked(now);
+  next_sample_ns_.store(now - now % period_ns_ + period_ns_, std::memory_order_relaxed);
+}
+
+void TimeSeriesSampler::SampleNow(common::ExecContext& ctx) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TakeSampleLocked(ctx.clock.NowNs());
+}
+
+void TimeSeriesSampler::TakeSampleLocked(uint64_t now_ns) {
+  GaugeSample sample;
+  for (GaugeProvider* provider : providers_) {
+    provider->SampleGauges(sample);
+  }
+  for (const auto& [gauge, value] : sample.values()) {
+    series_.Add(now_ns, gauge, value);
+  }
+  samples_taken_++;
+  if (series_.MaxPoints() > kMaxPointsPerGauge) {
+    series_.DropEveryOther();
+    period_ns_ *= 2;
+  }
+}
+
+uint64_t TimeSeriesSampler::period_ns() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return period_ns_;
+}
+
+uint64_t TimeSeriesSampler::samples_taken() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return samples_taken_;
+}
+
+void TimeSeriesSampler::ResetSamples() {
+  std::lock_guard<std::mutex> guard(mu_);
+  series_.Clear();
+  samples_taken_ = 0;
+  period_ns_ = base_period_ns_;
+  next_sample_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs

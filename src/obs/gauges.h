@@ -1,0 +1,123 @@
+// Gauge probes and simulated-timeline time-series sampling.
+//
+// A GaugeProvider exposes point-in-time internal state (free-space
+// fragmentation, journal occupancy, hugepage coverage, ...) as named gauge
+// values. A TimeSeriesSampler attached to an ExecContext polls its providers
+// whenever the simulated clock crosses a period boundary (sample-on-cross:
+// there is no preemption, so the hooks in OpScope and the mmap data path fire
+// the check after every operation) and accumulates (t_ns, gauge, value)
+// series. Benches dump the series into the `timeseries` section of
+// BENCH_<name>.json so aging experiments report trajectories, not endpoints.
+#ifndef SRC_OBS_GAUGES_H_
+#define SRC_OBS_GAUGES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/exec_context.h"
+
+namespace obs {
+
+// One sweep of gauge readings; providers append (name, value) pairs.
+class GaugeSample {
+ public:
+  void Set(std::string gauge, double value) {
+    values_.emplace_back(std::move(gauge), value);
+  }
+  const std::vector<std::pair<std::string, double>>& values() const { return values_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+// Implemented by anything with internal state worth a time series:
+// vfs::FileSystem (default no-op, overridden per filesystem) and
+// vmem::MmapEngine (hugepage coverage of live mappings).
+class GaugeProvider {
+ public:
+  virtual ~GaugeProvider() = default;
+  virtual void SampleGauges(GaugeSample& out) = 0;
+};
+
+struct TimeSeriesPoint {
+  uint64_t t_ns = 0;
+  double value = 0;
+};
+
+// Per-gauge columnar storage of sampled points, in sample order.
+class TimeSeries {
+ public:
+  void Add(uint64_t t_ns, const std::string& gauge, double value) {
+    series_[gauge].push_back(TimeSeriesPoint{t_ns, value});
+  }
+
+  std::vector<std::string> GaugeNames() const;
+  // Points for `gauge`; nullptr if the gauge was never sampled.
+  const std::vector<TimeSeriesPoint>* Points(std::string_view gauge) const;
+  size_t MaxPoints() const;
+  // Keeps every other point of every gauge (decimation on overflow).
+  void DropEveryOther();
+  void Clear() { series_.clear(); }
+  bool empty() const { return series_.empty(); }
+
+  const std::map<std::string, std::vector<TimeSeriesPoint>, std::less<>>& series() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, std::vector<TimeSeriesPoint>, std::less<>> series_;
+};
+
+// Samples all registered providers when the simulated clock crosses a period
+// boundary. Attach via ExecContext::AttachSampler(); the OpScope destructor
+// (every filesystem op) and the MappedFile data path call MaybeSample(), so
+// any workload that touches the filesystem produces a timeline. When a gauge
+// series outgrows kMaxPointsPerGauge the sampler halves the resolution (drops
+// every other point, doubles the period), bounding memory on long runs while
+// keeping full-run coverage. Thread-safe.
+class TimeSeriesSampler : public common::ObsSink {
+ public:
+  static constexpr uint64_t kDefaultPeriodNs = 1'000'000;  // 1 simulated ms
+  static constexpr size_t kMaxPointsPerGauge = 2048;
+
+  explicit TimeSeriesSampler(uint64_t period_ns = kDefaultPeriodNs);
+
+  void AddProvider(GaugeProvider* provider);
+  void ClearProviders();
+
+  // Samples iff the clock crossed the next period boundary. Cheap no-op
+  // otherwise (one relaxed atomic load).
+  void MaybeSample(common::ExecContext& ctx);
+  // Unconditionally samples at the context's current simulated time.
+  void SampleNow(common::ExecContext& ctx);
+
+  const TimeSeries& series() const { return series_; }
+  uint64_t period_ns() const;
+  uint64_t samples_taken() const;
+
+  // common::ObsSink: drops all series and restores the initial cadence;
+  // providers stay registered.
+  void ResetSamples() override;
+
+ private:
+  void TakeSampleLocked(uint64_t now_ns);
+
+  mutable std::mutex mu_;
+  std::vector<GaugeProvider*> providers_;
+  const uint64_t base_period_ns_;
+  uint64_t period_ns_;
+  // 0 so the first MaybeSample records a baseline at the run's start.
+  std::atomic<uint64_t> next_sample_ns_{0};
+  uint64_t samples_taken_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_GAUGES_H_

@@ -16,12 +16,13 @@
 #include "src/common/exec_context.h"
 #include "src/common/histogram.h"
 #include "src/common/perf_counters.h"
+#include "src/obs/gauges.h"
 
 namespace obs {
 
 // Thread-safe sink for per-(fs, op) latency samples and named counters.
-// Attach via ExecContext::metrics; null means "not collecting".
-class MetricsRegistry {
+// Attach via ExecContext::AttachMetrics; null means "not collecting".
+class MetricsRegistry : public common::ObsSink {
  public:
   // Records one operation of `op` on filesystem `fs` taking `latency_ns` of
   // simulated time.
@@ -47,6 +48,8 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, uint64_t>> CountersFor(std::string_view fs) const;
 
   void Clear();
+  // common::ObsSink: attached contexts clear all samples + counters on Reset().
+  void ResetSamples() override { Clear(); }
 
  private:
   using Key = std::pair<std::string, std::string>;  // (fs, op/counter)
@@ -56,7 +59,10 @@ class MetricsRegistry {
 };
 
 // RAII scope that records the simulated time spent in one filesystem op into
-// the context's MetricsRegistry. No-op when none is attached.
+// the context's MetricsRegistry, and — because every filesystem operation
+// passes through here — gives the context's TimeSeriesSampler its
+// sample-on-cross opportunity when the op completes. No-op when neither sink
+// is attached.
 class OpScope {
  public:
   OpScope(common::ExecContext& ctx, std::string_view fs, std::string_view op)
@@ -71,6 +77,9 @@ class OpScope {
   ~OpScope() {
     if (ctx_.metrics != nullptr) {
       ctx_.metrics->RecordOp(fs_, op_, ctx_.clock.NowNs() - start_ns_);
+    }
+    if (ctx_.sampler != nullptr) {
+      ctx_.sampler->MaybeSample(ctx_);
     }
   }
 

@@ -16,6 +16,9 @@ LatencySummary SummarizeHistogram(std::string op, const common::LatencyHistogram
     s.p50_ns = hist.Percentile(50.0);
     s.p90_ns = hist.Percentile(90.0);
     s.p99_ns = hist.Percentile(99.0);
+    s.p999_ns = hist.Percentile(99.9);
+    s.min_ns = hist.MinNanos();
+    s.max_ns = hist.MaxNanos();
   }
   return s;
 }
@@ -87,6 +90,24 @@ void BenchReport::AddSpans(std::string_view fs, const TraceBuffer& trace) {
   }
 }
 
+void BenchReport::AddTimeSeries(std::string_view fs, const TimeSeries& series) {
+  FsResult& row = ForFs(fs);
+  for (const auto& [gauge, points] : series.series()) {
+    auto existing = row.timeseries.end();
+    for (auto it = row.timeseries.begin(); it != row.timeseries.end(); ++it) {
+      if (it->first == gauge) {
+        existing = it;
+        break;
+      }
+    }
+    if (existing == row.timeseries.end()) {
+      row.timeseries.emplace_back(gauge, points);
+    } else {
+      existing->second.insert(existing->second.end(), points.begin(), points.end());
+    }
+  }
+}
+
 std::string BenchReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
@@ -120,6 +141,9 @@ std::string BenchReport::ToJson() const {
         w.Key("p50").Number(lat.p50_ns);
         w.Key("p90").Number(lat.p90_ns);
         w.Key("p99").Number(lat.p99_ns);
+        w.Key("p999").Number(lat.p999_ns);
+        w.Key("min").Number(lat.min_ns);
+        w.Key("max").Number(lat.max_ns);
         w.EndObject();
       }
       w.EndObject();
@@ -128,6 +152,21 @@ std::string BenchReport::ToJson() const {
       w.Key("spans_ns").BeginObject();
       for (const auto& [cat, ns] : row.span_ns) {
         w.Key(cat).Number(ns);
+      }
+      w.EndObject();
+    }
+    if (!row.timeseries.empty()) {
+      // gauge -> [[t_ns, value], ...] in sample order.
+      w.Key("timeseries").BeginObject();
+      for (const auto& [gauge, points] : row.timeseries) {
+        w.Key(gauge).BeginArray();
+        for (const TimeSeriesPoint& point : points) {
+          w.BeginArray();
+          w.Number(point.t_ns);
+          w.Number(point.value);
+          w.EndArray();
+        }
+        w.EndArray();
       }
       w.EndObject();
     }
@@ -243,7 +282,7 @@ common::Status ValidateBenchReportJson(std::string_view json_text) {
         if (!summary.is_object()) {
           return invalid;
         }
-        for (const char* key : {"count", "mean", "p50", "p90", "p99"}) {
+        for (const char* key : {"count", "mean", "p50", "p90", "p99", "p999", "min", "max"}) {
           if (!IsNumber(summary.Find(key))) {
             return invalid;
           }
@@ -253,6 +292,25 @@ common::Status ValidateBenchReportJson(std::string_view json_text) {
     const JsonValue* spans = row.Find("spans_ns");
     if (spans != nullptr && !IsNumberObject(spans)) {
       return invalid;
+    }
+    // timeseries (optional): gauge -> array of [t_ns, value] number pairs.
+    const JsonValue* timeseries = row.Find("timeseries");
+    if (timeseries != nullptr) {
+      if (!timeseries->is_object()) {
+        return invalid;
+      }
+      for (const auto& [gauge, points] : timeseries->object) {
+        (void)gauge;
+        if (!points.is_array()) {
+          return invalid;
+        }
+        for (const JsonValue& point : points.array) {
+          if (!point.is_array() || point.array.size() != 2 ||
+              !point.array[0].is_number() || !point.array[1].is_number()) {
+            return invalid;
+          }
+        }
+      }
     }
   }
   return common::OkStatus();

@@ -1,10 +1,12 @@
 // Structured bench results. Every bench target builds a BenchReport and calls
-// WriteFile(), which emits BENCH_<name>.json (schema v1: config, per-fs
-// metrics + latency percentiles + the full registered counter dump, optional
-// span totals) into $BENCH_OUT_DIR (default: current directory). The emitted
-// JSON is validated against the schema before it hits disk, so a bench that
-// produces malformed output fails loudly at runtime — and the bench_json_schema
-// CTest target re-validates a real emitted file end-to-end.
+// WriteFile(), which emits BENCH_<name>.json (schema v2: config, per-fs
+// metrics + latency summaries with tails and extremes + the full registered
+// counter dump, optional span totals, optional gauge time series sampled
+// along the simulated timeline) into $BENCH_OUT_DIR (default: current
+// directory). The emitted JSON is validated against the schema before it hits
+// disk, so a bench that produces malformed output fails loudly at runtime —
+// and the bench_json_schema CTest target re-validates a real emitted file
+// end-to-end.
 #ifndef SRC_OBS_REPORT_H_
 #define SRC_OBS_REPORT_H_
 
@@ -16,12 +18,15 @@
 
 #include "src/common/perf_counters.h"
 #include "src/common/result.h"
+#include "src/obs/gauges.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace obs {
 
-inline constexpr int kBenchSchemaVersion = 1;
+// v2: latency summaries gained min/max/p999; results may carry a
+// `timeseries` section of gauges sampled along the simulated timeline.
+inline constexpr int kBenchSchemaVersion = 2;
 
 struct LatencySummary {
   std::string op;
@@ -30,6 +35,10 @@ struct LatencySummary {
   uint64_t p50_ns = 0;
   uint64_t p90_ns = 0;
   uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  // Exact extremes (LatencyHistogram tracks them sample-exactly).
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
 };
 
 // One filesystem's results within a bench.
@@ -43,6 +52,8 @@ struct FsResult {
   std::vector<LatencySummary> latencies;
   // Per-category span totals from a TraceBuffer, e.g. fault_handling -> ns.
   std::vector<std::pair<std::string, uint64_t>> span_ns;
+  // Gauge time series sampled on the simulated timeline: gauge -> points.
+  std::vector<std::pair<std::string, std::vector<TimeSeriesPoint>>> timeseries;
 };
 
 class BenchReport {
@@ -65,6 +76,11 @@ class BenchReport {
 
   // Records the per-category simulated-time totals of `trace` for `fs`.
   void AddSpans(std::string_view fs, const TraceBuffer& trace);
+
+  // Appends every gauge series of `series` to `fs`'s timeseries section.
+  // Calling it again for the same fs extends existing gauges (points are
+  // appended in call order), so one JSON key never appears twice.
+  void AddTimeSeries(std::string_view fs, const TimeSeries& series);
 
   std::string ToJson() const;
 
@@ -89,10 +105,11 @@ class BenchReport {
   std::vector<FsResult> results_;
 };
 
-// Checks `json_text` against bench schema v1; kOk iff it validates.
+// Checks `json_text` against bench schema v2; kOk iff it validates.
 common::Status ValidateBenchReportJson(std::string_view json_text);
 
-// Builds a LatencySummary (count/mean/p50/p90/p99) from a histogram.
+// Builds a LatencySummary (count/mean/p50/p90/p99/p999/min/max) from a
+// histogram.
 LatencySummary SummarizeHistogram(std::string op, const common::LatencyHistogram& hist);
 
 }  // namespace obs

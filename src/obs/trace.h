@@ -44,7 +44,7 @@ struct TraceEvent {
 // Fixed-capacity ring of spans plus running per-category aggregates. The
 // aggregates cover every span ever recorded; the ring keeps the most recent
 // `capacity` events for inspection. Thread-safe.
-class TraceBuffer {
+class TraceBuffer : public common::ObsSink {
  public:
   explicit TraceBuffer(size_t capacity = 1 << 16);
 
@@ -57,6 +57,8 @@ class TraceBuffer {
   // Events recorded in total; events no longer in the ring = recorded - size.
   uint64_t recorded() const;
   void Clear();
+  // common::ObsSink: attached contexts clear the ring + aggregates on Reset().
+  void ResetSamples() override { Clear(); }
 
  private:
   mutable std::mutex mu_;

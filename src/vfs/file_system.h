@@ -13,6 +13,7 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/gauges.h"
 #include "src/vmem/mmap_engine.h"
 
 namespace vfs {
@@ -75,7 +76,7 @@ enum class GuaranteeMode {
   kStrict,   // atomic+synchronous data AND metadata (NOVA/Strata/WineFS default)
 };
 
-class FileSystem : public vmem::FaultHandler {
+class FileSystem : public vmem::FaultHandler, public obs::GaugeProvider {
  public:
   ~FileSystem() override = default;
 
@@ -130,6 +131,12 @@ class FileSystem : public vmem::FaultHandler {
   // statfs(2): charges simulated time like every other op and fails with
   // kBadFd-style codes when the filesystem is not mounted.
   virtual common::Result<FreeSpaceInfo> StatFs(common::ExecContext& ctx) = 0;
+
+  // Gauge probe for the obs time-series sampler: implementations append
+  // point-in-time internal state (free-space fragmentation, journal/log
+  // occupancy, allocator pool balance). Charges NO simulated time — it is an
+  // observer, not an operation. Default: exposes nothing.
+  void SampleGauges(obs::GaugeSample& out) override { (void)out; }
 };
 
 }  // namespace vfs

@@ -1,5 +1,6 @@
 #include "src/vmem/mmap_engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -40,12 +41,42 @@ MmapEngine::MmapEngine(pmem::PmemDevice* device, MmuParams params, uint32_t num_
 
 std::unique_ptr<MappedFile> MmapEngine::Mmap(FaultHandler* handler, uint64_t ino,
                                              uint64_t length, bool writable) {
-  std::lock_guard<std::mutex> guard(va_mu_);
-  const uint64_t va = next_va_;
-  // Leave a guard gap and keep 2 MB alignment for the next mapping.
-  next_va_ += common::RoundUp(length, kHugepageSize) + kHugepageSize;
-  return std::unique_ptr<MappedFile>(
+  uint64_t va;
+  {
+    std::lock_guard<std::mutex> guard(va_mu_);
+    va = next_va_;
+    // Leave a guard gap and keep 2 MB alignment for the next mapping.
+    next_va_ += common::RoundUp(length, kHugepageSize) + kHugepageSize;
+  }
+  auto file = std::unique_ptr<MappedFile>(
       new MappedFile(this, handler, ino, va, length, writable));
+  Register(file.get());
+  return file;
+}
+
+void MmapEngine::Register(MappedFile* file) {
+  std::lock_guard<std::mutex> guard(live_mu_);
+  live_.push_back(file);
+}
+
+void MmapEngine::Unregister(MappedFile* file) {
+  std::lock_guard<std::mutex> guard(live_mu_);
+  live_.erase(std::remove(live_.begin(), live_.end(), file), live_.end());
+}
+
+void MmapEngine::SampleGauges(obs::GaugeSample& out) {
+  std::lock_guard<std::mutex> guard(live_mu_);
+  uint64_t mapped_bytes = 0;
+  double huge_bytes = 0;
+  for (const MappedFile* file : live_) {
+    mapped_bytes += file->length();
+    huge_bytes += file->HugeMappedFraction() * static_cast<double>(file->length());
+  }
+  out.Set("mmap_files", static_cast<double>(live_.size()));
+  out.Set("mmap_bytes", static_cast<double>(mapped_bytes));
+  out.Set("mmap_huge_fraction",
+          mapped_bytes == 0 ? 0.0 : huge_bytes / static_cast<double>(mapped_bytes));
+  out.Set("page_table_bytes", static_cast<double>(PageTableBytes()));
 }
 
 uint64_t MmapEngine::ChargeWalk(ExecContext& ctx, const WalkResult& walk) {
@@ -90,6 +121,8 @@ MappedFile::MappedFile(MmapEngine* engine, FaultHandler* handler, uint64_t ino,
       writable_(writable) {
   chunks_.resize((length + kHugepageSize - 1) / kHugepageSize);
 }
+
+MappedFile::~MappedFile() { engine_->Unregister(this); }
 
 Result<uint64_t> MappedFile::TranslateByte(ExecContext& ctx, uint64_t offset, bool write,
                                            uint64_t* walk_ns_out) {
@@ -213,6 +246,11 @@ Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uin
     cursor += span;
     len -= span;
   }
+  // Mapped access bypasses syscalls (and their OpScope sampling hook), so
+  // mmap-heavy phases drive the periodic gauge sampler from here.
+  if (ctx.sampler != nullptr) {
+    ctx.sampler->MaybeSample(ctx);
+  }
   return common::OkStatus();
 }
 
@@ -237,6 +275,9 @@ Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t l
     cursor += span;
     len -= span;
   }
+  if (ctx.sampler != nullptr) {
+    ctx.sampler->MaybeSample(ctx);
+  }
   return common::OkStatus();
 }
 
@@ -248,6 +289,9 @@ Result<uint64_t> MappedFile::LoadLine(ExecContext& ctx, uint64_t offset, void* d
     std::memcpy(dst64, engine_->device().raw() + phys, 8);
   }
   ctx.counters.pm_read_bytes += kCacheline;
+  if (ctx.sampler != nullptr) {
+    ctx.sampler->MaybeSample(ctx);
+  }
   return ctx.clock.NowNs() - start;
 }
 
@@ -259,6 +303,9 @@ Result<uint64_t> MappedFile::StoreLine(ExecContext& ctx, uint64_t offset, const 
     std::memcpy(engine_->device().raw() + phys, src64, 8);
   }
   ctx.counters.pm_write_bytes += kCacheline;
+  if (ctx.sampler != nullptr) {
+    ctx.sampler->MaybeSample(ctx);
+  }
   return ctx.clock.NowNs() - start;
 }
 

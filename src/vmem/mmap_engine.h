@@ -16,6 +16,7 @@
 
 #include "src/common/exec_context.h"
 #include "src/common/result.h"
+#include "src/obs/gauges.h"
 #include "src/pmem/device.h"
 #include "src/vmem/llc_cache.h"
 #include "src/vmem/mmu_params.h"
@@ -48,6 +49,8 @@ class MmapEngine;
 // One mmap'd file region. All accesses go through the cost-accounted APIs.
 class MappedFile {
  public:
+  ~MappedFile();
+
   uint64_t length() const { return length_; }
   uint64_t va_base() const { return va_base_; }
   uint64_t ino() const { return ino_; }
@@ -103,7 +106,7 @@ class MappedFile {
   std::vector<Chunk> chunks_;
 };
 
-class MmapEngine {
+class MmapEngine : public obs::GaugeProvider {
  public:
   MmapEngine(pmem::PmemDevice* device, MmuParams params, uint32_t num_cpus = 1);
 
@@ -117,6 +120,11 @@ class MmapEngine {
 
   // DRAM footprint of page tables, for §5.7.
   uint64_t PageTableBytes() const { return page_table_.MemoryBytes(); }
+
+  // Hugepage coverage of the live mappings: mapping count, total mapped
+  // bytes, byte-weighted fraction served by 2 MB PMD entries, and page-table
+  // DRAM footprint. Mappings register at Mmap and unregister at destruction.
+  void SampleGauges(obs::GaugeSample& out) override;
 
  private:
   friend class MappedFile;
@@ -137,12 +145,17 @@ class MmapEngine {
   // Charges one data-line access through the LLC; returns its cost.
   uint64_t ChargeDataLine(common::ExecContext& ctx, uint64_t paddr);
 
+  void Register(MappedFile* file);
+  void Unregister(MappedFile* file);
+
   pmem::PmemDevice* device_;
   MmuParams params_;
   PageTable page_table_;
   std::vector<std::unique_ptr<CpuState>> cpus_;
   std::mutex va_mu_;
   uint64_t next_va_;
+  std::mutex live_mu_;
+  std::vector<MappedFile*> live_;  // mappings currently alive (gauge probe)
 };
 
 }  // namespace vmem

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "src/common/exec_context.h"
+#include "src/obs/gauges.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace wload {
 
@@ -45,9 +48,11 @@ class SimRunner {
 
   // Observability sinks propagated into every worker thread's ExecContext
   // (null disables collection). Not owned; must outlive Run().
-  SimRunner& SetObservers(obs::TraceBuffer* trace, obs::MetricsRegistry* metrics) {
+  SimRunner& SetObservers(obs::TraceBuffer* trace, obs::MetricsRegistry* metrics,
+                          obs::TimeSeriesSampler* sampler = nullptr) {
     trace_ = trace;
     metrics_ = metrics;
+    sampler_ = sampler;
     return *this;
   }
 
@@ -63,8 +68,9 @@ class SimRunner {
       threads.push_back(ThreadState{common::ExecContext(t % num_cpus_, 0), 0, false});
       threads.back().ctx.pid = t;
       threads.back().ctx.clock.SetNs(base_ns_);
-      threads.back().ctx.trace = trace_;
-      threads.back().ctx.metrics = metrics_;
+      threads.back().ctx.AttachTrace(trace_);
+      threads.back().ctx.AttachMetrics(metrics_);
+      threads.back().ctx.AttachSampler(sampler_);
     }
 
     RunResult result;
@@ -107,6 +113,7 @@ class SimRunner {
   uint64_t base_ns_;
   obs::TraceBuffer* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TimeSeriesSampler* sampler_ = nullptr;
 };
 
 }  // namespace wload

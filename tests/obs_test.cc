@@ -11,6 +11,8 @@
 
 #include "src/common/exec_context.h"
 #include "src/fs/registry.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/gauges.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/report.h"
@@ -59,6 +61,28 @@ TEST(TraceBufferTest, RingWrapKeepsAggregatesOverAllEvents) {
   EXPECT_EQ(trace.TotalNs(obs::SpanCat::kFaultHandling), 50u);
 }
 
+TEST(TraceBufferTest, ClearAfterWrapResetsRingAndAggregates) {
+  obs::TraceBuffer trace(/*capacity=*/4);
+  for (uint64_t i = 0; i < 9; i++) {
+    trace.Record(obs::TraceEvent{obs::SpanCat::kDataCopy, 0, i * 10, i * 10 + 3, 0});
+  }
+  ASSERT_EQ(trace.recorded(), 9u);
+  trace.Clear();
+  // Both the ring and the running aggregates start over.
+  EXPECT_TRUE(trace.Events().empty());
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(trace.Count(obs::SpanCat::kDataCopy), 0u);
+  EXPECT_EQ(trace.TotalNs(obs::SpanCat::kDataCopy), 0u);
+  // And the wrap cursor is rewound: new events land at the front, in order.
+  trace.Record(obs::TraceEvent{obs::SpanCat::kAllocation, 1, 500, 510, 0});
+  trace.Record(obs::TraceEvent{obs::SpanCat::kAllocation, 1, 600, 620, 0});
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start_ns, 500u);
+  EXPECT_EQ(events[1].start_ns, 600u);
+  EXPECT_EQ(trace.TotalNs(obs::SpanCat::kAllocation), 30u);
+}
+
 TEST(ScopedSpanTest, NoOpWithoutSinkRecordsWithSink) {
   ExecContext ctx;
   {
@@ -67,12 +91,12 @@ TEST(ScopedSpanTest, NoOpWithoutSinkRecordsWithSink) {
   }  // no trace attached: nothing to record, nothing to crash on
 
   obs::TraceBuffer trace;
-  ctx.trace = &trace;
+  ctx.AttachTrace(&trace);
   {
     obs::ScopedSpan span(ctx, obs::SpanCat::kAllocation, 7);
     ctx.clock.Advance(250);
   }
-  ctx.trace = nullptr;
+  ctx.AttachTrace(nullptr);
   ASSERT_EQ(trace.recorded(), 1u);
   const auto events = trace.Events();
   EXPECT_EQ(events[0].cat, obs::SpanCat::kAllocation);
@@ -81,7 +105,7 @@ TEST(ScopedSpanTest, NoOpWithoutSinkRecordsWithSink) {
 }
 
 TEST(SpanCatTest, EveryCategoryHasAName) {
-  for (int c = 0; c < obs::kNumSpanCats; c++) {
+  for (size_t c = 0; c < obs::kNumSpanCats; c++) {
     EXPECT_FALSE(std::string_view(obs::SpanCatName(static_cast<obs::SpanCat>(c))).empty());
   }
 }
@@ -123,12 +147,12 @@ TEST(MetricsRegistryTest, MergeCountersUsesRegisteredNames) {
 TEST(OpScopeTest, FeedsRegistryThroughContext) {
   ExecContext ctx;
   obs::MetricsRegistry registry;
-  ctx.metrics = &registry;
+  ctx.AttachMetrics(&registry);
   {
     obs::OpScope op(ctx, "testfs", "open");
     ctx.clock.Advance(1234);
   }
-  ctx.metrics = nullptr;
+  ctx.AttachMetrics(nullptr);
   const auto hist = registry.OpHistogram("testfs", "open");
   EXPECT_EQ(hist.count(), 1u);
   // The histogram is log-bucketed (~4% wide buckets), so the median comes
@@ -209,20 +233,93 @@ TEST(BenchReportTest, EmittedJsonValidates) {
 TEST(BenchReportTest, ValidatorRejectsBrokenReports) {
   EXPECT_FALSE(obs::ValidateBenchReportJson("not json").ok());
   EXPECT_FALSE(obs::ValidateBenchReportJson("[]").ok());
-  // Wrong schema version.
-  EXPECT_FALSE(obs::ValidateBenchReportJson(
-                   R"({"schema_version":2,"bench":"x","config":{},"results":[)"
-                   R"({"fs":"a","metrics":{},"counters":{}}]})")
-                   .ok());
-  // Empty results array.
-  EXPECT_FALSE(obs::ValidateBenchReportJson(
-                   R"({"schema_version":1,"bench":"x","config":{},"results":[]})")
-                   .ok());
-  // Counters object missing registered fields.
+  // Stale pre-v2 schema version.
   EXPECT_FALSE(obs::ValidateBenchReportJson(
                    R"({"schema_version":1,"bench":"x","config":{},"results":[)"
                    R"({"fs":"a","metrics":{},"counters":{}}]})")
                    .ok());
+  // Empty results array.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+                   R"({"schema_version":2,"bench":"x","config":{},"results":[]})")
+                   .ok());
+  // Counters object missing registered fields.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(
+                   R"({"schema_version":2,"bench":"x","config":{},"results":[)"
+                   R"({"fs":"a","metrics":{},"counters":{}}]})")
+                   .ok());
+}
+
+TEST(BenchReportTest, LatencySummaryCarriesTailAndExtremes) {
+  common::LatencyHistogram hist;
+  hist.Record(100);
+  hist.Record(200);
+  hist.Record(5000);
+  const obs::LatencySummary s = obs::SummarizeHistogram("pwrite", hist);
+  EXPECT_EQ(s.count, 3u);
+  // The extremes are tracked sample-exactly, outside the log buckets.
+  EXPECT_EQ(s.min_ns, 100u);
+  EXPECT_EQ(s.max_ns, 5000u);
+  EXPECT_GE(s.p999_ns, s.p99_ns);
+  EXPECT_GE(s.p99_ns, s.p50_ns);
+  EXPECT_LE(s.min_ns, s.p50_ns);
+  // p999 of 3 samples is the top sample's bucket; buckets are ~6% wide.
+  EXPECT_GE(s.p999_ns, 5000u);
+  EXPECT_LE(s.p999_ns, 5000u * 110 / 100);
+
+  const obs::LatencySummary empty = obs::SummarizeHistogram("noop", common::LatencyHistogram{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min_ns, 0u);
+  EXPECT_EQ(empty.max_ns, 0u);
+}
+
+TEST(BenchReportTest, TimeSeriesSectionRoundTripsAndValidates) {
+  obs::BenchReport report = MakeValidReport();
+  obs::TimeSeries series;
+  series.Add(1000, "free_blocks", 42.0);
+  series.Add(2000, "free_blocks", 40.0);
+  series.Add(1000, "aligned_free_fraction", 0.97);
+  report.AddTimeSeries("winefs", series);
+  // A second merge for the same fs extends existing gauges instead of
+  // duplicating JSON keys.
+  obs::TimeSeries more;
+  more.Add(3000, "free_blocks", 38.0);
+  report.AddTimeSeries("winefs", more);
+
+  const std::string json = report.ToJson();
+  ASSERT_TRUE(obs::ValidateBenchReportJson(json).ok())
+      << obs::ValidateBenchReportJson(json).message();
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue& row = parsed->Find("results")->array[0];
+  const obs::JsonValue* ts = row.Find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  const obs::JsonValue* free_blocks = ts->Find("free_blocks");
+  ASSERT_NE(free_blocks, nullptr);
+  ASSERT_EQ(free_blocks->array.size(), 3u);
+  EXPECT_EQ(free_blocks->array[0].array[0].number_value, 1000.0);
+  EXPECT_EQ(free_blocks->array[0].array[1].number_value, 42.0);
+  EXPECT_EQ(free_blocks->array[2].array[1].number_value, 38.0);
+  ASSERT_NE(ts->Find("aligned_free_fraction"), nullptr);
+}
+
+TEST(BenchReportTest, ValidatorRejectsMalformedTimeSeriesPoints) {
+  const std::string json = MakeValidReport().ToJson();
+  ASSERT_TRUE(obs::ValidateBenchReportJson(json).ok());
+  const size_t pos = json.find("\"counters\"");
+  ASSERT_NE(pos, std::string::npos);
+  // A point must be a [t_ns, value] pair of numbers.
+  for (const char* bad :
+       {R"("timeseries":{"g":[[1000]]},)", R"("timeseries":{"g":[[1000,1,2]]},)",
+        R"("timeseries":{"g":[["t",1]]},)", R"("timeseries":{"g":[0]},)",
+        R"("timeseries":{"g":0},)", R"("timeseries":[],)"}) {
+    std::string broken = json;
+    broken.insert(pos, bad);
+    EXPECT_FALSE(obs::ValidateBenchReportJson(broken).ok()) << bad;
+  }
+  // The well-formed equivalent passes.
+  std::string good = json;
+  good.insert(pos, R"("timeseries":{"g":[[1000,1],[2000,2]]},)");
+  EXPECT_TRUE(obs::ValidateBenchReportJson(good).ok());
 }
 
 TEST(BenchReportTest, SpanAndLatencySectionsValidate) {
@@ -243,6 +340,171 @@ TEST(BenchReportTest, SpanAndLatencySectionsValidate) {
   const obs::JsonValue& row = parsed->Find("results")->array[0];
   EXPECT_EQ(row.Find("spans_ns")->Find("journal_commit")->number_value, 42.0);
   EXPECT_EQ(row.Find("latency_ns")->Find("pwrite")->Find("count")->number_value, 2.0);
+}
+
+// ---- gauge time-series sampler ----------------------------------------------
+
+// Deterministic provider: reports how many times it has been polled.
+class CountingProvider : public obs::GaugeProvider {
+ public:
+  void SampleGauges(obs::GaugeSample& out) override {
+    polls_++;
+    out.Set("polls", static_cast<double>(polls_));
+  }
+  int polls() const { return polls_; }
+
+ private:
+  int polls_ = 0;
+};
+
+TEST(TimeSeriesSamplerTest, SamplesOnPeriodCrossingsOnly) {
+  ExecContext ctx;
+  obs::TimeSeriesSampler sampler(/*period_ns=*/1000);
+  CountingProvider provider;
+  sampler.AddProvider(&provider);
+  ctx.AttachSampler(&sampler);
+
+  sampler.MaybeSample(ctx);  // t=0: baseline sample
+  EXPECT_EQ(sampler.samples_taken(), 1u);
+  ctx.clock.Advance(400);
+  sampler.MaybeSample(ctx);  // t=400: same period, no sample
+  EXPECT_EQ(sampler.samples_taken(), 1u);
+  ctx.clock.Advance(700);
+  sampler.MaybeSample(ctx);  // t=1100: crossed 1000
+  sampler.MaybeSample(ctx);  // still t=1100: no double sample
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  ctx.clock.Advance(5000);
+  sampler.MaybeSample(ctx);  // t=6100: one sample per crossing, not per period
+  EXPECT_EQ(sampler.samples_taken(), 3u);
+  ctx.AttachSampler(nullptr);
+
+  const auto* points = sampler.series().Points("polls");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_EQ((*points)[0].t_ns, 0u);
+  EXPECT_EQ((*points)[1].t_ns, 1100u);
+  EXPECT_EQ((*points)[2].t_ns, 6100u);
+  EXPECT_EQ((*points)[2].value, 3.0);
+  EXPECT_EQ(provider.polls(), 3);
+}
+
+TEST(TimeSeriesSamplerTest, AddProviderIsIdempotent) {
+  ExecContext ctx;
+  obs::TimeSeriesSampler sampler;
+  CountingProvider provider;
+  // Foreground and background contexts of one bench attach the same bundle;
+  // the provider must still be polled exactly once per sample.
+  sampler.AddProvider(&provider);
+  sampler.AddProvider(&provider);
+  sampler.SampleNow(ctx);
+  const auto* points = sampler.series().Points("polls");
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(points->size(), 1u);
+  EXPECT_EQ(provider.polls(), 1);
+}
+
+TEST(TimeSeriesSamplerTest, DecimatesAndDoublesPeriodAtCapacity) {
+  ExecContext ctx;
+  obs::TimeSeriesSampler sampler(/*period_ns=*/10);
+  CountingProvider provider;
+  sampler.AddProvider(&provider);
+  EXPECT_EQ(sampler.period_ns(), 10u);
+  for (size_t i = 0; i < obs::TimeSeriesSampler::kMaxPointsPerGauge + 100; i++) {
+    sampler.MaybeSample(ctx);
+    ctx.clock.Advance(10);
+  }
+  // Memory stays bounded; cadence coarsens instead of dropping the tail.
+  EXPECT_LE(sampler.series().MaxPoints(), obs::TimeSeriesSampler::kMaxPointsPerGauge);
+  EXPECT_GE(sampler.period_ns(), 20u);
+  const auto* points = sampler.series().Points("polls");
+  ASSERT_NE(points, nullptr);
+  // Decimation keeps full-run coverage: both ends of the run survive.
+  EXPECT_EQ(points->front().t_ns, 0u);
+  EXPECT_GT(points->back().t_ns, obs::TimeSeriesSampler::kMaxPointsPerGauge * 10 / 2);
+}
+
+TEST(TimeSeriesSamplerTest, ContextResetClearsSamplesKeepsProviders) {
+  ExecContext ctx;
+  obs::TimeSeriesSampler sampler(/*period_ns=*/1000);
+  obs::TraceBuffer trace;
+  CountingProvider provider;
+  sampler.AddProvider(&provider);
+  ctx.AttachSampler(&sampler);
+  ctx.AttachTrace(&trace);
+  sampler.SampleNow(ctx);
+  trace.Record(obs::TraceEvent{obs::SpanCat::kAllocation, 0, 0, 10, 0});
+  ASSERT_FALSE(sampler.series().empty());
+
+  // Reset between per-fs bench rows: every attached sink restarts so samples
+  // never bleed from one filesystem into the next row.
+  ctx.Reset();
+  EXPECT_TRUE(sampler.series().empty());
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+
+  // Providers stay registered: the next sample polls them again.
+  sampler.SampleNow(ctx);
+  EXPECT_EQ(provider.polls(), 2);
+  ctx.AttachSampler(nullptr);
+  ctx.AttachTrace(nullptr);
+}
+
+// ---- chrome trace export ----------------------------------------------------
+
+TEST(ChromeTraceTest, EmitsPerCpuTracksAndCategories) {
+  obs::TraceBuffer trace;
+  // Two categories across two simulated CPUs; ts/dur are microseconds in the
+  // export (1500ns -> 1.5us).
+  trace.Record(obs::TraceEvent{obs::SpanCat::kAllocation, 0, 1000, 2500, 7});
+  trace.Record(obs::TraceEvent{obs::SpanCat::kJournalCommit, 1, 3000, 6000, 64});
+  const std::string json = obs::ChromeTraceJson({obs::NamedTrace{"winefs", &trace}});
+
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->string_value, "ms");
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::vector<const obs::JsonValue*> complete;
+  size_t metadata = 0;
+  for (const obs::JsonValue& ev : events->array) {
+    const std::string& ph = ev.Find("ph")->string_value;
+    if (ph == "M") {
+      metadata++;
+    } else if (ph == "X") {
+      complete.push_back(&ev);
+    }
+  }
+  // process_name for the fs + thread_name per CPU track.
+  EXPECT_GE(metadata, 3u);
+  ASSERT_EQ(complete.size(), 2u);
+  EXPECT_EQ(complete[0]->Find("cat")->string_value, "allocation");
+  EXPECT_EQ(complete[0]->Find("ts")->number_value, 1.0);
+  EXPECT_EQ(complete[0]->Find("dur")->number_value, 1.5);
+  EXPECT_EQ(complete[0]->Find("tid")->number_value, 0.0);
+  EXPECT_EQ(complete[1]->Find("cat")->string_value, "journal_commit");
+  EXPECT_EQ(complete[1]->Find("tid")->number_value, 1.0);
+  // Both spans belong to the same filesystem "process".
+  EXPECT_EQ(complete[0]->Find("pid")->number_value, complete[1]->Find("pid")->number_value);
+}
+
+TEST(ChromeTraceTest, SeparatesFilesystemsIntoProcesses) {
+  obs::TraceBuffer a;
+  obs::TraceBuffer b;
+  a.Record(obs::TraceEvent{obs::SpanCat::kDataCopy, 0, 0, 100, 0});
+  b.Record(obs::TraceEvent{obs::SpanCat::kDataCopy, 0, 0, 100, 0});
+  const std::string json =
+      obs::ChromeTraceJson({obs::NamedTrace{"ext4-dax", &a}, obs::NamedTrace{"winefs", &b}});
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<double> pids;
+  for (const obs::JsonValue& ev : parsed->Find("traceEvents")->array) {
+    if (ev.Find("ph")->string_value == "X") {
+      pids.push_back(ev.Find("pid")->number_value);
+    }
+  }
+  ASSERT_EQ(pids.size(), 2u);
+  EXPECT_NE(pids[0], pids[1]);
 }
 
 // ---- counter-accounting invariants across all filesystems -------------------

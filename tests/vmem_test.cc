@@ -183,9 +183,9 @@ TEST_F(MmapEngineTest, HugeFaultsAreCheaperInTotal) {
   obs::TraceBuffer huge_trace;
   obs::TraceBuffer base_trace;
   ExecContext huge_ctx(0);
-  huge_ctx.trace = &huge_trace;
+  huge_ctx.AttachTrace(&huge_trace);
   ExecContext base_ctx(1);
-  base_ctx.trace = &base_trace;
+  base_ctx.AttachTrace(&base_trace);
   ASSERT_TRUE(huge_map->Write(huge_ctx, 0, buf.data(), buf.size()).ok());
   ASSERT_TRUE(base_map->Write(base_ctx, 0, buf.data(), buf.size()).ok());
   // Fig 2: with hugepages the 2 MiB write is ~2x faster end to end.
