@@ -25,13 +25,18 @@ struct ScalePoint {
 };
 
 ScalePoint MeasureKops(const std::string& fs_name, uint32_t threads,
-                       obs::MetricsRegistry* registry) {
+                       obs::MetricsRegistry* registry,
+                       obs::TimeSeriesSampler* sampler) {
   auto bed = MakeBed(fs_name, kDeviceBytes, kCpus);
   ExecContext setup;
   for (uint32_t t = 0; t < threads; t++) {
     if (!bed.fs->Mkdir(setup, "/t" + std::to_string(t)).ok()) {
       return {};
     }
+  }
+  if (sampler != nullptr) {
+    sampler->AddProvider(bed.fs.get());
+    sampler->AddProvider(bed.engine.get());
   }
   std::vector<uint8_t> buf(4096, 0x3d);
   auto op = [&](uint32_t tid, uint64_t i, ExecContext& ctx) -> bool {
@@ -54,8 +59,13 @@ ScalePoint MeasureKops(const std::string& fs_name, uint32_t threads,
     return bed.fs->Unlink(ctx, path).ok();
   };
   wload::SimRunner runner(threads, kCpus, setup.clock.NowNs());
-  runner.SetObservers(nullptr, registry);
+  runner.SetObservers(nullptr, registry, sampler);
   auto result = runner.Run(kOpsPerThread, op);
+  if (sampler != nullptr) {
+    // The bed (and with it every registered gauge provider) dies when this
+    // function returns; detach so the sampler never probes freed state.
+    sampler->ClearProviders();
+  }
   return ScalePoint{result.OpsPerSecond() / 1000.0, result.counters};
 }
 
@@ -74,21 +84,26 @@ int main() {
   report.AddConfig("device_mib", static_cast<double>(kDeviceBytes / kMiB));
   report.AddConfig("cpus", static_cast<double>(kCpus));
   report.AddConfig("ops_per_thread", static_cast<double>(kOpsPerThread));
-  // Per-op latency percentiles are collected via a MetricsRegistry attached to
-  // the one-socket (28-thread) run of each filesystem.
+  // Per-op latency percentiles and gauge time series are collected via a
+  // MetricsRegistry + TimeSeriesSampler attached to the one-socket (28-thread)
+  // run of each filesystem. One sampler per filesystem so samples never bleed
+  // across rows.
   obs::MetricsRegistry registry;
   for (const std::string fs_name :
        {"ext4-dax", "xfs-dax", "pmfs", "nova", "splitfs", "winefs"}) {
     std::vector<std::string> cells{fs_name};
+    obs::TimeSeriesSampler sampler;
     for (uint32_t t : threads) {
-      const ScalePoint point =
-          MeasureKops(fs_name, t, t == kCpus ? &registry : nullptr);
+      const bool observe = t == kCpus;
+      const ScalePoint point = MeasureKops(fs_name, t, observe ? &registry : nullptr,
+                                           observe ? &sampler : nullptr);
       cells.push_back(point.kops < 0 ? "FAIL" : Fmt(point.kops, 0));
       if (point.kops >= 0) {
         report.AddMetric(fs_name, "threads" + std::to_string(t) + "_kops", point.kops);
       }
-      if (t == kCpus) {
+      if (observe) {
         report.SetCounters(fs_name, point.counters);
+        report.AddTimeSeries(fs_name, sampler.series());
       }
     }
     Row(cells, 10);

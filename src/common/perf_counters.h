@@ -32,6 +32,7 @@ struct PerfCounters {
   uint64_t pm_write_bytes = 0;
   uint64_t clwb_count = 0;
   uint64_t fence_count = 0;
+  uint64_t pm_latency_spikes = 0;  // injected transient slow accesses
 
   // Filesystem-level accounting.
   uint64_t syscall_count = 0;
@@ -65,6 +66,7 @@ inline constexpr CounterField kCounterFields[] = {
     {"pm_write_bytes", &PerfCounters::pm_write_bytes},
     {"clwb_count", &PerfCounters::clwb_count},
     {"fence_count", &PerfCounters::fence_count},
+    {"pm_latency_spikes", &PerfCounters::pm_latency_spikes},
     {"syscall_count", &PerfCounters::syscall_count},
     {"fsync_count", &PerfCounters::fsync_count},
     {"journal_bytes", &PerfCounters::journal_bytes},

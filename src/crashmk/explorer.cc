@@ -1,9 +1,11 @@
 #include "src/crashmk/explorer.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
 #include "src/common/units.h"
+#include "src/pmem/fault_injector.h"
 
 namespace crashmk {
 
@@ -117,6 +119,7 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
   seed_file("/D/C", 500);
 
   device.EnableCrashTracking();
+  pmem::FaultInjector torn_injector(pmem::FaultPlan{.seed = config_.torn_seed});
 
   for (const CrashOp& op : workload) {
     const Oracle pre = Oracle::Capture(ctx, *fs);
@@ -197,6 +200,38 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
                         common::kCacheline);
           }
           check_state(img);
+        }
+      }
+      // Torn-store composition: pick lines across the epoch (even stride),
+      // persist the seq-ordered prefix before each fully, then apply only a
+      // subset of the chosen line's 8-byte lanes. Masks are derived from the
+      // line's store sequence number, so a failing state reproduces exactly
+      // from {torn_seed, workload}.
+      if (config_.torn_writes && !eligible.empty()) {
+        std::vector<pmem::PendingLine> by_seq = eligible;
+        std::sort(by_seq.begin(), by_seq.end(),
+                  [](const pmem::PendingLine& a, const pmem::PendingLine& b) {
+                    return a.seq < b.seq;
+                  });
+        const size_t stride = std::max<size_t>(
+            1, by_seq.size() / std::max<uint32_t>(1, config_.max_torn_lines_per_epoch));
+        for (size_t i = 0; i < by_seq.size(); i += stride) {
+          const std::vector<uint8_t> masks =
+              torn_injector.TornLaneMasks(by_seq[i].seq, config_.max_torn_variants_per_line);
+          for (const uint8_t mask : masks) {
+            std::vector<uint8_t> img = base;
+            for (size_t p = 0; p < i; p++) {
+              std::memcpy(img.data() + by_seq[p].line_offset, by_seq[p].data,
+                          common::kCacheline);
+            }
+            for (uint32_t lane = 0; lane < pmem::kLanesPerLine; lane++) {
+              if (mask & (1u << lane)) {
+                std::memcpy(img.data() + by_seq[i].line_offset + lane * pmem::kLaneBytes,
+                            by_seq[i].data + lane * pmem::kLaneBytes, pmem::kLaneBytes);
+              }
+            }
+            check_state(img);
+          }
         }
       }
       // Advance the base image past this fence: everything it persisted.

@@ -63,6 +63,18 @@ class Explorer {
     uint64_t device_bytes = 16ull * 1024 * 1024;
     // Cap on exhaustive subset enumeration per fence boundary (2^bits states).
     uint32_t max_subset_bits = 6;
+    // Torn-store composition: x86 persists only 8 bytes atomically, so each
+    // cacheline crash state additionally admits partially-persisted lines.
+    // When enabled, every fence boundary also explores states where the
+    // seq-ordered prefix of eligible lines persisted fully and the next line
+    // tore at 8-byte-lane granularity (masks from FaultInjector, so a failing
+    // state is reproducible from the seed).
+    bool torn_writes = false;
+    uint64_t torn_seed = 1;
+    uint32_t max_torn_variants_per_line = 3;
+    // Bounds the torn-line sweep per fence (bulk zeroing can leave thousands
+    // of lines in flight; an even-stride sample keeps runtime sane).
+    uint32_t max_torn_lines_per_epoch = 16;
   };
 
   Explorer(FsFactory factory, Config config) : factory_(std::move(factory)), config_(config) {}

@@ -43,10 +43,29 @@ FsckReport CheckImage(pmem::PmemDevice& device) {
   FsckReport report;
   common::ExecContext ctx;  // scratch; fsck cost is not part of any experiment
 
-  const PmSuperblock sb = device.LoadStruct<PmSuperblock>(ctx, 0);
-  if (sb.magic != kSuperMagic) {
+  // Primary superblock, falling back to the backup copy on a media error or
+  // bad magic. Any problem with the primary is reported even when the backup
+  // rescues the scan — the caller must know the image needs repair.
+  PmSuperblock sb;
+  auto primary = device.TryLoadStruct<PmSuperblock>(ctx, 0);
+  if (!primary.ok()) {
+    Append(report, "superblock: media error (EIO)");
+  } else if (primary->magic != kSuperMagic) {
     Append(report, "superblock magic invalid");
-    return report;
+  }
+  if (primary.ok() && primary->magic == kSuperMagic) {
+    sb = *primary;
+  } else {
+    auto backup = device.TryLoadStruct<PmSuperblock>(ctx, kSuperBackupOffset);
+    if (!backup.ok()) {
+      Append(report, "backup superblock: media error (EIO)");
+      return report;
+    }
+    if (backup->magic != kSuperMagic) {
+      Append(report, "backup superblock magic invalid");
+      return report;
+    }
+    sb = *backup;
   }
   if (sb.data_start_block >= sb.total_blocks ||
       sb.inode_table_block >= sb.data_start_block ||
@@ -55,11 +74,25 @@ FsckReport CheckImage(pmem::PmemDevice& device) {
     return report;
   }
 
+  // Poisoned journal blocks are a mount-time hazard (recovery may refuse the
+  // image); surface them here so an operator sees the problem offline.
+  if (sb.journal_blocks > 0 &&
+      !device.ReadStatus(sb.journal_start_block * kBlockSize,
+                         sb.journal_blocks * kBlockSize)
+           .ok()) {
+    Append(report, "journal region: media error (EIO)");
+  }
+
   // Pass 1: inodes and their extent records.
   std::map<uint64_t, ScannedInode> inodes;
   for (uint64_t ino = 1; ino < sb.max_inodes; ino++) {
     const uint64_t off = sb.inode_table_block * kBlockSize + ino * sizeof(PmInode);
-    PmInode pm = device.LoadStruct<PmInode>(ctx, off);
+    auto loaded = device.TryLoadStruct<PmInode>(ctx, off);
+    if (!loaded.ok()) {
+      Append(report, "inode " + std::to_string(ino) + ": media error (EIO)");
+      continue;
+    }
+    PmInode pm = *loaded;
     if (pm.magic == 0) {
       continue;
     }
@@ -104,7 +137,10 @@ FsckReport CheckImage(pmem::PmemDevice& device) {
       }
       scanned.chain_blocks.push_back(indirect);
       PmIndirectBlock blk;
-      device.Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+      if (!device.Load(ctx, indirect * kBlockSize, &blk, sizeof(blk)).ok()) {
+        Append(report, "inode " + std::to_string(ino) + ": indirect block media error (EIO)");
+        break;
+      }
       for (uint32_t i = 0; i < kExtentsPerIndirect && slot < pm.extent_count; i++) {
         take(blk.extents[i]);
       }
@@ -150,7 +186,14 @@ FsckReport CheckImage(pmem::PmemDevice& device) {
       for (uint64_t b = 0; b < ext.len(); b++) {
         const uint64_t block_off = (ext.phys_block() + b) * kBlockSize;
         for (uint64_t d = 0; d < kDirentsPerBlock; d++) {
-          PmDirent de = device.LoadStruct<PmDirent>(ctx, block_off + d * sizeof(PmDirent));
+          auto de_loaded =
+              device.TryLoadStruct<PmDirent>(ctx, block_off + d * sizeof(PmDirent));
+          if (!de_loaded.ok()) {
+            Append(report, "inode " + std::to_string(ino) +
+                               ": directory block media error (EIO)");
+            break;
+          }
+          PmDirent de = *de_loaded;
           if (de.in_use == 0) {
             continue;
           }

@@ -162,6 +162,9 @@ Status GenericFs::Mkfs(ExecContext& ctx) {
   sb.num_cpus = options_.num_cpus;
   sb.clean_unmount = 0;
   device_->PersistStruct(ctx, 0, sb);
+  // Backup copy in a different media block: one uncorrectable error cannot
+  // lose the geometry. Only the immutable fields matter in the backup.
+  device_->PersistStruct(ctx, kSuperBackupOffset, sb);
 
   // Zero the inode table so stale magics never resurface.
   device_->Zero(ctx, inode_table_block_ * kBlockSize, inode_blocks * kBlockSize);
@@ -193,9 +196,27 @@ Status GenericFs::Mkfs(ExecContext& ctx) {
 Status GenericFs::Mount(ExecContext& ctx) {
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   const uint64_t t0 = ctx.clock.NowNs();
-  const PmSuperblock sb = device_->LoadStruct<PmSuperblock>(ctx, 0);
-  if (sb.magic != kSuperMagic) {
-    return Status(ErrorCode::kCorrupt);
+  auto primary = device_->TryLoadStruct<PmSuperblock>(ctx, 0);
+  PmSuperblock sb;
+  if (primary.ok() && primary->magic == kSuperMagic) {
+    sb = *primary;
+  } else {
+    // Primary poisoned (kIoError) or invalid: fall back to the backup copy
+    // and repair the primary — the rewrite re-ECCs the poisoned media block.
+    auto backup = device_->TryLoadStruct<PmSuperblock>(ctx, kSuperBackupOffset);
+    if (!backup.ok()) {
+      return Status(ErrorCode::kIoError);
+    }
+    if (backup->magic != kSuperMagic) {
+      // Neither copy is usable: refuse cleanly with the more specific code.
+      return primary.ok() ? Status(ErrorCode::kCorrupt) : Status(ErrorCode::kIoError);
+    }
+    sb = *backup;
+    sb.clean_unmount = 0;  // conservative: force full journal recovery
+    // The repair must rewrite the whole 256 B media block to re-ECC it; the
+    // superblock struct alone is smaller than the poison granularity.
+    device_->Zero(ctx, 0, pmem::kMediaBlockBytes);
+    device_->PersistStruct(ctx, 0, sb);
   }
   total_blocks_ = sb.total_blocks;
   data_start_block_ = sb.data_start_block;
@@ -205,6 +226,7 @@ Status GenericFs::Mount(ExecContext& ctx) {
   options_.max_inodes = sb.max_inodes;
   options_.journal_blocks = sb.journal_blocks;
   options_.num_cpus = sb.num_cpus;
+  mount_found_clean_ = sb.clean_unmount != 0;
 
   RETURN_IF_ERROR(RecoverJournal(ctx));
   RETURN_IF_ERROR(RebuildFromPm(ctx));
@@ -249,7 +271,7 @@ Status GenericFs::Unmount(ExecContext& ctx) {
 
 // --- Mount-time rebuild ------------------------------------------------------
 
-void GenericFs::LoadInodeFromPm(ExecContext& ctx, const PmInode& pm, Inode& inode) {
+Status GenericFs::LoadInodeFromPm(ExecContext& ctx, const PmInode& pm, Inode& inode) {
   inode.ino = pm.ino;
   inode.is_dir = pm.is_dir != 0;
   inode.aligned_hint = pm.aligned_hint != 0;
@@ -278,12 +300,13 @@ void GenericFs::LoadInodeFromPm(ExecContext& ctx, const PmInode& pm, Inode& inod
   while (indirect != 0) {
     inode.pm_chain.push_back(indirect);
     PmIndirectBlock blk;
-    device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+    RETURN_IF_ERROR(device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk)));
     for (uint32_t i = 0; i < kExtentsPerIndirect && slot < pm.extent_count; i++) {
       take_record(blk.extents[i]);
     }
     indirect = blk.next_block;
   }
+  return common::OkStatus();
 }
 
 Status GenericFs::RebuildFromPm(ExecContext& ctx) {
@@ -292,7 +315,10 @@ Status GenericFs::RebuildFromPm(ExecContext& ctx) {
   std::vector<Extent> used;
 
   for (InodeNum ino = options_.max_inodes - 1; ino > 0; ino--) {
-    PmInode pm = device_->LoadStruct<PmInode>(ctx, InodePmOffset(ino));
+    // A poisoned inode slot is unrecoverable metadata: refuse the mount with
+    // EIO instead of silently treating the inode as free (which would leak
+    // its blocks back into the allocator and corrupt live data).
+    ASSIGN_OR_RETURN(PmInode pm, device_->TryLoadStruct<PmInode>(ctx, InodePmOffset(ino)));
     if (pm.magic != kInodeMagic) {
       if (ino != kRootIno) {
         free_inos_.push_back(ino);
@@ -300,13 +326,13 @@ Status GenericFs::RebuildFromPm(ExecContext& ctx) {
       continue;
     }
     auto inode = std::make_unique<Inode>();
-    LoadInodeFromPm(ctx, pm, *inode);
+    RETURN_IF_ERROR(LoadInodeFromPm(ctx, pm, *inode));
     // Indirect chain blocks are used space too.
     uint64_t indirect = pm.indirect_block;
     while (indirect != 0) {
       used.push_back(Extent{indirect, 1});
       PmIndirectBlock blk;
-      device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
+      RETURN_IF_ERROR(device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk)));
       indirect = blk.next_block;
     }
     for (const auto& [logical, ext] : inode->extents.Entries()) {
@@ -328,7 +354,8 @@ Status GenericFs::RebuildFromPm(ExecContext& ctx) {
       for (uint64_t b = 0; b < ext.num_blocks; b++) {
         const uint64_t pm_off = (ext.phys_block + b) * kBlockSize;
         for (uint64_t d = 0; d < kDirentsPerBlock; d++) {
-          PmDirent de = device_->LoadStruct<PmDirent>(ctx, pm_off + d * sizeof(PmDirent));
+          ASSIGN_OR_RETURN(PmDirent de, device_->TryLoadStruct<PmDirent>(
+                                            ctx, pm_off + d * sizeof(PmDirent)));
           const uint64_t slot = (logical + b) * kDirentsPerBlock + d;
           if (de.in_use != 0) {
             inode->dirents[std::string(de.name, de.name_len)] =
@@ -668,15 +695,16 @@ Status GenericFs::RemoveNode(ExecContext& ctx, Inode& parent, const std::string&
   if (node->nlink == 0 || expect_dir) {
     OnInodeDeleted(ctx, *node);
     FreeFileBlocks(ctx, *node, 0);
-    // Release the indirect chain.
+    // Release the indirect chain. Addresses come from the DRAM mirror so a
+    // poisoned chain block cannot stall the unlink; the charged loads model
+    // the PM walk a real filesystem would do.
     PmInode pm = device_->LoadStruct<PmInode>(ctx, InodePmOffset(node->ino));
-    uint64_t indirect = pm.indirect_block;
+    (void)pm;
     std::vector<Extent> chain;
-    while (indirect != 0) {
-      chain.push_back(Extent{indirect, 1});
+    for (uint64_t chain_block : node->pm_chain) {
+      chain.push_back(Extent{chain_block, 1});
       PmIndirectBlock blk;
-      device_->Load(ctx, indirect * kBlockSize, &blk, sizeof(blk));
-      indirect = blk.next_block;
+      (void)device_->Load(ctx, chain_block * kBlockSize, &blk, sizeof(blk));
     }
     if (!chain.empty()) {
       FreeBlocks(ctx, chain);
@@ -919,6 +947,14 @@ Result<uint64_t> GenericFs::EnsureBlocks(ExecContext& ctx, Inode& inode, uint64_
       if (!ZeroOnFault()) {
         // Zero-at-allocation filesystems (NOVA) pay the cost here.
         device_->Zero(ctx, ext.phys_block * kBlockSize, ext.num_blocks * kBlockSize);
+      } else {
+        // Zero-on-fault filesystems mark these extents unwritten and return
+        // zeros for reads until a fault (or write) converts them; the real FS
+        // writes no bytes here. Shadow that guarantee by scrubbing the
+        // recycled bytes cost-free — the zeroing cost is charged at fault
+        // time (§5.4), and reads must never see a previous file's data.
+        const std::vector<uint8_t> zeros(ext.num_blocks * kBlockSize, 0);
+        device_->StoreUncharged(ext.phys_block * kBlockSize, zeros.data(), zeros.size());
       }
       logical += ext.num_blocks;
       newly_allocated += ext.num_blocks;
@@ -1044,7 +1080,8 @@ Result<uint64_t> GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t 
     if (mapping.has_value()) {
       const uint64_t run_bytes = mapping->contiguous_blocks * kBlockSize - in_block;
       chunk = std::min(remaining, run_bytes);
-      device_->Load(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk);
+      RETURN_IF_ERROR(
+          device_->Load(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk));
     } else {
       chunk = std::min(remaining, kBlockSize - in_block);
       std::memset(cursor, 0, chunk);  // hole reads as zeros
@@ -1106,6 +1143,20 @@ Status GenericFs::Ftruncate(ExecContext& ctx, int fd, uint64_t size) {
   if (size < inode->size) {
     TxBegin(ctx);
     FreeFileBlocks(ctx, *inode, common::BytesToBlocks(size));
+    // POSIX: bytes past the new EOF must read back as zeros if the file later
+    // grows again. Whole blocks were just freed, but the retained partial
+    // tail block still carries stale bytes — scrub them through the journaled
+    // write path so a crash mid-truncate can still roll the old tail back.
+    const uint64_t tail = size % kBlockSize;
+    if (tail != 0 && size < inode->size) {
+      auto mapping = inode->extents.Lookup(size / kBlockSize);
+      if (mapping.has_value()) {
+        const uint64_t scrub = std::min(kBlockSize - tail, inode->size - size);
+        const std::vector<uint8_t> zeros(scrub, 0);
+        TxMetaWrite(ctx, inode->ino, mapping->phys_block * kBlockSize + tail, zeros.data(),
+                    scrub);
+      }
+    }
     inode->size = size;
     PersistInode(ctx, *inode);
     TxCommit(ctx);

@@ -286,6 +286,11 @@ class GenericFs : public vfs::FileSystem {
   vfs::InodeLockTable inode_locks_;
   vfs::VfsSharedPath vfs_shared_;
 
+  // Whether the superblock said clean_unmount when Mount() read it; journal
+  // recovery hooks consult this to decide repair-vs-refuse on poisoned
+  // journal regions (a clean journal carries no undo state worth keeping).
+  bool mount_found_clean_ = false;
+
   // Region layout (blocks).
   uint64_t total_blocks_ = 0;
   uint64_t journal_start_block_ = 0;
@@ -329,7 +334,7 @@ class GenericFs : public vfs::FileSystem {
   void FreeFileBlocks(common::ExecContext& ctx, Inode& inode, uint64_t from_block);
 
   common::Status RebuildFromPm(common::ExecContext& ctx);
-  void LoadInodeFromPm(common::ExecContext& ctx, const PmInode& pm, Inode& inode);
+  common::Status LoadInodeFromPm(common::ExecContext& ctx, const PmInode& pm, Inode& inode);
 
   std::unordered_map<vfs::InodeNum, std::unique_ptr<Inode>> inodes_;
   std::vector<vfs::InodeNum> free_inos_;

@@ -33,6 +33,13 @@ struct PmSuperblock {
 static_assert(std::is_trivially_copyable_v<PmSuperblock>);
 static_assert(sizeof(PmSuperblock) <= common::kBlockSize);
 
+// Byte offset of the backup superblock copy inside block 0. Far enough from
+// the primary that a single 256 B uncorrectable media error can never take
+// out both; Mount falls back to it and rewrites the primary (a full-block
+// store re-ECCs the media and clears the poison).
+inline constexpr uint64_t kSuperBackupOffset = common::kBlockSize / 2;
+static_assert(kSuperBackupOffset >= sizeof(PmSuperblock) + 256);
+
 // Packed extent: 48-bit physical block, 16-bit length (max 65535 blocks =
 // 256 MiB per extent; longer allocations are split).
 struct PmExtent {

@@ -251,8 +251,10 @@ Result<uint64_t> Nova::WriteDataAtomic(ExecContext& ctx, Inode& inode, const voi
         offset <= block_start && offset + len >= block_start + kBlockSize;
     auto old_map = inode.extents.Lookup(block);
     if (!fully_covered && old_map.has_value()) {
-      device_->Load(ctx, old_map->phys_block * kBlockSize, bounce.data() + b * kBlockSize,
-                    kBlockSize);
+      // Poisoned old data: fail the write instead of silently relocating
+      // zeros over bytes whose reads still (correctly) return EIO.
+      RETURN_IF_ERROR(device_->Load(ctx, old_map->phys_block * kBlockSize,
+                                    bounce.data() + b * kBlockSize, kBlockSize));
       cow_copied += kBlockSize;
     }
   }
@@ -289,6 +291,19 @@ Status Nova::FsyncImpl(ExecContext& ctx, Inode& inode) {
   // Log appends are synchronous; nothing to flush beyond the caller's drain.
   (void)ctx;
   (void)inode;
+  return common::OkStatus();
+}
+
+Status Nova::RecoverJournal(ExecContext& ctx) {
+  // Cost-free probe: an unfaulted mount keeps its timings. The region holds
+  // per-inode log pages that recovery rebuilds from the inode table anyway,
+  // so a media error here is always repairable: the full-block rewrite
+  // re-ECCs the poisoned blocks.
+  const uint64_t journal_bytes = options_.journal_blocks * kBlockSize;
+  if (!device_->ReadStatus(journal_start_block_ * kBlockSize, journal_bytes).ok()) {
+    device_->Zero(ctx, journal_start_block_ * kBlockSize, journal_bytes);
+    device_->Fence(ctx);
+  }
   return common::OkStatus();
 }
 

@@ -60,6 +60,11 @@ class Nova : public fscore::GenericFs {
 
   common::Status FsyncImpl(common::ExecContext& ctx, fscore::Inode& inode) override;
 
+  // NOVA's reserved journal region is never authoritative (recovery rebuilds
+  // from the inode table and per-inode logs), so a poisoned region is always
+  // zero-repaired — clean or dirty — instead of failing the mount.
+  common::Status RecoverJournal(common::ExecContext& ctx) override;
+
   bool ZeroOnFault() const override { return false; }
 
   void OnInodeCreated(common::ExecContext& ctx, fscore::Inode& inode) override;

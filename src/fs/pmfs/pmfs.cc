@@ -77,8 +77,10 @@ void Pmfs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset
       const uint64_t slot =
           journal_cursor_entries_ % (options_.journal_blocks * kBlockSize / 64);
       uint8_t entry[64] = {};
-      device_->Load(ctx, pm_offset + e * 32, entry,
-                    std::min<uint64_t>(32, len - e * 32));
+      // A poisoned old image journals as zeros; the in-place overwrite below
+      // clears the poison, and a rollback restores zeros — never stale bytes.
+      (void)device_->Load(ctx, pm_offset + e * 32, entry,
+                          std::min<uint64_t>(32, len - e * 32));
       device_->Store(ctx, journal_start_block_ * kBlockSize + slot * 64, entry, 64);
       device_->Clwb(ctx, journal_start_block_ * kBlockSize + slot * 64, 64);
       journal_cursor_entries_++;
@@ -95,6 +97,25 @@ Status Pmfs::FsyncImpl(ExecContext& ctx, Inode& inode) {
   // Metadata is synchronous; fsync only drains (done by the caller).
   (void)ctx;
   (void)inode;
+  return common::OkStatus();
+}
+
+Status Pmfs::RecoverJournal(ExecContext& ctx) {
+  // The probe is cost-free, so an unfaulted mount keeps its timings.
+  const uint64_t journal_bytes = options_.journal_blocks * kBlockSize;
+  if (device_->ReadStatus(journal_start_block_ * kBlockSize, journal_bytes).ok()) {
+    return common::OkStatus();
+  }
+  if (!mount_found_clean_) {
+    // An undo image for an interrupted transaction may hide behind the media
+    // error; refuse rather than guess at the pre-crash state.
+    return Status(common::ErrorCode::kIoError);
+  }
+  // Clean unmount: the journal carries no undo state worth keeping. The
+  // full-block rewrite re-ECCs the media and clears the poison.
+  device_->Zero(ctx, journal_start_block_ * kBlockSize, journal_bytes);
+  device_->Fence(ctx);
+  journal_cursor_entries_ = 0;
   return common::OkStatus();
 }
 

@@ -43,6 +43,11 @@ class Pmfs : public fscore::GenericFs {
 
   common::Status FsyncImpl(common::ExecContext& ctx, fscore::Inode& inode) override;
 
+  // PMFS undo journaling is synchronous (undo entries retired at commit), so
+  // recovery itself is a no-op — but a poisoned journal region still needs a
+  // verdict: zero-repair after a clean unmount, refuse with EIO when dirty.
+  common::Status RecoverJournal(common::ExecContext& ctx) override;
+
   // No DRAM indexes: directory lookups scan PM dirent lines sequentially.
   void ChargeDirLookup(common::ExecContext& ctx, const fscore::Inode& dir) override;
 

@@ -348,6 +348,7 @@ void WineFs::AppendEntry(ExecContext& ctx, CpuPool& pool, const JournalEntry& en
   JournalEntry out = entry;
   out.magic = JournalEntry::kMagic;
   out.wrap = pool.wrap;
+  out.csum = out.ComputeCsum();
   const uint64_t slot = pool.head;
   pool.head++;
   if (pool.head >= pool.capacity_entries) {
@@ -386,14 +387,19 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
   if (len >= 1024) {
     // Data journaling of a large region: one blob header + the old image
     // packed into raw cachelines (the data is written twice, not four times).
+    std::vector<uint8_t> old(len);
+    // A poisoned old image journals as zeros: the in-place overwrite below
+    // clears the poison, and a rollback then restores zeros — never stale
+    // bytes (the poisoned region was unreadable anyway).
+    (void)device_->Load(ctx, target_offset, old.data(), len);
     JournalEntry header;
     header.txn_id = tx_id_;
     header.type = JournalEntry::kUndoBlob;
     header.target_offset = target_offset;
     std::memcpy(header.payload, &len, sizeof(len));
+    const uint64_t blob_csum = JournalEntry::Fnv1a(old.data(), len);
+    std::memcpy(header.payload + sizeof(len), &blob_csum, sizeof(blob_csum));
     AppendEntry(ctx, pool, header);
-    std::vector<uint8_t> old(len);
-    device_->Load(ctx, target_offset, old.data(), len);
     AppendRawSlots(ctx, pool, old.data(), len);
     device_->Fence(ctx);
     return;
@@ -404,7 +410,8 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
   uint64_t done = 0;
   while (done < len) {
     const uint64_t chunk = std::min<uint64_t>(len - done, sizeof(old));
-    device_->Load(ctx, target_offset + done, old, chunk);
+    // Poisoned old image journals as zeros; see the blob path above.
+    (void)device_->Load(ctx, target_offset + done, old, chunk);
     JournalEntry entry;
     entry.txn_id = tx_id_;
     entry.type = JournalEntry::kUndoData;
@@ -480,6 +487,25 @@ Status WineFs::RecoverJournal(ExecContext& ctx) {
   };
   std::vector<ScannedEntry> incomplete;
 
+  // Poisoned journal region: if the filesystem was cleanly unmounted the
+  // journal carries no undo state worth keeping — zero it (the full-block
+  // rewrite clears the poison) and continue. If the filesystem was dirty, an
+  // incomplete transaction may hide behind the media error; refuse the mount
+  // with EIO rather than guess.
+  const uint64_t journal_bytes = options_.journal_blocks * kBlockSize;
+  if (!device_->ReadStatus(journal_start_block_ * kBlockSize, journal_bytes).ok()) {
+    if (!mount_found_clean_) {
+      return Status(common::ErrorCode::kIoError);
+    }
+    device_->Zero(ctx, journal_start_block_ * kBlockSize, journal_bytes);
+    device_->Fence(ctx);
+    for (auto& pool : pools_) {
+      pool->head = 0;
+      pool->wrap = 0;
+    }
+    return common::OkStatus();
+  }
+
   const uint32_t njournals =
       wopts_.per_cpu_journals ? static_cast<uint32_t>(pools_.size()) : 1;
   for (uint32_t j = 0; j < njournals; j++) {
@@ -488,8 +514,8 @@ Status WineFs::RecoverJournal(ExecContext& ctx) {
       continue;
     }
     std::vector<JournalEntry> slots(pool.capacity_entries);
-    device_->Load(ctx, pool.journal_pm_offset, slots.data(),
-                  slots.size() * sizeof(JournalEntry));
+    RETURN_IF_ERROR(device_->Load(ctx, pool.journal_pm_offset, slots.data(),
+                                  slots.size() * sizeof(JournalEntry)));
     // Determine the newest wrap generation present (headers only: raw blob
     // cachelines carry arbitrary bytes and are filtered by the magic check).
     uint32_t max_wrap = 0;
@@ -557,16 +583,26 @@ Status WineFs::RecoverJournal(ExecContext& ctx) {
       // The old image sits in the raw cachelines following the header slot.
       uint64_t blob_len = 0;
       std::memcpy(&blob_len, e.entry.payload, sizeof(blob_len));
+      uint64_t blob_csum = 0;
+      std::memcpy(&blob_csum, e.entry.payload + sizeof(blob_len), sizeof(blob_csum));
       CpuPool& pool = *pools_[e.journal];
       std::vector<uint8_t> old(blob_len);
       uint64_t done = 0;
       uint64_t slot = (e.slot + 1) % pool.capacity_entries;
       while (done < blob_len) {
         const uint64_t chunk = std::min<uint64_t>(common::kCacheline, blob_len - done);
-        device_->Load(ctx, pool.journal_pm_offset + slot * sizeof(JournalEntry),
-                      old.data() + done, chunk);
+        RETURN_IF_ERROR(device_->Load(ctx,
+                                      pool.journal_pm_offset + slot * sizeof(JournalEntry),
+                                      old.data() + done, chunk));
         slot = (slot + 1) % pool.capacity_entries;
         done += chunk;
+      }
+      // Torn raw blob cachelines mean the crash hit while the undo image was
+      // still being journaled, before the fence that precedes the in-place
+      // overwrite — the target is intact, so skipping the rollback is safe
+      // (and rolling back a torn image would not be).
+      if (JournalEntry::Fnv1a(old.data(), blob_len) != blob_csum) {
+        continue;
       }
       device_->Store(ctx, e.entry.target_offset, old.data(), blob_len);
       device_->Clwb(ctx, e.entry.target_offset, blob_len);
@@ -664,8 +700,15 @@ Result<uint64_t> WineFs::WriteDataAtomic(ExecContext& ctx, Inode& inode, const v
         for (uint64_t b = 0; b < nblocks; b++) {
           auto old_map = inode.extents.Lookup(first + b);
           assert(old_map.has_value());
-          device_->Load(ctx, old_map->phys_block * kBlockSize, bounce.data() + b * kBlockSize,
-                        kBlockSize);
+          auto loaded = device_->Load(ctx, old_map->phys_block * kBlockSize,
+                                      bounce.data() + b * kBlockSize, kBlockSize);
+          if (!loaded.ok()) {
+            // Poisoned old data: refuse the CoW rather than relocate zeros
+            // over the reader-visible (still EIO-returning) blocks.
+            FreeBlocks(ctx, fresh);
+            TxCommit(ctx);
+            return loaded;
+          }
           copied += kBlockSize;
         }
         std::memcpy(bounce.data() + in_block, cursor, chunk);
@@ -843,8 +886,10 @@ Status WineFs::ReactiveRewrite(ExecContext& ctx, const std::string& path) {
     auto m = inode->extents.Lookup(b);
     if (m.has_value()) {
       const uint64_t run = std::min(m->contiguous_blocks, nblocks - b);
-      device_->Load(ctx, m->phys_block * kBlockSize, data.data() + b * kBlockSize,
-                    run * kBlockSize);
+      // Poisoned file data: leave the fragmented layout alone rather than
+      // rewrite zeros over blocks whose reads still (correctly) return EIO.
+      RETURN_IF_ERROR(device_->Load(ctx, m->phys_block * kBlockSize,
+                                    data.data() + b * kBlockSize, run * kBlockSize));
       b += run;
     } else {
       b++;

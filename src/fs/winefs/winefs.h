@@ -44,6 +44,14 @@ struct WineFsOptions {
 // Large undo images (data journaling of aligned extents) use one kUndoBlob
 // header followed by ceil(len/64) raw cachelines of old data — compact, so
 // data journaling writes the data ~twice, not four times.
+//
+// x86 persists only 8 bytes atomically, so a crash mid-flush can tear the
+// entry at 8-byte-lane granularity. `csum` (FNV-1a over the other 56 bytes)
+// makes torn entries detectable: recovery skips them, which is safe because
+// every undo entry is fenced BEFORE its in-place overwrite begins — a torn
+// entry implies the target was never touched. Blob headers additionally carry
+// an FNV-1a checksum of the old image in payload[8..16] so torn raw blob
+// cachelines are caught the same way.
 struct JournalEntry {
   uint64_t txn_id = 0;
   uint32_t wrap = 0;
@@ -52,7 +60,7 @@ struct JournalEntry {
   uint16_t magic = 0;  // kMagic distinguishes headers from raw blob lines
   uint64_t target_offset = 0;
   uint8_t payload[32] = {};
-  uint8_t pad1[8] = {};
+  uint64_t csum = 0;  // FNV-1a over the first 56 bytes
 
   static constexpr uint16_t kMagic = 0x4a45;
   static constexpr uint8_t kInvalid = 0;
@@ -61,8 +69,21 @@ struct JournalEntry {
   static constexpr uint8_t kUndoData = 3;
   static constexpr uint8_t kUndoBlob = 4;
 
+  uint64_t ComputeCsum() const {
+    return Fnv1a(reinterpret_cast<const uint8_t*>(this), sizeof(JournalEntry) - sizeof(csum));
+  }
+  bool CsumOk() const { return csum == ComputeCsum(); }
+
   bool IsValidHeader() const {
-    return magic == kMagic && type >= kStart && type <= kUndoBlob;
+    return magic == kMagic && type >= kStart && type <= kUndoBlob && CsumOk();
+  }
+
+  static uint64_t Fnv1a(const uint8_t* data, uint64_t len) {
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (uint64_t i = 0; i < len; i++) {
+      hash = (hash ^ data[i]) * 0x100000001b3ull;
+    }
+    return hash;
   }
 };
 static_assert(sizeof(JournalEntry) == 64);

@@ -43,6 +43,17 @@ void PmemDevice::RecordStore(uint64_t offset, uint64_t len, bool flushed) {
   }
 }
 
+void PmemDevice::ChargeFaultDelay(common::ExecContext& ctx) {
+  if (injector_ == nullptr) {
+    return;
+  }
+  const uint64_t extra = injector_->AccessDelayNs();
+  if (extra != 0) {
+    ctx.clock.Advance(extra);
+    ctx.counters.pm_latency_spikes++;
+  }
+}
+
 void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* src,
                        uint64_t len) {
   assert(offset + len <= data_.size());
@@ -50,6 +61,8 @@ void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* sr
   const uint64_t lines = (len + kCacheline - 1) / kCacheline;
   ctx.clock.Advance(lines * model_.pm_store_ns);
   ctx.counters.pm_write_bytes += len;
+  ChargeFaultDelay(ctx);
+  NoteStoreFaults(offset, len);
   RecordStore(offset, len, /*flushed=*/false);
 }
 
@@ -60,16 +73,32 @@ void PmemDevice::NtStore(common::ExecContext& ctx, uint64_t offset, const void* 
   const uint64_t lines = (len + kCacheline - 1) / kCacheline;
   ctx.clock.Advance(lines * model_.pm_store_seq_ns);
   ctx.counters.pm_write_bytes += len;
+  ChargeFaultDelay(ctx);
+  NoteStoreFaults(offset, len);
   RecordStore(offset, len, /*flushed=*/true);
 }
 
-void PmemDevice::Load(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len,
-                      bool sequential) {
+common::Status PmemDevice::Load(common::ExecContext& ctx, uint64_t offset, void* dst,
+                                uint64_t len, bool sequential) {
   assert(offset + len <= data_.size());
-  std::memcpy(dst, data_.data() + offset, len);
   const uint64_t lines = (len + kCacheline - 1) / kCacheline;
   ctx.clock.Advance(lines * (sequential ? model_.pm_load_seq_ns : model_.pm_load_random_ns));
   ctx.counters.pm_read_bytes += len;
+  ChargeFaultDelay(ctx);
+  if (injector_ != nullptr && injector_->IsPoisoned(offset, len)) {
+    // Uncorrectable media error: surface EIO and never the stale payload.
+    std::memset(dst, 0, len);
+    return common::Status(common::ErrorCode::kIoError);
+  }
+  std::memcpy(dst, data_.data() + offset, len);
+  return common::OkStatus();
+}
+
+common::Status PmemDevice::ReadStatus(uint64_t offset, uint64_t len) const {
+  if (injector_ != nullptr && injector_->IsPoisoned(offset, len)) {
+    return common::Status(common::ErrorCode::kIoError);
+  }
+  return common::OkStatus();
 }
 
 void PmemDevice::Clwb(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
@@ -147,11 +176,14 @@ void PmemDevice::Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
   std::memset(data_.data() + offset, 0, len);
   ctx.clock.Advance(model_.SeqWriteBytes(len));
   ctx.counters.pm_write_bytes += len;
+  ChargeFaultDelay(ctx);
+  NoteStoreFaults(offset, len);
   RecordStore(offset, len, /*flushed=*/true);
 }
 
 void PmemDevice::StoreUncharged(uint64_t offset, const void* src, uint64_t len) {
   assert(offset + len <= data_.size());
+  NoteStoreFaults(offset, len);
   std::memcpy(data_.data() + offset, src, len);
   if (crash_tracking_) {
     std::lock_guard<std::mutex> guard(crash_mu_);

@@ -16,8 +16,11 @@
 #include <vector>
 
 #include "src/common/exec_context.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/pmem/cost_model.h"
+#include "src/pmem/fault_injector.h"
 
 namespace pmem {
 
@@ -53,8 +56,15 @@ class PmemDevice {
   void Store(common::ExecContext& ctx, uint64_t offset, const void* src, uint64_t len);
   // Non-temporal store: bypasses cache; persistent after the next Fence.
   void NtStore(common::ExecContext& ctx, uint64_t offset, const void* src, uint64_t len);
-  void Load(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len,
-            bool sequential = true);
+  // Returns kIoError (EIO) if the range covers a poisoned media block; the
+  // destination is zero-filled in that case so a caller that drops the status
+  // can never observe stale bytes.
+  common::Status Load(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len,
+                      bool sequential = true);
+  // Media-error probe: kIoError if any media block in the range is poisoned.
+  // No data movement, no cost charged (the DIMM address-indirection table
+  // knows without touching media).
+  common::Status ReadStatus(uint64_t offset, uint64_t len) const;
   // Flush the cachelines covering [offset, offset+len).
   void Clwb(common::ExecContext& ctx, uint64_t offset, uint64_t len);
   // Store fence / drain: all previously flushed lines become persistent.
@@ -71,10 +81,20 @@ class PmemDevice {
   void PersistStruct(common::ExecContext& ctx, uint64_t offset, const T& value) {
     PersistStore(ctx, offset, &value, sizeof(T));
   }
+  // Unchecked struct load: a poisoned range yields a zeroed value. Metadata
+  // paths that must distinguish media errors from absent data use
+  // TryLoadStruct instead.
   template <typename T>
   T LoadStruct(common::ExecContext& ctx, uint64_t offset) {
     T value;
-    Load(ctx, offset, &value, sizeof(T));
+    (void)Load(ctx, offset, &value, sizeof(T));
+    return value;
+  }
+  // Checked struct load: kIoError when the range covers a poisoned block.
+  template <typename T>
+  common::Result<T> TryLoadStruct(common::ExecContext& ctx, uint64_t offset) {
+    T value;
+    RETURN_IF_ERROR(Load(ctx, offset, &value, sizeof(T)));
     return value;
   }
 
@@ -88,6 +108,13 @@ class PmemDevice {
   // stays uniform). Every call site documents why. Not crash-realistic:
   // crash-consistency tests only target filesystems that avoid this path.
   void StoreUncharged(uint64_t offset, const void* src, uint64_t len);
+
+  // --- Fault injection ---------------------------------------------------
+
+  // Attaches a fault plan (not owned; nullptr detaches). Poisoned blocks,
+  // latency spikes, and torn-write plans all flow through the injector.
+  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
 
   // --- Crash tracking ----------------------------------------------------
 
@@ -129,10 +156,19 @@ class PmemDevice {
 
  private:
   void RecordStore(uint64_t offset, uint64_t len, bool flushed);
+  // Charges an injected latency spike (if the plan fires) to ctx.
+  void ChargeFaultDelay(common::ExecContext& ctx);
+  // Store-side fault bookkeeping: full-block overwrites clear poison.
+  void NoteStoreFaults(uint64_t offset, uint64_t len) {
+    if (injector_ != nullptr) {
+      injector_->NoteStore(offset, len);
+    }
+  }
 
   std::vector<uint8_t> data_;
   CostModel model_;
   uint32_t numa_nodes_;
+  FaultInjector* injector_ = nullptr;
 
   bool crash_tracking_ = false;
   mutable std::mutex crash_mu_;

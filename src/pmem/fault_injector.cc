@@ -1,0 +1,96 @@
+#include "src/pmem/fault_injector.h"
+
+namespace pmem {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+void FaultInjector::PoisonRange(uint64_t offset, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  const uint64_t first = offset / kMediaBlockBytes;
+  const uint64_t last = (offset + len - 1) / kMediaBlockBytes;
+  for (uint64_t block = first; block <= last; block++) {
+    poisoned_.insert(block);
+  }
+}
+
+void FaultInjector::ClearPoisonRange(uint64_t offset, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  const uint64_t first = offset / kMediaBlockBytes;
+  const uint64_t last = (offset + len - 1) / kMediaBlockBytes;
+  for (uint64_t block = first; block <= last; block++) {
+    poisoned_.erase(block);
+  }
+}
+
+bool FaultInjector::IsPoisoned(uint64_t offset, uint64_t len) const {
+  if (len == 0 || poisoned_.empty()) {
+    return false;
+  }
+  const uint64_t first = offset / kMediaBlockBytes;
+  const uint64_t last = (offset + len - 1) / kMediaBlockBytes;
+  for (uint64_t block = first; block <= last; block++) {
+    if (poisoned_.count(block) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::NoteStore(uint64_t offset, uint64_t len) {
+  if (poisoned_.empty() || len < kMediaBlockBytes) {
+    return;
+  }
+  // Only media blocks FULLY covered by [offset, offset+len) are re-ECCed.
+  const uint64_t first_full = (offset + kMediaBlockBytes - 1) / kMediaBlockBytes;
+  const uint64_t end_full = (offset + len) / kMediaBlockBytes;  // exclusive
+  for (uint64_t block = first_full; block < end_full; block++) {
+    poisoned_.erase(block);
+  }
+}
+
+uint64_t FaultInjector::AccessDelayNs() {
+  if (plan_.latency_spike_prob <= 0.0 || plan_.latency_spike_ns == 0) {
+    return 0;
+  }
+  if (!rng_.NextBool(plan_.latency_spike_prob)) {
+    return 0;
+  }
+  spikes_++;
+  return plan_.latency_spike_ns;
+}
+
+std::vector<uint8_t> FaultInjector::TornLaneMasks(uint64_t line_seq,
+                                                 uint32_t max_variants) const {
+  std::vector<uint8_t> masks;
+  if (max_variants == 0) {
+    return masks;
+  }
+  // A private stream per line keeps the masks independent of enumeration
+  // order: the same (seed, line_seq) always yields the same variants.
+  common::Rng rng(plan_.seed * 0x9e3779b97f4a7c15ull + line_seq);
+  // Always include one prefix tear (lanes written in address order made it
+  // out, the tail did not) — the single most common real-world tear shape.
+  const uint32_t prefix = static_cast<uint32_t>(rng.NextInRange(1, kLanesPerLine - 1));
+  masks.push_back(static_cast<uint8_t>((1u << prefix) - 1u));
+  uint32_t attempts = 0;
+  while (masks.size() < max_variants && attempts++ < 8 * max_variants) {
+    const uint8_t mask = static_cast<uint8_t>(rng.NextInRange(1, 0xfe));
+    bool duplicate = false;
+    for (uint8_t seen : masks) {
+      if (seen == mask) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      masks.push_back(mask);
+    }
+  }
+  return masks;
+}
+
+}  // namespace pmem

@@ -1,0 +1,88 @@
+// Seedable, deterministic fault plan for the simulated PM device.
+//
+// Three fault classes, mirroring what real Optane DIMMs do to filesystems:
+//  * Torn stores: x86 only guarantees 8-byte atomic persistence, so a crash
+//    mid-flush can land any subset of a cacheline's eight 8-byte lanes on
+//    media. TornLaneMasks() yields deterministic lane subsets per store
+//    sequence number; crashmk::Explorer composes them with its crash points.
+//  * Poisoned media blocks: an uncorrectable error covers one 256 B media
+//    block (the DIMM's internal ECC granularity). Loads that touch a poisoned
+//    block return kIoError and zero the destination — never stale bytes. A
+//    store that overwrites a whole media block re-ECCs it and clears the
+//    poison, which is exactly the repair path real PM filesystems use.
+//  * Latency spikes: transient slow accesses (thermal throttling, media
+//    management) injected through the device's cost model with a seeded
+//    probability, accounted in PerfCounters::pm_latency_spikes.
+//
+// Everything is a pure function of FaultPlan::seed and the call arguments, so
+// a failing exploration reproduces from its seed alone.
+#ifndef SRC_PMEM_FAULT_INJECTOR_H_
+#define SRC_PMEM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace pmem {
+
+// Granularity of uncorrectable media errors (Optane's internal ECC block).
+inline constexpr uint64_t kMediaBlockBytes = 256;
+
+// Number of 8-byte atomic lanes in one 64 B cacheline.
+inline constexpr uint32_t kLanesPerLine = 8;
+inline constexpr uint64_t kLaneBytes = 8;
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Probability that any single device access pays `latency_spike_ns` extra.
+  double latency_spike_prob = 0.0;
+  uint64_t latency_spike_ns = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- Poisoned media blocks -------------------------------------------
+
+  // Marks every 256 B media block overlapping [offset, offset+len) poisoned.
+  void PoisonRange(uint64_t offset, uint64_t len);
+  void ClearPoisonRange(uint64_t offset, uint64_t len);
+  // True if any media block overlapping the range is poisoned.
+  bool IsPoisoned(uint64_t offset, uint64_t len) const;
+  size_t poisoned_block_count() const { return poisoned_.size(); }
+
+  // Store notification from the device: media blocks fully covered by the
+  // store are rewritten (re-ECCed) and lose their poison; partially covered
+  // blocks stay poisoned (the device would have to read-modify-write them).
+  void NoteStore(uint64_t offset, uint64_t len);
+
+  // --- Latency spikes ---------------------------------------------------
+
+  // Extra nanoseconds to charge for one device access (0 almost always).
+  // Deterministic given the seed and the sequence of calls.
+  uint64_t AccessDelayNs();
+  uint64_t spike_count() const { return spikes_; }
+
+  // --- Torn stores ------------------------------------------------------
+
+  // Deterministic 8-byte-lane subsets for tearing the cacheline with store
+  // sequence number `line_seq`. Each mask has bits 0..7 = lanes that reached
+  // media; masks are non-trivial (neither empty nor full, those are already
+  // covered by whole-line crash enumeration). At most `max_variants` masks.
+  std::vector<uint8_t> TornLaneMasks(uint64_t line_seq, uint32_t max_variants) const;
+
+ private:
+  FaultPlan plan_;
+  common::Rng rng_;  // latency-spike stream
+  std::unordered_set<uint64_t> poisoned_;  // media-block indices
+  uint64_t spikes_ = 0;
+};
+
+}  // namespace pmem
+
+#endif  // SRC_PMEM_FAULT_INJECTOR_H_

@@ -78,6 +78,42 @@ TEST(CrashConsistencyGlobalTest, DataJournalBlobPathRecovers) {
   EXPECT_GT(result.crash_states, 0u);
 }
 
+TEST(CrashConsistencyGlobalTest, TornWritesFindNoOracleViolations) {
+  // Acceptance gate for the torn-store composition: x86 persists only 8 bytes
+  // atomically, so each crash state admits partially-persisted cachelines.
+  // WineFS must recover from every torn state too (the journal-entry checksum
+  // makes torn undo records detectable). At least 500 states across the swept
+  // workloads keeps this a meaningful exploration, not a smoke test.
+  crashmk::Explorer::Config config;
+  config.torn_writes = true;
+  config.torn_seed = 0x5eed;
+  crashmk::Explorer explorer(WineFsFactory(), config);
+  const auto workloads = crashmk::Explorer::GenerateAceWorkloads(/*include_data_ops=*/true);
+  uint64_t total_states = 0;
+  for (size_t i = 0; i < 8; i++) {
+    const auto result = explorer.RunWorkload(workloads[i]);
+    EXPECT_TRUE(result.ok()) << "workload " << i << ": " << result.first_failure;
+    total_states += result.crash_states;
+  }
+  EXPECT_GE(total_states, 500u);
+}
+
+TEST(CrashConsistencyGlobalTest, TornBlobUndoRecordsRollBackIntact) {
+  // The data-journal blob path writes multi-line undo images; torn blob
+  // cachelines must be caught by the payload checksum, never rolled back.
+  using K = crashmk::CrashOp::Kind;
+  crashmk::Workload workload{
+      {K::kFallocate, "/A", "", 0, 2 * 1024 * 1024},
+      {K::kPwrite, "/A", "", 0, 2000},
+  };
+  crashmk::Explorer::Config config;
+  config.torn_writes = true;
+  crashmk::Explorer explorer(WineFsFactory(), config);
+  const auto result = explorer.RunWorkload(workload);
+  EXPECT_TRUE(result.ok()) << result.first_failure;
+  EXPECT_GT(result.crash_states, 0u);
+}
+
 TEST(CrashConsistencyGlobalTest, MultiFileWorkloadSerializedByVfsLocks) {
   // §5.2: per-CPU journals + VFS locks mean at most one pending transaction
   // per file; a chain touching several files must still recover.

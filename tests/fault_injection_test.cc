@@ -1,0 +1,257 @@
+// Fault-injection unit tests, one block per fault class (fixed seeds, fully
+// deterministic): torn-store lane masks and reconstruction from pending
+// cachelines, poisoned-media EIO propagation up through every filesystem, and
+// latency-spike cost accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+#include "src/pmem/device.h"
+#include "src/pmem/fault_injector.h"
+
+namespace {
+
+using common::ErrorCode;
+using common::ExecContext;
+using common::kMiB;
+
+// --- Torn stores -----------------------------------------------------------
+
+TEST(TornStoreTest, LaneMasksAreDeterministicPerSeedAndSeq) {
+  pmem::FaultInjector a(pmem::FaultPlan{.seed = 42});
+  pmem::FaultInjector b(pmem::FaultPlan{.seed = 42});
+  pmem::FaultInjector c(pmem::FaultPlan{.seed = 43});
+  for (uint64_t seq : {0ull, 1ull, 7ull, 1000ull}) {
+    EXPECT_EQ(a.TornLaneMasks(seq, 4), b.TornLaneMasks(seq, 4))
+        << "same seed+seq must give the same masks (seq=" << seq << ")";
+  }
+  // A different seed must not reproduce the whole mask schedule.
+  bool any_difference = false;
+  for (uint64_t seq = 0; seq < 16; seq++) {
+    if (a.TornLaneMasks(seq, 4) != c.TornLaneMasks(seq, 4)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TornStoreTest, LaneMasksAreNonTrivialAndBounded) {
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 7});
+  for (uint64_t seq = 0; seq < 64; seq++) {
+    const auto masks = injector.TornLaneMasks(seq, 3);
+    EXPECT_LE(masks.size(), 3u);
+    EXPECT_FALSE(masks.empty());
+    for (uint8_t mask : masks) {
+      // Empty and full masks are already covered by whole-line enumeration.
+      EXPECT_NE(mask, 0x00);
+      EXPECT_NE(mask, 0xff);
+    }
+    // No duplicate variants.
+    auto sorted = masks;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(TornStoreTest, TornLineReconstructsLanewiseFromPendingStore) {
+  // Store a full cacheline of 0xBB over 0xAA, don't fence, then tear it:
+  // lanes in the mask show new bytes, the rest keep the old image.
+  pmem::PmemDevice dev(1 * kMiB);
+  ExecContext ctx;
+  std::vector<uint8_t> old_line(common::kCacheline, 0xAA);
+  dev.PersistStore(ctx, 0, old_line.data(), old_line.size());
+  dev.EnableCrashTracking();
+
+  std::vector<uint8_t> new_line(common::kCacheline, 0xBB);
+  dev.Store(ctx, 0, new_line.data(), new_line.size());
+  const auto pending = dev.PendingLines();
+  ASSERT_EQ(pending.size(), 1u);
+
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 11});
+  const auto masks = injector.TornLaneMasks(pending[0].seq, 3);
+  ASSERT_FALSE(masks.empty());
+  for (uint8_t mask : masks) {
+    std::vector<uint8_t> img = dev.PersistentImage();
+    for (uint32_t lane = 0; lane < pmem::kLanesPerLine; lane++) {
+      if (mask & (1u << lane)) {
+        std::memcpy(img.data() + pending[0].line_offset + lane * pmem::kLaneBytes,
+                    pending[0].data + lane * pmem::kLaneBytes, pmem::kLaneBytes);
+      }
+    }
+    for (uint32_t lane = 0; lane < pmem::kLanesPerLine; lane++) {
+      const uint8_t expect = (mask & (1u << lane)) ? 0xBB : 0xAA;
+      for (uint64_t b = 0; b < pmem::kLaneBytes; b++) {
+        ASSERT_EQ(img[lane * pmem::kLaneBytes + b], expect)
+            << "mask=" << int(mask) << " lane=" << lane;
+      }
+    }
+  }
+}
+
+// --- Poisoned media blocks -------------------------------------------------
+
+TEST(PoisonTest, PoisonedLoadReturnsEioAndZeroFills) {
+  pmem::PmemDevice dev(1 * kMiB);
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 1});
+  dev.AttachFaultInjector(&injector);
+  ExecContext ctx;
+  std::vector<uint8_t> data(4096, 0x5c);
+  dev.PersistStore(ctx, 8192, data.data(), data.size());
+
+  injector.PoisonRange(8192, 256);
+  EXPECT_EQ(dev.ReadStatus(8192, 4096).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(dev.ReadStatus(8192 + 256, 4096 - 256).ok());
+
+  std::vector<uint8_t> out(4096, 0xee);
+  EXPECT_EQ(dev.Load(ctx, 8192, out.data(), out.size()).code(), ErrorCode::kIoError);
+  // Never stale or garbage bytes: the whole destination is zeroed.
+  for (uint8_t byte : out) {
+    ASSERT_EQ(byte, 0);
+  }
+  // A load that avoids the poisoned media block still sees the data.
+  EXPECT_TRUE(dev.Load(ctx, 8192 + 256, out.data(), 256).ok());
+  EXPECT_EQ(out[0], 0x5c);
+}
+
+TEST(PoisonTest, FullBlockStoreClearsPoisonPartialDoesNot) {
+  pmem::PmemDevice dev(1 * kMiB);
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 1});
+  dev.AttachFaultInjector(&injector);
+  ExecContext ctx;
+
+  injector.PoisonRange(0, 512);  // two media blocks
+  EXPECT_EQ(injector.poisoned_block_count(), 2u);
+
+  // Partial overwrite: the device would have to read-modify-write the
+  // poisoned block, so the poison stays.
+  std::vector<uint8_t> small(64, 0x01);
+  dev.PersistStore(ctx, 0, small.data(), small.size());
+  EXPECT_EQ(injector.poisoned_block_count(), 2u);
+  EXPECT_EQ(dev.ReadStatus(0, 64).code(), ErrorCode::kIoError);
+
+  // Full-block overwrite re-ECCs the first media block only.
+  std::vector<uint8_t> block(256, 0x02);
+  dev.PersistStore(ctx, 0, block.data(), block.size());
+  EXPECT_EQ(injector.poisoned_block_count(), 1u);
+  EXPECT_TRUE(dev.ReadStatus(0, 256).ok());
+  EXPECT_EQ(dev.ReadStatus(256, 256).code(), ErrorCode::kIoError);
+
+  // Zero() is a streaming store: it also repairs fully covered blocks.
+  dev.Zero(ctx, 256, 256);
+  EXPECT_EQ(injector.poisoned_block_count(), 0u);
+  EXPECT_TRUE(dev.ReadStatus(0, 512).ok());
+}
+
+class PoisonedReadFsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PoisonedReadFsTest, PoisonedDataBlockSurfacesEioNeverStaleBytes) {
+  pmem::PmemDevice dev(128 * kMiB);
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 3});
+  dev.AttachFaultInjector(&injector);
+  auto fs = fsreg::Create(GetParam(), &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+
+  // A full block of a distinctive pattern, locatable in the raw image.
+  std::vector<uint8_t> pattern(common::kBlockSize);
+  for (size_t i = 0; i < pattern.size(); i++) {
+    pattern[i] = static_cast<uint8_t>(0xd0 + (i % 7));
+  }
+  auto fd = fs->Open(ctx, "/poisoned", vfs::OpenFlags::Create());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, pattern.data(), pattern.size(), 0).ok());
+  ASSERT_TRUE(fs->Fsync(ctx, *fd).ok());
+
+  // Find where the data landed and poison one media block inside it.
+  const uint8_t* raw = dev.raw();
+  const uint8_t* hit = nullptr;
+  for (uint64_t block = 0; block + common::kBlockSize <= dev.size();
+       block += common::kBlockSize) {
+    if (std::memcmp(raw + block, pattern.data(), common::kBlockSize) == 0) {
+      hit = raw + block;
+      break;
+    }
+  }
+  ASSERT_NE(hit, nullptr) << "pattern block not found in the device image";
+  const uint64_t data_off = static_cast<uint64_t>(hit - raw);
+  injector.PoisonRange(data_off + 512, 256);
+
+  std::vector<uint8_t> out(common::kBlockSize, 0x99);
+  auto n = fs->Pread(ctx, *fd, out.data(), out.size(), 0);
+  ASSERT_FALSE(n.ok()) << GetParam() << " returned data from a poisoned block";
+  EXPECT_EQ(n.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(n.status().errno_value(), EIO);
+
+  // After clearing the poison the data is intact again.
+  injector.ClearPoisonRange(data_off + 512, 256);
+  auto n2 = fs->Pread(ctx, *fd, out.data(), out.size(), 0);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(std::memcmp(out.data(), pattern.data(), out.size()), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Filesystems, PoisonedReadFsTest,
+                         ::testing::Values("winefs", "ext4-dax", "xfs-dax", "pmfs",
+                                           "nova", "splitfs"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- Latency spikes --------------------------------------------------------
+
+TEST(LatencySpikeTest, SpikesAdvanceClockAndCount) {
+  pmem::PmemDevice dev(1 * kMiB);
+  pmem::FaultInjector injector(
+      pmem::FaultPlan{.seed = 9, .latency_spike_prob = 1.0, .latency_spike_ns = 700});
+  dev.AttachFaultInjector(&injector);
+  ExecContext ctx;
+
+  std::vector<uint8_t> buf(64, 0x31);
+  const uint64_t before_ns = ctx.clock.NowNs();
+  dev.PersistStore(ctx, 0, buf.data(), buf.size());
+  (void)dev.Load(ctx, 0, buf.data(), buf.size());
+  const uint64_t elapsed = ctx.clock.NowNs() - before_ns;
+
+  EXPECT_GE(injector.spike_count(), 2u);  // at least the store and the load
+  EXPECT_GE(elapsed, injector.spike_count() * 700);
+  EXPECT_EQ(ctx.counters.pm_latency_spikes, injector.spike_count());
+}
+
+TEST(LatencySpikeTest, NoSpikesWithZeroProbability) {
+  pmem::PmemDevice plain(1 * kMiB);
+  pmem::PmemDevice faulted(1 * kMiB);
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 9});  // prob 0
+  faulted.AttachFaultInjector(&injector);
+  ExecContext a;
+  ExecContext b;
+  std::vector<uint8_t> buf(4096, 0x44);
+  plain.PersistStore(a, 0, buf.data(), buf.size());
+  faulted.PersistStore(b, 0, buf.data(), buf.size());
+  // An attached-but-quiet injector must not change any timing.
+  EXPECT_EQ(a.clock.NowNs(), b.clock.NowNs());
+  EXPECT_EQ(injector.spike_count(), 0u);
+  EXPECT_EQ(b.counters.pm_latency_spikes, 0u);
+}
+
+TEST(LatencySpikeTest, SpikeStreamIsDeterministicPerSeed) {
+  pmem::FaultInjector a(
+      pmem::FaultPlan{.seed = 77, .latency_spike_prob = 0.5, .latency_spike_ns = 300});
+  pmem::FaultInjector b(
+      pmem::FaultPlan{.seed = 77, .latency_spike_prob = 0.5, .latency_spike_ns = 300});
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_EQ(a.AccessDelayNs(), b.AccessDelayNs()) << "call " << i;
+  }
+  EXPECT_EQ(a.spike_count(), b.spike_count());
+  EXPECT_GT(a.spike_count(), 0u);
+  EXPECT_LT(a.spike_count(), 1000u);
+}
+
+}  // namespace

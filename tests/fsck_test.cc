@@ -7,6 +7,7 @@
 #include "src/fs/fscore/fsck.h"
 #include "src/fs/fscore/pm_format.h"
 #include "src/fs/registry.h"
+#include "src/pmem/fault_injector.h"
 
 namespace {
 
@@ -117,6 +118,139 @@ TEST_F(FsckCorruptionTest, CleanAfterRecoveryFromDirtyMount) {
   ASSERT_TRUE(fs2->Mount(rctx).ok());
   const auto report = fscore::CheckImage(*dev_);
   EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// --- Poisoned metadata: repair from redundancy or refuse with EIO ----------
+
+class PoisonedMetadataTest : public ::testing::Test {
+ protected:
+  // Builds a filesystem with a bit of state; leaves it DIRTY (no unmount).
+  void Build(const std::string& name) {
+    dev_ = std::make_unique<pmem::PmemDevice>(64 * kMiB);
+    injector_ = std::make_unique<pmem::FaultInjector>(pmem::FaultPlan{.seed = 5});
+    dev_->AttachFaultInjector(injector_.get());
+    fs_ = fsreg::Create(name, dev_.get());
+    ASSERT_TRUE(fs_->Mkfs(ctx_).ok());
+    auto fd = fs_->Open(ctx_, "/f", vfs::OpenFlags::Create());
+    ASSERT_TRUE(fd.ok());
+    std::vector<uint8_t> buf(200000, 0x42);
+    ASSERT_TRUE(fs_->Pwrite(ctx_, *fd, buf.data(), buf.size(), 0).ok());
+    ASSERT_TRUE(fs_->Close(ctx_, *fd).ok());
+    sb_ = dev_->LoadStruct<fscore::PmSuperblock>(ctx_, 0);
+    ASSERT_EQ(sb_.magic, fscore::kSuperMagic);
+  }
+
+  ExecContext ctx_;
+  std::unique_ptr<pmem::PmemDevice> dev_;
+  std::unique_ptr<pmem::FaultInjector> injector_;
+  std::unique_ptr<vfs::FileSystem> fs_;
+  fscore::PmSuperblock sb_;
+};
+
+TEST_F(PoisonedMetadataTest, PoisonedPrimarySuperblockRepairedFromBackup) {
+  Build("winefs");
+  injector_->PoisonRange(0, 256);
+
+  // fsck sees the media error but completes the scan through the backup copy.
+  const auto report = fscore::CheckImage(*dev_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("superblock: media error"), std::string::npos);
+  EXPECT_GT(report.inodes_checked, 0u) << "backup superblock should drive the scan";
+
+  // Mount falls back to the backup and rewrites the primary, clearing the
+  // poison (full-block store re-ECCs the media).
+  auto fs2 = fsreg::Create("winefs", dev_.get());
+  ExecContext rctx;
+  ASSERT_TRUE(fs2->Mount(rctx).ok());
+  EXPECT_TRUE(dev_->ReadStatus(0, sizeof(fscore::PmSuperblock)).ok());
+  auto st = fs2->Stat(rctx, "/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 200000u);
+}
+
+TEST_F(PoisonedMetadataTest, BothSuperblockCopiesPoisonedRefusesMount) {
+  Build("winefs");
+  injector_->PoisonRange(0, 256);
+  injector_->PoisonRange(fscore::kSuperBackupOffset, 256);
+
+  auto fs2 = fsreg::Create("winefs", dev_.get());
+  ExecContext rctx;
+  const auto status = fs2->Mount(rctx);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.errno_value(), EIO);
+}
+
+TEST_F(PoisonedMetadataTest, WineFsRefusesPoisonedJournalWhenDirty) {
+  Build("winefs");
+  // Dirty image (no unmount): an interrupted transaction's undo state could
+  // hide behind the media error, so the mount must refuse, not guess.
+  injector_->PoisonRange(sb_.journal_start_block * common::kBlockSize, 256);
+  const auto report = fscore::CheckImage(*dev_);
+  EXPECT_NE(report.Summary().find("journal region: media error"), std::string::npos);
+
+  auto fs2 = fsreg::Create("winefs", dev_.get());
+  ExecContext rctx;
+  const auto status = fs2->Mount(rctx);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.errno_value(), EIO);
+}
+
+TEST_F(PoisonedMetadataTest, WineFsRepairsPoisonedJournalWhenClean) {
+  Build("winefs");
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  injector_->PoisonRange(sb_.journal_start_block * common::kBlockSize, 256);
+
+  auto fs2 = fsreg::Create("winefs", dev_.get());
+  ExecContext rctx;
+  ASSERT_TRUE(fs2->Mount(rctx).ok());
+  // The journal was zeroed block-by-block, which re-ECCed the poisoned media.
+  EXPECT_TRUE(dev_->ReadStatus(sb_.journal_start_block * common::kBlockSize,
+                               sb_.journal_blocks * common::kBlockSize)
+                  .ok());
+  auto st = fs2->Stat(rctx, "/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 200000u);
+}
+
+TEST_F(PoisonedMetadataTest, PmfsRefusesPoisonedJournalWhenDirty) {
+  Build("pmfs");
+  injector_->PoisonRange(sb_.journal_start_block * common::kBlockSize, 256);
+
+  auto fs2 = fsreg::Create("pmfs", dev_.get());
+  ExecContext rctx;
+  const auto status = fs2->Mount(rctx);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.errno_value(), EIO);
+}
+
+TEST_F(PoisonedMetadataTest, PmfsRepairsPoisonedJournalWhenClean) {
+  Build("pmfs");
+  ASSERT_TRUE(fs_->Unmount(ctx_).ok());
+  injector_->PoisonRange(sb_.journal_start_block * common::kBlockSize, 256);
+
+  auto fs2 = fsreg::Create("pmfs", dev_.get());
+  ExecContext rctx;
+  ASSERT_TRUE(fs2->Mount(rctx).ok());
+  EXPECT_TRUE(dev_->ReadStatus(sb_.journal_start_block * common::kBlockSize,
+                               sb_.journal_blocks * common::kBlockSize)
+                  .ok());
+}
+
+TEST_F(PoisonedMetadataTest, NovaRepairsPoisonedJournalEvenWhenDirty) {
+  // NOVA's reserved journal region is never authoritative (state rebuilds
+  // from the inode table and per-inode logs), so repair is always safe.
+  Build("nova");
+  injector_->PoisonRange(sb_.journal_start_block * common::kBlockSize, 256);
+
+  auto fs2 = fsreg::Create("nova", dev_.get());
+  ExecContext rctx;
+  ASSERT_TRUE(fs2->Mount(rctx).ok());
+  EXPECT_TRUE(dev_->ReadStatus(sb_.journal_start_block * common::kBlockSize,
+                               sb_.journal_blocks * common::kBlockSize)
+                  .ok());
+  auto st = fs2->Stat(rctx, "/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 200000u);
 }
 
 }  // namespace
