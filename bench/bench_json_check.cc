@@ -13,12 +13,24 @@
 //       structural validation of a Chrome trace-event export: traceEvents
 //       array with complete ("X") events spanning at least 2 categories and
 //       at least 2 CPU tracks (tids).
+//   bench_json_check BENCH_<name>.json --require-snap
+//       requires the snapshot-corpus provenance config keys (snap_corpus,
+//       snap_provenance, hit/miss/wall-clock counts) that every aged bench
+//       must report.
+//   bench_json_check BENCH_<name>.json --require-snap-warm
+//       additionally requires the run to have been served entirely from the
+//       corpus: snap_hits > 0, snap_misses == 0, and no builder wall time.
+//   bench_json_check --compare-metrics A.json B.json
+//       asserts both reports carry identical results[].metrics (same fs rows,
+//       same keys, same values) — the cold-aging vs corpus-load equivalence
+//       check.
 // The CTest bench_json_schema / bench_timeseries_schema / bench_chrome_trace
 // targets run a real bench and then this binary, so rot in the reporters
 // fails the suite end-to-end.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -143,6 +155,103 @@ int CheckChromeTrace(const char* path, const std::string& text) {
   return 0;
 }
 
+// Snapshot-provenance config keys every aged bench must report. `warm`
+// additionally asserts the run never aged inline: all images served from the
+// corpus, zero misses, zero builder wall-clock.
+int CheckSnapConfig(const char* path, const obs::JsonValue& root, bool warm) {
+  const obs::JsonValue* config = root.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return Fail(path, "missing config object");
+  }
+  for (const char* key : {"snap_corpus", "snap_provenance"}) {
+    const obs::JsonValue* v = config->Find(key);
+    if (v == nullptr || v->type != obs::JsonValue::Type::kString ||
+        v->string_value.empty()) {
+      return Fail(path, "config lacks string " + std::string(key));
+    }
+  }
+  for (const char* key : {"snap_format_version", "snap_hits", "snap_misses",
+                          "snap_build_wall_ms", "snap_load_wall_ms"}) {
+    const obs::JsonValue* v = config->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      return Fail(path, "config lacks numeric " + std::string(key));
+    }
+  }
+  if (warm) {
+    const double hits = config->Find("snap_hits")->number_value;
+    const double misses = config->Find("snap_misses")->number_value;
+    const double build_ms = config->Find("snap_build_wall_ms")->number_value;
+    if (hits <= 0) {
+      return Fail(path, "warm corpus run reported snap_hits == 0");
+    }
+    if (misses != 0) {
+      return Fail(path, "warm corpus run reported snap_misses == " +
+                            std::to_string(misses));
+    }
+    if (build_ms != 0) {
+      return Fail(path, "warm corpus run spent " + std::to_string(build_ms) +
+                            " ms building images (expected 0: Geriatrix must be skipped)");
+    }
+    const obs::JsonValue* load_ms = config->Find("snap_load_wall_ms");
+    std::printf("%s: warm corpus run (hits=%g, load=%g ms, build=0 ms)\n", path, hits,
+                load_ms->number_value);
+  }
+  return 0;
+}
+
+// Both reports must carry identical results[].metrics — same fs rows in any
+// order, same metric keys, bit-identical values. This is the aged-bench
+// equivalence gate: measurements on corpus-loaded images must reproduce the
+// inline-aging numbers exactly (same seed, same simulated clock).
+int CompareMetrics(const char* path_a, const obs::JsonValue& a, const char* path_b,
+                   const obs::JsonValue& b) {
+  auto collect = [](const obs::JsonValue& root) {
+    std::map<std::string, std::map<std::string, double>> out;
+    for (const obs::JsonValue& row : root.Find("results")->array) {
+      auto& metrics = out[row.Find("fs")->string_value];
+      const obs::JsonValue* m = row.Find("metrics");
+      if (m != nullptr && m->is_object()) {
+        for (const auto& [key, value] : m->object) {
+          metrics[key] = value.number_value;
+        }
+      }
+    }
+    return out;
+  };
+  const auto ma = collect(a);
+  const auto mb = collect(b);
+  if (ma.size() != mb.size()) {
+    return Fail(path_b, "fs row count differs: " + std::to_string(ma.size()) + " vs " +
+                            std::to_string(mb.size()));
+  }
+  size_t compared = 0;
+  for (const auto& [fs, metrics] : ma) {
+    auto it = mb.find(fs);
+    if (it == mb.end()) {
+      return Fail(path_b, "missing fs row '" + fs + "'");
+    }
+    if (it->second.size() != metrics.size()) {
+      return Fail(path_b, "fs '" + fs + "' metric count differs");
+    }
+    for (const auto& [key, value] : metrics) {
+      auto mit = it->second.find(key);
+      if (mit == it->second.end()) {
+        return Fail(path_b, "fs '" + fs + "' lacks metric " + key);
+      }
+      if (mit->second != value) {
+        char why[256];
+        std::snprintf(why, sizeof(why), "fs '%s' metric %s differs: %.17g vs %.17g",
+                      fs.c_str(), key.c_str(), value, mit->second);
+        return Fail(path_b, why);
+      }
+      compared++;
+    }
+  }
+  std::printf("%s == %s: %zu metrics identical across %zu fs rows\n", path_a, path_b,
+              compared, ma.size());
+  return 0;
+}
+
 std::string ReadAll(const char* path, bool& ok) {
   std::ifstream in(path);
   if (!in) {
@@ -164,6 +273,36 @@ int main(int argc, char** argv) {
                  "       %s --chrome-trace TRACE_<name>.json\n",
                  argv[0], argv[0]);
     return 2;
+  }
+
+  if (std::strcmp(argv[1], "--compare-metrics") == 0) {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: %s --compare-metrics A.json B.json\n", argv[0]);
+      return 2;
+    }
+    bool ok_a = false;
+    bool ok_b = false;
+    const std::string text_a = ReadAll(argv[2], ok_a);
+    const std::string text_b = ReadAll(argv[3], ok_b);
+    if (!ok_a) {
+      return Fail(argv[2], "cannot open");
+    }
+    if (!ok_b) {
+      return Fail(argv[3], "cannot open");
+    }
+    for (const char* p : {argv[2], argv[3]}) {
+      const common::Status status =
+          obs::ValidateBenchReportJson(p == argv[2] ? text_a : text_b);
+      if (!status.ok()) {
+        return Fail(p, "schema violation: " + std::string(status.message()));
+      }
+    }
+    auto a = obs::JsonValue::Parse(text_a);
+    auto b = obs::JsonValue::Parse(text_b);
+    if (!a.ok() || !b.ok()) {
+      return Fail(argv[2], "parse failed after validation");
+    }
+    return CompareMetrics(argv[2], *a, argv[3], *b);
   }
 
   if (std::strcmp(argv[1], "--chrome-trace") == 0) {
@@ -200,6 +339,14 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[2], "--require-timeseries") == 0) {
       if (int rc = CheckTimeSeries(argv[1], *root); rc != 0) {
+        return rc;
+      }
+    } else if (std::strcmp(argv[2], "--require-snap") == 0) {
+      if (int rc = CheckSnapConfig(argv[1], *root, /*warm=*/false); rc != 0) {
+        return rc;
+      }
+    } else if (std::strcmp(argv[2], "--require-snap-warm") == 0) {
+      if (int rc = CheckSnapConfig(argv[1], *root, /*warm=*/true); rc != 0) {
         return rc;
       }
     } else {

@@ -18,6 +18,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/snap/corpus.h"
 #include "src/vmem/mmap_engine.h"
 
 namespace benchutil {
@@ -42,6 +43,46 @@ inline TestBed MakeBed(const std::string& fs_name, uint64_t device_bytes,
     std::exit(1);
   }
   return bed;
+}
+
+// Bed backed by a COW fork of an aged snapshot: mounting runs the
+// filesystem's normal recovery against the forked image, and measurement
+// writes never touch the shared base, so one corpus image serves any number
+// of measurement variants.
+inline TestBed MakeBedFromSnapshot(const std::string& fs_name,
+                                   const pmem::DeviceSnapshot& snap,
+                                   uint32_t num_cpus = 8) {
+  TestBed bed;
+  bed.fs_name = fs_name;
+  bed.dev = std::make_unique<pmem::PmemDevice>(snap);
+  bed.fs = fsreg::Create(fs_name, bed.dev.get(), num_cpus);
+  bed.engine = std::make_unique<vmem::MmapEngine>(bed.dev.get(), vmem::MmuParams{}, num_cpus);
+  common::ExecContext ctx;
+  if (!bed.fs->Mount(ctx).ok()) {
+    std::fprintf(stderr, "mount-from-snapshot failed for %s\n", fs_name.c_str());
+    std::exit(1);
+  }
+  return bed;
+}
+
+// Records the corpus outcome in the bench report so a reader (or the CI
+// bench-json check) can tell a warm-corpus run from an inline-aging run:
+// hit/miss counts, bytes moved, and real build/load wall time.
+inline void AddSnapConfig(obs::BenchReport& report, const snap::Corpus& corpus,
+                          const std::string& provenance = std::string()) {
+  const snap::CorpusStats& s = corpus.stats();
+  report.AddConfig("snap_corpus", corpus.enabled() ? corpus.dir() : "disabled");
+  if (!provenance.empty()) {
+    report.AddConfig("snap_provenance", provenance);
+  }
+  report.AddConfig("snap_format_version", static_cast<double>(snap::kSnapFormatVersion));
+  report.AddConfig("snap_hits", static_cast<double>(s.hits));
+  report.AddConfig("snap_misses", static_cast<double>(s.misses));
+  report.AddConfig("snap_rejects", static_cast<double>(s.rejects));
+  report.AddConfig("snap_loaded_mib", static_cast<double>(s.loaded_bytes) / (1024.0 * 1024.0));
+  report.AddConfig("snap_saved_mib", static_cast<double>(s.saved_bytes) / (1024.0 * 1024.0));
+  report.AddConfig("snap_build_wall_ms", static_cast<double>(s.build_wall_ms));
+  report.AddConfig("snap_load_wall_ms", static_cast<double>(s.load_wall_ms));
 }
 
 // One filesystem's observability bundle for a bench run: span trace, op

@@ -3,18 +3,25 @@
 // while a background thread rewrites a fragmented 64 MiB file with aligned
 // allocations; both share the device's bandwidth (modeled as a ResourceClock
 // both parties acquire per transfer). Paper: 25-40% foreground slowdown.
+//
+// The fragmented fixture (healthy /fg plus interleaved-append /frag and
+// /other) is built once as a snapshot — through the corpus when
+// WINEFS_SNAP_DIR is set — and both scenarios run on private COW forks of it,
+// so "no defrag" and "defrag running" see byte-identical starting states.
 #include "bench/bench_util.h"
 #include "src/fs/winefs/winefs.h"
 
 using benchutil::Fmt;
 using benchutil::FsObs;
 using benchutil::MakeBed;
+using benchutil::MakeBedFromSnapshot;
 using benchutil::Row;
 using common::ExecContext;
 using common::kMiB;
 
 namespace {
 
+constexpr uint64_t kDeviceBytes = 1024 * kMiB;
 constexpr uint64_t kForegroundBytes = 64 * kMiB;
 constexpr uint64_t kFragFileBytes = 64 * kMiB;
 
@@ -23,30 +30,58 @@ struct ForegroundResult {
   common::PerfCounters counters;
 };
 
-// Shared PM bandwidth: each MiB transferred holds the device for its modeled
-// duration, so concurrent streams queue behind each other. When `fs_obs` is
-// non-null, both the background defrag thread (CPU 1) and the foreground
-// reader (CPU 2) are instrumented into it, so the Chrome trace shows the
-// interference on separate CPU tracks.
-ForegroundResult RunForeground(bool with_defrag, FsObs* fs_obs) {
-  auto bed = MakeBed("winefs", 1024 * kMiB, 8);
-  auto* wfs = dynamic_cast<winefs::WineFs*>(bed.fs.get());
+snap::ImageKey FixtureKey() {
+  snap::ImageKey key;
+  key.fs = "winefs";
+  key.device_bytes = kDeviceBytes;
+  key.num_cpus = 8;
+  key.numa_nodes = 1;
+  key.profile = "defrag-fixture";
+  key.seed = 0;
+  key.utilization = 0;
+  key.churn = 0;
+  key.detail = "fg64m-frag64m-interleave64k";
+  return key;
+}
+
+// Builds the interference fixture: a healthy foreground file plus a
+// fragmented file laid down by tiny interleaved appends against /other.
+common::Result<pmem::DeviceSnapshot> BuildFixture() {
+  auto bed = MakeBed("winefs", kDeviceBytes, 8);
   ExecContext setup;
-
-  // Foreground target file (healthy layout).
   auto ffd = bed.fs->Open(setup, "/fg", vfs::OpenFlags::Create());
-  (void)bed.fs->Fallocate(setup, *ffd, 0, kForegroundBytes);
-  auto fino = bed.fs->InodeOf(setup, *ffd);
-  auto fmap = bed.engine->Mmap(bed.fs.get(), *fino, kForegroundBytes, false);
-
-  // Fragmented background file: tiny interleaved appends.
+  if (!ffd.ok()) {
+    return ffd.status();
+  }
+  RETURN_IF_ERROR(bed.fs->Fallocate(setup, *ffd, 0, kForegroundBytes));
   auto bfd = bed.fs->Open(setup, "/frag", vfs::OpenFlags::Create());
   auto ofd = bed.fs->Open(setup, "/other", vfs::OpenFlags::Create());
+  if (!bfd.ok() || !ofd.ok()) {
+    return common::Status(common::ErrorCode::kIoError);
+  }
   std::vector<uint8_t> chunk(64 * 1024, 0xef);
   for (uint64_t off = 0; off < kFragFileBytes; off += chunk.size()) {
     (void)bed.fs->Append(setup, *bfd, chunk.data(), chunk.size());
     (void)bed.fs->Append(setup, *ofd, chunk.data(), chunk.size());
   }
+  RETURN_IF_ERROR(bed.fs->Unmount(setup));
+  return bed.dev->Snapshot();
+}
+
+// Shared PM bandwidth: each MiB transferred holds the device for its modeled
+// duration, so concurrent streams queue behind each other. When `fs_obs` is
+// non-null, both the background defrag thread (CPU 1) and the foreground
+// reader (CPU 2) are instrumented into it, so the Chrome trace shows the
+// interference on separate CPU tracks.
+ForegroundResult RunForeground(const pmem::DeviceSnapshot& fixture, bool with_defrag,
+                               FsObs* fs_obs) {
+  auto bed = MakeBedFromSnapshot("winefs", fixture, 8);
+  auto* wfs = dynamic_cast<winefs::WineFs*>(bed.fs.get());
+  ExecContext setup;
+
+  auto ffd = bed.fs->Open(setup, "/fg", vfs::OpenFlags{});
+  auto fino = bed.fs->InodeOf(setup, *ffd);
+  auto fmap = bed.engine->Mmap(bed.fs.get(), *fino, kForegroundBytes, false);
 
   common::ResourceClock pm_bandwidth("pm-bandwidth");
   const auto& cost = bed.dev->cost();
@@ -99,12 +134,18 @@ ForegroundResult RunForeground(bool with_defrag, FsObs* fs_obs) {
 int main() {
   benchutil::Banner("disc_defrag_interference: background rewrite vs foreground reads",
                     "§4 (reactive defragmentation costs 25-40% foreground slowdown)");
-  const ForegroundResult alone = RunForeground(false, nullptr);
+  snap::Corpus corpus = snap::Corpus::FromEnv();
+  auto fixture = corpus.LoadOrBuild(FixtureKey(), BuildFixture);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "fixture build failed\n");
+    return 1;
+  }
+  const ForegroundResult alone = RunForeground(*fixture, false, nullptr);
   // The foreground reader alone records ~4k data-copy spans; keep enough ring
   // for the background rewrite's spans (CPU 1) to survive next to them.
   FsObs contended_obs(obs::TimeSeriesSampler::kDefaultPeriodNs,
                       /*trace_capacity=*/32768);
-  const ForegroundResult contended = RunForeground(true, &contended_obs);
+  const ForegroundResult contended = RunForeground(*fixture, true, &contended_obs);
   Row({"scenario", "fg_MB/s"});
   Row({"no defrag", Fmt(alone.mbps, 0)});
   Row({"defrag running", Fmt(contended.mbps, 0)});
@@ -120,6 +161,7 @@ int main() {
   report.SetCounters("winefs", contended.counters);
   report.AddTimeSeries("winefs", contended_obs.sampler.series());
   report.AddSpans("winefs", contended_obs.trace);
+  benchutil::AddSnapConfig(report, corpus, FixtureKey().Provenance());
   benchutil::EmitReport(report);
   benchutil::EmitChromeTrace(report.name(),
                              {obs::NamedTrace{"winefs", &contended_obs.trace}});

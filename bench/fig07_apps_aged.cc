@@ -13,6 +13,7 @@
 
 using benchutil::Fmt;
 using benchutil::MakeBed;
+using benchutil::MakeBedFromSnapshot;
 using benchutil::Row;
 using common::ExecContext;
 using common::kMiB;
@@ -22,6 +23,36 @@ namespace {
 constexpr uint64_t kDeviceBytes = 1536 * kMiB;
 constexpr double kAgeUtil = 0.70;
 constexpr double kAgeChurn = 2.5;
+constexpr uint64_t kSeed = 42;
+
+// One corpus per process; every workload section draws its aged bed from it,
+// so each filesystem ages at most once per run (and zero times when warm).
+snap::Corpus& TheCorpus() {
+  static snap::Corpus corpus = snap::Corpus::FromEnv();
+  return corpus;
+}
+
+aging::AgingConfig AgeConfig() {
+  aging::AgingConfig config;
+  config.target_utilization = kAgeUtil;
+  config.write_multiplier = kAgeChurn;
+  config.seed = kSeed;
+  return config;
+}
+
+snap::ImageKey AgedKey(const std::string& fs_name) {
+  snap::ImageKey key;
+  key.fs = fs_name;
+  key.device_bytes = kDeviceBytes;
+  key.num_cpus = 8;
+  key.numa_nodes = 1;
+  key.profile = "agrawal";
+  key.seed = kSeed;
+  key.utilization = kAgeUtil;
+  key.churn = kAgeChurn;
+  key.detail = aging::AgingProvenance(AgeConfig());
+  return key;
+}
 
 struct AgedBed {
   benchutil::TestBed bed;
@@ -29,16 +60,25 @@ struct AgedBed {
 };
 
 AgedBed MakeAged(const std::string& fs_name) {
-  AgedBed b{MakeBed(fs_name, kDeviceBytes), ExecContext{}};
-  aging::AgingConfig config;
-  config.target_utilization = kAgeUtil;
-  config.write_multiplier = kAgeChurn;
-  aging::Geriatrix geriatrix(b.bed.fs.get(), aging::Profile::Agrawal(42), config);
-  if (!geriatrix.Run(b.ctx).ok()) {
+  auto snapshot = TheCorpus().LoadOrBuild(
+      AgedKey(fs_name), [&]() -> common::Result<pmem::DeviceSnapshot> {
+        auto bed = MakeBed(fs_name, kDeviceBytes);
+        ExecContext ctx;
+        aging::Geriatrix geriatrix(bed.fs.get(), aging::Profile::Agrawal(kSeed), AgeConfig());
+        auto stats = geriatrix.Run(ctx);
+        if (!stats.ok()) {
+          return stats.status();
+        }
+        RETURN_IF_ERROR(bed.fs->Unmount(ctx));
+        return bed.dev->Snapshot();
+      });
+  if (!snapshot.ok()) {
     std::fprintf(stderr, "aging failed for %s\n", fs_name.c_str());
     std::exit(1);
   }
-  return b;
+  // Every workload section gets its own COW fork: sections never see each
+  // other's writes, exactly as if each had aged privately.
+  return AgedBed{MakeBedFromSnapshot(fs_name, *snapshot), ExecContext{}};
 }
 
 void YcsbRocksDbRows(const std::vector<std::string>& lineup, obs::BenchReport& report) {
@@ -175,6 +215,7 @@ int main() {
 
   std::printf("\nexpected shape: WineFS highest throughput and fewest faults; NOVA's\n"
               "cheap (pre-zeroed) faults beat ext4-DAX's zero-on-fault despite counts.\n");
+  benchutil::AddSnapConfig(report, TheCorpus(), AgedKey("winefs").Provenance());
   benchutil::EmitReport(report);
   return 0;
 }

@@ -1,6 +1,11 @@
-// Aging study: the paper's headline phenomenon in ~80 lines. Ages WineFS and
+// Aging study: the paper's headline phenomenon in ~100 lines. Ages WineFS and
 // ext4-DAX side by side with the Geriatrix-style framework, then shows how
 // hugepage-capable free space and memory-mapped write bandwidth diverge.
+//
+// Aged images go through the snapshot corpus (src/snap): with WINEFS_SNAP_DIR
+// set, the first run ages each filesystem once and saves the image; reruns
+// load it from disk (fsck-validated) and probe a copy-on-write fork, skipping
+// Geriatrix entirely. Without the env var everything is built inline.
 //
 //   ./build/examples/aging_study [utilization=0.7] [churn_multiplier=3]
 #include <cstdio>
@@ -12,30 +17,64 @@
 #include "src/aging/profiles.h"
 #include "src/common/units.h"
 #include "src/fs/registry.h"
+#include "src/snap/corpus.h"
 #include "src/vmem/mmap_engine.h"
 
 using common::kMiB;
 
 namespace {
 
-void StudyOne(const std::string& fs_name, double utilization, double churn) {
-  pmem::PmemDevice device(1024 * kMiB);
-  auto fs = fsreg::Create(fs_name, &device);
-  vmem::MmapEngine engine(&device, vmem::MmuParams{}, 8);
-  common::ExecContext ctx;
-  (void)fs->Mkfs(ctx);
+constexpr uint64_t kDeviceBytes = 1024 * kMiB;
+constexpr uint64_t kSeed = 7;
 
+void StudyOne(snap::Corpus& corpus, const std::string& fs_name, double utilization,
+              double churn) {
   aging::AgingConfig config;
   config.target_utilization = utilization;
   config.write_multiplier = churn;
-  aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(7), config);
-  auto stats = geriatrix.Run(ctx);
-  if (!stats.ok()) {
+  config.seed = kSeed;
+
+  snap::ImageKey key;
+  key.fs = fs_name;
+  key.device_bytes = kDeviceBytes;
+  key.num_cpus = 4;
+  key.numa_nodes = 1;
+  key.profile = "agrawal";
+  key.seed = kSeed;
+  key.utilization = utilization;
+  key.churn = churn;
+  key.detail = aging::AgingProvenance(config);
+
+  const uint64_t hits_before = corpus.stats().hits;
+  auto snapshot = corpus.LoadOrBuild(key, [&]() -> common::Result<pmem::DeviceSnapshot> {
+    pmem::PmemDevice device(kDeviceBytes);
+    auto fs = fsreg::Create(fs_name, &device);
+    common::ExecContext ctx;
+    RETURN_IF_ERROR(fs->Mkfs(ctx));
+    aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(kSeed), config);
+    auto stats = geriatrix.Run(ctx);
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    RETURN_IF_ERROR(fs->Unmount(ctx));
+    return device.Snapshot();
+  });
+  if (!snapshot.ok()) {
     std::printf("%-10s aging failed: %s\n", fs_name.c_str(),
-                std::string(stats.status().message()).c_str());
+                std::string(snapshot.status().message()).c_str());
     return;
   }
+  const bool from_corpus = corpus.stats().hits > hits_before;
 
+  // Probe a COW fork of the aged image; the stored image stays pristine.
+  pmem::PmemDevice device(*snapshot);
+  auto fs = fsreg::Create(fs_name, &device);
+  vmem::MmapEngine engine(&device, vmem::MmuParams{}, 8);
+  common::ExecContext ctx;
+  if (!fs->Mount(ctx).ok()) {
+    std::printf("%-10s mount of aged image failed\n", fs_name.c_str());
+    return;
+  }
   const auto info = fs->StatFs(ctx).value();
 
   // Bandwidth probe: mmap a fresh 32 MiB file and stream writes into it.
@@ -51,11 +90,9 @@ void StudyOne(const std::string& fs_name, double utilization, double churn) {
   const double gbps =
       32.0 * kMiB / (static_cast<double>(ctx.clock.NowNs() - t0) / 1e9) / 1e9;
 
-  std::printf("%-10s util=%4.0f%%  churn=%5.1f GiB  files=%6llu  "
-              "aligned-free=%5.1f%%  mmap-write=%4.2f GB/s  huge=%3.0f%%\n",
-              fs_name.c_str(), info.utilization() * 100,
-              static_cast<double>(stats->bytes_allocated) / (1024.0 * kMiB),
-              static_cast<unsigned long long>(stats->live_files),
+  std::printf("%-10s util=%4.0f%%  %-6s  aligned-free=%5.1f%%  mmap-write=%4.2f GB/s  "
+              "huge=%3.0f%%\n",
+              fs_name.c_str(), info.utilization() * 100, from_corpus ? "corpus" : "aged",
               info.AlignedFreeFraction() * 100, gbps, map->HugeMappedFraction() * 100);
 }
 
@@ -64,12 +101,23 @@ void StudyOne(const std::string& fs_name, double utilization, double churn) {
 int main(int argc, char** argv) {
   const double utilization = argc > 1 ? std::atof(argv[1]) : 0.7;
   const double churn = argc > 2 ? std::atof(argv[2]) : 3.0;
-  std::printf("aging to %.0f%% utilization with %.1fx capacity churn (Agrawal profile)\n\n",
+  snap::Corpus corpus = snap::Corpus::FromEnv();
+  std::printf("aging to %.0f%% utilization with %.1fx capacity churn (Agrawal profile)\n",
               utilization * 100, churn);
+  std::printf("snapshot corpus: %s\n\n",
+              corpus.enabled() ? corpus.dir().c_str() : "disabled (set WINEFS_SNAP_DIR)");
   for (const std::string& fs_name : {"winefs", "ext4-dax", "nova", "xfs-dax"}) {
-    StudyOne(fs_name, utilization, churn);
+    StudyOne(corpus, fs_name, utilization, churn);
   }
+  const snap::CorpusStats& stats = corpus.stats();
   std::printf("\nWineFS keeps its free space hugepage-capable as it ages; the others\n"
               "fragment and fall back to 4 KiB mappings (Figure 1 / Figure 3).\n");
+  if (corpus.enabled()) {
+    std::printf("corpus: %llu hit(s), %llu built (%llu ms building, %llu ms loading)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.build_wall_ms),
+                static_cast<unsigned long long>(stats.load_wall_ms));
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/aging/geriatrix.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/units.h"
 
@@ -9,6 +10,14 @@ namespace aging {
 using common::ExecContext;
 using common::Result;
 using common::Status;
+
+std::string AgingProvenance(const AgingConfig& config) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "geriatrix:wm=%.4g,dirs=%u,fall=%d,rot=%u,upd=%.4g",
+                config.write_multiplier, config.num_dirs, config.use_fallocate ? 1 : 0,
+                config.rotate_cpus, config.update_fraction);
+  return buf;
+}
 
 Geriatrix::Geriatrix(vfs::FileSystem* fs, Profile profile, AgingConfig config)
     : fs_(fs), profile_(std::move(profile)), config_(config), rng_(config.seed) {}

@@ -32,6 +32,12 @@ struct AgingConfig {
   double update_fraction = 0.25;
 };
 
+// Canonical encoding of the AgingConfig knobs (beyond profile/seed/target
+// utilization, which corpus keys carry explicitly) that influence the aged
+// image bytes. Goes into snap::ImageKey::detail so a config tweak can never
+// serve a stale corpus image.
+std::string AgingProvenance(const AgingConfig& config);
+
 struct AgingStats {
   uint64_t files_created = 0;
   uint64_t files_deleted = 0;

@@ -6,6 +6,7 @@
 
 #include "src/common/units.h"
 #include "src/pmem/fault_injector.h"
+#include "src/snap/image.h"
 
 namespace crashmk {
 
@@ -148,6 +149,27 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
     };
 
     pmem::PmemDevice crash_dev(config_.device_bytes);
+    // Archives the pre-recovery torn image (`img`, not crash_dev — mount-time
+    // recovery has already rewritten the device by verdict time) as a
+    // replayable snapshot. Replay = fork the snapshot, mount, re-judge.
+    auto archive_state = [&](const std::vector<uint8_t>& img, const char* verdict) {
+      if (config_.archive_dir.empty() || result.archived >= config_.max_archives) {
+        return;
+      }
+      pmem::DeviceSnapshot snap;
+      snap.bytes = std::make_shared<const std::vector<uint8_t>>(img);
+      snap.model = device.cost();
+      snap.numa_nodes = device.numa_nodes();
+      const std::string provenance = "crashmk;op=" + op.Describe() +
+                                     ";state=" + std::to_string(result.crash_states) +
+                                     ";verdict=" + verdict;
+      const std::string path = config_.archive_dir + "/crash-" +
+                               std::to_string(result.archived) + "-" + verdict + ".snap";
+      if (snap::SaveImage(path, snap, snap::ImageKind::kCrashState, provenance).ok()) {
+        result.archived++;
+        result.archive_paths.push_back(path);
+      }
+    };
     auto check_state = [&](const std::vector<uint8_t>& img) {
       result.crash_states++;
       crash_dev.RestoreImage(img);
@@ -158,6 +180,7 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
         if (result.first_failure.empty()) {
           result.first_failure = "mount failed after crash in: " + op.Describe();
         }
+        archive_state(img, "mountfail");
         return;
       }
       const Oracle recovered = Oracle::Capture(rctx, *crash_fs);
@@ -168,6 +191,9 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
                                  "\n--- vs pre ---\n" + recovered.DiffAgainst(pre) +
                                  "--- vs post ---\n" + recovered.DiffAgainst(post);
         }
+        archive_state(img, "inconsistent");
+      } else if (config_.archive_all) {
+        archive_state(img, "ok");
       }
     };
 

@@ -50,6 +50,9 @@ struct ExploreResult {
   uint64_t crash_states = 0;
   uint64_t mount_failures = 0;
   uint64_t oracle_failures = 0;
+  // Crash states archived as replayable snapshot images (Config::archive_dir).
+  uint64_t archived = 0;
+  std::vector<std::string> archive_paths;
   std::string first_failure;
 
   bool ok() const { return mount_failures == 0 && oracle_failures == 0; }
@@ -75,6 +78,15 @@ class Explorer {
     // Bounds the torn-line sweep per fence (bulk zeroing can leave thousands
     // of lines in flight; an even-stride sample keeps runtime sane).
     uint32_t max_torn_lines_per_epoch = 16;
+    // When non-empty, interesting crash states are archived into this
+    // directory as replayable snapshot images (src/snap, kind=kCrashState):
+    // by default only failing states (mount or oracle failure — a durable
+    // regression corpus for the exact torn image that broke), with
+    // archive_all extending that to every explored state. Each image's
+    // provenance records the workload op and crash-state ordinal.
+    std::string archive_dir;
+    bool archive_all = false;
+    uint32_t max_archives = 16;
   };
 
   Explorer(FsFactory factory, Config config) : factory_(std::move(factory)), config_(config) {}

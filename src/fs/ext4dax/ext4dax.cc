@@ -142,7 +142,8 @@ void Ext4Dax::Jbd2Commit(ExecContext& ctx) {
   for (uint64_t block : dirty_meta_blocks_) {
     const uint64_t journal_off =
         (journal_start_block_ + journal_cursor_ % options_.journal_blocks) * kBlockSize;
-    device_->NtStore(ctx, journal_off, device_->raw() + block * kBlockSize, kBlockSize);
+    device_->NtStore(ctx, journal_off, device_->raw_span(block * kBlockSize, kBlockSize),
+                     kBlockSize);
     journal_cursor_++;
     ctx.counters.journal_bytes += kBlockSize;
   }

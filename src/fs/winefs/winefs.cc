@@ -79,8 +79,9 @@ void WineFs::InitAllocator(uint64_t data_start, uint64_t nblocks) {
     }
   }
   // Fresh journals.
-  std::memset(device_->raw() + journal_start_block_ * kBlockSize, 0,
-              options_.journal_blocks * kBlockSize);
+  std::memset(device_->raw_span(journal_start_block_ * kBlockSize,
+                                options_.journal_blocks * kBlockSize),
+              0, options_.journal_blocks * kBlockSize);
 }
 
 void WineFs::RebuildAllocator(ExecContext& ctx, fscore::FreeSpaceMap&& free_map) {

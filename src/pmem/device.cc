@@ -10,6 +10,57 @@ using common::kCacheline;
 PmemDevice::PmemDevice(uint64_t size_bytes, CostModel model, uint32_t numa_nodes)
     : data_(size_bytes, 0), model_(model), numa_nodes_(numa_nodes == 0 ? 1 : numa_nodes) {}
 
+PmemDevice::PmemDevice(const DeviceSnapshot& base)
+    : data_(base.size(), 0),
+      model_(base.model),
+      numa_nodes_(base.numa_nodes == 0 ? 1 : base.numa_nodes),
+      cow_base_(base.bytes) {
+  assert(base.valid());
+  const uint64_t chunks = (data_.size() + kSnapChunkBytes - 1) / kSnapChunkBytes;
+  cow_present_.assign(chunks, false);
+  cow_pending_ = chunks;
+  if (chunks == 0) {
+    cow_base_.reset();
+  }
+}
+
+void PmemDevice::MaterializeRange(uint64_t offset, uint64_t len) {
+  assert(offset + len <= data_.size());
+  const uint64_t first = offset / kSnapChunkBytes;
+  const uint64_t last = (offset + len - 1) / kSnapChunkBytes;
+  const uint8_t* base = cow_base_->data();
+  for (uint64_t c = first; c <= last; c++) {
+    if (cow_present_[c]) {
+      continue;
+    }
+    const uint64_t chunk_off = c * kSnapChunkBytes;
+    const uint64_t chunk_len = std::min<uint64_t>(kSnapChunkBytes, data_.size() - chunk_off);
+    std::memcpy(data_.data() + chunk_off, base + chunk_off, chunk_len);
+    cow_present_[c] = true;
+    cow_chunks_copied_++;
+    cow_pending_--;
+  }
+  if (cow_pending_ == 0) {
+    cow_base_.reset();
+    cow_present_.clear();
+  }
+}
+
+void PmemDevice::MaterializeAll() {
+  if (cow_base_ != nullptr) {
+    MaterializeRange(0, data_.size());
+  }
+}
+
+DeviceSnapshot PmemDevice::Snapshot() const {
+  const_cast<PmemDevice*>(this)->MaterializeAll();
+  DeviceSnapshot snap;
+  snap.bytes = std::make_shared<const std::vector<uint8_t>>(data_);
+  snap.model = model_;
+  snap.numa_nodes = numa_nodes_;
+  return snap;
+}
+
 uint32_t PmemDevice::NumaNodeOf(uint64_t offset) const {
   const uint64_t region = data_.size() / numa_nodes_;
   if (region == 0) {
@@ -57,6 +108,7 @@ void PmemDevice::ChargeFaultDelay(common::ExecContext& ctx) {
 void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* src,
                        uint64_t len) {
   assert(offset + len <= data_.size());
+  Touch(offset, len);
   std::memcpy(data_.data() + offset, src, len);
   const uint64_t lines = (len + kCacheline - 1) / kCacheline;
   ctx.clock.Advance(lines * model_.pm_store_ns);
@@ -69,6 +121,7 @@ void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* sr
 void PmemDevice::NtStore(common::ExecContext& ctx, uint64_t offset, const void* src,
                          uint64_t len) {
   assert(offset + len <= data_.size());
+  Touch(offset, len);
   std::memcpy(data_.data() + offset, src, len);
   const uint64_t lines = (len + kCacheline - 1) / kCacheline;
   ctx.clock.Advance(lines * model_.pm_store_seq_ns);
@@ -90,6 +143,7 @@ common::Status PmemDevice::Load(common::ExecContext& ctx, uint64_t offset, void*
     std::memset(dst, 0, len);
     return common::Status(common::ErrorCode::kIoError);
   }
+  Touch(offset, len);
   std::memcpy(dst, data_.data() + offset, len);
   return common::OkStatus();
 }
@@ -173,6 +227,7 @@ void PmemDevice::PersistStore(common::ExecContext& ctx, uint64_t offset, const v
 
 void PmemDevice::Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
   assert(offset + len <= data_.size());
+  Touch(offset, len);
   std::memset(data_.data() + offset, 0, len);
   ctx.clock.Advance(model_.SeqWriteBytes(len));
   ctx.counters.pm_write_bytes += len;
@@ -183,6 +238,7 @@ void PmemDevice::Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
 
 void PmemDevice::StoreUncharged(uint64_t offset, const void* src, uint64_t len) {
   assert(offset + len <= data_.size());
+  Touch(offset, len);
   NoteStoreFaults(offset, len);
   std::memcpy(data_.data() + offset, src, len);
   if (crash_tracking_) {
@@ -192,6 +248,7 @@ void PmemDevice::StoreUncharged(uint64_t offset, const void* src, uint64_t len) 
 }
 
 void PmemDevice::EnableCrashTracking() {
+  MaterializeAll();
   std::lock_guard<std::mutex> guard(crash_mu_);
   crash_tracking_ = true;
   persistent_ = data_;
@@ -241,6 +298,10 @@ std::vector<uint8_t> PmemDevice::CrashImage(const std::vector<size_t>& pending_s
 
 void PmemDevice::RestoreImage(const std::vector<uint8_t>& image) {
   assert(image.size() == data_.size());
+  // Full overwrite: any COW backing is obsolete.
+  cow_base_.reset();
+  cow_present_.clear();
+  cow_pending_ = 0;
   data_ = image;
   std::lock_guard<std::mutex> guard(crash_mu_);
   if (crash_tracking_) {
@@ -251,6 +312,7 @@ void PmemDevice::RestoreImage(const std::vector<uint8_t>& image) {
 }
 
 void PmemDevice::MarkAllPersistent() {
+  MaterializeAll();
   std::lock_guard<std::mutex> guard(crash_mu_);
   if (crash_tracking_) {
     persistent_ = data_;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,22 @@
 #include "src/pmem/fault_injector.h"
 
 namespace pmem {
+
+// Copy-on-write sharing granularity for device snapshots and forks; also the
+// chunk size of the on-disk snapshot image format (src/snap).
+inline constexpr uint64_t kSnapChunkBytes = 256 * 1024;
+
+// Immutable full-device image plus the geometry needed to recreate an
+// equivalent device. Shareable: any number of COW forks reference one
+// snapshot's bytes without copying them up front.
+struct DeviceSnapshot {
+  std::shared_ptr<const std::vector<uint8_t>> bytes;
+  CostModel model;
+  uint32_t numa_nodes = 1;
+
+  uint64_t size() const { return bytes == nullptr ? 0 : bytes->size(); }
+  bool valid() const { return bytes != nullptr; }
+};
 
 // One not-yet-guaranteed-persistent cacheline: its device offset and payload.
 struct PendingLine {
@@ -39,16 +56,50 @@ class PmemDevice {
   explicit PmemDevice(uint64_t size_bytes, CostModel model = CostModel{},
                       uint32_t numa_nodes = 1);
 
+  // Copy-on-write fork: the device starts as a logical copy of `base` but
+  // copies each kSnapChunkBytes chunk only on first access, so forking a
+  // mostly-idle aged image costs far less than re-aging or deep-copying.
+  // Forks are fully isolated from the base and from each other.
+  explicit PmemDevice(const DeviceSnapshot& base);
+
   uint64_t size() const { return data_.size(); }
   const CostModel& cost() const { return model_; }
   uint32_t numa_nodes() const { return numa_nodes_; }
   uint32_t NumaNodeOf(uint64_t offset) const;
 
+  // Deep-copies the current volatile image into a shareable snapshot (the
+  // input to COW forks and to the src/snap on-disk image writer).
+  DeviceSnapshot Snapshot() const;
+
+  // True while this fork still has unmaterialized chunks backed by its base.
+  bool is_cow_fork() const { return cow_base_ != nullptr; }
+  // Chunks copied from the base so far (lazy-fork observability; tests assert
+  // a fork that touched little copied little).
+  uint64_t cow_chunks_copied() const { return cow_chunks_copied_; }
+
   // Raw access to the current (volatile) image. Used by readers and by
   // memory-mapped access paths; cost accounting happens in the caller
-  // (MmapEngine) or via the charge helpers below.
-  uint8_t* raw() { return data_.data(); }
-  const uint8_t* raw() const { return data_.data(); }
+  // (MmapEngine) or via the charge helpers below. Plain raw() must be able to
+  // see every byte, so on a COW fork it materializes the whole base image;
+  // range-bounded access paths use raw_span to keep the fork lazy.
+  uint8_t* raw() {
+    MaterializeAll();
+    return data_.data();
+  }
+  const uint8_t* raw() const {
+    const_cast<PmemDevice*>(this)->MaterializeAll();
+    return data_.data();
+  }
+  // Range-bounded raw access: materializes only the chunks covering
+  // [offset, offset+len) on a COW fork.
+  uint8_t* raw_span(uint64_t offset, uint64_t len) {
+    Touch(offset, len);
+    return data_.data() + offset;
+  }
+  const uint8_t* raw_span(uint64_t offset, uint64_t len) const {
+    const_cast<PmemDevice*>(this)->Touch(offset, len);
+    return data_.data() + offset;
+  }
 
   // --- Store/load API used by filesystems (syscall paths) ---------------
 
@@ -155,6 +206,15 @@ class PmemDevice {
   std::vector<PersistEpoch> TakeEpochLog();
 
  private:
+  // COW fast path: no-op unless this is a fork with unmaterialized chunks.
+  void Touch(uint64_t offset, uint64_t len) {
+    if (cow_base_ != nullptr && len != 0) {
+      MaterializeRange(offset, len);
+    }
+  }
+  void MaterializeRange(uint64_t offset, uint64_t len);
+  void MaterializeAll();
+
   void RecordStore(uint64_t offset, uint64_t len, bool flushed);
   // Charges an injected latency spike (if the plan fires) to ctx.
   void ChargeFaultDelay(common::ExecContext& ctx);
@@ -169,6 +229,13 @@ class PmemDevice {
   CostModel model_;
   uint32_t numa_nodes_;
   FaultInjector* injector_ = nullptr;
+
+  // COW-fork state: base image plus the per-chunk materialization map. Freed
+  // once every chunk has been copied (the fork is then a plain device).
+  std::shared_ptr<const std::vector<uint8_t>> cow_base_;
+  std::vector<bool> cow_present_;
+  uint64_t cow_pending_ = 0;
+  uint64_t cow_chunks_copied_ = 0;
 
   bool crash_tracking_ = false;
   mutable std::mutex crash_mu_;

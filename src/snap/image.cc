@@ -1,0 +1,334 @@
+#include "src/snap/image.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace snap {
+namespace {
+
+using common::ErrorCode;
+using common::Status;
+
+// "SNAPIMG1" read as a little-endian uint64.
+constexpr uint64_t kMagic = 0x31474d4950414e53ull;
+
+// CostModel is serialized as an explicit field count + values so a count
+// mismatch (model gained/lost a field without a version bump) is caught as
+// corruption instead of silently misaligning the rest of the header.
+constexpr uint32_t kCostFields = 14;
+
+void CostToFields(const pmem::CostModel& m, uint64_t out[kCostFields]) {
+  const uint64_t fields[kCostFields] = {
+      m.pm_load_random_ns, m.pm_load_seq_ns,  m.pm_store_ns,
+      m.pm_store_seq_ns,   m.clwb_ns,         m.sfence_ns,
+      m.dram_load_ns,      m.llc_hit_ns,      m.fault_base_ns,
+      m.fault_huge_extra_ns, m.zero_4k_ns,    m.tlb_walk_level_ns,
+      m.syscall_trap_ns,   m.vfs_path_component_ns};
+  std::memcpy(out, fields, sizeof(fields));
+}
+
+pmem::CostModel CostFromFields(const uint64_t f[kCostFields]) {
+  pmem::CostModel m;
+  m.pm_load_random_ns = f[0];
+  m.pm_load_seq_ns = f[1];
+  m.pm_store_ns = f[2];
+  m.pm_store_seq_ns = f[3];
+  m.clwb_ns = f[4];
+  m.sfence_ns = f[5];
+  m.dram_load_ns = f[6];
+  m.llc_hit_ns = f[7];
+  m.fault_base_ns = f[8];
+  m.fault_huge_extra_ns = f[9];
+  m.zero_4k_ns = f[10];
+  m.tlb_walk_level_ns = f[11];
+  m.syscall_trap_ns = f[12];
+  m.vfs_path_component_ns = f[13];
+  return m;
+}
+
+class Writer {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Raw(const void* data, uint64_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  const std::vector<uint8_t>& buf() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, uint64_t len) : data_(data), len_(len) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Raw(void* out, uint64_t len) {
+    if (pos_ + len > len_) {
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  uint64_t pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  uint64_t len_;
+  uint64_t pos_ = 0;
+};
+
+bool AllZero(const uint8_t* data, uint64_t len) {
+  for (uint64_t i = 0; i < len; i++) {
+    if (data[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Serializes the header (without its trailing checksum).
+std::vector<uint8_t> BuildHeader(const ImageInfo& info) {
+  Writer w;
+  w.U64(kMagic);
+  w.U32(info.format_version);
+  w.U32(static_cast<uint32_t>(info.kind));
+  w.U64(info.device_bytes);
+  w.U64(pmem::kSnapChunkBytes);
+  w.U32(info.numa_nodes);
+  w.U64(info.stored_chunks);
+  w.U32(kCostFields);
+  uint64_t cost[kCostFields];
+  CostToFields(info.model, cost);
+  for (uint32_t i = 0; i < kCostFields; i++) {
+    w.U64(cost[i]);
+  }
+  w.U32(static_cast<uint32_t>(info.provenance.size()));
+  w.Raw(info.provenance.data(), info.provenance.size());
+  return w.buf();
+}
+
+// Reads and validates the header; on success positions `r` at the first
+// chunk record.
+Status ParseHeader(Reader& r, ImageInfo* info) {
+  uint64_t magic = 0;
+  if (!r.U64(&magic)) {
+    return Status(ErrorCode::kIoError);
+  }
+  if (magic != kMagic) {
+    return Status(ErrorCode::kCorrupt);
+  }
+  uint32_t kind_raw = 0;
+  uint64_t chunk_bytes = 0;
+  uint32_t cost_fields = 0;
+  if (!r.U32(&info->format_version) || !r.U32(&kind_raw) || !r.U64(&info->device_bytes) ||
+      !r.U64(&chunk_bytes) || !r.U32(&info->numa_nodes) || !r.U64(&info->stored_chunks)) {
+    return Status(ErrorCode::kIoError);
+  }
+  if (info->format_version != kSnapFormatVersion) {
+    return Status(ErrorCode::kNotSupported);
+  }
+  if (kind_raw > static_cast<uint32_t>(ImageKind::kCrashState) ||
+      chunk_bytes != pmem::kSnapChunkBytes) {
+    return Status(ErrorCode::kCorrupt);
+  }
+  info->kind = static_cast<ImageKind>(kind_raw);
+  if (!r.U32(&cost_fields)) {
+    return Status(ErrorCode::kIoError);
+  }
+  if (cost_fields != kCostFields) {
+    return Status(ErrorCode::kCorrupt);
+  }
+  uint64_t cost[kCostFields];
+  for (uint32_t i = 0; i < kCostFields; i++) {
+    if (!r.U64(&cost[i])) {
+      return Status(ErrorCode::kIoError);
+    }
+  }
+  info->model = CostFromFields(cost);
+  uint32_t prov_len = 0;
+  if (!r.U32(&prov_len)) {
+    return Status(ErrorCode::kIoError);
+  }
+  if (prov_len > 64 * 1024) {  // sanity bound: provenance keys are short
+    return Status(ErrorCode::kCorrupt);
+  }
+  info->provenance.resize(prov_len);
+  if (!r.Raw(info->provenance.data(), prov_len)) {
+    return Status(ErrorCode::kIoError);
+  }
+  const uint64_t header_end = r.pos();
+  uint64_t stored_csum = 0;
+  if (!r.U64(&stored_csum)) {
+    return Status(ErrorCode::kIoError);
+  }
+  // Re-serialize what we parsed and compare checksums; this also catches any
+  // header field the parser accepted but a bit flip altered.
+  const std::vector<uint8_t> rebuilt = BuildHeader(*info);
+  (void)header_end;
+  if (Fnv1a(rebuilt.data(), rebuilt.size()) != stored_csum) {
+    return Status(ErrorCode::kCorrupt);
+  }
+  return common::OkStatus();
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const uint8_t* data, uint64_t len, uint64_t hash) {
+  for (uint64_t i = 0; i < len; i++) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t ContentHash(const pmem::DeviceSnapshot& snap) {
+  if (!snap.valid()) {
+    return 0;
+  }
+  return Fnv1a(snap.bytes->data(), snap.bytes->size());
+}
+
+common::Status SaveImage(const std::string& path, const pmem::DeviceSnapshot& snap,
+                         ImageKind kind, const std::string& provenance) {
+  if (!snap.valid()) {
+    return Status(ErrorCode::kInvalidArgument);
+  }
+  const std::vector<uint8_t>& bytes = *snap.bytes;
+  const uint64_t chunks = (bytes.size() + pmem::kSnapChunkBytes - 1) / pmem::kSnapChunkBytes;
+
+  ImageInfo info;
+  info.format_version = kSnapFormatVersion;
+  info.kind = kind;
+  info.device_bytes = bytes.size();
+  info.numa_nodes = snap.numa_nodes;
+  info.model = snap.model;
+  info.provenance = provenance;
+  info.stored_chunks = 0;
+  for (uint64_t c = 0; c < chunks; c++) {
+    const uint64_t off = c * pmem::kSnapChunkBytes;
+    const uint64_t len = std::min<uint64_t>(pmem::kSnapChunkBytes, bytes.size() - off);
+    if (!AllZero(bytes.data() + off, len)) {
+      info.stored_chunks++;
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  FilePtr f(std::fopen(tmp.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status(ErrorCode::kIoError);
+  }
+  const std::vector<uint8_t> header = BuildHeader(info);
+  const uint64_t header_csum = Fnv1a(header.data(), header.size());
+  if (std::fwrite(header.data(), 1, header.size(), f.get()) != header.size() ||
+      std::fwrite(&header_csum, 1, sizeof(header_csum), f.get()) != sizeof(header_csum)) {
+    std::remove(tmp.c_str());
+    return Status(ErrorCode::kIoError);
+  }
+  for (uint64_t c = 0; c < chunks; c++) {
+    const uint64_t off = c * pmem::kSnapChunkBytes;
+    const uint64_t len = std::min<uint64_t>(pmem::kSnapChunkBytes, bytes.size() - off);
+    if (AllZero(bytes.data() + off, len)) {
+      continue;
+    }
+    const uint64_t csum = Fnv1a(bytes.data() + off, len);
+    if (std::fwrite(&c, 1, sizeof(c), f.get()) != sizeof(c) ||
+        std::fwrite(&csum, 1, sizeof(csum), f.get()) != sizeof(csum) ||
+        std::fwrite(bytes.data() + off, 1, len, f.get()) != len) {
+      std::remove(tmp.c_str());
+      return Status(ErrorCode::kIoError);
+    }
+  }
+  if (std::fflush(f.get()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(ErrorCode::kIoError);
+  }
+  f.reset();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(ErrorCode::kIoError);
+  }
+  return common::OkStatus();
+}
+
+common::Result<LoadedImage> LoadImage(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status(ErrorCode::kIoError);
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  const long fsize = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (fsize < 0) {
+    return Status(ErrorCode::kIoError);
+  }
+  std::vector<uint8_t> file(static_cast<uint64_t>(fsize));
+  if (!file.empty() && std::fread(file.data(), 1, file.size(), f.get()) != file.size()) {
+    return Status(ErrorCode::kIoError);
+  }
+  f.reset();
+
+  Reader r(file.data(), file.size());
+  LoadedImage out;
+  RETURN_IF_ERROR(ParseHeader(r, &out.info));
+
+  const uint64_t total_chunks =
+      (out.info.device_bytes + pmem::kSnapChunkBytes - 1) / pmem::kSnapChunkBytes;
+  auto bytes = std::make_shared<std::vector<uint8_t>>(out.info.device_bytes, 0);
+  for (uint64_t i = 0; i < out.info.stored_chunks; i++) {
+    uint64_t index = 0;
+    uint64_t csum = 0;
+    if (!r.U64(&index) || !r.U64(&csum)) {
+      return Status(ErrorCode::kIoError);  // truncated chunk table
+    }
+    if (index >= total_chunks) {
+      return Status(ErrorCode::kCorrupt);
+    }
+    const uint64_t off = index * pmem::kSnapChunkBytes;
+    const uint64_t len =
+        std::min<uint64_t>(pmem::kSnapChunkBytes, out.info.device_bytes - off);
+    if (!r.Raw(bytes->data() + off, len)) {
+      return Status(ErrorCode::kIoError);  // short read of chunk payload
+    }
+    if (Fnv1a(bytes->data() + off, len) != csum) {
+      return Status(ErrorCode::kCorrupt);
+    }
+  }
+  out.snapshot.bytes = std::move(bytes);
+  out.snapshot.model = out.info.model;
+  out.snapshot.numa_nodes = out.info.numa_nodes;
+  return out;
+}
+
+common::Result<ImageInfo> ReadImageInfo(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status(ErrorCode::kIoError);
+  }
+  // Headers are small; 256 KiB comfortably covers the max provenance length.
+  std::vector<uint8_t> buf(256 * 1024);
+  const size_t n = std::fread(buf.data(), 1, buf.size(), f.get());
+  f.reset();
+  Reader r(buf.data(), n);
+  ImageInfo info;
+  RETURN_IF_ERROR(ParseHeader(r, &info));
+  return info;
+}
+
+}  // namespace snap

@@ -1,0 +1,74 @@
+// On-disk device-image format for PmemDevice snapshots.
+//
+// Layout: a fixed header (magic, format version, image kind, device geometry,
+// cost-model parameters, provenance string, FNV-1a header checksum) followed
+// by one record per non-zero kSnapChunkBytes chunk: {chunk index, FNV-1a of
+// the chunk payload, payload}. All-zero chunks are skipped, so an aged image
+// of a mostly-empty device stays small. Everything is little-endian (the
+// simulator only targets LE hosts; ReadImageInfo rejects foreign images via
+// the magic). Bumping kSnapFormatVersion invalidates every existing image —
+// do it whenever the header schema, chunk size, or CostModel field set
+// changes.
+#ifndef SRC_SNAP_IMAGE_H_
+#define SRC_SNAP_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/pmem/device.h"
+
+namespace snap {
+
+// Bump on any incompatible change to the header schema, chunk encoding,
+// kSnapChunkBytes, or the serialized CostModel field set.
+inline constexpr uint32_t kSnapFormatVersion = 1;
+
+enum class ImageKind : uint32_t {
+  // A consistent (unmounted) filesystem image; fsck-able before use.
+  kFilesystem = 0,
+  // A torn post-crash state archived by crashmk; only consistent after the
+  // filesystem's own mount-time recovery runs, so loaders skip fsck.
+  kCrashState = 1,
+};
+
+// Header metadata of an image file (everything except the chunk payloads).
+struct ImageInfo {
+  uint32_t format_version = 0;
+  ImageKind kind = ImageKind::kFilesystem;
+  uint64_t device_bytes = 0;
+  uint32_t numa_nodes = 1;
+  uint64_t stored_chunks = 0;  // non-zero chunks actually present in the file
+  std::string provenance;      // corpus key string (see snap::ImageKey)
+  pmem::CostModel model;
+};
+
+struct LoadedImage {
+  pmem::DeviceSnapshot snapshot;
+  ImageInfo info;
+};
+
+// FNV-1a over a byte range (the checksum used for chunks and the header).
+uint64_t Fnv1a(const uint8_t* data, uint64_t len, uint64_t hash = 14695981039346656037ull);
+
+// Content hash of a full device snapshot (determinism audits; snapctl list).
+uint64_t ContentHash(const pmem::DeviceSnapshot& snap);
+
+// Writes `snap` to `path` atomically (tmp file + rename). Overwrites any
+// existing image. kIoError on filesystem failures.
+common::Status SaveImage(const std::string& path, const pmem::DeviceSnapshot& snap,
+                         ImageKind kind, const std::string& provenance);
+
+// Loads a full image. Typed failures: kIoError (unreadable / short read),
+// kCorrupt (bad magic, header or chunk checksum mismatch, out-of-range chunk),
+// kNotSupported (format version != kSnapFormatVersion). Never returns a
+// partially-filled snapshot.
+common::Result<LoadedImage> LoadImage(const std::string& path);
+
+// Header-only probe (cheap; used by snapctl list/gc and corpus key checks).
+common::Result<ImageInfo> ReadImageInfo(const std::string& path);
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_IMAGE_H_

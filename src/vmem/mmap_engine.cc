@@ -235,7 +235,7 @@ Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uin
     const uint64_t page_end = common::RoundDown(offset, kBlockSize) + kBlockSize;
     const uint64_t span = std::min<uint64_t>(len, page_end - offset);
     ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
-    std::memcpy(engine_->device().raw() + phys, cursor, span);
+    std::memcpy(engine_->device().raw_span(phys, span), cursor, span);
     const uint64_t copy_ns = cost.SeqWriteBytes(span);
     {
       obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, span);
@@ -264,7 +264,7 @@ Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t l
     const uint64_t page_end = common::RoundDown(offset, kBlockSize) + kBlockSize;
     const uint64_t span = std::min<uint64_t>(len, page_end - offset);
     ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
-    std::memcpy(cursor, engine_->device().raw() + phys, span);
+    std::memcpy(cursor, engine_->device().raw_span(phys, span), span);
     const uint64_t copy_ns = cost.SeqReadBytes(span);
     {
       obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, span);
@@ -286,7 +286,7 @@ Result<uint64_t> MappedFile::LoadLine(ExecContext& ctx, uint64_t offset, void* d
   ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
   engine_->ChargeDataLine(ctx, common::RoundDown(phys, kCacheline));
   if (dst64 != nullptr) {
-    std::memcpy(dst64, engine_->device().raw() + phys, 8);
+    std::memcpy(dst64, engine_->device().raw_span(phys, 8), 8);
   }
   ctx.counters.pm_read_bytes += kCacheline;
   if (ctx.sampler != nullptr) {
@@ -300,7 +300,7 @@ Result<uint64_t> MappedFile::StoreLine(ExecContext& ctx, uint64_t offset, const 
   ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
   engine_->ChargeDataLine(ctx, common::RoundDown(phys, kCacheline));
   if (src64 != nullptr) {
-    std::memcpy(engine_->device().raw() + phys, src64, 8);
+    std::memcpy(engine_->device().raw_span(phys, 8), src64, 8);
   }
   ctx.counters.pm_write_bytes += kCacheline;
   if (ctx.sampler != nullptr) {

@@ -1,0 +1,458 @@
+// src/snap tests: on-disk image round-trip (bytes, geometry, cost model,
+// sparseness), COW fork isolation and laziness, typed rejection of damaged
+// images, corpus hit/miss/fallback behavior, aging determinism (corpus reuse
+// is unsound without it), remount-from-image across the whole filesystem
+// lineup, and crashmk snapshot archiving.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/aging/geriatrix.h"
+#include "src/common/units.h"
+#include "src/crashmk/explorer.h"
+#include "src/fs/fscore/fsck.h"
+#include "src/fs/registry.h"
+#include "src/fs/winefs/winefs.h"
+#include "src/pmem/device.h"
+#include "src/snap/corpus.h"
+#include "src/snap/image.h"
+
+namespace {
+
+using common::ErrorCode;
+using common::ExecContext;
+using common::kMiB;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Writes recognizable non-zero data at scattered offsets, including ones that
+// straddle chunk boundaries and the device tail.
+void ScribbleDevice(pmem::PmemDevice& dev) {
+  ExecContext ctx;
+  std::vector<uint8_t> blob(3 * 4096);
+  for (size_t i = 0; i < blob.size(); i++) {
+    blob[i] = static_cast<uint8_t>(i * 7 + 13);
+  }
+  const uint64_t offsets[] = {0,
+                              pmem::kSnapChunkBytes - 4096,
+                              5 * pmem::kSnapChunkBytes + 512,
+                              dev.size() - blob.size()};
+  for (uint64_t off : offsets) {
+    dev.Store(ctx, off, blob.data(), blob.size());
+  }
+}
+
+TEST(SnapImage, RoundTripIsByteIdentical) {
+  pmem::CostModel model;
+  model.pm_store_ns = 77;  // non-default, must survive the trip
+  pmem::PmemDevice dev(16 * kMiB, model, /*numa_nodes=*/2);
+  ScribbleDevice(dev);
+  const pmem::DeviceSnapshot snap = dev.Snapshot();
+
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(snap::SaveImage(path, snap, snap::ImageKind::kFilesystem, "test;rt").ok());
+  auto loaded = snap::LoadImage(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded->snapshot.bytes, *snap.bytes);
+  EXPECT_EQ(loaded->snapshot.numa_nodes, 2u);
+  EXPECT_EQ(loaded->snapshot.model.pm_store_ns, 77u);
+  EXPECT_EQ(loaded->info.kind, snap::ImageKind::kFilesystem);
+  EXPECT_EQ(loaded->info.provenance, "test;rt");
+  EXPECT_EQ(snap::ContentHash(loaded->snapshot), snap::ContentHash(snap));
+
+  // NUMA interleave layout must be recreatable from the stored geometry.
+  pmem::PmemDevice fork(loaded->snapshot);
+  EXPECT_EQ(fork.numa_nodes(), dev.numa_nodes());
+  EXPECT_EQ(fork.NumaNodeOf(dev.size() - 1), dev.NumaNodeOf(dev.size() - 1));
+}
+
+TEST(SnapImage, SparseImageSkipsZeroChunks) {
+  pmem::PmemDevice dev(64 * kMiB);
+  ScribbleDevice(dev);  // touches 4 chunks of 256
+  const std::string path = TempPath("sparse.snap");
+  ASSERT_TRUE(
+      snap::SaveImage(path, dev.Snapshot(), snap::ImageKind::kFilesystem, "test;sparse").ok());
+  const uint64_t file_size = std::filesystem::file_size(path);
+  EXPECT_LT(file_size, 8 * pmem::kSnapChunkBytes);  // far below the 64 MiB device
+  auto info = snap::ReadImageInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_LE(info->stored_chunks, 8u);
+  EXPECT_GE(info->stored_chunks, 4u);
+  auto loaded = snap::LoadImage(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded->snapshot.bytes, *dev.Snapshot().bytes);
+}
+
+TEST(SnapCow, ForksAreIsolatedFromBaseAndEachOther) {
+  pmem::PmemDevice dev(8 * kMiB);
+  ScribbleDevice(dev);
+  const pmem::DeviceSnapshot base = dev.Snapshot();
+
+  pmem::PmemDevice fork_a(base);
+  pmem::PmemDevice fork_b(base);
+  ExecContext ctx;
+  const uint8_t a = 0xaa;
+  const uint8_t b = 0xbb;
+  fork_a.Store(ctx, 100, &a, 1);
+  fork_b.Store(ctx, 100, &b, 1);
+
+  EXPECT_EQ((*base.bytes)[100], (*dev.Snapshot().bytes)[100]);  // base untouched
+  uint8_t got_a = 0;
+  uint8_t got_b = 0;
+  ASSERT_TRUE(fork_a.Load(ctx, 100, &got_a, 1).ok());
+  ASSERT_TRUE(fork_b.Load(ctx, 100, &got_b, 1).ok());
+  EXPECT_EQ(got_a, 0xaa);
+  EXPECT_EQ(got_b, 0xbb);
+  // Away from the written byte both forks still read the base image.
+  uint8_t far_a = 0;
+  ASSERT_TRUE(fork_a.Load(ctx, 5 * pmem::kSnapChunkBytes + 512, &far_a, 1).ok());
+  EXPECT_EQ(far_a, (*base.bytes)[5 * pmem::kSnapChunkBytes + 512]);
+}
+
+TEST(SnapCow, ForkMaterializesLazily) {
+  pmem::PmemDevice dev(32 * kMiB);
+  ScribbleDevice(dev);
+  pmem::PmemDevice fork(dev.Snapshot());
+  EXPECT_TRUE(fork.is_cow_fork());
+  EXPECT_EQ(fork.cow_chunks_copied(), 0u);
+  ExecContext ctx;
+  uint8_t byte = 0;
+  ASSERT_TRUE(fork.Load(ctx, 0, &byte, 1).ok());
+  EXPECT_EQ(fork.cow_chunks_copied(), 1u);  // one chunk of 128
+  // Whole-device access (raw) materializes everything.
+  (void)fork.raw();
+  EXPECT_FALSE(fork.is_cow_fork());
+  EXPECT_EQ(fork.cow_chunks_copied(), 32 * kMiB / pmem::kSnapChunkBytes);
+  EXPECT_EQ(std::vector<uint8_t>(fork.raw(), fork.raw() + fork.size()), *dev.Snapshot().bytes);
+}
+
+class SnapDamageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pmem::PmemDevice dev(4 * kMiB);
+    ScribbleDevice(dev);
+    path_ = TempPath("damage.snap");
+    ASSERT_TRUE(
+        snap::SaveImage(path_, dev.Snapshot(), snap::ImageKind::kFilesystem, "test;dmg").ok());
+  }
+
+  void PatchByte(uint64_t offset, uint8_t value) {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char*>(&value), 1);
+  }
+
+  std::string path_;
+};
+
+TEST_F(SnapDamageTest, BadMagicIsCorrupt) {
+  PatchByte(0, 0x00);
+  auto loaded = snap::LoadImage(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST_F(SnapDamageTest, StaleFormatVersionIsNotSupported) {
+  PatchByte(8, 99);  // format_version lives right after the 8-byte magic
+  auto loaded = snap::LoadImage(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotSupported);
+}
+
+TEST_F(SnapDamageTest, FlippedChunkByteIsCorrupt) {
+  const uint64_t size = std::filesystem::file_size(path_);
+  PatchByte(size - 1, 0xfe);  // last payload byte of the last stored chunk
+  auto loaded = snap::LoadImage(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST_F(SnapDamageTest, TruncatedFileIsIoError) {
+  const uint64_t size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 4000);
+  auto loaded = snap::LoadImage(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kIoError);
+}
+
+TEST_F(SnapDamageTest, FlippedHeaderByteIsCorrupt) {
+  PatchByte(20, 0x7f);  // inside device_bytes: header checksum must catch it
+  auto loaded = snap::LoadImage(path_);
+  ASSERT_FALSE(loaded.ok());
+  // Either the checksum flags it or the parsed geometry is nonsensical;
+  // both are kCorrupt, never success.
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorrupt);
+}
+
+snap::ImageKey TestKey(const std::string& fs_name, uint64_t device_bytes) {
+  snap::ImageKey key;
+  key.fs = fs_name;
+  key.device_bytes = device_bytes;
+  key.num_cpus = 4;
+  key.numa_nodes = 1;
+  key.profile = "unit";
+  key.seed = 3;
+  key.utilization = 0.25;
+  key.churn = 1.0;
+  key.detail = "snap_test";
+  return key;
+}
+
+// A real (small) filesystem image the corpus can fsck-validate.
+pmem::DeviceSnapshot MakeFsSnapshot(const std::string& fs_name, uint64_t device_bytes) {
+  pmem::PmemDevice dev(device_bytes);
+  auto fs = fsreg::Create(fs_name, &dev, 4);
+  ExecContext ctx;
+  EXPECT_TRUE(fs->Mkfs(ctx).ok());
+  auto fd = fs->Open(ctx, "/seed", vfs::OpenFlags::Create());
+  std::vector<uint8_t> data(20000, 0x42);
+  EXPECT_TRUE(fs->Pwrite(ctx, *fd, data.data(), data.size(), 0).ok());
+  EXPECT_TRUE(fs->Close(ctx, *fd).ok());
+  EXPECT_TRUE(fs->Unmount(ctx).ok());
+  return dev.Snapshot();
+}
+
+TEST(SnapCorpus, MissBuildsThenHitLoads) {
+  const std::string dir = TempPath("corpus_hit");
+  std::filesystem::remove_all(dir);
+  snap::Corpus corpus(dir);
+  ASSERT_TRUE(corpus.enabled());
+  const snap::ImageKey key = TestKey("winefs", 64 * kMiB);
+
+  int builds = 0;
+  auto build = [&]() -> common::Result<pmem::DeviceSnapshot> {
+    builds++;
+    return MakeFsSnapshot("winefs", 64 * kMiB);
+  };
+  auto first = corpus.LoadOrBuild(key, build);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(corpus.stats().misses, 1u);
+  EXPECT_EQ(corpus.stats().hits, 0u);
+
+  auto second = corpus.LoadOrBuild(key, build);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(builds, 1);  // served from disk
+  EXPECT_EQ(corpus.stats().hits, 1u);
+  EXPECT_EQ(*second->bytes, *first->bytes);
+}
+
+TEST(SnapCorpus, CorruptStoredImageFallsBackToRebuild) {
+  const std::string dir = TempPath("corpus_corrupt");
+  std::filesystem::remove_all(dir);
+  snap::Corpus corpus(dir);
+  const snap::ImageKey key = TestKey("winefs", 64 * kMiB);
+  auto build = [&] { return MakeFsSnapshot("winefs", 64 * kMiB); };
+  ASSERT_TRUE(corpus.LoadOrBuild(key, build).ok());
+
+  // Flip a payload byte in the stored image: the next load must reject it
+  // (typed, no crash) and transparently rebuild.
+  const std::string path = corpus.PathFor(key);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(path) - 1));
+    const char garbage = 0x5c;
+    f.write(&garbage, 1);
+  }
+  auto direct = corpus.TryLoad(key);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(corpus.stats().rejects, 1u);
+
+  auto rebuilt = corpus.LoadOrBuild(key, build);
+  ASSERT_TRUE(rebuilt.ok());
+  // The rebuild overwrote the damaged file; a further load hits cleanly.
+  auto again = corpus.TryLoad(key);
+  ASSERT_TRUE(again.ok());
+}
+
+TEST(SnapCorpus, NonFilesystemGarbageFailsFsckOnLoad) {
+  const std::string dir = TempPath("corpus_garbage");
+  std::filesystem::remove_all(dir);
+  snap::Corpus corpus(dir);
+  const snap::ImageKey key = TestKey("winefs", 8 * kMiB);
+  // A checksum-valid image whose payload is not a filesystem: header checks
+  // pass, fsck must reject it before any bench mounts it.
+  pmem::PmemDevice garbage(8 * kMiB);
+  ScribbleDevice(garbage);
+  ASSERT_TRUE(snap::SaveImage(corpus.PathFor(key), garbage.Snapshot(),
+                              snap::ImageKind::kFilesystem, key.Provenance())
+                  .ok());
+  auto loaded = corpus.TryLoad(key);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorrupt);
+  EXPECT_EQ(corpus.stats().rejects, 1u);
+}
+
+TEST(SnapCorpus, SweepChainBuildsOnceThenHits) {
+  const std::string dir = TempPath("corpus_sweep");
+  std::filesystem::remove_all(dir);
+  snap::Corpus corpus(dir);
+  std::vector<snap::ImageKey> keys;
+  for (double util : {0.10, 0.20}) {
+    snap::ImageKey key = TestKey("winefs", 64 * kMiB);
+    key.utilization = util;
+    keys.push_back(key);
+  }
+  int builds = 0;
+  auto build = [&](const snap::Corpus::SaveStepFn& save_step) {
+    builds++;
+    for (size_t i = 0; i < keys.size(); i++) {
+      save_step(i, MakeFsSnapshot("winefs", 64 * kMiB));
+    }
+    return common::OkStatus();
+  };
+  auto cold = corpus.LoadOrBuildSweep(keys, build);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(builds, 1);
+  ASSERT_EQ(cold->size(), 2u);
+  EXPECT_TRUE((*cold)[0].valid());
+
+  auto warm = corpus.LoadOrBuildSweep(keys, build);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(builds, 1);  // every step served from disk
+  EXPECT_EQ(corpus.stats().hits, 2u);
+  EXPECT_EQ(*(*warm)[1].bytes, *(*cold)[1].bytes);
+}
+
+TEST(SnapCorpus, DisabledCorpusAlwaysBuilds) {
+  snap::Corpus corpus{std::string()};
+  EXPECT_FALSE(corpus.enabled());
+  int builds = 0;
+  auto build = [&]() -> common::Result<pmem::DeviceSnapshot> {
+    builds++;
+    return MakeFsSnapshot("winefs", 64 * kMiB);
+  };
+  ASSERT_TRUE(corpus.LoadOrBuild(TestKey("winefs", 64 * kMiB), build).ok());
+  ASSERT_TRUE(corpus.LoadOrBuild(TestKey("winefs", 64 * kMiB), build).ok());
+  EXPECT_EQ(builds, 2);
+}
+
+// Corpus reuse is unsound unless aging is a pure function of
+// (profile, seed, config): same inputs must yield byte-identical images.
+TEST(SnapDeterminism, AgingIsByteIdentical) {
+  auto age_once = [](const std::string& fs_name) {
+    pmem::PmemDevice dev(64 * kMiB);
+    auto fs = fsreg::Create(fs_name, &dev, 4);
+    ExecContext ctx;
+    EXPECT_TRUE(fs->Mkfs(ctx).ok());
+    aging::AgingConfig config;
+    config.target_utilization = 0.40;
+    config.write_multiplier = 1.0;
+    config.seed = 11;
+    aging::Geriatrix geriatrix(fs.get(), aging::Profile::Agrawal(11), config);
+    EXPECT_TRUE(geriatrix.Run(ctx).ok());
+    EXPECT_TRUE(fs->Unmount(ctx).ok());
+    return snap::ContentHash(dev.Snapshot());
+  };
+  for (const char* fs_name : {"winefs", "ext4-dax", "nova"}) {
+    SCOPED_TRACE(fs_name);
+    const uint64_t h1 = age_once(fs_name);
+    const uint64_t h2 = age_once(fs_name);
+    EXPECT_EQ(h1, h2);
+    EXPECT_NE(h1, 0u);
+  }
+}
+
+// All six filesystems must remount cleanly from a loaded image and serve the
+// data written before the snapshot.
+class SnapRemountTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SnapRemountTest, RemountsFromLoadedImage) {
+  const std::string fs_name = GetParam();
+  const uint64_t device_bytes = 64 * kMiB;
+  pmem::PmemDevice dev(device_bytes);
+  auto fs = fsreg::Create(fs_name, &dev, 4);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+  ASSERT_TRUE(fs->Mkdir(ctx, "/d").ok());
+  std::vector<uint8_t> data(48 * 1024);
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<uint8_t>(i % 251);
+  }
+  auto fd = fs->Open(ctx, "/d/file", vfs::OpenFlags::Create());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(fs->Close(ctx, *fd).ok());
+  ASSERT_TRUE(fs->Unmount(ctx).ok());
+
+  const std::string path = TempPath("remount_" + fs_name + ".snap");
+  ASSERT_TRUE(
+      snap::SaveImage(path, dev.Snapshot(), snap::ImageKind::kFilesystem, "test;remount").ok());
+  auto loaded = snap::LoadImage(path);
+  ASSERT_TRUE(loaded.ok());
+
+  pmem::PmemDevice fork(loaded->snapshot);
+  auto fresh = fsreg::Create(fs_name, &fork, 4);
+  ExecContext rctx;
+  ASSERT_TRUE(fresh->Mount(rctx).ok());
+  auto rfd = fresh->Open(rctx, "/d/file", vfs::OpenFlags::ReadOnly());
+  ASSERT_TRUE(rfd.ok());
+  std::vector<uint8_t> back(data.size());
+  auto n = fresh->Pread(rctx, *rfd, back.data(), back.size(), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, back.size());
+  EXPECT_EQ(back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Filesystems, SnapRemountTest,
+                         ::testing::Values("winefs", "ext4-dax", "xfs-dax", "pmfs", "nova",
+                                           "splitfs"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// crashmk can archive explored crash states as replayable snapshots: the
+// image on disk is the pre-recovery torn state, kind=kCrashState (fsck not
+// required), and replaying it (fork + mount) reproduces a recoverable state.
+TEST(SnapCrashArchive, ArchivedStatesReplay) {
+  const std::string dir = TempPath("crash_archive");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  crashmk::Explorer::Config config;
+  config.archive_dir = dir;
+  config.archive_all = true;
+  config.max_archives = 4;
+  // Small-geometry WineFS that fits the explorer's 16 MiB device.
+  auto factory = [](pmem::PmemDevice* device) -> std::unique_ptr<vfs::FileSystem> {
+    winefs::WineFsOptions options;
+    options.base.max_inodes = 1024;
+    options.base.journal_blocks = 256;
+    options.base.num_cpus = 2;
+    return std::make_unique<winefs::WineFs>(device, options);
+  };
+  crashmk::Explorer explorer(factory, config);
+  crashmk::Workload workload{{crashmk::CrashOp::Kind::kCreate, "/newfile", "", 0, 0}};
+  const auto result = explorer.RunWorkload(workload);
+  EXPECT_TRUE(result.ok()) << result.first_failure;
+  ASSERT_GT(result.archived, 0u);
+  ASSERT_EQ(result.archive_paths.size(), result.archived);
+
+  for (const std::string& path : result.archive_paths) {
+    SCOPED_TRACE(path);
+    auto loaded = snap::LoadImage(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->info.kind, snap::ImageKind::kCrashState);
+    EXPECT_NE(loaded->info.provenance.find("crashmk;op=create /newfile"), std::string::npos);
+    // Replay: mount-time recovery must succeed on a fork of the torn image.
+    pmem::PmemDevice fork(loaded->snapshot);
+    auto fs = factory(&fork);
+    ExecContext ctx;
+    EXPECT_TRUE(fs->Mount(ctx).ok());
+  }
+}
+
+}  // namespace
