@@ -21,13 +21,20 @@
 //       additionally requires the run to have been served entirely from the
 //       corpus: snap_hits > 0, snap_misses == 0, and no builder wall time.
 //   bench_json_check --compare-metrics A.json B.json
-//       asserts both reports carry identical results[].metrics (same fs rows,
-//       same keys, same values) — the cold-aging vs corpus-load equivalence
-//       check.
+//       asserts both reports carry identical modeled results: same fs rows,
+//       same results[].metrics keys/values (keys prefixed host_ are exempt —
+//       wall-clock measurements), and bit-identical counter dumps. Used for
+//       the cold-aging vs corpus-load equivalence check and the
+//       fast-vs-reference simulator differential.
+//   bench_json_check --simperf-speedup FAST.json REF.json [min_ratio]
+//       asserts the fast simulator's per_line host throughput in
+//       BENCH_simperf.json is at least min_ratio (default 3.0) times the
+//       reference build's.
 // The CTest bench_json_schema / bench_timeseries_schema / bench_chrome_trace
 // targets run a real bench and then this binary, so rot in the reporters
 // fails the suite end-to-end.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -199,56 +206,102 @@ int CheckSnapConfig(const char* path, const obs::JsonValue& root, bool warm) {
   return 0;
 }
 
-// Both reports must carry identical results[].metrics — same fs rows in any
-// order, same metric keys, bit-identical values. This is the aged-bench
-// equivalence gate: measurements on corpus-loaded images must reproduce the
-// inline-aging numbers exactly (same seed, same simulated clock).
+// Both reports must carry identical modeled results — same fs rows in any
+// order, same metric keys, bit-identical values, and bit-identical counter
+// dumps. Metric keys prefixed "host_" (wall-clock measurements, e.g.
+// simperf's throughput numbers) are exempt: they describe the machine the
+// bench ran on, not the simulation. This is both the aged-bench equivalence
+// gate (corpus-loaded images must reproduce inline-aging numbers) and the
+// fast-vs-reference simulator differential gate.
 int CompareMetrics(const char* path_a, const obs::JsonValue& a, const char* path_b,
                    const obs::JsonValue& b) {
-  auto collect = [](const obs::JsonValue& root) {
+  auto collect = [](const obs::JsonValue& root, const char* section) {
     std::map<std::string, std::map<std::string, double>> out;
     for (const obs::JsonValue& row : root.Find("results")->array) {
-      auto& metrics = out[row.Find("fs")->string_value];
-      const obs::JsonValue* m = row.Find("metrics");
+      auto& values = out[row.Find("fs")->string_value];
+      const obs::JsonValue* m = row.Find(section);
       if (m != nullptr && m->is_object()) {
         for (const auto& [key, value] : m->object) {
-          metrics[key] = value.number_value;
+          if (key.rfind("host_", 0) == 0) {
+            continue;  // host wall-clock measurement, legitimately differs
+          }
+          values[key] = value.number_value;
         }
       }
     }
     return out;
   };
-  const auto ma = collect(a);
-  const auto mb = collect(b);
-  if (ma.size() != mb.size()) {
-    return Fail(path_b, "fs row count differs: " + std::to_string(ma.size()) + " vs " +
-                            std::to_string(mb.size()));
-  }
   size_t compared = 0;
-  for (const auto& [fs, metrics] : ma) {
-    auto it = mb.find(fs);
-    if (it == mb.end()) {
-      return Fail(path_b, "missing fs row '" + fs + "'");
+  size_t rows = 0;
+  for (const char* section : {"metrics", "counters"}) {
+    const auto ma = collect(a, section);
+    const auto mb = collect(b, section);
+    if (ma.size() != mb.size()) {
+      return Fail(path_b, "fs row count differs: " + std::to_string(ma.size()) + " vs " +
+                              std::to_string(mb.size()));
     }
-    if (it->second.size() != metrics.size()) {
-      return Fail(path_b, "fs '" + fs + "' metric count differs");
-    }
-    for (const auto& [key, value] : metrics) {
-      auto mit = it->second.find(key);
-      if (mit == it->second.end()) {
-        return Fail(path_b, "fs '" + fs + "' lacks metric " + key);
+    rows = ma.size();
+    for (const auto& [fs, values] : ma) {
+      auto it = mb.find(fs);
+      if (it == mb.end()) {
+        return Fail(path_b, "missing fs row '" + fs + "'");
       }
-      if (mit->second != value) {
-        char why[256];
-        std::snprintf(why, sizeof(why), "fs '%s' metric %s differs: %.17g vs %.17g",
-                      fs.c_str(), key.c_str(), value, mit->second);
-        return Fail(path_b, why);
+      if (it->second.size() != values.size()) {
+        return Fail(path_b, "fs '" + fs + "' " + section + " count differs");
       }
-      compared++;
+      for (const auto& [key, value] : values) {
+        auto mit = it->second.find(key);
+        if (mit == it->second.end()) {
+          return Fail(path_b, "fs '" + fs + "' lacks " + std::string(section) + " " + key);
+        }
+        if (mit->second != value) {
+          char why[256];
+          std::snprintf(why, sizeof(why), "fs '%s' %s %s differs: %.17g vs %.17g",
+                        fs.c_str(), section, key.c_str(), value, mit->second);
+          return Fail(path_b, why);
+        }
+        compared++;
+      }
     }
   }
-  std::printf("%s == %s: %zu metrics identical across %zu fs rows\n", path_a, path_b,
-              compared, ma.size());
+  std::printf("%s == %s: %zu modeled values identical across %zu fs rows\n", path_a, path_b,
+              compared, rows);
+  return 0;
+}
+
+// Reads fs row `fs`'s metric `key` from a parsed report.
+const obs::JsonValue* FindMetric(const obs::JsonValue& root, const std::string& fs,
+                                 const std::string& key) {
+  for (const obs::JsonValue& row : root.Find("results")->array) {
+    if (row.Find("fs")->string_value != fs) {
+      continue;
+    }
+    const obs::JsonValue* m = row.Find("metrics");
+    return m != nullptr && m->is_object() ? m->Find(key) : nullptr;
+  }
+  return nullptr;
+}
+
+// Asserts the fast simulator's per_line host throughput is at least
+// `min_ratio` times the reference build's (both from BENCH_simperf.json).
+int CheckSimperfSpeedup(const char* path_fast, const obs::JsonValue& fast,
+                        const char* path_ref, const obs::JsonValue& ref, double min_ratio) {
+  const obs::JsonValue* f = FindMetric(fast, "per_line", "host_mops_per_sec");
+  const obs::JsonValue* r = FindMetric(ref, "per_line", "host_mops_per_sec");
+  if (f == nullptr || !f->is_number()) {
+    return Fail(path_fast, "no per_line host_mops_per_sec metric");
+  }
+  if (r == nullptr || !r->is_number() || r->number_value <= 0) {
+    return Fail(path_ref, "no usable per_line host_mops_per_sec metric");
+  }
+  const double ratio = f->number_value / r->number_value;
+  std::printf("simperf per_line speedup: %.2fx (fast %.2f Mops/s vs reference %.2f Mops/s)\n",
+              ratio, f->number_value, r->number_value);
+  if (ratio < min_ratio) {
+    char why[128];
+    std::snprintf(why, sizeof(why), "speedup %.2fx below required %.2fx", ratio, min_ratio);
+    return Fail(path_fast, why);
+  }
   return 0;
 }
 
@@ -275,9 +328,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (std::strcmp(argv[1], "--compare-metrics") == 0) {
+  if (std::strcmp(argv[1], "--compare-metrics") == 0 ||
+      std::strcmp(argv[1], "--simperf-speedup") == 0) {
     if (argc < 4) {
-      std::fprintf(stderr, "usage: %s --compare-metrics A.json B.json\n", argv[0]);
+      std::fprintf(stderr, "usage: %s %s A.json B.json\n", argv[0], argv[1]);
       return 2;
     }
     bool ok_a = false;
@@ -301,6 +355,10 @@ int main(int argc, char** argv) {
     auto b = obs::JsonValue::Parse(text_b);
     if (!a.ok() || !b.ok()) {
       return Fail(argv[2], "parse failed after validation");
+    }
+    if (std::strcmp(argv[1], "--simperf-speedup") == 0) {
+      const double min_ratio = argc > 4 ? std::atof(argv[4]) : 3.0;
+      return CheckSimperfSpeedup(argv[2], *a, argv[3], *b, min_ratio);
     }
     return CompareMetrics(argv[2], *a, argv[3], *b);
   }

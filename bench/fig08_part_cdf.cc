@@ -26,6 +26,7 @@ struct CdfResult {
   uint64_t tlb_walks = 0;
   uint64_t llc_misses = 0;
   common::PerfCounters counters;
+  uint64_t sim_end_ns = 0;
 };
 
 CdfResult Measure(const std::string& fs_name) {
@@ -70,6 +71,7 @@ CdfResult Measure(const std::string& fs_name) {
   out.tlb_walks = ctx.counters.tlb_l2_misses - counters0.tlb_l2_misses;
   out.llc_misses = ctx.counters.llc_misses - counters0.llc_misses;
   out.counters = ctx.counters;
+  out.sim_end_ns = ctx.clock.NowNs();
   return out;
 }
 
@@ -98,6 +100,8 @@ int main() {
     report.AddMetric(fs_name, "p99_ns", static_cast<double>(r.hist.Percentile(99)));
     report.AddMetric(fs_name, "tlb_walks", static_cast<double>(r.tlb_walks));
     report.AddMetric(fs_name, "llc_misses", static_cast<double>(r.llc_misses));
+    // Final simulated-clock reading, diffed fast-vs-reference by CI.
+    report.AddMetric(fs_name, "sim_clock_end_ns", static_cast<double>(r.sim_end_ns));
     report.ForFs(fs_name).latencies.push_back(obs::SummarizeHistogram("part_lookup", r.hist));
     report.SetCounters(fs_name, r.counters);
     results[fs_name] = std::move(r);

@@ -100,7 +100,6 @@ class PmemDevice {
     const_cast<PmemDevice*>(this)->Touch(offset, len);
     return data_.data() + offset;
   }
-
   // --- Store/load API used by filesystems (syscall paths) ---------------
 
   // Regular (cached) store: data is volatile until Clwb+Fence.

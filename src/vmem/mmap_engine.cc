@@ -82,7 +82,8 @@ void MmapEngine::SampleGauges(obs::GaugeSample& out) {
 uint64_t MmapEngine::ChargeWalk(ExecContext& ctx, const WalkResult& walk) {
   uint64_t ns = 0;
   CpuState& state = cpu(ctx);
-  for (uint64_t line : walk.pte_lines) {
+  for (uint32_t i = 0; i < walk.pte_line_count; i++) {
+    const uint64_t line = walk.pte_lines[i];
     if (state.llc.Access(line)) {
       ns += device_->cost().llc_hit_ns;
       ctx.counters.llc_hits++;
@@ -175,6 +176,24 @@ Result<uint64_t> MappedFile::TranslateByte(ExecContext& ctx, uint64_t offset, bo
     }
   }
 
+  return TranslateMiss(ctx, offset, write, walk_ns_out);
+}
+
+Result<uint64_t> MappedFile::TranslateMiss(ExecContext& ctx, uint64_t offset, bool write,
+                                           uint64_t* walk_ns_out) {
+  uint64_t walk_ns = 0;
+  const uint64_t vaddr = va_base_ + offset;
+  const size_t chunk_idx = offset / kHugepageSize;
+  Chunk& chunk = chunks_[chunk_idx];
+  Tlb& tlb = engine_->cpu(ctx).tlb;
+
+  auto finish = [&](uint64_t phys) -> Result<uint64_t> {
+    if (walk_ns_out != nullptr) {
+      *walk_ns_out = walk_ns;
+    }
+    return phys;
+  };
+
   // TLB miss: walk the page table (PTE lines go through the LLC).
   const WalkResult walk = engine_->page_table().Walk(vaddr);
   walk_ns += engine_->ChargeWalk(ctx, walk);
@@ -233,18 +252,39 @@ Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uin
   const pmem::CostModel& cost = engine_->device().cost();
   while (len > 0) {
     const uint64_t page_end = common::RoundDown(offset, kBlockSize) + kBlockSize;
-    const uint64_t span = std::min<uint64_t>(len, page_end - offset);
+    const uint64_t first = std::min<uint64_t>(len, page_end - offset);
     ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
-    std::memcpy(engine_->device().raw_span(phys, span), cursor, span);
-    const uint64_t copy_ns = cost.SeqWriteBytes(span);
+    uint64_t run = first;
+    uint64_t copy_ns = cost.SeqWriteBytes(first);
+    const size_t chunk_idx = offset / kHugepageSize;
+    if (chunks_[chunk_idx].state == ChunkState::kHuge) {
+      // One PMD entry covers the rest of this chunk, and the translation above
+      // left it at the front of the L1 TLB, so every further page the per-page
+      // loop would visit is a guaranteed L1 hit with zero modeled latency.
+      // Charge those hits in bulk and copy the whole run with one memcpy. The
+      // copy cost is still summed per 4 KB fragment: SeqWriteBytes rounds up
+      // to cachelines per call, so charging the run in one call would diverge
+      // for unaligned first/last fragments.
+      const uint64_t chunk_end = (chunk_idx + 1) * kHugepageSize;
+      const uint64_t rest = std::min<uint64_t>(len, chunk_end - offset) - first;
+      const uint64_t full_pages = rest / kBlockSize;
+      const uint64_t tail = rest % kBlockSize;
+      run += rest;
+      copy_ns += full_pages * cost.SeqWriteBytes(kBlockSize);
+      if (tail != 0) {
+        copy_ns += cost.SeqWriteBytes(tail);
+      }
+      ctx.counters.tlb_hits += full_pages + (tail != 0 ? 1 : 0);
+    }
+    std::memcpy(engine_->device().raw_span(phys, run), cursor, run);
     {
-      obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, span);
+      obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, run);
       ctx.clock.Advance(copy_ns);
     }
-    ctx.counters.pm_write_bytes += span;
-    offset += span;
-    cursor += span;
-    len -= span;
+    ctx.counters.pm_write_bytes += run;
+    offset += run;
+    cursor += run;
+    len -= run;
   }
   // Mapped access bypasses syscalls (and their OpScope sampling hook), so
   // mmap-heavy phases drive the periodic gauge sampler from here.
@@ -262,18 +302,32 @@ Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t l
   const pmem::CostModel& cost = engine_->device().cost();
   while (len > 0) {
     const uint64_t page_end = common::RoundDown(offset, kBlockSize) + kBlockSize;
-    const uint64_t span = std::min<uint64_t>(len, page_end - offset);
+    const uint64_t first = std::min<uint64_t>(len, page_end - offset);
     ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
-    std::memcpy(cursor, engine_->device().raw_span(phys, span), span);
-    const uint64_t copy_ns = cost.SeqReadBytes(span);
+    uint64_t run = first;
+    uint64_t copy_ns = cost.SeqReadBytes(first);
+    const size_t chunk_idx = offset / kHugepageSize;
+    if (chunks_[chunk_idx].state == ChunkState::kHuge) {
+      const uint64_t chunk_end = (chunk_idx + 1) * kHugepageSize;
+      const uint64_t rest = std::min<uint64_t>(len, chunk_end - offset) - first;
+      const uint64_t full_pages = rest / kBlockSize;
+      const uint64_t tail = rest % kBlockSize;
+      run += rest;
+      copy_ns += full_pages * cost.SeqReadBytes(kBlockSize);
+      if (tail != 0) {
+        copy_ns += cost.SeqReadBytes(tail);
+      }
+      ctx.counters.tlb_hits += full_pages + (tail != 0 ? 1 : 0);
+    }
+    std::memcpy(cursor, engine_->device().raw_span(phys, run), run);
     {
-      obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, span);
+      obs::ScopedSpan copy_span(ctx, obs::SpanCat::kDataCopy, run);
       ctx.clock.Advance(copy_ns);
     }
-    ctx.counters.pm_read_bytes += span;
-    offset += span;
-    cursor += span;
-    len -= span;
+    ctx.counters.pm_read_bytes += run;
+    offset += run;
+    cursor += run;
+    len -= run;
   }
   if (ctx.sampler != nullptr) {
     ctx.sampler->MaybeSample(ctx);
@@ -281,39 +335,171 @@ Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t l
   return common::OkStatus();
 }
 
-Result<uint64_t> MappedFile::LoadLine(ExecContext& ctx, uint64_t offset, void* dst64) {
+Status MappedFile::LineAccess(ExecContext& ctx, uint64_t offset, bool write, void* data,
+                              uint64_t* latency_ns_out) {
   const uint64_t start = ctx.clock.NowNs();
-  ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/false, nullptr));
-  engine_->ChargeDataLine(ctx, common::RoundDown(phys, kCacheline));
-  if (dst64 != nullptr) {
-    std::memcpy(dst64, engine_->device().raw_span(phys, 8), 8);
+  auto phys = TranslateByte(ctx, offset, write, nullptr);
+  if (!phys.ok()) {
+    return phys.status();
   }
-  ctx.counters.pm_read_bytes += kCacheline;
+  engine_->ChargeDataLine(ctx, common::RoundDown(*phys, kCacheline));
+  if (write) {
+    if (data != nullptr) {
+      std::memcpy(engine_->device().raw_span(*phys, 8), data, 8);
+    }
+    ctx.counters.pm_write_bytes += kCacheline;
+  } else {
+    if (data != nullptr) {
+      std::memcpy(data, engine_->device().raw_span(*phys, 8), 8);
+    }
+    ctx.counters.pm_read_bytes += kCacheline;
+  }
   if (ctx.sampler != nullptr) {
     ctx.sampler->MaybeSample(ctx);
   }
-  return ctx.clock.NowNs() - start;
+  if (latency_ns_out != nullptr) {
+    *latency_ns_out = ctx.clock.NowNs() - start;
+  }
+  return common::OkStatus();
+}
+
+Result<uint64_t> MappedFile::LoadLine(ExecContext& ctx, uint64_t offset, void* dst64) {
+  uint64_t latency = 0;
+  const Status status = LineAccess(ctx, offset, /*write=*/false, dst64, &latency);
+  if (!status.ok()) {
+    return status;
+  }
+  return latency;
 }
 
 Result<uint64_t> MappedFile::StoreLine(ExecContext& ctx, uint64_t offset, const void* src64) {
-  const uint64_t start = ctx.clock.NowNs();
-  ASSIGN_OR_RETURN(const uint64_t phys, TranslateByte(ctx, offset, /*write=*/true, nullptr));
-  engine_->ChargeDataLine(ctx, common::RoundDown(phys, kCacheline));
-  if (src64 != nullptr) {
-    std::memcpy(engine_->device().raw_span(phys, 8), src64, 8);
+  uint64_t latency = 0;
+  const Status status =
+      LineAccess(ctx, offset, /*write=*/true, const_cast<void*>(src64), &latency);
+  if (!status.ok()) {
+    return status;
   }
-  ctx.counters.pm_write_bytes += kCacheline;
-  if (ctx.sampler != nullptr) {
-    ctx.sampler->MaybeSample(ctx);
+  return latency;
+}
+
+Status MappedFile::AccessLines(ExecContext& ctx, LineOp* ops, size_t count, bool write) {
+  if (engine_->params().reference_sim) {
+    // Reference simulator: the pre-overhaul shape — one LoadLine/StoreLine
+    // round trip (with its Result plumbing) per line, exactly as fig04 and the
+    // pointer-chasing workloads issued accesses before batching existed.
+    for (size_t i = 0; i < count; i++) {
+      LineOp& op = ops[i];
+      auto latency = write ? StoreLine(ctx, op.offset, &op.value)
+                           : LoadLine(ctx, op.offset, &op.value);
+      if (!latency.ok()) {
+        return latency.status();
+      }
+      op.latency_ns = *latency;
+    }
+    return common::OkStatus();
   }
-  return ctx.clock.NowNs() - start;
+
+  // Fast simulator: CPU state and cost constants hoisted once per batch, the
+  // TLB-hit translation and LLC data-line charge inlined, and no Result or
+  // Status objects on the hit path. Modeled events (counter ticks, clock
+  // advances, sampler polls) are emitted exactly as LineAccess would emit
+  // them one op at a time; only misses fall back to the out-of-line walk and
+  // fault machinery.
+  MmapEngine::CpuState& cpu_state = engine_->cpu(ctx);
+  Tlb& tlb = cpu_state.tlb;
+  LlcCache& llc = cpu_state.llc;
+  pmem::PmemDevice& dev = engine_->device();
+  const pmem::CostModel& cost = dev.cost();
+  const uint64_t dev_size = dev.size();
+  common::PerfCounters& counters = ctx.counters;
+  for (size_t i = 0; i < count; i++) {
+    LineOp& op = ops[i];
+    const uint64_t offset = op.offset;
+    if (offset >= length_ || (write && !writable_)) {
+      return Status(ErrorCode::kInvalidArgument);
+    }
+    const uint64_t start = ctx.clock.NowNs();
+    const Chunk& chunk = chunks_[offset / kHugepageSize];
+    uint64_t phys = 0;
+    bool translated = false;
+    if (chunk.state == ChunkState::kHuge) {
+      const TlbResult hit = tlb.Lookup(va_base_ + offset, /*huge=*/true);
+      if (hit != TlbResult::kMiss) {
+        if (hit == TlbResult::kL1Hit) {
+          counters.tlb_hits++;
+        } else {
+          counters.tlb_l1_misses++;
+          ctx.clock.Advance(kStlbHitNs);
+        }
+        phys = chunk.huge_phys + offset % kHugepageSize;
+        translated = true;
+      }
+    } else if (chunk.state == ChunkState::kBase && !chunk.page_phys.empty()) {
+      const uint64_t page_phys = chunk.page_phys[(offset % kHugepageSize) / kBlockSize];
+      if (page_phys != 0) {
+        const TlbResult hit = tlb.Lookup(va_base_ + offset, /*huge=*/false);
+        if (hit != TlbResult::kMiss) {
+          if (hit == TlbResult::kL1Hit) {
+            counters.tlb_hits++;
+          } else {
+            counters.tlb_l1_misses++;
+            ctx.clock.Advance(kStlbHitNs);
+          }
+          phys = page_phys + offset % kBlockSize;
+          translated = true;
+        }
+      }
+    }
+    if (!translated) {
+      auto slow = TranslateMiss(ctx, offset, write, nullptr);
+      if (!slow.ok()) {
+        return slow.status();
+      }
+      phys = *slow;
+    }
+    // ChargeDataLine, inlined against the hoisted CPU state.
+    const uint64_t line = phys & ~(kCacheline - 1);
+    uint64_t line_ns;
+    if (llc.Access(line)) {
+      line_ns = cost.llc_hit_ns;
+      counters.llc_hits++;
+    } else {
+      line_ns = line < dev_size ? cost.pm_load_random_ns : cost.dram_load_ns;
+      counters.llc_misses++;
+    }
+    ctx.clock.Advance(line_ns);
+    if (write) {
+      std::memcpy(dev.raw_span(phys, 8), &op.value, 8);
+      counters.pm_write_bytes += kCacheline;
+    } else {
+      std::memcpy(&op.value, dev.raw_span(phys, 8), 8);
+      counters.pm_read_bytes += kCacheline;
+    }
+    if (ctx.sampler != nullptr) {
+      ctx.sampler->MaybeSample(ctx);
+    }
+    op.latency_ns = ctx.clock.NowNs() - start;
+  }
+  return common::OkStatus();
 }
 
 Status MappedFile::Prefault(ExecContext& ctx, bool write) {
-  for (uint64_t offset = 0; offset < length_; offset += kBlockSize) {
+  uint64_t offset = 0;
+  while (offset < length_) {
     auto phys = TranslateByte(ctx, offset, write, nullptr);
     if (!phys.ok()) {
       return phys.status();
+    }
+    const size_t chunk_idx = offset / kHugepageSize;
+    if (chunks_[chunk_idx].state == ChunkState::kHuge) {
+      // The rest of this chunk's 4 KB steps would all be L1 TLB hits against
+      // the entry just installed/refreshed — no clock movement, one tlb_hits
+      // tick each. Skip straight to the next chunk.
+      const uint64_t chunk_end = std::min((chunk_idx + 1) * kHugepageSize, length_);
+      ctx.counters.tlb_hits += (chunk_end - 1) / kBlockSize - offset / kBlockSize;
+      offset = chunk_end;
+    } else {
+      offset += kBlockSize;
     }
   }
   return common::OkStatus();

@@ -46,6 +46,13 @@ class FaultHandler {
 
 class MmapEngine;
 
+// One batched single-cacheline access; see MappedFile::AccessLines.
+struct LineOp {
+  uint64_t offset = 0;      // byte offset within the mapping
+  uint64_t value = 0;       // loads: first 8 bytes read; stores: 8 bytes to write
+  uint64_t latency_ns = 0;  // out: modeled latency of this access
+};
+
 // One mmap'd file region. All accesses go through the cost-accounted APIs.
 class MappedFile {
  public:
@@ -55,8 +62,12 @@ class MappedFile {
   uint64_t va_base() const { return va_base_; }
   uint64_t ino() const { return ino_; }
 
-  // Bulk sequential access (memcpy-style): translation checked per page,
-  // data charged at streaming rates, bytes actually copied to/from the device.
+  // Bulk sequential access (memcpy-style): data charged at streaming rates,
+  // bytes actually copied to/from the device. Translation is modeled per 4 KB
+  // page, but a run of pages inside one huge-mapped chunk is translated once
+  // and copied with a single memcpy of up to 2 MB — the per-page TLB hits the
+  // reference loop would record are charged in bulk, so counters and the
+  // simulated clock are identical either way.
   common::Status Write(common::ExecContext& ctx, uint64_t offset, const void* src,
                        uint64_t len);
   common::Status Read(common::ExecContext& ctx, uint64_t offset, void* dst, uint64_t len);
@@ -67,6 +78,12 @@ class MappedFile {
   common::Result<uint64_t> LoadLine(common::ExecContext& ctx, uint64_t offset, void* dst64);
   common::Result<uint64_t> StoreLine(common::ExecContext& ctx, uint64_t offset,
                                      const void* src64);
+
+  // Batched cacheline accesses: modeled events (TLB, LLC, clock, counters,
+  // sampler polls) are emitted exactly as if LoadLine/StoreLine were called
+  // once per op, but Result/latency plumbing is amortized across the batch.
+  // Stops at the first failing op and returns its status.
+  common::Status AccessLines(common::ExecContext& ctx, LineOp* ops, size_t count, bool write);
 
   // Faults in every page of the mapping (MAP_POPULATE-style).
   common::Status Prefault(common::ExecContext& ctx, bool write);
@@ -96,6 +113,19 @@ class MappedFile {
   // Returns the device offset of `offset`'s byte, faulting if needed.
   common::Result<uint64_t> TranslateByte(common::ExecContext& ctx, uint64_t offset, bool write,
                                          uint64_t* walk_ns_out);
+
+  // Slow tail of TranslateByte after a TLB miss: page walk, TLB refill, and
+  // (if the translation is absent) fault dispatch. Split out so AccessLines'
+  // batched loop can inline the TLB-hit cases and fall back here without
+  // repeating the lookup.
+  common::Result<uint64_t> TranslateMiss(common::ExecContext& ctx, uint64_t offset, bool write,
+                                         uint64_t* walk_ns_out);
+
+  // Shared body of LoadLine/StoreLine/AccessLines. `data` may be null (charge
+  // the access without moving bytes, matching the nullable LoadLine/StoreLine
+  // arguments); `latency_ns_out` may be null.
+  common::Status LineAccess(common::ExecContext& ctx, uint64_t offset, bool write, void* data,
+                            uint64_t* latency_ns_out);
 
   MmapEngine* engine_;
   FaultHandler* handler_;

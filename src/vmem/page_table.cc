@@ -78,7 +78,8 @@ WalkResult PageTable::Walk(uint64_t vaddr) const {
   for (int level = 0; level < kLevels; level++) {
     const uint32_t idx = IndexAt(vaddr, level);
     // The walk reads the 8-byte entry; record its cacheline address.
-    result.pte_lines.push_back(node->phys_base + common::RoundDown(idx * 8, common::kCacheline));
+    result.pte_lines[result.pte_line_count++] =
+        node->phys_base + common::RoundDown(idx * 8, common::kCacheline);
     const Pte& pte = node->entries[idx];
     if (pte.present) {
       result.pte = pte;

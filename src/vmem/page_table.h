@@ -7,7 +7,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 namespace vmem {
 
@@ -20,8 +19,11 @@ struct Pte {
 
 struct WalkResult {
   Pte pte;
-  // DRAM line addresses of the page-table entries read, root to leaf.
-  std::vector<uint64_t> pte_lines;
+  // DRAM line addresses of the page-table entries read, root to leaf. Fixed
+  // array (a walk touches at most 4 levels) so returning a WalkResult never
+  // allocates — Walk sits on the translation hot path.
+  std::array<uint64_t, 4> pte_lines{};
+  uint32_t pte_line_count = 0;
 };
 
 class PageTable {

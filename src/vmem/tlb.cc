@@ -1,10 +1,27 @@
 #include "src/vmem/tlb.h"
 
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
 #include "src/common/units.h"
 
 namespace vmem {
 
-bool Tlb::LruSet::Touch(uint64_t key) {
+bool MmuParams::DefaultReferenceSim() {
+  // Environment override first, so one build tree can run both simulators
+  // (the differential CTest fixtures and the CI golden guard depend on it).
+  if (const char* env = std::getenv("WINEFS_REFERENCE_SIM"); env != nullptr && *env != '\0') {
+    return std::strcmp(env, "0") != 0;
+  }
+#ifdef WINEFS_REFERENCE_SIM
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool ReferenceLruSet::Touch(uint64_t key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     return false;
@@ -13,7 +30,7 @@ bool Tlb::LruSet::Touch(uint64_t key) {
   return true;
 }
 
-void Tlb::LruSet::Insert(uint64_t key) {
+void ReferenceLruSet::Insert(uint64_t key) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     order_.splice(order_.begin(), order_, it->second);
@@ -27,7 +44,7 @@ void Tlb::LruSet::Insert(uint64_t key) {
   index_[key] = order_.begin();
 }
 
-void Tlb::LruSet::Erase(uint64_t key) {
+void ReferenceLruSet::Erase(uint64_t key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     return;
@@ -36,30 +53,167 @@ void Tlb::LruSet::Erase(uint64_t key) {
   index_.erase(it);
 }
 
-void Tlb::LruSet::Clear() {
+void ReferenceLruSet::Clear() {
   order_.clear();
   index_.clear();
 }
 
-Tlb::Tlb(const MmuParams& params)
-    : l1_4k_(params.l1_tlb_4k_entries),
-      l1_2m_(params.l1_tlb_2m_entries),
-      l2_(params.l2_tlb_entries) {}
+namespace {
 
-uint64_t Tlb::PageNumber(uint64_t vaddr, bool huge) {
-  // Tag with the size bit so 4 KB and 2 MB entries never alias in L2.
-  const uint64_t page = huge ? vaddr / common::kHugepageSize : vaddr / common::kBlockSize;
-  return (page << 1) | (huge ? 1 : 0);
+uint32_t NextPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
 }
 
-TlbResult Tlb::Lookup(uint64_t vaddr, bool huge) {
-  const uint64_t key = PageNumber(vaddr, huge);
-  LruSet& l1 = huge ? l1_2m_ : l1_4k_;
-  if (l1.Touch(key)) {
+}  // namespace
+
+SlotIndex::SlotIndex(uint32_t capacity) {
+  // Load factor <= 0.5 keeps linear-probe chains short under full occupancy.
+  const uint32_t buckets = NextPow2(capacity < 8 ? 16 : capacity * 2);
+  mask_ = buckets - 1;
+  key_of_.resize(buckets, 0);
+  slot_of_.resize(buckets, kNil);
+}
+
+void SlotIndex::Insert(uint64_t key, uint32_t slot) {
+  uint32_t b = BucketOf(key, mask_);
+  while (slot_of_[b] != kNil) {
+    b = (b + 1) & mask_;
+  }
+  key_of_[b] = key;
+  slot_of_[b] = slot;
+}
+
+void SlotIndex::Erase(uint64_t key) {
+  uint32_t i = Find(key);
+  assert(i != kNil);
+  // Backward-shift deletion keeps probe chains tombstone-free: walk the
+  // cluster after `i` and pull back any entry whose ideal bucket makes the
+  // vacated position reachable.
+  uint32_t j = i;
+  while (true) {
+    slot_of_[i] = kNil;
+    uint32_t ideal;
+    do {
+      j = (j + 1) & mask_;
+      if (slot_of_[j] == kNil) {
+        return;
+      }
+      ideal = BucketOf(key_of_[j], mask_);
+      // Keep scanning while entry j still lies on its own probe path if left
+      // in place, i.e. moving it to `i` would skip its ideal bucket.
+    } while (i <= j ? (i < ideal && ideal <= j) : (i < ideal || ideal <= j));
+    key_of_[i] = key_of_[j];
+    slot_of_[i] = slot_of_[j];
+    i = j;
+  }
+}
+
+void SlotIndex::Clear() {
+  std::fill(slot_of_.begin(), slot_of_.end(), kNil);
+}
+
+FlatLruSet::FlatLruSet(uint32_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    return;  // placeholder for the inactive implementation; never used
+  }
+  slots_.resize(capacity_);
+  free_.reserve(capacity_);
+  index_ = SlotIndex(capacity_);
+}
+
+void FlatLruSet::Insert(uint64_t key) {
+  const uint32_t b = index_.Find(key);
+  if (b != SlotIndex::kNil) {
+    MoveToFront(index_.SlotAt(b));
+    return;
+  }
+  uint32_t slot;
+  if (size_ >= capacity_) {
+    slot = tail_;  // evict LRU, reuse its slot
+    Unlink(slot);
+    index_.Erase(slots_[slot].key);
+  } else if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    size_++;
+  } else {
+    slot = size_++;
+  }
+  slots_[slot].key = key;
+  PushFront(slot);
+  index_.Insert(key, slot);
+}
+
+void FlatLruSet::Erase(uint64_t key) {
+  const uint32_t b = index_.Find(key);
+  if (b == SlotIndex::kNil) {
+    return;
+  }
+  const uint32_t slot = index_.SlotAt(b);
+  Unlink(slot);
+  index_.Erase(key);
+  free_.push_back(slot);
+  size_--;
+}
+
+void FlatLruSet::Clear() {
+  if (capacity_ == 0) {
+    return;
+  }
+  size_ = 0;
+  head_ = kNil;
+  tail_ = kNil;
+  free_.clear();
+  index_.Clear();
+}
+
+SmallLruSet::SmallLruSet(uint32_t capacity) : capacity_(capacity) {
+  assert(capacity_ <= kMaxCapacity);
+}
+
+void SmallLruSet::Insert(uint64_t key) {
+  const uint32_t hit = Probe(key);
+  if (hit != kNil) {
+    MoveToFront(hit);
+    return;
+  }
+  InsertAbsent(key);
+}
+
+void SmallLruSet::Erase(uint64_t key) {
+  const uint32_t slot = Probe(key);
+  if (slot == kNil) {
+    return;
+  }
+  Unlink(slot);
+  valid_ &= ~(1ull << slot);  // the stale signature lane is masked by valid_
+}
+
+void SmallLruSet::Clear() {
+  valid_ = 0;
+  head_ = kNil;
+  tail_ = kNil;
+}
+
+Tlb::Tlb(const MmuParams& params)
+    : reference_(params.reference_sim),
+      f_l1_4k_(reference_ ? 0 : params.l1_tlb_4k_entries),
+      f_l1_2m_(reference_ ? 0 : params.l1_tlb_2m_entries),
+      f_l2_(reference_ ? 0 : params.l2_tlb_entries),
+      r_l1_4k_(params.l1_tlb_4k_entries),
+      r_l1_2m_(params.l1_tlb_2m_entries),
+      r_l2_(params.l2_tlb_entries) {}
+
+TlbResult Tlb::LookupReference(uint64_t key, bool huge) {
+  if ((huge ? r_l1_2m_ : r_l1_4k_).Touch(key)) {
     return TlbResult::kL1Hit;
   }
-  if (l2_.Touch(key)) {
-    l1.Insert(key);
+  if (r_l2_.Touch(key)) {
+    (huge ? r_l1_2m_ : r_l1_4k_).Insert(key);
     return TlbResult::kL2Hit;
   }
   return TlbResult::kMiss;
@@ -67,20 +221,36 @@ TlbResult Tlb::Lookup(uint64_t vaddr, bool huge) {
 
 void Tlb::Insert(uint64_t vaddr, bool huge) {
   const uint64_t key = PageNumber(vaddr, huge);
-  (huge ? l1_2m_ : l1_4k_).Insert(key);
-  l2_.Insert(key);
+  if (reference_) {
+    (huge ? r_l1_2m_ : r_l1_4k_).Insert(key);
+    r_l2_.Insert(key);
+    return;
+  }
+  (huge ? f_l1_2m_ : f_l1_4k_).Insert(key);
+  f_l2_.Insert(key);
 }
 
 void Tlb::InvalidatePage(uint64_t vaddr, bool huge) {
   const uint64_t key = PageNumber(vaddr, huge);
-  (huge ? l1_2m_ : l1_4k_).Erase(key);
-  l2_.Erase(key);
+  if (reference_) {
+    (huge ? r_l1_2m_ : r_l1_4k_).Erase(key);
+    r_l2_.Erase(key);
+    return;
+  }
+  (huge ? f_l1_2m_ : f_l1_4k_).Erase(key);
+  f_l2_.Erase(key);
 }
 
 void Tlb::Flush() {
-  l1_4k_.Clear();
-  l1_2m_.Clear();
-  l2_.Clear();
+  if (reference_) {
+    r_l1_4k_.Clear();
+    r_l1_2m_.Clear();
+    r_l2_.Clear();
+    return;
+  }
+  f_l1_4k_.Clear();
+  f_l1_2m_.Clear();
+  f_l2_.Clear();
 }
 
 }  // namespace vmem

@@ -108,15 +108,14 @@ Result<uint32_t> MmapBtree::Get(ExecContext& ctx, uint64_t key, void* out) {
     return ErrorCode::kNotFound;
   }
   // Walk the branch path (root + one level) then read the cell: two small
-  // mapped reads + the value read.
-  uint64_t probe;
-  auto l1 = map_->LoadLine(ctx, 0, &probe);
-  if (!l1.ok()) {
-    return l1.status();
-  }
-  auto l2 = map_->LoadLine(ctx, PageOffset(it->second.page), &probe);
-  if (!l2.ok()) {
-    return l2.status();
+  // mapped reads + the value read. Both probe offsets are known upfront, so
+  // they go out as one batch.
+  vmem::LineOp probes[2];
+  probes[0].offset = 0;
+  probes[1].offset = PageOffset(it->second.page);
+  const Status probed = map_->AccessLines(ctx, probes, 2, /*write=*/false);
+  if (!probed.ok()) {
+    return probed;
   }
   RETURN_IF_ERROR(
       map_->Read(ctx, PageOffset(it->second.page) + it->second.slot_offset, out,

@@ -65,14 +65,17 @@ uint64_t PArt::AllocNode(ExecContext& ctx, uint8_t type) {
 }
 
 uint64_t PArt::Load8(ExecContext& ctx, uint64_t offset) {
-  uint64_t value = 0;
-  auto latency = map_->LoadLine(ctx, offset, &value);
-  (void)latency;
-  return value;
+  vmem::LineOp op;
+  op.offset = offset;
+  (void)map_->AccessLines(ctx, &op, 1, /*write=*/false);
+  return op.value;
 }
 
 void PArt::Store8(ExecContext& ctx, uint64_t offset, uint64_t value) {
-  (void)map_->StoreLine(ctx, offset, &value);
+  vmem::LineOp op;
+  op.offset = offset;
+  op.value = value;
+  (void)map_->AccessLines(ctx, &op, 1, /*write=*/true);
 }
 
 Result<uint64_t> PArt::FindChild(ExecContext& ctx, uint64_t node, uint8_t byte,
@@ -101,8 +104,13 @@ Result<uint64_t> PArt::FindChild(ExecContext& ctx, uint64_t node, uint8_t byte,
       return ErrorCode::kNotFound;
     }
     case kNode16: {
-      uint64_t key_lo = Load8(ctx, node + 8);
-      uint64_t key_hi = Load8(ctx, node + 16);
+      // Both key lines are read unconditionally — batch them.
+      vmem::LineOp keys16[2];
+      keys16[0].offset = node + 8;
+      keys16[1].offset = node + 16;
+      (void)map_->AccessLines(ctx, keys16, 2, /*write=*/false);
+      const uint64_t key_lo = keys16[0].value;
+      const uint64_t key_hi = keys16[1].value;
       for (uint8_t i = 0; i < num && i < 16; i++) {
         const uint8_t k = i < 8 ? static_cast<uint8_t>(key_lo >> (8 * i))
                                 : static_cast<uint8_t>(key_hi >> (8 * (i - 8)));

@@ -46,19 +46,19 @@ Status PoolKv::Put(ExecContext& ctx, uint64_t key, const void* value, uint32_t l
   active_used_ += need;
   index_[key] = Location{static_cast<uint32_t>(pools_.size() - 1), offset + 16, len};
   // cmap bucket update: one hashed cacheline store in pool 0.
-  const uint64_t bucket = (key * 0x9e3779b97f4a7c15ull) % (kBucketRegionBytes / 64) * 64;
-  uint64_t tag = key;
-  auto stored = pools_.front()->StoreLine(ctx, bucket, &tag);
-  return stored.ok() ? common::OkStatus() : stored.status();
+  vmem::LineOp op;
+  op.offset = (key * 0x9e3779b97f4a7c15ull) % (kBucketRegionBytes / 64) * 64;
+  op.value = key;
+  return pools_.front()->AccessLines(ctx, &op, 1, /*write=*/true);
 }
 
 Result<uint32_t> PoolKv::Get(ExecContext& ctx, uint64_t key, void* out) {
   // cmap bucket probe first.
-  const uint64_t bucket = (key * 0x9e3779b97f4a7c15ull) % (kBucketRegionBytes / 64) * 64;
-  uint64_t tag;
-  auto probed = pools_.front()->LoadLine(ctx, bucket, &tag);
+  vmem::LineOp op;
+  op.offset = (key * 0x9e3779b97f4a7c15ull) % (kBucketRegionBytes / 64) * 64;
+  const Status probed = pools_.front()->AccessLines(ctx, &op, 1, /*write=*/false);
   if (!probed.ok()) {
-    return probed.status();
+    return probed;
   }
   auto it = index_.find(key);
   if (it == index_.end()) {

@@ -90,7 +90,7 @@ TEST(PageTableTest, MapWalk4k) {
   ASSERT_TRUE(walk.pte.present);
   EXPECT_FALSE(walk.pte.huge);
   EXPECT_EQ(walk.pte.phys, 0x5000u);
-  EXPECT_EQ(walk.pte_lines.size(), 4u);  // 4-level walk
+  EXPECT_EQ(walk.pte_line_count, 4u);  // 4-level walk
 }
 
 TEST(PageTableTest, MapWalkHugeStopsAtPmd) {
@@ -99,7 +99,7 @@ TEST(PageTableTest, MapWalkHugeStopsAtPmd) {
   auto walk = pt.Walk(0x7f0000000000 + 12345);
   ASSERT_TRUE(walk.pte.present);
   EXPECT_TRUE(walk.pte.huge);
-  EXPECT_EQ(walk.pte_lines.size(), 3u);  // PGD, PUD, PMD
+  EXPECT_EQ(walk.pte_line_count, 3u);  // PGD, PUD, PMD
 }
 
 TEST(PageTableTest, UnmapRemoves) {
