@@ -30,6 +30,10 @@
 //       asserts the fast simulator's per_line host throughput in
 //       BENCH_simperf.json is at least min_ratio (default 3.0) times the
 //       reference build's.
+//   bench_json_check --opperf-speedup BENCH_opperf.json [min_ratio]
+//       asserts the batched row's modeled output (non-host_ metrics and the
+//       counter dump) is bit-identical to the scalar row's, and that its host
+//       ns/op beats the scalar loop by at least min_ratio (default 5.0).
 // The CTest bench_json_schema / bench_timeseries_schema / bench_chrome_trace
 // targets run a real bench and then this binary, so rot in the reporters
 // fails the suite end-to-end.
@@ -305,6 +309,71 @@ int CheckSimperfSpeedup(const char* path_fast, const obs::JsonValue& fast,
   return 0;
 }
 
+// Within-one-file gate for BENCH_opperf.json: the "scalar" and "batched"
+// rows must carry bit-identical modeled output (every non-host_ metric and
+// every counter — the batched dispatch is a host-speed optimization only),
+// and the batched row's host ns/op must beat the scalar row's by at least
+// `min_ratio`.
+int CheckOpperfSpeedup(const char* path, const obs::JsonValue& root, double min_ratio) {
+  auto collect = [&root](const std::string& fs, const char* section) {
+    std::map<std::string, double> out;
+    for (const obs::JsonValue& row : root.Find("results")->array) {
+      if (row.Find("fs")->string_value != fs) {
+        continue;
+      }
+      const obs::JsonValue* m = row.Find(section);
+      if (m != nullptr && m->is_object()) {
+        for (const auto& [key, value] : m->object) {
+          if (key.rfind("host_", 0) == 0) {
+            continue;  // host wall-clock measurement, legitimately differs
+          }
+          out[key] = value.number_value;
+        }
+      }
+    }
+    return out;
+  };
+  size_t compared = 0;
+  for (const char* section : {"metrics", "counters"}) {
+    const auto scalar = collect("scalar", section);
+    const auto batched = collect("batched", section);
+    if (scalar.empty() || scalar.size() != batched.size()) {
+      return Fail(path, "scalar/batched " + std::string(section) + " rows missing or ragged");
+    }
+    for (const auto& [key, value] : scalar) {
+      auto it = batched.find(key);
+      if (it == batched.end()) {
+        return Fail(path, "batched row lacks " + std::string(section) + " " + key);
+      }
+      if (it->second != value) {
+        char why[256];
+        std::snprintf(why, sizeof(why), "%s %s differs: scalar %.17g vs batched %.17g",
+                      section, key.c_str(), value, it->second);
+        return Fail(path, why);
+      }
+      compared++;
+    }
+  }
+  const obs::JsonValue* s = FindMetric(root, "scalar", "host_ns_per_op");
+  const obs::JsonValue* b = FindMetric(root, "batched", "host_ns_per_op");
+  if (s == nullptr || !s->is_number()) {
+    return Fail(path, "no scalar host_ns_per_op metric");
+  }
+  if (b == nullptr || !b->is_number() || b->number_value <= 0) {
+    return Fail(path, "no usable batched host_ns_per_op metric");
+  }
+  const double ratio = s->number_value / b->number_value;
+  std::printf(
+      "opperf: %zu modeled values identical; batched speedup %.2fx (%.1f ns/op vs %.1f ns/op)\n",
+      compared, ratio, s->number_value, b->number_value);
+  if (ratio < min_ratio) {
+    char why[128];
+    std::snprintf(why, sizeof(why), "speedup %.2fx below required %.2fx", ratio, min_ratio);
+    return Fail(path, why);
+  }
+  return 0;
+}
+
 std::string ReadAll(const char* path, bool& ok) {
   std::ifstream in(path);
   if (!in) {
@@ -361,6 +430,29 @@ int main(int argc, char** argv) {
       return CheckSimperfSpeedup(argv[2], *a, argv[3], *b, min_ratio);
     }
     return CompareMetrics(argv[2], *a, argv[3], *b);
+  }
+
+  if (std::strcmp(argv[1], "--opperf-speedup") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --opperf-speedup BENCH_opperf.json [min_ratio]\n",
+                   argv[0]);
+      return 2;
+    }
+    bool ok = false;
+    const std::string text = ReadAll(argv[2], ok);
+    if (!ok) {
+      return Fail(argv[2], "cannot open");
+    }
+    const common::Status status = obs::ValidateBenchReportJson(text);
+    if (!status.ok()) {
+      return Fail(argv[2], "schema violation: " + std::string(status.message()));
+    }
+    auto root = obs::JsonValue::Parse(text);
+    if (!root.ok()) {
+      return Fail(argv[2], "parse failed after validation");
+    }
+    const double min_ratio = argc > 3 ? std::atof(argv[3]) : 5.0;
+    return CheckOpperfSpeedup(argv[2], *root, min_ratio);
   }
 
   if (std::strcmp(argv[1], "--chrome-trace") == 0) {

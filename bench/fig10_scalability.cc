@@ -5,6 +5,7 @@
 // ceiling; PMFS's fine-grained single journal scales well; everything
 // flattens past ~16 threads on VFS-layer bottlenecks.
 #include "bench/bench_util.h"
+#include "src/vfs/op_batch.h"
 #include "src/wload/sim_runner.h"
 
 using benchutil::Fmt;
@@ -39,24 +40,29 @@ ScalePoint MeasureKops(const std::string& fs_name, uint32_t threads,
     sampler->AddProvider(bed.engine.get());
   }
   std::vector<uint8_t> buf(4096, 0x3d);
+  // The whole per-op syscall sequence rides as one fd-chained OpBatch: the
+  // appends, fsync, and close reference the open's descriptor via
+  // FdRef::From, so filesystems with a native ExecuteBatch (WineFS,
+  // ext4-DAX) coalesce the journal work while the modeled timeline stays
+  // identical to the scalar calls.
   auto op = [&](uint32_t tid, uint64_t i, ExecContext& ctx) -> bool {
     const std::string path = "/t" + std::to_string(tid) + "/f" + std::to_string(i);
-    auto fd = bed.fs->Open(ctx, path, vfs::OpenFlags::Create());
-    if (!fd.ok()) {
-      return false;
-    }
+    vfs::OpBatch batch;
+    const size_t open_index = batch.Open(path, vfs::OpenFlags::Create());
     for (int a = 0; a < 4; a++) {
-      if (!bed.fs->Append(ctx, *fd, buf.data(), buf.size()).ok()) {
+      batch.Append(vfs::FdRef::From(open_index), buf.data(), buf.size());
+    }
+    batch.Fsync(vfs::FdRef::From(open_index));
+    batch.Close(vfs::FdRef::From(open_index));
+    batch.Unlink(path);
+    std::vector<vfs::OpResult> results;
+    bed.fs->ExecuteBatch(ctx, batch, results);
+    for (const vfs::OpResult& r : results) {
+      if (!r.ok()) {
         return false;
       }
     }
-    if (!bed.fs->Fsync(ctx, *fd).ok()) {
-      return false;
-    }
-    if (!bed.fs->Close(ctx, *fd).ok()) {
-      return false;
-    }
-    return bed.fs->Unlink(ctx, path).ok();
+    return true;
   };
   wload::SimRunner runner(threads, kCpus, setup.clock.NowNs());
   runner.SetObservers(nullptr, registry, sampler);

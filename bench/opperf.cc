@@ -1,0 +1,267 @@
+// Host-side op-batch throughput bench: how many modeled filesystem ops per
+// host second the syscall spine sustains, scalar-dispatched vs natively
+// batched. Both rows replay the SAME deterministic metadata-heavy batch for
+// the same number of rounds on twin WineFS instances, so every modeled field
+// (sim clock, counters) must be bit-identical between the rows — only the
+// host_* metrics may differ; the binary self-checks that and exits non-zero
+// on any divergence. The opperf_speedup CTest gate then requires the batched
+// row to beat the scalar row by >= 5x host ns/op. BENCH_opperf.json tracks
+// the numbers over time.
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/vfs/op_batch.h"
+
+using benchutil::Fmt;
+using benchutil::FmtU;
+using benchutil::MakeBed;
+using benchutil::Row;
+using common::ExecContext;
+using common::kMiB;
+
+namespace {
+
+uint64_t HostNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Deep tree with long (SSO-defeating, near-kMaxNameLen) component names: the
+// shape that makes scalar path resolution expensive (per-component string
+// heap allocs + string-keyed map finds per level) and that the batched path
+// cache collapses into one flat lookup.
+constexpr int kDirsTop = 4;
+constexpr int kDirsMid = 4;
+constexpr int kFilesPerLeaf = 4;  // 4*4*4 = 64 files
+constexpr uint64_t kFileBytes = 4096;
+constexpr int kBatchOps = 8192;
+constexpr int kWarmupRounds = 2;
+constexpr int kMeasuredRounds = 40;
+
+std::string DirTop(int i) {
+  return "/level-one-directory-with-a-deliberately-long-name-" + std::to_string(i);
+}
+std::string DirMid(int i, int j) {
+  return DirTop(i) + "/level-two-directory-also-verbosely-named-" + std::to_string(j);
+}
+std::string DirDeep(int i, int j) {
+  return DirMid(i, j) + "/level-three-project-workspace-checkout-directory";
+}
+std::string DirFour(int i, int j) {
+  return DirDeep(i, j) + "/level-four-per-user-home-profile-storage-directory";
+}
+std::string DirFive(int i, int j) {
+  return DirFour(i, j) + "/level-five-application-cache-and-state-directory";
+}
+std::string DirSix(int i, int j) {
+  return DirFive(i, j) + "/level-six-dated-rotation-bucket-subdirectory";
+}
+std::string DirLeaf(int i, int j) {
+  return DirSix(i, j) + "/level-seven-nested-build-artifact-output-directory";
+}
+std::string FilePath(int i, int j, int k) {
+  return DirLeaf(i, j) + "/datafile-with-a-long-descriptive-name-" + std::to_string(k);
+}
+
+struct Workload {
+  std::vector<std::string> files;  // all 64 paths
+  std::vector<int> fsync_fds;      // pre-opened writable fds (identical on twins)
+  std::vector<int> pread_fds;      // pre-opened read fds (identical on twins)
+};
+
+// Builds the identical namespace + pre-opened fd table on a bed. Returns the
+// fd sets; they are deterministic (lowest-free-fd allocation), so twin beds
+// get identical numbers.
+Workload Populate(benchutil::TestBed& bed) {
+  Workload w;
+  ExecContext ctx;
+  std::vector<uint8_t> payload(kFileBytes);
+  for (uint64_t b = 0; b < kFileBytes; b++) {
+    payload[b] = static_cast<uint8_t>(b * 131 + 17);
+  }
+  for (int i = 0; i < kDirsTop; i++) {
+    if (!bed.fs->Mkdir(ctx, DirTop(i)).ok()) std::exit(2);
+    for (int j = 0; j < kDirsMid; j++) {
+      if (!bed.fs->Mkdir(ctx, DirMid(i, j)).ok()) std::exit(2);
+      if (!bed.fs->Mkdir(ctx, DirDeep(i, j)).ok()) std::exit(2);
+      if (!bed.fs->Mkdir(ctx, DirFour(i, j)).ok()) std::exit(2);
+      if (!bed.fs->Mkdir(ctx, DirFive(i, j)).ok()) std::exit(2);
+      if (!bed.fs->Mkdir(ctx, DirSix(i, j)).ok()) std::exit(2);
+      if (!bed.fs->Mkdir(ctx, DirLeaf(i, j)).ok()) std::exit(2);
+      for (int k = 0; k < kFilesPerLeaf; k++) {
+        const std::string path = FilePath(i, j, k);
+        auto fd = bed.fs->Open(ctx, path, vfs::OpenFlags::Create());
+        if (!fd.ok()) std::exit(2);
+        if (!bed.fs->Pwrite(ctx, *fd, payload.data(), kFileBytes, 0).ok()) std::exit(2);
+        if (!bed.fs->Fsync(ctx, *fd).ok()) std::exit(2);
+        if (!bed.fs->Close(ctx, *fd).ok()) std::exit(2);
+        w.files.push_back(path);
+      }
+    }
+  }
+  // Pre-open a handful of descriptors that stay open across every round:
+  // write-capable ones for the fsync mix, read-only ones for preads.
+  for (int i = 0; i < 8; i++) {
+    auto fd = bed.fs->Open(ctx, w.files[static_cast<size_t>(i) * 7], vfs::OpenFlags());
+    if (!fd.ok()) std::exit(2);
+    w.fsync_fds.push_back(*fd);
+  }
+  for (int i = 0; i < 8; i++) {
+    auto fd =
+        bed.fs->Open(ctx, w.files[static_cast<size_t>(i) * 5 + 3], vfs::OpenFlags::ReadOnly());
+    if (!fd.ok()) std::exit(2);
+    w.pread_fds.push_back(*fd);
+  }
+  return w;
+}
+
+// The deterministic metadata-heavy batch both rows replay: mostly stat (the
+// canonical metadata op the batched resolver accelerates), plus open+close
+// chains (FdRef::From) and a sprinkle of pread/fsync. The data-plane ops are
+// kept to a few percent on purpose: their cost (device loads, journal
+// commits) is identical in both dispatch paths, so they only dilute the
+// metadata-path speedup this bench gates. `bufs` owns the pread destination
+// buffers (stable addresses across rounds).
+vfs::OpBatch BuildBatch(const Workload& w, std::vector<std::vector<uint8_t>>& bufs) {
+  common::Rng rng(9177);
+  vfs::OpBatch batch;
+  batch.Reserve(kBatchOps);
+  bufs.clear();
+  bufs.reserve(kBatchOps / 8);
+  while (batch.size() < kBatchOps) {
+    const uint64_t dice = rng.NextInRange(0, 99);
+    const std::string& path = w.files[rng.NextBelow(w.files.size())];
+    if (dice < 88) {
+      batch.Stat(path);
+    } else if (dice < 94) {
+      const size_t open_idx = batch.Open(path, vfs::OpenFlags::ReadOnly());
+      batch.Close(vfs::FdRef::From(open_idx));
+    } else if (dice < 97) {
+      bufs.emplace_back(256);
+      batch.Pread(w.pread_fds[rng.NextBelow(w.pread_fds.size())], bufs.back().data(), 256,
+                  rng.NextBelow(kFileBytes - 256));
+    } else {
+      batch.Fsync(w.fsync_fds[rng.NextBelow(w.fsync_fds.size())]);
+    }
+  }
+  return batch;
+}
+
+struct RowResult {
+  std::string name;
+  uint64_t modeled_ops = 0;
+  uint64_t host_ns = 1;
+  uint64_t sim_end_ns = 0;
+  common::PerfCounters counters;
+};
+
+// Replays the batch warmup+measured rounds through either the scalar loop or
+// the filesystem's native ExecuteBatch; host time covers measured rounds only.
+RowResult RunRow(const std::string& name, benchutil::TestBed& bed, const Workload& w,
+                 bool native) {
+  std::vector<std::vector<uint8_t>> bufs;
+  vfs::OpBatch batch = BuildBatch(w, bufs);
+  std::vector<vfs::OpResult> results;
+  ExecContext ctx;
+  auto run_round = [&] {
+    if (native) {
+      bed.fs->ExecuteBatch(ctx, batch, results);
+    } else {
+      bed.fs->ExecuteBatchScalar(ctx, batch, results);
+    }
+    for (const vfs::OpResult& r : results) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "opperf: unexpected op failure in row %s: %s\n", name.c_str(),
+                     std::string(r.status.message()).c_str());
+        std::exit(2);
+      }
+    }
+  };
+  for (int i = 0; i < kWarmupRounds; i++) {
+    run_round();
+  }
+  RowResult out;
+  out.name = name;
+  const uint64_t host_start = HostNowNs();
+  for (int i = 0; i < kMeasuredRounds; i++) {
+    run_round();
+  }
+  out.host_ns = std::max<uint64_t>(1, HostNowNs() - host_start);
+  out.modeled_ops = static_cast<uint64_t>(kMeasuredRounds) * batch.size();
+  out.sim_end_ns = ctx.clock.NowNs();
+  out.counters = ctx.counters;
+  return out;
+}
+
+void AddRow(obs::BenchReport& report, const RowResult& r) {
+  const double ns_per_op = static_cast<double>(r.host_ns) / static_cast<double>(r.modeled_ops);
+  const double mops = static_cast<double>(r.modeled_ops) * 1000.0 / static_cast<double>(r.host_ns);
+  Row({r.name, FmtU(r.modeled_ops), Fmt(static_cast<double>(r.host_ns) / 1e6, 1),
+       Fmt(ns_per_op, 1), Fmt(mops, 2)});
+  // Modeled fields: identical across dispatch paths (self-checked below and by
+  // the opperf_modeled_identical gate). host_* fields: today's machine.
+  report.AddMetric(r.name, "modeled_ops", static_cast<double>(r.modeled_ops));
+  report.AddMetric(r.name, "sim_clock_end_ns", static_cast<double>(r.sim_end_ns));
+  report.AddMetric(r.name, "host_wall_ns", static_cast<double>(r.host_ns));
+  report.AddMetric(r.name, "host_ns_per_op", ns_per_op);
+  report.AddMetric(r.name, "host_mops_per_sec", mops);
+  report.SetCounters(r.name, r.counters);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("opperf: host throughput of the batched op-vector syscall spine",
+                    "op-batch pipeline (DESIGN.md); modeled output must not depend on it");
+  Row({"path", "modeled_ops", "host_ms", "host_ns/op", "Mops/s"});
+
+  // Twin beds: identical namespace, identical pre-opened fd tables. One runs
+  // the scalar dispatch loop, the other WineFS's native batched path.
+  auto bed_scalar = MakeBed("winefs", 256 * kMiB);
+  auto bed_batched = MakeBed("winefs", 256 * kMiB);
+  const Workload w_scalar = Populate(bed_scalar);
+  const Workload w_batched = Populate(bed_batched);
+  if (w_scalar.fsync_fds != w_batched.fsync_fds || w_scalar.pread_fds != w_batched.pread_fds) {
+    std::fprintf(stderr, "opperf: twin beds diverged during setup\n");
+    return 1;
+  }
+
+  obs::BenchReport report("opperf");
+  report.AddConfig("fs", std::string("winefs"));
+  report.AddConfig("batch_ops", static_cast<double>(kBatchOps));
+  report.AddConfig("rounds_measured", static_cast<double>(kMeasuredRounds));
+  const RowResult scalar = RunRow("scalar", bed_scalar, w_scalar, /*native=*/false);
+  const RowResult batched = RunRow("batched", bed_batched, w_batched, /*native=*/true);
+  AddRow(report, scalar);
+  AddRow(report, batched);
+
+  // Bit-identical-modeled-output self-check: the native batched path may only
+  // change host-side speed, never the simulation.
+  bool identical = scalar.sim_end_ns == batched.sim_end_ns;
+  if (!identical) {
+    std::fprintf(stderr, "opperf: sim clock diverged: scalar=%llu batched=%llu\n",
+                 static_cast<unsigned long long>(scalar.sim_end_ns),
+                 static_cast<unsigned long long>(batched.sim_end_ns));
+  }
+  for (const common::CounterField& field : common::kCounterFields) {
+    const uint64_t a = scalar.counters.*field.member;
+    const uint64_t b = batched.counters.*field.member;
+    if (a != b) {
+      identical = false;
+      std::fprintf(stderr, "opperf: counter %s diverged: scalar=%llu batched=%llu\n", field.name,
+                   static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+    }
+  }
+  if (!identical) {
+    return 1;
+  }
+  std::printf("\nmodeled output: bit-identical across dispatch paths\n");
+  std::printf("speedup (host ns/op): %.2fx\n",
+              static_cast<double>(scalar.host_ns) / static_cast<double>(scalar.modeled_ops) /
+                  (static_cast<double>(batched.host_ns) / static_cast<double>(batched.modeled_ops)));
+  benchutil::EmitReport(report);
+  return 0;
+}

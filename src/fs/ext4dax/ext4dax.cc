@@ -4,6 +4,7 @@
 
 #include "src/common/units.h"
 #include "src/obs/trace.h"
+#include "src/vfs/op_batch.h"
 
 namespace ext4dax {
 
@@ -161,6 +162,11 @@ Status Ext4Dax::FsyncImpl(ExecContext& ctx, Inode& inode) {
   (void)inode;
   Jbd2Commit(ctx);
   return common::OkStatus();
+}
+
+void Ext4Dax::ExecuteBatch(ExecContext& ctx, const vfs::OpBatch& batch,
+                           std::vector<vfs::OpResult>& results) {
+  ExecuteBatchNative(ctx, batch, results);
 }
 
 vfs::FreeSpaceInfo Ext4Dax::FreeSpace() {

@@ -46,6 +46,13 @@ class Ext4Dax : public fscore::GenericFs {
   // xfs-DAX and SplitFS, whose allocator/journal state lives here too.
   void SampleGauges(obs::GaugeSample& out) override;
 
+  // Native batched execution (inherited by xfs-DAX and SplitFS): the fscore
+  // engine. JBD2 group commit across a batch falls out of the existing dirty-
+  // set semantics — the first fsync in a batch commits every block the batch
+  // dirtied, and later fsyncs find the set empty and charge nothing.
+  void ExecuteBatch(common::ExecContext& ctx, const vfs::OpBatch& batch,
+                    std::vector<vfs::OpResult>& results) override;
+
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
                                                           fscore::Inode& inode,

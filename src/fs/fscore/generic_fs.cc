@@ -731,19 +731,19 @@ Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::Open
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   Inode* node = res.node;
   if (node == nullptr) {
-    if (!flags.create) {
+    if (!flags.create()) {
       return ErrorCode::kNotFound;
     }
     common::SimMutex::Guard dir_guard(inode_locks_.LockFor(res.parent->ino), ctx);
     ASSIGN_OR_RETURN(node, CreateNode(ctx, *res.parent, res.leaf, /*is_dir=*/false));
   } else {
-    if (flags.create && flags.exclusive) {
+    if (flags.create() && flags.exclusive()) {
       return ErrorCode::kExists;
     }
     if (node->is_dir) {
       return ErrorCode::kIsDir;
     }
-    if (flags.truncate) {
+    if (flags.truncate()) {
       common::SimMutex::Guard file_guard(inode_locks_.LockFor(node->ino), ctx);
       TxBegin(ctx);
       FreeFileBlocks(ctx, *node, 0);
@@ -754,7 +754,7 @@ Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::Open
   }
   for (size_t fd = 0; fd < fds_.size(); fd++) {
     if (!fds_[fd].in_use) {
-      fds_[fd] = FdEntry{node->ino, flags.write, true};
+      fds_[fd] = FdEntry{node->ino, flags.write(), true};
       return static_cast<int>(fd);
     }
   }
@@ -1013,8 +1013,8 @@ Result<uint64_t> GenericFs::WriteDataAtomic(ExecContext& ctx, Inode& inode, cons
   return WriteDataInPlace(ctx, inode, src, len, offset, /*persist_data=*/true);
 }
 
-Result<uint64_t> GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
-                                   uint64_t offset) {
+vfs::IoResult GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
+                                uint64_t offset) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "pwrite");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
@@ -1032,7 +1032,7 @@ Result<uint64_t> GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, ui
   return WriteDataInPlace(ctx, *inode, src, len, offset, /*persist_data=*/false);
 }
 
-Result<uint64_t> GenericFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
+vfs::IoResult GenericFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "append");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
@@ -1056,8 +1056,8 @@ Result<uint64_t> GenericFs::Append(ExecContext& ctx, int fd, const void* src, ui
   return offset;
 }
 
-Result<uint64_t> GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t len,
-                                  uint64_t offset) {
+vfs::IoResult GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t len,
+                               uint64_t offset) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "pread");
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
@@ -1080,8 +1080,13 @@ Result<uint64_t> GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t 
     if (mapping.has_value()) {
       const uint64_t run_bytes = mapping->contiguous_blocks * kBlockSize - in_block;
       chunk = std::min(remaining, run_bytes);
-      RETURN_IF_ERROR(
-          device_->Load(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk));
+      const Status load =
+          device_->Load(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk);
+      if (!load.ok()) {
+        // POSIX short read: report the bytes successfully delivered before the
+        // poisoned line alongside the error.
+        return vfs::IoResult::Partial(pos - offset, load);
+      }
     } else {
       chunk = std::min(remaining, kBlockSize - in_block);
       std::memset(cursor, 0, chunk);  // hole reads as zeros

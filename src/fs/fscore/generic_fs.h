@@ -14,10 +14,12 @@
 #ifndef SRC_FS_FSCORE_GENERIC_FS_H_
 #define SRC_FS_FSCORE_GENERIC_FS_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -50,6 +52,16 @@ enum class AllocIntent {
   kLogPage,    // per-inode log pages (NOVA)
 };
 
+// Transparent string hash so directory lookups can run on string_view path
+// components without materializing a std::string per component (the batched
+// resolver's hot path). Hashes through std::hash<string_view>, which matches
+// std::hash<string> byte-for-byte, so bucket iteration order — and therefore
+// ReadDir output order — is unchanged.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+};
+
 // DRAM inode. PM truth is the PmInode + indirect chain; this mirror is
 // rebuilt on mount.
 struct Inode {
@@ -67,7 +79,7 @@ struct Inode {
     bool is_dir = false;
     uint64_t slot = 0;  // index into the dir's dirent array
   };
-  std::unordered_map<std::string, DirentRef> dirents;
+  std::unordered_map<std::string, DirentRef, TransparentStringHash, std::equal_to<>> dirents;
   std::vector<uint64_t> free_dirent_slots;
   uint64_t dirent_capacity = 0;  // total slots backed by allocated blocks
 
@@ -115,12 +127,12 @@ class GenericFs : public vfs::FileSystem {
   common::Result<std::vector<vfs::DirEntry>> ReadDir(common::ExecContext& ctx,
                                                      const std::string& path) override;
 
-  common::Result<uint64_t> Pread(common::ExecContext& ctx, int fd, void* dst, uint64_t len,
-                                 uint64_t offset) override;
-  common::Result<uint64_t> Pwrite(common::ExecContext& ctx, int fd, const void* src,
-                                  uint64_t len, uint64_t offset) override;
-  common::Result<uint64_t> Append(common::ExecContext& ctx, int fd, const void* src,
-                                  uint64_t len) override;
+  vfs::IoResult Pread(common::ExecContext& ctx, int fd, void* dst, uint64_t len,
+                      uint64_t offset) override;
+  vfs::IoResult Pwrite(common::ExecContext& ctx, int fd, const void* src, uint64_t len,
+                       uint64_t offset) override;
+  vfs::IoResult Append(common::ExecContext& ctx, int fd, const void* src,
+                       uint64_t len) override;
   common::Status Fsync(common::ExecContext& ctx, int fd) override;
   common::Status Fallocate(common::ExecContext& ctx, int fd, uint64_t offset,
                            uint64_t len) override;
@@ -201,6 +213,14 @@ class GenericFs : public vfs::FileSystem {
   virtual bool ZeroOnFault() const { return true; }  // else zero at allocation
 
   // Directory access cost (PMFS overrides with a linear PM scan).
+  //
+  // Contract (relied on by ExecuteBatchNative's resolution cache): the
+  // charges must be a pure function of the directory's state — relative
+  // clock.Advance() plus counter increments only, no absolute-time waits
+  // (ResourceClock/SharedResource) and no dependence on anything a
+  // non-namespace-mutating op could change. The batch engine memoizes a
+  // resolve's charge footprint and replays it for cached paths; any dirent
+  // mutation flushes that cache.
   virtual void ChargeDirLookup(common::ExecContext& ctx, const Inode& dir);
 
   // Notifications for per-inode-log bookkeeping.
@@ -266,6 +286,14 @@ class GenericFs : public vfs::FileSystem {
 
   // Charges the syscall entry cost (trap + shared VFS path).
   void ChargeSyscall(common::ExecContext& ctx);
+
+  // Native batched-execution engine (generic_fs_batch.cc): runs the hot
+  // metadata kinds (stat/open/close/pread/fsync) through an arena-backed,
+  // SoA path-resolution cache and falls back to DispatchScalarOp for
+  // everything else — charge-for-charge identical to the scalar loop.
+  // Subclasses opt in by overriding ExecuteBatch to call this.
+  void ExecuteBatchNative(common::ExecContext& ctx, const vfs::OpBatch& batch,
+                          std::vector<vfs::OpResult>& results);
 
   // Builds a FreeSpaceMap of the whole data area (helper for rebuilds).
   FreeSpaceMap FullDataArea() const;

@@ -1,0 +1,434 @@
+// ExecuteBatchNative: the host-speed batched engine shared by filesystems
+// that opt into native batching (WineFS, the ext4-DAX family).
+//
+// The engine runs the hot metadata kinds — stat, open (plain), close, pread,
+// fsync — through a per-batch arena allocator and an SoA path-resolution
+// cache, and hands every other kind to FileSystem::DispatchScalarOp. The
+// contract is absolute: every simulated charge (clock advances, counters,
+// SimMutex acquisitions, device traffic) is issued exactly as the scalar
+// virtuals would issue it, in the same order. What the fast path removes is
+// HOST work only: the per-op recursive-mutex round trip, the per-component
+// std::string splitting in Resolve, and the repeated per-level dirent-map
+// walks for paths the batch has already resolved.
+//
+// Cache coherence rules:
+//   - The path cache and fd cache live for one ExecuteBatchNative call.
+//   - Any scalar-dispatched namespace mutation (open-create/trunc, unlink,
+//     rename, mkdir, rmdir) flushes both caches — inode pointers may have
+//     died and dirent sets changed.
+//   - Data-plane scalar ops (pwrite/append/ftruncate/fallocate) do not flush:
+//     Inode objects are owned by unique_ptr (stable addresses) and only the
+//     namespace ops above erase them.
+//   - A failed resolve is never cached, so retries re-charge exactly like the
+//     scalar loop's partial-resolve error paths.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/fscore/generic_fs.h"
+#include "src/obs/metrics.h"
+#include "src/vfs/op_batch.h"
+
+namespace fscore {
+
+namespace {
+
+using common::ErrorCode;
+using common::ExecContext;
+using common::kBlockSize;
+using common::Status;
+
+// Per-batch bump allocator: backs the path-component arrays and resolver
+// chains so the hot loop performs no per-op heap traffic. Blocks are never
+// recycled mid-batch, so every handed-out pointer stays valid until the
+// engine returns.
+class BumpArena {
+ public:
+  template <typename T>
+  T* AllocArray(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    const size_t align = alignof(T);
+    size_t offset = (used_ + align - 1) & ~(align - 1);
+    if (cur_ == nullptr || offset + bytes > cap_) {
+      cap_ = bytes > kBlockBytes ? bytes : kBlockBytes;
+      blocks_.push_back(std::make_unique<char[]>(cap_));
+      cur_ = blocks_.back().get();
+      offset = 0;
+    }
+    used_ = offset + bytes;
+    return reinterpret_cast<T*>(cur_ + offset);
+  }
+
+ private:
+  static constexpr size_t kBlockBytes = 64 * 1024;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cur_ = nullptr;
+  size_t used_ = 0;
+  size_t cap_ = 0;
+};
+
+// Sampled path hash for the resolution cache: deep-tree paths run hundreds of
+// bytes and a full byte-wise hash per lookup would dominate the cache-hit
+// cost. Mixing the length with the first, middle, and last words is enough to
+// spread real path populations; a rare collision only costs the bucket's full
+// string_view equality compare.
+struct SampledPathHash {
+  size_t operator()(std::string_view s) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ s.size();
+    const auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    if (s.size() >= 8) {
+      uint64_t head;
+      uint64_t middle;
+      uint64_t tail;
+      std::memcpy(&head, s.data(), 8);
+      std::memcpy(&middle, s.data() + s.size() / 2 - 4, 8);
+      std::memcpy(&tail, s.data() + s.size() - 8, 8);
+      mix(head);
+      mix(middle);
+      mix(tail);
+    } else {
+      for (char c : s) {
+        mix(static_cast<uint8_t>(c));
+      }
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+void GenericFs::ExecuteBatchNative(ExecContext& ctx, const vfs::OpBatch& batch,
+                                   std::vector<vfs::OpResult>& results) {
+  results.clear();
+  results.resize(batch.size());
+  // One host-lock round trip for the whole batch (dram_mu_ is recursive, so
+  // scalar-dispatched ops re-entering the public virtuals still work).
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+
+  BumpArena arena;
+
+  // SoA path-resolution cache: parallel columns indexed by a string_view ->
+  // row map. Each row memoizes the resolve's full charge footprint — the
+  // total clock advance (path-component cost plus every ChargeDirLookup along
+  // the chain) and the sparse counter deltas those lookups issued. Replaying
+  // the memoized charges is exact because ChargeDirLookup is contractually a
+  // pure function of the directory's state (generic_fs.h), and every op that
+  // can change that state flushes this cache.
+  struct PathCache {
+    std::vector<Inode*> node;         // resolved leaf inode (never null)
+    std::vector<uint64_t> charge_ns;  // total clock advance of the resolve
+    std::vector<uint32_t> delta_begin;  // offset into delta_field/delta_value
+    std::vector<uint32_t> delta_count;
+    std::vector<uint8_t> delta_field;   // kCounterFields index
+    std::vector<uint64_t> delta_value;
+    std::unordered_map<std::string_view, uint32_t, SampledPathHash> index;
+
+    void Clear() {
+      node.clear();
+      charge_ns.clear();
+      delta_begin.clear();
+      delta_count.clear();
+      delta_field.clear();
+      delta_value.clear();
+      index.clear();
+    }
+  } cache;
+
+  // fd -> Inode* shortcut, bypassing the fds_ + inodes_ double lookup for
+  // descriptors the batch touches repeatedly.
+  std::vector<Inode*> fd_cache(fds_.size(), nullptr);
+
+  const auto flush_caches = [&] {
+    cache.Clear();
+    std::fill(fd_cache.begin(), fd_cache.end(), nullptr);
+  };
+
+  // Charge-exact replica of SplitPath + Resolve(want_parent=true), reading
+  // components as string_views (no per-component strings) and memoizing
+  // successful resolves. On a cache hit, replays the resolve's memoized
+  // charges (one clock advance + sparse counter deltas) without touching any
+  // dirent map or virtual dispatch.
+  const auto resolve_fast = [&](const std::string& path, Status* status) -> Inode* {
+    if (auto hit = cache.index.find(std::string_view(path)); hit != cache.index.end()) {
+      const uint32_t row = hit->second;
+      ctx.clock.Advance(cache.charge_ns[row]);
+      const uint32_t begin = cache.delta_begin[row];
+      for (uint32_t i = 0; i < cache.delta_count[row]; i++) {
+        ctx.counters.*common::kCounterFields[cache.delta_field[begin + i]].member +=
+            cache.delta_value[begin + i];
+      }
+      *status = common::OkStatus();
+      return cache.node[row];
+    }
+
+    // SplitPath replica: validation errors fire BEFORE any clock advance,
+    // exactly like the scalar helper.
+    if (path.empty() || path[0] != '/') {
+      *status = Status(ErrorCode::kInvalidArgument);
+      return nullptr;
+    }
+    std::string_view* parts = arena.AllocArray<std::string_view>(path.size() / 2 + 1);
+    size_t nparts = 0;
+    size_t start = 1;
+    while (start < path.size()) {
+      size_t end = path.find('/', start);
+      if (end == std::string::npos) {
+        end = path.size();
+      }
+      if (end > start) {
+        if (end - start > kMaxNameLen) {
+          *status = Status(ErrorCode::kInvalidArgument);
+          return nullptr;
+        }
+        parts[nparts++] = std::string_view(path).substr(start, end - start);
+      }
+      start = end + 1;
+    }
+
+    // Snapshot clock and counters: on success, everything charged from here
+    // to the leaf (the path-component advance plus every ChargeDirLookup) is
+    // memoized for this row and replayed verbatim on later hits.
+    const uint64_t charge_start_ns = ctx.clock.NowNs();
+    const common::PerfCounters counters_before = ctx.counters;
+
+    ctx.clock.Advance(device_->cost().vfs_path_component_ns * (nparts + 1));
+    if (nparts == 0) {
+      *status = Status(ErrorCode::kInvalidArgument);  // cannot take parent of root
+      return nullptr;
+    }
+
+    Inode* current = GetInode(vfs::kRootIno);
+    for (size_t i = 0; i + 1 < nparts; i++) {
+      ChargeDirLookup(ctx, *current);
+      auto it = current->dirents.find(parts[i]);
+      if (it == current->dirents.end()) {
+        *status = Status(ErrorCode::kNotFound);
+        return nullptr;
+      }
+      if (!it->second.is_dir) {
+        *status = Status(ErrorCode::kNotDir);
+        return nullptr;
+      }
+      current = GetInode(it->second.ino);
+      if (current == nullptr) {
+        *status = Status(ErrorCode::kCorrupt);
+        return nullptr;
+      }
+    }
+    ChargeDirLookup(ctx, *current);  // the parent dir, charged before the leaf find
+    auto it = current->dirents.find(parts[nparts - 1]);
+    Inode* node = it == current->dirents.end() ? nullptr : GetInode(it->second.ino);
+    if (node == nullptr) {
+      *status = Status(ErrorCode::kNotFound);
+      return nullptr;
+    }
+
+    const uint32_t row = static_cast<uint32_t>(cache.node.size());
+    cache.node.push_back(node);
+    cache.charge_ns.push_back(ctx.clock.NowNs() - charge_start_ns);
+    cache.delta_begin.push_back(static_cast<uint32_t>(cache.delta_field.size()));
+    uint32_t ndeltas = 0;
+    for (size_t f = 0; f < common::kNumCounterFields; f++) {
+      const uint64_t delta =
+          ctx.counters.*common::kCounterFields[f].member - counters_before.*common::kCounterFields[f].member;
+      if (delta != 0) {
+        cache.delta_field.push_back(static_cast<uint8_t>(f));
+        cache.delta_value.push_back(delta);
+        ndeltas++;
+      }
+    }
+    cache.delta_count.push_back(ndeltas);
+    cache.index.emplace(std::string_view(path), row);
+    *status = common::OkStatus();
+    return node;
+  };
+
+  const auto inode_by_fd = [&](int fd) -> Inode* {
+    if (fd >= 0 && static_cast<size_t>(fd) < fd_cache.size() && fd_cache[fd] != nullptr) {
+      return fd_cache[fd];
+    }
+    Inode* inode = GetInodeByFd(fd);
+    if (inode != nullptr) {
+      fd_cache[fd] = inode;
+    }
+    return inode;
+  };
+
+  const std::vector<vfs::Op>& ops = batch.ops();
+  for (size_t i = 0; i < ops.size(); i++) {
+    const vfs::Op& op = ops[i];
+    vfs::OpResult& out = results[i];
+    switch (op.kind) {
+      case vfs::OpKind::kStat: {
+        if (op.path == "/") {
+          // Root stat resolves want_parent=false; rare — keep the scalar path.
+          DispatchScalarOp(ctx, batch, i, results);
+          break;
+        }
+        ChargeSyscall(ctx);
+        obs::OpScope op_scope(ctx, Name(), "stat");
+        Status status;
+        Inode* node = resolve_fast(op.path, &status);
+        if (node == nullptr) {
+          out.status = status;
+          break;
+        }
+        out.stat.ino = node->ino;
+        out.stat.size = node->size;
+        out.stat.blocks = node->extents.MappedBlocks();
+        out.stat.nlink = node->nlink;
+        out.stat.is_dir = node->is_dir;
+        break;
+      }
+
+      case vfs::OpKind::kOpen: {
+        if (op.flags.create() || op.flags.truncate()) {
+          // Namespace-mutating open: scalar path, then drop stale caches.
+          DispatchScalarOp(ctx, batch, i, results);
+          flush_caches();
+          break;
+        }
+        ChargeSyscall(ctx);
+        obs::OpScope op_scope(ctx, Name(), "open");
+        Status status;
+        Inode* node = resolve_fast(op.path, &status);
+        if (node == nullptr) {
+          out.status = status;
+          break;
+        }
+        if (node->is_dir) {
+          out.status = Status(ErrorCode::kIsDir);
+          break;
+        }
+        bool placed = false;
+        for (size_t fd = 0; fd < fds_.size(); fd++) {
+          if (!fds_[fd].in_use) {
+            fds_[fd] = FdEntry{node->ino, op.flags.write(), true};
+            fd_cache[fd] = node;
+            out.value = fd;
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) {
+          out.status = Status(ErrorCode::kNoSpace);
+        }
+        break;
+      }
+
+      case vfs::OpKind::kClose: {
+        auto resolved = vfs::ResolveBatchFd(batch, i, results);
+        if (!resolved.ok()) {
+          out.status = resolved.status();
+          break;
+        }
+        const int fd = *resolved;
+        ChargeSyscall(ctx);
+        obs::OpScope op_scope(ctx, Name(), "close");
+        if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
+          out.status = Status(ErrorCode::kBadFd);
+          break;
+        }
+        fds_[fd] = FdEntry{};
+        fd_cache[fd] = nullptr;
+        break;
+      }
+
+      case vfs::OpKind::kPread: {
+        auto resolved = vfs::ResolveBatchFd(batch, i, results);
+        if (!resolved.ok()) {
+          out.status = resolved.status();
+          break;
+        }
+        ChargeSyscall(ctx);
+        obs::OpScope op_scope(ctx, Name(), "pread");
+        Inode* inode = inode_by_fd(*resolved);
+        if (inode == nullptr) {
+          out.status = Status(ErrorCode::kBadFd);
+          break;
+        }
+        if (op.offset >= inode->size) {
+          out.value = 0;
+          break;
+        }
+        const uint64_t len = std::min(op.len, inode->size - op.offset);
+        uint8_t* cursor = static_cast<uint8_t*>(op.dst);
+        uint64_t remaining = len;
+        uint64_t pos = op.offset;
+        while (remaining > 0) {
+          const uint64_t block = pos / kBlockSize;
+          const uint64_t in_block = pos % kBlockSize;
+          auto mapping = inode->extents.Lookup(block);
+          uint64_t chunk;
+          if (mapping.has_value()) {
+            const uint64_t run_bytes = mapping->contiguous_blocks * kBlockSize - in_block;
+            chunk = std::min(remaining, run_bytes);
+            const Status load =
+                device_->Load(ctx, mapping->phys_block * kBlockSize + in_block, cursor, chunk);
+            if (!load.ok()) {
+              out.status = load;
+              out.value = pos - op.offset;  // POSIX short read
+              break;
+            }
+          } else {
+            chunk = std::min(remaining, kBlockSize - in_block);
+            std::memset(cursor, 0, chunk);  // hole reads as zeros
+          }
+          cursor += chunk;
+          pos += chunk;
+          remaining -= chunk;
+        }
+        if (remaining == 0) {
+          out.value = len;
+        }
+        break;
+      }
+
+      case vfs::OpKind::kFsync: {
+        auto resolved = vfs::ResolveBatchFd(batch, i, results);
+        if (!resolved.ok()) {
+          out.status = resolved.status();
+          break;
+        }
+        ChargeSyscall(ctx);
+        obs::OpScope op_scope(ctx, Name(), "fsync");
+        Inode* inode = inode_by_fd(*resolved);
+        if (inode == nullptr) {
+          out.status = Status(ErrorCode::kBadFd);
+          break;
+        }
+        ctx.counters.fsync_count++;
+        common::SimMutex::Guard file_guard(inode_locks_.LockFor(inode->ino), ctx);
+        const Status fsync_status = FsyncImpl(ctx, *inode);
+        if (!fsync_status.ok()) {
+          out.status = fsync_status;  // scalar returns before the Fence
+          break;
+        }
+        device_->Fence(ctx);
+        break;
+      }
+
+      case vfs::OpKind::kUnlink:
+      case vfs::OpKind::kRename:
+      case vfs::OpKind::kMkdir:
+      case vfs::OpKind::kRmdir:
+        DispatchScalarOp(ctx, batch, i, results);
+        flush_caches();
+        break;
+
+      default:
+        // Data-plane and remaining namespace-read ops: scalar virtuals, no
+        // cache impact (inode addresses are stable outside the erasing ops).
+        DispatchScalarOp(ctx, batch, i, results);
+        break;
+    }
+  }
+}
+
+}  // namespace fscore

@@ -16,7 +16,7 @@ namespace {
 constexpr uint64_t kUserPathNs = 180;
 }  // namespace
 
-Result<uint64_t> SplitFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
+vfs::IoResult SplitFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
   ctx.clock.Advance(kUserPathNs);
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
@@ -37,8 +37,8 @@ Result<uint64_t> SplitFs::Append(ExecContext& ctx, int fd, const void* src, uint
   return offset;
 }
 
-Result<uint64_t> SplitFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
-                                 uint64_t offset) {
+vfs::IoResult SplitFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
+                              uint64_t offset) {
   ctx.clock.Advance(kUserPathNs);
   std::lock_guard<std::recursive_mutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);

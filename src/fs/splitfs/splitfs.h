@@ -19,10 +19,10 @@ class SplitFs : public ext4dax::Ext4Dax {
   std::string_view Name() const override { return "splitfs"; }
 
   // User-level data path: no syscall trap, staged writes.
-  common::Result<uint64_t> Append(common::ExecContext& ctx, int fd, const void* src,
-                                  uint64_t len) override;
-  common::Result<uint64_t> Pwrite(common::ExecContext& ctx, int fd, const void* src,
-                                  uint64_t len, uint64_t offset) override;
+  vfs::IoResult Append(common::ExecContext& ctx, int fd, const void* src,
+                       uint64_t len) override;
+  vfs::IoResult Pwrite(common::ExecContext& ctx, int fd, const void* src, uint64_t len,
+                       uint64_t offset) override;
 
  protected:
   void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,

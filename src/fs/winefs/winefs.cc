@@ -8,6 +8,7 @@
 #include <map>
 
 #include "src/common/units.h"
+#include "src/vfs/op_batch.h"
 
 namespace winefs {
 
@@ -344,6 +345,39 @@ void WineFs::FreeBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
 
 // --- Journaling ----------------------------------------------------------------
 
+void WineFs::StageEntryStore(ExecContext& ctx, uint64_t off, const JournalEntry& entry) {
+  // A non-adjacent slot (ring wrap or journal switch) breaks the run: flush
+  // the staged bytes first so device write order matches the scalar path.
+  if (!stage_buf_.empty() && off != stage_base_off_ + stage_buf_.size()) {
+    FlushJournalStage(ctx);
+  }
+  if (stage_buf_.empty()) {
+    stage_base_off_ = off;
+  }
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&entry);
+  stage_buf_.insert(stage_buf_.end(), bytes, bytes + sizeof(JournalEntry));
+  // Charge the entry's store+clwb HERE, inside the caller's journal_lock
+  // guard, exactly where the scalar path charges them. Deferring the charges
+  // to the flush would shrink the modeled critical section — the lock's
+  // watermark would release earlier than under scalar dispatch, and other
+  // simulated threads would queue for less time (a real modeled divergence
+  // under contention, invisible single-threaded). Only the host-side byte
+  // movement is deferred and coalesced.
+  device_->ChargeStagedStore(ctx, off, sizeof(JournalEntry));
+}
+
+void WineFs::FlushJournalStage(ExecContext& ctx) {
+  (void)ctx;
+  if (stage_buf_.empty()) {
+    return;
+  }
+  // Every staged entry was already charged at stage time; the coalesced run
+  // is pure host-side data movement (staging is off whenever a fault
+  // injector or crash tracking would observe per-store granularity).
+  device_->StoreUncharged(stage_base_off_, stage_buf_.data(), stage_buf_.size());
+  stage_buf_.clear();
+}
+
 void WineFs::AppendEntry(ExecContext& ctx, CpuPool& pool, const JournalEntry& entry) {
   common::SimMutex::Guard guard(pool.journal_lock, ctx);
   JournalEntry out = entry;
@@ -357,14 +391,40 @@ void WineFs::AppendEntry(ExecContext& ctx, CpuPool& pool, const JournalEntry& en
     pool.wrap++;
   }
   const uint64_t off = pool.journal_pm_offset + slot * sizeof(JournalEntry);
-  device_->Store(ctx, off, &out, sizeof(out));
-  device_->Clwb(ctx, off, sizeof(out));
+  if (batch_staging_) {
+    StageEntryStore(ctx, off, out);
+  } else {
+    device_->Store(ctx, off, &out, sizeof(out));
+    device_->Clwb(ctx, off, sizeof(out));
+  }
   ctx.counters.journal_bytes += sizeof(out);
 }
 
 void WineFs::AppendRawSlots(ExecContext& ctx, CpuPool& pool, const uint8_t* data,
                             uint64_t len) {
   common::SimMutex::Guard guard(pool.journal_lock, ctx);
+  if (batch_staging_) {
+    // Keep write order: staged header entries precede their blob lines.
+    FlushJournalStage(ctx);
+    // Bulk the old image into the ring one contiguous run at a time. Only the
+    // final chunk may be sub-cacheline, so ceil-division recovers exactly the
+    // per-slot head advances and per-line NtStore charges of the loop below.
+    uint64_t done = 0;
+    while (done < len) {
+      const uint64_t ring_bytes = (pool.capacity_entries - pool.head) * sizeof(JournalEntry);
+      const uint64_t span = std::min(len - done, ring_bytes);
+      const uint64_t off = pool.journal_pm_offset + pool.head * sizeof(JournalEntry);
+      device_->NtStore(ctx, off, data + done, span);
+      pool.head += (span + sizeof(JournalEntry) - 1) / sizeof(JournalEntry);
+      if (pool.head >= pool.capacity_entries) {
+        pool.head = 0;
+        pool.wrap++;
+      }
+      done += span;
+    }
+    ctx.counters.journal_bytes += len;
+    return;
+  }
   uint64_t done = 0;
   while (done < len) {
     const uint64_t chunk = std::min<uint64_t>(common::kCacheline, len - done);
@@ -402,6 +462,7 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
     std::memcpy(header.payload + sizeof(len), &blob_csum, sizeof(blob_csum));
     AppendEntry(ctx, pool, header);
     AppendRawSlots(ctx, pool, old.data(), len);
+    FlushJournalStage(ctx);
     device_->Fence(ctx);
     return;
   }
@@ -422,6 +483,7 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
     AppendEntry(ctx, pool, entry);
     done += chunk;
   }
+  FlushJournalStage(ctx);
   device_->Fence(ctx);
 }
 
@@ -437,6 +499,7 @@ void WineFs::TxBegin(ExecContext& ctx) {
   entry.txn_id = tx_id_;
   entry.type = JournalEntry::kStart;
   AppendEntry(ctx, JournalFor(tx_cpu_), entry);
+  FlushJournalStage(ctx);
   device_->Fence(ctx);
 }
 
@@ -469,6 +532,7 @@ void WineFs::TxCommit(ExecContext& ctx) {
   entry.txn_id = tx_id_;
   entry.type = JournalEntry::kCommit;
   AppendEntry(ctx, JournalFor(tx_cpu_), entry);
+  FlushJournalStage(ctx);
   device_->Fence(ctx);
   // Space occupied by this committed transaction is immediately reclaimable
   // (§3.6); the ring simply advances.
@@ -788,6 +852,22 @@ Status WineFs::FsyncImpl(ExecContext& ctx, Inode& inode) {
   (void)ctx;
   (void)inode;
   return common::OkStatus();
+}
+
+void WineFs::ExecuteBatch(ExecContext& ctx, const vfs::OpBatch& batch,
+                          std::vector<vfs::OpResult>& results) {
+  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  // Group-commit coalescing needs per-store hooks to be absent: a fault
+  // injector or crash-tracking session observes individual journal stores,
+  // so those configurations run with per-slot writes (still through the
+  // native resolve/fd caches).
+  batch_staging_ =
+      device_->fault_injector() == nullptr && !device_->crash_tracking_enabled();
+  ExecuteBatchNative(ctx, batch, results);
+  // Every journaled op fences (and therefore flushes) before returning; this
+  // is a backstop so no staged bytes can outlive the batch.
+  FlushJournalStage(ctx);
+  batch_staging_ = false;
 }
 
 // --- Introspection / reactive rewriting ---------------------------------------------

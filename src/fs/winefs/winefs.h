@@ -115,6 +115,15 @@ class WineFs : public fscore::GenericFs {
   // Aggregate count of free aligned extents across per-CPU pools.
   uint64_t FreeAlignedExtents() const;
 
+  // Native batched execution: the fscore engine plus journal group-commit
+  // coalescing — journal cacheline stores issued between fences are staged in
+  // DRAM and land as one bulk Store/Clwb per contiguous ring run (charge-
+  // identical to per-slot stores; see AppendEntry). Staging is disabled when
+  // a fault injector or crash tracking is attached, where per-store hooks
+  // must observe every individual journal write.
+  void ExecuteBatch(common::ExecContext& ctx, const vfs::OpBatch& batch,
+                    std::vector<vfs::OpResult>& results) override;
+
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
                                                           fscore::Inode& inode,
@@ -188,6 +197,13 @@ class WineFs : public fscore::GenericFs {
   void JournalUndo(common::ExecContext& ctx, CpuPool& pool, uint64_t target_offset,
                    uint64_t len);
 
+  // Batched group-commit staging: contiguous journal-entry stores accumulate
+  // here and flush as one bulk Store+Clwb (before every Fence, and whenever
+  // the ring run breaks — a wrap or a journal switch). The device's per-line
+  // cost math is linear, so bulk == sum of per-slot charges exactly.
+  void StageEntryStore(common::ExecContext& ctx, uint64_t off, const JournalEntry& entry);
+  void FlushJournalStage(common::ExecContext& ctx);
+
   // NUMA policy (§3.6): home node per process, writes routed there.
   uint32_t HomeNodeFor(common::ExecContext& ctx);
 
@@ -204,6 +220,11 @@ class WineFs : public fscore::GenericFs {
   std::unordered_map<uint32_t, uint32_t> home_node_;  // pid -> NUMA node
   uint64_t numa_local_allocs_ = 0;
   uint64_t numa_remote_allocs_ = 0;
+
+  // Journal group-commit staging state (active only inside ExecuteBatch).
+  bool batch_staging_ = false;
+  uint64_t stage_base_off_ = 0;
+  std::vector<uint8_t> stage_buf_;
 };
 
 }  // namespace winefs

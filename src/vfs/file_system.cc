@@ -1,0 +1,133 @@
+// Default batched-execution machinery: the scalar loop every filesystem gets
+// for free, and the one-op dispatcher shared with native engines' fallback
+// arms. Behavior here DEFINES batch semantics — native ExecuteBatch overrides
+// are measured against it.
+#include "src/vfs/file_system.h"
+
+#include "src/vfs/op_batch.h"
+
+namespace vfs {
+
+common::Result<int> ResolveBatchFd(const OpBatch& batch, size_t index,
+                                   const std::vector<OpResult>& results) {
+  const Op& op = batch.ops()[index];
+  if (op.fd_from < 0) {
+    return op.fd;
+  }
+  const size_t from = static_cast<size_t>(op.fd_from);
+  // Only backward references to a *successful* kOpen are meaningful; anything
+  // else is a malformed batch and fails just this op, charging nothing (the
+  // scalar virtuals are never reached).
+  if (from >= index || batch.ops()[from].kind != OpKind::kOpen || !results[from].ok()) {
+    return common::ErrorCode::kBadFd;
+  }
+  return static_cast<int>(results[from].value);
+}
+
+void FileSystem::DispatchScalarOp(common::ExecContext& ctx, const OpBatch& batch, size_t index,
+                                  std::vector<OpResult>& results) {
+  const Op& op = batch.ops()[index];
+  OpResult& out = results[index];
+  int fd = op.fd;
+  switch (op.kind) {
+    case OpKind::kClose:
+    case OpKind::kPread:
+    case OpKind::kPwrite:
+    case OpKind::kAppend:
+    case OpKind::kFsync:
+    case OpKind::kFtruncate:
+    case OpKind::kFallocate: {
+      auto resolved = ResolveBatchFd(batch, index, results);
+      if (!resolved.ok()) {
+        out.status = resolved.status();
+        return;
+      }
+      fd = *resolved;
+      break;
+    }
+    default:
+      break;
+  }
+  switch (op.kind) {
+    case OpKind::kOpen: {
+      auto r = Open(ctx, op.path, op.flags);
+      out.status = r.ok() ? common::OkStatus() : r.status();
+      out.value = r.ok() ? static_cast<uint64_t>(*r) : 0;
+      break;
+    }
+    case OpKind::kClose:
+      out.status = Close(ctx, fd);
+      break;
+    case OpKind::kPread: {
+      const IoResult r = Pread(ctx, fd, op.dst, op.len, op.offset);
+      out.status = r.status();
+      out.value = r.bytes();
+      break;
+    }
+    case OpKind::kPwrite: {
+      const IoResult r = Pwrite(ctx, fd, op.src, op.len, op.offset);
+      out.status = r.status();
+      out.value = r.bytes();
+      break;
+    }
+    case OpKind::kAppend: {
+      const IoResult r = Append(ctx, fd, op.src, op.len);
+      out.status = r.status();
+      out.value = r.bytes();  // append offset, per the Append contract
+      break;
+    }
+    case OpKind::kFsync:
+      out.status = Fsync(ctx, fd);
+      break;
+    case OpKind::kStat: {
+      auto r = Stat(ctx, op.path);
+      out.status = r.ok() ? common::OkStatus() : r.status();
+      if (r.ok()) {
+        out.stat = *r;
+      }
+      break;
+    }
+    case OpKind::kReadDir: {
+      auto r = ReadDir(ctx, op.path);
+      out.status = r.ok() ? common::OkStatus() : r.status();
+      if (r.ok()) {
+        out.entries = std::move(*r);
+      }
+      break;
+    }
+    case OpKind::kUnlink:
+      out.status = Unlink(ctx, op.path);
+      break;
+    case OpKind::kMkdir:
+      out.status = Mkdir(ctx, op.path);
+      break;
+    case OpKind::kRmdir:
+      out.status = Rmdir(ctx, op.path);
+      break;
+    case OpKind::kRename:
+      out.status = Rename(ctx, op.path, op.path2);
+      break;
+    case OpKind::kFtruncate:
+      out.status = Ftruncate(ctx, fd, op.offset);
+      break;
+    case OpKind::kFallocate:
+      out.status = Fallocate(ctx, fd, op.offset, op.len);
+      break;
+  }
+}
+
+void FileSystem::ExecuteBatchScalar(common::ExecContext& ctx, const OpBatch& batch,
+                                    std::vector<OpResult>& results) {
+  results.clear();
+  results.resize(batch.size());
+  for (size_t i = 0; i < batch.size(); i++) {
+    DispatchScalarOp(ctx, batch, i, results);
+  }
+}
+
+void FileSystem::ExecuteBatch(common::ExecContext& ctx, const OpBatch& batch,
+                              std::vector<OpResult>& results) {
+  ExecuteBatchScalar(ctx, batch, results);
+}
+
+}  // namespace vfs

@@ -21,15 +21,67 @@ namespace vfs {
 using InodeNum = uint64_t;
 inline constexpr InodeNum kRootIno = 1;
 
+// open(2) flags as a typed bitmask. The default (no bits) is a plain
+// read-write open of an existing file; kRdOnly *removes* write permission,
+// mirroring O_RDONLY being the absence of O_WRONLY/O_RDWR.
 struct OpenFlags {
-  bool create = false;
-  bool exclusive = false;
-  bool truncate = false;
-  bool write = true;
+  static constexpr uint32_t kCreate = 1u << 0;  // O_CREAT
+  static constexpr uint32_t kExcl = 1u << 1;    // O_EXCL (with kCreate)
+  static constexpr uint32_t kTrunc = 1u << 2;   // O_TRUNC
+  static constexpr uint32_t kRdOnly = 1u << 3;  // O_RDONLY
 
-  static OpenFlags ReadOnly() { return OpenFlags{.write = false}; }
-  static OpenFlags Create() { return OpenFlags{.create = true}; }
-  static OpenFlags CreateExcl() { return OpenFlags{.create = true, .exclusive = true}; }
+  uint32_t bits = 0;
+
+  constexpr OpenFlags() = default;
+  constexpr OpenFlags(uint32_t flag_bits) : bits(flag_bits) {}  // NOLINT
+
+  constexpr bool create() const { return (bits & kCreate) != 0; }
+  constexpr bool exclusive() const { return (bits & kExcl) != 0; }
+  constexpr bool truncate() const { return (bits & kTrunc) != 0; }
+  constexpr bool write() const { return (bits & kRdOnly) == 0; }
+
+  static constexpr OpenFlags ReadOnly() { return OpenFlags(kRdOnly); }
+  static constexpr OpenFlags Create() { return OpenFlags(kCreate); }
+  static constexpr OpenFlags CreateExcl() { return OpenFlags(kCreate | kExcl); }
+};
+
+// Result of a data-plane operation (pread/pwrite/append): the bytes
+// transferred plus the error, if any. Unlike Result<uint64_t>, an IoResult can
+// report PARTIAL progress the way POSIX does — a read that hit a poisoned
+// block after N good bytes returns bytes()==N with status kIoError. For
+// Append the value slot carries the start offset of the written range (the
+// historical contract of Append's Result<uint64_t>).
+class IoResult {
+ public:
+  IoResult(uint64_t bytes) : bytes_(bytes) {}                       // NOLINT
+  IoResult(common::Status status) : status_(status) {}              // NOLINT
+  IoResult(common::ErrorCode code) : status_(code) {}               // NOLINT
+  IoResult(const common::Result<uint64_t>& result)                  // NOLINT
+      : status_(result.ok() ? common::OkStatus() : result.status()),
+        bytes_(result.ok() ? *result : 0) {}
+
+  static IoResult Partial(uint64_t bytes, common::Status error) {
+    IoResult out(error);
+    out.bytes_ = bytes;
+    return out;
+  }
+
+  bool ok() const { return status_.ok(); }
+  common::Status status() const { return status_; }
+  // Bytes transferred before the error (0 on a clean failure); valid even
+  // when !ok() so callers can surface POSIX short reads.
+  uint64_t bytes() const { return bytes_; }
+  bool partial() const { return !status_.ok() && bytes_ > 0; }
+
+  // Result<uint64_t>-compatible accessors so existing `*n` / ASSIGN_OR_RETURN
+  // call sites keep working unchanged.
+  uint64_t& value() { return bytes_; }
+  const uint64_t& value() const { return bytes_; }
+  uint64_t operator*() const { return bytes_; }
+
+ private:
+  common::Status status_;
+  uint64_t bytes_ = 0;
 };
 
 struct StatInfo {
@@ -76,6 +128,12 @@ enum class GuaranteeMode {
   kStrict,   // atomic+synchronous data AND metadata (NOVA/Strata/WineFS default)
 };
 
+// Batched op-vector surface (src/vfs/op_batch.h). Forward-declared so the
+// virtual signatures below do not pull the batch types into every include of
+// the interface; op_batch.h includes this header, not the other way around.
+class OpBatch;
+struct OpResult;
+
 class FileSystem : public vmem::FaultHandler, public obs::GaugeProvider {
  public:
   ~FileSystem() override = default;
@@ -104,13 +162,13 @@ class FileSystem : public vmem::FaultHandler, public obs::GaugeProvider {
                                                         const std::string& path) = 0;
 
   // --- Data --------------------------------------------------------------
-  virtual common::Result<uint64_t> Pread(common::ExecContext& ctx, int fd, void* dst,
-                                         uint64_t len, uint64_t offset) = 0;
-  virtual common::Result<uint64_t> Pwrite(common::ExecContext& ctx, int fd, const void* src,
-                                          uint64_t len, uint64_t offset) = 0;
-  // Append at EOF; returns the offset written.
-  virtual common::Result<uint64_t> Append(common::ExecContext& ctx, int fd, const void* src,
-                                          uint64_t len) = 0;
+  virtual IoResult Pread(common::ExecContext& ctx, int fd, void* dst, uint64_t len,
+                         uint64_t offset) = 0;
+  virtual IoResult Pwrite(common::ExecContext& ctx, int fd, const void* src, uint64_t len,
+                          uint64_t offset) = 0;
+  // Append at EOF; the IoResult value carries the offset written at.
+  virtual IoResult Append(common::ExecContext& ctx, int fd, const void* src,
+                          uint64_t len) = 0;
   virtual common::Status Fsync(common::ExecContext& ctx, int fd) = 0;
   virtual common::Status Fallocate(common::ExecContext& ctx, int fd, uint64_t offset,
                                    uint64_t len) = 0;
@@ -137,7 +195,38 @@ class FileSystem : public vmem::FaultHandler, public obs::GaugeProvider {
   // occupancy, allocator pool balance). Charges NO simulated time — it is an
   // observer, not an operation. Default: exposes nothing.
   void SampleGauges(obs::GaugeSample& out) override { (void)out; }
+
+  // --- Batched op vectors (src/vfs/op_batch.h) ---------------------------
+  // Executes a whole op vector, writing one OpResult per op. An op's failure
+  // never aborts the batch: later ops run, and ops referencing a failed
+  // open's fd fail with kBadFd without being dispatched. The default walks
+  // the scalar loop, so every filesystem supports batches; implementations
+  // with a native fast path (WineFS, the ext4-DAX family) override — under
+  // the contract that modeled clock, counters, and namespace state stay
+  // BIT-IDENTICAL to the scalar loop for the same batch.
+  virtual void ExecuteBatch(common::ExecContext& ctx, const OpBatch& batch,
+                            std::vector<OpResult>& results);
+
+  // The reference scalar loop, always available (differential tests pin
+  // native ExecuteBatch implementations against it).
+  void ExecuteBatchScalar(common::ExecContext& ctx, const OpBatch& batch,
+                          std::vector<OpResult>& results);
+
+ protected:
+  // Executes exactly one op of the batch via the public virtual ops, placing
+  // the outcome in results[index] (which must already be sized). Shared by
+  // the scalar loop and the scalar-fallback arm of native engines so the two
+  // can never drift.
+  void DispatchScalarOp(common::ExecContext& ctx, const OpBatch& batch, size_t index,
+                        std::vector<OpResult>& results);
 };
+
+// Resolves the fd an op acts on: either the op's raw fd or, when fd_from is
+// set, the descriptor produced by an earlier kOpen op in the same batch.
+// Returns kBadFd for malformed references (forward/self references, non-open
+// targets, or targets that failed) — without charging any simulated time.
+common::Result<int> ResolveBatchFd(const OpBatch& batch, size_t index,
+                                   const std::vector<OpResult>& results);
 
 }  // namespace vfs
 

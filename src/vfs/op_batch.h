@@ -1,0 +1,211 @@
+// Batched op vectors: the second-generation hot path through the syscall
+// spine. A workload builds an OpBatch (a flat vector of typed op variants),
+// hands it to FileSystem::ExecuteBatch, and reads one OpResult per op back.
+//
+// Semantics are defined by the scalar loop (FileSystem::ExecuteBatchScalar):
+// ops execute in index order, each exactly as if the corresponding virtual
+// had been called directly, and a failed op never aborts the batch. Native
+// batched implementations (WineFS, the ext4-DAX family) are *host-speed*
+// optimizations only — modeled clock, PerfCounters, and namespace state must
+// stay bit-identical to the scalar loop (enforced by the batched-vs-scalar
+// equivalence test in tests/).
+//
+// Intra-batch fd chaining: ops that act on a descriptor may reference the fd
+// produced by an EARLIER kOpen op in the same batch via FdRef::From(index)
+// instead of a raw fd. This lets a whole open→write→fsync→close sequence ride
+// in one batch. Referencing a failed or non-open op yields kBadFd for the
+// referencing op (charging nothing), identical in scalar and native paths.
+#ifndef SRC_VFS_OP_BATCH_H_
+#define SRC_VFS_OP_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/vfs/file_system.h"
+
+namespace vfs {
+
+enum class OpKind : uint8_t {
+  kOpen,
+  kClose,
+  kPread,
+  kPwrite,
+  kAppend,
+  kFsync,
+  kStat,
+  kReadDir,
+  kUnlink,
+  kMkdir,
+  kRmdir,
+  kRename,
+  kFtruncate,
+  kFallocate,
+};
+
+inline const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kOpen: return "open";
+    case OpKind::kClose: return "close";
+    case OpKind::kPread: return "pread";
+    case OpKind::kPwrite: return "pwrite";
+    case OpKind::kAppend: return "append";
+    case OpKind::kFsync: return "fsync";
+    case OpKind::kStat: return "stat";
+    case OpKind::kReadDir: return "readdir";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kRmdir: return "rmdir";
+    case OpKind::kRename: return "rename";
+    case OpKind::kFtruncate: return "ftruncate";
+    case OpKind::kFallocate: return "fallocate";
+  }
+  return "?";
+}
+
+// A descriptor operand: either a raw fd (from an Open outside the batch) or a
+// reference to the fd produced by batch op `from` (which must be an earlier
+// kOpen in the same batch).
+struct FdRef {
+  int fd = -1;
+  int32_t from = -1;
+
+  FdRef(int raw_fd) : fd(raw_fd) {}  // NOLINT — implicit: raw fds read naturally
+  static FdRef From(size_t open_index) {
+    FdRef ref(-1);
+    ref.from = static_cast<int32_t>(open_index);
+    return ref;
+  }
+};
+
+// One typed op variant. Kept as a single flat struct (kind + the union of
+// operand fields) rather than a std::variant: batches are built in bulk on the
+// hot path and a flat layout keeps construction branch-free and cache-dense.
+struct Op {
+  OpKind kind = OpKind::kStat;
+  OpenFlags flags;       // kOpen
+  int fd = -1;           // fd-based ops (raw descriptor)
+  int32_t fd_from = -1;  // fd-based ops (intra-batch open reference)
+  std::string path;      // path-based ops; rename source
+  std::string path2;     // rename destination
+  void* dst = nullptr;   // kPread destination buffer
+  const void* src = nullptr;  // kPwrite/kAppend source buffer
+  uint64_t len = 0;      // byte count (pread/pwrite/append/fallocate)
+  uint64_t offset = 0;   // file offset (pread/pwrite/fallocate); ftruncate size
+};
+
+// One op's outcome. `value` carries the op's scalar payload: the fd for
+// kOpen, bytes transferred for kPread/kPwrite (valid even on partial EIO
+// failure, mirroring IoResult), and the append offset for kAppend.
+struct OpResult {
+  common::Status status;
+  uint64_t value = 0;
+  StatInfo stat;                  // kStat only
+  std::vector<DirEntry> entries;  // kReadDir only
+
+  bool ok() const { return status.ok(); }
+};
+
+class OpBatch {
+ public:
+  // Builders: each appends one op and returns its batch index (usable with
+  // FdRef::From for later ops in the same batch).
+  size_t Open(std::string path, OpenFlags flags) {
+    Op op;
+    op.kind = OpKind::kOpen;
+    op.path = std::move(path);
+    op.flags = flags;
+    return Push(std::move(op));
+  }
+  size_t Close(FdRef fd) { return PushFd(OpKind::kClose, fd); }
+  size_t Pread(FdRef fd, void* dst, uint64_t len, uint64_t offset) {
+    Op op;
+    op.kind = OpKind::kPread;
+    SetFd(op, fd);
+    op.dst = dst;
+    op.len = len;
+    op.offset = offset;
+    return Push(std::move(op));
+  }
+  size_t Pwrite(FdRef fd, const void* src, uint64_t len, uint64_t offset) {
+    Op op;
+    op.kind = OpKind::kPwrite;
+    SetFd(op, fd);
+    op.src = src;
+    op.len = len;
+    op.offset = offset;
+    return Push(std::move(op));
+  }
+  size_t Append(FdRef fd, const void* src, uint64_t len) {
+    Op op;
+    op.kind = OpKind::kAppend;
+    SetFd(op, fd);
+    op.src = src;
+    op.len = len;
+    return Push(std::move(op));
+  }
+  size_t Fsync(FdRef fd) { return PushFd(OpKind::kFsync, fd); }
+  size_t Stat(std::string path) { return PushPath(OpKind::kStat, std::move(path)); }
+  size_t ReadDir(std::string path) { return PushPath(OpKind::kReadDir, std::move(path)); }
+  size_t Unlink(std::string path) { return PushPath(OpKind::kUnlink, std::move(path)); }
+  size_t Mkdir(std::string path) { return PushPath(OpKind::kMkdir, std::move(path)); }
+  size_t Rmdir(std::string path) { return PushPath(OpKind::kRmdir, std::move(path)); }
+  size_t Rename(std::string from, std::string to) {
+    Op op;
+    op.kind = OpKind::kRename;
+    op.path = std::move(from);
+    op.path2 = std::move(to);
+    return Push(std::move(op));
+  }
+  size_t Ftruncate(FdRef fd, uint64_t size) {
+    Op op;
+    op.kind = OpKind::kFtruncate;
+    SetFd(op, fd);
+    op.offset = size;
+    return Push(std::move(op));
+  }
+  size_t Fallocate(FdRef fd, uint64_t offset, uint64_t len) {
+    Op op;
+    op.kind = OpKind::kFallocate;
+    SetFd(op, fd);
+    op.offset = offset;
+    op.len = len;
+    return Push(std::move(op));
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+  void Reserve(size_t n) { ops_.reserve(n); }
+
+ private:
+  static void SetFd(Op& op, FdRef fd) {
+    op.fd = fd.fd;
+    op.fd_from = fd.from;
+  }
+  size_t Push(Op op) {
+    ops_.push_back(std::move(op));
+    return ops_.size() - 1;
+  }
+  size_t PushFd(OpKind kind, FdRef fd) {
+    Op op;
+    op.kind = kind;
+    SetFd(op, fd);
+    return Push(std::move(op));
+  }
+  size_t PushPath(OpKind kind, std::string path) {
+    Op op;
+    op.kind = kind;
+    op.path = std::move(path);
+    return Push(std::move(op));
+  }
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_OP_BATCH_H_

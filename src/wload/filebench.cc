@@ -5,6 +5,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/vfs/op_batch.h"
 
 namespace wload {
 
@@ -89,6 +90,21 @@ Result<FilebenchResult> Filebench::Run() {
     rngs.emplace_back(config_.seed * 131 + t);
   }
 
+  // Each helper rides the op-batch spine: build the whole syscall sequence as
+  // one OpBatch and hand it to ExecuteBatch (native fast path where the
+  // filesystem has one, scalar loop otherwise). Batch semantics match the
+  // scalar calls op for op, so the modeled timeline is unchanged; the first
+  // failed op's status is what the old early-returning code would have
+  // surfaced.
+  auto first_error = [](const std::vector<vfs::OpResult>& results) -> Status {
+    for (const vfs::OpResult& r : results) {
+      if (!r.ok()) {
+        return r.status;
+      }
+    }
+    return common::OkStatus();
+  };
+
   auto whole_file_read = [&](ExecContext& ctx, common::Rng& rng) -> Status {
     const uint32_t id = static_cast<uint32_t>(rng.NextBelow(config_.num_files));
     auto fd = fs_->Open(ctx, path_of(id), vfs::OpenFlags::ReadOnly());
@@ -96,15 +112,19 @@ Result<FilebenchResult> Filebench::Run() {
       return common::OkStatus();  // deleted by a concurrent op: benign
     }
     auto st = fs_->SizeOf(ctx, *fd);
+    // The read loop is deterministic once the size is known: full-buffer
+    // chunks until the remainder. Batch them with the trailing close.
+    vfs::OpBatch batch;
     uint64_t off = 0;
     while (st.ok() && off < *st) {
-      auto n = fs_->Pread(ctx, *fd, buf.data(), std::min<uint64_t>(buf.size(), *st - off), off);
-      if (!n.ok() || *n == 0) {
-        break;
-      }
-      off += *n;
+      const uint64_t chunk = std::min<uint64_t>(buf.size(), *st - off);
+      batch.Pread(*fd, buf.data(), chunk, off);
+      off += chunk;
     }
-    return fs_->Close(ctx, *fd);
+    batch.Close(*fd);
+    std::vector<vfs::OpResult> results;
+    fs_->ExecuteBatch(ctx, batch, results);
+    return results.back().status;  // reads are best-effort, close is not
   };
 
   auto create_append_fsync = [&](ExecContext& ctx, common::Rng& rng, bool remove_after,
@@ -112,40 +132,37 @@ Result<FilebenchResult> Filebench::Run() {
     const uint64_t id = next_new_file.fetch_add(1);
     const std::string path = path_of(static_cast<uint32_t>(id % (config_.num_files * 4)) +
                                      config_.num_files);
-    auto fd = fs_->Open(ctx, path, vfs::OpenFlags::Create());
-    if (!fd.ok()) {
-      return fd.status();
-    }
     const uint64_t size = config_.mean_file_bytes / 2 + rng.NextBelow(config_.mean_file_bytes);
-    auto n = fs_->Append(ctx, *fd, buf.data(), size);
-    if (!n.ok()) {
-      return n.status();
-    }
+    vfs::OpBatch batch;
+    const size_t open_index = batch.Open(path, vfs::OpenFlags::Create());
+    batch.Append(vfs::FdRef::From(open_index), buf.data(), size);
     if (fsync) {
-      RETURN_IF_ERROR(fs_->Fsync(ctx, *fd));
+      batch.Fsync(vfs::FdRef::From(open_index));
     }
-    RETURN_IF_ERROR(fs_->Close(ctx, *fd));
+    batch.Close(vfs::FdRef::From(open_index));
     if (remove_after) {
-      return fs_->Unlink(ctx, path);
+      batch.Unlink(path);
     }
-    return common::OkStatus();
+    std::vector<vfs::OpResult> results;
+    fs_->ExecuteBatch(ctx, batch, results);
+    return first_error(results);
   };
 
   auto append_existing = [&](ExecContext& ctx, common::Rng& rng, bool fsync) -> Status {
     const uint32_t id = static_cast<uint32_t>(rng.NextBelow(config_.num_files));
-    auto fd = fs_->Open(ctx, path_of(id), vfs::OpenFlags{});
-    if (!fd.ok()) {
-      return common::OkStatus();
-    }
-    auto n = fs_->Append(ctx, *fd, buf.data(), 16 * common::kKiB);
-    if (!n.ok()) {
-      (void)fs_->Close(ctx, *fd);
-      return n.status();
-    }
+    vfs::OpBatch batch;
+    const size_t open_index = batch.Open(path_of(id), vfs::OpenFlags{});
+    batch.Append(vfs::FdRef::From(open_index), buf.data(), 16 * common::kKiB);
     if (fsync) {
-      RETURN_IF_ERROR(fs_->Fsync(ctx, *fd));
+      batch.Fsync(vfs::FdRef::From(open_index));
     }
-    return fs_->Close(ctx, *fd);
+    batch.Close(vfs::FdRef::From(open_index));
+    std::vector<vfs::OpResult> results;
+    fs_->ExecuteBatch(ctx, batch, results);
+    if (!results[open_index].ok()) {
+      return common::OkStatus();  // deleted by a concurrent op: benign
+    }
+    return first_error(results);
   };
 
   auto op = [&](uint32_t tid, uint64_t i, ExecContext& ctx) -> bool {

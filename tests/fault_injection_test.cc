@@ -192,6 +192,72 @@ TEST_P(PoisonedReadFsTest, PoisonedDataBlockSurfacesEioNeverStaleBytes) {
   EXPECT_EQ(std::memcmp(out.data(), pattern.data(), out.size()), 0);
 }
 
+TEST_P(PoisonedReadFsTest, PartialReadReportsBytesDeliveredBeforeEio) {
+  pmem::PmemDevice dev(128 * kMiB);
+  pmem::FaultInjector injector(pmem::FaultPlan{.seed = 5});
+  dev.AttachFaultInjector(&injector);
+  auto fs = fsreg::Create(GetParam(), &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+
+  // Sparse layout: block 0 holds pattern A, block 1 is a hole, block 2 holds
+  // pattern B. The hole splits the extent runs, so a poisoned block 2 must
+  // surface as a short read of exactly the two preceding blocks — Pread
+  // transfers whole extent runs, and the hole pins the run boundary at the
+  // same place on every filesystem regardless of its allocation policy.
+  std::vector<uint8_t> pattern_a(common::kBlockSize);
+  std::vector<uint8_t> pattern_b(common::kBlockSize);
+  for (size_t i = 0; i < common::kBlockSize; i++) {
+    pattern_a[i] = static_cast<uint8_t>(0xa0 + (i % 11));
+    pattern_b[i] = static_cast<uint8_t>(0xb0 + (i % 13));
+  }
+  auto fd = fs->Open(ctx, "/sparse", vfs::OpenFlags::Create());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, pattern_a.data(), pattern_a.size(), 0).ok());
+  ASSERT_TRUE(fs->Pwrite(ctx, *fd, pattern_b.data(), pattern_b.size(),
+                         2 * common::kBlockSize)
+                  .ok());
+  ASSERT_TRUE(fs->Fsync(ctx, *fd).ok());
+
+  // Locate pattern B in the raw image and poison part of its media block.
+  const uint8_t* raw = dev.raw();
+  const uint8_t* hit = nullptr;
+  for (uint64_t block = 0; block + common::kBlockSize <= dev.size();
+       block += common::kBlockSize) {
+    if (std::memcmp(raw + block, pattern_b.data(), common::kBlockSize) == 0) {
+      hit = raw + block;
+      break;
+    }
+  }
+  ASSERT_NE(hit, nullptr) << "pattern block not found in the device image";
+  const uint64_t poison_off = static_cast<uint64_t>(hit - raw);
+  injector.PoisonRange(poison_off + 128, 256);
+
+  std::vector<uint8_t> out(3 * common::kBlockSize, 0x99);
+  auto n = fs->Pread(ctx, *fd, out.data(), out.size(), 0);
+  ASSERT_FALSE(n.ok()) << GetParam() << " returned data from a poisoned block";
+  EXPECT_EQ(n.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(n.status().errno_value(), EIO);
+  EXPECT_TRUE(n.partial());
+  ASSERT_EQ(n.bytes(), 2 * common::kBlockSize)
+      << GetParam() << " must deliver the intact prefix before the error";
+  // The delivered prefix is valid: pattern A, then the hole as zeros.
+  EXPECT_EQ(std::memcmp(out.data(), pattern_a.data(), common::kBlockSize), 0);
+  for (uint64_t i = 0; i < common::kBlockSize; i++) {
+    ASSERT_EQ(out[common::kBlockSize + i], 0u) << "hole byte " << i;
+  }
+
+  // Clearing the poison restores the full read, including pattern B.
+  injector.ClearPoisonRange(poison_off + 128, 256);
+  auto n2 = fs->Pread(ctx, *fd, out.data(), out.size(), 0);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n2.bytes(), 3 * common::kBlockSize);
+  EXPECT_FALSE(n2.partial());
+  EXPECT_EQ(std::memcmp(out.data() + 2 * common::kBlockSize, pattern_b.data(),
+                        common::kBlockSize),
+            0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Filesystems, PoisonedReadFsTest,
                          ::testing::Values("winefs", "ext4-dax", "xfs-dax", "pmfs",
                                            "nova", "splitfs"),

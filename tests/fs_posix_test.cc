@@ -77,8 +77,7 @@ TEST_P(FsPosixTest, ExclusiveCreateFailsOnExisting) {
 
 TEST_P(FsPosixTest, TruncateOnOpenEmptiesFile) {
   MustCreate("/t", Pattern(5000));
-  vfs::OpenFlags flags;
-  flags.truncate = true;
+  vfs::OpenFlags flags(vfs::OpenFlags::kTrunc);
   auto fd = fs_->Open(ctx_, "/t", flags);
   ASSERT_TRUE(fd.ok());
   auto st = fs_->Stat(ctx_, "/t");

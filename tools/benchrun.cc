@@ -6,7 +6,9 @@
 //
 //   benchrun -j 4 -l build/bench/logs "bench/fig04_tlb_cdf" "bench/fig07_fio"
 //
-// Exit status is the number of failed commands (0 = all passed).
+// Exit status is 0 when every command passed; otherwise the highest non-zero
+// per-command exit code (clamped to 255), so a caller sees the worst
+// underlying failure instead of a bare failure count.
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -165,12 +167,14 @@ int main(int argc, char** argv) {
       ReapOne(jobs, &running);
     }
   }
+  int worst_exit = 0;
   for (const Job& job : jobs) {
     if (job.exit_code != 0) {
       failed++;
+      worst_exit = std::max(worst_exit, job.exit_code);
     }
   }
   std::printf("benchrun: %zu/%zu passed in %.1fs\n", jobs.size() - failed, jobs.size(),
               static_cast<double>(WallMs() - suite_start) / 1000.0);
-  return failed > 255 ? 255 : static_cast<int>(failed);
+  return worst_exit > 255 ? 255 : worst_exit;
 }
