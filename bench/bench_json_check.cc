@@ -34,6 +34,16 @@
 //       asserts the batched row's modeled output (non-host_ metrics and the
 //       counter dump) is bit-identical to the scalar row's, and that its host
 //       ns/op beats the scalar loop by at least min_ratio (default 5.0).
+//   bench_json_check BENCH_<name>.json --require-contention [min_sites]
+//       requires a schema-v3 contention section somewhere in the report
+//       naming at least min_sites (default 1) distinct lock sites, each with
+//       wait/hold percentile summaries — the profiler's named-lock-site
+//       output.
+//   bench_json_check --prof-overhead BENCH_opperf.json [max_ratio]
+//       asserts the batched-prof row's modeled output is bit-identical to the
+//       batched row's (profiling must never perturb the simulation) and its
+//       profiler-on host ns/op is at most max_ratio (default 1.05) times its
+//       own profiler-off rounds — the <=5% profiling host-overhead gate.
 // The CTest bench_json_schema / bench_timeseries_schema / bench_chrome_trace
 // targets run a real bench and then this binary, so rot in the reporters
 // fails the suite end-to-end.
@@ -309,12 +319,13 @@ int CheckSimperfSpeedup(const char* path_fast, const obs::JsonValue& fast,
   return 0;
 }
 
-// Within-one-file gate for BENCH_opperf.json: the "scalar" and "batched"
-// rows must carry bit-identical modeled output (every non-host_ metric and
-// every counter — the batched dispatch is a host-speed optimization only),
-// and the batched row's host ns/op must beat the scalar row's by at least
-// `min_ratio`.
-int CheckOpperfSpeedup(const char* path, const obs::JsonValue& root, double min_ratio) {
+// Shared machinery for the within-one-file opperf gates: asserts rows
+// `base_row` and `other_row` carry bit-identical modeled output (every
+// non-host_ metric and every counter), then returns the host ns/op ratio
+// base/other through `out_ratio`. Returns nonzero on any mismatch.
+int CompareRowsModeled(const char* path, const obs::JsonValue& root,
+                       const std::string& base_row, const std::string& other_row,
+                       double& out_ratio) {
   auto collect = [&root](const std::string& fs, const char* section) {
     std::map<std::string, double> out;
     for (const obs::JsonValue& row : root.Find("results")->array) {
@@ -335,42 +346,113 @@ int CheckOpperfSpeedup(const char* path, const obs::JsonValue& root, double min_
   };
   size_t compared = 0;
   for (const char* section : {"metrics", "counters"}) {
-    const auto scalar = collect("scalar", section);
-    const auto batched = collect("batched", section);
-    if (scalar.empty() || scalar.size() != batched.size()) {
-      return Fail(path, "scalar/batched " + std::string(section) + " rows missing or ragged");
+    const auto base = collect(base_row, section);
+    const auto other = collect(other_row, section);
+    if (base.empty() || base.size() != other.size()) {
+      return Fail(path, base_row + "/" + other_row + " " + std::string(section) +
+                            " rows missing or ragged");
     }
-    for (const auto& [key, value] : scalar) {
-      auto it = batched.find(key);
-      if (it == batched.end()) {
-        return Fail(path, "batched row lacks " + std::string(section) + " " + key);
+    for (const auto& [key, value] : base) {
+      auto it = other.find(key);
+      if (it == other.end()) {
+        return Fail(path, other_row + " row lacks " + std::string(section) + " " + key);
       }
       if (it->second != value) {
         char why[256];
-        std::snprintf(why, sizeof(why), "%s %s differs: scalar %.17g vs batched %.17g",
-                      section, key.c_str(), value, it->second);
+        std::snprintf(why, sizeof(why), "%s %s differs: %s %.17g vs %s %.17g", section,
+                      key.c_str(), base_row.c_str(), value, other_row.c_str(), it->second);
         return Fail(path, why);
       }
       compared++;
     }
   }
-  const obs::JsonValue* s = FindMetric(root, "scalar", "host_ns_per_op");
-  const obs::JsonValue* b = FindMetric(root, "batched", "host_ns_per_op");
-  if (s == nullptr || !s->is_number()) {
-    return Fail(path, "no scalar host_ns_per_op metric");
+  const obs::JsonValue* b = FindMetric(root, base_row, "host_ns_per_op");
+  const obs::JsonValue* o = FindMetric(root, other_row, "host_ns_per_op");
+  if (b == nullptr || !b->is_number()) {
+    return Fail(path, "no " + base_row + " host_ns_per_op metric");
   }
-  if (b == nullptr || !b->is_number() || b->number_value <= 0) {
-    return Fail(path, "no usable batched host_ns_per_op metric");
+  if (o == nullptr || !o->is_number() || o->number_value <= 0) {
+    return Fail(path, "no usable " + other_row + " host_ns_per_op metric");
   }
-  const double ratio = s->number_value / b->number_value;
-  std::printf(
-      "opperf: %zu modeled values identical; batched speedup %.2fx (%.1f ns/op vs %.1f ns/op)\n",
-      compared, ratio, s->number_value, b->number_value);
+  out_ratio = b->number_value / o->number_value;
+  std::printf("%s vs %s: %zu modeled values identical; host ns/op %.1f vs %.1f\n",
+              base_row.c_str(), other_row.c_str(), compared, b->number_value, o->number_value);
+  return 0;
+}
+
+// Within-one-file gate for BENCH_opperf.json: the "scalar" and "batched"
+// rows must carry bit-identical modeled output (the batched dispatch is a
+// host-speed optimization only), and the batched row's host ns/op must beat
+// the scalar row's by at least `min_ratio`.
+int CheckOpperfSpeedup(const char* path, const obs::JsonValue& root, double min_ratio) {
+  double ratio = 0;
+  if (int rc = CompareRowsModeled(path, root, "scalar", "batched", ratio); rc != 0) {
+    return rc;
+  }
+  std::printf("opperf: batched speedup %.2fx\n", ratio);
   if (ratio < min_ratio) {
     char why[128];
     std::snprintf(why, sizeof(why), "speedup %.2fx below required %.2fx", ratio, min_ratio);
     return Fail(path, why);
   }
+  return 0;
+}
+
+// Profiling host-overhead gate for BENCH_opperf.json: the "batched-prof" row
+// (profiler attached) must carry modeled output bit-identical to the plain
+// "batched" row, and its host_prof_overhead_factor — the interquartile-mean
+// ratio of the profiler-on vs profiler-off round populations, alternated on
+// the same bed and computed by opperf itself — may be at most `max_ratio`.
+// Same-bed alternation is what keeps a 5% margin testable: cross-bed
+// memory-layout luck alone exceeds it.
+int CheckProfOverhead(const char* path, const obs::JsonValue& root, double max_ratio) {
+  double unused_ratio = 0;
+  if (int rc = CompareRowsModeled(path, root, "batched", "batched-prof", unused_ratio);
+      rc != 0) {
+    return rc;
+  }
+  const obs::JsonValue* factor = FindMetric(root, "batched-prof", "host_prof_overhead_factor");
+  if (factor == nullptr || !factor->is_number() || factor->number_value <= 0) {
+    return Fail(path, "no usable batched-prof host_prof_overhead_factor metric");
+  }
+  const double overhead = factor->number_value;
+  std::printf("opperf: profiling host overhead %.2f%% (factor %.4fx, max %.4fx)\n",
+              100.0 * (overhead - 1.0), overhead, max_ratio);
+  if (overhead > max_ratio) {
+    char why[128];
+    std::snprintf(why, sizeof(why), "profiling overhead %.4fx above allowed %.4fx", overhead,
+                  max_ratio);
+    return Fail(path, why);
+  }
+  return 0;
+}
+
+// Requires at least `min_sites` distinct named lock sites across all result
+// rows' contention sections (schema validation has already checked each
+// site's shape: counts, totals, wait/hold percentile summaries).
+int CheckContention(const char* path, const obs::JsonValue& root, size_t min_sites) {
+  std::set<std::string> sites;
+  size_t rows_with_contention = 0;
+  for (const obs::JsonValue& row : root.Find("results")->array) {
+    const obs::JsonValue* contention = row.Find("contention");
+    if (contention == nullptr || !contention->is_object()) {
+      continue;
+    }
+    rows_with_contention++;
+    for (const auto& [site, entry] : contention->object) {
+      (void)entry;
+      sites.insert(site);
+    }
+  }
+  if (rows_with_contention == 0) {
+    return Fail(path, "no result row carries a contention section");
+  }
+  if (sites.size() < min_sites) {
+    return Fail(path, "contention names " + std::to_string(sites.size()) +
+                          " distinct lock sites, need >= " + std::to_string(min_sites));
+  }
+  std::printf("%s: contention ok (%zu distinct lock sites across %zu rows)\n", path,
+              sites.size(), rows_with_contention);
   return 0;
 }
 
@@ -432,10 +514,10 @@ int main(int argc, char** argv) {
     return CompareMetrics(argv[2], *a, argv[3], *b);
   }
 
-  if (std::strcmp(argv[1], "--opperf-speedup") == 0) {
+  if (std::strcmp(argv[1], "--opperf-speedup") == 0 ||
+      std::strcmp(argv[1], "--prof-overhead") == 0) {
     if (argc < 3) {
-      std::fprintf(stderr, "usage: %s --opperf-speedup BENCH_opperf.json [min_ratio]\n",
-                   argv[0]);
+      std::fprintf(stderr, "usage: %s %s BENCH_opperf.json [ratio]\n", argv[0], argv[1]);
       return 2;
     }
     bool ok = false;
@@ -450,6 +532,10 @@ int main(int argc, char** argv) {
     auto root = obs::JsonValue::Parse(text);
     if (!root.ok()) {
       return Fail(argv[2], "parse failed after validation");
+    }
+    if (std::strcmp(argv[1], "--prof-overhead") == 0) {
+      const double max_ratio = argc > 3 ? std::atof(argv[3]) : 1.05;
+      return CheckProfOverhead(argv[2], *root, max_ratio);
     }
     const double min_ratio = argc > 3 ? std::atof(argv[3]) : 5.0;
     return CheckOpperfSpeedup(argv[2], *root, min_ratio);
@@ -497,6 +583,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[2], "--require-snap-warm") == 0) {
       if (int rc = CheckSnapConfig(argv[1], *root, /*warm=*/true); rc != 0) {
+        return rc;
+      }
+    } else if (std::strcmp(argv[2], "--require-contention") == 0) {
+      const size_t min_sites =
+          argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 1;
+      if (int rc = CheckContention(argv[1], *root, min_sites); rc != 0) {
         return rc;
       }
     } else {

@@ -16,6 +16,7 @@
 #include "src/obs/chrome_trace.h"
 #include "src/obs/gauges.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/snap/corpus.h"
@@ -86,8 +87,9 @@ inline void AddSnapConfig(obs::BenchReport& report, const snap::Corpus& corpus,
 }
 
 // One filesystem's observability bundle for a bench run: span trace, op
-// metrics, and the periodic gauge sampler. Keep one FsObs per filesystem (or
-// ctx.Reset() between filesystems) so samples never bleed across rows.
+// metrics, the periodic gauge sampler, and the contention/attribution
+// profiler. Keep one FsObs per filesystem (or ctx.Reset() between
+// filesystems) so samples never bleed across rows.
 struct FsObs {
   // 4096 retained events per filesystem keeps TRACE_<bench>.json exports a
   // few MB; category aggregates still cover every span ever recorded.
@@ -96,6 +98,7 @@ struct FsObs {
   obs::TraceBuffer trace;
   obs::MetricsRegistry metrics;
   obs::TimeSeriesSampler sampler;
+  obs::Profiler profiler;
 
   // Benches whose single trace serves several instrumented threads (e.g. a
   // background defragmenter plus a foreground reader) pass a larger
@@ -113,12 +116,14 @@ inline void AttachObs(common::ExecContext& ctx, TestBed& bed, FsObs& fs_obs) {
   ctx.AttachTrace(&fs_obs.trace);
   ctx.AttachMetrics(&fs_obs.metrics);
   ctx.AttachSampler(&fs_obs.sampler);
+  ctx.AttachProfiler(&fs_obs.profiler);
 }
 
 inline void DetachObs(common::ExecContext& ctx) {
   ctx.AttachTrace(nullptr);
   ctx.AttachMetrics(nullptr);
   ctx.AttachSampler(nullptr);
+  ctx.AttachProfiler(nullptr);
 }
 
 // Ages the bed's filesystem Geriatrix-style with the caller's context, so any
@@ -188,14 +193,28 @@ inline void EmitReport(const obs::BenchReport& report) {
 // report. Exits non-zero on failure so the trace-check CTest target catches a
 // rotted exporter.
 inline void EmitChromeTrace(const std::string& bench_name,
-                            const std::vector<obs::NamedTrace>& traces) {
-  auto written = obs::WriteChromeTrace(bench_name, traces);
+                            const std::vector<obs::NamedTrace>& traces,
+                            const std::vector<obs::NamedLockTrack>& lock_tracks = {}) {
+  auto written = obs::WriteChromeTrace(bench_name, traces, lock_tracks);
   if (!written.ok()) {
     std::fprintf(stderr, "TRACE_%s.json: emit failed: %s\n", bench_name.c_str(),
                  std::string(written.status().message()).c_str());
     std::exit(1);
   }
   std::printf("trace:   %s\n", written->c_str());
+}
+
+// Writes FLAME_<bench>.txt (flamegraph.pl folded-stack format) from the
+// profilers' collapsed zone stacks. Exits non-zero on write failure.
+inline void EmitFlame(const std::string& bench_name,
+                      const std::vector<obs::NamedLockTrack>& profilers) {
+  auto written = obs::WriteCollapsedStacks(bench_name, profilers);
+  if (!written.ok()) {
+    std::fprintf(stderr, "FLAME_%s.txt: emit failed: %s\n", bench_name.c_str(),
+                 std::string(written.status().message()).c_str());
+    std::exit(1);
+  }
+  std::printf("flame:   %s\n", written->c_str());
 }
 
 }  // namespace benchutil

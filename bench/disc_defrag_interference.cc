@@ -9,6 +9,7 @@
 // WINEFS_SNAP_DIR is set — and both scenarios run on private COW forks of it,
 // so "no defrag" and "defrag running" see byte-identical starting states.
 #include "bench/bench_util.h"
+#include "src/common/prof_zone.h"
 #include "src/fs/winefs/winefs.h"
 
 using benchutil::Fmt;
@@ -84,6 +85,10 @@ ForegroundResult RunForeground(const pmem::DeviceSnapshot& fixture, bool with_de
   auto fmap = bed.engine->Mmap(bed.fs.get(), *fino, kForegroundBytes, false);
 
   common::ResourceClock pm_bandwidth("pm-bandwidth");
+  // Every bandwidth slice reports as a lock event on the shared "pm-bandwidth"
+  // site, so the contention section attributes the interference to the device
+  // itself rather than to any filesystem lock.
+  common::LockSiteRef pm_bw_site;
   const auto& cost = bed.dev->cost();
 
   // Background defragmentation: the rewrite reads + writes the whole file;
@@ -97,7 +102,8 @@ ForegroundResult RunForeground(const pmem::DeviceSnapshot& fixture, bool with_de
   if (with_defrag) {
     const uint64_t slices = 2 * kFragFileBytes / kMiB;  // read + write passes
     for (uint64_t s = 0; s < slices; s++) {
-      pm_bandwidth.Acquire(bg.clock, cost.SeqReadBytes(kMiB / 2) + cost.SeqWriteBytes(kMiB / 2));
+      common::ProfiledAcquire(bg, pm_bandwidth, "pm-bandwidth", pm_bw_site,
+                              cost.SeqReadBytes(kMiB / 2) + cost.SeqWriteBytes(kMiB / 2));
     }
     (void)wfs->ReactiveRewrite(bg, "/frag");
   }
@@ -111,9 +117,11 @@ ForegroundResult RunForeground(const pmem::DeviceSnapshot& fixture, bool with_de
   std::vector<uint8_t> buf(kMiB);
   const uint64_t t0 = fg.clock.NowNs();
   for (uint64_t off = 0; off < kForegroundBytes; off += kMiB) {
-    pm_bandwidth.Acquire(fg.clock, 0);  // queue behind in-flight transfers
+    // queue behind in-flight transfers
+    common::ProfiledAcquire(fg, pm_bandwidth, "pm-bandwidth", pm_bw_site, 0);
     (void)fmap->Read(fg, off, buf.data(), buf.size());
-    pm_bandwidth.Acquire(fg.clock, cost.SeqReadBytes(kMiB));
+    common::ProfiledAcquire(fg, pm_bandwidth, "pm-bandwidth", pm_bw_site,
+                            cost.SeqReadBytes(kMiB));
   }
   const double secs = static_cast<double>(fg.clock.NowNs() - t0) / 1e9;
   ForegroundResult out;
@@ -161,9 +169,15 @@ int main() {
   report.SetCounters("winefs", contended.counters);
   report.AddTimeSeries("winefs", contended_obs.sampler.series());
   report.AddSpans("winefs", contended_obs.trace);
+  report.AddContention("winefs", contended_obs.profiler);
+  report.AddAttribution("winefs", contended_obs.profiler);
+  report.AddConfig("top_contended_site", contended_obs.profiler.TopContendedSite());
   benchutil::AddSnapConfig(report, corpus, FixtureKey().Provenance());
   benchutil::EmitReport(report);
+  const std::vector<obs::NamedLockTrack> lock_tracks{
+      obs::NamedLockTrack{"winefs", &contended_obs.profiler}};
   benchutil::EmitChromeTrace(report.name(),
-                             {obs::NamedTrace{"winefs", &contended_obs.trace}});
+                             {obs::NamedTrace{"winefs", &contended_obs.trace}}, lock_tracks);
+  benchutil::EmitFlame(report.name(), lock_tracks);
   return 0;
 }

@@ -88,6 +88,12 @@ void MmapRows(const std::string& fs_name, obs::BenchReport& report) {
 void SyscallRows(const std::string& fs_name, obs::BenchReport& report) {
   Bed4 b = AgedBed(fs_name);
   ExecContext& ctx = b.ctx;
+  // Profile the measurement ops (not the aging prologue): named-lock
+  // contention and per-layer attribution land in this fs's report row. The
+  // same fs can appear in both the relaxed and strict lineups; AddContention
+  // / AddAttribution are last-call-wins, so the strict phase's numbers stand.
+  obs::Profiler profiler;
+  ctx.AttachProfiler(&profiler);
   auto fd = b.bed.fs->Open(ctx, "/sys_bench", vfs::OpenFlags::Create());
   std::vector<uint8_t> buf(kBlockSize, 0x42);
 
@@ -133,6 +139,9 @@ void SyscallRows(const std::string& fs_name, obs::BenchReport& report) {
   report.AddMetric(fs_name, "posix_seq_rd_mbps", sr);
   report.AddMetric(fs_name, "posix_rand_rd_mbps", rr);
   report.SetCounters(fs_name, ctx.counters);
+  report.AddContention(fs_name, profiler);
+  report.AddAttribution(fs_name, profiler);
+  ctx.AttachProfiler(nullptr);  // profiler dies with this frame
 }
 
 }  // namespace

@@ -27,7 +27,8 @@ struct ScalePoint {
 
 ScalePoint MeasureKops(const std::string& fs_name, uint32_t threads,
                        obs::MetricsRegistry* registry,
-                       obs::TimeSeriesSampler* sampler) {
+                       obs::TimeSeriesSampler* sampler,
+                       obs::Profiler* profiler) {
   auto bed = MakeBed(fs_name, kDeviceBytes, kCpus);
   ExecContext setup;
   for (uint32_t t = 0; t < threads; t++) {
@@ -65,7 +66,7 @@ ScalePoint MeasureKops(const std::string& fs_name, uint32_t threads,
     return true;
   };
   wload::SimRunner runner(threads, kCpus, setup.clock.NowNs());
-  runner.SetObservers(nullptr, registry, sampler);
+  runner.SetObservers(nullptr, registry, sampler, profiler);
   auto result = runner.Run(kOpsPerThread, op);
   if (sampler != nullptr) {
     // The bed (and with it every registered gauge provider) dies when this
@@ -95,14 +96,21 @@ int main() {
   // run of each filesystem. One sampler per filesystem so samples never bleed
   // across rows.
   obs::MetricsRegistry registry;
+  // Per-fs profilers stay alive past the loop so the collapsed zone stacks of
+  // every filesystem land in one FLAME_fig10_scalability.txt.
+  std::vector<obs::NamedLockTrack> lock_tracks;
+  std::vector<std::unique_ptr<obs::Profiler>> profilers;
   for (const std::string fs_name :
        {"ext4-dax", "xfs-dax", "pmfs", "nova", "splitfs", "winefs"}) {
     std::vector<std::string> cells{fs_name};
     obs::TimeSeriesSampler sampler;
+    profilers.push_back(std::make_unique<obs::Profiler>());
+    obs::Profiler& profiler = *profilers.back();
     for (uint32_t t : threads) {
       const bool observe = t == kCpus;
       const ScalePoint point = MeasureKops(fs_name, t, observe ? &registry : nullptr,
-                                           observe ? &sampler : nullptr);
+                                           observe ? &sampler : nullptr,
+                                           observe ? &profiler : nullptr);
       cells.push_back(point.kops < 0 ? "FAIL" : Fmt(point.kops, 0));
       if (point.kops >= 0) {
         report.AddMetric(fs_name, "threads" + std::to_string(t) + "_kops", point.kops);
@@ -110,11 +118,32 @@ int main() {
       if (observe) {
         report.SetCounters(fs_name, point.counters);
         report.AddTimeSeries(fs_name, sampler.series());
+        // Contention + attribution for the one-socket run: which lock every
+        // thread queues on, and which layer the modeled time goes to.
+        report.AddContention(fs_name, profiler);
+        report.AddAttribution(fs_name, profiler);
+        profiler.PublishTo(registry, fs_name);
+        report.AddConfig("top_contended_site_" + fs_name, profiler.TopContendedSite());
+        report.AddMetric(fs_name, "top_site_wait_ns",
+                         static_cast<double>(profiler.TopContendedWaitNs()));
+        lock_tracks.push_back(obs::NamedLockTrack{fs_name, &profiler});
       }
     }
     Row(cells, 10);
   }
   report.MergeRegistry(registry);
+  std::printf("\ncontention at %u threads (top site by total wait):\n", kCpus);
+  for (const obs::NamedLockTrack& track : lock_tracks) {
+    uint64_t acquisitions = 0;
+    for (const obs::LockSiteStats& site : track.profiler->LockSites()) {
+      acquisitions += site.acquisitions;
+    }
+    std::printf("  %-10s top_contended_site=%-24s wait %.2f ms (%llu acquisitions total)\n",
+                track.name.c_str(), track.profiler->TopContendedSite().c_str(),
+                static_cast<double>(track.profiler->TopContendedWaitNs()) / 1e6,
+                static_cast<unsigned long long>(acquisitions));
+  }
+  benchutil::EmitFlame(report.name(), lock_tracks);
   std::printf("\nexpected shape: WineFS/NOVA/PMFS scale to ~16-28 threads then plateau\n"
               "(VFS); ext4-DAX/xfs-DAX/SplitFS flatten early (global JBD2 commit).\n");
   benchutil::EmitReport(report);

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/common/perf_counters.h"
+#include "src/common/prof.h"
 #include "src/common/sim_clock.h"
 
 // Observability sinks live in src/obs (which depends on src/common); the
@@ -49,6 +50,13 @@ struct ExecContext {
   obs::TraceBuffer* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::TimeSeriesSampler* sampler = nullptr;
+  // Contention / latency-attribution profiler (obs::Profiler through the
+  // abstract hook). Observation-only: attaching it never changes the modeled
+  // clock or counters.
+  ProfilerHook* profiler = nullptr;
+  // Zone-stack state for the profiler, embedded here so ProfileZone push/pop
+  // is a few plain field writes (no indirection on the unattached path).
+  ZoneState zones;
 
   // Typed attach helpers that mirror the sink into the ObsSink slot Reset()
   // clears through. Templates so the derived-to-ObsSink conversion happens at
@@ -80,6 +88,20 @@ struct ExecContext {
     sampler = nullptr;
     sinks_[2] = nullptr;
   }
+  template <typename Profiler>
+  void AttachProfiler(Profiler* sink) {
+    profiler = sink;
+    sinks_[3] = sink;
+    zones = ZoneState{};
+    zones.sample_mask = sink->ZoneSampleMask();
+    // First op after attach is sampled; ZoneState::Tick decimates from there.
+    zones.active = true;
+  }
+  void AttachProfiler(std::nullptr_t) {
+    profiler = nullptr;
+    sinks_[3] = nullptr;
+    zones = ZoneState{};
+  }
 
   // Full reset: clock, counters, AND every attached sink's accumulated
   // samples — so a context reused across runs (one filesystem after another
@@ -87,6 +109,10 @@ struct ExecContext {
   void Reset() {
     clock.Reset();
     counters.Reset();
+    const uint32_t sample_mask = zones.sample_mask;
+    zones = ZoneState{};
+    zones.sample_mask = sample_mask;
+    zones.active = profiler != nullptr;
     for (ObsSink* sink : sinks_) {
       if (sink != nullptr) {
         sink->ResetSamples();
@@ -95,7 +121,7 @@ struct ExecContext {
   }
 
  private:
-  std::array<ObsSink*, 3> sinks_{};
+  std::array<ObsSink*, 4> sinks_{};
 };
 
 }  // namespace common

@@ -17,9 +17,45 @@ size_t LatencyHistogram::BucketFor(uint64_t nanos) {
   if (nanos <= 1) {
     return 0;
   }
-  const size_t bucket =
-      static_cast<size_t>(std::log(static_cast<double>(nanos)) / std::log(kBase));
-  return std::min(bucket, kNumBuckets - 1);
+  // Record() sits on the profiler's per-lock-event path, so the historical
+  // log(n)/log(kBase) evaluation (two libm calls per sample) is replaced by a
+  // table lookup: jump to the sample's power-of-two octave, then walk the
+  // ~18 geometric buckets that octave spans. The boundaries are derived once
+  // from the original formula itself, so bucket assignment is unchanged.
+  struct Table {
+    uint64_t lower[kNumBuckets];   // smallest value that maps to bucket i
+    uint16_t octave_first[64];     // bucket containing 2^e
+    Table() {
+      const double inv = 1.0 / std::log(kBase);
+      auto formula = [inv](uint64_t n) {
+        return std::min(static_cast<size_t>(std::log(static_cast<double>(n)) * inv),
+                        kNumBuckets - 1);
+      };
+      lower[0] = 0;
+      for (size_t i = 1; i < kNumBuckets; i++) {
+        uint64_t n = static_cast<uint64_t>(std::pow(kBase, static_cast<double>(i)));
+        n = std::max<uint64_t>(n, 2);
+        while (n > 2 && formula(n - 1) >= i) {
+          n--;
+        }
+        while (formula(n) < i) {
+          n++;
+        }
+        lower[i] = n;
+      }
+      for (int e = 0; e < 64; e++) {
+        const uint64_t pow2 = uint64_t{1} << e;
+        octave_first[e] = static_cast<uint16_t>(pow2 <= 1 ? 0 : formula(pow2));
+      }
+    }
+  };
+  static const Table t;
+  const int octave = 63 - __builtin_clzll(nanos);
+  size_t bucket = t.octave_first[octave];
+  while (bucket + 1 < kNumBuckets && nanos >= t.lower[bucket + 1]) {
+    bucket++;
+  }
+  return bucket;
 }
 
 uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {

@@ -9,22 +9,40 @@
 // busy window proceed untouched, so lightly-held locks do not serialize
 // timelines, while long holds (a stop-the-world journal commit) stall every
 // concurrent timeline that lands in them.
+//
+// A mutex can carry a site name ("winefs.journal.cpu3", "ext4.jbd2"); when a
+// profiler is attached to the acquiring context, every acquire/release pair
+// is reported to it as a named lock event with the modeled wait and hold, so
+// contention reports attribute queueing to specific locks. The hook is
+// observation-only: it fires after the modeled times are already final.
 #ifndef SRC_COMMON_SIM_MUTEX_H_
 #define SRC_COMMON_SIM_MUTEX_H_
 
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "src/common/exec_context.h"
+#include "src/common/prof.h"
 
 namespace common {
 
 class SimMutex {
  public:
   SimMutex() = default;
+  explicit SimMutex(std::string site) : site_(std::move(site)) {}
   SimMutex(const SimMutex&) = delete;
   SimMutex& operator=(const SimMutex&) = delete;
+
+  // Names (or renames) the lock site. Setup-time only (e.g. per-CPU pool
+  // locks named after geometry is chosen); invalidates any cached handle.
+  void set_site(std::string site) {
+    std::lock_guard<std::mutex> guard(mu_);
+    site_ = std::move(site);
+    site_owner_ = nullptr;
+  }
 
   void Lock(ExecContext& ctx) {
     mu_.lock();
@@ -43,6 +61,7 @@ class SimMutex {
       }
     }
     wait_ns_ += now - arrived;
+    last_wait_ns_ = now - arrived;
     ctx.clock.AdvanceTo(now);
     cs_enter_ns_ = ctx.clock.NowNs();
   }
@@ -53,10 +72,38 @@ class SimMutex {
       ring_[head_] = Interval{cs_enter_ns_, end};
       head_ = (head_ + 1) % kRingSize;
     }
+    if constexpr (kProfilerEnabled) {
+      if (ctx.profiler != nullptr) {
+        // Resolve-once per attached profiler; mu_ is still held, so the
+        // cached triple can't race with other acquirers.
+        if (site_owner_ != ctx.profiler) {
+          site_owner_ = ctx.profiler;
+          site_handle_ = ctx.profiler->RegisterLockSite(
+              site_.empty() ? std::string_view("lock.unnamed") : std::string_view(site_));
+          site_cell_ = ctx.profiler->LockSiteCellFor(site_handle_);
+        }
+        RecordLockRelease(ctx.profiler, ctx, site_cell_, site_handle_, last_wait_ns_,
+                          end - cs_enter_ns_);
+      }
+    }
     mu_.unlock();
   }
 
-  uint64_t total_wait_ns() const { return wait_ns_; }
+  uint64_t total_wait_ns() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return wait_ns_;
+  }
+
+  // Clears the accumulated wait so back-to-back bench phases sharing a bed
+  // don't bleed wait time into each other (ObsSink-reset companion; the
+  // attached profiler's per-site aggregates reset through ExecContext::Reset).
+  void ResetWaitStats() {
+    std::lock_guard<std::mutex> guard(mu_);
+    wait_ns_ = 0;
+    last_wait_ns_ = 0;
+  }
+
+  const std::string& site() const { return site_; }
 
   class Guard {
    public:
@@ -77,12 +124,18 @@ class SimMutex {
   };
   static constexpr int kRingSize = 64;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   // All fields below are guarded by mu_.
+  std::string site_;
   std::array<Interval, kRingSize> ring_{};
   size_t head_ = 0;
   uint64_t cs_enter_ns_ = 0;
   uint64_t wait_ns_ = 0;
+  uint64_t last_wait_ns_ = 0;
+  // Cached site registration, valid only for this profiler instance.
+  ProfilerHook* site_owner_ = nullptr;
+  uint32_t site_handle_ = 0;
+  LockSiteCell* site_cell_ = nullptr;
 };
 
 }  // namespace common

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/prof_zone.h"
 #include "src/common/units.h"
 #include "src/obs/trace.h"
 #include "src/vfs/op_batch.h"
@@ -137,6 +138,7 @@ void Ext4Dax::Jbd2Commit(ExecContext& ctx) {
   }
   obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit,
                        dirty_meta_blocks_.size() * kBlockSize);
+  common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
   // Stop-the-world: every concurrent fsync serializes on the journal.
   common::SimMutex::Guard guard(jbd2_lock_, ctx);
   ctx.clock.Advance(kJbd2CommitOverheadNs);

@@ -82,7 +82,7 @@ class Ext4Dax : public fscore::GenericFs {
   fscore::FreeSpaceMap free_;
   std::unordered_map<vfs::InodeNum, uint64_t> goals_;  // per-inode allocation goal
   std::set<uint64_t> dirty_meta_blocks_;
-  common::SimMutex jbd2_lock_;
+  common::SimMutex jbd2_lock_{"ext4.jbd2"};
   uint64_t journal_cursor_ = 0;  // ring position, blocks
 };
 

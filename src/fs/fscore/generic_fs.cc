@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "src/common/prof_zone.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -63,6 +64,7 @@ GenericFs::GenericFs(pmem::PmemDevice* device, FsOptions options)
 GenericFs::~GenericFs() = default;
 
 void GenericFs::ChargeSyscall(ExecContext& ctx) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kVfs);
   ctx.clock.Advance(device_->cost().syscall_trap_ns);
   ctx.counters.syscall_count++;
   vfs_shared_.Charge(ctx);
@@ -99,6 +101,7 @@ Result<std::vector<Extent>> GenericFs::AllocBlocksTraced(ExecContext& ctx, Inode
                                                          uint64_t nblocks,
                                                          AllocIntent intent) {
   obs::ScopedSpan span(ctx, obs::SpanCat::kAllocation, nblocks);
+  common::ProfileZone zone(ctx, common::ProfLayer::kAllocator);
   return AllocBlocks(ctx, inode, nblocks, intent);
 }
 

@@ -1,5 +1,6 @@
 #include "src/fs/nova/nova.h"
 
+#include "src/common/prof_zone.h"
 #include "src/obs/trace.h"
 
 #include <algorithm>
@@ -171,6 +172,7 @@ void Nova::AllocLogPage(ExecContext& ctx, Inode& inode) {
 
 void Nova::AppendLogEntry(ExecContext& ctx, Inode& inode) {
   obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, kLogEntryBytes);
+  common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
   if (inode.log_pages.empty() || inode.log_entries_in_tail >= kEntriesPerLogPage) {
     AllocLogPage(ctx, inode);
     if (inode.log_pages.empty()) {

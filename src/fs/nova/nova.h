@@ -79,7 +79,7 @@ class Nova : public fscore::GenericFs {
     uint64_t start_block = 0;
     uint64_t num_blocks = 0;
     fscore::FreeSpaceMap map;
-    common::SimMutex lock;
+    common::SimMutex lock{"nova.cpufree"};
   };
 
   void AppendLogEntry(common::ExecContext& ctx, fscore::Inode& inode);

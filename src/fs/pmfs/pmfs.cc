@@ -2,6 +2,7 @@
 
 #include "src/obs/trace.h"
 
+#include "src/common/prof_zone.h"
 #include "src/common/units.h"
 
 namespace pmfs {
@@ -71,6 +72,7 @@ void Pmfs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset
   // but every thread in the system funnels through it.
   {
     obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, len);
+    common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
     common::SimMutex::Guard guard(journal_lock_, ctx);
     const uint64_t entries = (len + 31) / 32;  // 64 B entry carries 32 B of undo
     for (uint64_t e = 0; e < entries; e++) {

@@ -58,7 +58,7 @@ class Pmfs : public fscore::GenericFs {
 
  private:
   fscore::FreeSpaceMap free_;
-  common::SimMutex journal_lock_;  // single journal: the multi-thread bottleneck
+  common::SimMutex journal_lock_{"pmfs.journal"};  // single journal: the multi-thread bottleneck
   uint64_t journal_cursor_entries_ = 0;
 };
 

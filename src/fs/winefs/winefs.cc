@@ -7,6 +7,7 @@
 #include <cstring>
 #include <map>
 
+#include "src/common/prof_zone.h"
 #include "src/common/units.h"
 #include "src/vfs/op_batch.h"
 
@@ -42,6 +43,10 @@ void WineFs::SetupPoolGeometry(uint64_t data_start, uint64_t nblocks) {
       wopts_.per_cpu_journals ? options_.journal_blocks / ncpu : options_.journal_blocks;
   for (uint32_t cpu = 0; cpu < ncpu; cpu++) {
     auto pool = std::make_unique<CpuPool>();
+    pool->lock.set_site("winefs.pool.cpu" + std::to_string(cpu));
+    pool->journal_lock.set_site(
+        wopts_.per_cpu_journals ? "winefs.journal.cpu" + std::to_string(cpu)
+                                : "winefs.journal.global");
     pool->start_block = data_start + cpu * per_cpu;
     pool->num_blocks = cpu == ncpu - 1 ? nblocks - cpu * per_cpu : per_cpu;
     pool->numa_node = device_->NumaNodeOf(pool->start_block * kBlockSize);
@@ -445,6 +450,7 @@ void WineFs::AppendRawSlots(ExecContext& ctx, CpuPool& pool, const uint8_t* data
 void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset,
                          uint64_t len) {
   obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, len);
+  common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
   if (len >= 1024) {
     // Data journaling of a large region: one blob header + the old image
     // packed into raw cachelines (the data is written twice, not four times).
@@ -492,6 +498,7 @@ void WineFs::TxBegin(ExecContext& ctx) {
   if (tx_depth_ > 1) {
     return;
   }
+  common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
   tx_cpu_ = wopts_.per_cpu_journals ? ctx.cpu % static_cast<uint32_t>(pools_.size()) : 0;
   // Shared atomic transaction counter: IDs are unique across per-CPU journals.
   tx_id_ = next_txn_id_.fetch_add(1);
@@ -528,6 +535,7 @@ void WineFs::TxCommit(ExecContext& ctx) {
     return;
   }
   obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, sizeof(JournalEntry));
+  common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
   JournalEntry entry;
   entry.txn_id = tx_id_;
   entry.type = JournalEntry::kCommit;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 
 namespace obs {
 
@@ -23,9 +24,49 @@ void MetadataEvent(JsonWriter& w, std::string_view what, uint64_t pid, uint64_t 
   w.EndObject();
 }
 
+void CompleteEvent(JsonWriter& w, std::string_view name, std::string_view cat, uint64_t pid,
+                   uint64_t tid, uint64_t start_ns, uint64_t dur_ns, uint64_t arg) {
+  w.BeginObject();
+  w.Key("name").String(name);
+  w.Key("cat").String(cat);
+  w.Key("ph").String("X");
+  w.Key("pid").Number(pid);
+  w.Key("tid").Number(tid);
+  // Trace-event timestamps are microseconds; keep ns precision as decimals.
+  w.Key("ts").Number(static_cast<double>(start_ns) / 1000.0);
+  w.Key("dur").Number(static_cast<double>(dur_ns) / 1000.0);
+  w.Key("args").BeginObject().Key("arg").Number(arg).EndObject();
+  w.EndObject();
+}
+
+std::string OutPath(std::string_view prefix, std::string_view bench_name,
+                    std::string_view extension) {
+  const char* dir = std::getenv("BENCH_OUT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) : std::string(".");
+  if (path.back() != '/') {
+    path += '/';
+  }
+  path += std::string(prefix) + std::string(bench_name) + std::string(extension);
+  return path;
+}
+
+common::Result<std::string> WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return common::ErrorCode::kIoError;
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    return common::ErrorCode::kIoError;
+  }
+  return path;
+}
+
 }  // namespace
 
-std::string ChromeTraceJson(const std::vector<NamedTrace>& traces) {
+std::string ChromeTraceJson(const std::vector<NamedTrace>& traces,
+                            const std::vector<NamedLockTrack>& lock_tracks) {
   JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit").String("ms");
@@ -47,17 +88,45 @@ std::string ChromeTraceJson(const std::vector<NamedTrace>& traces) {
                     /*with_tid=*/true);
     }
     for (const TraceEvent& event : events) {
-      w.BeginObject();
-      w.Key("name").String(SpanCatName(event.cat));
-      w.Key("cat").String(SpanCatName(event.cat));
-      w.Key("ph").String("X");
-      w.Key("pid").Number(pid);
-      w.Key("tid").Number(static_cast<uint64_t>(event.cpu));
-      // Trace-event timestamps are microseconds; keep ns precision as decimals.
-      w.Key("ts").Number(static_cast<double>(event.start_ns) / 1000.0);
-      w.Key("dur").Number(static_cast<double>(event.duration_ns()) / 1000.0);
-      w.Key("args").BeginObject().Key("arg").Number(event.arg).EndObject();
-      w.EndObject();
+      CompleteEvent(w, SpanCatName(event.cat), SpanCatName(event.cat), pid, event.cpu,
+                    event.start_ns, event.duration_ns(), event.arg);
+    }
+  }
+  for (const NamedLockTrack& track : lock_tracks) {
+    pid++;
+    if (track.profiler == nullptr) {
+      continue;
+    }
+    const std::vector<LockEvent> events = track.profiler->LockEvents();
+    if (events.empty()) {
+      continue;
+    }
+    MetadataEvent(w, "process_name", pid, 0, track.name + " locks", /*with_tid=*/false);
+    const std::vector<LockSiteStats> sites = track.profiler->LockSites();
+    std::set<uint32_t> seen_sites;
+    for (const LockEvent& event : events) {
+      seen_sites.insert(event.site);
+    }
+    for (const uint32_t site : seen_sites) {
+      // Thread rows are the lock sites; lane ids start at 1000 so they never
+      // collide with cpu lanes if a viewer merges processes.
+      MetadataEvent(w, "thread_name", pid, 1000 + site,
+                    std::string("lock ") + track.profiler->SiteName(site),
+                    /*with_tid=*/true);
+    }
+    for (const LockEvent& event : events) {
+      // Reconstruct the timeline backwards from the release point: the
+      // caller queued during [release - hold - wait, release - hold) and held
+      // the lock during [release - hold, release).
+      const uint64_t acquire_ns = event.release_ns - event.hold_ns;
+      if (event.wait_ns > 0) {
+        CompleteEvent(w, "wait", "lock_wait", pid, 1000 + event.site,
+                      acquire_ns - event.wait_ns, event.wait_ns, event.cpu);
+      }
+      if (event.hold_ns > 0) {
+        CompleteEvent(w, "hold", "lock_hold", pid, 1000 + event.site, acquire_ns,
+                      event.hold_ns, event.cpu);
+      }
     }
   }
   w.EndArray();
@@ -66,23 +135,33 @@ std::string ChromeTraceJson(const std::vector<NamedTrace>& traces) {
 }
 
 common::Result<std::string> WriteChromeTrace(std::string_view bench_name,
-                                             const std::vector<NamedTrace>& traces) {
-  const char* dir = std::getenv("BENCH_OUT_DIR");
-  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) : std::string(".");
-  if (path.back() != '/') {
-    path += '/';
+                                             const std::vector<NamedTrace>& traces,
+                                             const std::vector<NamedLockTrack>& lock_tracks) {
+  return WriteTextFile(OutPath("TRACE_", bench_name, ".json"),
+                       ChromeTraceJson(traces, lock_tracks) + "\n");
+}
+
+std::string CollapsedStacks(const std::vector<NamedLockTrack>& profilers) {
+  std::string out;
+  for (const NamedLockTrack& track : profilers) {
+    if (track.profiler == nullptr) {
+      continue;
+    }
+    for (const Profiler::FoldedFrame& frame : track.profiler->FoldedStacks()) {
+      out += track.name;
+      out += ';';
+      out += frame.stack;
+      out += ' ';
+      out += std::to_string(frame.ns);
+      out += '\n';
+    }
   }
-  path += "TRACE_" + std::string(bench_name) + ".json";
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return common::ErrorCode::kIoError;
-  }
-  out << ChromeTraceJson(traces) << "\n";
-  out.close();
-  if (!out) {
-    return common::ErrorCode::kIoError;
-  }
-  return path;
+  return out;
+}
+
+common::Result<std::string> WriteCollapsedStacks(std::string_view bench_name,
+                                                 const std::vector<NamedLockTrack>& profilers) {
+  return WriteTextFile(OutPath("FLAME_", bench_name, ".txt"), CollapsedStacks(profilers));
 }
 
 }  // namespace obs

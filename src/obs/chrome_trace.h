@@ -2,8 +2,11 @@
 // Format that chrome://tracing and Perfetto (ui.perfetto.dev) load natively.
 // Each filesystem becomes one "process" row and each simulated CPU one
 // "thread" track inside it, so per-CPU journals, allocator pools, and fault
-// handling visualize as parallel timelines. Benches emit TRACE_<name>.json
-// next to BENCH_<name>.json.
+// handling visualize as parallel timelines. A profiler adds per-lock tracks:
+// one "<fs> locks" process whose threads are the named lock sites, with wait
+// and hold phases rendered as separate spans. Benches emit TRACE_<name>.json
+// next to BENCH_<name>.json; collapsed profiler stacks additionally emit
+// FLAME_<name>.txt in the flamegraph.pl folded format.
 #ifndef SRC_OBS_CHROME_TRACE_H_
 #define SRC_OBS_CHROME_TRACE_H_
 
@@ -16,22 +19,44 @@
 
 namespace obs {
 
+class Profiler;
+
 // One trace track group: the spans a filesystem recorded during a bench.
 struct NamedTrace {
   std::string name;           // filesystem (process row label)
   const TraceBuffer* trace;   // not owned
 };
 
+// One lock-track group: the retained lock events a profiler recorded while
+// attached to a filesystem's contexts.
+struct NamedLockTrack {
+  std::string name;            // filesystem (process row label gets " locks")
+  const Profiler* profiler;    // not owned
+};
+
 // Serializes the buffers' retained events as Chrome trace JSON:
 //   {"displayTimeUnit":"ms","traceEvents":[ ... ]}
 // with process_name/thread_name metadata and one complete ("X") event per
-// span (ts/dur in microseconds, args carrying the span payload).
-std::string ChromeTraceJson(const std::vector<NamedTrace>& traces);
+// span (ts/dur in microseconds, args carrying the span payload). Lock tracks
+// render each acquire/release pair as a "wait" span (queueing) followed by a
+// "hold" span on the owning site's thread row.
+std::string ChromeTraceJson(const std::vector<NamedTrace>& traces,
+                            const std::vector<NamedLockTrack>& lock_tracks = {});
 
 // Writes ChromeTraceJson() to $BENCH_OUT_DIR/TRACE_<bench_name>.json
 // (BENCH_OUT_DIR defaults to "."). Returns the path written.
 common::Result<std::string> WriteChromeTrace(std::string_view bench_name,
-                                             const std::vector<NamedTrace>& traces);
+                                             const std::vector<NamedTrace>& traces,
+                                             const std::vector<NamedLockTrack>& lock_tracks = {});
+
+// Flame-graph-compatible collapsed stacks: one "<fs>;<layer>;<layer> <ns>"
+// line per distinct zone path, directly consumable by flamegraph.pl.
+std::string CollapsedStacks(const std::vector<NamedLockTrack>& profilers);
+
+// Writes CollapsedStacks() to $BENCH_OUT_DIR/FLAME_<bench_name>.txt. Returns
+// the path written.
+common::Result<std::string> WriteCollapsedStacks(std::string_view bench_name,
+                                                 const std::vector<NamedLockTrack>& profilers);
 
 }  // namespace obs
 

@@ -16,6 +16,7 @@
 #include "src/common/exec_context.h"
 #include "src/common/histogram.h"
 #include "src/common/perf_counters.h"
+#include "src/common/prof_zone.h"
 #include "src/obs/gauges.h"
 
 namespace obs {
@@ -61,20 +62,31 @@ class MetricsRegistry : public common::ObsSink {
 // RAII scope that records the simulated time spent in one filesystem op into
 // the context's MetricsRegistry, and — because every filesystem operation
 // passes through here — gives the context's TimeSeriesSampler its
-// sample-on-cross opportunity when the op completes. No-op when neither sink
-// is attached.
+// sample-on-cross opportunity and the attached profiler its per-op
+// attribution flush when the op completes. The root fscore zone makes every
+// sampled op fully covered: time not claimed by a nested journal / allocator
+// / device / mmu zone lands in the fscore bucket. No-op when no sink is
+// attached.
 class OpScope {
  public:
   OpScope(common::ExecContext& ctx, std::string_view fs, std::string_view op)
       : ctx_(ctx),
         fs_(fs),
         op_(op),
-        start_ns_(ctx.metrics != nullptr ? ctx.clock.NowNs() : 0) {}
+        start_ns_(ctx.metrics != nullptr ? ctx.clock.NowNs() : 0),
+        zone_(ctx, common::ProfLayer::kFsCore) {}
 
   OpScope(const OpScope&) = delete;
   OpScope& operator=(const OpScope&) = delete;
 
   ~OpScope() {
+    // Order matters: close the root zone first so its exclusive time is in
+    // the context's layer buckets, then let the profiler flush the op. The
+    // tick itself is inline; the virtual flush fires only for sampled ops.
+    zone_.End();
+    if (ctx_.profiler != nullptr && ctx_.zones.Tick()) {
+      ctx_.profiler->EndOp(ctx_, fs_, op_);
+    }
     if (ctx_.metrics != nullptr) {
       ctx_.metrics->RecordOp(fs_, op_, ctx_.clock.NowNs() - start_ns_);
     }
@@ -88,6 +100,7 @@ class OpScope {
   std::string_view fs_;
   std::string_view op_;
   uint64_t start_ns_;
+  common::ProfileZone zone_;
 };
 
 }  // namespace obs

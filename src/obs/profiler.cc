@@ -1,0 +1,158 @@
+#include "src/obs/profiler.h"
+
+#include "src/obs/metrics.h"
+
+namespace obs {
+
+Profiler::Profiler(uint32_t sample_shift, size_t lock_event_capacity)
+    : sample_mask_((1u << sample_shift) - 1), sites_(lock_event_capacity) {}
+
+uint32_t Profiler::RegisterLockSite(std::string_view site) {
+  return sites_.Register(site);
+}
+
+common::LockSiteCell* Profiler::LockSiteCellFor(uint32_t site) {
+  return sites_.CellFor(site);
+}
+
+void Profiler::OnLockEvent(common::ExecContext& ctx, uint32_t site, uint64_t wait_ns,
+                           uint64_t hold_ns) {
+  sites_.RecordSampled(site, ctx.cpu, ctx.clock.NowNs(), wait_ns, hold_ns);
+}
+
+void Profiler::OnZoneExit(uint32_t path, common::ProfLayer layer, uint64_t exclusive_ns) {
+  (void)layer;  // the path's low 3-bit group already encodes it
+  for (FoldedCell& cell : folded_) {
+    if (cell.path == path) {
+      cell.ns += exclusive_ns;
+      return;
+    }
+  }
+  folded_.push_back(FoldedCell{path, exclusive_ns});
+}
+
+void Profiler::EndOp(common::ExecContext& ctx, std::string_view fs, std::string_view op) {
+  (void)fs;  // one Profiler instance per filesystem under test
+  common::ZoneState& zones = ctx.zones;
+  uint64_t total = 0;
+  auto it = attribution_.find(op);
+  if (it == attribution_.end()) {
+    it = attribution_.emplace(std::string(op), OpAttrCell{}).first;
+  }
+  OpAttrCell& cell = it->second;
+  for (size_t i = 0; i < common::kNumProfLayers; i++) {
+    if (zones.layer_ns[i] != 0) {
+      cell.layers[i].Record(zones.layer_ns[i]);
+      total += zones.layer_ns[i];
+      zones.layer_ns[i] = 0;
+    }
+  }
+  if (total != 0) {
+    cell.total.Record(total);
+    cell.ops_sampled++;
+    ops_sampled_++;
+  }
+}
+
+void Profiler::ResetSamples() {
+  ops_sampled_ = 0;
+  sites_.Clear();
+  attribution_.clear();
+  folded_.clear();
+}
+
+std::vector<LockSiteStats> Profiler::LockSites() const {
+  std::vector<LockSiteStats> out;
+  out.reserve(sites_.sites().size());
+  for (const LockSiteStats& stats : sites_.sites()) {
+    if (stats.acquisitions > 0) {
+      out.push_back(stats);
+    }
+  }
+  return out;
+}
+
+std::vector<LockEvent> Profiler::LockEvents() const {
+  return sites_.Events();
+}
+
+std::string Profiler::SiteName(uint32_t site) const {
+  return site < sites_.NumSites() ? sites_.SiteName(site) : std::string("?");
+}
+
+std::string Profiler::TopContendedSite() const {
+  const int top = sites_.TopContendedSite();
+  return top < 0 ? std::string("none") : sites_.SiteName(static_cast<uint32_t>(top));
+}
+
+uint64_t Profiler::TopContendedWaitNs() const {
+  const int top = sites_.TopContendedSite();
+  return top < 0 ? 0 : sites_.sites()[static_cast<size_t>(top)].total_wait_ns;
+}
+
+std::vector<Profiler::OpAttribution> Profiler::Attribution() const {
+  std::vector<OpAttribution> out;
+  out.reserve(attribution_.size());
+  for (const auto& [op, cell] : attribution_) {
+    OpAttribution row;
+    row.op = op;
+    row.ops_sampled = cell.ops_sampled;
+    row.total = cell.total;
+    row.layers = cell.layers;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string DecodeZonePath(uint32_t path) {
+  // Peel 3-bit groups from the low end (innermost zone) and reverse.
+  std::vector<common::ProfLayer> layers;
+  while (path != 0) {
+    layers.push_back(static_cast<common::ProfLayer>((path & 0x7u) - 1));
+    path >>= 3;
+  }
+  std::string out;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += common::ProfLayerName(*it);
+  }
+  return out;
+}
+
+std::vector<Profiler::FoldedFrame> Profiler::FoldedStacks() const {
+  std::vector<FoldedFrame> out;
+  out.reserve(folded_.size());
+  for (const FoldedCell& cell : folded_) {
+    out.push_back(FoldedFrame{DecodeZonePath(cell.path), cell.ns});
+  }
+  return out;
+}
+
+uint64_t Profiler::ops_sampled() const {
+  return ops_sampled_;
+}
+
+void Profiler::PublishTo(MetricsRegistry& registry, std::string_view fs) const {
+  uint64_t acquisitions = 0;
+  uint64_t wait_ns = 0;
+  uint64_t hold_ns = 0;
+  uint64_t max_wait_ns = 0;
+  {
+    for (const LockSiteStats& stats : sites_.sites()) {
+      acquisitions += stats.acquisitions;
+      wait_ns += stats.total_wait_ns;
+      hold_ns += stats.total_hold_ns;
+      if (stats.max_wait_ns > max_wait_ns) {
+        max_wait_ns = stats.max_wait_ns;
+      }
+    }
+  }
+  registry.AddCounter(fs, "lock_acquisitions", acquisitions);
+  registry.AddCounter(fs, "lock_wait_total_ns", wait_ns);
+  registry.AddCounter(fs, "lock_hold_total_ns", hold_ns);
+  registry.AddCounter(fs, "lock_wait_max_ns", max_wait_ns);
+}
+
+}  // namespace obs

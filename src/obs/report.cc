@@ -1,9 +1,12 @@
 #include "src/obs/report.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 
+#include "src/common/prof.h"
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 
 namespace obs {
 
@@ -90,6 +93,54 @@ void BenchReport::AddSpans(std::string_view fs, const TraceBuffer& trace) {
   }
 }
 
+void BenchReport::AddContention(std::string_view fs, const Profiler& profiler) {
+  std::vector<LockSiteStats> sites = profiler.LockSites();
+  if (sites.empty()) {
+    return;
+  }
+  std::sort(sites.begin(), sites.end(), [](const LockSiteStats& a, const LockSiteStats& b) {
+    return a.total_wait_ns > b.total_wait_ns;
+  });
+  FsResult& row = ForFs(fs);
+  row.contention.clear();
+  for (const LockSiteStats& stats : sites) {
+    ContentionSite site;
+    site.site = stats.site;
+    site.acquisitions = stats.acquisitions;
+    site.contended = stats.contended;
+    site.total_wait_ns = stats.total_wait_ns;
+    site.total_hold_ns = stats.total_hold_ns;
+    site.max_wait_ns = stats.max_wait_ns;
+    site.wait = SummarizeHistogram("wait", stats.wait);
+    site.hold = SummarizeHistogram("hold", stats.hold);
+    row.contention.push_back(std::move(site));
+  }
+}
+
+void BenchReport::AddAttribution(std::string_view fs, const Profiler& profiler) {
+  std::vector<Profiler::OpAttribution> ops = profiler.Attribution();
+  if (ops.empty()) {
+    return;
+  }
+  FsResult& row = ForFs(fs);
+  row.attribution.clear();
+  for (const Profiler::OpAttribution& op : ops) {
+    AttributionOp out;
+    out.op = op.op;
+    out.ops_sampled = op.ops_sampled;
+    out.total = SummarizeHistogram("total", op.total);
+    for (size_t i = 0; i < common::kNumProfLayers; i++) {
+      if (op.layers[i].count() == 0) {
+        continue;
+      }
+      const auto layer = static_cast<common::ProfLayer>(i);
+      out.layers.emplace_back(std::string(common::ProfLayerName(layer)),
+                              SummarizeHistogram("layer", op.layers[i]));
+    }
+    row.attribution.push_back(std::move(out));
+  }
+}
+
 void BenchReport::AddTimeSeries(std::string_view fs, const TimeSeries& series) {
   FsResult& row = ForFs(fs);
   for (const auto& [gauge, points] : series.series()) {
@@ -107,6 +158,24 @@ void BenchReport::AddTimeSeries(std::string_view fs, const TimeSeries& series) {
     }
   }
 }
+
+namespace {
+
+// Emits {count, mean, p50, p90, p99, p999, min, max} for one summary.
+void WriteSummaryObject(JsonWriter& w, const LatencySummary& s) {
+  w.BeginObject();
+  w.Key("count").Number(s.count);
+  w.Key("mean").Number(s.mean_ns);
+  w.Key("p50").Number(s.p50_ns);
+  w.Key("p90").Number(s.p90_ns);
+  w.Key("p99").Number(s.p99_ns);
+  w.Key("p999").Number(s.p999_ns);
+  w.Key("min").Number(s.min_ns);
+  w.Key("max").Number(s.max_ns);
+  w.EndObject();
+}
+
+}  // namespace
 
 std::string BenchReport::ToJson() const {
   JsonWriter w;
@@ -135,15 +204,44 @@ std::string BenchReport::ToJson() const {
     if (!row.latencies.empty()) {
       w.Key("latency_ns").BeginObject();
       for (const LatencySummary& lat : row.latencies) {
-        w.Key(lat.op).BeginObject();
-        w.Key("count").Number(lat.count);
-        w.Key("mean").Number(lat.mean_ns);
-        w.Key("p50").Number(lat.p50_ns);
-        w.Key("p90").Number(lat.p90_ns);
-        w.Key("p99").Number(lat.p99_ns);
-        w.Key("p999").Number(lat.p999_ns);
-        w.Key("min").Number(lat.min_ns);
-        w.Key("max").Number(lat.max_ns);
+        w.Key(lat.op);
+        WriteSummaryObject(w, lat);
+      }
+      w.EndObject();
+    }
+    if (!row.contention.empty()) {
+      // site -> counts/totals plus wait/hold percentile summaries.
+      w.Key("contention").BeginObject();
+      for (const ContentionSite& site : row.contention) {
+        w.Key(site.site).BeginObject();
+        w.Key("acquisitions").Number(site.acquisitions);
+        w.Key("contended").Number(site.contended);
+        w.Key("total_wait_ns").Number(site.total_wait_ns);
+        w.Key("total_hold_ns").Number(site.total_hold_ns);
+        w.Key("max_wait_ns").Number(site.max_wait_ns);
+        w.Key("wait");
+        WriteSummaryObject(w, site.wait);
+        w.Key("hold");
+        WriteSummaryObject(w, site.hold);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+    if (!row.attribution.empty()) {
+      // op -> sampled count, total summary, and per-layer exclusive-ns
+      // summaries for the layers the op touched.
+      w.Key("attribution").BeginObject();
+      for (const AttributionOp& op : row.attribution) {
+        w.Key(op.op).BeginObject();
+        w.Key("ops_sampled").Number(op.ops_sampled);
+        w.Key("total");
+        WriteSummaryObject(w, op.total);
+        w.Key("layers").BeginObject();
+        for (const auto& [layer, summary] : op.layers) {
+          w.Key(layer);
+          WriteSummaryObject(w, summary);
+        }
+        w.EndObject();
         w.EndObject();
       }
       w.EndObject();
@@ -223,6 +321,19 @@ bool IsNumberObject(const JsonValue* value) {
   return true;
 }
 
+// A {count, mean, p50, p90, p99, p999, min, max} summary object.
+bool IsSummaryObject(const JsonValue* value) {
+  if (value == nullptr || !value->is_object()) {
+    return false;
+  }
+  for (const char* key : {"count", "mean", "p50", "p90", "p99", "p999", "min", "max"}) {
+    if (!IsNumber(value->Find(key))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 common::Status ValidateBenchReportJson(std::string_view json_text) {
@@ -279,11 +390,53 @@ common::Status ValidateBenchReportJson(std::string_view json_text) {
       }
       for (const auto& [op, summary] : latency->object) {
         (void)op;
-        if (!summary.is_object()) {
+        if (!IsSummaryObject(&summary)) {
           return invalid;
         }
-        for (const char* key : {"count", "mean", "p50", "p90", "p99", "p999", "min", "max"}) {
-          if (!IsNumber(summary.Find(key))) {
+      }
+    }
+    // contention (optional, v3): site -> numeric counts/totals plus wait/hold
+    // percentile summary objects.
+    const JsonValue* contention = row.Find("contention");
+    if (contention != nullptr) {
+      if (!contention->is_object() || contention->object.empty()) {
+        return invalid;
+      }
+      for (const auto& [site, entry] : contention->object) {
+        if (site.empty() || !entry.is_object()) {
+          return invalid;
+        }
+        for (const char* key :
+             {"acquisitions", "contended", "total_wait_ns", "total_hold_ns", "max_wait_ns"}) {
+          if (!IsNumber(entry.Find(key))) {
+            return invalid;
+          }
+        }
+        if (!IsSummaryObject(entry.Find("wait")) || !IsSummaryObject(entry.Find("hold"))) {
+          return invalid;
+        }
+      }
+    }
+    // attribution (optional, v3): op -> {ops_sampled, total summary, layers:
+    // layer-name -> summary}.
+    const JsonValue* attribution = row.Find("attribution");
+    if (attribution != nullptr) {
+      if (!attribution->is_object() || attribution->object.empty()) {
+        return invalid;
+      }
+      for (const auto& [op, entry] : attribution->object) {
+        if (op.empty() || !entry.is_object()) {
+          return invalid;
+        }
+        if (!IsNumber(entry.Find("ops_sampled")) || !IsSummaryObject(entry.Find("total"))) {
+          return invalid;
+        }
+        const JsonValue* layers = entry.Find("layers");
+        if (layers == nullptr || !layers->is_object() || layers->object.empty()) {
+          return invalid;
+        }
+        for (const auto& [layer, summary] : layers->object) {
+          if (layer.empty() || !IsSummaryObject(&summary)) {
             return invalid;
           }
         }

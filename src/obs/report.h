@@ -1,12 +1,13 @@
 // Structured bench results. Every bench target builds a BenchReport and calls
-// WriteFile(), which emits BENCH_<name>.json (schema v2: config, per-fs
+// WriteFile(), which emits BENCH_<name>.json (schema v3: config, per-fs
 // metrics + latency summaries with tails and extremes + the full registered
 // counter dump, optional span totals, optional gauge time series sampled
-// along the simulated timeline) into $BENCH_OUT_DIR (default: current
-// directory). The emitted JSON is validated against the schema before it hits
-// disk, so a bench that produces malformed output fails loudly at runtime —
-// and the bench_json_schema CTest target re-validates a real emitted file
-// end-to-end.
+// along the simulated timeline, optional per-lock-site `contention` and
+// per-op per-layer `attribution` sections from the profiler) into
+// $BENCH_OUT_DIR (default: current directory). The emitted JSON is validated
+// against the schema before it hits disk, so a bench that produces malformed
+// output fails loudly at runtime — and the bench_json_schema CTest target
+// re-validates a real emitted file end-to-end.
 #ifndef SRC_OBS_REPORT_H_
 #define SRC_OBS_REPORT_H_
 
@@ -24,9 +25,15 @@
 
 namespace obs {
 
+class Profiler;
+
 // v2: latency summaries gained min/max/p999; results may carry a
 // `timeseries` section of gauges sampled along the simulated timeline.
-inline constexpr int kBenchSchemaVersion = 2;
+// v3: results may carry a `contention` section (named lock sites with
+// acquisition counts and wait/hold totals + percentile summaries) and an
+// `attribution` section (per-op modeled-ns decomposition into exclusive
+// per-layer buckets), both produced by obs::Profiler.
+inline constexpr int kBenchSchemaVersion = 3;
 
 struct LatencySummary {
   std::string op;
@@ -39,6 +46,28 @@ struct LatencySummary {
   // Exact extremes (LatencyHistogram tracks them sample-exactly).
   uint64_t min_ns = 0;
   uint64_t max_ns = 0;
+};
+
+// One named lock site's contention row (schema v3 `contention` section).
+struct ContentionSite {
+  std::string site;
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  uint64_t total_wait_ns = 0;
+  uint64_t total_hold_ns = 0;
+  uint64_t max_wait_ns = 0;
+  LatencySummary wait;  // `op` field unused; percentile fields carry the data
+  LatencySummary hold;
+};
+
+// One op's per-layer modeled-ns decomposition (schema v3 `attribution`).
+struct AttributionOp {
+  std::string op;
+  uint64_t ops_sampled = 0;
+  LatencySummary total;
+  // layer name ("vfs", "journal", ...) -> exclusive-ns summary; only layers
+  // the op actually touched appear.
+  std::vector<std::pair<std::string, LatencySummary>> layers;
 };
 
 // One filesystem's results within a bench.
@@ -54,6 +83,10 @@ struct FsResult {
   std::vector<std::pair<std::string, uint64_t>> span_ns;
   // Gauge time series sampled on the simulated timeline: gauge -> points.
   std::vector<std::pair<std::string, std::vector<TimeSeriesPoint>>> timeseries;
+  // Per-lock-site contention rows, sorted by total wait descending.
+  std::vector<ContentionSite> contention;
+  // Per-op layer attribution rows.
+  std::vector<AttributionOp> attribution;
 };
 
 class BenchReport {
@@ -82,6 +115,17 @@ class BenchReport {
   // appended in call order), so one JSON key never appears twice.
   void AddTimeSeries(std::string_view fs, const TimeSeries& series);
 
+  // Replaces `fs`'s contention section with the profiler's per-lock-site
+  // stats, sorted by total wait descending (last call wins, so a bench that
+  // runs the same fs in several phases reports the final phase). Sites with
+  // zero acquisitions are dropped; a profiler that saw no lock events leaves
+  // the section absent.
+  void AddContention(std::string_view fs, const Profiler& profiler);
+
+  // Replaces `fs`'s attribution section with the profiler's per-op per-layer
+  // decomposition (same last-call-wins semantics).
+  void AddAttribution(std::string_view fs, const Profiler& profiler);
+
   std::string ToJson() const;
 
   // Validates ToJson() against the schema and writes it to
@@ -105,7 +149,7 @@ class BenchReport {
   std::vector<FsResult> results_;
 };
 
-// Checks `json_text` against bench schema v2; kOk iff it validates.
+// Checks `json_text` against bench schema v3; kOk iff it validates.
 common::Status ValidateBenchReportJson(std::string_view json_text);
 
 // Builds a LatencySummary (count/mean/p50/p90/p99/p999/min/max) from a

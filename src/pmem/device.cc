@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/prof_zone.h"
+
 namespace pmem {
 
 using common::kCacheline;
@@ -107,6 +109,7 @@ void PmemDevice::ChargeFaultDelay(common::ExecContext& ctx) {
 
 void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* src,
                        uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   assert(offset + len <= data_.size());
   Touch(offset, len);
   std::memcpy(data_.data() + offset, src, len);
@@ -120,6 +123,7 @@ void PmemDevice::Store(common::ExecContext& ctx, uint64_t offset, const void* sr
 
 void PmemDevice::NtStore(common::ExecContext& ctx, uint64_t offset, const void* src,
                          uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   assert(offset + len <= data_.size());
   Touch(offset, len);
   std::memcpy(data_.data() + offset, src, len);
@@ -133,6 +137,7 @@ void PmemDevice::NtStore(common::ExecContext& ctx, uint64_t offset, const void* 
 
 common::Status PmemDevice::Load(common::ExecContext& ctx, uint64_t offset, void* dst,
                                 uint64_t len, bool sequential) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   assert(offset + len <= data_.size());
   const uint64_t lines = (len + kCacheline - 1) / kCacheline;
   ctx.clock.Advance(lines * (sequential ? model_.pm_load_seq_ns : model_.pm_load_random_ns));
@@ -156,6 +161,7 @@ common::Status PmemDevice::ReadStatus(uint64_t offset, uint64_t len) const {
 }
 
 void PmemDevice::Clwb(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   const uint64_t first = common::RoundDown(offset, kCacheline);
   const uint64_t last = common::RoundDown(offset + len - 1, kCacheline);
   const uint64_t lines = (last - first) / kCacheline + 1;
@@ -174,6 +180,7 @@ void PmemDevice::Clwb(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
 }
 
 void PmemDevice::Fence(common::ExecContext& ctx) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   ctx.clock.Advance(model_.sfence_ns);
   ctx.counters.fence_count++;
   if (!crash_tracking_) {
@@ -226,6 +233,7 @@ void PmemDevice::PersistStore(common::ExecContext& ctx, uint64_t offset, const v
 }
 
 void PmemDevice::Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   assert(offset + len <= data_.size());
   Touch(offset, len);
   std::memset(data_.data() + offset, 0, len);
@@ -237,6 +245,7 @@ void PmemDevice::Zero(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
 }
 
 void PmemDevice::ChargeStagedStore(common::ExecContext& ctx, uint64_t offset, uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kDevice);
   assert(offset + len <= data_.size());
   assert(injector_ == nullptr && !crash_tracking_);
   Touch(offset, len);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/common/prof_zone.h"
 #include "src/common/sim_clock.h"
 #include "src/common/sim_mutex.h"
 #include "src/vfs/file_system.h"
@@ -22,7 +23,7 @@ class InodeLockTable {
     std::lock_guard<std::mutex> guard(map_mu_);
     auto& slot = locks_[ino];
     if (!slot) {
-      slot = std::make_unique<common::SimMutex>();
+      slot = std::make_unique<common::SimMutex>("vfs.inode");
     }
     return *slot;
   }
@@ -45,10 +46,13 @@ class VfsSharedPath {
  public:
   static constexpr uint64_t kPerSyscallHoldNs = 150;
 
-  void Charge(common::ExecContext& ctx) { resource_.Acquire(ctx.clock, kPerSyscallHoldNs); }
+  void Charge(common::ExecContext& ctx) {
+    common::ProfiledAcquire(ctx, resource_, "vfs.shared", site_ref_, kPerSyscallHoldNs);
+  }
 
  private:
   common::SharedResource resource_{"vfs-shared"};
+  common::LockSiteRef site_ref_;
 };
 
 }  // namespace vfs

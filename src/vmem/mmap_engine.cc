@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/common/prof_zone.h"
 #include "src/common/units.h"
 #include "src/obs/trace.h"
 
@@ -245,6 +246,7 @@ Result<uint64_t> MappedFile::TranslateMiss(ExecContext& ctx, uint64_t offset, bo
 }
 
 Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kMmu);
   if (offset + len > length_) {
     return Status(ErrorCode::kInvalidArgument);
   }
@@ -295,6 +297,7 @@ Status MappedFile::Write(ExecContext& ctx, uint64_t offset, const void* src, uin
 }
 
 Status MappedFile::Read(ExecContext& ctx, uint64_t offset, void* dst, uint64_t len) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kMmu);
   if (offset + len > length_) {
     return Status(ErrorCode::kInvalidArgument);
   }
@@ -484,6 +487,7 @@ Status MappedFile::AccessLines(ExecContext& ctx, LineOp* ops, size_t count, bool
 }
 
 Status MappedFile::Prefault(ExecContext& ctx, bool write) {
+  common::ProfileZone zone(ctx, common::ProfLayer::kMmu);
   uint64_t offset = 0;
   while (offset < length_) {
     auto phys = TranslateByte(ctx, offset, write, nullptr);

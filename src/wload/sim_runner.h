@@ -16,6 +16,7 @@
 #include "src/common/exec_context.h"
 #include "src/obs/gauges.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace wload {
@@ -49,10 +50,12 @@ class SimRunner {
   // Observability sinks propagated into every worker thread's ExecContext
   // (null disables collection). Not owned; must outlive Run().
   SimRunner& SetObservers(obs::TraceBuffer* trace, obs::MetricsRegistry* metrics,
-                          obs::TimeSeriesSampler* sampler = nullptr) {
+                          obs::TimeSeriesSampler* sampler = nullptr,
+                          obs::Profiler* profiler = nullptr) {
     trace_ = trace;
     metrics_ = metrics;
     sampler_ = sampler;
+    profiler_ = profiler;
     return *this;
   }
 
@@ -71,6 +74,9 @@ class SimRunner {
       threads.back().ctx.AttachTrace(trace_);
       threads.back().ctx.AttachMetrics(metrics_);
       threads.back().ctx.AttachSampler(sampler_);
+      if (profiler_ != nullptr) {
+        threads.back().ctx.AttachProfiler(profiler_);
+      }
     }
 
     RunResult result;
@@ -114,6 +120,7 @@ class SimRunner {
   obs::TraceBuffer* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TimeSeriesSampler* sampler_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace wload

@@ -1,0 +1,322 @@
+// Contention & latency-attribution profiler unit tests: histogram bucket
+// invariants, lock-site accounting against hand-computed busy-interval
+// overlaps, zone exclusive-time decomposition, per-op sampling semantics, and
+// the profiler's core bit-identical invariant — attaching it to a contended
+// multi-threaded run on every filesystem must not move the simulated clock or
+// any counter.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/histogram.h"
+#include "src/common/prof.h"
+#include "src/common/prof_zone.h"
+#include "src/common/sim_clock.h"
+#include "src/common/sim_mutex.h"
+#include "src/common/units.h"
+#include "src/fs/registry.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/vfs/op_batch.h"
+#include "src/wload/sim_runner.h"
+
+namespace {
+
+using common::ExecContext;
+using common::kMiB;
+
+// Every recorded value must land in a bucket whose upper bound is >= the
+// value and within the ~1.04x geometric spacing of it — this pins the
+// table-driven BucketFor against the log-formula spacing it replaces.
+TEST(ProfilerHistogram, BucketSpacingTightAcrossRange) {
+  // Stay below the last bucket's lower bound (~1.04^511 ≈ 5e8 ns), where the
+  // geometric spacing necessarily saturates.
+  for (uint64_t v = 1; v < (uint64_t{1} << 28); v = v * 29 / 16 + 1) {
+    common::LatencyHistogram h;
+    h.Record(v);
+    const uint64_t p100 = h.Percentile(100.0);
+    EXPECT_GE(p100 + 1, v) << "value " << v;
+    EXPECT_LE(static_cast<double>(p100), static_cast<double>(v) * 1.09 + 2.0)
+        << "value " << v;
+    EXPECT_EQ(h.MinNanos(), v);
+    EXPECT_EQ(h.MaxNanos(), v);
+    EXPECT_EQ(h.count(), 1u);
+  }
+}
+
+TEST(ProfilerHistogram, MergeAndPercentileOrdering) {
+  common::LatencyHistogram a;
+  common::LatencyHistogram b;
+  for (uint64_t v = 100; v <= 1000; v += 100) {
+    a.Record(v);
+  }
+  for (uint64_t v = 10000; v <= 20000; v += 1000) {
+    b.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 21u);
+  EXPECT_EQ(a.MinNanos(), 100u);
+  EXPECT_EQ(a.MaxNanos(), 20000u);
+  uint64_t prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const uint64_t q = a.Percentile(p);
+    EXPECT_GE(q, prev) << "percentile " << p;
+    prev = q;
+  }
+  EXPECT_GE(a.Percentile(90.0), 10000u);  // upper decile is all from b
+  EXPECT_LE(a.Percentile(25.0), 1100u);   // lower quartile is all from a
+}
+
+// SimMutex contention against a hand-computed overlap: A holds [0, 1000);
+// B arrives at 500, so B queues exactly 500ns. Totals are exact (inline
+// cell), the wait histogram holds only the contended release, and the
+// uncontended release stays out of the sampled histograms (1-in-1024).
+TEST(ProfilerLockSites, SimMutexWaitMatchesHandComputedOverlap) {
+  obs::Profiler profiler(/*sample_shift=*/0);
+  common::SimMutex mutex("test.mutex");
+
+  ExecContext a;
+  ExecContext b;
+  a.AttachProfiler(&profiler);
+  b.AttachProfiler(&profiler);
+
+  mutex.Lock(a);
+  a.clock.Advance(1000);
+  mutex.Unlock(a);  // busy interval [0, 1000), uncontended
+
+  b.clock.SetNs(500);
+  mutex.Lock(b);  // lands inside [0, 1000) -> waits 500
+  EXPECT_EQ(b.clock.NowNs(), 1000u);
+  b.clock.Advance(200);
+  mutex.Unlock(b);  // contended: wait 500, hold 200
+
+  EXPECT_EQ(mutex.total_wait_ns(), 500u);
+
+  const std::vector<obs::LockSiteStats> sites = profiler.LockSites();
+  ASSERT_EQ(sites.size(), 1u);
+  const obs::LockSiteStats& s = sites[0];
+  EXPECT_EQ(s.site, "test.mutex");
+  EXPECT_EQ(s.acquisitions, 2u);
+  EXPECT_EQ(s.total_wait_ns, 500u);
+  EXPECT_EQ(s.total_hold_ns, 1200u);
+  EXPECT_EQ(s.contended, 1u);
+  EXPECT_EQ(s.max_wait_ns, 500u);
+  EXPECT_EQ(s.wait.count(), 1u);  // contended acquisitions only
+  EXPECT_GE(s.wait.MaxNanos(), 500u);
+  EXPECT_EQ(s.hold.count(), 1u);  // the contended hold; uncontended unsampled
+
+  EXPECT_EQ(profiler.TopContendedSite(), "test.mutex");
+  EXPECT_EQ(profiler.TopContendedWaitNs(), 500u);
+  ASSERT_EQ(profiler.LockEvents().size(), 1u);  // ring keeps contended events
+  EXPECT_EQ(profiler.LockEvents()[0].wait_ns, 500u);
+  EXPECT_EQ(profiler.LockEvents()[0].hold_ns, 200u);
+
+  // The metrics-registry surface for the previously write-only wait stats.
+  obs::MetricsRegistry registry;
+  profiler.PublishTo(registry, "testfs");
+  EXPECT_EQ(registry.Counter("testfs", "lock_acquisitions"), 2u);
+  EXPECT_EQ(registry.Counter("testfs", "lock_wait_total_ns"), 500u);
+  EXPECT_EQ(registry.Counter("testfs", "lock_hold_total_ns"), 1200u);
+  EXPECT_EQ(registry.Counter("testfs", "lock_wait_max_ns"), 500u);
+
+  // ResetWaitStats clears the mutex's own total; the profiler's aggregates
+  // drop through ResetSamples but registered site names survive.
+  mutex.ResetWaitStats();
+  EXPECT_EQ(mutex.total_wait_ns(), 0u);
+  profiler.ResetSamples();
+  EXPECT_TRUE(profiler.LockSites().empty());
+  EXPECT_EQ(profiler.SiteName(0), "test.mutex");
+}
+
+// ProfiledAcquire on a ResourceClock: B queues behind A's full hold, and the
+// inline cell totals are exact across both acquisitions.
+TEST(ProfilerLockSites, ProfiledAcquireResourceClockTotals) {
+  obs::Profiler profiler(/*sample_shift=*/0);
+  common::ResourceClock resource("test.resource");
+  common::LockSiteRef ref;
+
+  ExecContext a;
+  ExecContext b;
+  a.AttachProfiler(&profiler);
+  b.AttachProfiler(&profiler);
+
+  EXPECT_EQ(common::ProfiledAcquire(a, resource, "test.resource", ref, 100), 0u);
+  EXPECT_EQ(common::ProfiledAcquire(b, resource, "test.resource", ref, 50), 100u);
+  EXPECT_EQ(b.clock.NowNs(), 150u);
+
+  const std::vector<obs::LockSiteStats> sites = profiler.LockSites();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].site, "test.resource");
+  EXPECT_EQ(sites[0].acquisitions, 2u);
+  EXPECT_EQ(sites[0].total_wait_ns, 100u);
+  EXPECT_EQ(sites[0].total_hold_ns, 150u);
+  EXPECT_EQ(sites[0].contended, 1u);
+}
+
+// Nested zones decompose an op into exclusive per-layer buckets: the inner
+// device zone's span never double-counts into the outer vfs zone.
+TEST(ProfilerZones, ExclusiveTimeAndFoldedStacks) {
+  obs::Profiler profiler(/*sample_shift=*/0);
+  ExecContext ctx;
+  ctx.AttachProfiler(&profiler);
+
+  {
+    common::ProfileZone vfs(ctx, common::ProfLayer::kVfs);
+    ctx.clock.Advance(100);
+    {
+      common::ProfileZone device(ctx, common::ProfLayer::kDevice);
+      ctx.clock.Advance(40);
+    }
+    ctx.clock.Advance(60);
+  }
+  EXPECT_EQ(ctx.zones.layer_ns[static_cast<size_t>(common::ProfLayer::kVfs)], 160u);
+  EXPECT_EQ(ctx.zones.layer_ns[static_cast<size_t>(common::ProfLayer::kDevice)], 40u);
+
+  profiler.EndOp(ctx, "testfs", "testop");
+  // The flush zeroes the context's buckets and lands in the attribution.
+  EXPECT_EQ(ctx.zones.layer_ns[static_cast<size_t>(common::ProfLayer::kVfs)], 0u);
+  const std::vector<obs::Profiler::OpAttribution> attr = profiler.Attribution();
+  ASSERT_EQ(attr.size(), 1u);
+  EXPECT_EQ(attr[0].op, "testop");
+  EXPECT_EQ(attr[0].ops_sampled, 1u);
+  EXPECT_EQ(attr[0].total.count(), 1u);
+  EXPECT_EQ(attr[0].total.MaxNanos(), 200u);
+  EXPECT_EQ(attr[0].layers[static_cast<size_t>(common::ProfLayer::kVfs)].MaxNanos(), 160u);
+  EXPECT_EQ(attr[0].layers[static_cast<size_t>(common::ProfLayer::kDevice)].MaxNanos(), 40u);
+
+  // Folded stacks carry the same split keyed by the packed path.
+  uint64_t vfs_ns = 0;
+  uint64_t vfs_device_ns = 0;
+  for (const obs::Profiler::FoldedFrame& frame : profiler.FoldedStacks()) {
+    if (frame.stack == "vfs") {
+      vfs_ns = frame.ns;
+    } else if (frame.stack == "vfs;device") {
+      vfs_device_ns = frame.ns;
+    }
+  }
+  EXPECT_EQ(vfs_ns, 160u);
+  EXPECT_EQ(vfs_device_ns, 40u);
+}
+
+TEST(ProfilerZones, DecodeZonePath) {
+  const uint32_t vfs = static_cast<uint32_t>(common::ProfLayer::kVfs) + 1;
+  const uint32_t device = static_cast<uint32_t>(common::ProfLayer::kDevice) + 1;
+  const uint32_t journal = static_cast<uint32_t>(common::ProfLayer::kJournal) + 1;
+  EXPECT_EQ(obs::DecodeZonePath(vfs), "vfs");
+  EXPECT_EQ(obs::DecodeZonePath((vfs << 3) | device), "vfs;device");
+  EXPECT_EQ(obs::DecodeZonePath((((vfs << 3) | journal) << 3) | device),
+            "vfs;journal;device");
+  EXPECT_EQ(obs::DecodeZonePath(0), "");
+}
+
+// Per-op sampling: AttachProfiler mirrors the profiler's mask into the
+// context, the first op after attach is sampled, and Tick arms exactly
+// 1-in-2^shift of the following ops.
+TEST(ProfilerZones, TickSamplingCadence) {
+  obs::Profiler profiler(/*sample_shift=*/2);  // 1-in-4
+  ExecContext ctx;
+  ctx.AttachProfiler(&profiler);
+  EXPECT_EQ(ctx.zones.sample_mask, 3u);
+  EXPECT_TRUE(ctx.zones.active);
+
+  int sampled = 0;
+  for (int i = 0; i < 16; i++) {
+    if (ctx.zones.Tick()) {
+      sampled++;
+    }
+  }
+  EXPECT_EQ(sampled, 4);  // the armed first op, then every 4th (ops 4, 8, 12)
+  // Zones stay dead while inactive: no frames open, no time accumulates.
+  ctx.zones.active = false;
+  {
+    common::ProfileZone z(ctx, common::ProfLayer::kVfs);
+    ctx.clock.Advance(100);
+    EXPECT_EQ(ctx.zones.depth, 0);
+  }
+  EXPECT_EQ(ctx.zones.layer_ns[static_cast<size_t>(common::ProfLayer::kVfs)], 0u);
+}
+
+// The tentpole invariant, enforced per filesystem: a contended eight-thread
+// metadata workload runs on twin instances, one with the profiler attached
+// (sampling every op), one without. Simulated wall time and every registered
+// counter must match bit-exactly, and the profiled run must actually have
+// seen lock traffic — observation, never perturbation.
+class ProfilerFsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfilerFsTest, ModeledOutputBitIdenticalWithProfilerAttached) {
+  const std::string fs_name = GetParam();
+  constexpr uint32_t kThreads = 8;
+  constexpr uint32_t kCpus = 4;
+  constexpr uint64_t kOpsPerThread = 150;
+
+  std::vector<uint8_t> payload(4096, 0x5a);
+  auto run = [&](obs::Profiler* profiler) -> wload::RunResult {
+    pmem::PmemDevice dev(512 * kMiB);
+    auto fs = fsreg::Create(fs_name, &dev, kCpus);
+    ExecContext setup;
+    EXPECT_TRUE(fs->Mkfs(setup).ok());
+    for (uint32_t t = 0; t < kThreads; t++) {
+      EXPECT_TRUE(fs->Mkdir(setup, "/t" + std::to_string(t)).ok());
+    }
+    auto op = [&](uint32_t tid, uint64_t i, ExecContext& ctx) -> bool {
+      const std::string path = "/t" + std::to_string(tid) + "/f" + std::to_string(i);
+      auto fd = fs->Open(ctx, path, vfs::OpenFlags::Create());
+      if (!fd.ok()) {
+        return false;
+      }
+      for (int a = 0; a < 2; a++) {
+        if (!fs->Append(ctx, *fd, payload.data(), payload.size()).ok()) {
+          return false;
+        }
+      }
+      if (!fs->Fsync(ctx, *fd).ok() || !fs->Close(ctx, *fd).ok()) {
+        return false;
+      }
+      return fs->Unlink(ctx, path).ok();
+    };
+    wload::SimRunner runner(kThreads, kCpus, setup.clock.NowNs());
+    if (profiler != nullptr) {
+      runner.SetObservers(nullptr, nullptr, nullptr, profiler);
+    }
+    return runner.Run(kOpsPerThread, op);
+  };
+
+  obs::Profiler profiler(/*sample_shift=*/0);
+  const wload::RunResult plain = run(nullptr);
+  const wload::RunResult profiled = run(&profiler);
+
+  ASSERT_EQ(plain.total_ops, kThreads * kOpsPerThread) << fs_name;
+  ASSERT_EQ(profiled.total_ops, plain.total_ops) << fs_name;
+  ASSERT_EQ(profiled.wall_ns, plain.wall_ns)
+      << fs_name << ": simulated wall time moved when the profiler attached";
+  for (const common::CounterField& field : common::kCounterFields) {
+    ASSERT_EQ(profiled.counters.*field.member, plain.counters.*field.member)
+        << fs_name << ": counter " << field.name << " moved when the profiler attached";
+  }
+
+  // The run must have produced real profile content, not vacuous equality.
+  uint64_t acquisitions = 0;
+  for (const obs::LockSiteStats& site : profiler.LockSites()) {
+    acquisitions += site.acquisitions;
+  }
+  EXPECT_GT(acquisitions, 0u) << fs_name;
+  EXPECT_FALSE(profiler.Attribution().empty()) << fs_name;
+  EXPECT_GT(profiler.ops_sampled(), 0u) << fs_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Filesystems, ProfilerFsTest,
+                         ::testing::Values("winefs", "ext4-dax", "xfs-dax", "pmfs",
+                                           "nova", "splitfs"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace

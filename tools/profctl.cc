@@ -1,0 +1,194 @@
+// profctl: contention & attribution summarizer for bench reports.
+//
+//   profctl BENCH_<name>.json [--top N]
+//
+// Reads a schema-v3 bench report and prints, for every result row that
+// carries profiler output:
+//   - a ranked contention table (lock sites by total simulated wait, with
+//     acquisition counts, contended fraction, and wait/hold p50/p99), and
+//   - a per-op layer-attribution table (which layer of the
+//     VFS->journal->device stack each op's modeled time lands in).
+// Reports without contention/attribution sections (profiler not attached or
+// bench predates schema v3) print a note instead of failing, so profctl is
+// safe to point at any BENCH_*.json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace {
+
+struct SiteRow {
+  std::string site;
+  double acquisitions = 0;
+  double contended = 0;
+  double total_wait_ns = 0;
+  double total_hold_ns = 0;
+  double max_wait_ns = 0;
+  double wait_p50 = 0;
+  double wait_p99 = 0;
+  double hold_p50 = 0;
+  double hold_p99 = 0;
+};
+
+double Num(const obs::JsonValue* object, const char* key) {
+  if (object == nullptr) {
+    return 0;
+  }
+  const obs::JsonValue* v = object->Find(key);
+  return v != nullptr && v->is_number() ? v->number_value : 0;
+}
+
+std::string FmtNs(double ns) {
+  char buf[64];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+void PrintContention(const std::string& fs, const obs::JsonValue& contention, size_t top) {
+  std::vector<SiteRow> rows;
+  for (const auto& [site, entry] : contention.object) {
+    SiteRow row;
+    row.site = site;
+    row.acquisitions = Num(&entry, "acquisitions");
+    row.contended = Num(&entry, "contended");
+    row.total_wait_ns = Num(&entry, "total_wait_ns");
+    row.total_hold_ns = Num(&entry, "total_hold_ns");
+    row.max_wait_ns = Num(&entry, "max_wait_ns");
+    row.wait_p50 = Num(entry.Find("wait"), "p50");
+    row.wait_p99 = Num(entry.Find("wait"), "p99");
+    row.hold_p50 = Num(entry.Find("hold"), "p50");
+    row.hold_p99 = Num(entry.Find("hold"), "p99");
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SiteRow& a, const SiteRow& b) { return a.total_wait_ns > b.total_wait_ns; });
+  std::printf("\n[%s] contention, ranked by total wait (%zu sites)\n", fs.c_str(), rows.size());
+  std::printf("  %-26s %10s %9s %10s %10s %9s %9s %9s\n", "site", "acquires", "cont%",
+              "wait_total", "wait_max", "wait_p99", "hold_p50", "hold_p99");
+  size_t printed = 0;
+  for (const SiteRow& row : rows) {
+    if (printed++ >= top) {
+      std::printf("  ... %zu more sites\n", rows.size() - top);
+      break;
+    }
+    const double contended_pct =
+        row.acquisitions > 0 ? 100.0 * row.contended / row.acquisitions : 0;
+    std::printf("  %-26s %10.0f %8.1f%% %10s %10s %9s %9s %9s\n", row.site.c_str(),
+                row.acquisitions, contended_pct, FmtNs(row.total_wait_ns).c_str(),
+                FmtNs(row.max_wait_ns).c_str(), FmtNs(row.wait_p99).c_str(),
+                FmtNs(row.hold_p50).c_str(), FmtNs(row.hold_p99).c_str());
+  }
+}
+
+void PrintAttribution(const std::string& fs, const obs::JsonValue& attribution) {
+  std::printf("\n[%s] per-op layer attribution (exclusive modeled ns, sampled)\n", fs.c_str());
+  std::printf("  %-12s %8s %9s  %s\n", "op", "sampled", "total_p50", "layers (mean ns, share)");
+  for (const auto& [op, entry] : attribution.object) {
+    const double sampled = Num(&entry, "ops_sampled");
+    const double total_p50 = Num(entry.Find("total"), "p50");
+    const double total_mean = Num(entry.Find("total"), "mean");
+    std::string layers;
+    const obs::JsonValue* layer_obj = entry.Find("layers");
+    if (layer_obj != nullptr && layer_obj->is_object()) {
+      // Order layers by their share of the op's mean time, largest first.
+      std::vector<std::pair<std::string, double>> shares;
+      for (const auto& [layer, summary] : layer_obj->object) {
+        shares.emplace_back(layer, Num(&summary, "mean") * Num(&summary, "count"));
+      }
+      double total_weight = 0;
+      for (const auto& [layer, weight] : shares) {
+        total_weight += weight;
+      }
+      std::sort(shares.begin(), shares.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      for (const auto& [layer, weight] : shares) {
+        if (!layers.empty()) {
+          layers += "  ";
+        }
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s %.0f%%", layer.c_str(),
+                      total_weight > 0 ? 100.0 * weight / total_weight : 0);
+        layers += buf;
+      }
+    }
+    (void)total_mean;
+    std::printf("  %-12s %8.0f %9s  %s\n", op.c_str(), sampled, FmtNs(total_p50).c_str(),
+                layers.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  size_t top = 16;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s BENCH_<name>.json [--top N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json [--top N]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto root = obs::JsonValue::Parse(buf.str());
+  if (!root.ok()) {
+    std::fprintf(stderr, "%s: parse failed: %s\n", path,
+                 std::string(root.status().message()).c_str());
+    return 1;
+  }
+  const obs::JsonValue* name = root->Find("bench");
+  const obs::JsonValue* results = root->Find("results");
+  if (results == nullptr || results->type != obs::JsonValue::Type::kArray) {
+    std::fprintf(stderr, "%s: no results array (not a bench report?)\n", path);
+    return 1;
+  }
+  std::printf("%s (%s)\n", path,
+              name != nullptr ? name->string_value.c_str() : "unnamed bench");
+
+  size_t rows_with_profile = 0;
+  for (const obs::JsonValue& row : results->array) {
+    const obs::JsonValue* fs = row.Find("fs");
+    const std::string fs_name = fs != nullptr ? fs->string_value : "?";
+    const obs::JsonValue* contention = row.Find("contention");
+    const obs::JsonValue* attribution = row.Find("attribution");
+    if (contention != nullptr && contention->is_object()) {
+      rows_with_profile++;
+      PrintContention(fs_name, *contention, top);
+    }
+    if (attribution != nullptr && attribution->is_object()) {
+      PrintAttribution(fs_name, *attribution);
+    }
+  }
+  if (rows_with_profile == 0) {
+    std::printf("no contention/attribution sections — run the bench with the profiler "
+                "attached (schema v3)\n");
+  }
+  return 0;
+}
