@@ -1,0 +1,217 @@
+#include "src/crashmk/campaign.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/aging/geriatrix.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/fs/fscore/generic_fs.h"
+#include "src/fs/registry.h"
+#include "src/pmem/fault_injector.h"
+
+namespace crashmk {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+aging::AgingConfig MakeAgingConfig(const CampaignConfig& config) {
+  aging::AgingConfig aconfig;
+  aconfig.target_utilization = config.utilization;
+  aconfig.write_multiplier = config.churn;
+  aconfig.seed = config.aging_seed;
+  aconfig.num_dirs = 8;  // tiny device: keep the namespace shallow
+  aconfig.rotate_cpus = config.num_cpus;
+  return aconfig;
+}
+
+aging::Profile MakeProfile(const std::string& name, uint64_t seed) {
+  if (name == "wang-hpc") {
+    return aging::Profile::WangHpc(seed);
+  }
+  return aging::Profile::Agrawal(seed);
+}
+
+}  // namespace
+
+Explorer::FsFactory MakeCampaignFactory(const CampaignConfig& config) {
+  const std::string name = config.fs;
+  const fscore::FsOptions geom{
+      .max_inodes = config.max_inodes,
+      .journal_blocks = config.journal_blocks,
+      .num_cpus = config.num_cpus,
+  };
+  return [name, geom](pmem::PmemDevice* device) -> std::unique_ptr<vfs::FileSystem> {
+    if (name == "winefs") {
+      winefs::WineFsOptions options;
+      options.base = geom;
+      options.base.mode = vfs::GuaranteeMode::kStrict;
+      return std::make_unique<winefs::WineFs>(device, options);
+    }
+    if (name == "ext4-dax") {
+      ext4dax::Ext4Options options;
+      options.base = geom;
+      return std::make_unique<ext4dax::Ext4Dax>(device, options);
+    }
+    if (name == "xfs-dax") {
+      ext4dax::Ext4Options options;
+      options.base = geom;
+      return std::make_unique<xfsdax::XfsDax>(device, options);
+    }
+    if (name == "splitfs") {
+      ext4dax::Ext4Options options;
+      options.base = geom;
+      return std::make_unique<splitfs::SplitFs>(device, options);
+    }
+    if (name == "nova") {
+      nova::NovaOptions options;
+      options.base = geom;
+      return std::make_unique<nova::Nova>(device, options);
+    }
+    if (name == "pmfs" || name == "pmfs-delayed") {
+      pmfs::PmfsOptions options;
+      options.base = geom;
+      options.base.num_cpus = 1;  // PMFS: single journal by design
+      options.base.data_phase_blocks = 1;
+      options.delayed_metadata = (name == "pmfs-delayed");
+      return std::make_unique<pmfs::Pmfs>(device, options);
+    }
+    return nullptr;
+  };
+}
+
+common::Result<pmem::DeviceSnapshot> CampaignSeedImage(const CampaignConfig& config) {
+  snap::ImageKey key;
+  key.fs = config.fs;
+  key.device_bytes = config.device_bytes;
+  key.num_cpus = config.num_cpus;
+  key.numa_nodes = 1;
+  key.profile = config.aging_profile;
+  key.seed = config.aging_seed;
+  key.utilization = config.utilization;
+  key.churn = config.churn;
+  key.detail = aging::AgingProvenance(MakeAgingConfig(config)) +
+               ";campaign-mi" + std::to_string(config.max_inodes) + "-jb" +
+               std::to_string(config.journal_blocks);
+
+  auto factory = MakeCampaignFactory(config);
+  auto build = [&]() -> common::Result<pmem::DeviceSnapshot> {
+    pmem::PmemDevice device(config.device_bytes);
+    auto fs = factory(&device);
+    if (fs == nullptr) {
+      return common::Status(common::ErrorCode::kInvalidArgument);
+    }
+    common::ExecContext ctx;
+    RETURN_IF_ERROR(fs->Mkfs(ctx));
+    aging::Geriatrix geriatrix(fs.get(),
+                               MakeProfile(config.aging_profile, config.aging_seed),
+                               MakeAgingConfig(config));
+    auto stats = geriatrix.Run(ctx);
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    RETURN_IF_ERROR(fs->Unmount(ctx));
+    return device.Snapshot();
+  };
+  if (config.corpus != nullptr) {
+    return config.corpus->LoadOrBuild(key, build);
+  }
+  return build();
+}
+
+std::string CampaignProvenanceTag(const CampaignConfig& config) {
+  std::string tag = "fs=" + config.fs + ";dev=" + std::to_string(config.device_bytes) +
+                    ";mi=" + std::to_string(config.max_inodes) +
+                    ";jb=" + std::to_string(config.journal_blocks) +
+                    ";cpu=" + std::to_string(config.num_cpus);
+  if (config.aged) {
+    tag += ";aged=" + config.aging_profile + ":" + std::to_string(config.aging_seed) +
+           ":" + FormatDouble(config.utilization) + ":" + FormatDouble(config.churn);
+  }
+  if (config.poison_journal) {
+    tag += ";poison=" + std::to_string(config.poison_seed) + ":" +
+           std::to_string(config.poison_blocks);
+  }
+  if (config.torn_writes) {
+    tag += ";torn=" + std::to_string(config.torn_seed);
+  }
+  return tag;
+}
+
+common::Result<CampaignResult> RunCampaign(const CampaignConfig& config) {
+  auto factory = MakeCampaignFactory(config);
+  {
+    pmem::PmemDevice probe_dev(config.device_bytes);
+    if (factory(&probe_dev) == nullptr) {
+      return common::Status(common::ErrorCode::kInvalidArgument);
+    }
+  }
+
+  Explorer::Config econfig;
+  econfig.device_bytes = config.device_bytes;
+  econfig.max_subset_bits = config.max_subset_bits;
+  econfig.torn_writes = config.torn_writes;
+  econfig.torn_seed = config.torn_seed;
+  econfig.torn_exhaustive_lanes = config.torn_writes && config.torn_exhaustive_lanes;
+  econfig.prune = config.prune;
+  econfig.collect_state_hashes = config.collect_state_hashes;
+  econfig.cache = std::make_shared<StateCache>();
+  // The delayed-metadata victim emits few fences; without the terminal
+  // pseudo-epoch its widened vulnerability window has no crash states.
+  econfig.terminal_epoch = (config.fs == "pmfs-delayed");
+  econfig.archive_dir = config.archive_dir;
+  econfig.archive_all = config.archive_all;
+  econfig.max_archives = config.max_archives;
+  econfig.provenance_tag = CampaignProvenanceTag(config);
+
+  CampaignResult result;
+  if (config.aged) {
+    auto seed = CampaignSeedImage(config);
+    if (!seed.ok()) {
+      return seed.status();
+    }
+    econfig.seed_image = *seed;
+    result.seed_provenance = CampaignProvenanceTag(config);
+  }
+
+  if (config.poison_journal) {
+    // Discover the journal region from a scratch mkfs with the same geometry,
+    // then pick media blocks inside it from poison_seed — the plan is a pure
+    // function of the config, so a verdict replays exactly.
+    pmem::PmemDevice scratch(config.device_bytes);
+    auto fs = factory(&scratch);
+    common::ExecContext ctx;
+    RETURN_IF_ERROR(fs->Mkfs(ctx));
+    auto* generic = dynamic_cast<fscore::GenericFs*>(fs.get());
+    if (generic == nullptr) {
+      return common::Status(common::ErrorCode::kInvalidArgument);
+    }
+    const uint64_t journal_off = generic->journal_start_block() * common::kBlockSize;
+    const uint64_t journal_bytes =
+        (generic->inode_table_block() - generic->journal_start_block()) *
+        common::kBlockSize;
+    const uint64_t media_blocks = journal_bytes / pmem::kMediaBlockBytes;
+    common::Rng rng(config.poison_seed);
+    for (uint32_t i = 0; i < config.poison_blocks && media_blocks > 0; i++) {
+      const uint64_t block = rng.NextBelow(media_blocks);
+      econfig.poison_ranges.emplace_back(journal_off + block * pmem::kMediaBlockBytes,
+                                         pmem::kMediaBlockBytes);
+    }
+    econfig.poison_seed = config.poison_seed;
+  }
+
+  Explorer explorer(factory, econfig);
+  for (const Workload& workload : Explorer::GenerateAceWorkloads(config.include_data_ops)) {
+    result.totals.Accumulate(explorer.RunWorkload(workload));
+    result.workloads++;
+  }
+  return result;
+}
+
+}  // namespace crashmk

@@ -1,0 +1,104 @@
+// Coverage-guided crash-and-corruption campaign (ROADMAP item 5).
+//
+// A campaign runs the full ACE workload set through the Explorer against one
+// filesystem with small "campaign geometry" (few inodes, small journal — so
+// the interesting metadata lines cluster and the state space stays dense),
+// optionally seeded from an aged snap::Corpus image and/or a FaultInjector
+// poison plan over the journal region. One StateCache is shared across all
+// workloads, so the pruning ratio (crash states judged per oracle replay)
+// compounds across the whole campaign: the fixture makes many op-start images
+// coincide between workloads.
+#ifndef SRC_CRASHMK_CAMPAIGN_H_
+#define SRC_CRASHMK_CAMPAIGN_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/crashmk/explorer.h"
+#include "src/snap/corpus.h"
+
+namespace crashmk {
+
+struct CampaignConfig {
+  // Filesystem under campaign: the six stock names ("winefs", "ext4-dax",
+  // "xfs-dax", "pmfs", "nova", "splitfs") plus "pmfs-delayed" (the injected
+  // delayed-metadata vulnerability; automatically explored with a terminal
+  // pseudo-epoch so its widened window is reachable).
+  std::string fs = "winefs";
+
+  // Campaign geometry (deliberately tiny — dense metadata, fast replay).
+  uint64_t device_bytes = 16ull * 1024 * 1024;
+  uint64_t max_inodes = 2048;
+  uint64_t journal_blocks = 64;
+  uint32_t num_cpus = 2;
+
+  // Exploration knobs (see Explorer::Config).
+  bool include_data_ops = false;
+  bool prune = true;
+  bool collect_state_hashes = false;
+  bool torn_writes = false;
+  uint64_t torn_seed = 0x5eed;
+  // With torn_writes: key every non-empty lane mask of each torn line (255
+  // states each) rather than the FaultInjector sample. Pruning collapses
+  // them to ~2^(differing lanes) replays.
+  bool torn_exhaustive_lanes = true;
+  uint32_t max_subset_bits = 6;
+
+  // Aged seeding: COW-fork an aged image (built with Geriatrix, cached in the
+  // corpus when one is configured) instead of exploring a fresh mkfs.
+  bool aged = false;
+  snap::Corpus* corpus = nullptr;  // optional cache; nullptr = always build
+  std::string aging_profile = "agrawal";
+  uint64_t aging_seed = 42;
+  double utilization = 0.3;
+  double churn = 0.5;
+
+  // Corruption campaign: poison media blocks inside the journal region before
+  // every crash-state mount (block choice derives from poison_seed, so a
+  // verdict reproduces from the config alone).
+  bool poison_journal = false;
+  uint64_t poison_seed = 7;
+  uint32_t poison_blocks = 2;
+
+  // Failure archiving (replayable kCrashState images; see snapctl replay).
+  std::string archive_dir;
+  bool archive_all = false;
+  uint32_t max_archives = 16;
+};
+
+struct CampaignResult {
+  ExploreResult totals;
+  uint64_t workloads = 0;
+  std::string seed_provenance;  // aged-image provenance ("" when fresh)
+
+  // Crash states explored per unit of oracle-replay work — the acceptance
+  // metric (>= 10x on the campaign workloads when pruning is on).
+  double PruningRatio() const {
+    return totals.oracle_replays == 0
+               ? 0.0
+               : static_cast<double>(totals.crash_states) /
+                     static_cast<double>(totals.oracle_replays);
+  }
+  bool ok() const { return totals.ok(); }
+};
+
+// Factory building `config.fs` with the campaign geometry applied. Every
+// mount of a campaign (aging build, crash replay, snapctl replay) must use
+// this factory so layouts agree.
+Explorer::FsFactory MakeCampaignFactory(const CampaignConfig& config);
+
+// The aged seed image for this campaign (built on miss, corpus-cached when
+// configured). Only meaningful with config.aged.
+common::Result<pmem::DeviceSnapshot> CampaignSeedImage(const CampaignConfig& config);
+
+// Canonical provenance fragment recorded in archived crash images; encodes
+// everything `snapctl replay` needs to rebuild the factory.
+std::string CampaignProvenanceTag(const CampaignConfig& config);
+
+// Runs the whole campaign: generate ACE workloads, explore each with a shared
+// equivalence-class cache, accumulate counters.
+common::Result<CampaignResult> RunCampaign(const CampaignConfig& config);
+
+}  // namespace crashmk
+
+#endif  // SRC_CRASHMK_CAMPAIGN_H_

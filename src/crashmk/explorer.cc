@@ -93,19 +93,38 @@ Status Explorer::ApplyOp(ExecContext& ctx, vfs::FileSystem& fs, const CrashOp& o
   return common::OkStatus();
 }
 
+namespace {
+
+std::string HexU64(uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; i--) {
+    out[i] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
 ExploreResult Explorer::RunWorkload(const Workload& workload) {
   ExploreResult result;
 
-  pmem::PmemDevice device(config_.device_bytes);
+  const bool seeded = config_.seed_image.valid();
+  pmem::PmemDevice device =
+      seeded ? pmem::PmemDevice(config_.seed_image) : pmem::PmemDevice(config_.device_bytes);
+  const uint64_t dev_bytes = device.size();
   auto fs = factory_(&device);
   ExecContext ctx;
-  if (!fs->Mkfs(ctx).ok()) {
+  const Status init = seeded ? fs->Mount(ctx) : fs->Mkfs(ctx);
+  if (!init.ok()) {
     result.mount_failures++;
-    result.first_failure = "mkfs failed";
+    result.first_failure = seeded ? "seed image mount failed" : "mkfs failed";
     return result;
   }
 
-  // Standard ACE fixture.
+  // Standard ACE fixture (laid on top of the aged image when seeded; the
+  // fixture paths are root-level, the aging workload populates /d<k>/...).
   auto seed_file = [&](const std::string& path, uint64_t size) {
     auto fd = fs->Open(ctx, path, vfs::OpenFlags::Create());
     std::vector<uint8_t> data(size, 0x11);
@@ -122,9 +141,21 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
   device.EnableCrashTracking();
   pmem::FaultInjector torn_injector(pmem::FaultPlan{.seed = config_.torn_seed});
 
+  std::shared_ptr<StateCache> cache =
+      config_.cache != nullptr ? config_.cache : std::make_shared<StateCache>();
+
+  // One crash device reused across all states; the poison injector (if any)
+  // rides on it so every crash mount sees the plan's corrupted media blocks.
+  pmem::PmemDevice crash_dev(dev_bytes, device.cost(), device.numa_nodes());
+  pmem::FaultInjector poison_injector(pmem::FaultPlan{.seed = config_.poison_seed});
+  if (!config_.poison_ranges.empty()) {
+    crash_dev.AttachFaultInjector(&poison_injector);
+  }
+
   for (const CrashOp& op : workload) {
     const Oracle pre = Oracle::Capture(ctx, *fs);
     const std::vector<uint8_t> image_at_op_start = device.PersistentImage();
+    const uint64_t op_hash = snap::Fnv1a(image_at_op_start.data(), image_at_op_start.size());
 
     device.BeginEpochRecording();
     const Status op_status = ApplyOp(ctx, *fs, op);
@@ -134,11 +165,38 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
       result.oracle_failures++;
       return result;
     }
+    if (config_.terminal_epoch) {
+      // Lines still in flight when the op returned: a synchronous filesystem
+      // drained everything at its last fence, but delayed metadata
+      // accumulates here — without this pseudo-epoch those crash states
+      // (the widened vulnerability window) would never be enumerated.
+      std::vector<pmem::PendingLine> leftover = device.PendingLines();
+      if (!leftover.empty()) {
+        epochs.push_back(pmem::PmemDevice::PersistEpoch{{}, std::move(leftover)});
+      }
+    }
     const Oracle post = Oracle::Capture(ctx, *fs);
     result.ops_executed++;
 
-    // Enumerate crash states.
+    // Enumerate crash states. `base` is the persistent image at the current
+    // fence boundary; base_key its equivalence key relative to op start.
     std::vector<uint8_t> base = image_at_op_start;
+    uint64_t base_key = op_hash;
+
+    // Equivalence term of one cacheline: 0 when its content equals the
+    // op-start image (so untouched lines never perturb the key), otherwise a
+    // hash of (offset, content). Keys compose by XOR: key(img) = op_hash XOR
+    // the terms of every differing line, which makes the key of any candidate
+    // computable from enumeration deltas without building the image.
+    auto line_term = [&](uint64_t off, const uint8_t* content) -> uint64_t {
+      if (std::memcmp(content, image_at_op_start.data() + off, common::kCacheline) == 0) {
+        return 0;
+      }
+      uint64_t h = snap::Fnv1a(reinterpret_cast<const uint8_t*>(&off), sizeof(off));
+      return snap::Fnv1a(content, common::kCacheline, h);
+    };
+    auto base_term = [&](uint64_t off) { return line_term(off, base.data() + off); };
+
     auto apply_lines = [](std::vector<uint8_t>& img, const std::vector<pmem::PendingLine>& lines,
                           uint64_t subset_mask) {
       for (size_t i = 0; i < lines.size(); i++) {
@@ -148,11 +206,11 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
       }
     };
 
-    pmem::PmemDevice crash_dev(config_.device_bytes);
     // Archives the pre-recovery torn image (`img`, not crash_dev — mount-time
     // recovery has already rewritten the device by verdict time) as a
     // replayable snapshot. Replay = fork the snapshot, mount, re-judge.
-    auto archive_state = [&](const std::vector<uint8_t>& img, const char* verdict) {
+    auto archive_state = [&](const std::vector<uint8_t>& img, const char* verdict,
+                             const std::string& extra) {
       if (config_.archive_dir.empty() || result.archived >= config_.max_archives) {
         return;
       }
@@ -160,9 +218,12 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
       snap.bytes = std::make_shared<const std::vector<uint8_t>>(img);
       snap.model = device.cost();
       snap.numa_nodes = device.numa_nodes();
-      const std::string provenance = "crashmk;op=" + op.Describe() +
-                                     ";state=" + std::to_string(result.crash_states) +
-                                     ";verdict=" + verdict;
+      std::string provenance = "crashmk;";
+      if (!config_.provenance_tag.empty()) {
+        provenance += config_.provenance_tag + ";";
+      }
+      provenance += "op=" + op.Describe() + ";state=" + std::to_string(result.crash_states) +
+                    ";verdict=" + verdict + extra;
       const std::string path = config_.archive_dir + "/crash-" +
                                std::to_string(result.archived) + "-" + verdict + ".snap";
       if (snap::SaveImage(path, snap, snap::ImageKind::kCrashState, provenance).ok()) {
@@ -170,20 +231,50 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
         result.archive_paths.push_back(path);
       }
     };
-    auto check_state = [&](const std::vector<uint8_t>& img) {
+
+    // Judges one candidate crash state given its equivalence key and a lazy
+    // image builder. With pruning on, already-seen classes skip both the
+    // image materialization and the mount + oracle replay.
+    auto judge_state = [&](uint64_t key,
+                           const std::function<std::vector<uint8_t>()>& build) {
       result.crash_states++;
+      const bool fresh = cache->Claim(key);
+      if (fresh) {
+        result.distinct_images++;
+      }
+      if (!fresh && config_.prune) {
+        result.pruned_replays++;
+        return;
+      }
+      result.oracle_replays++;
+      const std::vector<uint8_t> img = build();
+      for (const auto& [poison_off, poison_len] : config_.poison_ranges) {
+        poison_injector.PoisonRange(poison_off, poison_len);
+      }
       crash_dev.RestoreImage(img);
       auto crash_fs = factory_(&crash_dev);
       ExecContext rctx;
-      if (!crash_fs->Mount(rctx).ok()) {
+      const Status mount_status = crash_fs->Mount(rctx);
+      if (!mount_status.ok()) {
+        if (!config_.poison_ranges.empty() &&
+            mount_status.code() == common::ErrorCode::kIoError) {
+          // Refuse-when-dirty policy hit the poisoned journal: the
+          // corruption was detected, not silently absorbed.
+          result.refused_mounts++;
+          return;
+        }
         result.mount_failures++;
         if (result.first_failure.empty()) {
           result.first_failure = "mount failed after crash in: " + op.Describe();
         }
-        archive_state(img, "mountfail");
+        archive_state(img, "mountfail", "");
         return;
       }
       const Oracle recovered = Oracle::Capture(rctx, *crash_fs);
+      const uint64_t recovered_hash = recovered.StateHash();
+      if (config_.collect_state_hashes) {
+        result.recovered_state_hashes.insert(recovered_hash);
+      }
       if (!(recovered == pre) && !(recovered == post)) {
         result.oracle_failures++;
         if (result.first_failure.empty()) {
@@ -191,9 +282,9 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
                                  "\n--- vs pre ---\n" + recovered.DiffAgainst(pre) +
                                  "--- vs post ---\n" + recovered.DiffAgainst(post);
         }
-        archive_state(img, "inconsistent");
+        archive_state(img, "inconsistent", ";rhash=" + HexU64(recovered_hash));
       } else if (config_.archive_all) {
-        archive_state(img, "ok");
+        archive_state(img, "ok", ";rhash=" + HexU64(recovered_hash));
       }
     };
 
@@ -203,29 +294,52 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
       std::vector<pmem::PendingLine> eligible = epoch.persisted;
       eligible.insert(eligible.end(), epoch.in_flight_after.begin(),
                       epoch.in_flight_after.end());
+      // Per-line key deltas vs the current base. Line offsets are unique
+      // within one fence (the device dedups pending lines by offset), so
+      // subset keys compose by XOR of the chosen deltas.
+      std::vector<uint64_t> delta(eligible.size());
+      for (size_t i = 0; i < eligible.size(); i++) {
+        delta[i] = base_term(eligible[i].line_offset) ^
+                   line_term(eligible[i].line_offset, eligible[i].data);
+      }
       if (eligible.size() <= config_.max_subset_bits) {
         const uint64_t combos = 1ull << eligible.size();
         for (uint64_t mask = 0; mask < combos; mask++) {
-          std::vector<uint8_t> img = base;
-          apply_lines(img, eligible, mask);
-          check_state(img);
+          uint64_t key = base_key;
+          for (size_t i = 0; i < eligible.size(); i++) {
+            if (mask & (1ull << i)) {
+              key ^= delta[i];
+            }
+          }
+          judge_state(key, [&]() {
+            std::vector<uint8_t> img = base;
+            apply_lines(img, eligible, mask);
+            return img;
+          });
         }
       } else {
         // Too many in-flight lines for exhaustive subsets (bulk zeroing or
         // data-journal blobs): check the boundary state plus an even sample
         // of single-line and prefix states.
-        check_state(base);
+        judge_state(base_key, [&]() { return base; });
         constexpr size_t kMaxSampled = 96;
         const size_t stride = std::max<size_t>(1, eligible.size() / kMaxSampled);
         for (size_t i = 0; i < eligible.size(); i += stride) {
-          std::vector<uint8_t> img = base;
-          apply_lines(img, eligible, 1ull << (i % 64));
-          // Also a prefix state: everything up to line i persisted.
+          // The image is the prefix 0..i plus line i%64; since i%64 <= i the
+          // applied set is exactly the prefix, and the key is its XOR.
+          uint64_t key = base_key;
           for (size_t p = 0; p <= i; p++) {
-            std::memcpy(img.data() + eligible[p].line_offset, eligible[p].data,
-                        common::kCacheline);
+            key ^= delta[p];
           }
-          check_state(img);
+          judge_state(key, [&]() {
+            std::vector<uint8_t> img = base;
+            apply_lines(img, eligible, 1ull << (i % 64));
+            for (size_t p = 0; p <= i; p++) {
+              std::memcpy(img.data() + eligible[p].line_offset, eligible[p].data,
+                          common::kCacheline);
+            }
+            return img;
+          });
         }
       }
       // Torn-store composition: pick lines across the epoch (even stride),
@@ -239,29 +353,71 @@ ExploreResult Explorer::RunWorkload(const Workload& workload) {
                   [](const pmem::PendingLine& a, const pmem::PendingLine& b) {
                     return a.seq < b.seq;
                   });
+        std::vector<uint64_t> bdelta(by_seq.size());
+        for (size_t i = 0; i < by_seq.size(); i++) {
+          bdelta[i] = base_term(by_seq[i].line_offset) ^
+                      line_term(by_seq[i].line_offset, by_seq[i].data);
+        }
         const size_t stride = std::max<size_t>(
             1, by_seq.size() / std::max<uint32_t>(1, config_.max_torn_lines_per_epoch));
         for (size_t i = 0; i < by_seq.size(); i += stride) {
-          const std::vector<uint8_t> masks =
-              torn_injector.TornLaneMasks(by_seq[i].seq, config_.max_torn_variants_per_line);
-          for (const uint8_t mask : masks) {
-            std::vector<uint8_t> img = base;
-            for (size_t p = 0; p < i; p++) {
-              std::memcpy(img.data() + by_seq[p].line_offset, by_seq[p].data,
-                          common::kCacheline);
+          uint64_t prefix_key = base_key;
+          for (size_t p = 0; p < i; p++) {
+            prefix_key ^= bdelta[p];
+          }
+          // Lanes whose stored bytes actually differ from the base bound the
+          // image classes torn masks can produce: 2^k for k differing lanes.
+          uint32_t differing_lanes = 0;
+          for (uint32_t lane = 0; lane < pmem::kLanesPerLine; lane++) {
+            if (std::memcmp(base.data() + by_seq[i].line_offset + lane * pmem::kLaneBytes,
+                            by_seq[i].data + lane * pmem::kLaneBytes,
+                            pmem::kLaneBytes) != 0) {
+              differing_lanes++;
             }
+          }
+          std::vector<uint8_t> masks;
+          if (config_.torn_exhaustive_lanes && differing_lanes <= 4) {
+            // All 255 non-empty masks collapse into at most 16 classes —
+            // affordable to replay, so enumerate the lot and let pruning
+            // dedup. High-entropy lines (journal entries: every lane differs)
+            // would turn 255 states into 255 replays; those keep the sample.
+            masks.reserve(255);
+            for (uint32_t m = 1; m <= 255; m++) {
+              masks.push_back(static_cast<uint8_t>(m));
+            }
+          } else {
+            masks =
+                torn_injector.TornLaneMasks(by_seq[i].seq, config_.max_torn_variants_per_line);
+          }
+          for (const uint8_t mask : masks) {
+            // Compose the torn line to key it: base content with the chosen
+            // lanes overlaid.
+            uint8_t torn[common::kCacheline];
+            std::memcpy(torn, base.data() + by_seq[i].line_offset, common::kCacheline);
             for (uint32_t lane = 0; lane < pmem::kLanesPerLine; lane++) {
               if (mask & (1u << lane)) {
-                std::memcpy(img.data() + by_seq[i].line_offset + lane * pmem::kLaneBytes,
+                std::memcpy(torn + lane * pmem::kLaneBytes,
                             by_seq[i].data + lane * pmem::kLaneBytes, pmem::kLaneBytes);
               }
             }
-            check_state(img);
+            const uint64_t key = prefix_key ^ base_term(by_seq[i].line_offset) ^
+                                 line_term(by_seq[i].line_offset, torn);
+            judge_state(key, [&]() {
+              std::vector<uint8_t> img = base;
+              for (size_t p = 0; p < i; p++) {
+                std::memcpy(img.data() + by_seq[p].line_offset, by_seq[p].data,
+                            common::kCacheline);
+              }
+              std::memcpy(img.data() + by_seq[i].line_offset, torn, common::kCacheline);
+              return img;
+            });
           }
         }
       }
       // Advance the base image past this fence: everything it persisted.
+      // (Update the key before overwriting the bytes the old term hashes.)
       for (const pmem::PendingLine& line : epoch.persisted) {
+        base_key ^= base_term(line.line_offset) ^ line_term(line.line_offset, line.data);
         std::memcpy(base.data() + line.line_offset, line.data, common::kCacheline);
       }
     }

@@ -5,12 +5,26 @@
 // every subset of the lines that were in flight there), reboots a fresh
 // filesystem instance on each crash image, runs recovery, and checks that the
 // recovered logical state equals either the pre-op or the post-op oracle.
+//
+// Coverage-guided pruning: every candidate crash state gets an image
+// equivalence key — FNV-1a of the op-start persistent image XOR one term per
+// cacheline that differs from it (hashing offset + content). Two candidates
+// with byte-identical device images always share a key, no matter which
+// fence/subset produced them, and the key of a candidate is computable from
+// the enumeration deltas WITHOUT materializing the full image. With pruning
+// enabled the explorer replays recovery only for the first member of each
+// class; the counters (distinct_images, oracle_replays, pruned_replays,
+// recovered_state_hashes) let tests prove the pruned campaign covers the same
+// distinct-state set as exhaustive replay.
 #ifndef SRC_CRASHMK_EXPLORER_H_
 #define SRC_CRASHMK_EXPLORER_H_
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/crashmk/oracle.h"
@@ -45,17 +59,63 @@ struct CrashOp {
 
 using Workload = std::vector<CrashOp>;
 
+// Set of crash-image equivalence classes already claimed for oracle replay.
+// Share one cache across the workloads of a campaign (via Config::cache) so
+// identical torn images reached from different workloads — the fixture makes
+// op-start images coincide — are judged exactly once.
+class StateCache {
+ public:
+  // Claims `key`; true if it was unseen (the caller owns judging it).
+  bool Claim(uint64_t key) { return seen_.insert(key).second; }
+  size_t size() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> seen_;
+};
+
 struct ExploreResult {
   uint64_t ops_executed = 0;
   uint64_t crash_states = 0;
   uint64_t mount_failures = 0;
   uint64_t oracle_failures = 0;
+  // Coverage accounting. crash_states = oracle_replays + pruned_replays;
+  // distinct_images counts first-seen image equivalence classes (== crash
+  // states judged when pruning is on; == classes either way).
+  uint64_t oracle_replays = 0;
+  uint64_t pruned_replays = 0;
+  uint64_t distinct_images = 0;
+  // Crash mounts refused with EIO under an active poison plan — successful
+  // corruption *detection* (refuse-when-dirty policy), not a failure.
+  uint64_t refused_mounts = 0;
+  // Distinct recovered logical states (Oracle::StateHash), filled when
+  // Config::collect_state_hashes is set. The pruned-vs-exhaustive
+  // equivalence proof compares these sets.
+  std::set<uint64_t> recovered_state_hashes;
   // Crash states archived as replayable snapshot images (Config::archive_dir).
   uint64_t archived = 0;
   std::vector<std::string> archive_paths;
   std::string first_failure;
 
   bool ok() const { return mount_failures == 0 && oracle_failures == 0; }
+
+  void Accumulate(const ExploreResult& other) {
+    ops_executed += other.ops_executed;
+    crash_states += other.crash_states;
+    mount_failures += other.mount_failures;
+    oracle_failures += other.oracle_failures;
+    oracle_replays += other.oracle_replays;
+    pruned_replays += other.pruned_replays;
+    distinct_images += other.distinct_images;
+    refused_mounts += other.refused_mounts;
+    recovered_state_hashes.insert(other.recovered_state_hashes.begin(),
+                                  other.recovered_state_hashes.end());
+    archived += other.archived;
+    archive_paths.insert(archive_paths.end(), other.archive_paths.begin(),
+                         other.archive_paths.end());
+    if (first_failure.empty()) {
+      first_failure = other.first_failure;
+    }
+  }
 };
 
 class Explorer {
@@ -75,9 +135,41 @@ class Explorer {
     bool torn_writes = false;
     uint64_t torn_seed = 1;
     uint32_t max_torn_variants_per_line = 3;
+    // Enumerate ALL 255 non-empty lane masks per torn line instead of the
+    // FaultInjector sample. Only affordable with pruning: a line where k
+    // lanes differ from the base collapses into 2^k image classes, so the
+    // 255 keyed states cost ~2^k oracle replays (the coverage-guided
+    // campaign's showcase; keys are computed without building images).
+    bool torn_exhaustive_lanes = false;
     // Bounds the torn-line sweep per fence (bulk zeroing can leave thousands
     // of lines in flight; an even-stride sample keeps runtime sane).
     uint32_t max_torn_lines_per_epoch = 16;
+    // Coverage-guided pruning: skip mount + oracle replay for crash images
+    // whose equivalence class was already judged. Enumeration (and therefore
+    // distinct_images) is identical with pruning on or off; only the replay
+    // work changes.
+    bool prune = false;
+    // Record Oracle::StateHash of every judged recovery into
+    // recovered_state_hashes (the pruned-vs-exhaustive equivalence proof).
+    bool collect_state_hashes = false;
+    // Shared equivalence-class cache; when null each RunWorkload uses its own.
+    std::shared_ptr<StateCache> cache;
+    // After the op's recorded epochs, synthesize one terminal pseudo-epoch
+    // from the lines still in flight at op end. Synchronous filesystems leave
+    // nothing behind (their last fence drained everything), but a
+    // delayed-metadata filesystem emits few or no fences — without this the
+    // widened vulnerability window would produce zero crash states.
+    bool terminal_epoch = false;
+    // Aged seeding: when valid, RunWorkload COW-forks this image and Mounts
+    // it instead of Mkfs on a fresh device, then lays the ACE fixture on top.
+    // device_bytes is ignored in favor of the image's size.
+    pmem::DeviceSnapshot seed_image;
+    // Corruption campaign: these byte ranges are (re-)poisoned on the crash
+    // device before every crash-state mount. A mount that refuses with EIO
+    // counts as refused_mounts (the refuse-when-dirty policy detecting the
+    // corruption); repair policies proceed to the oracle check as usual.
+    std::vector<std::pair<uint64_t, uint64_t>> poison_ranges;
+    uint64_t poison_seed = 7;
     // When non-empty, interesting crash states are archived into this
     // directory as replayable snapshot images (src/snap, kind=kCrashState):
     // by default only failing states (mount or oracle failure — a durable
@@ -87,6 +179,9 @@ class Explorer {
     std::string archive_dir;
     bool archive_all = false;
     uint32_t max_archives = 16;
+    // Extra provenance recorded in archived images ("fs=pmfs;mi=2048;..."),
+    // so `snapctl replay` can rebuild the factory from the file alone.
+    std::string provenance_tag;
   };
 
   Explorer(FsFactory factory, Config config) : factory_(std::move(factory)), config_(config) {}

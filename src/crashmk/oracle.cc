@@ -25,13 +25,18 @@ void Walk(common::ExecContext& ctx, vfs::FileSystem& fs, const std::string& dir,
     const std::string path = dir + "/" + entry.name;
     OracleEntry oe;
     oe.is_dir = entry.is_dir;
+    auto st = fs.Stat(ctx, path);
+    if (!st.ok()) {
+      // The parent lists this name but the inode behind it is unreachable —
+      // a dangling dirent (e.g. persisted before its inode when metadata
+      // persistence is delayed). Record it as its own observable state.
+      oe.dangling = true;
+      out[path] = oe;
+      continue;
+    }
     if (entry.is_dir) {
       out[path] = oe;
       Walk(ctx, fs, path, out);
-      continue;
-    }
-    auto st = fs.Stat(ctx, path);
-    if (!st.ok()) {
       continue;
     }
     oe.size = st->size;
@@ -68,18 +73,35 @@ std::string Oracle::DiffAgainst(const Oracle& other) const {
   for (const auto& [path, entry] : entries_) {
     auto it = other.entries_.find(path);
     if (it == other.entries_.end()) {
-      out << "only-left: " << path << " size=" << entry.size << "\n";
+      out << "only-left: " << path << " size=" << entry.size
+          << (entry.dangling ? " (dangling)" : "") << "\n";
     } else if (!(it->second == entry)) {
       out << "differs: " << path << " size " << entry.size << " vs " << it->second.size
-          << " hash " << entry.content_hash << " vs " << it->second.content_hash << "\n";
+          << " hash " << entry.content_hash << " vs " << it->second.content_hash
+          << " dangling " << entry.dangling << " vs " << it->second.dangling << "\n";
     }
   }
   for (const auto& [path, entry] : other.entries_) {
     if (entries_.find(path) == entries_.end()) {
-      out << "only-right: " << path << " size=" << entry.size << "\n";
+      out << "only-right: " << path << " size=" << entry.size
+          << (entry.dangling ? " (dangling)" : "") << "\n";
     }
   }
   return out.str();
+}
+
+uint64_t Oracle::StateHash() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const auto& [path, entry] : entries_) {
+    hash = Fnv1a(reinterpret_cast<const uint8_t*>(path.data()), path.size(), hash);
+    const uint8_t flags =
+        static_cast<uint8_t>((entry.is_dir ? 1 : 0) | (entry.dangling ? 2 : 0));
+    hash = Fnv1a(&flags, 1, hash);
+    hash = Fnv1a(reinterpret_cast<const uint8_t*>(&entry.size), sizeof(entry.size), hash);
+    hash = Fnv1a(reinterpret_cast<const uint8_t*>(&entry.content_hash),
+                 sizeof(entry.content_hash), hash);
+  }
+  return hash;
 }
 
 }  // namespace crashmk

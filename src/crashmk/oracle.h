@@ -16,6 +16,12 @@ namespace crashmk {
 
 struct OracleEntry {
   bool is_dir = false;
+  // Listed by its parent directory but unreachable: ReadDir returned the name
+  // but Stat on the path fails. This is the dirent-persisted-without-inode
+  // window that delayed-metadata filesystems open; treating it as a distinct
+  // observable (instead of skipping the entry) is what lets the campaign
+  // catch it — a dangling entry can never equal a pre- or post-op state.
+  bool dangling = false;
   uint64_t size = 0;
   uint64_t content_hash = 0;
 
@@ -31,6 +37,12 @@ class Oracle {
 
   // Human-readable diff for failure messages (empty if equal).
   std::string DiffAgainst(const Oracle& other) const;
+
+  // FNV-1a hash of the full logical state (paths + entry fields, in path
+  // order). Two oracles are == iff their hashes match (modulo collisions);
+  // the explorer's coverage counters use this to prove the pruned campaign
+  // reaches the same distinct recovered-state set as exhaustive replay.
+  uint64_t StateHash() const;
 
   const std::map<std::string, OracleEntry>& entries() const { return entries_; }
 

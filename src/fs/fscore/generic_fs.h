@@ -162,6 +162,11 @@ class GenericFs : public vfs::FileSystem {
   // --- Introspection used by benches/tests --------------------------------
   uint64_t data_start_block() const { return data_start_block_; }
   uint64_t data_blocks() const { return data_blocks_; }
+  // Metadata-region layout (campaign poison plans target the journal region;
+  // the scrub daemon walks superblock + journal + inode table).
+  uint64_t total_blocks() const { return total_blocks_; }
+  uint64_t journal_start_block() const { return journal_start_block_; }
+  uint64_t inode_table_block() const { return inode_table_block_; }
   pmem::PmemDevice& device() { return *device_; }
   const FsOptions& options() const { return options_; }
   // DRAM consumed by directory indexes + extent mirrors (§5.7), approximate.

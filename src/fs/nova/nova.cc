@@ -31,6 +31,8 @@ Nova::Nova(pmem::PmemDevice* device, NovaOptions options)
 
 void Nova::InitAllocator(uint64_t data_start, uint64_t nblocks) {
   cpu_free_.clear();
+  tx_depth_ = 0;
+  deferred_frees_.clear();
   const uint32_t ncpu = std::max<uint32_t>(1, options_.num_cpus);
   const uint64_t per_cpu = nblocks / ncpu;
   for (uint32_t cpu = 0; cpu < ncpu; cpu++) {
@@ -143,6 +145,33 @@ Result<std::vector<Extent>> Nova::AllocBlocks(ExecContext& ctx, Inode& inode, ui
 }
 
 void Nova::FreeBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
+  if (tx_depth_ > 0) {
+    // Epoch-based reclamation: inside a transaction the blocks may still be
+    // referenced by the pre-crash metadata image (e.g. the data blocks of a
+    // rename-overwritten target). Handing them to the allocator now would let
+    // a log-page allocation later in the same operation scribble over them —
+    // a crash between those two points then recovers the old inode pointing
+    // at reused blocks. Real NOVA frees only after the transaction commits.
+    deferred_frees_.insert(deferred_frees_.end(), extents.begin(), extents.end());
+    return;
+  }
+  ReleaseBlocks(ctx, extents);
+}
+
+void Nova::TxBegin(ExecContext& ctx) {
+  (void)ctx;
+  tx_depth_++;
+}
+
+void Nova::TxCommit(ExecContext& ctx) {
+  if (tx_depth_ > 0 && --tx_depth_ == 0 && !deferred_frees_.empty()) {
+    std::vector<Extent> frees;
+    frees.swap(deferred_frees_);
+    ReleaseBlocks(ctx, frees);
+  }
+}
+
+void Nova::ReleaseBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
   ctx.clock.Advance(kAllocWorkNs / 2);
   for (const Extent& ext : extents) {
     uint64_t cursor = ext.phys_block;

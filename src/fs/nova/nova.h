@@ -54,6 +54,14 @@ class Nova : public fscore::GenericFs {
   void TxMetaWrite(common::ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
                    const void* data, uint64_t len) override;
 
+  // Epoch-based reclamation: blocks freed inside a transaction (unlink, the
+  // overwritten target of a rename, CoW superseded pages) stay off the free
+  // lists until the outermost TxCommit. Without the deferral a log-page
+  // allocation later in the same operation can reuse a block the pre-crash
+  // metadata still references, and a crash there corrupts committed data.
+  void TxBegin(common::ExecContext& ctx) override;
+  void TxCommit(common::ExecContext& ctx) override;
+
   common::Result<uint64_t> WriteDataAtomic(common::ExecContext& ctx, fscore::Inode& inode,
                                            const void* src, uint64_t len,
                                            uint64_t offset) override;
@@ -87,9 +95,13 @@ class Nova : public fscore::GenericFs {
   void MaybeGarbageCollect(common::ExecContext& ctx, fscore::Inode& inode);
   size_t CpuOfBlock(uint64_t block) const;
 
+  void ReleaseBlocks(common::ExecContext& ctx, const std::vector<fscore::Extent>& extents);
+
   NovaOptions nopts_;
   std::vector<std::unique_ptr<CpuFree>> cpu_free_;
   uint64_t gc_runs_ = 0;
+  uint32_t tx_depth_ = 0;
+  std::vector<fscore::Extent> deferred_frees_;
 };
 
 }  // namespace nova

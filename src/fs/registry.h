@@ -40,6 +40,13 @@ inline std::unique_ptr<vfs::FileSystem> Create(const std::string& name,
   if (name == "pmfs") {
     return std::make_unique<pmfs::Pmfs>(device);
   }
+  if (name == "pmfs-delayed") {
+    // Injected delayed-metadata vulnerability (crash-campaign victim): plain
+    // metadata stores, persistence deferred to fsync/unmount.
+    pmfs::PmfsOptions options;
+    options.delayed_metadata = true;
+    return std::make_unique<pmfs::Pmfs>(device, options);
+  }
   if (name == "nova") {
     nova::NovaOptions options;
     options.base.num_cpus = num_cpus;

@@ -69,6 +69,8 @@ struct RefModel {
         files.at(op.path).resize(op.len, '\0');
         break;
       case TraceOp::Kind::kRename: {
+        // POSIX: an existing target is atomically replaced.
+        files.erase(op.path2);
         auto node = files.extract(op.path);
         node.key() = op.path2;
         files.insert(std::move(node));
@@ -134,7 +136,17 @@ std::vector<TraceOp> RecordTrace(uint64_t seed, size_t nops) {
     } else if (roll < 85) {
       op.kind = TraceOp::Kind::kRename;
       op.path = pick_file();
-      op.path2 = pick_dir() + "/r" + std::to_string(next_id++);
+      if (roll >= 82 && model.files.size() >= 2) {
+        // Rename over an existing target (possibly cross-directory): the
+        // destination file is atomically replaced.
+        op.path2 = pick_file();
+        if (op.path2 == op.path) {
+          op.path2 = pick_dir() + "/r" + std::to_string(next_id++);
+        }
+      } else {
+        // pick_dir makes a share of these cross-directory moves.
+        op.path2 = pick_dir() + "/r" + std::to_string(next_id++);
+      }
     } else if (roll < 92) {
       op.kind = TraceOp::Kind::kUnlink;
       op.path = pick_file();
@@ -259,6 +271,51 @@ TEST_P(ConformanceDiffTest, RecordedTraceMatchesReferenceModel) {
 
   // The state must also survive a clean unmount + remount (DRAM indexes
   // serialized and rebuilt) with byte-identical contents.
+  ASSERT_TRUE(fs->Unmount(ctx).ok());
+  auto fs2 = fsreg::Create(GetParam(), &dev);
+  ExecContext rctx;
+  ASSERT_TRUE(fs2->Mount(rctx).ok());
+  DiffAgainstModel(rctx, *fs2, model, GetParam() + " (remounted)");
+}
+
+// Directed rename semantics: overwrite of an existing target and
+// cross-directory moves, both of which the crash campaign leans on.
+TEST_P(ConformanceDiffTest, RenameOverwriteAndCrossDirectory) {
+  const std::vector<TraceOp> trace = {
+      {TraceOp::Kind::kMkdir, "/d1", "", 0, 0, 0},
+      {TraceOp::Kind::kCreate, "/a", "", 0, 0, 0},
+      {TraceOp::Kind::kCreate, "/d1/b", "", 0, 0, 0},
+      {TraceOp::Kind::kAppend, "/a", "", 0, 9000, 0x30},
+      {TraceOp::Kind::kAppend, "/d1/b", "", 0, 3000, 0x40},
+      // Same-directory overwrite: /a replaces... a fresh /c first, then the
+      // interesting cases.
+      {TraceOp::Kind::kCreate, "/c", "", 0, 0, 0},
+      {TraceOp::Kind::kAppend, "/c", "", 0, 500, 0x50},
+      // Overwrite an existing target in the same directory.
+      {TraceOp::Kind::kRename, "/a", "/c", 0, 0, 0},
+      // Cross-directory move onto an existing target.
+      {TraceOp::Kind::kRename, "/c", "/d1/b", 0, 0, 0},
+      // Cross-directory move to a fresh name.
+      {TraceOp::Kind::kRename, "/d1/b", "/moved", 0, 0, 0},
+  };
+
+  pmem::PmemDevice dev(256 * kMiB);
+  auto fs = fsreg::Create(GetParam(), &dev);
+  ExecContext ctx;
+  ASSERT_TRUE(fs->Mkfs(ctx).ok());
+
+  RefModel model;
+  for (size_t i = 0; i < trace.size(); i++) {
+    const common::Status status = Replay(ctx, *fs, trace[i]);
+    ASSERT_TRUE(status.ok()) << GetParam() << ": op " << i << " failed";
+    model.Apply(trace[i]);
+  }
+  // The survivor is /a's bytes under /moved; /c and /d1/b are gone.
+  ASSERT_EQ(model.files.size(), 1u);
+  ASSERT_EQ(model.files.begin()->first, "/moved");
+  ASSERT_EQ(model.files.begin()->second.size(), 9000u);
+  DiffAgainstModel(ctx, *fs, model, GetParam());
+
   ASSERT_TRUE(fs->Unmount(ctx).ok());
   auto fs2 = fsreg::Create(GetParam(), &dev);
   ExecContext rctx;

@@ -13,6 +13,7 @@
 
 #include "src/aging/geriatrix.h"
 #include "src/common/units.h"
+#include "src/crashmk/campaign.h"
 #include "src/crashmk/explorer.h"
 #include "src/fs/fscore/fsck.h"
 #include "src/fs/registry.h"
@@ -453,6 +454,74 @@ TEST(SnapCrashArchive, ArchivedStatesReplay) {
     ExecContext ctx;
     EXPECT_TRUE(fs->Mount(ctx).ok());
   }
+}
+
+// Full replay round-trip from the image file ALONE: a failing campaign
+// archives its crash states with a provenance string that encodes the
+// filesystem, the campaign geometry, and the recovered-state hash the
+// original verdict saw. A later process (here: this test, via the same
+// parsing snapctl's replay command uses) rebuilds the factory from those
+// fields, COW-forks the torn image, mounts it, and must recover the exact
+// same logical state.
+TEST(SnapCrashArchive, ReplayFromProvenanceAloneReproducesVerdict) {
+  const std::string dir = TempPath("crash_archive_replay");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  crashmk::CampaignConfig config;
+  config.fs = "pmfs-delayed";  // the injected vulnerability: guaranteed failures
+  config.prune = true;
+  config.archive_dir = dir;
+  config.max_archives = 4;
+  auto campaign = crashmk::RunCampaign(config);
+  ASSERT_TRUE(campaign.ok());
+  ASSERT_FALSE(campaign->ok());
+  ASSERT_GT(campaign->totals.archived, 0u);
+
+  auto field = [](const std::string& provenance,
+                  const std::string& key) -> std::string {
+    const size_t at = provenance.find(key + "=");
+    if (at == std::string::npos) {
+      return "";
+    }
+    const size_t start = at + key.size() + 1;
+    return provenance.substr(start, provenance.find(';', start) - start);
+  };
+
+  size_t replayed = 0;
+  for (const std::string& path : campaign->totals.archive_paths) {
+    SCOPED_TRACE(path);
+    auto loaded = snap::LoadImage(path);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded->info.kind, snap::ImageKind::kCrashState);
+    const std::string& provenance = loaded->info.provenance;
+    const std::string rhash_hex = field(provenance, "rhash");
+    if (rhash_hex.empty()) {
+      continue;  // mount-failure archives carry no recovered-state hash
+    }
+    const uint64_t want_hash = std::strtoull(rhash_hex.c_str(), nullptr, 16);
+
+    // Rebuild the campaign factory from provenance fields only.
+    crashmk::CampaignConfig replay;
+    replay.fs = field(provenance, "fs");
+    replay.device_bytes = std::strtoull(field(provenance, "dev").c_str(), nullptr, 10);
+    replay.max_inodes = std::strtoull(field(provenance, "mi").c_str(), nullptr, 10);
+    replay.journal_blocks = std::strtoull(field(provenance, "jb").c_str(), nullptr, 10);
+    replay.num_cpus = static_cast<uint32_t>(
+        std::strtoul(field(provenance, "cpu").c_str(), nullptr, 10));
+    ASSERT_EQ(replay.fs, "pmfs-delayed");
+    ASSERT_EQ(replay.device_bytes, loaded->snapshot.bytes->size());
+
+    pmem::PmemDevice fork(loaded->snapshot);
+    auto fs = crashmk::MakeCampaignFactory(replay)(&fork);
+    ASSERT_NE(fs, nullptr);
+    ExecContext ctx;
+    ASSERT_TRUE(fs->Mount(ctx).ok());
+    const crashmk::Oracle recovered = crashmk::Oracle::Capture(ctx, *fs);
+    EXPECT_EQ(recovered.StateHash(), want_hash);
+    replayed++;
+  }
+  EXPECT_GT(replayed, 0u);
 }
 
 }  // namespace
