@@ -39,6 +39,13 @@
 //       naming at least min_sites (default 1) distinct lock sites, each with
 //       wait/hold percentile summaries — the profiler's named-lock-site
 //       output.
+//   bench_json_check BENCH_<name>.json --require-scenarios <min_tenants>
+//       requires a schema-v4 per-tenant section somewhere in the report, with
+//       the largest row covering at least min_tenants tenants — the
+//       trace-replay scenario fleet's multi-tenant output.
+// Violations ACCUMULATE: every check scans its whole input and reports each
+// violation on stderr before the process exits nonzero, so one run shows the
+// full damage instead of the first broken row.
 //   bench_json_check --prof-overhead BENCH_opperf.json [max_ratio]
 //       asserts the batched-prof row's modeled output is bit-identical to the
 //       batched row's (profiling must never perturb the simulation) and its
@@ -61,10 +68,18 @@
 
 namespace {
 
+// Count of violations recorded so far. Checks call Fail() for every violation
+// they find and keep scanning; main exits nonzero iff this is nonzero.
+int g_failures = 0;
+
 int Fail(const char* path, const std::string& why) {
+  g_failures++;
   std::fprintf(stderr, "%s: %s\n", path, why.c_str());
   return 1;
 }
+
+// 0 iff no violation has been recorded.
+int Verdict() { return g_failures == 0 ? 0 : 1; }
 
 // Beyond the schema: every result row must have spans_ns with nonzero
 // fault_handling and data_copy totals (set for benches whose headline numbers
@@ -75,17 +90,18 @@ int CheckSpans(const char* path, const obs::JsonValue& root) {
     const obs::JsonValue* fs = row.Find("fs");
     const obs::JsonValue* spans = row.Find("spans_ns");
     if (spans == nullptr || !spans->is_object()) {
-      return Fail(path, "result row '" + fs->string_value + "' lacks spans_ns");
+      Fail(path, "result row '" + fs->string_value + "' lacks spans_ns");
+      continue;
     }
     for (const char* cat : {"fault_handling", "data_copy"}) {
       const obs::JsonValue* ns = spans->Find(cat);
       if (ns == nullptr || !ns->is_number() || ns->number_value <= 0) {
-        return Fail(path, "result row '" + fs->string_value + "' has no " +
-                              std::string(cat) + " span time");
+        Fail(path, "result row '" + fs->string_value + "' has no " +
+                       std::string(cat) + " span time");
       }
     }
   }
-  return 0;
+  return Verdict();
 }
 
 // Beyond the schema: every result row must carry the aging-observatory time
@@ -98,21 +114,23 @@ int CheckTimeSeries(const char* path, const obs::JsonValue& root) {
     const obs::JsonValue* fs = row.Find("fs");
     const obs::JsonValue* series = row.Find("timeseries");
     if (series == nullptr || !series->is_object()) {
-      return Fail(path, "result row '" + fs->string_value + "' lacks timeseries");
+      Fail(path, "result row '" + fs->string_value + "' lacks timeseries");
+      continue;
     }
     for (const char* gauge : {"aligned_free_fraction", "free_blocks"}) {
       const obs::JsonValue* points = series->Find(gauge);
       if (points == nullptr || points->type != obs::JsonValue::Type::kArray) {
-        return Fail(path, "result row '" + fs->string_value + "' timeseries lacks " + gauge);
+        Fail(path, "result row '" + fs->string_value + "' timeseries lacks " + gauge);
+        continue;
       }
       if (points->array.size() < kMinSamples) {
-        return Fail(path, "result row '" + fs->string_value + "' timeseries." + gauge +
-                              " has " + std::to_string(points->array.size()) +
-                              " samples, need >= " + std::to_string(kMinSamples));
+        Fail(path, "result row '" + fs->string_value + "' timeseries." + gauge +
+                       " has " + std::to_string(points->array.size()) +
+                       " samples, need >= " + std::to_string(kMinSamples));
       }
     }
   }
-  return 0;
+  return Verdict();
 }
 
 // Structural check of a Chrome trace-event JSON: an object with a traceEvents
@@ -135,41 +153,52 @@ int CheckChromeTrace(const char* path, const std::string& text) {
   size_t complete_events = 0;
   for (const obs::JsonValue& ev : events->array) {
     if (!ev.is_object()) {
-      return Fail(path, "traceEvents entry is not an object");
+      Fail(path, "traceEvents entry is not an object");
+      continue;
     }
     const obs::JsonValue* ph = ev.Find("ph");
     if (ph == nullptr || ph->type != obs::JsonValue::Type::kString) {
-      return Fail(path, "traceEvents entry lacks ph");
+      Fail(path, "traceEvents entry lacks ph");
+      continue;
     }
     if (ph->string_value != "X") {
       continue;  // metadata etc.
     }
     complete_events++;
+    bool shape_ok = true;
     for (const char* key : {"name", "cat"}) {
       const obs::JsonValue* v = ev.Find(key);
       if (v == nullptr || v->type != obs::JsonValue::Type::kString) {
-        return Fail(path, "X event lacks string " + std::string(key));
+        Fail(path, "X event lacks string " + std::string(key));
+        shape_ok = false;
       }
     }
     for (const char* key : {"ts", "dur", "pid", "tid"}) {
       const obs::JsonValue* v = ev.Find(key);
       if (v == nullptr || !v->is_number()) {
-        return Fail(path, "X event lacks numeric " + std::string(key));
+        Fail(path, "X event lacks numeric " + std::string(key));
+        shape_ok = false;
       }
+    }
+    if (!shape_ok) {
+      continue;
     }
     cats.insert(ev.Find("cat")->string_value);
     tids.insert(ev.Find("tid")->number_value);
   }
   if (complete_events == 0) {
-    return Fail(path, "no complete (ph=X) events");
+    Fail(path, "no complete (ph=X) events");
   }
   if (cats.size() < 2) {
-    return Fail(path, "spans cover " + std::to_string(cats.size()) +
-                          " categories, need >= 2");
+    Fail(path, "spans cover " + std::to_string(cats.size()) +
+                   " categories, need >= 2");
   }
   if (tids.size() < 2) {
-    return Fail(path, "spans cover " + std::to_string(tids.size()) +
-                          " CPU tracks, need >= 2");
+    Fail(path, "spans cover " + std::to_string(tids.size()) +
+                   " CPU tracks, need >= 2");
+  }
+  if (Verdict() != 0) {
+    return 1;
   }
   std::printf("%s: ok (%zu X events, %zu categories, %zu cpu tracks)\n", path,
               complete_events, cats.size(), tids.size());
@@ -184,40 +213,45 @@ int CheckSnapConfig(const char* path, const obs::JsonValue& root, bool warm) {
   if (config == nullptr || !config->is_object()) {
     return Fail(path, "missing config object");
   }
+  bool keys_ok = true;
   for (const char* key : {"snap_corpus", "snap_provenance"}) {
     const obs::JsonValue* v = config->Find(key);
     if (v == nullptr || v->type != obs::JsonValue::Type::kString ||
         v->string_value.empty()) {
-      return Fail(path, "config lacks string " + std::string(key));
+      Fail(path, "config lacks string " + std::string(key));
+      keys_ok = false;
     }
   }
   for (const char* key : {"snap_format_version", "snap_hits", "snap_misses",
                           "snap_build_wall_ms", "snap_load_wall_ms"}) {
     const obs::JsonValue* v = config->Find(key);
     if (v == nullptr || !v->is_number()) {
-      return Fail(path, "config lacks numeric " + std::string(key));
+      Fail(path, "config lacks numeric " + std::string(key));
+      keys_ok = false;
     }
   }
-  if (warm) {
+  if (warm && keys_ok) {
     const double hits = config->Find("snap_hits")->number_value;
     const double misses = config->Find("snap_misses")->number_value;
     const double build_ms = config->Find("snap_build_wall_ms")->number_value;
     if (hits <= 0) {
-      return Fail(path, "warm corpus run reported snap_hits == 0");
+      Fail(path, "warm corpus run reported snap_hits == 0");
     }
     if (misses != 0) {
-      return Fail(path, "warm corpus run reported snap_misses == " +
-                            std::to_string(misses));
+      Fail(path, "warm corpus run reported snap_misses == " +
+                     std::to_string(misses));
     }
     if (build_ms != 0) {
-      return Fail(path, "warm corpus run spent " + std::to_string(build_ms) +
-                            " ms building images (expected 0: Geriatrix must be skipped)");
+      Fail(path, "warm corpus run spent " + std::to_string(build_ms) +
+                     " ms building images (expected 0: Geriatrix must be skipped)");
     }
-    const obs::JsonValue* load_ms = config->Find("snap_load_wall_ms");
-    std::printf("%s: warm corpus run (hits=%g, load=%g ms, build=0 ms)\n", path, hits,
-                load_ms->number_value);
+    if (Verdict() == 0) {
+      const obs::JsonValue* load_ms = config->Find("snap_load_wall_ms");
+      std::printf("%s: warm corpus run (hits=%g, load=%g ms, build=0 ms)\n", path, hits,
+                  load_ms->number_value);
+    }
   }
-  return 0;
+  return Verdict();
 }
 
 // Both reports must carry identical modeled results — same fs rows in any
@@ -251,32 +285,38 @@ int CompareMetrics(const char* path_a, const obs::JsonValue& a, const char* path
     const auto ma = collect(a, section);
     const auto mb = collect(b, section);
     if (ma.size() != mb.size()) {
-      return Fail(path_b, "fs row count differs: " + std::to_string(ma.size()) + " vs " +
-                              std::to_string(mb.size()));
+      Fail(path_b, "fs row count differs: " + std::to_string(ma.size()) + " vs " +
+                       std::to_string(mb.size()));
     }
     rows = ma.size();
     for (const auto& [fs, values] : ma) {
       auto it = mb.find(fs);
       if (it == mb.end()) {
-        return Fail(path_b, "missing fs row '" + fs + "'");
+        Fail(path_b, "missing fs row '" + fs + "'");
+        continue;
       }
       if (it->second.size() != values.size()) {
-        return Fail(path_b, "fs '" + fs + "' " + section + " count differs");
+        Fail(path_b, "fs '" + fs + "' " + section + " count differs");
       }
       for (const auto& [key, value] : values) {
         auto mit = it->second.find(key);
         if (mit == it->second.end()) {
-          return Fail(path_b, "fs '" + fs + "' lacks " + std::string(section) + " " + key);
+          Fail(path_b, "fs '" + fs + "' lacks " + std::string(section) + " " + key);
+          continue;
         }
         if (mit->second != value) {
           char why[256];
           std::snprintf(why, sizeof(why), "fs '%s' %s %s differs: %.17g vs %.17g",
                         fs.c_str(), section, key.c_str(), value, mit->second);
-          return Fail(path_b, why);
+          Fail(path_b, why);
+          continue;
         }
         compared++;
       }
     }
+  }
+  if (Verdict() != 0) {
+    return 1;
   }
   std::printf("%s == %s: %zu modeled values identical across %zu fs rows\n", path_a, path_b,
               compared, rows);
@@ -445,14 +485,46 @@ int CheckContention(const char* path, const obs::JsonValue& root, size_t min_sit
     }
   }
   if (rows_with_contention == 0) {
-    return Fail(path, "no result row carries a contention section");
+    Fail(path, "no result row carries a contention section");
+  } else if (sites.size() < min_sites) {
+    Fail(path, "contention names " + std::to_string(sites.size()) +
+                   " distinct lock sites, need >= " + std::to_string(min_sites));
   }
-  if (sites.size() < min_sites) {
-    return Fail(path, "contention names " + std::to_string(sites.size()) +
-                          " distinct lock sites, need >= " + std::to_string(min_sites));
+  if (Verdict() != 0) {
+    return 1;
   }
   std::printf("%s: contention ok (%zu distinct lock sites across %zu rows)\n", path,
               sites.size(), rows_with_contention);
+  return 0;
+}
+
+// Requires a schema-v4 per-tenant section somewhere in the report, with the
+// largest row covering at least `min_tenants` tenants — each tenants entry's
+// shape (ops, ops_per_sec, latency summary) is already schema-validated.
+int CheckScenarios(const char* path, const obs::JsonValue& root, size_t min_tenants) {
+  size_t rows_with_tenants = 0;
+  size_t max_tenants = 0;
+  for (const obs::JsonValue& row : root.Find("results")->array) {
+    const obs::JsonValue* tenants = row.Find("tenants");
+    if (tenants == nullptr || !tenants->is_object()) {
+      continue;
+    }
+    rows_with_tenants++;
+    if (tenants->object.size() > max_tenants) {
+      max_tenants = tenants->object.size();
+    }
+  }
+  if (rows_with_tenants == 0) {
+    Fail(path, "no result row carries a tenants section");
+  } else if (max_tenants < min_tenants) {
+    Fail(path, "largest tenants section covers " + std::to_string(max_tenants) +
+                   " tenants, need >= " + std::to_string(min_tenants));
+  }
+  if (Verdict() != 0) {
+    return 1;
+  }
+  std::printf("%s: scenarios ok (%zu rows with tenants, max %zu tenants)\n", path,
+              rows_with_tenants, max_tenants);
   return 0;
 }
 
@@ -589,6 +661,12 @@ int main(int argc, char** argv) {
       const size_t min_sites =
           argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 1;
       if (int rc = CheckContention(argv[1], *root, min_sites); rc != 0) {
+        return rc;
+      }
+    } else if (std::strcmp(argv[2], "--require-scenarios") == 0) {
+      const size_t min_tenants =
+          argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 1;
+      if (int rc = CheckScenarios(argv[1], *root, min_tenants); rc != 0) {
         return rc;
       }
     } else {

@@ -21,29 +21,27 @@
 #include "src/obs/trace.h"
 #include "src/snap/corpus.h"
 #include "src/vmem/mmap_engine.h"
+#include "src/wload/harness.h"
 
 namespace benchutil {
 
-struct TestBed {
-  std::unique_ptr<pmem::PmemDevice> dev;
-  std::unique_ptr<vfs::FileSystem> fs;
-  std::unique_ptr<vmem::MmapEngine> engine;
-  std::string fs_name;
-};
+// Bench-facing alias of the one shared substrate type (src/wload/harness.h):
+// benches keep the TestBed name, but there is a single mount/format path.
+using TestBed = wload::Bed;
 
 inline TestBed MakeBed(const std::string& fs_name, uint64_t device_bytes,
                        uint32_t num_cpus = 8, uint32_t numa_nodes = 1) {
-  TestBed bed;
-  bed.fs_name = fs_name;
-  bed.dev = std::make_unique<pmem::PmemDevice>(device_bytes, pmem::CostModel{}, numa_nodes);
-  bed.fs = fsreg::Create(fs_name, bed.dev.get(), num_cpus);
-  bed.engine = std::make_unique<vmem::MmapEngine>(bed.dev.get(), vmem::MmuParams{}, num_cpus);
-  common::ExecContext ctx;
-  if (!bed.fs->Mkfs(ctx).ok()) {
+  wload::BedSpec spec;
+  spec.fs_name = fs_name;
+  spec.device_bytes = device_bytes;
+  spec.num_cpus = num_cpus;
+  spec.numa_nodes = numa_nodes;
+  auto bed = wload::MakeBed(spec);
+  if (!bed.ok()) {
     std::fprintf(stderr, "mkfs failed for %s\n", fs_name.c_str());
     std::exit(1);
   }
-  return bed;
+  return std::move(bed.value());
 }
 
 // Bed backed by a COW fork of an aged snapshot: mounting runs the
@@ -53,17 +51,16 @@ inline TestBed MakeBed(const std::string& fs_name, uint64_t device_bytes,
 inline TestBed MakeBedFromSnapshot(const std::string& fs_name,
                                    const pmem::DeviceSnapshot& snap,
                                    uint32_t num_cpus = 8) {
-  TestBed bed;
-  bed.fs_name = fs_name;
-  bed.dev = std::make_unique<pmem::PmemDevice>(snap);
-  bed.fs = fsreg::Create(fs_name, bed.dev.get(), num_cpus);
-  bed.engine = std::make_unique<vmem::MmapEngine>(bed.dev.get(), vmem::MmuParams{}, num_cpus);
-  common::ExecContext ctx;
-  if (!bed.fs->Mount(ctx).ok()) {
+  wload::BedSpec spec;
+  spec.fs_name = fs_name;
+  spec.num_cpus = num_cpus;
+  spec.snapshot = &snap;
+  auto bed = wload::MakeBed(spec);
+  if (!bed.ok()) {
     std::fprintf(stderr, "mount-from-snapshot failed for %s\n", fs_name.c_str());
     std::exit(1);
   }
-  return bed;
+  return std::move(bed.value());
 }
 
 // Records the corpus outcome in the bench report so a reader (or the CI

@@ -58,16 +58,16 @@ void OltpRows(const std::vector<std::string>& lineup, obs::BenchReport& report,
   Row({"fs", "KTPS"});
   for (const std::string fs_name : lineup) {
     auto bed = MakeBed(fs_name, kDeviceBytes);
-    ExecContext ctx;
+    wload::SetupPhase phase;
     wload::OltpConfig config;
     config.accounts = 200000;
     config.transactions_per_thread = 400;
     wload::OltpEngine oltp(bed.fs.get(), config);
-    if (!oltp.Setup(ctx).ok()) {
+    if (!oltp.Setup(phase.ctx()).ok()) {
       Row({fs_name, "SETUP-FAIL"});
       continue;
     }
-    oltp.set_start_time_ns(ctx.clock.NowNs());
+    oltp.set_start_time_ns(phase.end_ns());
     auto result = oltp.RunReadWrite();
     Row({fs_name, result.ok() ? Fmt(result->OpsPerSecond() / 1000.0, 1) : "FAIL"});
     if (result.ok()) {
@@ -81,15 +81,15 @@ void WtigerRows(const std::vector<std::string>& lineup, obs::BenchReport& report
   Row({"fs", "Fill-Kops", "Read-Kops"});
   for (const std::string fs_name : lineup) {
     auto bed = MakeBed(fs_name, kDeviceBytes);
-    ExecContext ctx;
+    wload::SetupPhase phase;
     wload::WtigerConfig config;
     config.num_keys = 24000;
     wload::Wtiger wt(bed.fs.get(), config);
-    if (!wt.Setup(ctx).ok()) {
+    if (!wt.Setup(phase.ctx()).ok()) {
       Row({fs_name, "SETUP-FAIL", "-"});
       continue;
     }
-    wt.set_start_time_ns(ctx.clock.NowNs());
+    wt.set_start_time_ns(phase.end_ns());
     auto fill = wt.FillRandom();
     auto read = wt.ReadRandom();
     Row({fs_name, fill.ok() ? Fmt(fill->OpsPerSecond() / 1000.0, 1) : "FAIL",

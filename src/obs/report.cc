@@ -141,6 +141,16 @@ void BenchReport::AddAttribution(std::string_view fs, const Profiler& profiler) 
   }
 }
 
+void BenchReport::AddTenants(std::string_view fs, const std::vector<TenantSummary>& tenants) {
+  FsResult& row = ForFs(fs);
+  row.tenants.clear();
+  for (const TenantSummary& t : tenants) {
+    if (t.ops > 0) {
+      row.tenants.push_back(t);
+    }
+  }
+}
+
 void BenchReport::AddTimeSeries(std::string_view fs, const TimeSeries& series) {
   FsResult& row = ForFs(fs);
   for (const auto& [gauge, points] : series.series()) {
@@ -242,6 +252,19 @@ std::string BenchReport::ToJson() const {
           WriteSummaryObject(w, summary);
         }
         w.EndObject();
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+    if (!row.tenants.empty()) {
+      // tenant id -> ops, throughput, and per-request latency summary.
+      w.Key("tenants").BeginObject();
+      for (const TenantSummary& t : row.tenants) {
+        w.Key(std::to_string(t.tenant)).BeginObject();
+        w.Key("ops").Number(t.ops);
+        w.Key("ops_per_sec").Number(t.ops_per_sec);
+        w.Key("latency");
+        WriteSummaryObject(w, t.latency);
         w.EndObject();
       }
       w.EndObject();
@@ -439,6 +462,23 @@ common::Status ValidateBenchReportJson(std::string_view json_text) {
           if (layer.empty() || !IsSummaryObject(&summary)) {
             return invalid;
           }
+        }
+      }
+    }
+    // tenants (optional, v4): tenant id -> {ops, ops_per_sec, latency
+    // summary}.
+    const JsonValue* tenants = row.Find("tenants");
+    if (tenants != nullptr) {
+      if (!tenants->is_object() || tenants->object.empty()) {
+        return invalid;
+      }
+      for (const auto& [tenant, entry] : tenants->object) {
+        if (tenant.empty() || !entry.is_object()) {
+          return invalid;
+        }
+        if (!IsNumber(entry.Find("ops")) || !IsNumber(entry.Find("ops_per_sec")) ||
+            !IsSummaryObject(entry.Find("latency"))) {
+          return invalid;
         }
       }
     }

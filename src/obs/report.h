@@ -33,7 +33,9 @@ class Profiler;
 // acquisition counts and wait/hold totals + percentile summaries) and an
 // `attribution` section (per-op modeled-ns decomposition into exclusive
 // per-layer buckets), both produced by obs::Profiler.
-inline constexpr int kBenchSchemaVersion = 3;
+// v4: results may carry a `tenants` section (tenant id -> ops, throughput,
+// and a per-request latency summary) from multi-tenant trace replay.
+inline constexpr int kBenchSchemaVersion = 4;
 
 struct LatencySummary {
   std::string op;
@@ -58,6 +60,14 @@ struct ContentionSite {
   uint64_t max_wait_ns = 0;
   LatencySummary wait;  // `op` field unused; percentile fields carry the data
   LatencySummary hold;
+};
+
+// One tenant's replay outcome (schema v4 `tenants` section).
+struct TenantSummary {
+  uint32_t tenant = 0;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  LatencySummary latency;  // per-request service latency; `op` field unused
 };
 
 // One op's per-layer modeled-ns decomposition (schema v3 `attribution`).
@@ -87,6 +97,8 @@ struct FsResult {
   std::vector<ContentionSite> contention;
   // Per-op layer attribution rows.
   std::vector<AttributionOp> attribution;
+  // Per-tenant replay rows (schema v4), in tenant-id order.
+  std::vector<TenantSummary> tenants;
 };
 
 class BenchReport {
@@ -126,6 +138,10 @@ class BenchReport {
   // decomposition (same last-call-wins semantics).
   void AddAttribution(std::string_view fs, const Profiler& profiler);
 
+  // Replaces `fs`'s per-tenant section (schema v4). Tenants with zero ops are
+  // dropped; an empty vector leaves the section absent.
+  void AddTenants(std::string_view fs, const std::vector<TenantSummary>& tenants);
+
   std::string ToJson() const;
 
   // Validates ToJson() against the schema and writes it to
@@ -149,7 +165,7 @@ class BenchReport {
   std::vector<FsResult> results_;
 };
 
-// Checks `json_text` against bench schema v3; kOk iff it validates.
+// Checks `json_text` against bench schema v4; kOk iff it validates.
 common::Status ValidateBenchReportJson(std::string_view json_text);
 
 // Builds a LatencySummary (count/mean/p50/p90/p99/p999/min/max) from a

@@ -1,0 +1,345 @@
+#include "src/trace/dsl.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/vfs/file_system.h"
+
+namespace trace {
+
+using common::ErrorCode;
+using common::Result;
+
+namespace {
+
+void AppendQuoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Canonical flag letters, fixed order so emission is deterministic.
+void AppendFlags(std::string& out, uint8_t bits) {
+  out += "f=";
+  std::string letters;
+  if (bits & vfs::OpenFlags::kCreate) letters += 'c';
+  if (bits & vfs::OpenFlags::kExcl) letters += 'x';
+  if (bits & vfs::OpenFlags::kTrunc) letters += 't';
+  if (bits & vfs::OpenFlags::kRdOnly) letters += 'r';
+  out += letters.empty() ? "-" : letters;
+}
+
+bool NeedsSlot(TraceOp op) {
+  switch (op) {
+    case TraceOp::kOpen:
+    case TraceOp::kClose:
+    case TraceOp::kPread:
+    case TraceOp::kPwrite:
+    case TraceOp::kAppend:
+    case TraceOp::kFsync:
+    case TraceOp::kFtruncate:
+    case TraceOp::kFallocate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool NeedsPath(TraceOp op) {
+  switch (op) {
+    case TraceOp::kOpen:
+    case TraceOp::kStat:
+    case TraceOp::kReadDir:
+    case TraceOp::kUnlink:
+    case TraceOp::kMkdir:
+    case TraceOp::kRmdir:
+    case TraceOp::kRename:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Token scanner over one line: space-separated words, with quoted strings as
+// single tokens.
+struct LineScanner {
+  const char* p;
+  const char* end;
+  bool failed = false;
+
+  void SkipSpaces() {
+    while (p < end && *p == ' ') {
+      p++;
+    }
+  }
+  bool AtEnd() {
+    SkipSpaces();
+    return p >= end;
+  }
+  // Reads a bare word token (up to space/end).
+  std::string Word() {
+    SkipSpaces();
+    const char* start = p;
+    while (p < end && *p != ' ') {
+      p++;
+    }
+    if (p == start) {
+      failed = true;
+    }
+    return std::string(start, p);
+  }
+  // Expects `key=` then parses the decimal value.
+  uint64_t KeyedU64(const char* key) {
+    std::string tok = Word();
+    const size_t klen = std::strlen(key);
+    if (failed || tok.size() <= klen + 1 || tok.compare(0, klen, key) != 0 ||
+        tok[klen] != '=') {
+      failed = true;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (size_t i = klen + 1; i < tok.size(); i++) {
+      if (tok[i] < '0' || tok[i] > '9') {
+        failed = true;
+        return 0;
+      }
+      v = v * 10 + static_cast<uint64_t>(tok[i] - '0');
+    }
+    return v;
+  }
+  // Parses a quoted, backslash-escaped string token.
+  std::string Quoted() {
+    SkipSpaces();
+    if (p >= end || *p != '"') {
+      failed = true;
+      return {};
+    }
+    p++;
+    std::string out;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        p++;
+        if (p >= end || (*p != '"' && *p != '\\')) {
+          failed = true;
+          return {};
+        }
+      }
+      out += *p++;
+    }
+    if (p >= end) {
+      failed = true;
+      return {};
+    }
+    p++;  // closing quote
+    return out;
+  }
+  // Expects `key=` then a quoted string.
+  std::string KeyedQuoted(const char* key) {
+    SkipSpaces();
+    const size_t klen = std::strlen(key);
+    if (static_cast<size_t>(end - p) <= klen + 1 ||
+        std::strncmp(p, key, klen) != 0 || p[klen] != '=') {
+      failed = true;
+      return {};
+    }
+    p += klen + 1;
+    return Quoted();
+  }
+};
+
+}  // namespace
+
+std::string ToDsl(const Trace& t) {
+  std::string out;
+  out.reserve(64 + t.records.size() * 48);
+  out += "trace v1 tick_ns=";
+  AppendU64(out, t.tick_ns);
+  out += " provenance=";
+  AppendQuoted(out, t.provenance);
+  out += '\n';
+  for (const TraceRecord& r : t.records) {
+    out += "t=";
+    AppendU64(out, r.tenant);
+    out += " w=";
+    AppendU64(out, r.think_ticks);
+    out += ' ';
+    out += TraceOpName(r.op);
+    if (NeedsSlot(r.op)) {
+      out += " s=";
+      AppendU64(out, static_cast<uint64_t>(r.fd_slot));
+    }
+    switch (r.op) {
+      case TraceOp::kOpen:
+        out += ' ';
+        AppendFlags(out, r.open_flags);
+        break;
+      case TraceOp::kPread:
+      case TraceOp::kPwrite:
+      case TraceOp::kFallocate:
+        out += " off=";
+        AppendU64(out, r.offset);
+        out += " len=";
+        AppendU64(out, r.size);
+        break;
+      case TraceOp::kAppend:
+        out += " len=";
+        AppendU64(out, r.size);
+        break;
+      case TraceOp::kFtruncate:
+        out += " size=";
+        AppendU64(out, r.offset);
+        break;
+      default:
+        break;
+    }
+    if (NeedsPath(r.op)) {
+      out += ' ';
+      AppendQuoted(out, t.paths[r.path_id]);
+      if (r.op == TraceOp::kRename) {
+        out += ' ';
+        AppendQuoted(out, t.paths[r.path2_id]);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Trace> ParseDsl(const std::string& text, size_t* error_line) {
+  Trace t;
+  PathInterner interner(&t);
+  size_t line_no = 0;
+  bool saw_header = false;
+
+  auto fail = [&](size_t line) -> Result<Trace> {
+    if (error_line != nullptr) {
+      *error_line = line;
+    }
+    return ErrorCode::kInvalidArgument;
+  };
+
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    line_no++;
+    LineScanner s{text.data() + pos, text.data() + eol};
+    pos = eol + 1;
+    if (s.AtEnd() || *s.p == '#') {
+      if (pos > text.size()) {
+        break;
+      }
+      continue;
+    }
+
+    if (!saw_header) {
+      if (s.Word() != "trace" || s.Word() != "v1") {
+        return fail(line_no);
+      }
+      t.tick_ns = s.KeyedU64("tick_ns");
+      t.provenance = s.KeyedQuoted("provenance");
+      if (s.failed || !s.AtEnd()) {
+        return fail(line_no);
+      }
+      saw_header = true;
+      continue;
+    }
+
+    TraceRecord r;
+    r.tenant = static_cast<uint32_t>(s.KeyedU64("t"));
+    r.think_ticks = static_cast<uint32_t>(s.KeyedU64("w"));
+    const std::string op_word = s.Word();
+    if (s.failed) {
+      return fail(line_no);
+    }
+    int op = -1;
+    for (uint8_t k = 0; k < kNumTraceOps; k++) {
+      if (op_word == TraceOpName(static_cast<TraceOp>(k))) {
+        op = k;
+        break;
+      }
+    }
+    if (op < 0) {
+      return fail(line_no);
+    }
+    r.op = static_cast<TraceOp>(op);
+
+    if (NeedsSlot(r.op)) {
+      const uint64_t slot = s.KeyedU64("s");
+      if (slot > static_cast<uint64_t>(kMaxSlot)) {
+        return fail(line_no);
+      }
+      r.fd_slot = static_cast<int32_t>(slot);
+    }
+    switch (r.op) {
+      case TraceOp::kOpen: {
+        const std::string tok = s.Word();
+        if (s.failed || tok.size() < 3 || tok.compare(0, 2, "f=") != 0) {
+          return fail(line_no);
+        }
+        for (size_t i = 2; i < tok.size(); i++) {
+          switch (tok[i]) {
+            case 'c': r.open_flags |= vfs::OpenFlags::kCreate; break;
+            case 'x': r.open_flags |= vfs::OpenFlags::kExcl; break;
+            case 't': r.open_flags |= vfs::OpenFlags::kTrunc; break;
+            case 'r': r.open_flags |= vfs::OpenFlags::kRdOnly; break;
+            case '-':
+              if (tok.size() != 3) {
+                return fail(line_no);
+              }
+              break;
+            default:
+              return fail(line_no);
+          }
+        }
+        break;
+      }
+      case TraceOp::kPread:
+      case TraceOp::kPwrite:
+      case TraceOp::kFallocate:
+        r.offset = s.KeyedU64("off");
+        r.size = static_cast<uint32_t>(s.KeyedU64("len"));
+        break;
+      case TraceOp::kAppend:
+        r.size = static_cast<uint32_t>(s.KeyedU64("len"));
+        break;
+      case TraceOp::kFtruncate:
+        r.offset = s.KeyedU64("size");
+        break;
+      default:
+        break;
+    }
+    if (NeedsPath(r.op)) {
+      r.path_id = interner.Intern(s.Quoted());
+      if (r.op == TraceOp::kRename) {
+        r.path2_id = interner.Intern(s.Quoted());
+      }
+    }
+    if (s.failed || !s.AtEnd()) {
+      return fail(line_no);
+    }
+    t.records.push_back(r);
+    if (pos > text.size()) {
+      break;
+    }
+  }
+  if (!saw_header) {
+    return fail(line_no);
+  }
+  return t;
+}
+
+}  // namespace trace

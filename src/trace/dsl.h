@@ -1,0 +1,44 @@
+// Text DSL for trace format v1: a line-based, human-editable rendering that
+// round-trips with the binary encoder.
+//
+// Grammar (one header line, then one line per record; '#' starts a comment):
+//
+//   trace v1 tick_ns=<ns> provenance="<escaped>"
+//   t=<tenant> w=<think_ticks> open s=<slot> f=<flags> "<path>"
+//   t=<tenant> w=<think_ticks> close s=<slot>
+//   t=<tenant> w=<think_ticks> pread s=<slot> off=<n> len=<n>
+//   t=<tenant> w=<think_ticks> pwrite s=<slot> off=<n> len=<n>
+//   t=<tenant> w=<think_ticks> append s=<slot> len=<n>
+//   t=<tenant> w=<think_ticks> fsync s=<slot>
+//   t=<tenant> w=<think_ticks> ftruncate s=<slot> size=<n>
+//   t=<tenant> w=<think_ticks> fallocate s=<slot> off=<n> len=<n>
+//   t=<tenant> w=<think_ticks> stat|readdir|unlink|mkdir|rmdir "<path>"
+//   t=<tenant> w=<think_ticks> rename "<from>" "<to>"
+//
+// <flags> is a letter set for open: c=create, x=excl, t=trunc, r=rdonly, or
+// '-' for a plain read-write open. Paths are double-quoted with backslash
+// escapes for '"' and '\'. ToDsl emits the canonical form above; ParseDsl
+// accepts exactly that form (plus blank/comment lines), interning paths in
+// first-reference order — so text -> binary -> text is byte-identical, and
+// binary -> text -> binary is byte-identical for any trace whose string table
+// is in first-use order with no unused entries (all generated traces).
+#ifndef SRC_TRACE_DSL_H_
+#define SRC_TRACE_DSL_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/trace/format.h"
+
+namespace trace {
+
+// Canonical text rendering of `trace`.
+std::string ToDsl(const Trace& trace);
+
+// Parses DSL text. kInvalidArgument on any malformed line; when `error_line`
+// is non-null it receives the 1-based offending line number.
+common::Result<Trace> ParseDsl(const std::string& text, size_t* error_line = nullptr);
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_DSL_H_

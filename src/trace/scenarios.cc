@@ -1,0 +1,562 @@
+#include "src/trace/scenarios.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/rng.h"
+#include "src/vfs/file_system.h"
+
+namespace trace {
+namespace scenarios {
+
+using common::ErrorCode;
+using common::Result;
+using common::Rng;
+
+std::string ScenarioSpec::Provenance() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scenario=%s fmt=%u tenants=%u requests=%u files=%u io=%u "
+                "seed=%llu tick_ns=%llu",
+                name.c_str(), kTraceFormatVersion, tenants, requests,
+                files_per_tenant, io_bytes, static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(tick_ns));
+  return buf;
+}
+
+std::string ScenarioSpec::FileName() const {
+  const std::string prov = Provenance();
+  const uint64_t h =
+      Fnv1a(reinterpret_cast<const uint8_t*>(prov.data()), prov.size());
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s-%016llx.wtr", name.c_str(),
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::vector<ScenarioSpec> ScenarioFleet(bool quick) {
+  std::vector<ScenarioSpec> fleet;
+  {
+    ScenarioSpec s;
+    s.name = "mail_churn";
+    s.tenants = quick ? 8 : 24;
+    s.requests = quick ? 300 : 1600;
+    s.files_per_tenant = 12;
+    s.io_bytes = 2048;
+    fleet.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "container_extract";
+    s.tenants = quick ? 6 : 12;
+    s.requests = quick ? 220 : 900;
+    s.files_per_tenant = 24;
+    s.io_bytes = 8192;
+    fleet.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "ml_checkpoint";
+    s.tenants = quick ? 3 : 4;
+    s.requests = quick ? 80 : 260;
+    s.files_per_tenant = 6;
+    s.io_bytes = 65536;
+    fleet.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "log_ingest";
+    s.tenants = quick ? 6 : 12;
+    s.requests = quick ? 300 : 1400;
+    s.files_per_tenant = 8;
+    s.io_bytes = 4096;
+    fleet.push_back(s);
+  }
+  {
+    // The metadata-storm stays at >= 1000 tenants even in quick mode: the
+    // tenant count IS the workload.
+    ScenarioSpec s;
+    s.name = "metadata_storm";
+    s.tenants = 1200;
+    s.requests = quick ? 4 : 6;
+    s.files_per_tenant = 3;
+    s.io_bytes = 512;
+    fleet.push_back(s);
+  }
+  return fleet;
+}
+
+Result<ScenarioSpec> FleetSpec(const std::string& name, bool quick) {
+  for (const ScenarioSpec& s : ScenarioFleet(quick)) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  return ErrorCode::kInvalidArgument;
+}
+
+namespace {
+
+// Shared generator scaffolding: per-tenant namespace model (which files exist
+// and how large they are, which slots hold open descriptors) so emitted traces
+// mostly succeed on a fresh filesystem.
+class Builder {
+ public:
+  Builder(const ScenarioSpec& spec, const char* shape_tag)
+      : spec_(spec), interner_(&trace_), rng_(spec.seed), tag_(shape_tag) {
+    trace_.tick_ns = spec.tick_ns;
+    trace_.provenance = spec.Provenance();
+    tenants_.resize(spec.tenants);
+  }
+
+  Trace Finish() && { return std::move(trace_); }
+
+  struct FileState {
+    std::string path;
+    uint64_t size = 0;
+    bool exists = false;
+  };
+  struct Tenant {
+    bool dir_made = false;
+    std::vector<FileState> files;
+    // slot -> file index currently open there (-1 free). 4 slots per tenant.
+    int open_file[4] = {-1, -1, -1, -1};
+  };
+
+  std::string Root(uint32_t t) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "/scn_%s_t%u", tag_, t);
+    return buf;
+  }
+  std::string FilePath(uint32_t t, uint32_t f, const char* kind, uint32_t gen) const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "/scn_%s_t%u/%s%u_g%u", tag_, t, kind, f, gen);
+    return buf;
+  }
+
+  Tenant& tenant(uint32_t t) { return tenants_[t]; }
+  Rng& rng() { return rng_; }
+  const ScenarioSpec& spec() const { return spec_; }
+
+  // Emits one record. The FIRST record emitted after StartBurst() carries the
+  // burst's think ticks; the rest carry zero.
+  void StartBurst(uint32_t think_ticks) { pending_think_ = think_ticks ? think_ticks : 1; }
+
+  TraceRecord& Emit(uint32_t t, TraceOp op) {
+    TraceRecord r;
+    r.op = op;
+    r.tenant = t;
+    r.think_ticks = pending_think_;
+    pending_think_ = 0;
+    trace_.records.push_back(r);
+    return trace_.records.back();
+  }
+
+  void EnsureDir(uint32_t t) {
+    Tenant& ten = tenant(t);
+    if (ten.dir_made) {
+      return;
+    }
+    Emit(t, TraceOp::kMkdir).path_id = interner_.Intern(Root(t));
+    ten.dir_made = true;
+  }
+
+  // open path into a free slot (returns slot, or -1 if all busy).
+  int EmitOpen(uint32_t t, int file_idx, uint8_t flags) {
+    Tenant& ten = tenant(t);
+    for (int s = 0; s < 4; s++) {
+      if (ten.open_file[s] < 0) {
+        TraceRecord& r = Emit(t, TraceOp::kOpen);
+        r.fd_slot = s;
+        r.open_flags = flags;
+        r.path_id = interner_.Intern(ten.files[file_idx].path);
+        ten.open_file[s] = file_idx;
+        ten.files[file_idx].exists = true;
+        return s;
+      }
+    }
+    return -1;
+  }
+  void EmitClose(uint32_t t, int slot) {
+    TraceRecord& r = Emit(t, TraceOp::kClose);
+    r.fd_slot = slot;
+    tenant(t).open_file[slot] = -1;
+  }
+  void EmitAppend(uint32_t t, int slot, uint32_t len) {
+    TraceRecord& r = Emit(t, TraceOp::kAppend);
+    r.fd_slot = slot;
+    r.size = len;
+    Tenant& ten = tenant(t);
+    if (ten.open_file[slot] >= 0) {
+      ten.files[ten.open_file[slot]].size += len;
+    }
+  }
+  void EmitPwrite(uint32_t t, int slot, uint64_t off, uint32_t len) {
+    TraceRecord& r = Emit(t, TraceOp::kPwrite);
+    r.fd_slot = slot;
+    r.offset = off;
+    r.size = len;
+    Tenant& ten = tenant(t);
+    if (ten.open_file[slot] >= 0) {
+      FileState& f = ten.files[ten.open_file[slot]];
+      f.size = std::max(f.size, off + len);
+    }
+  }
+  void EmitPread(uint32_t t, int slot, uint64_t off, uint32_t len) {
+    TraceRecord& r = Emit(t, TraceOp::kPread);
+    r.fd_slot = slot;
+    r.offset = off;
+    r.size = len;
+  }
+  void EmitFsync(uint32_t t, int slot) { Emit(t, TraceOp::kFsync).fd_slot = slot; }
+  void EmitStat(uint32_t t, const std::string& path) {
+    Emit(t, TraceOp::kStat).path_id = interner_.Intern(path);
+  }
+  void EmitReadDir(uint32_t t, const std::string& path) {
+    Emit(t, TraceOp::kReadDir).path_id = interner_.Intern(path);
+  }
+  void EmitUnlink(uint32_t t, int file_idx) {
+    Tenant& ten = tenant(t);
+    Emit(t, TraceOp::kUnlink).path_id = interner_.Intern(ten.files[file_idx].path);
+    ten.files[file_idx].exists = false;
+    ten.files[file_idx].size = 0;
+  }
+  void EmitRmdir(uint32_t t) {
+    Emit(t, TraceOp::kRmdir).path_id = interner_.Intern(Root(t));
+    tenant(t).dir_made = false;
+  }
+  void EmitRename(uint32_t t, const std::string& from, const std::string& to) {
+    TraceRecord& r = Emit(t, TraceOp::kRename);
+    r.path_id = interner_.Intern(from);
+    r.path2_id = interner_.Intern(to);
+  }
+
+ private:
+  ScenarioSpec spec_;
+  Trace trace_;
+  PathInterner interner_;
+  Rng rng_;
+  const char* tag_;
+  std::vector<Tenant> tenants_;
+  uint32_t pending_think_ = 0;
+};
+
+constexpr uint8_t kCreateFlags = vfs::OpenFlags::kCreate;
+constexpr uint8_t kRdOnlyFlags = vfs::OpenFlags::kRdOnly;
+
+// Multi-tenant mail/object-store churn: zipf-hot mailboxes, append-heavy
+// delivery bursts, point reads of recent mail, periodic mailbox purges.
+Trace GenMailChurn(const ScenarioSpec& spec) {
+  Builder b(spec, "mail");
+  common::ZipfGenerator hot(spec.files_per_tenant, 0.9, spec.seed ^ 0x6d61696cull);
+  for (uint32_t t = 0; t < spec.tenants; t++) {
+    Builder::Tenant& ten = b.tenant(t);
+    for (uint32_t f = 0; f < spec.files_per_tenant; f++) {
+      ten.files.push_back({b.FilePath(t, f, "mbox", 0), 0, false});
+    }
+  }
+  for (uint32_t req = 0; req < spec.requests; req++) {
+    const uint32_t t = static_cast<uint32_t>(b.rng().NextBelow(spec.tenants));
+    b.StartBurst(static_cast<uint32_t>(b.rng().NextInRange(1, 40)));
+    b.EnsureDir(t);
+    const int f = static_cast<int>(hot.Next());
+    const double dice = b.rng().NextDouble();
+    if (dice < 0.55) {
+      // Delivery: open, append 1-4 messages, fsync, close.
+      const int s = b.EmitOpen(t, f, kCreateFlags);
+      if (s >= 0) {
+        const uint32_t msgs = static_cast<uint32_t>(b.rng().NextInRange(1, 4));
+        for (uint32_t m = 0; m < msgs; m++) {
+          b.EmitAppend(t, s, spec.io_bytes / 2 +
+                              static_cast<uint32_t>(b.rng().NextBelow(spec.io_bytes)));
+        }
+        b.EmitFsync(t, s);
+        b.EmitClose(t, s);
+      }
+    } else if (dice < 0.90) {
+      // Read recent mail: stat then point-read the tail if nonempty.
+      Builder::Tenant& ten = b.tenant(t);
+      b.EmitStat(t, ten.files[f].path);
+      if (ten.files[f].exists && ten.files[f].size > 0) {
+        const int s = b.EmitOpen(t, f, kRdOnlyFlags);
+        if (s >= 0) {
+          const uint32_t len =
+              static_cast<uint32_t>(std::min<uint64_t>(ten.files[f].size, spec.io_bytes));
+          b.EmitPread(t, s, ten.files[f].size - len, len);
+          b.EmitClose(t, s);
+        }
+      }
+    } else {
+      // Purge: unlink the mailbox if it exists, else list the dir.
+      if (b.tenant(t).files[f].exists) {
+        b.EmitUnlink(t, f);
+      } else {
+        b.EmitReadDir(t, b.Root(t));
+      }
+    }
+  }
+  return std::move(b).Finish();
+}
+
+// Container-image layer extraction: per request, a tenant pulls a layer —
+// mkdir once, create + sequentially write a handful of member files, fsync,
+// then a stat/read verification sweep.
+Trace GenContainerExtract(const ScenarioSpec& spec) {
+  Builder b(spec, "cntr");
+  std::vector<uint32_t> generation(spec.tenants, 0);
+  for (uint32_t t = 0; t < spec.tenants; t++) {
+    b.tenant(t).files.resize(spec.files_per_tenant);
+  }
+  for (uint32_t req = 0; req < spec.requests; req++) {
+    const uint32_t t = static_cast<uint32_t>(b.rng().NextBelow(spec.tenants));
+    b.StartBurst(static_cast<uint32_t>(b.rng().NextInRange(5, 120)));
+    b.EnsureDir(t);
+    Builder::Tenant& ten = b.tenant(t);
+    const uint32_t members = static_cast<uint32_t>(
+        b.rng().NextInRange(2, std::max<uint64_t>(3, spec.files_per_tenant / 4)));
+    const uint32_t gen = generation[t]++;
+    for (uint32_t m = 0; m < members; m++) {
+      const uint32_t f = static_cast<uint32_t>(b.rng().NextBelow(spec.files_per_tenant));
+      ten.files[f] = {b.FilePath(t, f, "layer", gen), 0, false};
+      const int s = b.EmitOpen(t, static_cast<int>(f), kCreateFlags);
+      if (s < 0) {
+        continue;
+      }
+      // Sequential whole-file write, 1-6 granules.
+      const uint32_t chunks = static_cast<uint32_t>(b.rng().NextInRange(1, 6));
+      for (uint32_t c = 0; c < chunks; c++) {
+        b.EmitPwrite(t, s, static_cast<uint64_t>(c) * spec.io_bytes, spec.io_bytes);
+      }
+      b.EmitFsync(t, s);
+      b.EmitClose(t, s);
+    }
+    // Verification sweep: list the dir, stat + head-read one member.
+    b.EmitReadDir(t, b.Root(t));
+    const uint32_t probe = static_cast<uint32_t>(b.rng().NextBelow(spec.files_per_tenant));
+    if (ten.files[probe].exists) {
+      b.EmitStat(t, ten.files[probe].path);
+      const int s = b.EmitOpen(t, static_cast<int>(probe), kRdOnlyFlags);
+      if (s >= 0) {
+        b.EmitPread(t, s, 0, std::min<uint32_t>(spec.io_bytes, 4096));
+        b.EmitClose(t, s);
+      }
+    }
+  }
+  return std::move(b).Finish();
+}
+
+// ML checkpoint streaming: each request writes a full checkpoint (large
+// sequential pwrites + fsync barriers every few chunks), renames it into
+// place, and unlinks the oldest generation beyond a retention window.
+Trace GenMlCheckpoint(const ScenarioSpec& spec) {
+  Builder b(spec, "ckpt");
+  std::vector<uint32_t> generation(spec.tenants, 0);
+  for (uint32_t t = 0; t < spec.tenants; t++) {
+    b.tenant(t).files.resize(spec.files_per_tenant);
+  }
+  const uint32_t retain = std::max<uint32_t>(2, spec.files_per_tenant / 2);
+  for (uint32_t req = 0; req < spec.requests; req++) {
+    const uint32_t t = static_cast<uint32_t>(b.rng().NextBelow(spec.tenants));
+    // Long think: training steps between checkpoints.
+    b.StartBurst(static_cast<uint32_t>(b.rng().NextInRange(200, 2000)));
+    b.EnsureDir(t);
+    Builder::Tenant& ten = b.tenant(t);
+    const uint32_t gen = generation[t]++;
+    const uint32_t f = gen % spec.files_per_tenant;
+    const std::string tmp = b.FilePath(t, f, "ckpt_tmp", gen);
+    const std::string fin = b.FilePath(t, f, "ckpt", gen);
+    ten.files[f] = {tmp, 0, false};
+    const int s = b.EmitOpen(t, static_cast<int>(f), kCreateFlags);
+    if (s < 0) {
+      continue;
+    }
+    const uint32_t chunks = static_cast<uint32_t>(b.rng().NextInRange(8, 24));
+    for (uint32_t c = 0; c < chunks; c++) {
+      b.EmitPwrite(t, s, static_cast<uint64_t>(c) * spec.io_bytes, spec.io_bytes);
+      if (c % 4 == 3) {
+        b.EmitFsync(t, s);
+      }
+    }
+    b.EmitFsync(t, s);
+    b.EmitClose(t, s);
+    b.EmitRename(t, tmp, fin);
+    ten.files[f].path = fin;
+    ten.files[f].exists = true;
+    // Retire the generation falling out of the retention window.
+    if (gen >= retain) {
+      const uint32_t old_f = (gen - retain) % spec.files_per_tenant;
+      if (ten.files[old_f].exists && old_f != f) {
+        b.EmitUnlink(t, static_cast<int>(old_f));
+      }
+    }
+  }
+  return std::move(b).Finish();
+}
+
+// Log-structured ingest with parallel compaction: most requests append to a
+// tenant's active segment; once enough segments seal, a compaction burst
+// reads two sealed segments, writes a merged one, and unlinks the inputs.
+Trace GenLogIngest(const ScenarioSpec& spec) {
+  Builder b(spec, "log");
+  std::vector<uint32_t> next_seg(spec.tenants, 0);
+  std::vector<std::vector<uint32_t>> sealed(spec.tenants);
+  for (uint32_t t = 0; t < spec.tenants; t++) {
+    b.tenant(t).files.resize(spec.files_per_tenant);
+  }
+  const uint64_t seal_bytes = static_cast<uint64_t>(spec.io_bytes) * 12;
+  for (uint32_t req = 0; req < spec.requests; req++) {
+    const uint32_t t = static_cast<uint32_t>(b.rng().NextBelow(spec.tenants));
+    b.StartBurst(static_cast<uint32_t>(b.rng().NextInRange(1, 25)));
+    b.EnsureDir(t);
+    Builder::Tenant& ten = b.tenant(t);
+    if (sealed[t].size() >= 3 && b.rng().NextBool(0.25)) {
+      // Compaction: merge the two oldest sealed segments.
+      const uint32_t a = sealed[t][0];
+      const uint32_t c = sealed[t][1];
+      sealed[t].erase(sealed[t].begin(), sealed[t].begin() + 2);
+      const uint32_t out = next_seg[t]++ % spec.files_per_tenant;
+      for (uint32_t in : {a, c}) {
+        if (!ten.files[in].exists) {
+          continue;
+        }
+        const int s = b.EmitOpen(t, static_cast<int>(in), kRdOnlyFlags);
+        if (s >= 0) {
+          b.EmitPread(t, s, 0,
+                      static_cast<uint32_t>(std::min<uint64_t>(ten.files[in].size,
+                                                               spec.io_bytes * 4)));
+          b.EmitClose(t, s);
+        }
+      }
+      if (out != a && out != c) {
+        ten.files[out] = {b.FilePath(t, out, "seg", next_seg[t]), 0, false};
+        const int s = b.EmitOpen(t, static_cast<int>(out), kCreateFlags);
+        if (s >= 0) {
+          b.EmitAppend(t, s, spec.io_bytes * 4);
+          b.EmitFsync(t, s);
+          b.EmitClose(t, s);
+        }
+      }
+      for (uint32_t in : {a, c}) {
+        if (ten.files[in].exists && in != out) {
+          b.EmitUnlink(t, static_cast<int>(in));
+        }
+      }
+    } else {
+      // Ingest: append a batch of log entries to the active segment.
+      const uint32_t f = next_seg[t] % spec.files_per_tenant;
+      if (!ten.files[f].exists) {
+        ten.files[f] = {b.FilePath(t, f, "seg", next_seg[t]), 0, false};
+      }
+      const int s = b.EmitOpen(t, static_cast<int>(f), kCreateFlags);
+      if (s >= 0) {
+        const uint32_t entries = static_cast<uint32_t>(b.rng().NextInRange(1, 5));
+        for (uint32_t e = 0; e < entries; e++) {
+          b.EmitAppend(t, s, spec.io_bytes / 2 +
+                              static_cast<uint32_t>(b.rng().NextBelow(spec.io_bytes / 2)));
+        }
+        b.EmitFsync(t, s);
+        b.EmitClose(t, s);
+        if (ten.files[f].size >= seal_bytes) {
+          sealed[t].push_back(f);
+          next_seg[t]++;
+        }
+      }
+    }
+  }
+  return std::move(b).Finish();
+}
+
+// Metadata storm: thousands of tenants, each running a tiny-file lifecycle —
+// mkdir, create+close, stat, reopen+read, unlink, rmdir. Almost pure metadata
+// traffic; `requests` is lifecycle rounds per tenant.
+Trace GenMetadataStorm(const ScenarioSpec& spec) {
+  Builder b(spec, "meta");
+  for (uint32_t t = 0; t < spec.tenants; t++) {
+    b.tenant(t).files.resize(spec.files_per_tenant);
+  }
+  // Interleave tenants round-by-round (not tenant-by-tenant) so the storm is
+  // a cross-tenant churn, not N sequential single-tenant runs.
+  for (uint32_t round = 0; round < spec.requests; round++) {
+    for (uint32_t t = 0; t < spec.tenants; t++) {
+      b.StartBurst(1 + static_cast<uint32_t>(b.rng().NextBelow(8)));
+      b.EnsureDir(t);
+      Builder::Tenant& ten = b.tenant(t);
+      const uint32_t f = static_cast<uint32_t>(b.rng().NextBelow(spec.files_per_tenant));
+      if (!ten.files[f].exists) {
+        ten.files[f] = {b.FilePath(t, f, "obj", round), 0, false};
+        const int s = b.EmitOpen(t, static_cast<int>(f), kCreateFlags);
+        if (s >= 0) {
+          b.EmitAppend(t, s, spec.io_bytes);
+          b.EmitClose(t, s);
+        }
+        b.EmitStat(t, ten.files[f].path);
+      } else if (b.rng().NextBool(0.5)) {
+        b.EmitStat(t, ten.files[f].path);
+        const int s = b.EmitOpen(t, static_cast<int>(f), kRdOnlyFlags);
+        if (s >= 0) {
+          b.EmitPread(t, s, 0, spec.io_bytes);
+          b.EmitClose(t, s);
+        }
+      } else {
+        b.EmitUnlink(t, static_cast<int>(f));
+      }
+    }
+  }
+  return std::move(b).Finish();
+}
+
+}  // namespace
+
+Trace GenerateScenario(const ScenarioSpec& spec) {
+  if (spec.name == "mail_churn") {
+    return GenMailChurn(spec);
+  }
+  if (spec.name == "container_extract") {
+    return GenContainerExtract(spec);
+  }
+  if (spec.name == "ml_checkpoint") {
+    return GenMlCheckpoint(spec);
+  }
+  if (spec.name == "log_ingest") {
+    return GenLogIngest(spec);
+  }
+  if (spec.name == "metadata_storm") {
+    return GenMetadataStorm(spec);
+  }
+  // Unknown shape: empty trace tagged with the spec so the caller can tell.
+  Trace t;
+  t.tick_ns = spec.tick_ns;
+  t.provenance = spec.Provenance();
+  return t;
+}
+
+Result<Trace> LoadOrGenerate(const std::string& dir, const ScenarioSpec& spec,
+                             TraceCacheStats* stats) {
+  TraceCacheStats local;
+  TraceCacheStats& st = stats ? *stats : local;
+  if (dir.empty()) {
+    st.misses++;
+    return GenerateScenario(spec);
+  }
+  const std::string path = dir + "/" + spec.FileName();
+  Result<Trace> cached = LoadTrace(path);
+  if (cached.ok() && cached.value().provenance == spec.Provenance()) {
+    st.hits++;
+    return std::move(cached.value());
+  }
+  if (cached.ok() || cached.status().code() != ErrorCode::kIoError) {
+    // Present but stale/corrupt (a clean miss shows up as kIoError from the
+    // failed open — don't count that as a reject).
+    st.rejects++;
+  }
+  st.misses++;
+  Trace fresh = GenerateScenario(spec);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // on demand, like snap::Corpus
+  common::Status saved = SaveTrace(path, fresh);
+  (void)saved;  // cache write failure is non-fatal; next run regenerates
+  return fresh;
+}
+
+}  // namespace scenarios
+}  // namespace trace

@@ -1,0 +1,86 @@
+// Seeded scenario generators: production workload shapes the paper never
+// tested, emitted as trace-format-v1 traces. Every generator is a pure
+// function of its ScenarioSpec — same spec => byte-identical trace — so
+// generated traces are cacheable on (name, parameters, seed) exactly like the
+// snap corpus caches aged images on ImageKey.
+//
+// Shapes (ScenarioFleet returns one tuned spec per shape):
+//   mail_churn        multi-tenant mail/object-store: zipf-hot mailbox files,
+//                     append-heavy delivery, point reads, periodic purges
+//   container_extract container-image layer extraction: per-tenant burst of
+//                     mkdir + create + sequential whole-file writes, then a
+//                     stat/read sweep (registry pull -> layer unpack -> start)
+//   ml_checkpoint     ML checkpoint streaming: few tenants, huge sequential
+//                     writes + fsync barriers, rotating checkpoint generations
+//                     with unlink of the oldest
+//   log_ingest        log-structured ingest + parallel compaction: hot append
+//                     streams per tenant, compactor rewrites segments into
+//                     larger ones and unlinks the inputs
+//   metadata_storm    open/stat/unlink storms across >= 1000 tenants: tiny
+//                     file lifecycle, almost pure metadata traffic
+#ifndef SRC_TRACE_SCENARIOS_H_
+#define SRC_TRACE_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/trace/format.h"
+
+namespace trace {
+namespace scenarios {
+
+// Everything a generator's output depends on. Provenance() digests all of it,
+// so a trace file regenerates whenever any knob (or the format version)
+// changes.
+struct ScenarioSpec {
+  std::string name;
+  uint32_t tenants = 8;
+  // Request bursts per tenant (each burst = several records).
+  uint32_t requests = 400;
+  uint32_t files_per_tenant = 16;
+  // Base I/O granule; shapes scale it per op (checkpoint writes are many
+  // granules, mail appends a fraction).
+  uint32_t io_bytes = 4096;
+  uint64_t seed = 42;
+  uint64_t tick_ns = 1000;
+
+  // Human-readable digest of every generation input; stored in the trace
+  // header and compared by LoadOrGenerate before trusting a cached file.
+  std::string Provenance() const;
+  // Cache file name: <name>-<16 hex digits of FNV(Provenance())>.wtr
+  std::string FileName() const;
+};
+
+// The five tuned specs. `quick` shrinks tenants/requests for CI smoke runs —
+// except metadata_storm, which keeps >= 1000 tenants in both modes (that scale
+// is the point of the shape).
+std::vector<ScenarioSpec> ScenarioFleet(bool quick);
+
+// Looks up a fleet spec by name (kInvalidArgument if unknown).
+common::Result<ScenarioSpec> FleetSpec(const std::string& name, bool quick);
+
+// Deterministically generates the trace for `spec`. The generator maintains a
+// namespace model (which dirs/files/slots exist per tenant), so replaying the
+// trace on a fresh filesystem mostly succeeds; all paths live under
+// "/scn_<shape>_t<k>" per tenant, disjoint from anything an aged image holds.
+Trace GenerateScenario(const ScenarioSpec& spec);
+
+struct TraceCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  // Cached file present but unreadable/corrupt/stale provenance: regenerated.
+  uint64_t rejects = 0;
+};
+
+// Cache wrapper: loads dir/FileName() if present with matching provenance,
+// else generates and saves it. Empty `dir` disables caching (always
+// generates, never touches the filesystem).
+common::Result<Trace> LoadOrGenerate(const std::string& dir, const ScenarioSpec& spec,
+                                     TraceCacheStats* stats = nullptr);
+
+}  // namespace scenarios
+}  // namespace trace
+
+#endif  // SRC_TRACE_SCENARIOS_H_

@@ -6,6 +6,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/vfs/op_batch.h"
+#include "src/wload/harness.h"
 
 namespace wload {
 
@@ -57,8 +58,8 @@ FilebenchConfig PaperConfig(FilebenchPersonality personality) {
 }
 
 Result<FilebenchResult> Filebench::Run() {
-  ExecContext setup;
-  setup.clock.SetNs(config_.start_time_ns);
+  SetupPhase phase(config_.start_time_ns);
+  ExecContext& setup = phase.ctx();
   const uint32_t dirs = 64;
   for (uint32_t d = 0; d < dirs; d++) {
     RETURN_IF_ERROR(fs_->Mkdir(setup, "/fb" + std::to_string(d)));
@@ -225,7 +226,7 @@ Result<FilebenchResult> Filebench::Run() {
     return status.ok();
   };
 
-  SimRunner runner(config_.num_threads, config_.num_cpus, setup.clock.NowNs());
+  SimRunner runner = phase.MakeRunner(config_.num_threads, config_.num_cpus);
   FilebenchResult result;
   result.run = runner.Run(config_.ops_per_thread, op);
   return result;

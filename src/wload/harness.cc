@@ -1,0 +1,27 @@
+#include "src/wload/harness.h"
+
+#include "src/fs/registry.h"
+
+namespace wload {
+
+common::Result<Bed> MakeBed(const BedSpec& spec) {
+  Bed bed;
+  bed.fs_name = spec.fs_name;
+  if (spec.snapshot != nullptr) {
+    bed.dev = std::make_unique<pmem::PmemDevice>(*spec.snapshot);
+  } else {
+    bed.dev = std::make_unique<pmem::PmemDevice>(spec.device_bytes, pmem::CostModel{},
+                                                 spec.numa_nodes);
+  }
+  bed.fs = fsreg::Create(spec.fs_name, bed.dev.get(), spec.num_cpus);
+  if (bed.fs == nullptr) {
+    return common::ErrorCode::kInvalidArgument;
+  }
+  bed.engine =
+      std::make_unique<vmem::MmapEngine>(bed.dev.get(), vmem::MmuParams{}, spec.num_cpus);
+  RETURN_IF_ERROR(spec.snapshot != nullptr ? bed.fs->Mount(bed.setup)
+                                           : bed.fs->Mkfs(bed.setup));
+  return bed;
+}
+
+}  // namespace wload

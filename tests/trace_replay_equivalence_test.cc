@@ -1,0 +1,95 @@
+// Trace-replay batched-vs-scalar differential: the same generated scenario
+// trace is replayed on twin fresh beds of every filesystem — once through
+// FileSystem::ExecuteBatch, once through the reference scalar loop — and the
+// modeled outcomes must be bit-identical: simulated wall clock, every
+// registered PerfCounter, and every tenant's op/error/window tallies and
+// latency distribution. Combined with the window/think/fd-resolution logic
+// being shared between both replay arms, this pins the TraceReplayer to the
+// PR-6 batching invariant on the realistic multi-tenant op mixes the scenario
+// generators emit (not just the synthetic mix op_batch_equivalence_test uses).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/units.h"
+#include "src/trace/replayer.h"
+#include "src/trace/scenarios.h"
+#include "src/wload/harness.h"
+
+namespace {
+
+using common::kMiB;
+
+trace::ReplayResult ReplayOn(const std::string& fs_name, const trace::Trace& tr,
+                             bool use_batch, uint32_t num_threads) {
+  wload::BedSpec spec;
+  spec.fs_name = fs_name;
+  spec.device_bytes = 256 * kMiB;
+  auto bed = wload::MakeBed(spec);
+  EXPECT_TRUE(bed.ok()) << fs_name;
+  trace::ReplayOptions options;
+  options.use_batch = use_batch;
+  options.num_threads = num_threads;
+  options.base_ns = bed->setup.clock.NowNs();
+  trace::TraceReplayer replayer(bed->fs.get(), options);
+  auto result = replayer.Replay(tr);
+  EXPECT_TRUE(result.ok()) << fs_name;
+  return std::move(result.value());
+}
+
+void ExpectBitIdentical(const trace::ReplayResult& batch,
+                        const trace::ReplayResult& scalar) {
+  EXPECT_EQ(batch.records, scalar.records);
+  EXPECT_EQ(batch.windows, scalar.windows);
+  EXPECT_EQ(batch.errors, scalar.errors);
+  EXPECT_EQ(batch.wall_ns, scalar.wall_ns);
+  for (const common::CounterField& field : common::kCounterFields) {
+    EXPECT_EQ(batch.counters.*field.member, scalar.counters.*field.member) << field.name;
+  }
+  ASSERT_EQ(batch.tenants.size(), scalar.tenants.size());
+  for (size_t t = 0; t < batch.tenants.size(); t++) {
+    const trace::TenantStats& a = batch.tenants[t];
+    const trace::TenantStats& b = scalar.tenants[t];
+    EXPECT_EQ(a.ops, b.ops) << "tenant " << t;
+    EXPECT_EQ(a.errors, b.errors) << "tenant " << t;
+    EXPECT_EQ(a.windows, b.windows) << "tenant " << t;
+    EXPECT_EQ(a.latency.count(), b.latency.count()) << "tenant " << t;
+    for (double p : {50.0, 90.0, 99.0, 99.9, 100.0}) {
+      EXPECT_EQ(a.latency.Percentile(p), b.latency.Percentile(p))
+          << "tenant " << t << " p" << p;
+    }
+  }
+}
+
+class TraceReplayEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceReplayEquivalenceTest, MailChurnBitIdentical) {
+  auto spec = trace::scenarios::FleetSpec("mail_churn", /*quick=*/true);
+  ASSERT_TRUE(spec.ok());
+  const trace::Trace tr = trace::scenarios::GenerateScenario(*spec);
+  ExpectBitIdentical(ReplayOn(GetParam(), tr, /*use_batch=*/true, 4),
+                     ReplayOn(GetParam(), tr, /*use_batch=*/false, 4));
+}
+
+TEST_P(TraceReplayEquivalenceTest, ContainerExtractSingleThreadBitIdentical) {
+  auto spec = trace::scenarios::FleetSpec("container_extract", /*quick=*/true);
+  ASSERT_TRUE(spec.ok());
+  const trace::Trace tr = trace::scenarios::GenerateScenario(*spec);
+  ExpectBitIdentical(ReplayOn(GetParam(), tr, /*use_batch=*/true, 1),
+                     ReplayOn(GetParam(), tr, /*use_batch=*/false, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Filesystems, TraceReplayEquivalenceTest,
+                         ::testing::Values("winefs", "ext4-dax", "xfs-dax", "pmfs",
+                                           "nova", "splitfs"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace

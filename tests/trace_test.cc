@@ -1,0 +1,272 @@
+// Trace format v1 (src/trace): binary round-trip, DSL round-trip, typed
+// rejection of damaged files, seeded generator determinism, and the
+// provenance-keyed trace cache.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/dsl.h"
+#include "src/trace/format.h"
+#include "src/trace/scenarios.h"
+
+namespace {
+
+using common::ErrorCode;
+
+trace::Trace SmallTrace() {
+  trace::Trace tr;
+  tr.tick_ns = 500;
+  tr.provenance = "unit-test hand-built";
+  trace::PathInterner interner(&tr);
+
+  trace::TraceRecord mkdir;
+  mkdir.op = trace::TraceOp::kMkdir;
+  mkdir.tenant = 0;
+  mkdir.path_id = interner.Intern("/t0");
+  mkdir.think_ticks = 3;
+  tr.records.push_back(mkdir);
+
+  trace::TraceRecord open;
+  open.op = trace::TraceOp::kOpen;
+  open.open_flags = 0x1;  // kCreate
+  open.fd_slot = 0;
+  open.tenant = 0;
+  open.path_id = interner.Intern("/t0/a \"quoted\\\" name");
+  tr.records.push_back(open);
+
+  trace::TraceRecord write;
+  write.op = trace::TraceOp::kPwrite;
+  write.fd_slot = 0;
+  write.tenant = 0;
+  write.offset = 4096;
+  write.size = 1024;
+  tr.records.push_back(write);
+
+  trace::TraceRecord rename;
+  rename.op = trace::TraceOp::kRename;
+  rename.tenant = 1;
+  rename.path_id = interner.Intern("/t1/from");
+  rename.path2_id = interner.Intern("/t1/to");
+  rename.think_ticks = 7;
+  tr.records.push_back(rename);
+
+  trace::TraceRecord close;
+  close.op = trace::TraceOp::kClose;
+  close.fd_slot = 0;
+  close.tenant = 0;
+  tr.records.push_back(close);
+  return tr;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceFormat, BinaryRoundTripIsIdentity) {
+  const trace::Trace tr = SmallTrace();
+  auto bytes = trace::EncodeTrace(tr);
+  ASSERT_TRUE(bytes.ok());
+  auto back = trace::DecodeTrace(bytes->data(), bytes->size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(tr, *back);
+}
+
+TEST(TraceFormat, FileRoundTripIsIdentity) {
+  const trace::Trace tr = SmallTrace();
+  const std::string path = TempPath("trace_test_roundtrip.wtr");
+  ASSERT_TRUE(trace::SaveTrace(path, tr).ok());
+  auto back = trace::LoadTrace(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(tr, *back);
+
+  auto info = trace::ReadTraceInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->format_version, trace::kTraceFormatVersion);
+  EXPECT_EQ(info->tick_ns, tr.tick_ns);
+  EXPECT_EQ(info->record_count, tr.records.size());
+  EXPECT_EQ(info->path_count, tr.paths.size());
+  EXPECT_EQ(info->tenant_count, 2u);
+  EXPECT_EQ(info->provenance, tr.provenance);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceFormat, EncodeRejectsMalformedRecords) {
+  trace::Trace tr = SmallTrace();
+  tr.records[0].path_id = 999;  // out-of-range path reference
+  auto bytes = trace::EncodeTrace(tr);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), ErrorCode::kInvalidArgument);
+
+  tr = SmallTrace();
+  tr.records[0].fd_slot = trace::kMaxSlot + 1;
+  EXPECT_EQ(trace::EncodeTrace(tr).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(TraceFormat, EveryTruncationIsIoError) {
+  auto bytes = trace::EncodeTrace(SmallTrace());
+  ASSERT_TRUE(bytes.ok());
+  // Every proper prefix must be rejected as truncation, never accepted and
+  // never misclassified as corruption.
+  for (size_t len = 0; len < bytes->size(); len++) {
+    auto r = trace::DecodeTrace(bytes->data(), len);
+    ASSERT_FALSE(r.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(r.status().code(), ErrorCode::kIoError) << "prefix " << len;
+  }
+}
+
+TEST(TraceFormat, CorruptionIsTypedCorrupt) {
+  auto bytes = trace::EncodeTrace(SmallTrace());
+  ASSERT_TRUE(bytes.ok());
+
+  {
+    auto bad = *bytes;
+    bad[0] ^= 0xff;  // magic
+    EXPECT_EQ(trace::DecodeTrace(bad.data(), bad.size()).status().code(),
+              ErrorCode::kCorrupt);
+  }
+  {
+    auto bad = *bytes;
+    bad[8] ^= 0x02;  // version byte, checksum not recomputed => corruption
+    EXPECT_EQ(trace::DecodeTrace(bad.data(), bad.size()).status().code(),
+              ErrorCode::kCorrupt);
+  }
+  {
+    auto bad = *bytes;
+    bad[bad.size() - 9] ^= 0x40;  // last record byte
+    EXPECT_EQ(trace::DecodeTrace(bad.data(), bad.size()).status().code(),
+              ErrorCode::kCorrupt);
+  }
+}
+
+TEST(TraceFormat, ForeignVersionIsNotSupported) {
+  auto bytes = trace::EncodeTrace(SmallTrace());
+  ASSERT_TRUE(bytes.ok());
+  auto bad = *bytes;
+  // Patch the version field (offset 8) and recompute the header checksum so
+  // the file reads as a valid trace of a FUTURE format, not as corruption.
+  bad[8] = static_cast<uint8_t>(trace::kTraceFormatVersion + 1);
+  uint32_t prov_len = 0;
+  for (int i = 0; i < 4; i++) {
+    prov_len |= static_cast<uint32_t>(bad[40 + i]) << (8 * i);
+  }
+  const size_t checksummed = 44 + prov_len;
+  const uint64_t csum = trace::Fnv1a(bad.data(), checksummed);
+  for (int i = 0; i < 8; i++) {
+    bad[checksummed + i] = static_cast<uint8_t>(csum >> (8 * i));
+  }
+  EXPECT_EQ(trace::DecodeTrace(bad.data(), bad.size()).status().code(),
+            ErrorCode::kNotSupported);
+}
+
+TEST(TraceDsl, TextRoundTripsThroughBinary) {
+  const trace::Trace tr = SmallTrace();
+  const std::string text = trace::ToDsl(tr);
+  auto parsed = trace::ParseDsl(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(tr, *parsed);
+  // text -> binary -> text is byte-identical.
+  EXPECT_EQ(text, trace::ToDsl(*parsed));
+}
+
+TEST(TraceDsl, GeneratedTracesRoundTripBothWays) {
+  for (const auto& spec : trace::scenarios::ScenarioFleet(/*quick=*/true)) {
+    if (spec.name == "metadata_storm") {
+      continue;  // 1000+ tenants: DSL round-trip covered by smaller shapes
+    }
+    const trace::Trace tr = trace::scenarios::GenerateScenario(spec);
+    auto parsed = trace::ParseDsl(trace::ToDsl(tr));
+    ASSERT_TRUE(parsed.ok()) << spec.name;
+    // binary -> text -> binary byte-identity (string table is in first-use
+    // order for every generated trace).
+    auto a = trace::EncodeTrace(tr);
+    auto b = trace::EncodeTrace(*parsed);
+    ASSERT_TRUE(a.ok() && b.ok()) << spec.name;
+    EXPECT_EQ(*a, *b) << spec.name;
+  }
+}
+
+TEST(TraceDsl, ParseErrorsCarryLineNumbers) {
+  size_t line = 0;
+  auto r = trace::ParseDsl("not a header\n", &line);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(line, 1u);
+
+  const std::string text =
+      "trace v1 tick_ns=1000 provenance=\"x\"\n"
+      "# comment\n"
+      "t=0 w=0 open s=0 f=c \"/a\"\n"
+      "t=0 w=0 frobnicate s=0\n";
+  r = trace::ParseDsl(text, &line);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(line, 4u);
+}
+
+TEST(TraceScenarios, SameSeedSameBytesDifferentSeedDiffers) {
+  for (const auto& spec : trace::scenarios::ScenarioFleet(/*quick=*/true)) {
+    auto a = trace::EncodeTrace(trace::scenarios::GenerateScenario(spec));
+    auto b = trace::EncodeTrace(trace::scenarios::GenerateScenario(spec));
+    ASSERT_TRUE(a.ok() && b.ok()) << spec.name;
+    EXPECT_EQ(*a, *b) << spec.name << " is not deterministic";
+
+    auto reseeded = spec;
+    reseeded.seed = spec.seed + 1;
+    auto c = trace::EncodeTrace(trace::scenarios::GenerateScenario(reseeded));
+    ASSERT_TRUE(c.ok()) << spec.name;
+    EXPECT_NE(*a, *c) << spec.name << " ignores its seed";
+  }
+}
+
+TEST(TraceScenarios, FleetShapesAreSane) {
+  const auto fleet = trace::scenarios::ScenarioFleet(/*quick=*/true);
+  ASSERT_EQ(fleet.size(), 5u);
+  for (const auto& spec : fleet) {
+    const trace::Trace tr = trace::scenarios::GenerateScenario(spec);
+    EXPECT_FALSE(tr.records.empty()) << spec.name;
+    EXPECT_EQ(tr.provenance, spec.Provenance()) << spec.name;
+    EXPECT_GE(tr.TenantCount(), 1u) << spec.name;
+    // Generated traces must satisfy the encoder's referential checks.
+    EXPECT_TRUE(trace::EncodeTrace(tr).ok()) << spec.name;
+    if (spec.name == "metadata_storm") {
+      EXPECT_GE(tr.TenantCount(), 1000u) << "storm must span >= 1000 tenants";
+    }
+  }
+}
+
+TEST(TraceScenarios, CacheHitsAndRegeneratesStaleFiles) {
+  const std::string dir = TempPath("trace_test_cache");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto spec = trace::scenarios::FleetSpec("mail_churn", /*quick=*/true);
+  ASSERT_TRUE(spec.ok());
+
+  trace::scenarios::TraceCacheStats stats;
+  auto first = trace::scenarios::LoadOrGenerate(dir, *spec, &stats);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  auto second = trace::scenarios::LoadOrGenerate(dir, *spec, &stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(*first, *second);
+
+  // A trace whose stored provenance no longer matches the spec is stale:
+  // rejected and regenerated in place.
+  trace::Trace stale = *first;
+  stale.provenance = "stale";
+  ASSERT_TRUE(trace::SaveTrace(dir + "/" + spec->FileName(), stale).ok());
+  auto third = trace::scenarios::LoadOrGenerate(dir, *spec, &stats);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(stats.rejects, 1u);
+  EXPECT_EQ(*first, *third);
+  auto fourth = trace::scenarios::LoadOrGenerate(dir, *spec, &stats);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(stats.hits, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Trace management CLI for the trace-replay subsystem (src/trace).
+//
+//   tracectl gen <dir> [--quick] [--scenario <name>]
+//                                        generate the scenario fleet (or one
+//                                        shape) into <dir> with the same
+//                                        provenance-keyed cache the scenarios
+//                                        bench uses; prints a per-trace table
+//   tracectl info <trace.wtr>            header + op-mix stats of one trace
+//   tracectl verify <trace.wtr>...       full decode (header, string table,
+//                                        record checksums) of each file;
+//                                        non-zero exit if anything fails
+//   tracectl replay <trace.wtr> <fs> [--scalar] [--device-mib <n>]
+//                                        replay on a fresh bed of registry
+//                                        filesystem <fs> through ExecuteBatch
+//                                        (--scalar: the reference loop)
+//   tracectl to-text <trace.wtr>         decompile to the trace DSL on stdout
+//   tracectl from-text <in.txt> <out.wtr>
+//                                        compile DSL text to a binary trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/dsl.h"
+#include "src/trace/format.h"
+#include "src/trace/replayer.h"
+#include "src/trace/scenarios.h"
+#include "src/wload/harness.h"
+
+namespace {
+
+int Gen(const std::string& dir, bool quick, const std::string& only) {
+  std::vector<trace::scenarios::ScenarioSpec> specs;
+  if (!only.empty()) {
+    auto spec = trace::scenarios::FleetSpec(only, quick);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "gen: unknown scenario '%s'\n", only.c_str());
+      return 1;
+    }
+    specs.push_back(std::move(spec.value()));
+  } else {
+    specs = trace::scenarios::ScenarioFleet(quick);
+  }
+  trace::scenarios::TraceCacheStats cache;
+  std::printf("%-18s %10s %8s %7s %9s %9s  %s\n", "scenario", "records", "tenants",
+              "paths", "read_mb", "write_mb", "file");
+  for (const auto& spec : specs) {
+    auto tr = trace::scenarios::LoadOrGenerate(dir, spec, &cache);
+    if (!tr.ok()) {
+      std::fprintf(stderr, "gen: %s failed: %s\n", spec.name.c_str(),
+                   std::string(tr.status().message()).c_str());
+      return 1;
+    }
+    const trace::TraceStats stats = trace::ComputeStats(*tr);
+    std::printf("%-18s %10llu %8u %7zu %9.1f %9.1f  %s/%s\n", spec.name.c_str(),
+                static_cast<unsigned long long>(stats.total_records), stats.tenants,
+                tr->paths.size(), static_cast<double>(stats.read_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(stats.write_bytes) / (1024.0 * 1024.0), dir.c_str(),
+                spec.FileName().c_str());
+  }
+  std::printf("gen done: %llu hit(s), %llu generated, %llu rejected\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.rejects));
+  return 0;
+}
+
+int Info(const std::string& path) {
+  auto info = trace::ReadTraceInfo(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "info: %s: %s\n", path.c_str(),
+                 std::string(info.status().message()).c_str());
+    return 1;
+  }
+  std::printf("%s\n", path.c_str());
+  std::printf("  format_version %u\n", info->format_version);
+  std::printf("  tick_ns        %llu\n", static_cast<unsigned long long>(info->tick_ns));
+  std::printf("  tenants        %u\n", info->tenant_count);
+  std::printf("  paths          %u\n", info->path_count);
+  std::printf("  records        %llu\n", static_cast<unsigned long long>(info->record_count));
+  std::printf("  provenance     %s\n", info->provenance.c_str());
+
+  auto tr = trace::LoadTrace(path);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "info: %s: body: %s\n", path.c_str(),
+                 std::string(tr.status().message()).c_str());
+    return 1;
+  }
+  const trace::TraceStats stats = trace::ComputeStats(*tr);
+  std::printf("  bursts         %llu (think %llu ticks)\n",
+              static_cast<unsigned long long>(stats.bursts),
+              static_cast<unsigned long long>(stats.think_ticks));
+  std::printf("  read_bytes     %llu\n", static_cast<unsigned long long>(stats.read_bytes));
+  std::printf("  write_bytes    %llu\n", static_cast<unsigned long long>(stats.write_bytes));
+  std::printf("  op mix:\n");
+  for (uint8_t op = 0; op < trace::kNumTraceOps; op++) {
+    if (stats.ops_by_kind[op] == 0) {
+      continue;
+    }
+    std::printf("    %-10s %10llu\n", trace::TraceOpName(static_cast<trace::TraceOp>(op)),
+                static_cast<unsigned long long>(stats.ops_by_kind[op]));
+  }
+  return 0;
+}
+
+int Verify(int count, char** paths) {
+  int failures = 0;
+  for (int i = 0; i < count; i++) {
+    auto tr = trace::LoadTrace(paths[i]);
+    if (!tr.ok()) {
+      std::printf("FAIL %s: %s\n", paths[i],
+                  std::string(tr.status().message()).c_str());
+      failures++;
+      continue;
+    }
+    std::printf("ok   %s (%zu records, %u tenants)\n", paths[i], tr->records.size(),
+                tr->TenantCount());
+  }
+  std::printf("%d file(s), %d failure(s)\n", count, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int Replay(const std::string& path, const std::string& fs_name, bool scalar,
+           uint64_t device_mib) {
+  auto tr = trace::LoadTrace(path);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "replay: %s: %s\n", path.c_str(),
+                 std::string(tr.status().message()).c_str());
+    return 1;
+  }
+  wload::BedSpec spec;
+  spec.fs_name = fs_name;
+  spec.device_bytes = device_mib * 1024 * 1024;
+  auto bed = wload::MakeBed(spec);
+  if (!bed.ok()) {
+    std::fprintf(stderr, "replay: mkfs failed for %s\n", fs_name.c_str());
+    return 1;
+  }
+  trace::ReplayOptions options;
+  options.use_batch = !scalar;
+  options.base_ns = bed->setup.clock.NowNs();
+  trace::TraceReplayer replayer(bed->fs.get(), options);
+  auto result = replayer.Replay(*tr);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay: malformed trace %s\n", path.c_str());
+    return 1;
+  }
+  common::LatencyHistogram requests;
+  for (const trace::TenantStats& ts : result->tenants) {
+    requests.Merge(ts.latency);
+  }
+  std::printf("%s on %s (%s dispatch):\n", path.c_str(), fs_name.c_str(),
+              scalar ? "scalar" : "batched");
+  std::printf("  records  %llu in %llu windows, %llu error(s)\n",
+              static_cast<unsigned long long>(result->records),
+              static_cast<unsigned long long>(result->windows),
+              static_cast<unsigned long long>(result->errors));
+  std::printf("  sim wall %.3f ms, %.1f Kops/s\n",
+              static_cast<double>(result->wall_ns) / 1e6, result->OpsPerSecond() / 1000.0);
+  std::printf("  request latency p50 %.1f us, p99 %.1f us, p999 %.1f us\n",
+              static_cast<double>(requests.Percentile(50)) / 1e3,
+              static_cast<double>(requests.Percentile(99)) / 1e3,
+              static_cast<double>(requests.Percentile(99.9)) / 1e3);
+  return 0;
+}
+
+int ToText(const std::string& path) {
+  auto tr = trace::LoadTrace(path);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "to-text: %s: %s\n", path.c_str(),
+                 std::string(tr.status().message()).c_str());
+    return 1;
+  }
+  const std::string text = trace::ToDsl(*tr);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+int FromText(const std::string& in_path, const std::string& out_path) {
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "from-text: cannot open %s\n", in_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  size_t error_line = 0;
+  auto tr = trace::ParseDsl(buf.str(), &error_line);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "from-text: %s:%zu: parse error\n", in_path.c_str(), error_line);
+    return 1;
+  }
+  const common::Status saved = trace::SaveTrace(out_path, *tr);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "from-text: cannot write %s: %s\n", out_path.c_str(),
+                 std::string(saved.message()).c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, %u tenants)\n", out_path.c_str(), tr->records.size(),
+              tr->TenantCount());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s gen <dir> [--quick] [--scenario <name>]\n"
+                 "       %s info <trace.wtr>\n"
+                 "       %s verify <trace.wtr>...\n"
+                 "       %s replay <trace.wtr> <fs> [--scalar] [--device-mib <n>]\n"
+                 "       %s to-text <trace.wtr>\n"
+                 "       %s from-text <in.txt> <out.wtr>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s gen <dir> [--quick] [--scenario <name>]\n", argv[0]);
+      return 2;
+    }
+    bool quick = false;
+    std::string only;
+    for (int i = 3; i < argc; i++) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        quick = true;
+      } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+        only = argv[++i];
+      } else {
+        std::fprintf(stderr, "gen: unknown flag %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return Gen(argv[2], quick, only);
+  }
+  if (cmd == "info") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s info <trace.wtr>\n", argv[0]);
+      return 2;
+    }
+    return Info(argv[2]);
+  }
+  if (cmd == "verify") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s verify <trace.wtr>...\n", argv[0]);
+      return 2;
+    }
+    return Verify(argc - 2, argv + 2);
+  }
+  if (cmd == "replay") {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: %s replay <trace.wtr> <fs> [--scalar] [--device-mib <n>]\n",
+                   argv[0]);
+      return 2;
+    }
+    bool scalar = false;
+    uint64_t device_mib = 512;
+    for (int i = 4; i < argc; i++) {
+      if (std::strcmp(argv[i], "--scalar") == 0) {
+        scalar = true;
+      } else if (std::strcmp(argv[i], "--device-mib") == 0 && i + 1 < argc) {
+        device_mib = std::strtoull(argv[++i], nullptr, 10);
+      } else {
+        std::fprintf(stderr, "replay: unknown flag %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return Replay(argv[2], argv[3], scalar, device_mib);
+  }
+  if (cmd == "to-text") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s to-text <trace.wtr>\n", argv[0]);
+      return 2;
+    }
+    return ToText(argv[2]);
+  }
+  if (cmd == "from-text") {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: %s from-text <in.txt> <out.wtr>\n", argv[0]);
+      return 2;
+    }
+    return FromText(argv[2], argv[3]);
+  }
+  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  return 2;
+}
