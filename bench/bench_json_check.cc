@@ -39,6 +39,14 @@
 //       naming at least min_sites (default 1) distinct lock sites, each with
 //       wait/hold percentile summaries — the profiler's named-lock-site
 //       output.
+//   bench_json_check --host-parallel-speedup BENCH_<name>.json [min_ratio]
+//       finds the host_parallel block (metrics host_par_wall_w1_ns /
+//       host_par_wall_w4_ns / host_par_speedup_4w on some result row) and,
+//       when the recording machine had >= 4 cores (config host_cores),
+//       asserts the 4-worker host wall-clock speedup is at least min_ratio
+//       (default 2.0). On smaller hosts the ratio gate is waived — parallel
+//       speedup is a hardware property — but the block's presence and shape
+//       are still enforced, as is host_par_speedup_4w > 0.
 //   bench_json_check BENCH_<name>.json --require-scenarios <min_tenants>
 //       requires a schema-v4 per-tenant section somewhere in the report, with
 //       the largest row covering at least min_tenants tenants — the
@@ -528,6 +536,62 @@ int CheckScenarios(const char* path, const obs::JsonValue& root, size_t min_tena
   return 0;
 }
 
+// Host-parallel speedup gate: some result row must carry the host_parallel
+// metric block (fig10 puts it on the winefs row, opperf on a dedicated
+// "host-parallel" row). The >= min_ratio wall-clock gate only binds when the
+// recording host had >= 4 cores (config host_cores): a 1-core container
+// cannot exhibit parallel speedup, and waiving there keeps the check honest
+// rather than flaky.
+int CheckHostParallel(const char* path, const obs::JsonValue& root, double min_ratio) {
+  const obs::JsonValue* config = root.Find("config");
+  const obs::JsonValue* cores =
+      config != nullptr && config->is_object() ? config->Find("host_cores") : nullptr;
+  if (cores == nullptr || !cores->is_number() || cores->number_value < 1) {
+    return Fail(path, "config lacks numeric host_cores (host_parallel provenance)");
+  }
+  std::string row_name;
+  const obs::JsonValue* metrics = nullptr;
+  for (const obs::JsonValue& row : root.Find("results")->array) {
+    const obs::JsonValue* m = row.Find("metrics");
+    if (m != nullptr && m->is_object() && m->Find("host_par_speedup_4w") != nullptr) {
+      row_name = row.Find("fs")->string_value;
+      metrics = m;
+      break;
+    }
+  }
+  if (metrics == nullptr) {
+    return Fail(path, "no result row carries a host_par_speedup_4w metric");
+  }
+  for (const char* key :
+       {"host_par_wall_w1_ns", "host_par_wall_w4_ns", "host_par_speedup_4w",
+        "host_par_workers"}) {
+    const obs::JsonValue* v = metrics->Find(key);
+    if (v == nullptr || !v->is_number() || v->number_value <= 0) {
+      Fail(path, "row '" + row_name + "' lacks positive metric " + key);
+    }
+  }
+  if (Verdict() != 0) {
+    return 1;
+  }
+  const double speedup = metrics->Find("host_par_speedup_4w")->number_value;
+  const double host_cores = cores->number_value;
+  std::printf("%s: host_parallel row '%s' speedup %.2fx at %g workers (host_cores=%g)\n",
+              path, row_name.c_str(), speedup,
+              metrics->Find("host_par_workers")->number_value, host_cores);
+  if (host_cores < 4) {
+    std::printf("%s: ratio gate waived (host_cores=%g < 4; need real cores for speedup)\n",
+                path, host_cores);
+    return 0;
+  }
+  if (speedup < min_ratio) {
+    char why[128];
+    std::snprintf(why, sizeof(why), "host parallel speedup %.2fx below required %.2fx",
+                  speedup, min_ratio);
+    return Fail(path, why);
+  }
+  return 0;
+}
+
 std::string ReadAll(const char* path, bool& ok) {
   std::ifstream in(path);
   if (!in) {
@@ -584,6 +648,29 @@ int main(int argc, char** argv) {
       return CheckSimperfSpeedup(argv[2], *a, argv[3], *b, min_ratio);
     }
     return CompareMetrics(argv[2], *a, argv[3], *b);
+  }
+
+  if (std::strcmp(argv[1], "--host-parallel-speedup") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --host-parallel-speedup BENCH_<name>.json [min_ratio]\n",
+                   argv[0]);
+      return 2;
+    }
+    bool ok = false;
+    const std::string text = ReadAll(argv[2], ok);
+    if (!ok) {
+      return Fail(argv[2], "cannot open");
+    }
+    const common::Status status = obs::ValidateBenchReportJson(text);
+    if (!status.ok()) {
+      return Fail(argv[2], "schema violation: " + std::string(status.message()));
+    }
+    auto root = obs::JsonValue::Parse(text);
+    if (!root.ok()) {
+      return Fail(argv[2], "parse failed after validation");
+    }
+    const double min_ratio = argc > 3 ? std::atof(argv[3]) : 2.0;
+    return CheckHostParallel(argv[2], *root, min_ratio);
   }
 
   if (std::strcmp(argv[1], "--opperf-speedup") == 0 ||

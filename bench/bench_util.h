@@ -5,6 +5,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,18 +31,32 @@ namespace benchutil {
 using TestBed = wload::Bed;
 
 inline TestBed MakeBed(const std::string& fs_name, uint64_t device_bytes,
-                       uint32_t num_cpus = 8, uint32_t numa_nodes = 1) {
+                       uint32_t num_cpus = 8, uint32_t numa_nodes = 1,
+                       uint32_t lock_domains = 1) {
   wload::BedSpec spec;
   spec.fs_name = fs_name;
   spec.device_bytes = device_bytes;
   spec.num_cpus = num_cpus;
   spec.numa_nodes = numa_nodes;
+  spec.lock_domains = lock_domains;
   auto bed = wload::MakeBed(spec);
   if (!bed.ok()) {
     std::fprintf(stderr, "mkfs failed for %s\n", fs_name.c_str());
     std::exit(1);
   }
   return std::move(bed.value());
+}
+
+// Host worker threads requested via the environment (tools/benchrun
+// --host-threads exports this to every bench child; scenarios also honors a
+// --host-threads flag). 0/unset/garbage all mean 1.
+inline uint32_t HostThreadsFromEnv() {
+  const char* env = std::getenv("WINEFS_HOST_THREADS");
+  if (env == nullptr) {
+    return 1;
+  }
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed < 1 ? 1 : static_cast<uint32_t>(parsed);
 }
 
 // Bed backed by a COW fork of an aged snapshot: mounting runs the

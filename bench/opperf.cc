@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/vfs/op_batch.h"
+#include "src/wload/parallel_runner.h"
 
 using benchutil::Fmt;
 using benchutil::FmtU;
@@ -422,6 +424,82 @@ int main() {
                                                    static_cast<double>(batched.min_round_ns));
   std::printf("profiler overhead (same-bed IQM rounds, on vs off): %.2f%%\n",
               100.0 * (prof_overhead_factor - 1.0));
+  // --- host_parallel phase: the same op-vector workload driven by the
+  // multi-core ParallelRunner over a sharded 16-CPU WineFS geometry, 1 vs 4
+  // host workers. Modeled outputs must be bit-identical across worker counts
+  // (deterministic merge); only host wall-clock may move, and the speedup
+  // gate in bench_json_check reads host_cores to stay hardware-aware.
+  {
+    constexpr uint32_t kParCpus = 16;
+    constexpr uint64_t kParOps = 200;
+    auto measure = [&](uint32_t workers) -> wload::ParallelResult {
+      auto bed = MakeBed("winefs", 256 * kMiB, /*num_cpus=*/kParCpus,
+                         /*numa_nodes=*/1, /*lock_domains=*/kParCpus);
+      common::ExecContext setup;
+      for (uint32_t t = 0; t < kParCpus; t++) {
+        if (!bed.fs->Mkdir(setup, "/p" + std::to_string(t)).ok()) {
+          return {};
+        }
+      }
+      std::vector<uint8_t> buf(4096, 0x5a);
+      auto op = [&](uint32_t tid, uint64_t i, common::ExecContext& ctx) -> bool {
+        const std::string path =
+            "/p" + std::to_string(tid) + "/f" + std::to_string(i % 8);
+        vfs::OpBatch batch;
+        const size_t open_index = batch.Open(path, vfs::OpenFlags::Create());
+        batch.Append(vfs::FdRef::From(open_index), buf.data(), buf.size());
+        batch.Fsync(vfs::FdRef::From(open_index));
+        batch.Close(vfs::FdRef::From(open_index));
+        batch.Unlink(path);
+        std::vector<vfs::OpResult> results;
+        bed.fs->ExecuteBatch(ctx, batch, results);
+        for (const vfs::OpResult& r : results) {
+          if (!r.ok()) {
+            return false;
+          }
+        }
+        return true;
+      };
+      wload::ParallelRunner runner(kParCpus, kParCpus, setup.clock.NowNs());
+      runner.SetWorkers(workers).SetMode(wload::ParallelRunner::ModeFor(*bed.fs));
+      return runner.Run(kParOps, op);
+    };
+    const wload::ParallelResult w1 = measure(1);
+    const wload::ParallelResult w4 = measure(4);
+    bool par_identical =
+        w1.run.total_ops == w4.run.total_ops && w1.run.wall_ns == w4.run.wall_ns;
+    for (const common::CounterField& field : common::kCounterFields) {
+      if (w1.run.counters.*field.member != w4.run.counters.*field.member) {
+        std::fprintf(stderr, "opperf: host_parallel counter %s diverged\n", field.name);
+        par_identical = false;
+      }
+    }
+    if (!par_identical) {
+      std::fprintf(stderr,
+                   "opperf: host_parallel modeled outputs diverged across workers\n");
+      return 1;
+    }
+    const uint32_t host_cores = std::max(1u, std::thread::hardware_concurrency());
+    const double speedup = w4.host_wall_ns == 0
+                               ? 0.0
+                               : static_cast<double>(w1.host_wall_ns) /
+                                     static_cast<double>(w4.host_wall_ns);
+    report.AddConfig("host_cores", static_cast<double>(host_cores));
+    report.AddMetric("host-parallel", "host_par_wall_w1_ns",
+                     static_cast<double>(w1.host_wall_ns));
+    report.AddMetric("host-parallel", "host_par_wall_w4_ns",
+                     static_cast<double>(w4.host_wall_ns));
+    report.AddMetric("host-parallel", "host_par_speedup_4w", speedup);
+    report.AddMetric("host-parallel", "host_par_hazards",
+                     static_cast<double>(w4.hazards));
+    report.AddMetric("host-parallel", "host_par_workers",
+                     static_cast<double>(w4.workers));
+    std::printf("host_parallel (winefs sharded, %u cpus): %7.2f ms -> %7.2f ms at 4 "
+                "workers (%.2fx on %u host cores)\n",
+                kParCpus, static_cast<double>(w1.host_wall_ns) / 1e6,
+                static_cast<double>(w4.host_wall_ns) / 1e6, speedup, host_cores);
+  }
+
   if (std::getenv("OPPERF_ROUND_LOG") != nullptr) {
     for (const RowState* row : {&scalar_row, &batched_row, &prof_row}) {
       std::printf("rounds %-13s", row->name.c_str());

@@ -12,6 +12,7 @@
 
 #include "src/common/perf_counters.h"
 #include "src/common/prof.h"
+#include "src/common/shard_sync.h"
 #include "src/common/sim_clock.h"
 
 // Observability sinks live in src/obs (which depends on src/common); the
@@ -57,6 +58,11 @@ struct ExecContext {
   // Zone-stack state for the profiler, embedded here so ProfileZone push/pop
   // is a few plain field writes (no indirection on the unattached path).
   ZoneState zones;
+  // Shard-purity hazard sink for host-parallel sharded runs (null outside
+  // them). Filesystems report contract violations — cross-pool allocator
+  // steals, inode-region exhaustion — here instead of silently letting the
+  // modeled outputs become schedule-dependent. Not owned.
+  HazardSink* hazards = nullptr;
 
   // Typed attach helpers that mirror the sink into the ObsSink slot Reset()
   // clears through. Templates so the derived-to-ObsSink conversion happens at

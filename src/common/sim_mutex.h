@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "src/common/exec_context.h"
+#include "src/common/sim_clock.h"
 #include "src/common/prof.h"
 
 namespace common {
@@ -39,7 +40,7 @@ class SimMutex {
   // Names (or renames) the lock site. Setup-time only (e.g. per-CPU pool
   // locks named after geometry is chosen); invalidates any cached handle.
   void set_site(std::string site) {
-    std::lock_guard<std::mutex> guard(mu_);
+    std::lock_guard<SpinMutex> guard(mu_);
     site_ = std::move(site);
     site_owner_ = nullptr;
   }
@@ -90,7 +91,7 @@ class SimMutex {
   }
 
   uint64_t total_wait_ns() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    std::lock_guard<SpinMutex> guard(mu_);
     return wait_ns_;
   }
 
@@ -98,7 +99,7 @@ class SimMutex {
   // don't bleed wait time into each other (ObsSink-reset companion; the
   // attached profiler's per-site aggregates reset through ExecContext::Reset).
   void ResetWaitStats() {
-    std::lock_guard<std::mutex> guard(mu_);
+    std::lock_guard<SpinMutex> guard(mu_);
     wait_ns_ = 0;
     last_wait_ns_ = 0;
   }
@@ -124,7 +125,12 @@ class SimMutex {
   };
   static constexpr int kRingSize = 64;
 
-  mutable std::mutex mu_;
+  // Host lock guarding the ledger AND the caller's modeled critical section
+  // (it is held from Lock() to Unlock(), so the protected data needs no other
+  // host synchronization). A spin lock: under host-parallel sharded execution
+  // every per-CPU journal/pool site is taken at op rate, and the critical
+  // sections are sub-microsecond host work — a futex round trip costs more.
+  mutable SpinMutex mu_;
   // All fields below are guarded by mu_.
   std::string site_;
   std::array<Interval, kRingSize> ring_{};

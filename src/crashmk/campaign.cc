@@ -1,7 +1,10 @@
 #include "src/crashmk/campaign.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "src/aging/geriatrix.h"
@@ -206,9 +209,44 @@ common::Result<CampaignResult> RunCampaign(const CampaignConfig& config) {
     econfig.poison_seed = config.poison_seed;
   }
 
-  Explorer explorer(factory, econfig);
-  for (const Workload& workload : Explorer::GenerateAceWorkloads(config.include_data_ops)) {
-    result.totals.Accumulate(explorer.RunWorkload(workload));
+  const std::vector<Workload> workloads =
+      Explorer::GenerateAceWorkloads(config.include_data_ops);
+  const uint32_t host_workers = std::max<uint32_t>(1, config.host_workers);
+  if (host_workers == 1) {
+    Explorer explorer(factory, econfig);
+    for (const Workload& workload : workloads) {
+      result.totals.Accumulate(explorer.RunWorkload(workload));
+      result.workloads++;
+    }
+    return result;
+  }
+
+  // Host-parallel fan-out: one Explorer per worker, strided workload
+  // assignment, shared striped StateCache (econfig.cache). Per-workload
+  // results land in an index-addressed slot and merge in workload order, so
+  // the report is deterministic given the same claim outcomes.
+  std::vector<ExploreResult> slots(workloads.size());
+  std::vector<std::thread> pool;
+  pool.reserve(host_workers);
+  for (uint32_t w = 0; w < host_workers; w++) {
+    Explorer::Config wconfig = econfig;
+    if (!wconfig.archive_dir.empty()) {
+      wconfig.archive_dir += "/w" + std::to_string(w);
+      std::error_code ec;
+      std::filesystem::create_directories(wconfig.archive_dir, ec);
+    }
+    pool.emplace_back([&, w, wconfig]() {
+      Explorer explorer(factory, wconfig);
+      for (size_t i = w; i < workloads.size(); i += host_workers) {
+        slots[i] = explorer.RunWorkload(workloads[i]);
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  for (const ExploreResult& slot : slots) {
+    result.totals.Accumulate(slot);
     result.workloads++;
   }
   return result;

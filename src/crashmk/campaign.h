@@ -60,6 +60,14 @@ struct CampaignConfig {
   uint64_t poison_seed = 7;
   uint32_t poison_blocks = 2;
 
+  // Host worker threads fanning the ACE workload list out across one
+  // Explorer per worker (strided assignment, shared striped StateCache).
+  // Results merge in workload index order, so totals are identical to the
+  // sequential campaign whenever pruning claims coincide — and counters are
+  // order-independent sums either way. With archiving, each worker writes
+  // into its own archive_dir subdirectory ("w0", "w1", ...).
+  uint32_t host_workers = 1;
+
   // Failure archiving (replayable kCrashState images; see snapctl replay).
   std::string archive_dir;
   bool archive_all = false;

@@ -19,8 +19,10 @@
 #ifndef SRC_CRASHMK_EXPLORER_H_
 #define SRC_CRASHMK_EXPLORER_H_
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -62,15 +64,34 @@ using Workload = std::vector<CrashOp>;
 // Set of crash-image equivalence classes already claimed for oracle replay.
 // Share one cache across the workloads of a campaign (via Config::cache) so
 // identical torn images reached from different workloads — the fixture makes
-// op-start images coincide — are judged exactly once.
+// op-start images coincide — are judged exactly once. Striped by key so
+// host-parallel campaign workers (CampaignConfig::host_workers) claim
+// concurrently without serializing on one map mutex; a key always maps to
+// the same stripe, so claim-exactly-once holds across workers.
 class StateCache {
  public:
   // Claims `key`; true if it was unseen (the caller owns judging it).
-  bool Claim(uint64_t key) { return seen_.insert(key).second; }
-  size_t size() const { return seen_.size(); }
+  bool Claim(uint64_t key) {
+    Stripe& stripe = stripes_[key % kStripes];
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    return stripe.seen.insert(key).second;
+  }
+  size_t size() const {
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> guard(stripe.mu);
+      total += stripe.seen.size();
+    }
+    return total;
+  }
 
  private:
-  std::unordered_set<uint64_t> seen_;
+  static constexpr size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<uint64_t> seen;
+  };
+  std::array<Stripe, kStripes> stripes_;
 };
 
 struct ExploreResult {

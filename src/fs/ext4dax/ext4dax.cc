@@ -182,7 +182,7 @@ vfs::FreeSpaceInfo Ext4Dax::FreeSpace() {
 
 void Ext4Dax::SampleGauges(obs::GaugeSample& out) {
   GenericFs::SampleGauges(out);
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   SetRunHistogramGauges(free_.RunHistogram(), out);
   out.Set("journal_dirty_blocks", static_cast<double>(dirty_meta_blocks_.size()));
   out.Set("journal_cursor_blocks", static_cast<double>(journal_cursor_));

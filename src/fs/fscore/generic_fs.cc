@@ -57,7 +57,10 @@ uint64_t Log2Ceil(uint64_t value) {
 }  // namespace
 
 GenericFs::GenericFs(pmem::PmemDevice* device, FsOptions options)
-    : device_(device), options_(options) {
+    : device_(device),
+      options_(options),
+      vfs_shared_(options.lock_domains),
+      dram_mu_(options.lock_domains) {
   fds_.resize(4096);
 }
 
@@ -80,15 +83,20 @@ uint64_t GenericFs::InodePmOffset(InodeNum ino) const {
 }
 
 Inode* GenericFs::GetInode(InodeNum ino) {
+  std::lock_guard<common::SpinMutex> table_guard(table_mu_);
   auto it = inodes_.find(ino);
   return it == inodes_.end() ? nullptr : it->second.get();
 }
 
 Inode* GenericFs::GetInodeByFd(int fd) {
+  // Single table_mu_ hold for the fd slot AND the inode lookup (the spin
+  // lock is not recursive, so this cannot route through GetInode).
+  std::lock_guard<common::SpinMutex> table_guard(table_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
     return nullptr;
   }
-  return GetInode(fds_[fd].ino);
+  auto it = inodes_.find(fds_[fd].ino);
+  return it == inodes_.end() ? nullptr : it->second.get();
 }
 
 FreeSpaceMap GenericFs::FullDataArea() const {
@@ -108,7 +116,7 @@ Result<std::vector<Extent>> GenericFs::AllocBlocksTraced(ExecContext& ctx, Inode
 Result<vfs::FreeSpaceInfo> GenericFs::StatFs(ExecContext& ctx) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "statfs");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   if (!mounted_) {
     return ErrorCode::kBadFd;
   }
@@ -116,7 +124,7 @@ Result<vfs::FreeSpaceInfo> GenericFs::StatFs(ExecContext& ctx) {
 }
 
 void GenericFs::SampleGauges(obs::GaugeSample& out) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   if (!mounted_) {
     return;  // nothing meaningful before Mount/after Unmount
   }
@@ -140,7 +148,7 @@ void GenericFs::SetRunHistogramGauges(const FreeSpaceMap::RunLengthHistogram& hi
 // --- Lifecycle --------------------------------------------------------------
 
 Status GenericFs::Mkfs(ExecContext& ctx) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   total_blocks_ = device_->size() / kBlockSize;
   journal_start_block_ = 1;
   const uint64_t inode_blocks =
@@ -197,7 +205,7 @@ Status GenericFs::Mkfs(ExecContext& ctx) {
 }
 
 Status GenericFs::Mount(ExecContext& ctx) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   const uint64_t t0 = ctx.clock.NowNs();
   auto primary = device_->TryLoadStruct<PmSuperblock>(ctx, 0);
   PmSuperblock sb;
@@ -252,7 +260,7 @@ Status GenericFs::Mount(ExecContext& ctx) {
 }
 
 Status GenericFs::Unmount(ExecContext& ctx) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   if (!mounted_) {
     return Status(ErrorCode::kInvalidArgument);
   }
@@ -616,6 +624,7 @@ Status GenericFs::RemoveDirent(ExecContext& ctx, Inode& dir, const std::string& 
 
 Result<InodeNum> GenericFs::AllocInodeNum(ExecContext& ctx) {
   (void)ctx;
+  std::lock_guard<common::SpinMutex> table_guard(table_mu_);
   if (free_inos_.empty()) {
     return ErrorCode::kNoSpace;
   }
@@ -624,7 +633,10 @@ Result<InodeNum> GenericFs::AllocInodeNum(ExecContext& ctx) {
   return ino;
 }
 
-void GenericFs::FreeInodeNum(InodeNum ino) { free_inos_.push_back(ino); }
+void GenericFs::FreeInodeNum(InodeNum ino) {
+  std::lock_guard<common::SpinMutex> table_guard(table_mu_);
+  free_inos_.push_back(ino);
+}
 
 // --- Node creation/removal ------------------------------------------------------
 
@@ -640,14 +652,20 @@ Result<Inode*> GenericFs::CreateNode(ExecContext& ctx, Inode& parent, const std:
     inode->aligned_hint = true;
   }
   Inode* raw = inode.get();
-  inodes_[ino] = std::move(inode);
+  {
+    std::lock_guard<common::SpinMutex> table_guard(table_mu_);
+    inodes_[ino] = std::move(inode);
+  }
 
   TxBegin(ctx);
   PersistInode(ctx, *raw);
   const Status add = AddDirent(ctx, parent, name, ino, is_dir);
   if (!add.ok()) {
     TxCommit(ctx);
-    inodes_.erase(ino);
+    {
+      std::lock_guard<common::SpinMutex> table_guard(table_mu_);
+      inodes_.erase(ino);
+    }
     FreeInodeNum(ino);
     return add;
   }
@@ -715,7 +733,10 @@ Status GenericFs::RemoveNode(ExecContext& ctx, Inode& parent, const std::string&
     PmInode dead;
     TxMetaWrite(ctx, node->ino, InodePmOffset(node->ino), &dead, sizeof(dead));
     const InodeNum ino = node->ino;
-    inodes_.erase(ino);
+    {
+      std::lock_guard<common::SpinMutex> table_guard(table_mu_);
+      inodes_.erase(ino);
+    }
     FreeInodeNum(ino);
     inode_locks_.Drop(ino);
   } else {
@@ -730,7 +751,7 @@ Status GenericFs::RemoveNode(ExecContext& ctx, Inode& parent, const std::string&
 Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::OpenFlags flags) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "open");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   Inode* node = res.node;
   if (node == nullptr) {
@@ -755,6 +776,7 @@ Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::Open
       TxCommit(ctx);
     }
   }
+  std::lock_guard<common::SpinMutex> table_guard(table_mu_);
   for (size_t fd = 0; fd < fds_.size(); fd++) {
     if (!fds_[fd].in_use) {
       fds_[fd] = FdEntry{node->ino, flags.write(), true};
@@ -767,7 +789,8 @@ Result<int> GenericFs::Open(ExecContext& ctx, const std::string& path, vfs::Open
 Status GenericFs::Close(ExecContext& ctx, int fd) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "close");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
+  std::lock_guard<common::SpinMutex> table_guard(table_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
     return Status(ErrorCode::kBadFd);
   }
@@ -778,7 +801,7 @@ Status GenericFs::Close(ExecContext& ctx, int fd) {
 Status GenericFs::Mkdir(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "mkdir");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node != nullptr) {
     return Status(ErrorCode::kExists);
@@ -791,7 +814,7 @@ Status GenericFs::Mkdir(ExecContext& ctx, const std::string& path) {
 Status GenericFs::Rmdir(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "rmdir");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
     return Status(ErrorCode::kNotFound);
@@ -803,7 +826,7 @@ Status GenericFs::Rmdir(ExecContext& ctx, const std::string& path) {
 Status GenericFs::Unlink(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "unlink");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
     return Status(ErrorCode::kNotFound);
@@ -815,7 +838,7 @@ Status GenericFs::Unlink(ExecContext& ctx, const std::string& path) {
 Status GenericFs::Rename(ExecContext& ctx, const std::string& from, const std::string& to) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "rename");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult src, Resolve(ctx, from, /*want_parent=*/true));
   if (src.node == nullptr) {
     return Status(ErrorCode::kNotFound);
@@ -866,7 +889,7 @@ Status GenericFs::Rename(ExecContext& ctx, const std::string& from, const std::s
 Result<vfs::StatInfo> GenericFs::Stat(ExecContext& ctx, const std::string& path) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "stat");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   auto res = path == "/" ? Resolve(ctx, path, false) : Resolve(ctx, path, true);
   if (!res.ok()) {
     return res.status();
@@ -887,7 +910,7 @@ Result<std::vector<vfs::DirEntry>> GenericFs::ReadDir(ExecContext& ctx,
                                                       const std::string& path) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "stat");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   auto res = path == "/" ? Resolve(ctx, path, false) : Resolve(ctx, path, true);
   if (!res.ok()) {
     return res.status();
@@ -1020,7 +1043,7 @@ vfs::IoResult GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint6
                                 uint64_t offset) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "pwrite");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return ErrorCode::kBadFd;
@@ -1038,7 +1061,7 @@ vfs::IoResult GenericFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint6
 vfs::IoResult GenericFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "append");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return ErrorCode::kBadFd;
@@ -1063,7 +1086,7 @@ vfs::IoResult GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t len
                                uint64_t offset) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "pread");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return ErrorCode::kBadFd;
@@ -1104,7 +1127,7 @@ vfs::IoResult GenericFs::Pread(ExecContext& ctx, int fd, void* dst, uint64_t len
 Status GenericFs::Fsync(ExecContext& ctx, int fd) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "fsync");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return Status(ErrorCode::kBadFd);
@@ -1119,7 +1142,7 @@ Status GenericFs::Fsync(ExecContext& ctx, int fd) {
 Status GenericFs::Fallocate(ExecContext& ctx, int fd, uint64_t offset, uint64_t len) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "fallocate");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return Status(ErrorCode::kBadFd);
@@ -1142,7 +1165,7 @@ Status GenericFs::Fallocate(ExecContext& ctx, int fd, uint64_t offset, uint64_t 
 Status GenericFs::Ftruncate(ExecContext& ctx, int fd, uint64_t size) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "ftruncate");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return Status(ErrorCode::kBadFd);
@@ -1182,7 +1205,7 @@ Status GenericFs::SetXattr(ExecContext& ctx, const std::string& path, const std:
                            const std::string& value) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "setxattr");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
     return Status(ErrorCode::kNotFound);
@@ -1203,7 +1226,7 @@ Result<std::string> GenericFs::GetXattr(ExecContext& ctx, const std::string& pat
                                         const std::string& name) {
   ChargeSyscall(ctx);
   obs::OpScope op_scope(ctx, Name(), "getxattr");
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   ASSIGN_OR_RETURN(ResolveResult res, Resolve(ctx, path, /*want_parent=*/true));
   if (res.node == nullptr) {
     return ErrorCode::kNotFound;
@@ -1219,7 +1242,7 @@ Result<std::string> GenericFs::GetXattr(ExecContext& ctx, const std::string& pat
 
 Result<InodeNum> GenericFs::InodeOf(ExecContext& ctx, int fd) {
   (void)ctx;
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return ErrorCode::kBadFd;
@@ -1229,7 +1252,7 @@ Result<InodeNum> GenericFs::InodeOf(ExecContext& ctx, int fd) {
 
 Result<uint64_t> GenericFs::SizeOf(ExecContext& ctx, int fd) {
   (void)ctx;
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return ErrorCode::kBadFd;
@@ -1240,7 +1263,7 @@ Result<uint64_t> GenericFs::SizeOf(ExecContext& ctx, int fd) {
 Result<vmem::FaultHandler::FaultMapping> GenericFs::HandleFault(ExecContext& ctx, uint64_t ino,
                                                                 uint64_t page_offset,
                                                                 bool write) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   Inode* inode = GetInode(ino);
   if (inode == nullptr) {
     return ErrorCode::kNotFound;
@@ -1325,7 +1348,7 @@ Result<vmem::FaultHandler::FaultMapping> GenericFs::HandleFault(ExecContext& ctx
 // --- Introspection --------------------------------------------------------------------
 
 uint64_t GenericFs::DramIndexBytes() const {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   uint64_t bytes = 0;
   for (const auto& [ino, inode] : inodes_) {
     bytes += 128;  // base inode object
@@ -1337,7 +1360,7 @@ uint64_t GenericFs::DramIndexBytes() const {
 }
 
 const Inode* GenericFs::FindInode(InodeNum ino) const {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<DomainMutex> guard(dram_mu_);
   auto it = inodes_.find(ino);
   return it == inodes_.end() ? nullptr : it->second.get();
 }

@@ -42,6 +42,54 @@ struct FsOptions {
   // allocators whose bookkeeping headers shift all data off 2 MiB alignment
   // (xfs-DAX / PMFS, paper footnote 1).
   uint64_t data_phase_blocks = 0;
+  // Host-parallel lock domains for the VFS front end: the DRAM-structure
+  // mutex and the shared VFS syscall path are striped this many ways, keyed
+  // by ExecContext::cpu. 1 (the default) preserves the historical
+  // single-domain behavior — including the global per-syscall cap that
+  // creates the Fig 10 plateau — bit-for-bit. Parallel geometries set it to
+  // num_cpus so host workers driving disjoint CPU shards stop serializing on
+  // one mutex. Only meaningful with >1 when the workload honors the
+  // shard-purity contract (DESIGN.md).
+  uint32_t lock_domains = 1;
+};
+
+// Striped host lock for the DRAM metadata structures. Operations that carry
+// an ExecContext lock only their CPU's stripe (Stripe(ctx.cpu)); cross-domain
+// paths — mount/unmount, StatFs, gauge probes — lock every stripe via the
+// BasicLockable surface. Deadlock-free: lock() acquires stripes in ascending
+// index order, and a single-stripe holder never blocks on a second stripe
+// (same-CPU recursion re-enters its own recursive_mutex). With one domain the
+// two forms collapse to the pre-striping single recursive mutex.
+class DomainMutex {
+ public:
+  explicit DomainMutex(uint32_t domains = 1) {
+    if (domains == 0) {
+      domains = 1;
+    }
+    stripes_.reserve(domains);
+    for (uint32_t d = 0; d < domains; d++) {
+      stripes_.push_back(std::make_unique<std::recursive_mutex>());
+    }
+  }
+
+  void lock() const {
+    for (auto& stripe : stripes_) {
+      stripe->lock();
+    }
+  }
+  void unlock() const {
+    for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) {
+      (*it)->unlock();
+    }
+  }
+
+  std::recursive_mutex& Stripe(uint32_t cpu) const {
+    return *stripes_[cpu % stripes_.size()];
+  }
+  uint32_t domains() const { return static_cast<uint32_t>(stripes_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<std::recursive_mutex>> stripes_;
 };
 
 // Why a block allocation is happening; policies treat these differently.
@@ -331,10 +379,16 @@ class GenericFs : public vfs::FileSystem {
   uint64_t data_start_block_ = 0;
   uint64_t data_blocks_ = 0;
 
-  // Coarse real-time lock for DRAM structures. Simulated-time contention is
-  // modeled separately (SimMutex / ResourceClock); this mutex only provides
-  // host-thread safety.
-  mutable std::recursive_mutex dram_mu_;
+  // Real-time lock for DRAM structures, striped by FsOptions::lock_domains.
+  // Simulated-time contention is modeled separately (SimMutex /
+  // ResourceClock); this mutex only provides host-thread safety. Per-op code
+  // paths hold Stripe(ctx.cpu); cross-domain paths lock all stripes.
+  mutable DomainMutex dram_mu_;
+
+  // Guard for per-op single-stripe locking: the overwhelmingly common form
+  // `std::lock_guard<std::recursive_mutex> guard(dram_mu_.Stripe(ctx.cpu))`
+  // spelled as one token for the op surface.
+  using DramStripeGuard = std::lock_guard<std::recursive_mutex>;
 
  private:
   struct FdEntry {
@@ -372,6 +426,13 @@ class GenericFs : public vfs::FileSystem {
   std::unordered_map<vfs::InodeNum, std::unique_ptr<Inode>> inodes_;
   std::vector<vfs::InodeNum> free_inos_;
   std::vector<FdEntry> fds_;
+  // Structural guard for the three shared tables above when lock domains > 1:
+  // stripes make dram_mu_ no longer mutually exclusive across CPUs, so map
+  // insert/erase/find, the free-ino stack, and fd slot claim/release take
+  // this spin lock for their (host-nanosecond) critical sections.
+  // unordered_map node stability keeps handed-out Inode* valid afterwards.
+  // Never held while calling anything that could re-enter it.
+  mutable common::SpinMutex table_mu_;
   bool mounted_ = false;
   uint64_t last_mount_ns_ = 0;
 };

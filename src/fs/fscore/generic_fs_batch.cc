@@ -107,9 +107,10 @@ void GenericFs::ExecuteBatchNative(ExecContext& ctx, const vfs::OpBatch& batch,
                                    std::vector<vfs::OpResult>& results) {
   results.clear();
   results.resize(batch.size());
-  // One host-lock round trip for the whole batch (dram_mu_ is recursive, so
-  // scalar-dispatched ops re-entering the public virtuals still work).
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  // One host-lock round trip for the whole batch (the stripe is recursive, so
+  // scalar-dispatched ops re-entering the public virtuals still work; those
+  // re-lock the SAME stripe since they run under the same ctx.cpu).
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
 
   BumpArena arena;
 
@@ -307,13 +308,16 @@ void GenericFs::ExecuteBatchNative(ExecContext& ctx, const vfs::OpBatch& batch,
           break;
         }
         bool placed = false;
-        for (size_t fd = 0; fd < fds_.size(); fd++) {
-          if (!fds_[fd].in_use) {
-            fds_[fd] = FdEntry{node->ino, op.flags.write(), true};
-            fd_cache[fd] = node;
-            out.value = fd;
-            placed = true;
-            break;
+        {
+          std::lock_guard<common::SpinMutex> table_guard(table_mu_);
+          for (size_t fd = 0; fd < fds_.size(); fd++) {
+            if (!fds_[fd].in_use) {
+              fds_[fd] = FdEntry{node->ino, op.flags.write(), true};
+              fd_cache[fd] = node;
+              out.value = fd;
+              placed = true;
+              break;
+            }
           }
         }
         if (!placed) {
@@ -331,6 +335,7 @@ void GenericFs::ExecuteBatchNative(ExecContext& ctx, const vfs::OpBatch& batch,
         const int fd = *resolved;
         ChargeSyscall(ctx);
         obs::OpScope op_scope(ctx, Name(), "close");
+        std::lock_guard<common::SpinMutex> table_guard(table_mu_);
         if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].in_use) {
           out.status = Status(ErrorCode::kBadFd);
           break;

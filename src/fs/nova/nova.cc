@@ -31,15 +31,15 @@ Nova::Nova(pmem::PmemDevice* device, NovaOptions options)
 
 void Nova::InitAllocator(uint64_t data_start, uint64_t nblocks) {
   cpu_free_.clear();
-  tx_depth_ = 0;
-  deferred_frees_.clear();
   const uint32_t ncpu = std::max<uint32_t>(1, options_.num_cpus);
+  tx_slots_.assign(ncpu, TxSlot{});
   const uint64_t per_cpu = nblocks / ncpu;
   for (uint32_t cpu = 0; cpu < ncpu; cpu++) {
     auto f = std::make_unique<CpuFree>();
     f->start_block = data_start + cpu * per_cpu;
     f->num_blocks = cpu == ncpu - 1 ? nblocks - cpu * per_cpu : per_cpu;
     f->map.Release(f->start_block, f->num_blocks);
+    f->SyncCount();
     cpu_free_.push_back(std::move(f));
   }
 }
@@ -60,6 +60,9 @@ void Nova::RebuildAllocator(ExecContext& ctx, fscore::FreeSpaceMap&& free_map) {
       cursor += span;
       remaining -= span;
     }
+  }
+  for (auto& f : cpu_free_) {
+    f->SyncCount();
   }
   // Per-inode log page ownership is not recorded in the generic on-PM inode;
   // after a remount, logs restart lazily on the next operation. (The real
@@ -86,43 +89,51 @@ Result<std::vector<Extent>> Nova::AllocBlocks(ExecContext& ctx, Inode& inode, ui
 
   auto take = [&](CpuFree& f, uint64_t want) -> std::optional<Extent> {
     common::SimMutex::Guard guard(f.lock, ctx);
+    std::optional<Extent> got;
     // NOVA tries aligned extents only for exact 2 MiB-multiple data requests.
     if (intent == AllocIntent::kFileData && nblocks % kBlocksPerHugepage == 0 &&
         want >= kBlocksPerHugepage) {
-      if (auto ext = f.map.AllocAligned(kBlocksPerHugepage)) {
-        return ext;
-      }
+      got = f.map.AllocAligned(kBlocksPerHugepage);
     }
     // Per-inode log pages and dirent blocks reuse the smallest free holes
     // (recycled log space). They live as long as their file, pinning scattered
     // holes open — the fragmentation WineFS's contained-metadata layout avoids
     // (§2.6, §3.4 "NOVA has a per-file log that causes fragmentation").
-    if (intent == AllocIntent::kLogPage || intent == AllocIntent::kDirData ||
-        intent == AllocIntent::kMeta) {
-      if (auto ext = f.map.AllocBestFit(want)) {
-        return ext;
+    if (!got && (intent == AllocIntent::kLogPage || intent == AllocIntent::kDirData ||
+                 intent == AllocIntent::kMeta)) {
+      got = f.map.AllocBestFit(want);
+    }
+    if (!got) {
+      got = f.map.AllocFirstFit(want, 0);
+    }
+    if (!got) {
+      const uint64_t largest = f.map.LargestRun();
+      if (largest > 0) {
+        got = f.map.AllocFirstFit(std::min(want, largest), 0);
       }
     }
-    if (auto ext = f.map.AllocFirstFit(want, 0)) {
-      return ext;
+    if (got) {
+      f.SyncCount();
     }
-    const uint64_t largest = f.map.LargestRun();
-    if (largest == 0) {
-      return std::nullopt;
-    }
-    return f.map.AllocFirstFit(std::min(want, largest), 0);
+    return got;
   };
 
   while (remaining > 0) {
     std::optional<Extent> ext = take(*cpu_free_[cpu], remaining);
     if (!ext.has_value()) {
-      // Steal from the CPU with the most free space.
+      // Steal from the CPU with the most free space. The scan reads the
+      // relaxed mirrors (stale-but-safe under host-parallel shards);
+      // cross-shard stealing is a shard-purity hazard, so note it.
+      if (ctx.hazards != nullptr) {
+        ctx.hazards->Note("nova.steal");
+      }
       size_t best = cpu;
       uint64_t best_free = 0;
       for (size_t i = 0; i < cpu_free_.size(); i++) {
-        if (cpu_free_[i]->map.free_blocks() > best_free) {
+        const uint64_t fr = cpu_free_[i]->free_count.load(std::memory_order_relaxed);
+        if (fr > best_free) {
           best = i;
-          best_free = cpu_free_[i]->map.free_blocks();
+          best_free = fr;
         }
       }
       if (best_free == 0) {
@@ -145,28 +156,29 @@ Result<std::vector<Extent>> Nova::AllocBlocks(ExecContext& ctx, Inode& inode, ui
 }
 
 void Nova::FreeBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
-  if (tx_depth_ > 0) {
+  TxSlot& tx = Tx(ctx);
+  if (tx.depth > 0) {
     // Epoch-based reclamation: inside a transaction the blocks may still be
     // referenced by the pre-crash metadata image (e.g. the data blocks of a
     // rename-overwritten target). Handing them to the allocator now would let
     // a log-page allocation later in the same operation scribble over them —
     // a crash between those two points then recovers the old inode pointing
     // at reused blocks. Real NOVA frees only after the transaction commits.
-    deferred_frees_.insert(deferred_frees_.end(), extents.begin(), extents.end());
+    tx.deferred_frees.insert(tx.deferred_frees.end(), extents.begin(), extents.end());
     return;
   }
   ReleaseBlocks(ctx, extents);
 }
 
 void Nova::TxBegin(ExecContext& ctx) {
-  (void)ctx;
-  tx_depth_++;
+  Tx(ctx).depth++;
 }
 
 void Nova::TxCommit(ExecContext& ctx) {
-  if (tx_depth_ > 0 && --tx_depth_ == 0 && !deferred_frees_.empty()) {
+  TxSlot& tx = Tx(ctx);
+  if (tx.depth > 0 && --tx.depth == 0 && !tx.deferred_frees.empty()) {
     std::vector<Extent> frees;
-    frees.swap(deferred_frees_);
+    frees.swap(tx.deferred_frees);
     ReleaseBlocks(ctx, frees);
   }
 }
@@ -181,6 +193,7 @@ void Nova::ReleaseBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
       const uint64_t span = std::min(remaining, f.start_block + f.num_blocks - cursor);
       common::SimMutex::Guard guard(f.lock, ctx);
       f.map.Release(cursor, span);
+      f.SyncCount();
       cursor += span;
       remaining -= span;
     }
@@ -236,7 +249,7 @@ void Nova::MaybeGarbageCollect(ExecContext& ctx, Inode& inode) {
   }
   // Compact: copy live entries into fresh pages, free the old ones. Modeled
   // as copying half the log; this is NOVA's GC interference (§2.6/§6).
-  gc_runs_++;
+  gc_runs_.fetch_add(1, std::memory_order_relaxed);
   const size_t keep = nopts_.gc_log_pages / 2;
   std::vector<Extent> dead(inode.log_pages.begin(),
                            inode.log_pages.end() - static_cast<long>(keep));
@@ -361,7 +374,7 @@ vfs::FreeSpaceInfo Nova::FreeSpace() {
 
 void Nova::SampleGauges(obs::GaugeSample& out) {
   GenericFs::SampleGauges(out);
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   fscore::FreeSpaceMap::RunLengthHistogram hist;
   uint64_t min_free = UINT64_MAX;
   uint64_t max_free = 0;

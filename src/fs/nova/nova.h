@@ -9,6 +9,7 @@
 #ifndef SRC_FS_NOVA_NOVA_H_
 #define SRC_FS_NOVA_NOVA_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,11 @@ class Nova : public fscore::GenericFs {
   std::string_view Name() const override {
     return options_.mode == vfs::GuaranteeMode::kStrict ? "nova" : "nova-relaxed";
   }
+  // Per-CPU free lists + per-CPU logs: safe for free-running host shards
+  // under the shard-purity contract (cross-CPU stealing notes a hazard).
+  vfs::ParallelPolicy parallel_policy() const override {
+    return vfs::ParallelPolicy::kSharded;
+  }
   vfs::FreeSpaceInfo FreeSpace() override;
 
   // Adds the summed per-CPU free-run histogram, per-CPU free-list balance
@@ -40,7 +46,7 @@ class Nova : public fscore::GenericFs {
   // to the base gauges.
   void SampleGauges(obs::GaugeSample& out) override;
 
-  uint64_t gc_runs() const { return gc_runs_; }
+  uint64_t gc_runs() const { return gc_runs_.load(std::memory_order_relaxed); }
 
  protected:
   common::Result<std::vector<fscore::Extent>> AllocBlocks(common::ExecContext& ctx,
@@ -88,6 +94,14 @@ class Nova : public fscore::GenericFs {
     uint64_t num_blocks = 0;
     fscore::FreeSpaceMap map;
     common::SimMutex lock{"nova.cpufree"};
+    // Relaxed mirror of map.free_blocks(), refreshed under `lock`; the
+    // cross-CPU steal scan reads it so scans racing other shards are
+    // stale-but-safe, never a data race.
+    std::atomic<uint64_t> free_count{0};
+
+    void SyncCount() {
+      free_count.store(map.free_blocks(), std::memory_order_relaxed);
+    }
   };
 
   void AppendLogEntry(common::ExecContext& ctx, fscore::Inode& inode);
@@ -99,9 +113,19 @@ class Nova : public fscore::GenericFs {
 
   NovaOptions nopts_;
   std::vector<std::unique_ptr<CpuFree>> cpu_free_;
-  uint64_t gc_runs_ = 0;
-  uint32_t tx_depth_ = 0;
-  std::vector<fscore::Extent> deferred_frees_;
+  std::atomic<uint64_t> gc_runs_{0};
+
+  // Per-CPU transaction slot: a CPU's ops are serialized by its dram stripe,
+  // so depth/deferred frees never see concurrent begin..commit interleaving,
+  // while other CPUs run their own epochs concurrently.
+  struct TxSlot {
+    uint32_t depth = 0;
+    std::vector<fscore::Extent> deferred_frees;
+  };
+  std::vector<TxSlot> tx_slots_{1};
+  TxSlot& Tx(const common::ExecContext& ctx) {
+    return tx_slots_[ctx.cpu % tx_slots_.size()];
+  }
 };
 
 }  // namespace nova

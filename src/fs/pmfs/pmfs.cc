@@ -314,7 +314,7 @@ vfs::FreeSpaceInfo Pmfs::FreeSpace() {
 
 void Pmfs::SampleGauges(obs::GaugeSample& out) {
   GenericFs::SampleGauges(out);
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   SetRunHistogramGauges(free_.RunHistogram(), out);
   const uint64_t capacity = JournalCapacityEntries();
   out.Set("journal_entries_written", static_cast<double>(journal_cursor_entries_));

@@ -17,17 +17,23 @@
 
 namespace fsreg {
 
+// `lock_domains` shards the VFS front end (per-CPU dentry/fd lock domains)
+// for host-parallel sharded runs; the default of 1 keeps the historical
+// global-critical-section model bit-for-bit (see vfs::VfsSharedPath).
 inline std::unique_ptr<vfs::FileSystem> Create(const std::string& name,
                                                pmem::PmemDevice* device,
-                                               uint32_t num_cpus = 4) {
+                                               uint32_t num_cpus = 4,
+                                               uint32_t lock_domains = 1) {
   if (name == "winefs") {
     winefs::WineFsOptions options;
     options.base.num_cpus = num_cpus;
+    options.base.lock_domains = lock_domains;
     return std::make_unique<winefs::WineFs>(device, options);
   }
   if (name == "winefs-relaxed") {
     winefs::WineFsOptions options;
     options.base.num_cpus = num_cpus;
+    options.base.lock_domains = lock_domains;
     options.base.mode = vfs::GuaranteeMode::kRelaxed;
     return std::make_unique<winefs::WineFs>(device, options);
   }
@@ -50,11 +56,13 @@ inline std::unique_ptr<vfs::FileSystem> Create(const std::string& name,
   if (name == "nova") {
     nova::NovaOptions options;
     options.base.num_cpus = num_cpus;
+    options.base.lock_domains = lock_domains;
     return std::make_unique<nova::Nova>(device, options);
   }
   if (name == "nova-relaxed") {
     nova::NovaOptions options;
     options.base.num_cpus = num_cpus;
+    options.base.lock_domains = lock_domains;
     options.base.mode = vfs::GuaranteeMode::kRelaxed;
     return std::make_unique<nova::Nova>(device, options);
   }
@@ -64,6 +72,7 @@ inline std::unique_ptr<vfs::FileSystem> Create(const std::string& name,
   if (name == "strata") {
     nova::NovaOptions options;
     options.base.num_cpus = num_cpus;
+    options.base.lock_domains = lock_domains;
     return std::make_unique<strata::Strata>(device, options);
   }
   return nullptr;

@@ -18,7 +18,7 @@ constexpr uint64_t kUserPathNs = 180;
 
 vfs::IoResult SplitFs::Append(ExecContext& ctx, int fd, const void* src, uint64_t len) {
   ctx.clock.Advance(kUserPathNs);
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return common::ErrorCode::kBadFd;
@@ -40,7 +40,7 @@ vfs::IoResult SplitFs::Append(ExecContext& ctx, int fd, const void* src, uint64_
 vfs::IoResult SplitFs::Pwrite(ExecContext& ctx, int fd, const void* src, uint64_t len,
                               uint64_t offset) {
   ctx.clock.Advance(kUserPathNs);
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   Inode* inode = GetInodeByFd(fd);
   if (inode == nullptr) {
     return common::ErrorCode::kBadFd;

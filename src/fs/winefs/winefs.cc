@@ -58,6 +58,10 @@ void WineFs::SetupPoolGeometry(uint64_t data_start, uint64_t nblocks) {
     }
     pools_.push_back(std::move(pool));
   }
+  // One tx/staging slot per CPU: a CPU's ops are serialized by its dram
+  // stripe, so a slot never sees concurrent begin..commit interleaving.
+  tx_slots_.assign(pools_.size(), TxSlot{});
+  stage_slots_ = std::vector<StageSlot>(pools_.size());
 }
 
 void WineFs::InitAllocator(uint64_t data_start, uint64_t nblocks) {
@@ -83,6 +87,7 @@ void WineFs::InitAllocator(uint64_t data_start, uint64_t nblocks) {
     } else {
       pool->holes.Release(pool->start_block, pool->num_blocks);
     }
+    pool->SyncCounts();
   }
   // Fresh journals.
   std::memset(device_->raw_span(journal_start_block_ * kBlockSize,
@@ -125,6 +130,9 @@ void WineFs::RebuildAllocator(ExecContext& ctx, fscore::FreeSpaceMap&& free_map)
       remaining -= span;
     }
   }
+  for (auto& pool : pools_) {
+    pool->SyncCounts();
+  }
 }
 
 uint32_t WineFs::PoolIndexFor(ExecContext& ctx) {
@@ -150,15 +158,21 @@ uint32_t WineFs::PoolIndexFor(ExecContext& ctx) {
 }
 
 uint32_t WineFs::HomeNodeFor(ExecContext& ctx) {
-  auto it = home_node_.find(ctx.pid);
-  if (it != home_node_.end()) {
-    return it->second;
+  {
+    std::lock_guard<common::SpinMutex> guard(home_mu_);
+    auto it = home_node_.find(ctx.pid);
+    if (it != home_node_.end()) {
+      return it->second;
+    }
   }
-  // First create/write: pick the NUMA node with the most free space.
+  // First create/write: pick the NUMA node with the most free space. Reads
+  // the relaxed free-space mirrors so a concurrent shard's allocation only
+  // makes the placement heuristic stale, never racy.
   std::map<uint32_t, uint64_t> free_per_node;
   for (const auto& pool : pools_) {
     free_per_node[pool->numa_node] +=
-        pool->holes.free_blocks() + pool->aligned.size() * kBlocksPerHugepage;
+        pool->hole_free_count.load(std::memory_order_relaxed) +
+        pool->aligned_count.load(std::memory_order_relaxed) * kBlocksPerHugepage;
   }
   uint32_t best = 0;
   uint64_t best_free = 0;
@@ -168,6 +182,10 @@ uint32_t WineFs::HomeNodeFor(ExecContext& ctx) {
       best_free = free;
     }
   }
+  if (ctx.hazards != nullptr) {
+    ctx.hazards->Note("winefs.numa_home");
+  }
+  std::lock_guard<common::SpinMutex> guard(home_mu_);
   home_node_[ctx.pid] = best;
   return best;
 }
@@ -191,14 +209,20 @@ std::optional<uint64_t> WineFs::TakeAlignedChunk(ExecContext& ctx, uint32_t cpu)
     if (!local.aligned.empty()) {
       const uint64_t chunk = local.aligned.front();
       local.aligned.pop_front();
+      local.SyncCounts();
       return chunk;
     }
   }
   // Local pool dry: steal from the CPU with the most free aligned extents.
+  // The scan reads the relaxed mirrors (stale-but-safe under host-parallel
+  // shards); cross-shard stealing is a shard-purity hazard, so note it.
+  if (ctx.hazards != nullptr) {
+    ctx.hazards->Note("winefs.steal_aligned");
+  }
   size_t best = pools_.size();
   size_t best_count = 0;
   for (size_t i = 0; i < pools_.size(); i++) {
-    const size_t count = pools_[i]->aligned.size();
+    const size_t count = pools_[i]->aligned_count.load(std::memory_order_relaxed);
     if (count > best_count) {
       best = i;
       best_count = count;
@@ -214,6 +238,7 @@ std::optional<uint64_t> WineFs::TakeAlignedChunk(ExecContext& ctx, uint32_t cpu)
   }
   const uint64_t chunk = victim.aligned.front();
   victim.aligned.pop_front();
+  victim.SyncCounts();
   return chunk;
 }
 
@@ -233,19 +258,25 @@ std::optional<Extent> WineFs::TakeHoleBlocks(ExecContext& ctx, uint32_t cpu, uin
     const uint64_t start = it->first;
     const uint64_t take = std::min(it->second, want);
     pool.holes.ReserveRange(start, take);
+    pool.SyncCounts();
     return Extent{start, take};
   };
 
   if (auto ext = take_from(*pools_[cpu])) {
     return ext;
   }
-  // Steal from the pool with the most free hole space.
+  // Steal from the pool with the most free hole space (relaxed mirrors;
+  // cross-shard steal is a shard-purity hazard).
+  if (ctx.hazards != nullptr) {
+    ctx.hazards->Note("winefs.steal_holes");
+  }
   size_t best = cpu;
   uint64_t best_free = 0;
   for (size_t i = 0; i < pools_.size(); i++) {
-    if (pools_[i]->holes.free_blocks() > best_free) {
+    const uint64_t f = pools_[i]->hole_free_count.load(std::memory_order_relaxed);
+    if (f > best_free) {
       best = i;
-      best_free = pools_[i]->holes.free_blocks();
+      best_free = f;
     }
   }
   if (best_free > 0) {
@@ -259,6 +290,7 @@ std::optional<Extent> WineFs::TakeHoleBlocks(ExecContext& ctx, uint32_t cpu, uin
     {
       common::SimMutex::Guard guard(pool.lock, ctx);
       pool.holes.Release(*chunk, kBlocksPerHugepage);
+      pool.SyncCounts();
     }
     return take_from(pool);
   }
@@ -328,6 +360,7 @@ void WineFs::ReleaseToPool(ExecContext& ctx, const Extent& extent) {
   if (wopts_.alignment_aware) {
     ExtractAlignedFromHoles(pool, extent.phys_block);
   }
+  pool.SyncCounts();
 }
 
 void WineFs::FreeBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
@@ -351,16 +384,17 @@ void WineFs::FreeBlocks(ExecContext& ctx, const std::vector<Extent>& extents) {
 // --- Journaling ----------------------------------------------------------------
 
 void WineFs::StageEntryStore(ExecContext& ctx, uint64_t off, const JournalEntry& entry) {
+  StageSlot& st = Stage(ctx);
   // A non-adjacent slot (ring wrap or journal switch) breaks the run: flush
   // the staged bytes first so device write order matches the scalar path.
-  if (!stage_buf_.empty() && off != stage_base_off_ + stage_buf_.size()) {
+  if (!st.buf.empty() && off != st.base_off + st.buf.size()) {
     FlushJournalStage(ctx);
   }
-  if (stage_buf_.empty()) {
-    stage_base_off_ = off;
+  if (st.buf.empty()) {
+    st.base_off = off;
   }
   const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&entry);
-  stage_buf_.insert(stage_buf_.end(), bytes, bytes + sizeof(JournalEntry));
+  st.buf.insert(st.buf.end(), bytes, bytes + sizeof(JournalEntry));
   // Charge the entry's store+clwb HERE, inside the caller's journal_lock
   // guard, exactly where the scalar path charges them. Deferring the charges
   // to the flush would shrink the modeled critical section — the lock's
@@ -372,15 +406,15 @@ void WineFs::StageEntryStore(ExecContext& ctx, uint64_t off, const JournalEntry&
 }
 
 void WineFs::FlushJournalStage(ExecContext& ctx) {
-  (void)ctx;
-  if (stage_buf_.empty()) {
+  StageSlot& st = Stage(ctx);
+  if (st.buf.empty()) {
     return;
   }
   // Every staged entry was already charged at stage time; the coalesced run
   // is pure host-side data movement (staging is off whenever a fault
   // injector or crash tracking would observe per-store granularity).
-  device_->StoreUncharged(stage_base_off_, stage_buf_.data(), stage_buf_.size());
-  stage_buf_.clear();
+  device_->StoreUncharged(st.base_off, st.buf.data(), st.buf.size());
+  st.buf.clear();
 }
 
 void WineFs::AppendEntry(ExecContext& ctx, CpuPool& pool, const JournalEntry& entry) {
@@ -396,7 +430,7 @@ void WineFs::AppendEntry(ExecContext& ctx, CpuPool& pool, const JournalEntry& en
     pool.wrap++;
   }
   const uint64_t off = pool.journal_pm_offset + slot * sizeof(JournalEntry);
-  if (batch_staging_) {
+  if (Stage(ctx).staging) {
     StageEntryStore(ctx, off, out);
   } else {
     device_->Store(ctx, off, &out, sizeof(out));
@@ -408,7 +442,7 @@ void WineFs::AppendEntry(ExecContext& ctx, CpuPool& pool, const JournalEntry& en
 void WineFs::AppendRawSlots(ExecContext& ctx, CpuPool& pool, const uint8_t* data,
                             uint64_t len) {
   common::SimMutex::Guard guard(pool.journal_lock, ctx);
-  if (batch_staging_) {
+  if (Stage(ctx).staging) {
     // Keep write order: staged header entries precede their blob lines.
     FlushJournalStage(ctx);
     // Bulk the old image into the ring one contiguous run at a time. Only the
@@ -460,7 +494,7 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
     // bytes (the poisoned region was unreadable anyway).
     (void)device_->Load(ctx, target_offset, old.data(), len);
     JournalEntry header;
-    header.txn_id = tx_id_;
+    header.txn_id = Tx(ctx).id;
     header.type = JournalEntry::kUndoBlob;
     header.target_offset = target_offset;
     std::memcpy(header.payload, &len, sizeof(len));
@@ -481,7 +515,7 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
     // Poisoned old image journals as zeros; see the blob path above.
     (void)device_->Load(ctx, target_offset + done, old, chunk);
     JournalEntry entry;
-    entry.txn_id = tx_id_;
+    entry.txn_id = Tx(ctx).id;
     entry.type = JournalEntry::kUndoData;
     entry.payload_len = static_cast<uint8_t>(chunk);
     entry.target_offset = target_offset + done;
@@ -494,18 +528,19 @@ void WineFs::JournalUndo(ExecContext& ctx, CpuPool& pool, uint64_t target_offset
 }
 
 void WineFs::TxBegin(ExecContext& ctx) {
-  tx_depth_++;
-  if (tx_depth_ > 1) {
+  TxSlot& tx = Tx(ctx);
+  tx.depth++;
+  if (tx.depth > 1) {
     return;
   }
   common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
-  tx_cpu_ = wopts_.per_cpu_journals ? ctx.cpu % static_cast<uint32_t>(pools_.size()) : 0;
+  tx.cpu = wopts_.per_cpu_journals ? ctx.cpu % static_cast<uint32_t>(pools_.size()) : 0;
   // Shared atomic transaction counter: IDs are unique across per-CPU journals.
-  tx_id_ = next_txn_id_.fetch_add(1);
+  tx.id = next_txn_id_.fetch_add(1);
   JournalEntry entry;
-  entry.txn_id = tx_id_;
+  entry.txn_id = tx.id;
   entry.type = JournalEntry::kStart;
-  AppendEntry(ctx, JournalFor(tx_cpu_), entry);
+  AppendEntry(ctx, JournalFor(tx.cpu), entry);
   FlushJournalStage(ctx);
   device_->Fence(ctx);
 }
@@ -513,11 +548,11 @@ void WineFs::TxBegin(ExecContext& ctx) {
 void WineFs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offset,
                          const void* data, uint64_t len) {
   (void)owner;
-  const bool self_contained = tx_depth_ == 0;
+  const bool self_contained = Tx(ctx).depth == 0;
   if (self_contained) {
     TxBegin(ctx);
   }
-  CpuPool& pool = JournalFor(tx_cpu_);
+  CpuPool& pool = JournalFor(Tx(ctx).cpu);
   JournalUndo(ctx, pool, pm_offset, len);
   // In-place update, immediately persistent (all metadata ops synchronous).
   device_->Store(ctx, pm_offset, data, len);
@@ -529,17 +564,18 @@ void WineFs::TxMetaWrite(ExecContext& ctx, vfs::InodeNum owner, uint64_t pm_offs
 }
 
 void WineFs::TxCommit(ExecContext& ctx) {
-  assert(tx_depth_ > 0);
-  tx_depth_--;
-  if (tx_depth_ > 0) {
+  TxSlot& tx = Tx(ctx);
+  assert(tx.depth > 0);
+  tx.depth--;
+  if (tx.depth > 0) {
     return;
   }
   obs::ScopedSpan span(ctx, obs::SpanCat::kJournalCommit, sizeof(JournalEntry));
   common::ProfileZone zone(ctx, common::ProfLayer::kJournal);
   JournalEntry entry;
-  entry.txn_id = tx_id_;
+  entry.txn_id = tx.id;
   entry.type = JournalEntry::kCommit;
-  AppendEntry(ctx, JournalFor(tx_cpu_), entry);
+  AppendEntry(ctx, JournalFor(tx.cpu), entry);
   FlushJournalStage(ctx);
   device_->Fence(ctx);
   // Space occupied by this committed transaction is immediately reclaimable
@@ -745,7 +781,7 @@ Result<uint64_t> WineFs::WriteDataAtomic(ExecContext& ctx, Inode& inode, const v
         // writing the data twice. Segmented so a transaction fits the ring.
         chunk = std::min(chunk, kMaxJournalSegBytes);
         const uint64_t phys_off = mapping->phys_block * kBlockSize + in_block;
-        JournalUndo(ctx, JournalFor(tx_cpu_), phys_off, chunk);
+        JournalUndo(ctx, JournalFor(Tx(ctx).cpu), phys_off, chunk);
         device_->NtStore(ctx, phys_off, cursor, chunk);
         device_->Fence(ctx);
       } else {
@@ -864,18 +900,18 @@ Status WineFs::FsyncImpl(ExecContext& ctx, Inode& inode) {
 
 void WineFs::ExecuteBatch(ExecContext& ctx, const vfs::OpBatch& batch,
                           std::vector<vfs::OpResult>& results) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  DramStripeGuard guard(dram_mu_.Stripe(ctx.cpu));
   // Group-commit coalescing needs per-store hooks to be absent: a fault
   // injector or crash-tracking session observes individual journal stores,
   // so those configurations run with per-slot writes (still through the
   // native resolve/fd caches).
-  batch_staging_ =
+  Stage(ctx).staging =
       device_->fault_injector() == nullptr && !device_->crash_tracking_enabled();
   ExecuteBatchNative(ctx, batch, results);
   // Every journaled op fences (and therefore flushes) before returning; this
   // is a backstop so no staged bytes can outlive the batch.
   FlushJournalStage(ctx);
-  batch_staging_ = false;
+  Stage(ctx).staging = false;
 }
 
 // --- Introspection / reactive rewriting ---------------------------------------------
@@ -904,7 +940,7 @@ uint64_t WineFs::FreeAlignedExtents() const {
 
 void WineFs::SampleGauges(obs::GaugeSample& out) {
   GenericFs::SampleGauges(out);
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   fscore::FreeSpaceMap::RunLengthHistogram hist;
   uint64_t aligned_min = UINT64_MAX;
   uint64_t aligned_max = 0;
@@ -935,7 +971,7 @@ void WineFs::SampleGauges(obs::GaugeSample& out) {
 
 bool WineFs::NeedsRewrite(const std::string& path) {
   common::ExecContext probe;
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   auto st = Stat(probe, path);
   if (!st.ok() || st->is_dir || st->size < common::kHugepageSize) {
     return false;
@@ -957,7 +993,7 @@ bool WineFs::NeedsRewrite(const std::string& path) {
 }
 
 Status WineFs::ReactiveRewrite(ExecContext& ctx, const std::string& path) {
-  std::lock_guard<std::recursive_mutex> guard(dram_mu_);
+  std::lock_guard<fscore::DomainMutex> guard(dram_mu_);
   if (!NeedsRewrite(path)) {
     return common::OkStatus();
   }

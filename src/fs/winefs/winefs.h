@@ -93,6 +93,12 @@ class WineFs : public fscore::GenericFs {
   WineFs(pmem::PmemDevice* device, WineFsOptions options);
 
   std::string_view Name() const override { return "winefs"; }
+  // Per-CPU journals + per-CPU allocator pools + per-CPU tx/staging slots:
+  // host workers driving disjoint CPU shards contend real per-CPU structures
+  // instead of taking turns (see DESIGN.md shard-purity contract).
+  vfs::ParallelPolicy parallel_policy() const override {
+    return vfs::ParallelPolicy::kSharded;
+  }
   vfs::FreeSpaceInfo FreeSpace() override;
 
   // Adds per-CPU pool balance (aligned extents and free blocks min/max across
@@ -109,8 +115,8 @@ class WineFs : public fscore::GenericFs {
   bool NeedsRewrite(const std::string& path);
 
   // NUMA introspection for the NUMA-policy experiments.
-  uint64_t numa_local_allocs() const { return numa_local_allocs_; }
-  uint64_t numa_remote_allocs() const { return numa_remote_allocs_; }
+  uint64_t numa_local_allocs() const { return numa_local_allocs_.load(std::memory_order_relaxed); }
+  uint64_t numa_remote_allocs() const { return numa_remote_allocs_.load(std::memory_order_relaxed); }
 
   // Aggregate count of free aligned extents across per-CPU pools.
   uint64_t FreeAlignedExtents() const;
@@ -161,6 +167,17 @@ class WineFs : public fscore::GenericFs {
     // Unaligned holes, keyed by block offset (kernel rbtree in the paper).
     fscore::FreeSpaceMap holes;
     common::SimMutex lock;
+    // Relaxed mirrors of aligned.size() and holes.free_blocks(), refreshed
+    // (via SyncCounts) whenever the structures change under `lock`. The
+    // cross-pool steal scans read these instead of the containers so a scan
+    // racing another pool's owner is a stale-but-safe read, not a data race.
+    std::atomic<uint64_t> aligned_count{0};
+    std::atomic<uint64_t> hole_free_count{0};
+
+    void SyncCounts() {
+      aligned_count.store(aligned.size(), std::memory_order_relaxed);
+      hole_free_count.store(holes.free_blocks(), std::memory_order_relaxed);
+    }
 
     // Per-CPU journal ring.
     uint64_t journal_pm_offset = 0;
@@ -211,20 +228,36 @@ class WineFs : public fscore::GenericFs {
   std::vector<std::unique_ptr<CpuPool>> pools_;
   std::atomic<uint64_t> next_txn_id_{1};
 
-  // Active transaction (operations are serialized by dram_mu_, so one
-  // transaction is in flight at a time; nesting uses the depth counter).
-  int tx_depth_ = 0;
-  uint32_t tx_cpu_ = 0;
-  uint64_t tx_id_ = 0;
+  // Active transaction, one slot per CPU: operations on one CPU are
+  // serialized by that CPU's dram stripe (an op runs begin..commit without
+  // interleaving), while ops on other CPUs run their own transactions
+  // concurrently against their own journals. Nesting uses the depth counter.
+  struct TxSlot {
+    int depth = 0;
+    uint32_t cpu = 0;
+    uint64_t id = 0;
+  };
+  std::vector<TxSlot> tx_slots_{1};
+  TxSlot& Tx(const common::ExecContext& ctx) {
+    return tx_slots_[ctx.cpu % tx_slots_.size()];
+  }
 
   std::unordered_map<uint32_t, uint32_t> home_node_;  // pid -> NUMA node
-  uint64_t numa_local_allocs_ = 0;
-  uint64_t numa_remote_allocs_ = 0;
+  common::SpinMutex home_mu_;                         // guards home_node_
+  std::atomic<uint64_t> numa_local_allocs_{0};
+  std::atomic<uint64_t> numa_remote_allocs_{0};
 
-  // Journal group-commit staging state (active only inside ExecuteBatch).
-  bool batch_staging_ = false;
-  uint64_t stage_base_off_ = 0;
-  std::vector<uint8_t> stage_buf_;
+  // Journal group-commit staging state (active only inside ExecuteBatch),
+  // one slot per CPU so concurrently-batching shards stage independently.
+  struct StageSlot {
+    bool staging = false;
+    uint64_t base_off = 0;
+    std::vector<uint8_t> buf;
+  };
+  std::vector<StageSlot> stage_slots_{1};
+  StageSlot& Stage(const common::ExecContext& ctx) {
+    return stage_slots_[ctx.cpu % stage_slots_.size()];
+  }
 };
 
 }  // namespace winefs

@@ -23,11 +23,17 @@ PmemDevice::PmemDevice(const DeviceSnapshot& base)
   cow_pending_ = chunks;
   if (chunks == 0) {
     cow_base_.reset();
+  } else {
+    cow_active_.store(true, std::memory_order_release);
   }
 }
 
 void PmemDevice::MaterializeRange(uint64_t offset, uint64_t len) {
   assert(offset + len <= data_.size());
+  std::lock_guard<std::mutex> guard(cow_fork_mu_);
+  if (cow_base_ == nullptr) {
+    return;  // raced with the final materialization
+  }
   const uint64_t first = offset / kSnapChunkBytes;
   const uint64_t last = (offset + len - 1) / kSnapChunkBytes;
   const uint8_t* base = cow_base_->data();
@@ -45,11 +51,12 @@ void PmemDevice::MaterializeRange(uint64_t offset, uint64_t len) {
   if (cow_pending_ == 0) {
     cow_base_.reset();
     cow_present_.clear();
+    cow_active_.store(false, std::memory_order_release);
   }
 }
 
 void PmemDevice::MaterializeAll() {
-  if (cow_base_ != nullptr) {
+  if (is_cow_fork() && data_.size() > 0) {
     MaterializeRange(0, data_.size());
   }
 }

@@ -9,6 +9,7 @@
 #ifndef SRC_PMEM_DEVICE_H_
 #define SRC_PMEM_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -72,7 +73,7 @@ class PmemDevice {
   DeviceSnapshot Snapshot() const;
 
   // True while this fork still has unmaterialized chunks backed by its base.
-  bool is_cow_fork() const { return cow_base_ != nullptr; }
+  bool is_cow_fork() const { return cow_active_.load(std::memory_order_acquire); }
   // Chunks copied from the base so far (lazy-fork observability; tests assert
   // a fork that touched little copied little).
   uint64_t cow_chunks_copied() const { return cow_chunks_copied_; }
@@ -215,8 +216,11 @@ class PmemDevice {
 
  private:
   // COW fast path: no-op unless this is a fork with unmaterialized chunks.
+  // The flag is an acquire-load so host-parallel readers of a fully-plain
+  // device never touch the fork state; actual materialization serializes on
+  // cow_fork_mu_ (forks driven by one host thread never contend it).
   void Touch(uint64_t offset, uint64_t len) {
-    if (cow_base_ != nullptr && len != 0) {
+    if (cow_active_.load(std::memory_order_acquire) && len != 0) {
       MaterializeRange(offset, len);
     }
   }
@@ -244,6 +248,8 @@ class PmemDevice {
   std::vector<bool> cow_present_;
   uint64_t cow_pending_ = 0;
   uint64_t cow_chunks_copied_ = 0;
+  std::atomic<bool> cow_active_{false};
+  std::mutex cow_fork_mu_;
 
   bool crash_tracking_ = false;
   mutable std::mutex crash_mu_;

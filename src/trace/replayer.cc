@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/vfs/op_batch.h"
+#include "src/wload/parallel_runner.h"
 #include "src/wload/sim_runner.h"
 
 namespace trace {
@@ -219,18 +220,27 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
     errors_ += win_errors;
   };
 
-  wload::SimRunner runner(num_threads, options_.num_cpus, options_.base_ns);
-  runner.SetObservers(options_.trace_sink, options_.metrics, options_.sampler,
+  auto window_op = [&](uint32_t tid, uint64_t op_index, common::ExecContext& ctx) {
+    if (op_index >= plan[tid].size()) {
+      return false;
+    }
+    run_window(windows[plan[tid][op_index]], ctx);
+    return true;
+  };
+  wload::RunResult run;
+  if (options_.host_threads > 1) {
+    wload::ParallelRunner runner(num_threads, options_.num_cpus, options_.base_ns);
+    runner.SetWorkers(options_.host_threads)
+        .SetMode(wload::ParallelRunner::Mode::kLockstep)
+        .SetObservers(options_.trace_sink, options_.metrics, options_.sampler,
                       options_.profiler);
-  wload::RunResult run = runner.Run(
-      max_windows_per_thread,
-      [&](uint32_t tid, uint64_t op_index, common::ExecContext& ctx) {
-        if (op_index >= plan[tid].size()) {
-          return false;
-        }
-        run_window(windows[plan[tid][op_index]], ctx);
-        return true;
-      });
+    run = runner.Run(max_windows_per_thread, window_op).run;
+  } else {
+    wload::SimRunner runner(num_threads, options_.num_cpus, options_.base_ns);
+    runner.SetObservers(options_.trace_sink, options_.metrics, options_.sampler,
+                        options_.profiler);
+    run = runner.Run(max_windows_per_thread, window_op);
+  }
 
   result.records = records_done_;
   result.windows = windows_done_;

@@ -54,6 +54,13 @@ struct ReplayOptions {
   // Simulated-timeline anchor, like SimRunner's base_ns (setup phases leave
   // SimMutex watermarks behind; anchoring past them avoids double-counting).
   uint64_t base_ns = 0;
+  // Host worker threads driving the replay. Values > 1 run the windows on a
+  // lockstep wload::ParallelRunner: the schedule (and so every modeled
+  // output and the shared slot tables the windows mutate) stays bit-identical
+  // to the scalar runner, the baton's release/acquire edges making the shared
+  // captures race-free. Replay is always lockstep — window lowering mutates
+  // per-tenant state that is not shard-pure.
+  uint32_t host_threads = 1;
   // Observability sinks propagated into every replay thread (null = off).
   obs::TraceBuffer* trace_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;

@@ -13,7 +13,7 @@ common::Result<Bed> MakeBed(const BedSpec& spec) {
     bed.dev = std::make_unique<pmem::PmemDevice>(spec.device_bytes, pmem::CostModel{},
                                                  spec.numa_nodes);
   }
-  bed.fs = fsreg::Create(spec.fs_name, bed.dev.get(), spec.num_cpus);
+  bed.fs = fsreg::Create(spec.fs_name, bed.dev.get(), spec.num_cpus, spec.lock_domains);
   if (bed.fs == nullptr) {
     return common::ErrorCode::kInvalidArgument;
   }

@@ -25,6 +25,8 @@ struct BedSpec {
   uint64_t device_bytes = 0;
   uint32_t num_cpus = 8;
   uint32_t numa_nodes = 1;
+  // VFS front-end lock domains (fsreg::Create); 1 = historical global path.
+  uint32_t lock_domains = 1;
   // When set, the bed mounts a COW fork of this snapshot (normal recovery
   // path, writes never touch the shared base) instead of mkfs on a fresh
   // device; device_bytes/numa_nodes are taken from the snapshot.

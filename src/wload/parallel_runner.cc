@@ -1,0 +1,198 @@
+#include "src/wload/parallel_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace wload {
+
+namespace {
+
+struct ThreadState {
+  common::ExecContext ctx;
+  uint64_t next_op = 0;
+  bool done = false;
+
+  explicit ThreadState(uint32_t cpu) : ctx(cpu, 0) {}
+};
+
+// xorshift64* — cheap per-worker stress-yield source (never used for modeled
+// decisions, only for host-side scheduling noise).
+struct StressRng {
+  uint64_t state;
+  explicit StressRng(uint64_t seed) : state(seed | 1) {}
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+};
+
+// The discrete-event candidate inside one shard: the runnable thread with the
+// smallest (clock, tid), i.e. exactly SimRunner's pick restricted to the
+// shard. Returns nullptr when the whole shard is done.
+ThreadState* ShardBest(std::vector<ThreadState>& threads, uint32_t lo, uint32_t hi,
+                       uint32_t* best_tid) {
+  ThreadState* best = nullptr;
+  for (uint32_t t = lo; t < hi; t++) {
+    if (!threads[t].done &&
+        (best == nullptr || threads[t].ctx.clock.NowNs() < best->ctx.clock.NowNs())) {
+      best = &threads[t];
+      *best_tid = t;
+    }
+  }
+  return best;
+}
+
+// Runs one scheduler pick: up to `batch` ops of `ts`, mirroring SimRunner's
+// inner loop. Returns ops executed.
+uint64_t RunBatch(ThreadState& ts, uint32_t tid, uint64_t ops_per_thread,
+                  const ParallelRunner::OpFn& op, uint32_t batch) {
+  uint64_t executed = 0;
+  for (uint32_t b = 0; b < batch && !ts.done; b++) {
+    if (ts.next_op >= ops_per_thread || !op(tid, ts.next_op, ts.ctx)) {
+      ts.done = true;
+      break;
+    }
+    ts.next_op++;
+    executed++;
+  }
+  return executed;
+}
+
+}  // namespace
+
+ParallelResult ParallelRunner::Run(uint64_t ops_per_thread, const OpFn& op,
+                                   uint32_t batch) const {
+  ParallelResult out;
+  const uint32_t workers =
+      std::min(std::max<uint32_t>(workers_, 1), std::max<uint32_t>(num_threads_, 1));
+  out.workers = workers;
+  out.lockstep = mode_ == Mode::kLockstep;
+
+  common::HazardSink hazards;
+
+  // Observers are only safe when ops execute in a sequential-equivalent
+  // order: one worker, or the lockstep baton (which serializes with
+  // happens-before). Free-running shards drop them.
+  const bool attach_observers = workers == 1 || mode_ == Mode::kLockstep;
+
+  std::vector<ThreadState> threads;
+  threads.reserve(num_threads_);
+  for (uint32_t t = 0; t < num_threads_; t++) {
+    threads.emplace_back(t % num_cpus_);
+    threads.back().ctx.pid = t;
+    threads.back().ctx.clock.SetNs(base_ns_);
+    threads.back().ctx.hazards = &hazards;
+    if (attach_observers) {
+      threads.back().ctx.AttachTrace(trace_);
+      threads.back().ctx.AttachMetrics(metrics_);
+      threads.back().ctx.AttachSampler(sampler_);
+      if (profiler_ != nullptr) {
+        threads.back().ctx.AttachProfiler(profiler_);
+      }
+    }
+  }
+
+  // Contiguous tid shards: worker w owns [w*T/W, (w+1)*T/W). With the
+  // cpus == threads geometry of sharded benches, a shard therefore owns a
+  // contiguous range of simulated CPUs — and their per-CPU FS structures.
+  auto shard_lo = [&](uint32_t w) {
+    return static_cast<uint32_t>(static_cast<uint64_t>(w) * num_threads_ / workers);
+  };
+
+  const auto host_start = std::chrono::steady_clock::now();
+
+  if (workers == 1) {
+    // Scalar path: literally SimRunner's loop over the one shard.
+    while (true) {
+      uint32_t tid = 0;
+      ThreadState* best = ShardBest(threads, 0, num_threads_, &tid);
+      if (best == nullptr) {
+        break;
+      }
+      RunBatch(*best, tid, ops_per_thread, op, batch);
+    }
+  } else if (mode_ == Mode::kLockstep) {
+    common::LockstepGate gate(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t w = 0; w < workers; w++) {
+      pool.emplace_back([&, w]() {
+        StressRng rng(stress_seed_ + 0x9e3779b97f4a7c15ull * (w + 1));
+        const uint32_t lo = shard_lo(w);
+        const uint32_t hi = shard_lo(w + 1);
+        while (true) {
+          uint32_t tid = 0;
+          ThreadState* best = ShardBest(threads, lo, hi, &tid);
+          const uint64_t key =
+              best == nullptr
+                  ? common::kScheduleKeyDone
+                  : common::PackScheduleKey(best->ctx.clock.NowNs(), tid);
+          gate.Publish(w, key);
+          if (best == nullptr) {
+            return;
+          }
+          if (stress_ && (rng.Next() & 7) == 0) {
+            std::this_thread::yield();
+          }
+          // Blocks until `key` is the strict global minimum: this pick is
+          // exactly the pick SimRunner's global scan would make. The
+          // release-store in Publish / acquire-loads in AwaitTurn carry a
+          // happens-before edge from every earlier op to this one.
+          gate.AwaitTurn(w, key);
+          RunBatch(*best, tid, ops_per_thread, op, batch);
+        }
+      });
+    }
+    for (auto& th : pool) {
+      th.join();
+    }
+  } else {
+    // Sharded free-run: each worker is an independent discrete-event loop
+    // over its own shard. Host interleaving across shards is arbitrary; the
+    // shard-purity contract makes modeled outputs independent of it.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t w = 0; w < workers; w++) {
+      pool.emplace_back([&, w]() {
+        StressRng rng(stress_seed_ + 0x9e3779b97f4a7c15ull * (w + 1));
+        const uint32_t lo = shard_lo(w);
+        const uint32_t hi = shard_lo(w + 1);
+        while (true) {
+          uint32_t tid = 0;
+          ThreadState* best = ShardBest(threads, lo, hi, &tid);
+          if (best == nullptr) {
+            return;
+          }
+          if (stress_ && (rng.Next() & 7) == 0) {
+            std::this_thread::yield();
+          }
+          RunBatch(*best, tid, ops_per_thread, op, batch);
+        }
+      });
+    }
+    for (auto& th : pool) {
+      th.join();
+    }
+  }
+
+  out.host_wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start)
+          .count());
+
+  // Deterministic merge: identical to SimRunner's epilogue — counters summed
+  // in global tid order, wall_ns the max simulated end time.
+  for (uint32_t t = 0; t < num_threads_; t++) {
+    out.run.total_ops += threads[t].next_op;
+    out.run.wall_ns = std::max(out.run.wall_ns, threads[t].ctx.clock.NowNs() - base_ns_);
+    out.run.counters.Add(threads[t].ctx.counters);
+  }
+  out.hazards = hazards.count();
+  return out;
+}
+
+}  // namespace wload
